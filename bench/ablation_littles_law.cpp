@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation: the Little's-law latency correction (I_L = I_1 / L,
+ * Section 3) on vs off. Without it the steady-state IPC uses the
+ * unit-latency curve directly, overestimating the background
+ * performance of latency-heavy workloads (vpr most of all).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "experiments/workbench.hh"
+
+int
+main()
+{
+    using namespace fosm;
+
+    Workbench bench;
+    const FirstOrderModel model(Workbench::baselineMachine());
+
+    printBanner(std::cout,
+                "Ablation: Little's-law latency scaling of the IW "
+                "characteristic");
+    TextTable table({"bench", "L", "sim CPI", "with L", "err %",
+                     "unit L", "err %"});
+
+    double with_sum = 0.0, without_sum = 0.0;
+    for (const std::string &name : Workbench::benchmarks()) {
+        const WorkloadData &data = bench.workload(name);
+        const SimStats sim = simulateTrace(
+            data.trace, Workbench::baselineSimConfig());
+
+        const CpiBreakdown with =
+            model.evaluate(data.iw, data.missProfile);
+        // Rebuild the characteristic pretending L = 1.
+        const IWCharacteristic unit(data.iw.alpha(), data.iw.beta(),
+                                    1.0, data.iw.issueWidth());
+        const CpiBreakdown without =
+            model.evaluate(unit, data.missProfile);
+
+        const double err_with =
+            relativeError(with.total(), sim.cpi());
+        const double err_without =
+            relativeError(without.total(), sim.cpi());
+        with_sum += err_with;
+        without_sum += err_without;
+
+        table.addRow({name,
+                      TextTable::num(data.missProfile.avgLatency, 2),
+                      TextTable::num(sim.cpi(), 3),
+                      TextTable::num(with.total(), 3),
+                      TextTable::num(err_with * 100, 1),
+                      TextTable::num(without.total(), 3),
+                      TextTable::num(err_without * 100, 1)});
+    }
+    const double n =
+        static_cast<double>(Workbench::benchmarks().size());
+    table.addRow({"MEAN", "-", "-", "-",
+                  TextTable::num(with_sum / n * 100, 1), "-",
+                  TextTable::num(without_sum / n * 100, 1)});
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: how the branch-penalty modeling choice affects overall
+ * accuracy. Compares the paper's constant-average choice (mean of the
+ * isolated and fully-clustered bounds) against the isolated upper
+ * bound and the burst-aware equation (3) using measured misprediction
+ * gap statistics (the paper's own "future work" item 3).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "experiments/workbench.hh"
+
+int
+main()
+{
+    using namespace fosm;
+
+    Workbench bench;
+
+    printBanner(std::cout,
+                "Ablation: branch misprediction penalty mode "
+                "(model-vs-sim CPI error, %)");
+    TextTable table({"bench", "paper avg", "isolated", "burst-aware"});
+
+    const std::vector<BranchPenaltyMode> modes{
+        BranchPenaltyMode::PaperAverage, BranchPenaltyMode::Isolated,
+        BranchPenaltyMode::BurstAware};
+
+    std::vector<double> sums(modes.size(), 0.0);
+    for (const std::string &name : Workbench::benchmarks()) {
+        const WorkloadData &data = bench.workload(name);
+        const SimStats sim = simulateTrace(
+            data.trace, Workbench::baselineSimConfig());
+
+        std::vector<std::string> row{name};
+        for (std::size_t m = 0; m < modes.size(); ++m) {
+            ModelOptions options;
+            options.branchMode = modes[m];
+            const FirstOrderModel model(Workbench::baselineMachine(),
+                                        options);
+            const double err = relativeError(
+                model.evaluate(data.iw, data.missProfile).total(),
+                sim.cpi());
+            sums[m] += err;
+            row.push_back(TextTable::num(err * 100, 1));
+        }
+        table.addRow(row);
+    }
+    const double n =
+        static_cast<double>(Workbench::benchmarks().size());
+    table.addRow({"MEAN", TextTable::num(sums[0] / n * 100, 1),
+                  TextTable::num(sums[1] / n * 100, 1),
+                  TextTable::num(sums[2] / n * 100, 1)});
+    table.print(std::cout);
+    return 0;
+}

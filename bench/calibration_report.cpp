@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Calibration diagnostic: per-benchmark workload characteristics
+ * (power-law fit, average latency, miss-event rates) next to the
+ * paper-reported targets where available, plus model-vs-simulation
+ * CPI. Not a paper figure itself, but the table everything else's
+ * fidelity rests on.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "experiments/workbench.hh"
+
+int
+main()
+{
+    using namespace fosm;
+
+    Workbench bench;
+    const FirstOrderModel model(Workbench::baselineMachine());
+
+    printBanner(std::cout, "Workload calibration report (targets from "
+                           "paper Table 1 where known)");
+    TextTable table({"bench", "alpha", "beta", "L", "B%", "i$/ki",
+                     "sL1d/ki", "ldm/ki", "idealI", "idealM",
+                     "modelCPI", "simCPI", "err%"});
+
+    double err_sum = 0.0;
+    for (const std::string &name : Workbench::benchmarks()) {
+        const WorkloadData &data = bench.workload(name);
+        const CpiBreakdown cpi = model.evaluate(data.iw,
+                                                data.missProfile);
+        const SimStats sim = simulateTrace(
+            data.trace, Workbench::baselineSimConfig());
+        const double err = relativeError(cpi.total(), sim.cpi());
+        err_sum += err;
+
+        SimConfig ideal_cfg = Workbench::baselineSimConfig();
+        ideal_cfg.options.idealBranchPredictor = true;
+        ideal_cfg.options.idealIcache = true;
+        ideal_cfg.options.idealDcache = true;
+        const SimStats ideal = simulateTrace(data.trace, ideal_cfg);
+
+        table.addRow({
+            name,
+            TextTable::num(data.iw.alpha(), 2),
+            TextTable::num(data.iw.beta(), 2),
+            TextTable::num(data.missProfile.avgLatency, 2),
+            TextTable::num(data.missProfile.mispredictRate() * 100, 1),
+            TextTable::num(data.missProfile.icacheMissesPerInst() * 1000,
+                           2),
+            TextTable::num(
+                data.missProfile.shortLoadMissesPerInst() * 1000, 2),
+            TextTable::num(
+                data.missProfile.longLoadMissesPerInst() * 1000, 2),
+            TextTable::num(ideal.ipc(), 2),
+            TextTable::num(1.0 / cpi.ideal, 2),
+            TextTable::num(cpi.total(), 3),
+            TextTable::num(sim.cpi(), 3),
+            TextTable::num(err * 100, 1),
+        });
+    }
+    table.print(std::cout);
+    std::cout << "\nmean |CPI error| = "
+              << TextTable::num(
+                     err_sum / Workbench::benchmarks().size() * 100, 1)
+              << " %  (paper: 5.8 %)\n";
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Extension (paper Section 7, future-work 1): limited functional
+ * units. The model lowers the saturation level to the pools'
+ * throughput bound given the operation mix; this bench validates the
+ * lowered steady state against the detailed simulator with the same
+ * pools, and demonstrates the sizing rule ("the number of units
+ * required to meet this performance").
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "experiments/workbench.hh"
+
+int
+main()
+{
+    using namespace fosm;
+
+    Workbench bench;
+
+    printBanner(std::cout,
+                "Extension: limited functional units (typical 4-wide "
+                "pools: 4 ALU, 1 mul, 1 div unpipelined, 2 FP, 2 mem "
+                "ports)");
+    TextTable table({"bench", "eff. width", "model CPI", "sim CPI",
+                     "err %", "unbounded sim CPI"});
+
+    const FuPoolConfig pools = FuPoolConfig::typical4Wide();
+
+    for (const std::string &name : Workbench::benchmarks()) {
+        const WorkloadData &data = bench.workload(name);
+
+        ModelOptions options;
+        options.fuPools = pools;
+        const FirstOrderModel model(Workbench::baselineMachine(),
+                                    options);
+        const CpiBreakdown cpi =
+            model.evaluate(data.iw, data.missProfile);
+
+        SimConfig sim_config = Workbench::baselineSimConfig();
+        sim_config.fuPools = pools;
+        const SimStats sim = simulateTrace(data.trace, sim_config);
+        const SimStats unbounded = simulateTrace(
+            data.trace, Workbench::baselineSimConfig());
+
+        table.addRow(
+            {name,
+             TextTable::num(
+                 effectiveIssueWidth(4, pools, data.missProfile.mix),
+                 2),
+             TextTable::num(cpi.total(), 3),
+             TextTable::num(sim.cpi(), 3),
+             TextTable::num(
+                 relativeError(cpi.total(), sim.cpi()) * 100.0, 1),
+             TextTable::num(unbounded.cpi(), 3)});
+    }
+    table.print(std::cout);
+
+    // A deliberately starved machine: one memory port binds for the
+    // load-heavy workloads, the single FP unit for vpr.
+    FuPoolConfig starved;
+    starved.intAlu = {2, true};
+    starved.intMul = {1, true};
+    starved.intDiv = {1, false};
+    starved.fpAlu = {1, true};
+    starved.memPort = {1, true};
+
+    printBanner(std::cout,
+                "Starved pools (2 ALU, 1 mul, 1 div unpipelined, "
+                "1 FP, 1 mem port): the bound binds");
+    TextTable starved_table({"bench", "eff. width", "model CPI",
+                             "sim CPI", "err %"});
+    for (const char *name : {"gzip", "vortex", "vpr", "mcf",
+                                    "crafty", "eon"}) {
+        const WorkloadData &data = bench.workload(name);
+        ModelOptions options;
+        options.fuPools = starved;
+        const FirstOrderModel model(Workbench::baselineMachine(),
+                                    options);
+        const CpiBreakdown cpi =
+            model.evaluate(data.iw, data.missProfile);
+        SimConfig sim_config = Workbench::baselineSimConfig();
+        sim_config.fuPools = starved;
+        const SimStats sim = simulateTrace(data.trace, sim_config);
+        starved_table.addRow(
+            {name,
+             TextTable::num(effectiveIssueWidth(
+                                4, starved, data.missProfile.mix),
+                            2),
+             TextTable::num(cpi.total(), 3),
+             TextTable::num(sim.cpi(), 3),
+             TextTable::num(
+                 relativeError(cpi.total(), sim.cpi()) * 100.0, 1)});
+    }
+    starved_table.print(std::cout);
+
+    printBanner(std::cout,
+                "Pool sizing rule: units required to sustain IPC 4 "
+                "per workload mix");
+    TextTable sizing({"bench", "required pools"});
+    for (const char *name : {"gzip", "vpr", "mcf"}) {
+        const WorkloadData &data = bench.workload(name);
+        sizing.addRow({name, describePools(requiredPools(
+                                 4.0, data.missProfile.mix))});
+    }
+    sizing.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 4: the power-law relationship between issue window size and
+ * issue rate, measured by idealized trace-driven simulation (unit
+ * latency, unbounded issue width, only the window size limited), for
+ * all 12 benchmarks. Printed in the paper's log2-log2 coordinates.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hh"
+#include "experiments/workbench.hh"
+
+int
+main()
+{
+    using namespace fosm;
+
+    Workbench bench;
+
+    printBanner(std::cout,
+                "Figure 4: IW characteristic, unit latency, unbounded "
+                "issue (log2(I) per log2(W))");
+    std::vector<std::string> headers{"bench"};
+    for (std::uint32_t w : {4u, 8u, 16u, 32u, 64u})
+        headers.push_back("W=" + std::to_string(w));
+    headers.push_back("alpha");
+    headers.push_back("beta");
+    TextTable table(headers);
+
+    for (const std::string &name : Workbench::benchmarks()) {
+        const WorkloadData &data = bench.workload(name);
+        std::vector<std::string> row{name};
+        for (const IwPoint &p : data.iwPoints)
+            row.push_back(TextTable::num(std::log2(p.ipc), 2));
+        row.push_back(TextTable::num(data.iw.alpha(), 2));
+        row.push_back(TextTable::num(data.iw.beta(), 2));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n(paper: straight lines on the log-log scale with "
+                 "slopes ~0.3-0.7,\nvpr flattest, vortex steepest)\n";
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 6: the IW characteristic once the issue width is limited
+ * (gcc in the paper). Limited curves follow the unbounded curve until
+ * the window supplies more parallelism than the width, then saturate
+ * at the width (Jouppi [16]).
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hh"
+#include "experiments/workbench.hh"
+
+int
+main()
+{
+    using namespace fosm;
+
+    Workbench bench;
+    const Trace &trace = bench.workload("gcc").trace;
+
+    printBanner(std::cout,
+                "Figure 6: IW characteristic after limiting the issue "
+                "width (gcc, unit latency)");
+    TextTable table({"W", "unlimited", "width 8", "width 4",
+                     "width 2"});
+
+    for (std::uint32_t w : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        WindowSimConfig config;
+        config.windowSize = w;
+        config.unitLatency = true;
+        std::vector<std::string> row{TextTable::num(std::uint64_t{w})};
+        for (std::uint32_t width : {0u, 8u, 4u, 2u}) {
+            config.issueWidth = width;
+            row.push_back(TextTable::num(
+                simulateWindow(trace, config).ipc, 2));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n(paper: limited curves follow the unlimited one, "
+                 "then saturate at the width)\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 15: overall CPI predicted by the first-order model against
+ * detailed cycle-level simulation for the 12 benchmarks. The paper
+ * reports very close agreement: average CPI error 5.8%, worst cases
+ * mcf 13%, gzip 12%, twolf 12%.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "experiments/workbench.hh"
+
+int
+main()
+{
+    using namespace fosm;
+
+    Workbench bench;
+    const FirstOrderModel model(Workbench::baselineMachine());
+
+    printBanner(std::cout,
+                "Figure 15: first-order model vs detailed simulation "
+                "(CPI)");
+    TextTable table({"bench", "model CPI", "sim CPI", "model IPC",
+                     "sim IPC", "error %"});
+
+    double err_sum = 0.0;
+    double err_max = 0.0;
+    std::string err_max_bench;
+    for (const std::string &name : Workbench::benchmarks()) {
+        const WorkloadData &data = bench.workload(name);
+        const CpiBreakdown cpi =
+            model.evaluate(data.iw, data.missProfile);
+        const SimStats sim = simulateTrace(
+            data.trace, Workbench::baselineSimConfig());
+        const double err = relativeError(cpi.total(), sim.cpi());
+        err_sum += err;
+        if (err > err_max) {
+            err_max = err;
+            err_max_bench = name;
+        }
+        table.addRow({name, TextTable::num(cpi.total(), 3),
+                      TextTable::num(sim.cpi(), 3),
+                      TextTable::num(cpi.ipc(), 3),
+                      TextTable::num(sim.ipc(), 3),
+                      TextTable::num(err * 100.0, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nmean |CPI error| = "
+              << TextTable::num(
+                     err_sum / Workbench::benchmarks().size() * 100,
+                     1)
+              << " %   (paper: 5.8 %)\n";
+    std::cout << "max  |CPI error| = "
+              << TextTable::num(err_max * 100, 1) << " % ("
+              << err_max_bench << ")   (paper: 13 % on mcf)\n";
+    return 0;
+}

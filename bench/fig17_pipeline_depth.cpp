@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 17: the pipeline-depth trend study. (a) IPC vs front-end
+ * depth for issue widths 2/3/4/8 under the SPECint-average square-law
+ * characteristic, one branch in five instructions, 5% mispredicted.
+ * (b) absolute performance (BIPS) with cycle time 8200ps/n + 90ps
+ * from Sprangle & Carmean [4]. Paper: the issue-3 optimum is around
+ * 55 front-end stages and moves shorter for wider issue.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "model/trends.hh"
+
+int
+main()
+{
+    using namespace fosm;
+
+    const TrendConfig config;
+    const std::vector<std::uint32_t> widths{2, 3, 4, 8};
+    const std::vector<std::uint32_t> depths{1,  5,  10, 20, 30, 40,
+                                            50, 55, 60, 70, 80, 90,
+                                            100};
+
+    printBanner(std::cout,
+                "Figure 17a: IPC vs front-end pipeline depth");
+    {
+        TextTable table({"depth", "issue 2", "issue 3", "issue 4",
+                         "issue 8"});
+        std::vector<std::vector<PipelineDepthPoint>> sweeps;
+        for (std::uint32_t w : widths)
+            sweeps.push_back(pipelineDepthSweep(w, depths, config));
+        for (std::size_t d = 0; d < depths.size(); ++d) {
+            table.addRow({TextTable::num(std::uint64_t{depths[d]}),
+                          TextTable::num(sweeps[0][d].ipc, 2),
+                          TextTable::num(sweeps[1][d].ipc, 2),
+                          TextTable::num(sweeps[2][d].ipc, 2),
+                          TextTable::num(sweeps[3][d].ipc, 2)});
+        }
+        table.print(std::cout);
+    }
+
+    printBanner(std::cout,
+                "Figure 17b: BIPS vs front-end pipeline depth "
+                "(8200 ps logic, 90 ps flip-flop)");
+    {
+        TextTable table({"depth", "GHz", "issue 2", "issue 3",
+                         "issue 4", "issue 8"});
+        std::vector<std::vector<PipelineDepthPoint>> sweeps;
+        for (std::uint32_t w : widths)
+            sweeps.push_back(pipelineDepthSweep(w, depths, config));
+        for (std::size_t d = 0; d < depths.size(); ++d) {
+            table.addRow({TextTable::num(std::uint64_t{depths[d]}),
+                          TextTable::num(sweeps[0][d].clockGhz, 2),
+                          TextTable::num(sweeps[0][d].bips, 2),
+                          TextTable::num(sweeps[1][d].bips, 2),
+                          TextTable::num(sweeps[2][d].bips, 2),
+                          TextTable::num(sweeps[3][d].bips, 2)});
+        }
+        table.print(std::cout);
+    }
+
+    printBanner(std::cout, "Optimal front-end depths (max BIPS)");
+    TextTable table({"issue width", "optimal depth", "BIPS"});
+    for (std::uint32_t w : widths) {
+        const PipelineDepthPoint best = optimalPipelineDepth(w);
+        table.addRow({TextTable::num(std::uint64_t{w}),
+                      TextTable::num(std::uint64_t{best.depth}),
+                      TextTable::num(best.bips, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(paper: issue-3 optimum near 55 stages [4]; wider "
+                 "issue prefers shorter pipes [3])\n";
+    return 0;
+}

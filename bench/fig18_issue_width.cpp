@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 18: instructions between branch mispredictions required to
+ * spend a given fraction of time within 12.5% of the implemented
+ * issue width, for widths 4, 8 and 16. Paper: doubling the issue
+ * width requires roughly quadrupling the misprediction distance -
+ * branch prediction must improve as the square of the width.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "model/trends.hh"
+
+int
+main()
+{
+    using namespace fosm;
+
+    const TrendConfig config;
+    const std::vector<double> fractions{0.10, 0.20, 0.30, 0.40, 0.50};
+
+    printBanner(std::cout,
+                "Figure 18: instructions between mispredictions vs "
+                "time-at-issue-width fraction");
+    TextTable table({"% time at width", "width 4 (>=3.5)",
+                     "width 8 (>=7)", "width 16 (>=14)",
+                     "ratio 8/4", "ratio 16/8"});
+
+    const auto r4 = issueWidthRequirement(4, fractions, config);
+    const auto r8 = issueWidthRequirement(8, fractions, config);
+    const auto r16 = issueWidthRequirement(16, fractions, config);
+
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+        table.addRow(
+            {TextTable::num(fractions[i] * 100, 0),
+             TextTable::num(r4[i].instructionsBetween, 0),
+             TextTable::num(r8[i].instructionsBetween, 0),
+             TextTable::num(r16[i].instructionsBetween, 0),
+             TextTable::num(r8[i].instructionsBetween /
+                                r4[i].instructionsBetween,
+                            1),
+             TextTable::num(r16[i].instructionsBetween /
+                                r8[i].instructionsBetween,
+                            1)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(paper: the required distance roughly quadruples "
+                 "when the width doubles)\n";
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the infrastructure itself:
+ * trace generation, functional profiling, the idealized window
+ * simulation, detailed simulation, and analytical model evaluation.
+ * The headline comparison is the model's evaluation cost against a
+ * detailed simulation of the same workload - the paper's "analytical
+ * models have clear speed advantages" claim, quantified.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/gshare.hh"
+#include "experiments/workbench.hh"
+
+namespace {
+
+using namespace fosm;
+
+const Trace &
+gzipTrace()
+{
+    static const Trace trace =
+        generateTrace(profileByName("gzip"), 100000);
+    return trace;
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const Profile &profile = profileByName("gzip");
+    for (auto _ : state) {
+        const Trace t =
+            generateTrace(profile, state.range(0));
+        benchmark::DoNotOptimize(t.size());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(10000)->Arg(100000);
+
+void
+BM_MissProfiler(benchmark::State &state)
+{
+    const Trace &trace = gzipTrace();
+    for (auto _ : state) {
+        const MissProfile p = profileTrace(trace);
+        benchmark::DoNotOptimize(p.mispredictions);
+    }
+    state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_MissProfiler);
+
+void
+BM_WindowSimUnbounded(benchmark::State &state)
+{
+    const Trace &trace = gzipTrace();
+    WindowSimConfig config;
+    config.windowSize = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        const WindowSimResult r = simulateWindow(trace, config);
+        benchmark::DoNotOptimize(r.ipc);
+    }
+    state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_WindowSimUnbounded)->Arg(16)->Arg(64);
+
+void
+BM_DetailedSim(benchmark::State &state)
+{
+    const Trace &trace = gzipTrace();
+    const SimConfig config = Workbench::baselineSimConfig();
+    for (auto _ : state) {
+        const SimStats s = simulateTrace(trace, config);
+        benchmark::DoNotOptimize(s.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_DetailedSim);
+
+void
+BM_ModelEvaluation(benchmark::State &state)
+{
+    // The analytical step alone: given the profile statistics,
+    // evaluate equation (1). This is the part that replaces a
+    // detailed simulation per design point.
+    static Workbench bench;
+    const WorkloadData &data = bench.workload("gzip");
+    const FirstOrderModel model(Workbench::baselineMachine());
+    for (auto _ : state) {
+        const CpiBreakdown b =
+            model.evaluate(data.iw, data.missProfile);
+        benchmark::DoNotOptimize(b.total());
+    }
+}
+BENCHMARK(BM_ModelEvaluation);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache({"bench", 4096, 4, 128, ReplPolicyKind::Lru});
+    Rng rng(1);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 4096; ++i)
+        addrs.push_back(rng.zipf(1 << 16, 0.7) * 16);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(addrs[i++ & 4095]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_GSharePredict(benchmark::State &state)
+{
+    GSharePredictor predictor(8192);
+    Rng rng(2);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(predictor.predictAndUpdate(
+            0x1000 + (i++ % 64) * 4, rng.bernoulli(0.6)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GSharePredict);
+
+} // namespace
+
+BENCHMARK_MAIN();

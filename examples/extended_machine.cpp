@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Modeling a realistically constrained machine with every Section 7
+ * extension enabled at once: finite functional-unit pools, a data
+ * TLB, an instruction fetch buffer, and a 2-way clustered issue
+ * window - evaluated by the analytical model and cross-checked
+ * against the detailed simulator.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "experiments/workbench.hh"
+
+int
+main()
+{
+    using namespace fosm;
+
+    Workbench bench;
+
+    // The constrained machine.
+    MachineConfig machine = Workbench::baselineMachine();
+    machine.clusters = 2;
+
+    FuPoolConfig pools = FuPoolConfig::typical4Wide();
+
+    TlbConfig tlb;
+    tlb.enabled = true;
+    tlb.entries = 64;
+    tlb.walkLatency = 30;
+
+    const std::uint32_t fetch_buffer = 32;
+
+    std::cout << "machine: 4-wide, 5-stage front end, 48-entry window"
+                 " split into 2 clusters,\n128-entry ROB, pools ["
+              << describePools(pools) << "], 64-entry D-TLB,\n"
+              << fetch_buffer << "-entry fetch buffer\n";
+
+    printBanner(std::cout,
+                "Extended machine: model vs simulation across "
+                "workloads");
+    TextTable table({"bench", "model CPI", "sim CPI", "err %",
+                     "baseline sim CPI"});
+
+    for (const char *name : {"gzip", "gcc", "mcf", "vortex",
+                                    "vpr", "twolf"}) {
+        const WorkloadData &data = bench.workload(name);
+
+        // Profile once more with the TLB so walk statistics exist.
+        ProfilerConfig pconfig = Workbench::baselineProfilerConfig();
+        pconfig.dtlb = tlb;
+        const MissProfile profile = profileTrace(data.trace, pconfig);
+
+        ModelOptions options;
+        options.fuPools = pools;
+        options.fetchBufferEntries = fetch_buffer;
+        const FirstOrderModel model(machine, options);
+        const CpiBreakdown cpi = model.evaluate(data.iw, profile);
+
+        SimConfig sim_config = Workbench::baselineSimConfig();
+        sim_config.machine = machine;
+        sim_config.fuPools = pools;
+        sim_config.dtlb = tlb;
+        sim_config.options.fetchBufferEntries = fetch_buffer;
+        sim_config.options.fetchBandwidth = 8;
+        sim_config.syncMissDelays();
+        const SimStats sim = simulateTrace(data.trace, sim_config);
+
+        const SimStats base = simulateTrace(
+            data.trace, Workbench::baselineSimConfig());
+
+        table.addRow(
+            {name, TextTable::num(cpi.total(), 3),
+             TextTable::num(sim.cpi(), 3),
+             TextTable::num(
+                 relativeError(cpi.total(), sim.cpi()) * 100.0, 1),
+             TextTable::num(base.cpi(), 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nEvery extension remains a first-order term: the "
+                 "model evaluation is still a\nclosed-form sum, no "
+                 "simulation required.\n";
+    return 0;
+}

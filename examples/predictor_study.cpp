@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Branch predictor study: feed the model miss statistics gathered
+ * with different predictors (ideal / gShare / local / bimodal, and
+ * several gShare sizes) and see the predicted CPI move. This is the
+ * paper's workflow for evaluating a front-end change without
+ * re-simulating the whole machine: only the cheap functional
+ * profiling pass is repeated.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "experiments/workbench.hh"
+
+int
+main()
+{
+    using namespace fosm;
+
+    Workbench bench;
+    const FirstOrderModel model(Workbench::baselineMachine());
+
+    printBanner(std::cout,
+                "Predicted CPI by branch predictor (model only; "
+                "profiling pass per predictor)");
+    TextTable table({"bench", "ideal", "tournament 8K", "gshare 8K",
+                     "gshare 1K", "local 8K", "bimodal 8K"});
+
+    struct Candidate
+    {
+        const char *label;
+        PredictorKind kind;
+        std::uint32_t entries;
+    };
+    const Candidate candidates[] = {
+        {"ideal", PredictorKind::Ideal, 0},
+        {"tournament8k", PredictorKind::Tournament, 8192},
+        {"gshare8k", PredictorKind::GShare, 8192},
+        {"gshare1k", PredictorKind::GShare, 1024},
+        {"local8k", PredictorKind::Local, 8192},
+        {"bimodal8k", PredictorKind::Bimodal, 8192},
+    };
+
+    for (const char *name : {"gzip", "gcc", "parser", "vortex"}) {
+        const WorkloadData &data = bench.workload(name);
+        std::vector<std::string> row{name};
+        for (const Candidate &c : candidates) {
+            ProfilerConfig config = Workbench::baselineProfilerConfig();
+            config.predictor = c.kind;
+            if (c.entries)
+                config.predictorEntries = c.entries;
+            const MissProfile profile =
+                profileTrace(data.trace, config);
+            row.push_back(TextTable::num(
+                model.evaluate(data.iw, profile).total(), 3));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: ideal <= gshare8K <= {local, "
+                 "gshare1K} <= bimodal for the\nhistory-sensitive "
+                 "workloads; differences shrink for the "
+                 "well-predicted ones (vortex).\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Quickstart: the complete first-order modeling flow for one
+ * workload, exactly as Section 5 of the paper prescribes.
+ *
+ *  1. Generate a synthetic benchmark trace (stand-in for a SPEC
+ *     trace).
+ *  2. Functionally profile it: cache miss rates, branch misprediction
+ *     rate, long-miss burst distribution, average latency.
+ *  3. Measure the IW curve and fit the power law I = alpha * W^beta.
+ *  4. Evaluate the analytical model: CPI = CPI_ss + CPI_brmisp +
+ *     CPI_icache + CPI_dcache (equation 1).
+ *  5. Compare against the detailed cycle-level simulator.
+ */
+
+#include <iostream>
+
+#include "experiments/workbench.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace fosm;
+
+    Workbench bench;
+    const WorkloadData &data = bench.workload("gzip");
+
+    std::cout << "workload: " << data.trace.name() << ", "
+              << data.trace.size() << " instructions\n\n";
+
+    // Step 2-3 results.
+    std::cout << "IW power law: I = " << data.iw.alpha() << " * W^"
+              << data.iw.beta() << "  (R^2 = " << data.iw.fitR2()
+              << ")\n";
+    std::cout << "average FU latency L = "
+              << data.missProfile.avgLatency << " cycles\n";
+    std::cout << "branch misprediction rate = "
+              << data.missProfile.mispredictRate() * 100.0 << " %\n";
+    std::cout << "L1I miss rate = "
+              << data.missProfile.icacheMissesPerInst() * 100.0
+              << " misses / 100 insts\n";
+    std::cout << "long D-miss rate = "
+              << data.missProfile.longLoadMissesPerInst() * 100.0
+              << " misses / 100 insts\n\n";
+
+    // Step 4: the analytical model.
+    const FirstOrderModel model(Workbench::baselineMachine());
+    const CpiBreakdown breakdown =
+        model.evaluate(data.iw, data.missProfile);
+
+    TextTable table({"component", "CPI"});
+    table.addRow({"ideal (steady state)", TextTable::num(breakdown.ideal)});
+    table.addRow({"branch mispredictions", TextTable::num(breakdown.brmisp)});
+    table.addRow({"L1 I-cache misses", TextTable::num(breakdown.icacheL1)});
+    table.addRow({"L2 I-cache misses", TextTable::num(breakdown.icacheL2)});
+    table.addRow({"long D-cache misses", TextTable::num(breakdown.dcacheLong)});
+    table.addRow({"TOTAL (model)", TextTable::num(breakdown.total())});
+    table.print(std::cout);
+
+    // Step 5: validation against detailed simulation.
+    const SimStats sim =
+        simulateTrace(data.trace, Workbench::baselineSimConfig());
+    std::cout << "\nsimulated CPI = " << sim.cpi()
+              << "  (model error "
+              << relativeError(breakdown.total(), sim.cpi()) * 100.0
+              << " %)\n";
+    return 0;
+}

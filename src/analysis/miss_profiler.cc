@@ -1,0 +1,282 @@
+#include "analysis/miss_profiler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+double
+MissProfile::mispredictsPerInst() const
+{
+    return safeRatio(static_cast<double>(mispredictions),
+                     static_cast<double>(instructions));
+}
+
+double
+MissProfile::icacheMissesPerInst() const
+{
+    return safeRatio(static_cast<double>(icacheL1Misses),
+                     static_cast<double>(instructions));
+}
+
+double
+MissProfile::icacheL2MissesPerInst() const
+{
+    return safeRatio(static_cast<double>(icacheL2Misses),
+                     static_cast<double>(instructions));
+}
+
+double
+MissProfile::shortLoadMissesPerInst() const
+{
+    return safeRatio(static_cast<double>(shortLoadMisses),
+                     static_cast<double>(instructions));
+}
+
+double
+MissProfile::longLoadMissesPerInst() const
+{
+    return safeRatio(static_cast<double>(longLoadMisses),
+                     static_cast<double>(instructions));
+}
+
+double
+MissProfile::mispredictRate() const
+{
+    return safeRatio(static_cast<double>(mispredictions),
+                     static_cast<double>(branches));
+}
+
+double
+MissProfile::instsBetweenMispredicts() const
+{
+    return safeRatio(static_cast<double>(instructions),
+                     static_cast<double>(mispredictions));
+}
+
+std::vector<double>
+overlapGroupFractions(const std::vector<std::uint32_t> &gaps,
+                      std::uint64_t events, std::uint64_t rob_size)
+{
+    std::vector<std::uint64_t> group_sizes;
+    if (events > 0) {
+        // gaps[k] is the gap before event k+1; the first event opens
+        // the first group. A later event joins the group only while
+        // it is within rob_size instructions of the group's *first*
+        // member — the ROB can only hold that many instructions
+        // behind the stalled one (Figure 13), so a long chain of
+        // closely spaced events still splits into ROB-sized groups.
+        std::uint64_t current = 1;
+        std::uint64_t span = 0;
+        for (std::uint32_t gap : gaps) {
+            if (span + gap < rob_size) {
+                ++current;
+                span += gap;
+            } else {
+                group_sizes.push_back(current);
+                current = 1;
+                span = 0;
+            }
+        }
+        group_sizes.push_back(current);
+    }
+
+    std::uint64_t max_group = 1;
+    for (std::uint64_t g : group_sizes)
+        max_group = std::max(max_group, g);
+
+    std::vector<double> fractions(max_group, 0.0);
+    if (events == 0)
+        return fractions;
+    // Normalize by the events covered by the gap list (gaps + 1), so
+    // the distribution always sums to one even if a caller supplies a
+    // partial gap record.
+    double covered = 0.0;
+    for (std::uint64_t g : group_sizes)
+        covered += static_cast<double>(g);
+    for (std::uint64_t g : group_sizes) {
+        // A group of size g contains g events; f weights by event.
+        fractions[g - 1] += static_cast<double>(g) / covered;
+    }
+    return fractions;
+}
+
+double
+overlapFactor(const std::vector<std::uint32_t> &gaps,
+              std::uint64_t events, std::uint64_t rob_size)
+{
+    if (events == 0)
+        return 1.0;
+    const std::vector<double> f =
+        overlapGroupFractions(gaps, events, rob_size);
+    double factor = 0.0;
+    for (std::size_t i = 0; i < f.size(); ++i)
+        factor += f[i] / static_cast<double>(i + 1);
+    return factor;
+}
+
+std::vector<double>
+MissProfile::ldmGroupFractions(std::uint64_t rob_size) const
+{
+    return overlapGroupFractions(ldmGaps, longLoadMisses, rob_size);
+}
+
+double
+MissProfile::ldmOverlapFactor(std::uint64_t rob_size) const
+{
+    return overlapFactor(ldmGaps, longLoadMisses, rob_size);
+}
+
+double
+MissProfile::dtlbLoadMissesPerInst() const
+{
+    return safeRatio(static_cast<double>(dtlbLoadMisses),
+                     static_cast<double>(instructions));
+}
+
+double
+MissProfile::dtlbOverlapFactor(std::uint64_t rob_size) const
+{
+    return overlapFactor(dtlbGaps, dtlbLoadMisses, rob_size);
+}
+
+MissProfilerEngine::MissProfilerEngine(const ProfilerConfig &config)
+    : config_(config), hierarchy_(config.hierarchy)
+{
+    predictor_ = makePredictor(config.predictor,
+                               config.predictorEntries);
+    if (config.dtlb.enabled)
+        dtlb_ = std::make_unique<Tlb>(config.dtlb);
+}
+
+MissProfilerEngine::~MissProfilerEngine() = default;
+
+MissProfile
+MissProfilerEngine::profileRange(const Trace &trace,
+                                 std::uint64_t begin,
+                                 std::uint64_t end)
+{
+    fosm_assert(begin <= end && end <= trace.size(),
+                "profileRange bounds out of range");
+
+    MissProfile profile;
+    profile.instructions = end - begin;
+
+    std::array<std::uint64_t, numInstClasses> class_counts{};
+    double latency_sum = 0.0;
+    std::int64_t last_mispredict = -1;
+    std::int64_t last_icache_miss = -1;
+    std::int64_t last_ldm = -1;
+    std::int64_t last_dtlb = -1;
+
+    for (std::uint64_t i = begin; i < end; ++i) {
+        const InstRecord &inst = trace[i];
+        ++class_counts[static_cast<std::size_t>(inst.cls)];
+
+        // Instruction fetch path.
+        const AccessResult ifetch = hierarchy_.fetchInst(inst.pc);
+        if (ifetch.isL1Miss()) {
+            ++profile.icacheL1Misses;
+            if (last_icache_miss >= 0) {
+                profile.icacheMissGap.add(static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(i) - last_icache_miss));
+            }
+            last_icache_miss = static_cast<std::int64_t>(i);
+            if (ifetch.isL2Miss())
+                ++profile.icacheL2Misses;
+        }
+
+        // Execution latency contribution (Little's law input).
+        Cycle lat = config_.latency.latencyFor(inst.cls);
+
+        // Data TLB path (future-work 4): translate before the cache.
+        if (dtlb_ && inst.isMem()) {
+            if (!dtlb_->access(inst.effAddr)) {
+                if (inst.isLoad()) {
+                    ++profile.dtlbLoadMisses;
+                    if (last_dtlb >= 0) {
+                        profile.dtlbGaps.push_back(
+                            static_cast<std::uint32_t>(
+                                std::min<std::int64_t>(
+                                    static_cast<std::int64_t>(i) -
+                                        last_dtlb,
+                                    0x7fffffff)));
+                    }
+                    last_dtlb = static_cast<std::int64_t>(i);
+                } else {
+                    ++profile.dtlbStoreMisses;
+                }
+            }
+        }
+
+        // Data path.
+        if (inst.isLoad()) {
+            ++profile.loads;
+            const AccessResult access =
+                hierarchy_.accessData(inst.effAddr);
+            if (access.level == HitLevel::L2) {
+                ++profile.shortLoadMisses;
+                // Short miss: serviced like a long-latency FU op.
+                lat = config_.latency.loadHit +
+                      config_.hierarchy.l2Latency;
+            } else if (access.level == HitLevel::Memory) {
+                ++profile.longLoadMisses;
+                if (last_ldm >= 0) {
+                    profile.ldmGaps.push_back(
+                        static_cast<std::uint32_t>(
+                            std::min<std::int64_t>(
+                                static_cast<std::int64_t>(i) -
+                                    last_ldm,
+                                0x7fffffff)));
+                }
+                last_ldm = static_cast<std::int64_t>(i);
+                // The long-miss delay is charged by the D-miss
+                // penalty model, not by Little's law.
+            }
+        } else if (inst.isStore()) {
+            ++profile.stores;
+            const AccessResult access =
+                hierarchy_.accessData(inst.effAddr);
+            if (access.isL1Miss())
+                ++profile.storeMisses;
+        }
+
+        latency_sum += static_cast<double>(lat);
+
+        // Branch path.
+        if (inst.isBranch()) {
+            ++profile.branches;
+            const bool correct = predictor_->predictAndUpdate(
+                inst.pc, inst.branchTaken);
+            if (!correct) {
+                ++profile.mispredictions;
+                if (last_mispredict >= 0) {
+                    profile.mispredictGap.add(
+                        static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(i) -
+                            last_mispredict));
+                }
+                last_mispredict = static_cast<std::int64_t>(i);
+            }
+        }
+    }
+
+    profile.avgLatency = safeRatio(
+        latency_sum, static_cast<double>(profile.instructions));
+    for (std::size_t c = 0; c < numInstClasses; ++c) {
+        profile.mix.fraction[c] =
+            safeRatio(static_cast<double>(class_counts[c]),
+                      static_cast<double>(profile.instructions));
+    }
+    return profile;
+}
+
+MissProfile
+profileTrace(const Trace &trace, const ProfilerConfig &config)
+{
+    MissProfilerEngine engine(config);
+    return engine.profileRange(trace, 0, trace.size());
+}
+
+} // namespace fosm

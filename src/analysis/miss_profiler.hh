@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Functional miss-event profiler: one trace-driven pass through the
+ * cache hierarchy and branch predictor that collects every statistic
+ * the first-order model consumes (paper Section 5, step 5):
+ *
+ *  - branch misprediction counts and the gaps between mispredictions
+ *  - instruction cache miss counts per level
+ *  - data cache miss counts, split into short (L1 miss, L2 hit) and
+ *    long (L2 miss) load misses
+ *  - gaps between successive long load misses, from which the
+ *    group-size distribution f_LDM(i) of equation (8) is derived for
+ *    any ROB size
+ *  - the average functional-unit latency L including short-miss
+ *    latency (Section 4.3 treats short misses as long-latency
+ *    functional units, folding them into Little's law)
+ *
+ * This is deliberately *not* a timing simulation: the whole point of
+ * the paper is that these inputs come from fast functional analysis.
+ */
+
+#ifndef FOSM_ANALYSIS_MISS_PROFILER_HH
+#define FOSM_ANALYSIS_MISS_PROFILER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "cache/hierarchy.hh"
+#include "cache/tlb.hh"
+#include "common/stats.hh"
+#include "trace/latency.hh"
+#include "trace/mix.hh"
+#include "trace/trace.hh"
+
+namespace fosm {
+
+/** Everything the analytical model needs about one workload. */
+struct MissProfile
+{
+    std::uint64_t instructions = 0;
+
+    /** Dynamic operation mix (Section 7 future-work 1 input). */
+    InstMix mix;
+
+    // Branch statistics.
+    std::uint64_t branches = 0;
+    std::uint64_t mispredictions = 0;
+    /** Gap in dynamic instructions between successive mispredictions. */
+    Histogram mispredictGap{4096};
+
+    // Instruction cache statistics (one access per instruction; the
+    // miss *count* is what the model consumes).
+    std::uint64_t icacheL1Misses = 0;
+    std::uint64_t icacheL2Misses = 0;
+    /** Gap in instructions between successive L1I misses. */
+    Histogram icacheMissGap{4096};
+
+    // Data cache statistics. Only loads feed the penalty model;
+    // stores are assumed buffered (they never stall retirement).
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t shortLoadMisses = 0;
+    std::uint64_t longLoadMisses = 0;
+    std::uint64_t storeMisses = 0;
+
+    /** Raw gaps (dynamic instructions) between successive long load
+     *  misses, kept whole so f_LDM can be computed for any rob_size. */
+    std::vector<std::uint32_t> ldmGaps;
+
+    // Data-TLB statistics (Section 7 future-work 4; populated only
+    // when the profiling pass enables TLB modeling).
+    std::uint64_t dtlbLoadMisses = 0;
+    std::uint64_t dtlbStoreMisses = 0;
+    /** Gaps between successive load TLB misses, as for ldmGaps. */
+    std::vector<std::uint32_t> dtlbGaps;
+
+    /** Average FU latency L including short-miss latency. */
+    double avgLatency = 0.0;
+
+    // Derived rates, all per dynamic instruction.
+    double mispredictsPerInst() const;
+    double icacheMissesPerInst() const;
+    double icacheL2MissesPerInst() const;
+    double shortLoadMissesPerInst() const;
+    double longLoadMissesPerInst() const;
+
+    /** Misprediction rate per branch (the model's probability B). */
+    double mispredictRate() const;
+
+    /** Mean dynamic instructions between mispredictions. */
+    double instsBetweenMispredicts() const;
+
+    /**
+     * The f_LDM(i) distribution of equation (8) for the given ROB
+     * size: element i-1 is the fraction of long load misses belonging
+     * to overlap groups of size i. A group collects successive long
+     * misses while they stay within rob_size instructions of the
+     * group's first miss (Figure 13's overlap condition: the ROB can
+     * only hold rob_size instructions behind the stalled load).
+     */
+    std::vector<double> ldmGroupFractions(std::uint64_t rob_size) const;
+
+    /**
+     * The average-penalty multiplier of equation (8):
+     * sum_i f_LDM(i) / i, which equals (number of miss groups) /
+     * (number of misses).
+     */
+    double ldmOverlapFactor(std::uint64_t rob_size) const;
+
+    /** Misses per instruction of load TLB walks. */
+    double dtlbLoadMissesPerInst() const;
+
+    /** Equation-(8)-style overlap factor for TLB walks. */
+    double dtlbOverlapFactor(std::uint64_t rob_size) const;
+};
+
+/**
+ * Shared grouping machinery: given the gaps between successive
+ * miss-events of one kind, the fraction of events in overlap groups
+ * of each size, where a group collects events within rob_size
+ * instructions of its first member (Figure 13's condition).
+ */
+std::vector<double>
+overlapGroupFractions(const std::vector<std::uint32_t> &gaps,
+                      std::uint64_t events, std::uint64_t rob_size);
+
+/** sum_i f(i)/i of the above = groups / events (1.0 when no events). */
+double overlapFactor(const std::vector<std::uint32_t> &gaps,
+                     std::uint64_t events, std::uint64_t rob_size);
+
+/** Configuration of the profiling pass. */
+struct ProfilerConfig
+{
+    HierarchyConfig hierarchy;
+    PredictorKind predictor = PredictorKind::GShare;
+    std::uint32_t predictorEntries = 8192;
+    LatencyConfig latency;
+    /** Data TLB (disabled by default: the paper's base machine). */
+    TlbConfig dtlb;
+};
+
+/** Run the one-pass functional profile over the trace. */
+MissProfile profileTrace(const Trace &trace,
+                         const ProfilerConfig &config = ProfilerConfig{});
+
+/**
+ * Incremental profiler: cache, predictor and TLB state persist across
+ * calls, so a trace can be profiled in segments (phase analysis)
+ * with realistic warm structures at each boundary.
+ */
+class MissProfilerEngine
+{
+  public:
+    explicit MissProfilerEngine(const ProfilerConfig &config =
+                                    ProfilerConfig{});
+    ~MissProfilerEngine();
+
+    /** Profile [begin, end) of the trace; counters start fresh but
+     *  the microarchitectural state carries over. */
+    MissProfile profileRange(const Trace &trace, std::uint64_t begin,
+                             std::uint64_t end);
+
+  private:
+    ProfilerConfig config_;
+    CacheHierarchy hierarchy_;
+    std::unique_ptr<BranchPredictor> predictor_;
+    std::unique_ptr<Tlb> dtlb_;
+};
+
+} // namespace fosm
+
+#endif // FOSM_ANALYSIS_MISS_PROFILER_HH

@@ -1,0 +1,73 @@
+#include "analysis/phase_model.hh"
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+std::vector<PhaseData>
+profilePhases(const Trace &trace, std::uint64_t phase_length,
+              const ProfilerConfig &config)
+{
+    fosm_assert(phase_length > 0, "phase length must be positive");
+
+    std::vector<PhaseData> phases;
+    MissProfilerEngine engine(config);
+
+    std::uint64_t begin = 0;
+    const std::uint64_t n = trace.size();
+    while (begin < n) {
+        std::uint64_t end = begin + phase_length;
+        // Merge a short tail into the final full segment.
+        if (end > n || n - end < phase_length / 2)
+            end = n;
+
+        PhaseData phase;
+        phase.begin = begin;
+        phase.end = end;
+        phase.profile = engine.profileRange(trace, begin, end);
+
+        // Segment-local IW curve: the characteristic itself can move
+        // between phases (different dependence structure).
+        const Trace slice = sliceTrace(trace, begin, end);
+        WindowSimConfig wconfig;
+        wconfig.unitLatency = true;
+        phase.iwPoints =
+            measureIwCurve(slice, {4, 8, 16, 32, 64}, wconfig);
+
+        phases.push_back(std::move(phase));
+        begin = end;
+    }
+    return phases;
+}
+
+Trace
+sliceTrace(const Trace &trace, std::uint64_t begin, std::uint64_t end)
+{
+    fosm_assert(begin <= end && end <= trace.size(),
+                "slice bounds out of range");
+    Trace slice(trace.name() + "-slice");
+    slice.reserve(end - begin);
+    for (std::uint64_t i = begin; i < end; ++i)
+        slice.append(trace[i]);
+    return slice;
+}
+
+Trace
+concatTraces(const std::vector<const Trace *> &parts,
+             const std::string &name)
+{
+    Trace out(name);
+    std::size_t total = 0;
+    for (const Trace *part : parts) {
+        fosm_assert(part != nullptr, "null trace part");
+        total += part->size();
+    }
+    out.reserve(total);
+    for (const Trace *part : parts) {
+        for (const InstRecord &inst : *part)
+            out.append(inst);
+    }
+    return out;
+}
+
+} // namespace fosm

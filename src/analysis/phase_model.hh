@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Phase-aware modeling (paper Section 7, future-work 1: "it may be
+ * necessary to consider program phases, and model each of them
+ * separately - something we have not had to do thus far").
+ *
+ * A single average profile mis-models a program whose behaviour
+ * alternates (e.g. a compute phase and a pointer-chasing phase): the
+ * model is non-linear in its inputs, so CPI(avg(stats)) !=
+ * avg(CPI(stats)). Phase modeling segments the trace, derives a
+ * profile and IW characteristic per segment, evaluates equation (1)
+ * per segment, and combines the per-phase CPIs weighted by
+ * instruction count.
+ */
+
+#ifndef FOSM_ANALYSIS_PHASE_MODEL_HH
+#define FOSM_ANALYSIS_PHASE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/miss_profiler.hh"
+#include "iw/iw_characteristic.hh"
+#include "trace/trace.hh"
+
+namespace fosm {
+
+/** One trace segment's worth of model inputs. */
+struct PhaseData
+{
+    /** First instruction index of the segment. */
+    std::uint64_t begin = 0;
+    /** One past the last instruction index. */
+    std::uint64_t end = 0;
+    MissProfile profile;
+    /** Unit-latency IW points measured on this segment. */
+    std::vector<IwPoint> iwPoints;
+};
+
+/**
+ * Slice the trace into contiguous segments of the given length (the
+ * last segment keeps the remainder; segments shorter than half the
+ * length merge into their predecessor) and profile each one. Cache
+ * and predictor state carries across segment boundaries, as it would
+ * in the real program.
+ */
+std::vector<PhaseData>
+profilePhases(const Trace &trace, std::uint64_t phase_length,
+              const ProfilerConfig &config = ProfilerConfig{});
+
+/** Copy a [begin, end) slice of a trace (for segment-local analyses). */
+Trace sliceTrace(const Trace &trace, std::uint64_t begin,
+                 std::uint64_t end);
+
+/**
+ * Concatenate traces into one, as a program with distinct phases.
+ * PCs are kept as-is (phases of one program share its code).
+ */
+Trace concatTraces(const std::vector<const Trace *> &parts,
+                   const std::string &name);
+
+} // namespace fosm
+
+#endif // FOSM_ANALYSIS_PHASE_MODEL_HH

@@ -1,0 +1,28 @@
+#include "branch/bimodal.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+BimodalPredictor::BimodalPredictor(std::uint32_t entries)
+    : table_(entries), indexMask_(entries - 1)
+{
+    fosm_assert(std::has_single_bit(entries),
+                "bimodal table size must be a power of two");
+}
+
+bool
+BimodalPredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    TwoBitCounter &ctr =
+        table_[static_cast<std::uint32_t>(pc >> 2) & indexMask_];
+    const bool predicted = ctr.taken();
+    ctr.update(taken);
+    const bool correct = predicted == taken;
+    record(correct);
+    return correct;
+}
+
+} // namespace fosm

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Bimodal predictor: PC-indexed table of two-bit counters. Provided
+ * as a weaker comparison point for ablation against gShare.
+ */
+
+#ifndef FOSM_BRANCH_BIMODAL_HH
+#define FOSM_BRANCH_BIMODAL_HH
+
+#include <vector>
+
+#include "branch/predictor.hh"
+
+namespace fosm {
+
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    /** @param entries table size; must be a power of two. */
+    explicit BimodalPredictor(std::uint32_t entries);
+
+    bool predictAndUpdate(Addr pc, bool taken) override;
+    std::string name() const override { return "bimodal"; }
+
+  private:
+    std::vector<TwoBitCounter> table_;
+    std::uint32_t indexMask_;
+};
+
+} // namespace fosm
+
+#endif // FOSM_BRANCH_BIMODAL_HH

@@ -1,0 +1,36 @@
+#include "branch/gshare.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+GSharePredictor::GSharePredictor(std::uint32_t entries)
+    : table_(entries),
+      indexMask_(entries - 1),
+      historyBits_(static_cast<std::uint32_t>(std::countr_zero(entries)))
+{
+    fosm_assert(std::has_single_bit(entries),
+                "gshare table size must be a power of two");
+}
+
+bool
+GSharePredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    // Branch PCs are word-aligned; drop the low bits before hashing.
+    const std::uint32_t index =
+        (static_cast<std::uint32_t>(pc >> 2) ^ history_) & indexMask_;
+    TwoBitCounter &ctr = table_[index];
+
+    const bool predicted = ctr.taken();
+    ctr.update(taken);
+    history_ = ((history_ << 1) | (taken ? 1u : 0u)) &
+               ((1u << historyBits_) - 1u);
+
+    const bool correct = predicted == taken;
+    record(correct);
+    return correct;
+}
+
+} // namespace fosm

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * gShare direction predictor (McFarling): global history XORed with
+ * the branch PC indexes a table of two-bit counters. The paper's
+ * baseline predictor is an 8K-entry gShare.
+ */
+
+#ifndef FOSM_BRANCH_GSHARE_HH
+#define FOSM_BRANCH_GSHARE_HH
+
+#include <vector>
+
+#include "branch/predictor.hh"
+
+namespace fosm {
+
+class GSharePredictor : public BranchPredictor
+{
+  public:
+    /** @param entries table size; must be a power of two. */
+    explicit GSharePredictor(std::uint32_t entries);
+
+    bool predictAndUpdate(Addr pc, bool taken) override;
+    std::string name() const override { return "gshare"; }
+
+  private:
+    std::vector<TwoBitCounter> table_;
+    std::uint32_t indexMask_;
+    std::uint32_t historyBits_;
+    std::uint32_t history_ = 0;
+};
+
+} // namespace fosm
+
+#endif // FOSM_BRANCH_GSHARE_HH

@@ -1,0 +1,12 @@
+#include "branch/ideal.hh"
+
+namespace fosm {
+
+bool
+IdealPredictor::predictAndUpdate(Addr, bool)
+{
+    record(true);
+    return true;
+}
+
+} // namespace fosm

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Ideal (oracle) predictor: never mispredicts. Used by the
+ * miss-event isolation experiments of Figure 2 and by idealized
+ * simulator configurations.
+ */
+
+#ifndef FOSM_BRANCH_IDEAL_HH
+#define FOSM_BRANCH_IDEAL_HH
+
+#include "branch/predictor.hh"
+
+namespace fosm {
+
+class IdealPredictor : public BranchPredictor
+{
+  public:
+    bool predictAndUpdate(Addr pc, bool taken) override;
+    std::string name() const override { return "ideal"; }
+};
+
+} // namespace fosm
+
+#endif // FOSM_BRANCH_IDEAL_HH

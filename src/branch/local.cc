@@ -1,0 +1,41 @@
+#include "branch/local.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+LocalPredictor::LocalPredictor(std::uint32_t entries)
+    : pattern_(entries),
+      history_(std::max<std::uint32_t>(entries / 8, 16), 0),
+      patternMask_(entries - 1),
+      historyMask_(static_cast<std::uint32_t>(history_.size()) - 1),
+      historyBits_(static_cast<std::uint32_t>(std::countr_zero(entries)))
+{
+    fosm_assert(std::has_single_bit(entries),
+                "local pattern table size must be a power of two");
+    fosm_assert(std::has_single_bit(
+                    static_cast<std::uint32_t>(history_.size())),
+                "local history table size must be a power of two");
+}
+
+bool
+LocalPredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    std::uint32_t &hist =
+        history_[static_cast<std::uint32_t>(pc >> 2) & historyMask_];
+    TwoBitCounter &ctr = pattern_[hist & patternMask_];
+
+    const bool predicted = ctr.taken();
+    ctr.update(taken);
+    hist = ((hist << 1) | (taken ? 1u : 0u)) &
+           ((1u << historyBits_) - 1u);
+
+    const bool correct = predicted == taken;
+    record(correct);
+    return correct;
+}
+
+} // namespace fosm

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Two-level local-history predictor: a PC-indexed table of per-branch
+ * history registers selects a shared pattern table of two-bit
+ * counters. Captures per-branch periodic behaviour (loop patterns)
+ * that bimodal misses.
+ */
+
+#ifndef FOSM_BRANCH_LOCAL_HH
+#define FOSM_BRANCH_LOCAL_HH
+
+#include <vector>
+
+#include "branch/predictor.hh"
+
+namespace fosm {
+
+class LocalPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param entries pattern-table size; must be a power of two.
+     * The history table has entries/8 registers of log2(entries) bits.
+     */
+    explicit LocalPredictor(std::uint32_t entries);
+
+    bool predictAndUpdate(Addr pc, bool taken) override;
+    std::string name() const override { return "local"; }
+
+  private:
+    std::vector<TwoBitCounter> pattern_;
+    std::vector<std::uint32_t> history_;
+    std::uint32_t patternMask_;
+    std::uint32_t historyMask_;
+    std::uint32_t historyBits_;
+};
+
+} // namespace fosm
+
+#endif // FOSM_BRANCH_LOCAL_HH

@@ -1,0 +1,58 @@
+#include "branch/predictor.hh"
+
+#include "branch/bimodal.hh"
+#include "branch/gshare.hh"
+#include "branch/ideal.hh"
+#include "branch/local.hh"
+#include "branch/tournament.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace fosm {
+
+double
+PredictorStats::mispredictRate() const
+{
+    return safeRatio(static_cast<double>(mispredictions),
+                     static_cast<double>(predictions));
+}
+
+void
+BranchPredictor::record(bool correct)
+{
+    ++stats_.predictions;
+    if (!correct)
+        ++stats_.mispredictions;
+}
+
+void
+TwoBitCounter::update(bool outcome)
+{
+    if (outcome) {
+        if (value_ < 3)
+            ++value_;
+    } else {
+        if (value_ > 0)
+            --value_;
+    }
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(PredictorKind kind, std::uint32_t entries)
+{
+    switch (kind) {
+      case PredictorKind::GShare:
+        return std::make_unique<GSharePredictor>(entries);
+      case PredictorKind::Bimodal:
+        return std::make_unique<BimodalPredictor>(entries);
+      case PredictorKind::Local:
+        return std::make_unique<LocalPredictor>(entries);
+      case PredictorKind::Tournament:
+        return std::make_unique<TournamentPredictor>(entries);
+      case PredictorKind::Ideal:
+        return std::make_unique<IdealPredictor>();
+    }
+    fosm_panic("unknown predictor kind");
+}
+
+} // namespace fosm

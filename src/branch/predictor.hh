@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Conditional branch direction predictor interface. The paper's
+ * baseline uses an 8K-entry gShare (Section 1.1); only the direction
+ * misprediction probability B feeds the model, so no BTB is modeled.
+ */
+
+#ifndef FOSM_BRANCH_PREDICTOR_HH
+#define FOSM_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace fosm {
+
+/** Prediction accuracy counters. */
+struct PredictorStats
+{
+    std::uint64_t predictions = 0;
+    std::uint64_t mispredictions = 0;
+
+    double mispredictRate() const;
+};
+
+/**
+ * A direction predictor. predictAndUpdate() performs the prediction
+ * for a branch at pc, compares with the actual outcome, trains the
+ * structures, and reports whether the prediction was correct —
+ * the usual trace-driven predictor protocol.
+ */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /**
+     * Predict the branch at pc, train on the actual outcome.
+     * @return true iff the prediction matched `taken`.
+     */
+    virtual bool predictAndUpdate(Addr pc, bool taken) = 0;
+
+    /** Predictor name for reports. */
+    virtual std::string name() const = 0;
+
+    const PredictorStats &stats() const { return stats_; }
+    void resetStats() { stats_ = PredictorStats{}; }
+
+  protected:
+    /** Record one prediction outcome in the shared counters. */
+    void record(bool correct);
+
+    PredictorStats stats_;
+};
+
+/** Saturating two-bit counter helper shared by the table predictors. */
+class TwoBitCounter
+{
+  public:
+    /** Predicted direction: counter in the taken half. */
+    bool taken() const { return value_ >= 2; }
+
+    /** Train toward the actual outcome. */
+    void update(bool outcome);
+
+    /** Raw state in [0, 3]; initialised to weakly not-taken. */
+    std::uint8_t raw() const { return value_; }
+
+  private:
+    std::uint8_t value_ = 1;
+};
+
+/** Available predictor kinds for configuration. */
+enum class PredictorKind { GShare, Bimodal, Local, Tournament, Ideal };
+
+/**
+ * Build a predictor. @param entries number of two-bit counters for the
+ * table-based kinds (the paper's baseline is 8192).
+ */
+std::unique_ptr<BranchPredictor>
+makePredictor(PredictorKind kind, std::uint32_t entries = 8192);
+
+} // namespace fosm
+
+#endif // FOSM_BRANCH_PREDICTOR_HH

@@ -1,0 +1,23 @@
+#include "branch/synthetic.hh"
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+SyntheticPredictor::SyntheticPredictor(double mispredict_rate,
+                                       std::uint64_t seed)
+    : rate_(mispredict_rate), rng_(seed)
+{
+    fosm_assert(mispredict_rate >= 0.0 && mispredict_rate <= 1.0,
+                "misprediction rate must be a probability");
+}
+
+bool
+SyntheticPredictor::predictAndUpdate(Addr, bool)
+{
+    const bool correct = !rng_.bernoulli(rate_);
+    record(correct);
+    return correct;
+}
+
+} // namespace fosm

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Synthetic predictor: mispredicts each branch independently with a
+ * configured probability. This is how statistical simulation
+ * [Carl & Smith; Nussbaum & Smith] drives its fast simulator - the
+ * measured misprediction *rate* is injected rather than re-emerging
+ * from a real predictor on the synthetic trace.
+ */
+
+#ifndef FOSM_BRANCH_SYNTHETIC_HH
+#define FOSM_BRANCH_SYNTHETIC_HH
+
+#include "branch/predictor.hh"
+#include "common/rng.hh"
+
+namespace fosm {
+
+class SyntheticPredictor : public BranchPredictor
+{
+  public:
+    /** @param mispredict_rate probability of mispredicting a branch. */
+    explicit SyntheticPredictor(double mispredict_rate,
+                                std::uint64_t seed = 0xB7A9C4);
+
+    bool predictAndUpdate(Addr pc, bool taken) override;
+    std::string name() const override { return "synthetic"; }
+
+  private:
+    double rate_;
+    Rng rng_;
+};
+
+} // namespace fosm
+
+#endif // FOSM_BRANCH_SYNTHETIC_HH

@@ -1,0 +1,42 @@
+#include "branch/tournament.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+TournamentPredictor::TournamentPredictor(std::uint32_t entries)
+    : chooser_(entries),
+      chooserMask_(entries - 1),
+      gshare_(entries),
+      bimodal_(entries)
+{
+    fosm_assert(std::has_single_bit(entries),
+                "tournament table size must be a power of two");
+}
+
+bool
+TournamentPredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    TwoBitCounter &choice =
+        chooser_[static_cast<std::uint32_t>(pc >> 2) & chooserMask_];
+    const bool trust_gshare = choice.taken();
+
+    // Each component predicts and trains on every branch; their own
+    // stats record component accuracy.
+    const bool gshare_correct = gshare_.predictAndUpdate(pc, taken);
+    const bool bimodal_correct = bimodal_.predictAndUpdate(pc, taken);
+
+    // The chooser trains toward the component that was right when
+    // they disagree.
+    if (gshare_correct != bimodal_correct)
+        choice.update(gshare_correct);
+
+    const bool correct =
+        trust_gshare ? gshare_correct : bimodal_correct;
+    record(correct);
+    return correct;
+}
+
+} // namespace fosm

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Tournament (hybrid) predictor: a gShare and a bimodal component
+ * with a PC-indexed chooser table of two-bit counters that learns
+ * which component predicts each branch better - the Alpha 21264
+ * style meta-predictor. Provided as the strongest comparison point
+ * in the predictor study.
+ */
+
+#ifndef FOSM_BRANCH_TOURNAMENT_HH
+#define FOSM_BRANCH_TOURNAMENT_HH
+
+#include "branch/bimodal.hh"
+#include "branch/gshare.hh"
+#include "branch/predictor.hh"
+
+namespace fosm {
+
+class TournamentPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param entries size of each component table and the chooser;
+     * must be a power of two.
+     */
+    explicit TournamentPredictor(std::uint32_t entries);
+
+    bool predictAndUpdate(Addr pc, bool taken) override;
+    std::string name() const override { return "tournament"; }
+
+  private:
+    /** Chooser state: taken() means "trust gShare". */
+    std::vector<TwoBitCounter> chooser_;
+    std::uint32_t chooserMask_;
+    GSharePredictor gshare_;
+    BimodalPredictor bimodal_;
+};
+
+} // namespace fosm
+
+#endif // FOSM_BRANCH_TOURNAMENT_HH

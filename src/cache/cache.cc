@@ -1,0 +1,124 @@
+#include "cache/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace fosm {
+
+std::uint32_t
+CacheConfig::sets() const
+{
+    fosm_assert(lineBytes > 0 && assoc > 0 && sizeBytes > 0,
+                "cache geometry fields must be positive");
+    const std::uint64_t line_count = sizeBytes / lineBytes;
+    fosm_assert(line_count * lineBytes == sizeBytes,
+                "cache size must be a multiple of the line size");
+    fosm_assert(line_count % assoc == 0,
+                "line count must be a multiple of associativity");
+    return static_cast<std::uint32_t>(line_count / assoc);
+}
+
+double
+CacheStats::missRate() const
+{
+    return safeRatio(static_cast<double>(misses),
+                     static_cast<double>(accesses));
+}
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config),
+      sets_(config.sets()),
+      lineShift_(static_cast<std::uint32_t>(
+          std::countr_zero(config.lineBytes))),
+      repl_(makeReplacementPolicy(config.policy, sets_, config.assoc)),
+      lines_(static_cast<std::size_t>(sets_) * config.assoc)
+{
+    fosm_assert(std::has_single_bit(config.lineBytes),
+                "line size must be a power of two");
+    fosm_assert(std::has_single_bit(sets_),
+                "set count must be a power of two");
+}
+
+std::uint32_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr >> lineShift_) &
+                                      (sets_ - 1));
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+Cache::Line &
+Cache::lineAt(std::uint32_t set, std::uint32_t way)
+{
+    return lines_[static_cast<std::size_t>(set) * config_.assoc + way];
+}
+
+const Cache::Line &
+Cache::lineAt(std::uint32_t set, std::uint32_t way) const
+{
+    return lines_[static_cast<std::size_t>(set) * config_.assoc + way];
+}
+
+bool
+Cache::access(Addr addr)
+{
+    ++stats_.accesses;
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+
+    for (std::uint32_t way = 0; way < config_.assoc; ++way) {
+        Line &line = lineAt(set, way);
+        if (line.valid && line.tag == tag) {
+            repl_->touch(set, way);
+            return true;
+        }
+    }
+
+    ++stats_.misses;
+    // Prefer an invalid way before evicting.
+    std::uint32_t victim = config_.assoc;
+    for (std::uint32_t way = 0; way < config_.assoc; ++way) {
+        if (!lineAt(set, way).valid) {
+            victim = way;
+            break;
+        }
+    }
+    if (victim == config_.assoc)
+        victim = repl_->victim(set);
+
+    Line &line = lineAt(set, victim);
+    line.tag = tag;
+    line.valid = true;
+    repl_->fill(set, victim);
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (std::uint32_t way = 0; way < config_.assoc; ++way) {
+        const Line &line = lineAt(set, way);
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines_)
+        line.valid = false;
+    repl_ = makeReplacementPolicy(config_.policy, sets_, config_.assoc);
+}
+
+} // namespace fosm

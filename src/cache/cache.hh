@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Set-associative cache model used for functional (trace-driven)
+ * simulation of hit/miss behaviour. Timing is not modeled here; the
+ * hierarchy and the detailed simulator attach latencies to the
+ * hit/miss outcomes.
+ */
+
+#ifndef FOSM_CACHE_CACHE_HH
+#define FOSM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "common/types.hh"
+
+namespace fosm {
+
+/** Geometry and policy of one cache. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    /** Total capacity in bytes; must be a power of two. */
+    std::uint64_t sizeBytes = 4 * 1024;
+    /** Associativity (ways per set). */
+    std::uint32_t assoc = 4;
+    /** Line size in bytes; must be a power of two. */
+    std::uint32_t lineBytes = 128;
+    ReplPolicyKind policy = ReplPolicyKind::Lru;
+
+    /** Number of sets implied by the geometry. */
+    std::uint32_t sets() const;
+};
+
+/** Hit/miss counters of one cache. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    double missRate() const;
+};
+
+/**
+ * Functional set-associative cache. access() returns hit/miss and
+ * allocates the line on a miss (allocate-on-miss for both reads and
+ * writes, matching the paper's simple hierarchy).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /** Access the line containing addr; returns true on a hit. */
+    bool access(Addr addr);
+
+    /** Probe without updating state; returns true if resident. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate all lines and reset replacement state. */
+    void flush();
+
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /** Reset counters but keep cache contents (for warmup). */
+    void resetStats() { stats_ = CacheStats{}; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+    };
+
+    CacheConfig config_;
+    std::uint32_t sets_;
+    std::uint32_t lineShift_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+    std::vector<Line> lines_;
+    CacheStats stats_;
+
+    std::uint32_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Line &lineAt(std::uint32_t set, std::uint32_t way);
+    const Line &lineAt(std::uint32_t set, std::uint32_t way) const;
+};
+
+} // namespace fosm
+
+#endif // FOSM_CACHE_CACHE_HH

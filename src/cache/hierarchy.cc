@@ -1,0 +1,60 @@
+#include "cache/hierarchy.hh"
+
+namespace fosm {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
+    : config_(config),
+      l1i_(config.l1i),
+      l1d_(config.l1d),
+      l2_(config.l2)
+{
+}
+
+AccessResult
+CacheHierarchy::accessThrough(Cache &l1, Addr addr)
+{
+    AccessResult result;
+    if (l1.access(addr)) {
+        result.level = HitLevel::L1;
+        result.latency = config_.l1Latency;
+        return result;
+    }
+    if (l2_.access(addr)) {
+        result.level = HitLevel::L2;
+        result.latency = config_.l1Latency + config_.l2Latency;
+        return result;
+    }
+    result.level = HitLevel::Memory;
+    result.latency = config_.l1Latency + config_.memLatency;
+    return result;
+}
+
+AccessResult
+CacheHierarchy::fetchInst(Addr pc)
+{
+    return accessThrough(l1i_, pc);
+}
+
+AccessResult
+CacheHierarchy::accessData(Addr addr)
+{
+    return accessThrough(l1d_, addr);
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    l1i_.resetStats();
+    l1d_.resetStats();
+    l2_.resetStats();
+}
+
+void
+CacheHierarchy::flush()
+{
+    l1i_.flush();
+    l1d_.flush();
+    l2_.flush();
+}
+
+} // namespace fosm

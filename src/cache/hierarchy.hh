@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Three-cache hierarchy of the paper's baseline machine (Section 1.1):
+ * split L1 instruction and data caches backed by a unified L2. An
+ * access reports the level that served it and the corresponding
+ * latency; an L2 miss is a "long" miss served by memory (the paper's
+ * DeltaD), an L1 miss that hits in L2 is a "short" miss (DeltaI for
+ * instructions; treated as a long-latency functional unit for loads).
+ */
+
+#ifndef FOSM_CACHE_HIERARCHY_HH
+#define FOSM_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "common/types.hh"
+
+namespace fosm {
+
+/** Which level of the hierarchy served an access. */
+enum class HitLevel : std::uint8_t { L1, L2, Memory };
+
+/** Outcome of one hierarchy access. */
+struct AccessResult
+{
+    HitLevel level = HitLevel::L1;
+    /** Total access latency in cycles, including the L1 hit time. */
+    Cycle latency = 1;
+
+    bool isL1Miss() const { return level != HitLevel::L1; }
+    bool isL2Miss() const { return level == HitLevel::Memory; }
+};
+
+/** Full hierarchy configuration: geometries plus level latencies. */
+struct HierarchyConfig
+{
+    CacheConfig l1i{"l1i", 4 * 1024, 4, 128, ReplPolicyKind::Lru};
+    CacheConfig l1d{"l1d", 4 * 1024, 4, 128, ReplPolicyKind::Lru};
+    CacheConfig l2{"l2", 512 * 1024, 4, 128, ReplPolicyKind::Lru};
+
+    /** L1 hit latency in cycles. */
+    Cycle l1Latency = 1;
+    /** L2 hit latency in cycles: the paper's DeltaI = 8. */
+    Cycle l2Latency = 8;
+    /** Memory latency in cycles: the paper's DeltaD = 200. */
+    Cycle memLatency = 200;
+};
+
+/**
+ * The L1I/L1D/L2 hierarchy. Inclusive fill path: an L1 miss always
+ * accesses and fills L2, then fills L1.
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyConfig &config);
+
+    /** Instruction fetch of the line containing pc. */
+    AccessResult fetchInst(Addr pc);
+
+    /** Data load/store access. Stores allocate like loads. */
+    AccessResult accessData(Addr addr);
+
+    const HierarchyConfig &config() const { return config_; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+
+    /** Reset hit/miss counters on every level. */
+    void resetStats();
+
+    /** Invalidate every level. */
+    void flush();
+
+  private:
+    HierarchyConfig config_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+
+    AccessResult accessThrough(Cache &l1, Addr addr);
+};
+
+} // namespace fosm
+
+#endif // FOSM_CACHE_HIERARCHY_HH

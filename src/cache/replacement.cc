@@ -1,0 +1,110 @@
+#include "cache/replacement.hh"
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+LruPolicy::LruPolicy(std::uint32_t sets, std::uint32_t ways)
+    : ways_(ways),
+      lastUse_(static_cast<std::size_t>(sets) * ways, 0)
+{
+}
+
+void
+LruPolicy::touch(std::uint32_t set, std::uint32_t way)
+{
+    lastUse_[static_cast<std::size_t>(set) * ways_ + way] = ++tick_;
+}
+
+void
+LruPolicy::fill(std::uint32_t set, std::uint32_t way)
+{
+    touch(set, way);
+}
+
+std::uint32_t
+LruPolicy::victim(std::uint32_t set)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    std::uint32_t best = 0;
+    std::uint64_t bestTick = lastUse_[base];
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+        if (lastUse_[base + w] < bestTick) {
+            bestTick = lastUse_[base + w];
+            best = w;
+        }
+    }
+    return best;
+}
+
+FifoPolicy::FifoPolicy(std::uint32_t sets, std::uint32_t ways)
+    : ways_(ways),
+      fillTime_(static_cast<std::size_t>(sets) * ways, 0)
+{
+}
+
+void
+FifoPolicy::touch(std::uint32_t, std::uint32_t)
+{
+    // Hits do not affect FIFO order.
+}
+
+void
+FifoPolicy::fill(std::uint32_t set, std::uint32_t way)
+{
+    fillTime_[static_cast<std::size_t>(set) * ways_ + way] = ++tick_;
+}
+
+std::uint32_t
+FifoPolicy::victim(std::uint32_t set)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    std::uint32_t best = 0;
+    std::uint64_t bestTick = fillTime_[base];
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+        if (fillTime_[base + w] < bestTick) {
+            bestTick = fillTime_[base + w];
+            best = w;
+        }
+    }
+    return best;
+}
+
+RandomPolicy::RandomPolicy(std::uint32_t, std::uint32_t ways,
+                           std::uint64_t seed)
+    : ways_(ways), rng_(seed)
+{
+}
+
+void
+RandomPolicy::touch(std::uint32_t, std::uint32_t)
+{
+}
+
+void
+RandomPolicy::fill(std::uint32_t, std::uint32_t)
+{
+}
+
+std::uint32_t
+RandomPolicy::victim(std::uint32_t)
+{
+    return static_cast<std::uint32_t>(rng_.nextBounded(ways_));
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplPolicyKind kind, std::uint32_t sets,
+                      std::uint32_t ways)
+{
+    switch (kind) {
+      case ReplPolicyKind::Lru:
+        return std::make_unique<LruPolicy>(sets, ways);
+      case ReplPolicyKind::Fifo:
+        return std::make_unique<FifoPolicy>(sets, ways);
+      case ReplPolicyKind::Random:
+        return std::make_unique<RandomPolicy>(sets, ways);
+    }
+    fosm_panic("unknown replacement policy kind");
+}
+
+} // namespace fosm

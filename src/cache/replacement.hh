@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Replacement policies for the set-associative cache model. The
+ * paper's caches are conventional 4-way set-associative structures;
+ * LRU is the default, with FIFO and random provided for ablation.
+ */
+
+#ifndef FOSM_CACHE_REPLACEMENT_HH
+#define FOSM_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace fosm {
+
+/**
+ * Per-set replacement state for one cache. Ways are identified by
+ * index within the set.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Called when (set, way) is accessed (hit or fill). */
+    virtual void touch(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** Called when (set, way) is filled with a new line. */
+    virtual void fill(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** Choose the victim way in the given set. */
+    virtual std::uint32_t victim(std::uint32_t set) = 0;
+
+    /** Human-readable policy name. */
+    virtual std::string name() const = 0;
+};
+
+/** True least-recently-used via per-way timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::uint32_t sets, std::uint32_t ways);
+
+    void touch(std::uint32_t set, std::uint32_t way) override;
+    void fill(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+    std::string name() const override { return "lru"; }
+
+  private:
+    std::uint32_t ways_;
+    std::uint64_t tick_ = 0;
+    std::vector<std::uint64_t> lastUse_;
+};
+
+/** First-in first-out: victim rotates regardless of hits. */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    FifoPolicy(std::uint32_t sets, std::uint32_t ways);
+
+    void touch(std::uint32_t set, std::uint32_t way) override;
+    void fill(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+    std::string name() const override { return "fifo"; }
+
+  private:
+    std::uint32_t ways_;
+    std::uint64_t tick_ = 0;
+    std::vector<std::uint64_t> fillTime_;
+};
+
+/** Uniform random victim selection (deterministic seed). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::uint32_t sets, std::uint32_t ways,
+                 std::uint64_t seed = 1);
+
+    void touch(std::uint32_t set, std::uint32_t way) override;
+    void fill(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+    std::string name() const override { return "random"; }
+
+  private:
+    std::uint32_t ways_;
+    Rng rng_;
+};
+
+/** Policy selector for configuration files / ablations. */
+enum class ReplPolicyKind { Lru, Fifo, Random };
+
+/** Factory for the given policy kind. */
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplPolicyKind kind, std::uint32_t sets,
+                      std::uint32_t ways);
+
+} // namespace fosm
+
+#endif // FOSM_CACHE_REPLACEMENT_HH

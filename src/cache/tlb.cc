@@ -1,0 +1,40 @@
+#include "cache/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+CacheConfig
+Tlb::asCacheConfig(const TlbConfig &config)
+{
+    fosm_assert(config.entries > 0, "TLB needs at least one entry");
+    CacheConfig cache;
+    cache.name = "dtlb";
+    // A TLB caching N page translations is a cache of N page-sized
+    // "lines": the tag/index arithmetic is identical.
+    cache.sizeBytes =
+        static_cast<std::uint64_t>(config.entries) * config.pageBytes;
+    cache.assoc = config.assoc;
+    cache.lineBytes = config.pageBytes;
+    cache.policy = ReplPolicyKind::Lru;
+    return cache;
+}
+
+Tlb::Tlb(const TlbConfig &config)
+    : config_(config), cache_(asCacheConfig(config))
+{
+}
+
+bool
+Tlb::access(Addr addr)
+{
+    return cache_.access(addr);
+}
+
+bool
+Tlb::probe(Addr addr) const
+{
+    return cache_.probe(addr);
+}
+
+} // namespace fosm

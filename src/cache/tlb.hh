@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Translation lookaside buffer model - the paper's future-work item 4
+ * (Section 7): "Additional types of miss-events, TLB misses in
+ * particular. When added, these will act much like long data cache
+ * misses." A TLB is a set-associative cache of page translations;
+ * this wraps the generic cache with page-granular geometry and a
+ * fixed walk latency on a miss.
+ */
+
+#ifndef FOSM_CACHE_TLB_HH
+#define FOSM_CACHE_TLB_HH
+
+#include <memory>
+
+#include "cache/cache.hh"
+
+namespace fosm {
+
+/** Geometry and timing of one TLB. */
+struct TlbConfig
+{
+    /** Enable TLB modeling (off preserves the paper's base machine). */
+    bool enabled = false;
+    /** Number of translation entries; must be a power of two. */
+    std::uint32_t entries = 64;
+    /** Associativity. */
+    std::uint32_t assoc = 4;
+    /** Page size in bytes; must be a power of two. */
+    std::uint32_t pageBytes = 4096;
+    /** Page-table walk latency charged on a miss. */
+    Cycle walkLatency = 30;
+};
+
+/**
+ * A data TLB. access() performs the lookup, fills on a miss, and
+ * reports hit/miss; the caller charges walkLatency on misses.
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config);
+
+    /** Look up the page containing addr; true on a hit. */
+    bool access(Addr addr);
+
+    /** Probe without state change. */
+    bool probe(Addr addr) const;
+
+    const TlbConfig &config() const { return config_; }
+    const CacheStats &stats() const { return cache_.stats(); }
+    void resetStats() { cache_.resetStats(); }
+    void flush() { cache_.flush(); }
+
+  private:
+    TlbConfig config_;
+    Cache cache_;
+
+    static CacheConfig asCacheConfig(const TlbConfig &config);
+};
+
+} // namespace fosm
+
+#endif // FOSM_CACHE_TLB_HH

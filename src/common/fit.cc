@@ -1,0 +1,71 @@
+#include "common/fit.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+LineFit
+fitLine(const std::vector<double> &x, const std::vector<double> &y)
+{
+    fosm_assert(x.size() == y.size(), "fitLine: size mismatch");
+    fosm_assert(x.size() >= 2, "fitLine: need at least 2 points");
+
+    const double n = static_cast<double>(x.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    fosm_assert(denom != 0.0, "fitLine: degenerate x values");
+
+    LineFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    fit.points = x.size();
+
+    const double ybar = sy / n;
+    double ssRes = 0.0, ssTot = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double pred = fit.slope * x[i] + fit.intercept;
+        ssRes += (y[i] - pred) * (y[i] - pred);
+        ssTot += (y[i] - ybar) * (y[i] - ybar);
+    }
+    fit.r2 = ssTot == 0.0 ? 1.0 : 1.0 - ssRes / ssTot;
+    return fit;
+}
+
+double
+PowerFit::operator()(double x) const
+{
+    return alpha * std::pow(x, beta);
+}
+
+PowerFit
+fitPowerLaw(const std::vector<double> &x, const std::vector<double> &y)
+{
+    fosm_assert(x.size() == y.size(), "fitPowerLaw: size mismatch");
+    std::vector<double> lx, ly;
+    lx.reserve(x.size());
+    ly.reserve(y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        fosm_assert(x[i] > 0.0 && y[i] > 0.0,
+                    "fitPowerLaw: samples must be positive");
+        lx.push_back(std::log2(x[i]));
+        ly.push_back(std::log2(y[i]));
+    }
+    const LineFit line = fitLine(lx, ly);
+
+    PowerFit fit;
+    fit.beta = line.slope;
+    fit.alpha = std::exp2(line.intercept);
+    fit.r2 = line.r2;
+    fit.points = x.size();
+    return fit;
+}
+
+} // namespace fosm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Least-squares fitting helpers. The paper fits the IW characteristic
+ * to a power law I = alpha * W^beta by linear regression in log-log
+ * space (Section 3, Table 1, Figure 5); this module provides that
+ * regression plus goodness-of-fit measures.
+ */
+
+#ifndef FOSM_COMMON_FIT_HH
+#define FOSM_COMMON_FIT_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace fosm {
+
+/** Result of an ordinary least-squares line fit y = slope*x + intercept. */
+struct LineFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination in the fitted space. */
+    double r2 = 0.0;
+    std::size_t points = 0;
+};
+
+/**
+ * Fit a straight line through (x, y) samples by ordinary least squares.
+ * Requires at least two distinct x values.
+ */
+LineFit fitLine(const std::vector<double> &x, const std::vector<double> &y);
+
+/** Result of a power-law fit y = alpha * x^beta. */
+struct PowerFit
+{
+    double alpha = 0.0;
+    double beta = 0.0;
+    /** R^2 of the underlying log-log line fit. */
+    double r2 = 0.0;
+    std::size_t points = 0;
+
+    /** Evaluate the fitted law at x. */
+    double operator()(double x) const;
+};
+
+/**
+ * Fit y = alpha * x^beta by regressing log2(y) on log2(x).
+ * All samples must be strictly positive.
+ */
+PowerFit fitPowerLaw(const std::vector<double> &x,
+                     const std::vector<double> &y);
+
+} // namespace fosm
+
+#endif // FOSM_COMMON_FIT_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 spirit: panic() for
+ * internal invariant violations, fatal() for user/configuration errors,
+ * warn()/inform() for non-fatal diagnostics.
+ */
+
+#ifndef FOSM_COMMON_LOGGING_HH
+#define FOSM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace fosm {
+
+namespace detail {
+
+/** Format the variadic tail of a log call into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+/** Emit a tagged message to stderr and optionally terminate. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort on a condition that indicates a bug in fosm itself.
+ * Mirrors gem5's panic(): never the user's fault.
+ */
+#define fosm_panic(...) \
+    ::fosm::detail::panicImpl(__FILE__, __LINE__, \
+                              ::fosm::detail::concat(__VA_ARGS__))
+
+/**
+ * Exit on a condition caused by invalid user input or configuration.
+ * Mirrors gem5's fatal().
+ */
+#define fosm_fatal(...) \
+    ::fosm::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::fosm::detail::concat(__VA_ARGS__))
+
+/** Panic unless the given invariant holds. */
+#define fosm_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::fosm::detail::panicImpl(__FILE__, __LINE__, \
+                ::fosm::detail::concat("assertion failed: " #cond " ", \
+                                       ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Non-fatal warning about questionable but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace fosm
+
+#endif // FOSM_COMMON_LOGGING_HH

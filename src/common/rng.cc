@@ -1,0 +1,207 @@
+#include "common/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    fosm_assert(bound > 0, "nextBounded requires bound > 0");
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    fosm_assert(lo <= hi, "uniformInt requires lo <= hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBounded(span));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    fosm_assert(p > 0.0 && p <= 1.0, "geometric requires p in (0,1]");
+    if (p >= 1.0)
+        return 0;
+    const double u = 1.0 - nextDouble(); // in (0, 1]
+    return static_cast<std::uint64_t>(
+        std::floor(std::log(u) / std::log1p(-p)));
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return mean + stddev * spareNormal_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    const double u2 = nextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    spareNormal_ = r * std::sin(theta);
+    haveSpare_ = true;
+    return mean + stddev * r * std::cos(theta);
+}
+
+double
+Rng::exponential(double mean)
+{
+    fosm_assert(mean > 0.0, "exponential requires mean > 0");
+    double u = 0.0;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+std::size_t
+Rng::discrete(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    fosm_assert(total > 0.0, "discrete requires positive total weight");
+    double u = nextDouble() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        u -= weights[i];
+        if (u < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    fosm_assert(n > 0, "zipf requires n > 0");
+    // Inverse-CDF on the continuous approximation; adequate for workload
+    // skew purposes and O(1) per draw.
+    if (s <= 0.0)
+        return nextBounded(n);
+    const double u = nextDouble();
+    if (std::abs(s - 1.0) < 1e-9) {
+        const double hn = std::log(static_cast<double>(n) + 1.0);
+        const double x = std::exp(u * hn) - 1.0;
+        return std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(x), n - 1);
+    }
+    const double oneMinusS = 1.0 - s;
+    const double hn =
+        (std::pow(static_cast<double>(n) + 1.0, oneMinusS) - 1.0) /
+        oneMinusS;
+    const double x =
+        std::pow(u * hn * oneMinusS + 1.0, 1.0 / oneMinusS) - 1.0;
+    return std::min<std::uint64_t>(static_cast<std::uint64_t>(x), n - 1);
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        fosm_assert(w >= 0.0, "DiscreteSampler weights must be >= 0");
+        total += w;
+    }
+    fosm_assert(total > 0.0, "DiscreteSampler requires positive weight");
+    cdf_.reserve(weights.size());
+    double acc = 0.0;
+    for (double w : weights) {
+        acc += w / total;
+        cdf_.push_back(acc);
+    }
+    cdf_.back() = 1.0;
+}
+
+std::size_t
+DiscreteSampler::operator()(Rng &rng) const
+{
+    fosm_assert(!cdf_.empty(), "sampling from empty DiscreteSampler");
+    const double u = rng.nextDouble();
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    return std::min<std::size_t>(it - cdf_.begin(), cdf_.size() - 1);
+}
+
+double
+DiscreteSampler::probability(std::size_t idx) const
+{
+    fosm_assert(idx < cdf_.size(), "probability index out of range");
+    return idx == 0 ? cdf_[0] : cdf_[idx] - cdf_[idx - 1];
+}
+
+} // namespace fosm

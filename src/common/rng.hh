@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for synthetic workload
+ * construction. All fosm experiments must be exactly reproducible from a
+ * seed, so we carry our own xoshiro256** implementation rather than rely
+ * on implementation-defined std::default_random_engine behaviour.
+ */
+
+#ifndef FOSM_COMMON_RNG_HH
+#define FOSM_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace fosm {
+
+/**
+ * xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+ * Seeded through splitmix64 so that any 64-bit seed yields a
+ * well-distributed initial state.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire's rejection method. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /**
+     * Geometric distribution: number of failures before first success
+     * with per-trial probability p. Mean (1-p)/p.
+     */
+    std::uint64_t geometric(double p);
+
+    /** Standard normal via Box-Muller (cached spare value). */
+    double normal(double mean = 0.0, double stddev = 1.0);
+
+    /**
+     * Exponentially distributed double with the given mean.
+     * Used for miss-gap spacing in synthetic address streams.
+     */
+    double exponential(double mean);
+
+    /** Draw an index according to a discrete weight vector. */
+    std::size_t discrete(const std::vector<double> &weights);
+
+    /**
+     * Bounded Zipf-like draw over [0, n): probability of k proportional
+     * to 1/(k+1)^s. Used for skewed working-set reuse.
+     */
+    std::uint64_t zipf(std::uint64_t n, double s);
+
+  private:
+    std::uint64_t s_[4];
+    double spareNormal_ = 0.0;
+    bool haveSpare_ = false;
+
+    static std::uint64_t rotl(std::uint64_t x, int k);
+};
+
+/**
+ * Discrete distribution with precomputed cumulative weights, for hot
+ * loops that draw from the same weights millions of times.
+ */
+class DiscreteSampler
+{
+  public:
+    DiscreteSampler() = default;
+    explicit DiscreteSampler(const std::vector<double> &weights);
+
+    /** Draw an index using the supplied RNG. */
+    std::size_t operator()(Rng &rng) const;
+
+    /** Number of categories. */
+    std::size_t size() const { return cdf_.size(); }
+
+    /** Probability of the given category. */
+    double probability(std::size_t idx) const;
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace fosm
+
+#endif // FOSM_COMMON_RNG_HH

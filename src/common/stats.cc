@@ -1,0 +1,139 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+RunningStats::mean() const
+{
+    return n_ == 0 ? 0.0 : mean_;
+}
+
+double
+RunningStats::variance() const
+{
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    return n_ == 0 ? 0.0 : min_;
+}
+
+double
+RunningStats::max() const
+{
+    return n_ == 0 ? 0.0 : max_;
+}
+
+Histogram::Histogram(std::uint64_t max_value)
+    : buckets_(max_value + 1, 0)
+{
+}
+
+void
+Histogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    samples_ += weight;
+    weightedSum_ += static_cast<double>(value) *
+                    static_cast<double>(weight);
+    if (value < buckets_.size())
+        buckets_[value] += weight;
+    else
+        overflow_ += weight;
+}
+
+std::uint64_t
+Histogram::countAt(std::uint64_t value) const
+{
+    return value < buckets_.size() ? buckets_[value] : 0;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ == 0
+        ? 0.0
+        : weightedSum_ / static_cast<double>(samples_);
+}
+
+double
+Histogram::cdf(std::uint64_t value) const
+{
+    if (samples_ == 0)
+        return 0.0;
+    std::uint64_t acc = 0;
+    const std::uint64_t cap =
+        std::min<std::uint64_t>(value, buckets_.size() - 1);
+    for (std::uint64_t v = 0; v <= cap; ++v)
+        acc += buckets_[v];
+    return static_cast<double>(acc) / static_cast<double>(samples_);
+}
+
+std::vector<double>
+Histogram::pmf() const
+{
+    std::vector<double> out(buckets_.size(), 0.0);
+    if (samples_ == 0)
+        return out;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        out[i] = static_cast<double>(buckets_[i]) /
+                 static_cast<double>(samples_);
+    }
+    return out;
+}
+
+} // namespace fosm

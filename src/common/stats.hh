@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Lightweight statistics containers used throughout fosm: running
+ * scalar statistics, integer histograms, and discrete distributions.
+ * These fill the role of gem5's stats package at the scale this model
+ * needs.
+ */
+
+#ifndef FOSM_COMMON_STATS_HH
+#define FOSM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fosm {
+
+/**
+ * Running mean / variance / min / max over a stream of samples
+ * (Welford's algorithm, numerically stable).
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    std::uint64_t count() const { return n_; }
+    double mean() const;
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Histogram over non-negative integer values with a dense bucket array
+ * up to a cap and an overflow bucket beyond it.
+ */
+class Histogram
+{
+  public:
+    /** @param max_value largest value tracked exactly. */
+    explicit Histogram(std::uint64_t max_value = 1024);
+
+    /** Record one occurrence of the given value. */
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Number of samples recorded (including overflowed ones). */
+    std::uint64_t samples() const { return samples_; }
+
+    /** Count recorded at exactly this value (0 beyond the cap). */
+    std::uint64_t countAt(std::uint64_t value) const;
+
+    /** Count of samples strictly greater than the cap. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Mean of recorded values (overflow counted at cap + 1). */
+    double mean() const;
+
+    /** Fraction of samples <= value. */
+    double cdf(std::uint64_t value) const;
+
+    /** Largest tracked value. */
+    std::uint64_t maxValue() const { return buckets_.size() - 1; }
+
+    /**
+     * Normalized probability mass at each value [0, maxValue];
+     * overflow mass is excluded.
+     */
+    std::vector<double> pmf() const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t samples_ = 0;
+    std::uint64_t overflow_ = 0;
+    double weightedSum_ = 0.0;
+};
+
+/**
+ * A named value for report generation: simple (name, value, unit)
+ * records a bench binary can format.
+ */
+struct StatRecord
+{
+    std::string name;
+    double value;
+    std::string unit;
+};
+
+/** Ratio helper that is well-defined for a zero denominator. */
+inline double
+safeRatio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+} // namespace fosm
+
+#endif // FOSM_COMMON_STATS_HH

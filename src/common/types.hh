@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Basic scalar types shared by every fosm library.
+ */
+
+#ifndef FOSM_COMMON_TYPES_HH
+#define FOSM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace fosm {
+
+/** A memory (byte) address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** A cycle count or timestamp measured in processor clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A dynamic-instruction sequence number within a trace. */
+using InstSeq = std::uint64_t;
+
+/** An architectural register index. */
+using RegIndex = std::int16_t;
+
+/** Sentinel register index meaning "no register". */
+constexpr RegIndex invalidReg = -1;
+
+} // namespace fosm
+
+#endif // FOSM_COMMON_TYPES_HH

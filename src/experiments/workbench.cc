@@ -1,0 +1,119 @@
+#include "experiments/workbench.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+namespace {
+
+std::uint64_t
+envTraceLength()
+{
+    if (const char *env = std::getenv("FOSM_TRACE_INSTS")) {
+        const long long v = std::atoll(env);
+        if (v > 1000)
+            return static_cast<std::uint64_t>(v);
+        warn("ignoring FOSM_TRACE_INSTS=", env, " (need > 1000)");
+    }
+    return 400000;
+}
+
+} // namespace
+
+Workbench::Workbench(std::uint32_t issue_width)
+    : issueWidth_(issue_width), traceInsts_(envTraceLength())
+{
+}
+
+std::vector<std::string>
+Workbench::benchmarks()
+{
+    return profileNames();
+}
+
+MachineConfig
+Workbench::baselineMachine()
+{
+    // Section 1.1: five front-end stages, issue width 4, 48-entry
+    // window, 128-entry ROB; DeltaI = 8, DeltaD = 200.
+    MachineConfig machine;
+    machine.width = 4;
+    machine.frontEndDepth = 5;
+    machine.windowSize = 48;
+    machine.robSize = 128;
+    machine.deltaI = 8;
+    machine.deltaD = 200;
+    return machine;
+}
+
+SimConfig
+Workbench::baselineSimConfig()
+{
+    SimConfig config;
+    config.machine = baselineMachine();
+    config.hierarchy = HierarchyConfig{};
+    config.predictor = PredictorKind::GShare;
+    config.predictorEntries = 8192;
+    config.syncMissDelays();
+    return config;
+}
+
+ProfilerConfig
+Workbench::baselineProfilerConfig()
+{
+    ProfilerConfig config;
+    config.hierarchy = HierarchyConfig{};
+    config.predictor = PredictorKind::GShare;
+    config.predictorEntries = 8192;
+    return config;
+}
+
+IWCharacteristic
+Workbench::fitIw(const std::vector<IwPoint> &points, double avg_latency,
+                 std::uint32_t width)
+{
+    return IWCharacteristic::fromPoints(points, avg_latency, width);
+}
+
+const WorkloadData &
+Workbench::workload(const std::string &name)
+{
+    auto it = cache_.find(name);
+    if (it != cache_.end())
+        return it->second;
+
+    WorkloadData data;
+    data.profile = &profileByName(name);
+    data.trace = generateTrace(*data.profile, traceInsts_);
+    data.traceStats = collectTraceStats(data.trace);
+    data.missProfile =
+        profileTrace(data.trace, baselineProfilerConfig());
+
+    // Unit-latency, unbounded-issue IW curve (Section 3): window sizes
+    // 4..64 as in Figure 4.
+    WindowSimConfig wconfig;
+    wconfig.unitLatency = true;
+    wconfig.issueWidth = 0;
+    data.iwPoints =
+        measureIwCurve(data.trace, {4, 8, 16, 32, 64}, wconfig);
+
+    data.iw = fitIw(data.iwPoints, data.missProfile.avgLatency,
+                    issueWidth_);
+
+    auto [pos, inserted] = cache_.emplace(name, std::move(data));
+    fosm_assert(inserted, "workload cached twice");
+    return pos->second;
+}
+
+double
+relativeError(double a, double b)
+{
+    if (b == 0.0)
+        return a == 0.0 ? 0.0 : 1.0;
+    return std::abs(a - b) / std::abs(b);
+}
+
+} // namespace fosm

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared experiment harness. Builds each workload once (trace,
+ * functional miss profile, fitted IW characteristic) and provides the
+ * baseline machine/simulator configurations of Section 1.1, so every
+ * bench binary regenerating a paper figure starts from the same
+ * environment.
+ */
+
+#ifndef FOSM_EXPERIMENTS_WORKBENCH_HH
+#define FOSM_EXPERIMENTS_WORKBENCH_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/miss_profiler.hh"
+#include "iw/iw_characteristic.hh"
+#include "model/first_order_model.hh"
+#include "sim/detailed_sim.hh"
+#include "trace/trace_stats.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace fosm {
+
+/** Everything derived from one workload profile. */
+struct WorkloadData
+{
+    const Profile *profile = nullptr;
+    Trace trace;
+    TraceStats traceStats;
+    MissProfile missProfile;
+    /** Unit-latency IW curve points (paper Figure 4). */
+    std::vector<IwPoint> iwPoints;
+    /** Fitted characteristic specialised to the baseline machine. */
+    IWCharacteristic iw;
+};
+
+/**
+ * Lazily builds and caches WorkloadData per profile. The trace length
+ * defaults to 200k instructions and can be overridden with the
+ * FOSM_TRACE_INSTS environment variable (the paper used much longer
+ * SPEC traces; shapes are stable at this length).
+ */
+class Workbench
+{
+  public:
+    explicit Workbench(std::uint32_t issue_width = 4);
+
+    /** Build (or fetch cached) data for one benchmark. */
+    const WorkloadData &workload(const std::string &name);
+
+    /** All 12 benchmark names in the paper's order. */
+    static std::vector<std::string> benchmarks();
+
+    /** Trace length in effect. */
+    std::uint64_t traceInstructions() const { return traceInsts_; }
+
+    /** The paper's baseline machine (Section 1.1). */
+    static MachineConfig baselineMachine();
+
+    /** The paper's baseline simulator configuration. */
+    static SimConfig baselineSimConfig();
+
+    /** The matching functional profiler configuration. */
+    static ProfilerConfig baselineProfilerConfig();
+
+    /** Fit an IW characteristic for a machine width. */
+    static IWCharacteristic fitIw(const std::vector<IwPoint> &points,
+                                  double avg_latency,
+                                  std::uint32_t width);
+
+  private:
+    std::uint32_t issueWidth_;
+    std::uint64_t traceInsts_;
+    std::map<std::string, WorkloadData> cache_;
+};
+
+/** |a - b| / b, guarding b == 0. */
+double relativeError(double a, double b);
+
+} // namespace fosm
+
+#endif // FOSM_EXPERIMENTS_WORKBENCH_HH

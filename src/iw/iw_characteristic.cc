@@ -1,0 +1,97 @@
+#include "iw/iw_characteristic.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+IWCharacteristic::IWCharacteristic(double alpha, double beta,
+                                   double avg_latency,
+                                   std::uint32_t issue_width)
+    : alpha_(alpha),
+      beta_(beta),
+      avgLatency_(avg_latency),
+      issueWidth_(issue_width)
+{
+    fosm_assert(alpha > 0.0, "alpha must be positive");
+    fosm_assert(beta >= 0.0 && beta <= 1.0,
+                "beta must be in [0,1], got ", beta);
+    fosm_assert(avg_latency >= 1.0, "average latency must be >= 1");
+}
+
+IWCharacteristic
+IWCharacteristic::fromPoints(const std::vector<IwPoint> &points,
+                             double avg_latency,
+                             std::uint32_t issue_width)
+{
+    fosm_assert(points.size() >= 2,
+                "need at least two IW points to fit");
+    std::vector<double> w, i;
+    for (const IwPoint &p : points) {
+        w.push_back(static_cast<double>(p.windowSize));
+        i.push_back(p.ipc);
+    }
+    const PowerFit fit = fitPowerLaw(w, i);
+    // Clamp pathological fits rather than reject them: a perfectly
+    // parallel stream fits beta ~ 1.
+    const double beta = std::min(std::max(fit.beta, 0.0), 1.0);
+    IWCharacteristic iw(fit.alpha, beta, avg_latency, issue_width);
+    iw.r2_ = fit.r2;
+    return iw;
+}
+
+double
+IWCharacteristic::unitRate(double window_occupancy) const
+{
+    if (window_occupancy <= 0.0)
+        return 0.0;
+    return alpha_ * std::pow(window_occupancy, beta_);
+}
+
+void
+IWCharacteristic::setSaturationCap(double cap)
+{
+    fosm_assert(cap >= 0.0, "saturation cap must be >= 0");
+    saturationCap_ = cap;
+}
+
+double
+IWCharacteristic::issueRate(double window_occupancy) const
+{
+    double rate = unitRate(window_occupancy) / avgLatency_;
+    if (issueWidth_ != 0)
+        rate = std::min(rate, static_cast<double>(issueWidth_));
+    if (saturationCap_ > 0.0)
+        rate = std::min(rate, saturationCap_);
+    return rate;
+}
+
+double
+IWCharacteristic::steadyStateIpc(std::uint32_t window_size) const
+{
+    fosm_assert(window_size > 0, "window size must be positive");
+    return issueRate(static_cast<double>(window_size));
+}
+
+double
+IWCharacteristic::steadyStateCpi(std::uint32_t window_size) const
+{
+    const double ipc = steadyStateIpc(window_size);
+    fosm_assert(ipc > 0.0, "steady-state IPC must be positive");
+    return 1.0 / ipc;
+}
+
+double
+IWCharacteristic::occupancyForRate(double ipc) const
+{
+    fosm_assert(ipc >= 0.0, "rate must be non-negative");
+    if (ipc == 0.0)
+        return 0.0;
+    if (beta_ == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return std::pow(ipc * avgLatency_ / alpha_, 1.0 / beta_);
+}
+
+} // namespace fosm

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The IW characteristic (paper Section 3): the power-law relationship
+ * I = alpha * W^beta between window occupancy and issue rate, adjusted
+ * for non-unit latency via Little's law (I_L = I_1 / L) and saturated
+ * at the machine's maximum issue width (as in Jouppi [16]).
+ */
+
+#ifndef FOSM_IW_IW_CHARACTERISTIC_HH
+#define FOSM_IW_IW_CHARACTERISTIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fit.hh"
+#include "iw/window_sim.hh"
+
+namespace fosm {
+
+/**
+ * A fitted, implementation-adjusted IW characteristic.
+ *
+ * alpha and beta describe the unit-latency, unbounded-issue curve
+ * (implementation independent, a property of the program's data
+ * dependences). avgLatency and issueWidth specialise it to a machine.
+ */
+class IWCharacteristic
+{
+  public:
+    IWCharacteristic() = default;
+
+    /**
+     * @param alpha unit-latency power-law coefficient
+     * @param beta power-law exponent
+     * @param avg_latency average FU latency L (>= 1)
+     * @param issue_width machine issue width; 0 means unbounded
+     */
+    IWCharacteristic(double alpha, double beta, double avg_latency,
+                     std::uint32_t issue_width);
+
+    /** Fit from measured unit-latency IW points (paper Figure 4/5). */
+    static IWCharacteristic fromPoints(const std::vector<IwPoint> &points,
+                                       double avg_latency,
+                                       std::uint32_t issue_width);
+
+    /**
+     * Average issue rate with W instructions in the window:
+     * min(issueWidth, alpha * W^beta / L). W=0 issues nothing.
+     */
+    double issueRate(double window_occupancy) const;
+
+    /** Unit-latency, unbounded-width rate alpha * W^beta. */
+    double unitRate(double window_occupancy) const;
+
+    /**
+     * Steady-state sustainable IPC for the given window size
+     * (Section 5 step 1).
+     */
+    double steadyStateIpc(std::uint32_t window_size) const;
+
+    /** Steady-state CPI = 1 / steadyStateIpc. */
+    double steadyStateCpi(std::uint32_t window_size) const;
+
+    /**
+     * Window occupancy at which the (latency-adjusted, unbounded)
+     * rate reaches the given IPC: the inverse of the power law.
+     */
+    double occupancyForRate(double ipc) const;
+
+    /**
+     * Additional saturation bound below the issue width, e.g. a
+     * functional-unit throughput limit (Section 7 future-work 1).
+     * 0 disables the cap.
+     */
+    void setSaturationCap(double cap);
+    double saturationCap() const { return saturationCap_; }
+
+    double alpha() const { return alpha_; }
+    double beta() const { return beta_; }
+    double avgLatency() const { return avgLatency_; }
+    std::uint32_t issueWidth() const { return issueWidth_; }
+    double fitR2() const { return r2_; }
+
+  private:
+    double alpha_ = 1.0;
+    double beta_ = 0.5;
+    double avgLatency_ = 1.0;
+    std::uint32_t issueWidth_ = 0;
+    double saturationCap_ = 0.0;
+    double r2_ = 1.0;
+};
+
+} // namespace fosm
+
+#endif // FOSM_IW_IW_CHARACTERISTIC_HH

@@ -1,0 +1,186 @@
+#include "iw/window_sim.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+namespace {
+
+constexpr Cycle notIssued = std::numeric_limits<Cycle>::max();
+
+/** Resolve the producing instruction index of each source operand. */
+struct ProducerResolver
+{
+    std::vector<std::int64_t> lastWriter;
+
+    ProducerResolver() : lastWriter(numArchRegs, -1) {}
+
+    /** Producers (or -1) of inst i; call in trace order. */
+    void
+    resolve(const InstRecord &inst, std::int64_t i, std::int64_t &p1,
+            std::int64_t &p2)
+    {
+        p1 = inst.src1 != invalidReg ? lastWriter[inst.src1] : -1;
+        p2 = inst.src2 != invalidReg ? lastWriter[inst.src2] : -1;
+        if (inst.dst != invalidReg)
+            lastWriter[inst.dst] = i;
+    }
+};
+
+Cycle
+latencyOf(const InstRecord &inst, const WindowSimConfig &config)
+{
+    return config.unitLatency ? 1 : config.latency.latencyFor(inst.cls);
+}
+
+WindowSimResult
+simulateUnbounded(const Trace &trace, const WindowSimConfig &config)
+{
+    const std::size_t n = trace.size();
+    const std::uint32_t w = config.windowSize;
+
+    std::vector<Cycle> issue(n, 0);
+    std::vector<Cycle> latency(n, 1);
+    ProducerResolver producers;
+    Cycle last_cycle = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const InstRecord &inst = trace[i];
+        latency[i] = latencyOf(inst, config);
+
+        std::int64_t p1 = -1, p2 = -1;
+        producers.resolve(inst, static_cast<std::int64_t>(i), p1, p2);
+
+        // Enters the window the cycle after the instruction W older
+        // issues (its slot frees at issue).
+        Cycle t = i >= w ? issue[i - w] + 1 : 0;
+        if (p1 >= 0)
+            t = std::max(t, issue[p1] + latency[p1]);
+        if (p2 >= 0)
+            t = std::max(t, issue[p2] + latency[p2]);
+        issue[i] = t;
+        last_cycle = std::max(last_cycle, t);
+    }
+
+    WindowSimResult result;
+    result.instructions = n;
+    result.cycles = n == 0 ? 0 : last_cycle + 1;
+    result.ipc = result.cycles == 0
+        ? 0.0
+        : static_cast<double>(n) / static_cast<double>(result.cycles);
+    return result;
+}
+
+WindowSimResult
+simulateLimited(const Trace &trace, const WindowSimConfig &config)
+{
+    const std::size_t n = trace.size();
+    const std::uint32_t w = config.windowSize;
+    const std::uint32_t width = config.issueWidth;
+
+    std::vector<Cycle> issue(n, notIssued);
+    std::vector<Cycle> latency(n, 1);
+    std::vector<std::int64_t> prod1(n, -1), prod2(n, -1);
+
+    {
+        ProducerResolver producers;
+        for (std::size_t i = 0; i < n; ++i) {
+            latency[i] = latencyOf(trace[i], config);
+            producers.resolve(trace[i], static_cast<std::int64_t>(i),
+                              prod1[i], prod2[i]);
+        }
+    }
+
+    std::deque<std::size_t> window;
+    std::size_t head = 0;
+    Cycle cycle = 0;
+    Cycle last_cycle = 0;
+
+    auto ready_at = [&](std::size_t i) -> Cycle {
+        Cycle t = 0;
+        for (std::int64_t p : {prod1[i], prod2[i]}) {
+            if (p < 0)
+                continue;
+            if (issue[p] == notIssued)
+                return notIssued;
+            t = std::max(t, issue[p] + latency[p]);
+        }
+        return t;
+    };
+
+    std::vector<std::size_t> issued_this_cycle;
+    while (head < n || !window.empty()) {
+        // Dispatch: refill the window (unbounded dispatch bandwidth in
+        // the idealized machine; only the window size limits).
+        while (window.size() < w && head < n)
+            window.push_back(head++);
+
+        // Issue oldest-first up to the width limit.
+        issued_this_cycle.clear();
+        std::uint32_t issued = 0;
+        for (std::size_t idx : window) {
+            if (issued >= width)
+                break;
+            const Cycle r = ready_at(idx);
+            if (r != notIssued && r <= cycle) {
+                issued_this_cycle.push_back(idx);
+                ++issued;
+            }
+        }
+        for (std::size_t idx : issued_this_cycle) {
+            issue[idx] = cycle;
+            last_cycle = cycle;
+            window.erase(std::find(window.begin(), window.end(), idx));
+        }
+        ++cycle;
+        fosm_assert(cycle < 64 * n + 1024,
+                    "limited window sim failed to make progress");
+    }
+
+    WindowSimResult result;
+    result.instructions = n;
+    result.cycles = n == 0 ? 0 : last_cycle + 1;
+    result.ipc = result.cycles == 0
+        ? 0.0
+        : static_cast<double>(n) / static_cast<double>(result.cycles);
+    return result;
+}
+
+} // namespace
+
+WindowSimResult
+simulateWindow(const Trace &trace, const WindowSimConfig &config)
+{
+    fosm_assert(config.windowSize > 0, "window size must be positive");
+    if (config.issueWidth == 0)
+        return simulateUnbounded(trace, config);
+    return simulateLimited(trace, config);
+}
+
+std::vector<IwPoint>
+measureIwCurve(const Trace &trace,
+               const std::vector<std::uint32_t> &sizes,
+               const WindowSimConfig &base)
+{
+    std::vector<IwPoint> points;
+    points.reserve(sizes.size());
+    for (std::uint32_t w : sizes) {
+        WindowSimConfig config = base;
+        config.windowSize = w;
+        const WindowSimResult r = simulateWindow(trace, config);
+        points.push_back({w, r.ipc});
+    }
+    return points;
+}
+
+std::vector<std::uint32_t>
+defaultIwSizes()
+{
+    return {4, 8, 16, 32, 64, 128, 256};
+}
+
+} // namespace fosm

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Idealized issue-window simulation (paper Section 3). The paper
+ * generates IW curves by "idealized (no miss-events) trace-driven
+ * simulations with an unlimited number of unit-latency functional
+ * units and unbounded issue width. The only thing that is limited is
+ * the issue window size." This module implements exactly that, plus
+ * the limited-issue-width variant used for Figure 6.
+ */
+
+#ifndef FOSM_IW_WINDOW_SIM_HH
+#define FOSM_IW_WINDOW_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/latency.hh"
+#include "trace/trace.hh"
+
+namespace fosm {
+
+/** Options for one idealized window simulation. */
+struct WindowSimConfig
+{
+    /** Issue window size W (the only structural limit). */
+    std::uint32_t windowSize = 48;
+    /** 0 means unbounded issue width. */
+    std::uint32_t issueWidth = 0;
+    /** Use unit latency for every operation (the paper's base case). */
+    bool unitLatency = true;
+    /** Latencies when unitLatency is false. */
+    LatencyConfig latency;
+};
+
+/** Result of one idealized window simulation. */
+struct WindowSimResult
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    double ipc = 0.0;
+};
+
+/**
+ * Run the idealized window simulation.
+ *
+ * With unbounded issue width the oldest-first schedule admits a closed
+ * recurrence: an instruction issues at
+ *   max(window-entry time, max over producers of issue + latency)
+ * where it enters the window once the instruction windowSize older has
+ * issued. This runs in O(n).
+ *
+ * With a finite issue width a cycle-driven oldest-first scheduler is
+ * used instead.
+ */
+WindowSimResult simulateWindow(const Trace &trace,
+                               const WindowSimConfig &config);
+
+/** One measured point of an IW curve. */
+struct IwPoint
+{
+    std::uint32_t windowSize = 0;
+    double ipc = 0.0;
+};
+
+/**
+ * Measure the IW curve at the given window sizes (paper Figure 4 uses
+ * powers of two from 4 to 64).
+ */
+std::vector<IwPoint> measureIwCurve(const Trace &trace,
+                                    const std::vector<std::uint32_t> &sizes,
+                                    const WindowSimConfig &base =
+                                        WindowSimConfig{});
+
+/** Default window-size sweep: powers of two, 4..256. */
+std::vector<std::uint32_t> defaultIwSizes();
+
+} // namespace fosm
+
+#endif // FOSM_IW_WINDOW_SIM_HH

@@ -1,0 +1,152 @@
+#include "model/first_order_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+double
+CpiBreakdown::total() const
+{
+    return ideal + brmisp + icacheL1 + icacheL2 + dcacheLong + dtlb;
+}
+
+double
+CpiBreakdown::ipc() const
+{
+    const double cpi = total();
+    fosm_assert(cpi > 0.0, "CPI must be positive");
+    return 1.0 / cpi;
+}
+
+double
+meanBurstFromGaps(const Histogram &gaps, std::uint64_t threshold)
+{
+    if (gaps.samples() == 0)
+        return 1.0;
+    const double p = gaps.cdf(threshold);
+    if (p >= 0.999)
+        return 1000.0;
+    return 1.0 / (1.0 - p);
+}
+
+FirstOrderModel::FirstOrderModel(const MachineConfig &machine,
+                                 const ModelOptions &options)
+    : machine_(machine), options_(options)
+{
+}
+
+CpiBreakdown
+FirstOrderModel::evaluate(const IWCharacteristic &iw,
+                          const MissProfile &profile) const
+{
+    // Future-work 1: limited functional units lower the saturation
+    // level below the issue width, given the workload's mix.
+    IWCharacteristic effective = iw;
+    if (options_.fuPools.anyLimited()) {
+        effective.setSaturationCap(effectiveIssueWidth(
+            machine_.width, options_.fuPools, profile.mix,
+            options_.latency));
+    }
+    // Future-work 3: clustered windows. With round-robin steering a
+    // producer lands in the consumer's cluster with probability 1/K,
+    // so the average operand pays (K-1)/K of the forwarding delay -
+    // to first order, a longer effective latency L in Little's law.
+    if (machine_.clusters > 1) {
+        const double k = static_cast<double>(machine_.clusters);
+        const double l_eff =
+            effective.avgLatency() +
+            static_cast<double>(machine_.interClusterDelay) *
+                (k - 1.0) / k;
+        IWCharacteristic clustered(effective.alpha(),
+                                   effective.beta(), l_eff,
+                                   effective.issueWidth());
+        clustered.setSaturationCap(effective.saturationCap());
+        effective = clustered;
+    }
+    const TransientAnalyzer transient(effective, machine_);
+    const PenaltyModel penalties(transient);
+
+    CpiBreakdown breakdown;
+    breakdown.ideal = 1.0 / transient.steadyIpc();
+
+    // Branch mispredictions (Section 4.1).
+    const double mean_branch_burst = meanBurstFromGaps(
+        profile.mispredictGap, options_.burstGapThreshold);
+    breakdown.branchPenaltyPerEvent =
+        penalties.branchPenalty(options_.branchMode, mean_branch_burst);
+    breakdown.brmisp =
+        profile.mispredictsPerInst() * breakdown.branchPenaltyPerEvent;
+
+    // Instruction cache misses (Section 4.2). L1 misses that hit in
+    // L2 cost DeltaI; fetches that miss in L2 cost the memory delay.
+    // A full fetch buffer (future-work 2) hides buffer/width cycles
+    // of either delay.
+    const double buffer_slack =
+        static_cast<double>(options_.fetchBufferEntries) /
+        static_cast<double>(machine_.width);
+    const double mean_icache_burst = meanBurstFromGaps(
+        profile.icacheMissGap, options_.burstGapThreshold);
+    const double l1_only_rate =
+        profile.icacheMissesPerInst() - profile.icacheL2MissesPerInst();
+    breakdown.icachePenaltyPerEvent = std::max(
+        0.0,
+        penalties.icachePenalty(options_.icacheMode,
+                                static_cast<double>(machine_.deltaI),
+                                mean_icache_burst) -
+            buffer_slack);
+    breakdown.icacheL1 =
+        l1_only_rate * breakdown.icachePenaltyPerEvent;
+    breakdown.icacheL2 =
+        profile.icacheL2MissesPerInst() *
+        std::max(0.0,
+                 penalties.icachePenalty(
+                     options_.icacheMode,
+                     static_cast<double>(machine_.deltaD),
+                     mean_icache_burst) -
+                     buffer_slack);
+
+    // Long data cache misses (Section 4.3, equation 8).
+    breakdown.ldmOverlapFactor = options_.dcacheOverlap
+        ? profile.ldmOverlapFactor(machine_.robSize)
+        : 1.0;
+    breakdown.dcachePenaltyPerEvent = penalties.dcachePenalty(
+        breakdown.ldmOverlapFactor, options_.dcacheFirstOrder);
+    breakdown.dcacheLong =
+        profile.longLoadMissesPerInst() *
+        breakdown.dcachePenaltyPerEvent;
+
+    // Data-TLB walks (future-work 4): "much like long data cache
+    // misses" - the walk latency, shared within ROB-reach groups.
+    if (profile.dtlbLoadMisses > 0) {
+        const double tlb_factor = options_.dcacheOverlap
+            ? profile.dtlbOverlapFactor(machine_.robSize)
+            : 1.0;
+        breakdown.dtlb = profile.dtlbLoadMissesPerInst() *
+                         static_cast<double>(machine_.deltaT) *
+                         tlb_factor;
+    }
+
+    // Second-order overlap compensation (Section 5's deferred
+    // refinement): a branch misprediction or I-cache miss whose
+    // recovery happens under an outstanding long D-miss adds no
+    // time. Events attach to instructions, and no instructions flow
+    // during the stall itself, so the exposure is the fraction of
+    // *instructions* that sit within ROB reach of a long-miss group:
+    // groups/instruction x rob_size.
+    if (options_.compensateOverlaps) {
+        const double groups_per_inst =
+            profile.longLoadMissesPerInst() *
+            profile.ldmOverlapFactor(machine_.robSize);
+        const double f = std::min(
+            0.9, groups_per_inst * static_cast<double>(machine_.robSize));
+        breakdown.brmisp *= 1.0 - f;
+        breakdown.icacheL1 *= 1.0 - f;
+        breakdown.icacheL2 *= 1.0 - f;
+    }
+
+    return breakdown;
+}
+
+} // namespace fosm

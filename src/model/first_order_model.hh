@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The assembled first-order superscalar model (paper Sections 2 and
+ * 5): overall CPI as the sum of the steady-state CPI and the CPI
+ * contributions of branch mispredictions, instruction cache misses,
+ * and long data cache misses (equation 1), each computed from
+ * trace-derived statistics and the machine parameters — no detailed
+ * simulation involved.
+ */
+
+#ifndef FOSM_MODEL_FIRST_ORDER_MODEL_HH
+#define FOSM_MODEL_FIRST_ORDER_MODEL_HH
+
+#include "analysis/miss_profiler.hh"
+#include "iw/iw_characteristic.hh"
+#include "model/fu_model.hh"
+#include "model/machine_config.hh"
+#include "model/penalties.hh"
+
+namespace fosm {
+
+/** Model evaluation options (defaults follow the paper's Section 5). */
+struct ModelOptions
+{
+    BranchPenaltyMode branchMode = BranchPenaltyMode::PaperAverage;
+    IcachePenaltyMode icacheMode = IcachePenaltyMode::MissDelay;
+    /** Apply the equation-(8) overlap correction to long D-misses. */
+    bool dcacheOverlap = true;
+    /** Charge DeltaD per long miss (true) or the exact equation (6). */
+    bool dcacheFirstOrder = true;
+    /**
+     * Gap threshold (dynamic instructions) under which two
+     * mispredictions count as one burst, for BurstAware mode.
+     */
+    std::uint64_t burstGapThreshold = 64;
+    /**
+     * Functional-unit pools (Section 7 future-work 1). Default:
+     * unbounded units of every type, the paper's base machine. When
+     * limited, the sustainable issue rate saturates at the pools'
+     * throughput bound given the workload's operation mix.
+     */
+    FuPoolConfig fuPools;
+    /** Latencies used for unpipelined-pool throughput demand. */
+    LatencyConfig latency;
+    /**
+     * Instruction fetch buffer entries (Section 7 future-work 2).
+     * A full buffer hides fetchBufferEntries / width cycles of every
+     * I-cache miss delay: the effective delay becomes
+     * max(0, delay - buffer/width).
+     */
+    std::uint32_t fetchBufferEntries = 0;
+    /**
+     * Second-order refinement the paper defers to "future research"
+     * (Section 5): branch mispredictions and I-cache misses that
+     * fall inside a long D-miss shadow are already paid for. When
+     * enabled, the branch and I-cache CPI terms are discounted by
+     * the fraction of time covered by long-miss stalls, solved
+     * self-consistently (the coverage depends on total CPI).
+     */
+    bool compensateOverlaps = false;
+};
+
+/**
+ * The CPI "stack model" of Figure 16: additive contributions per
+ * equation (1), plus the per-event penalties that produced them.
+ */
+struct CpiBreakdown
+{
+    double ideal = 0.0;       ///< CPI_steadystate
+    double brmisp = 0.0;      ///< CPI_brmisp
+    double icacheL1 = 0.0;    ///< CPI from L1I misses that hit in L2
+    double icacheL2 = 0.0;    ///< CPI from instruction fetches to memory
+    double dcacheLong = 0.0;  ///< CPI_dcachemiss (long misses)
+    double dtlb = 0.0;        ///< CPI from D-TLB walks (future-work 4)
+
+    // Per-event penalties, for the Figure 9/11/14 comparisons.
+    double branchPenaltyPerEvent = 0.0;
+    double icachePenaltyPerEvent = 0.0;
+    double dcachePenaltyPerEvent = 0.0;
+    /** Equation (8) multiplier actually applied. */
+    double ldmOverlapFactor = 1.0;
+
+    /** Total CPI per equation (1). */
+    double total() const;
+
+    /** 1 / total(). */
+    double ipc() const;
+};
+
+/**
+ * Estimate the mean miss-event burst length from a gap histogram: the
+ * fraction p of gaps below the threshold is read off the histogram
+ * and the mean cluster size is 1/(1-p) (geometric clustering
+ * approximation).
+ */
+double meanBurstFromGaps(const Histogram &gaps,
+                         std::uint64_t threshold);
+
+/** The first-order model for a fixed machine configuration. */
+class FirstOrderModel
+{
+  public:
+    explicit FirstOrderModel(const MachineConfig &machine,
+                             const ModelOptions &options = ModelOptions{});
+
+    /**
+     * Evaluate equation (1) for a workload described by its fitted IW
+     * characteristic and functional miss profile.
+     */
+    CpiBreakdown evaluate(const IWCharacteristic &iw,
+                          const MissProfile &profile) const;
+
+    const MachineConfig &machine() const { return machine_; }
+    const ModelOptions &options() const { return options_; }
+
+  private:
+    MachineConfig machine_;
+    ModelOptions options_;
+};
+
+} // namespace fosm
+
+#endif // FOSM_MODEL_FIRST_ORDER_MODEL_HH

@@ -1,0 +1,172 @@
+#include "model/fu_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+const FuPool &
+FuPoolConfig::poolFor(InstClass cls) const
+{
+    switch (cls) {
+      case InstClass::IntAlu:
+      case InstClass::Branch:
+        return intAlu;
+      case InstClass::IntMul:
+        return intMul;
+      case InstClass::IntDiv:
+        return intDiv;
+      case InstClass::FpAlu:
+        return fpAlu;
+      case InstClass::Load:
+      case InstClass::Store:
+        return memPort;
+    }
+    fosm_panic("unknown InstClass");
+}
+
+FuPool &
+FuPoolConfig::poolFor(InstClass cls)
+{
+    return const_cast<FuPool &>(
+        static_cast<const FuPoolConfig *>(this)->poolFor(cls));
+}
+
+bool
+FuPoolConfig::anyLimited() const
+{
+    for (const FuPool *pool :
+         {&intAlu, &intMul, &intDiv, &fpAlu, &memPort}) {
+        if (pool->count != 0)
+            return true;
+    }
+    return false;
+}
+
+FuPoolConfig
+FuPoolConfig::typical4Wide()
+{
+    FuPoolConfig pools;
+    pools.intAlu = {4, true};
+    pools.intMul = {1, true};
+    pools.intDiv = {1, false};
+    pools.fpAlu = {2, true};
+    pools.memPort = {2, true};
+    return pools;
+}
+
+namespace {
+
+/** Demand of one pool (ops/cycle at unit rate, scaled by latency for
+ *  unpipelined units). */
+double
+poolDemandPerIssue(const FuPoolConfig &pools, const InstMix &mix,
+                   const LatencyConfig &lat, InstClass cls)
+{
+    const FuPool &pool = pools.poolFor(cls);
+    double demand = mix.of(cls);
+    if (!pool.pipelined) {
+        demand *= static_cast<double>(lat.latencyFor(cls));
+    }
+    return demand;
+}
+
+/** Classes sharing a pool, grouped as poolFor does. */
+constexpr InstClass allClasses[] = {
+    InstClass::IntAlu, InstClass::IntMul, InstClass::IntDiv,
+    InstClass::FpAlu,  InstClass::Load,   InstClass::Store,
+    InstClass::Branch,
+};
+
+} // namespace
+
+double
+effectiveIssueWidth(std::uint32_t width, const FuPoolConfig &pools,
+                    const InstMix &mix, const LatencyConfig &lat)
+{
+    double bound = static_cast<double>(width);
+
+    // Aggregate demand per distinct pool object.
+    const FuPool *seen[8] = {};
+    int n_seen = 0;
+    for (InstClass cls : allClasses) {
+        const FuPool &pool = pools.poolFor(cls);
+        if (pool.count == 0)
+            continue; // unbounded
+        bool counted = false;
+        for (int i = 0; i < n_seen; ++i) {
+            if (seen[i] == &pool)
+                counted = true;
+        }
+        if (counted)
+            continue;
+        seen[n_seen++] = &pool;
+
+        // Total demand on this pool across all classes it serves.
+        double demand = 0.0;
+        for (InstClass other : allClasses) {
+            if (&pools.poolFor(other) == &pool)
+                demand += poolDemandPerIssue(pools, mix, lat, other);
+        }
+        if (demand <= 0.0)
+            continue;
+        bound = std::min(bound,
+                         static_cast<double>(pool.count) / demand);
+    }
+    return bound;
+}
+
+FuPoolConfig
+requiredPools(double target_ipc, const InstMix &mix,
+              const LatencyConfig &lat)
+{
+    fosm_assert(target_ipc > 0.0, "target IPC must be positive");
+    FuPoolConfig pools;
+    // Start from pipelined units (divide unpipelined) and size each
+    // pool to its demand at the target rate.
+    pools.intDiv.pipelined = false;
+
+    auto size_pool = [&](FuPool &pool,
+                         std::initializer_list<InstClass> classes) {
+        double demand = 0.0;
+        for (InstClass cls : classes) {
+            double d = mix.of(cls);
+            if (!pool.pipelined)
+                d *= static_cast<double>(lat.latencyFor(cls));
+            demand += d;
+        }
+        pool.count = static_cast<std::uint32_t>(
+            std::max(1.0, std::ceil(target_ipc * demand - 1e-9)));
+    };
+
+    size_pool(pools.intAlu, {InstClass::IntAlu, InstClass::Branch});
+    size_pool(pools.intMul, {InstClass::IntMul});
+    size_pool(pools.intDiv, {InstClass::IntDiv});
+    size_pool(pools.fpAlu, {InstClass::FpAlu});
+    size_pool(pools.memPort, {InstClass::Load, InstClass::Store});
+    return pools;
+}
+
+std::string
+describePools(const FuPoolConfig &pools)
+{
+    auto one = [](const char *name, const FuPool &pool) {
+        std::ostringstream os;
+        os << name << "=";
+        if (pool.count == 0)
+            os << "inf";
+        else
+            os << pool.count << (pool.pipelined ? "" : "u");
+        return os.str();
+    };
+    std::ostringstream os;
+    os << one("alu", pools.intAlu) << " " << one("mul", pools.intMul)
+       << " " << one("div", pools.intDiv) << " "
+       << one("fp", pools.fpAlu) << " " << one("mem", pools.memPort);
+    return os.str();
+}
+
+} // namespace fosm

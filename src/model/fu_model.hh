@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Limited functional units - the paper's future-work item 1
+ * (Section 7): "Here, we will have to collect instruction mix
+ * statistics. To sustain the estimated sustained performance, the mix
+ * can be used to determine the number of units required to meet this
+ * performance. Or, if the number of units is too small, we can
+ * generate a lower saturation level than the maximum issue width."
+ *
+ * A pool of n_c units for operation class c bounds the sustainable
+ * issue rate I by throughput: pipelined units accept one operation
+ * per cycle each (I * mix_c <= n_c); unpipelined units are busy for
+ * the full latency (I * mix_c * lat_c <= n_c). The binding class
+ * gives the machine's effective saturation width
+ *   I_sat = min(width, min_c bound_c),
+ * which simply replaces the issue width in the IW characteristic.
+ */
+
+#ifndef FOSM_MODEL_FU_MODEL_HH
+#define FOSM_MODEL_FU_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/latency.hh"
+#include "trace/mix.hh"
+
+namespace fosm {
+
+/** One functional-unit pool. */
+struct FuPool
+{
+    /** Number of units; 0 means unbounded (the paper's base model). */
+    std::uint32_t count = 0;
+    /** Whether the units accept a new operation every cycle. */
+    bool pipelined = true;
+};
+
+/**
+ * Functional-unit pools per operation class. The default is the
+ * paper's machine: an unbounded number of units of each type.
+ */
+struct FuPoolConfig
+{
+    /** Pool serving IntAlu operations (and branches). */
+    FuPool intAlu;
+    /** Pool serving IntMul. */
+    FuPool intMul;
+    /** Pool serving IntDiv (typically unpipelined). */
+    FuPool intDiv{0, false};
+    /** Pool serving FpAlu. */
+    FuPool fpAlu;
+    /** Load/store ports. */
+    FuPool memPort;
+
+    /** The pool that serves the given class. */
+    const FuPool &poolFor(InstClass cls) const;
+    FuPool &poolFor(InstClass cls);
+
+    /** True if any pool is bounded. */
+    bool anyLimited() const;
+
+    /** A conventional 4-wide configuration for experiments. */
+    static FuPoolConfig typical4Wide();
+};
+
+/**
+ * The effective saturation issue width once functional-unit pools are
+ * considered (Section 7, future work 1).
+ *
+ * @param width the machine issue width
+ * @param pools the FU pool configuration
+ * @param mix dynamic operation mix
+ * @param lat class latencies (for unpipelined pools)
+ * @return the sustainable issue rate bound, <= width
+ */
+double effectiveIssueWidth(std::uint32_t width,
+                           const FuPoolConfig &pools,
+                           const InstMix &mix,
+                           const LatencyConfig &lat = LatencyConfig{});
+
+/**
+ * The minimum pool sizes needed to sustain a target issue rate with
+ * the given mix - the paper's "determine the number of units
+ * required to meet this performance".
+ */
+FuPoolConfig requiredPools(double target_ipc, const InstMix &mix,
+                           const LatencyConfig &lat = LatencyConfig{});
+
+/** Short report of a pool configuration for bench output. */
+std::string describePools(const FuPoolConfig &pools);
+
+} // namespace fosm
+
+#endif // FOSM_MODEL_FU_MODEL_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Machine parameters of the first-order superscalar model (paper
+ * Sections 1.1 and 2). The pipeline width, issue width and retire
+ * width are one parameter i; the front-end depth is DeltaP; DeltaI and
+ * DeltaD are the instruction-miss and long-data-miss delays.
+ */
+
+#ifndef FOSM_MODEL_MACHINE_CONFIG_HH
+#define FOSM_MODEL_MACHINE_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace fosm {
+
+/** The paper's baseline machine (Section 1.1). */
+struct MachineConfig
+{
+    /** Fetch = dispatch = issue = retire width (the parameter i). */
+    std::uint32_t width = 4;
+
+    /** Front-end pipeline depth DeltaP in cycles. */
+    std::uint32_t frontEndDepth = 5;
+
+    /** Issue window entries (win_size). */
+    std::uint32_t windowSize = 48;
+
+    /** Reorder buffer entries (rob_size). */
+    std::uint32_t robSize = 128;
+
+    /** Instruction cache miss delay DeltaI (L2 hit latency). */
+    Cycle deltaI = 8;
+
+    /** Long data cache miss delay DeltaD (memory latency). */
+    Cycle deltaD = 200;
+
+    /**
+     * Data-TLB walk latency DeltaT (Section 7 future-work 4; only
+     * used when TLB modeling is enabled).
+     */
+    Cycle deltaT = 30;
+
+    /**
+     * Issue-window clusters (Section 7 future-work 3: "partitioned
+     * issue windows and clustered functional units"). 1 is the
+     * paper's single homogeneous window; K > 1 splits the window and
+     * issue width K ways, with an extra forwarding delay for values
+     * crossing clusters. width and windowSize must be divisible by K.
+     */
+    std::uint32_t clusters = 1;
+
+    /** Inter-cluster forwarding delay in cycles. */
+    Cycle interClusterDelay = 1;
+
+    /** Maximum ROB fill time rob_size / dispatch_width (Section 4.3). */
+    double
+    maxRobFillTime() const
+    {
+        return static_cast<double>(robSize) / static_cast<double>(width);
+    }
+};
+
+} // namespace fosm
+
+#endif // FOSM_MODEL_MACHINE_CONFIG_HH

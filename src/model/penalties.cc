@@ -1,0 +1,101 @@
+#include "model/penalties.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+PenaltyModel::PenaltyModel(const TransientAnalyzer &transient)
+    : transient_(transient),
+      drain_(transient.windowDrain()),
+      ramp_(transient.rampUp())
+{
+}
+
+double
+PenaltyModel::isolatedBranchPenalty() const
+{
+    return drain_.penalty +
+           static_cast<double>(transient_.machine().frontEndDepth) +
+           ramp_.penalty;
+}
+
+double
+PenaltyModel::burstBranchPenalty(double n) const
+{
+    fosm_assert(n >= 1.0, "burst length must be >= 1");
+    return static_cast<double>(transient_.machine().frontEndDepth) +
+           (drain_.penalty + ramp_.penalty) / n;
+}
+
+double
+PenaltyModel::branchPenalty(BranchPenaltyMode mode,
+                            double mean_burst) const
+{
+    switch (mode) {
+      case BranchPenaltyMode::Isolated:
+        return isolatedBranchPenalty();
+      case BranchPenaltyMode::PaperAverage:
+        // Midpoint of the isolated bound and the infinite-burst bound
+        // DeltaP: the paper's "average of 5 and 10 cycles".
+        return 0.5 * (isolatedBranchPenalty() +
+                      static_cast<double>(
+                          transient_.machine().frontEndDepth));
+      case BranchPenaltyMode::BurstAware:
+        return burstBranchPenalty(std::max(mean_burst, 1.0));
+    }
+    fosm_panic("unknown branch penalty mode");
+}
+
+double
+PenaltyModel::isolatedIcachePenalty(double delay) const
+{
+    return delay + ramp_.penalty - drain_.penalty;
+}
+
+double
+PenaltyModel::burstIcachePenalty(double delay, double n) const
+{
+    fosm_assert(n >= 1.0, "burst length must be >= 1");
+    return delay + (ramp_.penalty - drain_.penalty) / n;
+}
+
+double
+PenaltyModel::icachePenalty(IcachePenaltyMode mode, double delay,
+                            double mean_burst) const
+{
+    switch (mode) {
+      case IcachePenaltyMode::MissDelay:
+        return delay;
+      case IcachePenaltyMode::Isolated:
+        return burstIcachePenalty(delay, std::max(mean_burst, 1.0));
+    }
+    fosm_panic("unknown icache penalty mode");
+}
+
+double
+PenaltyModel::isolatedDcachePenalty(double rob_fill) const
+{
+    return static_cast<double>(transient_.machine().deltaD) -
+           rob_fill - drain_.penalty + ramp_.penalty;
+}
+
+double
+PenaltyModel::firstOrderDcachePenalty() const
+{
+    return static_cast<double>(transient_.machine().deltaD);
+}
+
+double
+PenaltyModel::dcachePenalty(double overlap_factor,
+                            bool first_order) const
+{
+    fosm_assert(overlap_factor > 0.0 && overlap_factor <= 1.0 + 1e-9,
+                "overlap factor must be in (0,1]");
+    const double isolated = first_order ? firstOrderDcachePenalty()
+                                        : isolatedDcachePenalty();
+    return isolated * overlap_factor;
+}
+
+} // namespace fosm

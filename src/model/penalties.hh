@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The miss-event penalty models of Section 4: equations (2)-(8).
+ * All penalties are derived from the drain and ramp-up walks of the
+ * TransientAnalyzer plus the machine's miss delays.
+ */
+
+#ifndef FOSM_MODEL_PENALTIES_HH
+#define FOSM_MODEL_PENALTIES_HH
+
+#include "model/transient.hh"
+
+namespace fosm {
+
+/** How the branch misprediction penalty is charged (Section 5 step 2). */
+enum class BranchPenaltyMode
+{
+    /** Equation (2): win_drain + DeltaP + ramp_up, the isolated upper
+     *  bound. */
+    Isolated,
+    /** The paper's evaluation choice: the mean of the isolated bound
+     *  and the fully-clustered bound DeltaP ("the average of 5 and 10
+     *  cycles, i.e. 7.5" for the baseline). */
+    PaperAverage,
+    /** Equation (3) with the measured mean burst length n. */
+    BurstAware,
+};
+
+/** How the instruction cache penalty is charged (Section 5 step 3). */
+enum class IcachePenaltyMode
+{
+    /** The paper's evaluation choice: penalty = the miss delay
+     *  (DeltaI for L1 misses, DeltaD for L2 misses); equation (4)
+     *  with ramp_up and win_drain cancelling. */
+    MissDelay,
+    /** Equation (4) evaluated exactly: delay + ramp_up - win_drain. */
+    Isolated,
+};
+
+/**
+ * Penalty calculator for one (IW characteristic, machine) pair.
+ */
+class PenaltyModel
+{
+  public:
+    explicit PenaltyModel(const TransientAnalyzer &transient);
+
+    /** The window drain penalty win_drain (cycles). */
+    double winDrain() const { return drain_.penalty; }
+
+    /** The ramp-up penalty ramp_up (cycles). */
+    double rampUp() const { return ramp_.penalty; }
+
+    /**
+     * Equation (2): penalty of an isolated branch misprediction,
+     * win_drain + DeltaP + ramp_up.
+     */
+    double isolatedBranchPenalty() const;
+
+    /**
+     * Equation (3): per-misprediction penalty when n mispredictions
+     * cluster: DeltaP + (win_drain + ramp_up) / n.
+     */
+    double burstBranchPenalty(double n) const;
+
+    /**
+     * The branch penalty under the given mode. @param mean_burst the
+     * measured mean misprediction cluster size (BurstAware only).
+     */
+    double branchPenalty(BranchPenaltyMode mode,
+                         double mean_burst = 1.0) const;
+
+    /**
+     * Equation (4): penalty of an isolated instruction cache miss
+     * with the given delivery delay: delay + ramp_up - win_drain.
+     */
+    double isolatedIcachePenalty(double delay) const;
+
+    /**
+     * Equation (5): per-miss penalty for a burst of n instruction
+     * cache misses: delay + (ramp_up - win_drain) / n.
+     */
+    double burstIcachePenalty(double delay, double n) const;
+
+    /** The I-cache penalty under the given mode. */
+    double icachePenalty(IcachePenaltyMode mode, double delay,
+                         double mean_burst = 1.0) const;
+
+    /**
+     * Equation (6): penalty of an isolated long data cache miss:
+     * DeltaD - rob_fill - win_drain + ramp_up. @param rob_fill cycles
+     * to fill the ROB behind the missing load; the paper's
+     * first-order choice is 0 (the load is old when it issues).
+     */
+    double isolatedDcachePenalty(double rob_fill = 0.0) const;
+
+    /**
+     * First-order long-miss penalty: DeltaD (Section 4.3's conclusion
+     * that the isolated penalty is essentially the miss delay).
+     */
+    double firstOrderDcachePenalty() const;
+
+    /**
+     * Equation (8): average per-miss penalty given the overlap factor
+     * sum_i f_LDM(i)/i computed from the measured long-miss burst
+     * distribution.
+     */
+    double dcachePenalty(double overlap_factor,
+                         bool first_order = true) const;
+
+    const TransientAnalyzer &transient() const { return transient_; }
+
+  private:
+    TransientAnalyzer transient_;
+    DrainResult drain_;
+    RampResult ramp_;
+};
+
+} // namespace fosm
+
+#endif // FOSM_MODEL_PENALTIES_HH

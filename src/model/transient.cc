@@ -1,0 +1,252 @@
+#include "model/transient.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+TransientAnalyzer::TransientAnalyzer(const IWCharacteristic &iw,
+                                     const MachineConfig &machine)
+    : iw_(iw), machine_(machine)
+{
+    // The machine's issue width saturates the characteristic; rebuild
+    // the characteristic with the machine width in case the caller
+    // fitted it unbounded.
+    if (iw_.issueWidth() != machine.width) {
+        IWCharacteristic rebuilt(iw.alpha(), iw.beta(),
+                                 iw.avgLatency(), machine.width);
+        rebuilt.setSaturationCap(iw.saturationCap());
+        iw_ = rebuilt;
+    }
+    steadyIpc_ = iw_.steadyStateIpc(machine_.windowSize);
+    // Occupancy that sustains the steady rate. At saturation this is
+    // the equilibrium occupancy (dispatch == issue == width holds the
+    // window here); unsaturated it equals the window size.
+    steadyOccupancy_ = std::min(
+        static_cast<double>(machine_.windowSize),
+        iw_.occupancyForRate(steadyIpc_));
+}
+
+DrainResult
+TransientAnalyzer::windowDrain() const
+{
+    DrainResult result;
+    double w = steadyOccupancy_;
+    int cycles = 0;
+    while (w > drainFloor && cycles < maxWalk) {
+        const double rate = std::min(iw_.issueRate(w), w);
+        if (rate <= 1e-9)
+            break;
+        result.instructions += rate;
+        w -= rate;
+        ++cycles;
+    }
+    result.cycles = cycles;
+    result.residual = w;
+    result.penalty =
+        result.cycles - result.instructions / steadyIpc_;
+    return result;
+}
+
+RampResult
+TransientAnalyzer::rampUp() const
+{
+    RampResult result;
+    double w = 0.0;
+    double lost = 0.0;
+    int cycles = 0;
+    while (cycles < maxWalk) {
+        w = std::min(w + machine_.width,
+                     static_cast<double>(machine_.windowSize));
+        const double rate = std::min(iw_.issueRate(w), w);
+        if (rate >= rampTolerance * steadyIpc_)
+            break;
+        result.instructions += rate;
+        lost += steadyIpc_ - rate;
+        w -= rate;
+        ++cycles;
+    }
+    result.cycles = cycles;
+    result.penalty = lost / steadyIpc_;
+    return result;
+}
+
+std::vector<double>
+TransientAnalyzer::branchTransientSeries(int lead_cycles) const
+{
+    std::vector<double> series;
+
+    for (int i = 0; i < lead_cycles; ++i)
+        series.push_back(steadyIpc_);
+
+    // Drain: fetch of useful instructions has stopped; the window
+    // empties following the IW characteristic.
+    double w = steadyOccupancy_;
+    int guard = 0;
+    while (w > drainFloor && guard++ < maxWalk) {
+        const double rate = std::min(iw_.issueRate(w), w);
+        if (rate <= 1e-9)
+            break;
+        series.push_back(rate);
+        w -= rate;
+    }
+
+    // The branch resolves; the pipeline refills for DeltaP cycles.
+    for (std::uint32_t i = 0; i < machine_.frontEndDepth; ++i)
+        series.push_back(0.0);
+
+    // Ramp-up: leaky bucket back to steady state.
+    w = 0.0;
+    guard = 0;
+    while (guard++ < maxWalk) {
+        w = std::min(w + machine_.width,
+                     static_cast<double>(machine_.windowSize));
+        const double rate = std::min(iw_.issueRate(w), w);
+        series.push_back(rate);
+        if (rate >= rampTolerance * steadyIpc_)
+            break;
+        w -= rate;
+    }
+
+    for (int i = 0; i < lead_cycles; ++i)
+        series.push_back(steadyIpc_);
+    return series;
+}
+
+std::vector<double>
+TransientAnalyzer::icacheTransientSeries(int lead_cycles) const
+{
+    std::vector<double> series;
+    for (int i = 0; i < lead_cycles; ++i)
+        series.push_back(steadyIpc_);
+
+    // Instructions buffered in the front-end pipe keep the window fed
+    // for DeltaP cycles after the miss.
+    for (std::uint32_t i = 0; i < machine_.frontEndDepth; ++i)
+        series.push_back(steadyIpc_);
+
+    // Window drains. Fetch resumes at DeltaI; instructions re-enter
+    // the window at DeltaI + DeltaP.
+    const double reentry =
+        static_cast<double>(machine_.deltaI + machine_.frontEndDepth);
+    double t = machine_.frontEndDepth; // cycles since the miss
+    double w = steadyOccupancy_;
+    int guard = 0;
+    while (w > drainFloor && t < reentry && guard++ < maxWalk) {
+        const double rate = std::min(iw_.issueRate(w), w);
+        if (rate <= 1e-9)
+            break;
+        series.push_back(rate);
+        w -= rate;
+        t += 1.0;
+    }
+
+    // Idle until the refilled pipe reaches the window.
+    while (t < reentry) {
+        series.push_back(0.0);
+        t += 1.0;
+    }
+
+    // Ramp-up from whatever occupancy remained.
+    guard = 0;
+    while (guard++ < maxWalk) {
+        w = std::min(w + machine_.width,
+                     static_cast<double>(machine_.windowSize));
+        const double rate = std::min(iw_.issueRate(w), w);
+        series.push_back(rate);
+        if (rate >= rampTolerance * steadyIpc_)
+            break;
+        w -= rate;
+    }
+
+    for (int i = 0; i < lead_cycles; ++i)
+        series.push_back(steadyIpc_);
+    return series;
+}
+
+std::vector<double>
+TransientAnalyzer::interMispredictSeries(double inter_inst) const
+{
+    fosm_assert(inter_inst > 0.0,
+                "inter-misprediction distance must be positive");
+    std::vector<double> series;
+
+    // Pipeline refill after the previous misprediction resolved.
+    for (std::uint32_t i = 0; i < machine_.frontEndDepth; ++i)
+        series.push_back(0.0);
+
+    // Dispatch a budget of inter_inst useful instructions; the next
+    // mispredicted branch follows immediately after, so once the
+    // budget is dispatched the window drains and issue falls to zero
+    // (Figure 19's rise-and-fall shape).
+    double to_dispatch = inter_inst;
+    double in_window = 0.0;
+    int guard = 0;
+    while ((to_dispatch > 0.0 || in_window > 1e-9) &&
+           guard++ < maxWalk) {
+        const double dispatched = std::min(
+            {static_cast<double>(machine_.width), to_dispatch,
+             static_cast<double>(machine_.windowSize) - in_window});
+        to_dispatch -= dispatched;
+        in_window += dispatched;
+        const double rate =
+            std::min(iw_.issueRate(in_window), in_window);
+        series.push_back(rate);
+        in_window -= rate;
+        if (rate <= 1e-9 && to_dispatch <= 0.0)
+            break;
+    }
+    return series;
+}
+
+double
+TransientAnalyzer::saturationTimeFraction(double inter_inst,
+                                          double closeness) const
+{
+    const std::vector<double> series =
+        interMispredictSeries(inter_inst);
+    if (series.empty())
+        return 0.0;
+    const double threshold =
+        closeness * static_cast<double>(machine_.width);
+    std::size_t close = 0;
+    for (double rate : series) {
+        if (rate >= threshold)
+            ++close;
+    }
+    return static_cast<double>(close) /
+           static_cast<double>(series.size());
+}
+
+double
+TransientAnalyzer::instructionsForSaturationFraction(
+    double target_fraction, double closeness) const
+{
+    fosm_assert(target_fraction > 0.0 && target_fraction < 1.0,
+                "target fraction must be in (0,1)");
+    double lo = 1.0;
+    double hi = 1.0;
+    // Exponential search for an upper bracket.
+    for (int i = 0; i < 40; ++i) {
+        if (saturationTimeFraction(hi, closeness) >= target_fraction)
+            break;
+        hi *= 2.0;
+        if (hi > 1e9)
+            return std::numeric_limits<double>::infinity();
+    }
+    if (saturationTimeFraction(hi, closeness) < target_fraction)
+        return std::numeric_limits<double>::infinity();
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (saturationTimeFraction(mid, closeness) >= target_fraction)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace fosm

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Numeric evaluation of the miss-event transients of Section 4. The
+ * paper derives drain and ramp-up penalties by walking the IW
+ * characteristic (the "Excel" curve of Figure 8); this module performs
+ * that walk programmatically:
+ *
+ *  - window drain: occupancy starts at the steady-state level and
+ *    falls as W -= I(W) each cycle until the window is empty of useful
+ *    instructions (when the mispredicted branch, assumed oldest,
+ *    issues).
+ *  - ramp-up ("leaky bucket" [7]): the empty window fills at the
+ *    dispatch width while issuing I(W), approaching the steady rate
+ *    asymptotically.
+ *
+ * It also generates whole transient time-series — the curves of
+ * Figures 7, 8, 10, 12 and 19 — and the saturation-time analysis of
+ * Figures 18/19.
+ */
+
+#ifndef FOSM_MODEL_TRANSIENT_HH
+#define FOSM_MODEL_TRANSIENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "iw/iw_characteristic.hh"
+#include "model/machine_config.hh"
+
+namespace fosm {
+
+/** Outcome of the window-drain walk. */
+struct DrainResult
+{
+    /** Cycles from fetch stop until the window is empty of useful
+     *  instructions. */
+    double cycles = 0.0;
+    /** Useful instructions issued while draining. */
+    double instructions = 0.0;
+    /** Penalty relative to issuing the same instructions at the
+     *  steady-state rate: the paper's win_drain. */
+    double penalty = 0.0;
+    /** Occupancy left when the walk stops (should be small; the paper
+     *  measured ~1.3 useful instructions). */
+    double residual = 0.0;
+};
+
+/** Outcome of the ramp-up walk. */
+struct RampResult
+{
+    /** Cycles until the issue rate is within tolerance of steady. */
+    double cycles = 0.0;
+    /** Instructions issued during the ramp. */
+    double instructions = 0.0;
+    /** Lost issue opportunity in cycles: the paper's ramp_up. */
+    double penalty = 0.0;
+};
+
+/**
+ * Transient analyzer for one (IW characteristic, machine) pair.
+ * All results are memoized; the object is cheap to copy.
+ */
+class TransientAnalyzer
+{
+  public:
+    TransientAnalyzer(const IWCharacteristic &iw,
+                      const MachineConfig &machine);
+
+    /** Steady-state issue rate min(i, alpha*W^beta/L) at win_size. */
+    double steadyIpc() const { return steadyIpc_; }
+
+    /**
+     * Steady-state *useful* occupancy: the occupancy at which the IW
+     * curve sustains the steady rate, capped at win_size. At
+     * saturation this is below win_size (e.g. 16 for the square-law
+     * curve at issue width 4), which is why Figure 8's drain lasts
+     * ~6 cycles, not win_size/i.
+     */
+    double steadyOccupancy() const { return steadyOccupancy_; }
+
+    /** Walk the drain transient (Section 4.1, Figure 8 left part). */
+    DrainResult windowDrain() const;
+
+    /** Walk the ramp-up transient (Figure 8 right part). */
+    RampResult rampUp() const;
+
+    /**
+     * Full branch-misprediction transient: per-cycle useful issue rate
+     * from steady state through drain, pipeline refill, and ramp-up
+     * back to steady state (Figure 8). The series starts with
+     * lead_cycles of steady-state issue.
+     */
+    std::vector<double> branchTransientSeries(int lead_cycles = 2) const;
+
+    /**
+     * Full instruction-cache-miss transient (Figure 10): buffered
+     * front-end instructions keep the window fed for DeltaP cycles,
+     * the window drains, the miss delay passes, the pipeline refills,
+     * and issue ramps up.
+     */
+    std::vector<double> icacheTransientSeries(int lead_cycles = 2) const;
+
+    /**
+     * Per-cycle issue rate between two branch mispredictions that are
+     * inter_inst useful instructions apart (Figure 19): pipeline
+     * refill, ramp toward steady state, possible steady phase, then
+     * the drain triggered by the next misprediction.
+     */
+    std::vector<double>
+    interMispredictSeries(double inter_inst) const;
+
+    /**
+     * Fraction of cycles in the inter-misprediction interval during
+     * which the issue rate is within `closeness` of the issue width
+     * (Section 6.2 counts a cycle at >= 87.5% of the width as
+     * achieving it).
+     */
+    double saturationTimeFraction(double inter_inst,
+                                  double closeness = 0.875) const;
+
+    /**
+     * Inverse of saturationTimeFraction: instructions between
+     * mispredictions required to spend the target fraction of time
+     * near the issue width (Figure 18). Binary search; returns
+     * infinity when the target is unreachable.
+     */
+    double instructionsForSaturationFraction(double target_fraction,
+                                             double closeness =
+                                                 0.875) const;
+
+    const IWCharacteristic &iw() const { return iw_; }
+    const MachineConfig &machine() const { return machine_; }
+
+  private:
+    IWCharacteristic iw_;
+    MachineConfig machine_;
+    double steadyIpc_;
+    double steadyOccupancy_;
+
+    /** Occupancy below which the window counts as drained. */
+    static constexpr double drainFloor = 1.0;
+    /** Ramp terminates when the rate reaches this fraction of steady. */
+    static constexpr double rampTolerance = 0.999;
+    /** Hard iteration cap for the walks. */
+    static constexpr int maxWalk = 100000;
+};
+
+} // namespace fosm
+
+#endif // FOSM_MODEL_TRANSIENT_HH

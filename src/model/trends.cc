@@ -1,0 +1,123 @@
+#include "model/trends.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+MachineConfig
+trendMachine(std::uint32_t issue_width, std::uint32_t front_end_depth,
+             const TrendConfig &config)
+{
+    MachineConfig machine;
+    machine.width = issue_width;
+    machine.frontEndDepth = front_end_depth;
+    // Window large enough that alpha * W^beta / L reaches the issue
+    // width (saturation), with headroom.
+    const double needed = std::pow(
+        static_cast<double>(issue_width) * config.avgLatency /
+            config.alpha,
+        1.0 / config.beta);
+    machine.windowSize = static_cast<std::uint32_t>(
+        std::max(64.0, 4.0 * needed));
+    machine.robSize = 4 * machine.windowSize;
+    return machine;
+}
+
+std::vector<PipelineDepthPoint>
+pipelineDepthSweep(std::uint32_t issue_width,
+                   const std::vector<std::uint32_t> &depths,
+                   const TrendConfig &config)
+{
+    std::vector<PipelineDepthPoint> points;
+    points.reserve(depths.size());
+
+    const IWCharacteristic iw(config.alpha, config.beta,
+                              config.avgLatency, issue_width);
+
+    for (std::uint32_t depth : depths) {
+        const MachineConfig machine =
+            trendMachine(issue_width, depth, config);
+        const TransientAnalyzer transient(iw, machine);
+        const PenaltyModel penalties(transient);
+
+        const double cpi = 1.0 / transient.steadyIpc() +
+                           config.mispredictsPerInst() *
+                               penalties.isolatedBranchPenalty();
+
+        PipelineDepthPoint point;
+        point.depth = depth;
+        point.ipc = 1.0 / cpi;
+        const double cycle_ps =
+            config.totalLogicPs / static_cast<double>(depth) +
+            config.flipFlopPs;
+        point.clockGhz = 1000.0 / cycle_ps;
+        point.bips = point.ipc * point.clockGhz;
+        points.push_back(point);
+    }
+    return points;
+}
+
+PipelineDepthPoint
+optimalPipelineDepth(std::uint32_t issue_width,
+                     const TrendConfig &config,
+                     std::uint32_t max_depth)
+{
+    std::vector<std::uint32_t> depths;
+    for (std::uint32_t d = 1; d <= max_depth; ++d)
+        depths.push_back(d);
+    const std::vector<PipelineDepthPoint> points =
+        pipelineDepthSweep(issue_width, depths, config);
+
+    PipelineDepthPoint best = points.front();
+    for (const PipelineDepthPoint &p : points) {
+        if (p.bips > best.bips)
+            best = p;
+    }
+    return best;
+}
+
+std::vector<SaturationPoint>
+issueWidthRequirement(std::uint32_t issue_width,
+                      const std::vector<double> &fractions,
+                      const TrendConfig &config,
+                      std::uint32_t front_end_depth)
+{
+    const IWCharacteristic iw(config.alpha, config.beta,
+                              config.avgLatency, issue_width);
+    const MachineConfig machine =
+        trendMachine(issue_width, front_end_depth, config);
+    const TransientAnalyzer transient(iw, machine);
+
+    std::vector<SaturationPoint> points;
+    points.reserve(fractions.size());
+    for (double f : fractions) {
+        SaturationPoint point;
+        point.timeFraction = f;
+        point.instructionsBetween =
+            transient.instructionsForSaturationFraction(f);
+        points.push_back(point);
+    }
+    return points;
+}
+
+std::vector<double>
+issueRampSeries(std::uint32_t issue_width, const TrendConfig &config,
+                std::uint32_t front_end_depth)
+{
+    const IWCharacteristic iw(config.alpha, config.beta,
+                              config.avgLatency, issue_width);
+    const MachineConfig machine =
+        trendMachine(issue_width, front_end_depth, config);
+    const TransientAnalyzer transient(iw, machine);
+
+    // Average distance between mispredictions implied by the branch
+    // statistics: 1 / (branchFraction * mispredictRate) instructions.
+    const double inter =
+        1.0 / std::max(config.mispredictsPerInst(), 1e-9);
+    return transient.interMispredictSeries(inter);
+}
+
+} // namespace fosm

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Microarchitecture trend studies of Section 6: the pipeline-depth
+ * analysis (Figure 17) and the issue-width / branch-prediction
+ * analysis (Figures 18 and 19). Both use the model with the
+ * SPECint2000-average square-law IW characteristic (alpha = 1,
+ * beta = 0.5) and the assumption that one in five instructions is a
+ * branch with a 5% misprediction rate.
+ */
+
+#ifndef FOSM_MODEL_TRENDS_HH
+#define FOSM_MODEL_TRENDS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "model/penalties.hh"
+#include "model/transient.hh"
+
+namespace fosm {
+
+/** Shared assumptions of the Section 6 studies. */
+struct TrendConfig
+{
+    /** Average IW characteristic (square law). */
+    double alpha = 1.0;
+    double beta = 0.5;
+    double avgLatency = 1.0;
+
+    /** One in five instructions is a branch... */
+    double branchFraction = 0.2;
+    /** ...and 5% of branches are mispredicted. */
+    double mispredictRate = 0.05;
+
+    /** Total front-end logic delay (Sprangle & Carmean [4]). */
+    double totalLogicPs = 8200.0;
+    /** Per-stage flip-flop overhead [4]. */
+    double flipFlopPs = 90.0;
+
+    /** Mispredictions per instruction. */
+    double mispredictsPerInst() const
+    {
+        return branchFraction * mispredictRate;
+    }
+};
+
+/** One point of the Figure 17 sweep. */
+struct PipelineDepthPoint
+{
+    std::uint32_t depth = 0;
+    double ipc = 0.0;
+    /** Clock frequency in GHz for this depth (Figure 17b). */
+    double clockGhz = 0.0;
+    /** Billions of instructions per second (Figure 17b). */
+    double bips = 0.0;
+};
+
+/**
+ * Sweep front-end pipeline depth for one issue width (Figure 17).
+ * CPI = 1/width + B * isolated_brmisp_penalty(depth); absolute
+ * performance uses cycle time totalLogicPs/depth + flipFlopPs.
+ */
+std::vector<PipelineDepthPoint>
+pipelineDepthSweep(std::uint32_t issue_width,
+                   const std::vector<std::uint32_t> &depths,
+                   const TrendConfig &config = TrendConfig{});
+
+/** The depth with maximal BIPS in a sweep. */
+PipelineDepthPoint
+optimalPipelineDepth(std::uint32_t issue_width,
+                     const TrendConfig &config = TrendConfig{},
+                     std::uint32_t max_depth = 100);
+
+/** One point of the Figure 18 analysis. */
+struct SaturationPoint
+{
+    /** Target fraction of time spent near the issue width. */
+    double timeFraction = 0.0;
+    /** Required instructions between mispredictions. */
+    double instructionsBetween = 0.0;
+};
+
+/**
+ * Figure 18: for the given issue width, the number of instructions
+ * between mispredictions needed to spend each target fraction of time
+ * within 12.5% of the issue width. Uses a five-stage front end.
+ */
+std::vector<SaturationPoint>
+issueWidthRequirement(std::uint32_t issue_width,
+                      const std::vector<double> &fractions,
+                      const TrendConfig &config = TrendConfig{},
+                      std::uint32_t front_end_depth = 5);
+
+/**
+ * Figure 19: per-cycle issue rate between two mispredictions for the
+ * given issue width, with the inter-misprediction distance implied by
+ * the TrendConfig branch statistics.
+ */
+std::vector<double>
+issueRampSeries(std::uint32_t issue_width,
+                const TrendConfig &config = TrendConfig{},
+                std::uint32_t front_end_depth = 5);
+
+/**
+ * A machine suitable for the trend studies: window scaled to keep the
+ * square-law curve saturated at the issue width.
+ */
+MachineConfig trendMachine(std::uint32_t issue_width,
+                           std::uint32_t front_end_depth,
+                           const TrendConfig &config);
+
+} // namespace fosm
+
+#endif // FOSM_MODEL_TRENDS_HH

@@ -1,0 +1,423 @@
+#include "sim/detailed_sim.hh"
+
+#include <algorithm>
+
+#include "branch/ideal.hh"
+#include "branch/synthetic.hh"
+#include "common/logging.hh"
+
+namespace fosm {
+
+DetailedSimulator::DetailedSimulator(const Trace &trace,
+                                     const SimConfig &config)
+    : trace_(trace),
+      config_(config),
+      hierarchy_(config.hierarchy),
+      timing_(trace.size())
+{
+    fosm_assert(config_.machine.width > 0, "width must be positive");
+    fosm_assert(config_.machine.frontEndDepth > 0,
+                "front-end depth must be positive");
+    fosm_assert(config_.machine.windowSize > 0,
+                "window size must be positive");
+    fosm_assert(config_.machine.robSize >= config_.machine.windowSize,
+                "ROB must be at least as large as the window");
+    fosm_assert(config_.machine.clusters >= 1,
+                "need at least one cluster");
+    fosm_assert(config_.machine.width % config_.machine.clusters == 0,
+                "issue width must be divisible by the cluster count");
+    fosm_assert(
+        config_.machine.windowSize % config_.machine.clusters == 0,
+        "window size must be divisible by the cluster count");
+    clusterOccupancy_.assign(config_.machine.clusters, 0);
+    clusterIssued_.assign(config_.machine.clusters, 0);
+
+    if (config_.options.idealBranchPredictor) {
+        predictor_ = makePredictor(PredictorKind::Ideal);
+    } else if (config_.syntheticMispredictRate >= 0.0) {
+        predictor_ = std::make_unique<SyntheticPredictor>(
+            config_.syntheticMispredictRate);
+    } else {
+        predictor_ =
+            makePredictor(config_.predictor, config_.predictorEntries);
+    }
+
+    if (config_.dtlb.enabled)
+        dtlb_ = std::make_unique<Tlb>(config_.dtlb);
+
+    stats_.timelineBucketCycles = config_.options.timelineBucketCycles;
+
+    // Functional-unit pools (empty busy vector = unbounded).
+    const FuPool *pools[5] = {
+        &config_.fuPools.intAlu, &config_.fuPools.intMul,
+        &config_.fuPools.intDiv, &config_.fuPools.fpAlu,
+        &config_.fuPools.memPort};
+    for (std::size_t p = 0; p < 5; ++p) {
+        fuState_[p].pipelined = pools[p]->pipelined;
+        fuState_[p].busyUntil.assign(pools[p]->count, 0);
+    }
+
+    resolveProducers();
+}
+
+std::size_t
+DetailedSimulator::fuPoolIndex(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::IntAlu:
+      case InstClass::Branch:
+        return 0;
+      case InstClass::IntMul:
+        return 1;
+      case InstClass::IntDiv:
+        return 2;
+      case InstClass::FpAlu:
+        return 3;
+      case InstClass::Load:
+      case InstClass::Store:
+        return 4;
+    }
+    fosm_panic("unknown InstClass");
+}
+
+bool
+DetailedSimulator::fuAvailable(InstClass cls) const
+{
+    const FuPoolState &pool = fuState_[fuPoolIndex(cls)];
+    if (pool.busyUntil.empty())
+        return true; // unbounded
+    for (Cycle busy : pool.busyUntil) {
+        if (busy <= now_)
+            return true;
+    }
+    return false;
+}
+
+void
+DetailedSimulator::occupyFu(InstClass cls)
+{
+    FuPoolState &pool = fuState_[fuPoolIndex(cls)];
+    if (pool.busyUntil.empty())
+        return;
+    for (Cycle &busy : pool.busyUntil) {
+        if (busy <= now_) {
+            // A pipelined unit accepts a new operation next cycle;
+            // an unpipelined one is busy for the full latency.
+            busy = now_ + (pool.pipelined
+                               ? 1
+                               : config_.latency.latencyFor(cls));
+            return;
+        }
+    }
+    fosm_panic("occupyFu called without an available unit");
+}
+
+void
+DetailedSimulator::resolveProducers()
+{
+    std::vector<std::int32_t> last_writer(numArchRegs, -1);
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+        const InstRecord &inst = trace_[i];
+        timing_[i].prod1 =
+            inst.src1 != invalidReg ? last_writer[inst.src1] : -1;
+        timing_[i].prod2 =
+            inst.src2 != invalidReg ? last_writer[inst.src2] : -1;
+        if (inst.dst != invalidReg)
+            last_writer[inst.dst] = static_cast<std::int32_t>(i);
+    }
+}
+
+std::uint32_t
+DetailedSimulator::pipeCapacity() const
+{
+    return config_.machine.frontEndDepth * config_.machine.width +
+           config_.options.fetchBufferEntries;
+}
+
+bool
+DetailedSimulator::longMissOutstanding() const
+{
+    return !outstandingLongMisses_.empty();
+}
+
+void
+DetailedSimulator::reapLongMisses()
+{
+    auto it = outstandingLongMisses_.begin();
+    while (it != outstandingLongMisses_.end()) {
+        if (*it <= now_) {
+            stats_.windowAtMissReturn.add(
+                static_cast<double>(window_.size()));
+            it = outstandingLongMisses_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+bool
+DetailedSimulator::ready(std::uint32_t seq) const
+{
+    const InstTiming &t = timing_[seq];
+    for (std::int32_t p : {t.prod1, t.prod2}) {
+        if (p < 0)
+            continue;
+        const InstTiming &pt = timing_[static_cast<std::uint32_t>(p)];
+        if (!pt.issued)
+            return false;
+        // Values produced in another cluster pay the forwarding
+        // delay (future-work 3).
+        Cycle available = pt.completeCycle;
+        if (pt.cluster != t.cluster)
+            available += config_.machine.interClusterDelay;
+        if (available > now_)
+            return false;
+    }
+    return true;
+}
+
+void
+DetailedSimulator::issueInst(std::uint32_t seq)
+{
+    const InstRecord &inst = trace_[seq];
+    InstTiming &t = timing_[seq];
+
+    Cycle lat = config_.latency.latencyFor(inst.cls);
+
+    // Data-TLB translation precedes the cache access; a load walk
+    // serializes with the load ("much like a long data cache miss",
+    // Section 7 future-work 4). Store walks are absorbed by the
+    // write buffer.
+    Cycle walk = 0;
+    if (dtlb_ && inst.isMem() && !config_.options.idealDcache) {
+        if (!dtlb_->access(inst.effAddr)) {
+            if (inst.isLoad()) {
+                ++stats_.dtlbLoadMisses;
+                walk = config_.dtlb.walkLatency;
+            } else {
+                ++stats_.dtlbStoreMisses;
+            }
+        }
+    }
+
+    if (inst.isLoad() && !config_.options.idealDcache) {
+        const AccessResult access = hierarchy_.accessData(inst.effAddr);
+        if (access.level == HitLevel::L2) {
+            ++stats_.shortLoadMisses;
+            lat = config_.latency.loadHit + config_.hierarchy.l2Latency;
+        } else if (access.level == HitLevel::Memory) {
+            if (config_.options.isolateDcacheMisses &&
+                longMissOutstanding()) {
+                // Isolation experiment: overlapping misses become hits.
+                lat = config_.latency.loadHit;
+            } else {
+                ++stats_.longLoadMisses;
+                lat = config_.latency.loadHit +
+                      config_.hierarchy.memLatency;
+                t.longMiss = true;
+                // ROB is filled in order, so the entries ahead of this
+                // load are exactly those with smaller sequence numbers.
+                fosm_assert(!rob_.empty(), "issuing outside the ROB");
+                stats_.robAheadOfMissedLoad.add(
+                    static_cast<double>(seq - rob_.front()));
+                outstandingLongMisses_.push_back(now_ + lat + walk);
+            }
+        }
+    } else if (inst.isStore() && !config_.options.idealDcache) {
+        // Stores are write-buffered: access for cache state, but the
+        // store completes immediately and never stalls retirement.
+        hierarchy_.accessData(inst.effAddr);
+    }
+    lat += walk;
+
+    t.issueCycle = now_;
+    t.completeCycle = now_ + lat;
+    t.issued = true;
+
+    if (inst.isBranch() && mispredicted_[seq]) {
+        // The window should be (nearly) empty of useful instructions
+        // by now (Section 4.1's validation: ~1.3 on average).
+        stats_.windowAtBranchIssue.add(
+            static_cast<double>(window_.size() - 1));
+        branchResolveCycle_ = t.completeCycle;
+        branchResolvePending_ = true;
+    }
+}
+
+void
+DetailedSimulator::doIssue()
+{
+    issuedNow_.clear();
+    std::uint32_t issued = 0;
+    const std::uint32_t per_cluster =
+        config_.machine.width / config_.machine.clusters;
+    std::fill(clusterIssued_.begin(), clusterIssued_.end(), 0);
+    for (std::uint32_t seq : window_) {
+        if (issued >= config_.machine.width)
+            break;
+        const std::uint8_t cluster = timing_[seq].cluster;
+        if (clusterIssued_[cluster] >= per_cluster)
+            continue;
+        if (ready(seq) && fuAvailable(trace_[seq].cls)) {
+            occupyFu(trace_[seq].cls);
+            issuedNow_.push_back(seq);
+            ++clusterIssued_[cluster];
+            ++issued;
+        }
+    }
+    for (std::uint32_t seq : issuedNow_) {
+        issueInst(seq);
+        --clusterOccupancy_[timing_[seq].cluster];
+        window_.erase(
+            std::find(window_.begin(), window_.end(), seq));
+    }
+}
+
+void
+DetailedSimulator::doDispatch()
+{
+    const std::uint32_t per_cluster_window =
+        config_.machine.windowSize / config_.machine.clusters;
+    std::uint32_t dispatched = 0;
+    while (dispatched < config_.machine.width && !pipe_.empty() &&
+           pipe_.front().readyCycle <= now_ &&
+           window_.size() < config_.machine.windowSize &&
+           rob_.size() < config_.machine.robSize) {
+        // Round-robin cluster steering; head-of-line blocking when
+        // the target cluster's partition is full.
+        const std::uint8_t cluster = static_cast<std::uint8_t>(
+            dispatchCount_ % config_.machine.clusters);
+        if (clusterOccupancy_[cluster] >= per_cluster_window)
+            break;
+        const std::uint32_t seq = pipe_.front().seq;
+        pipe_.pop_front();
+        timing_[seq].cluster = cluster;
+        ++clusterOccupancy_[cluster];
+        ++dispatchCount_;
+        window_.push_back(seq);
+        rob_.push_back(seq);
+        ++dispatched;
+    }
+}
+
+void
+DetailedSimulator::doRetire()
+{
+    std::uint32_t retired = 0;
+    while (retired < config_.machine.width && !rob_.empty()) {
+        const std::uint32_t seq = rob_.front();
+        const InstTiming &t = timing_[seq];
+        if (!t.issued || t.completeCycle > now_)
+            break;
+        rob_.pop_front();
+        ++stats_.retired;
+        ++retired;
+    }
+    if (stats_.timelineBucketCycles > 0 && retired > 0) {
+        const std::size_t bucket =
+            now_ / stats_.timelineBucketCycles;
+        if (stats_.timeline.size() <= bucket)
+            stats_.timeline.resize(bucket + 1, 0);
+        stats_.timeline[bucket] += retired;
+    }
+}
+
+bool
+DetailedSimulator::fetchOne()
+{
+    const InstRecord &inst = trace_[fetchSeq_];
+
+    if (!fetchRetryPending_ && !config_.options.idealIcache) {
+        const AccessResult access = hierarchy_.fetchInst(inst.pc);
+        if (access.isL1Miss()) {
+            ++stats_.icacheL1Misses;
+            if (access.isL2Miss())
+                ++stats_.icacheL2Misses;
+            if (longMissOutstanding())
+                ++stats_.icacheMissesDuringLongMiss;
+            // The line arrives after the access latency; the fetch of
+            // this instruction then proceeds without re-probing.
+            icacheStallUntil_ = now_ + access.latency;
+            fetchRetryPending_ = true;
+            return false;
+        }
+    }
+    fetchRetryPending_ = false;
+
+    pipe_.push_back({fetchSeq_, now_ + config_.machine.frontEndDepth});
+
+    if (inst.isBranch()) {
+        ++stats_.branches;
+        const bool correct =
+            predictor_->predictAndUpdate(inst.pc, inst.branchTaken);
+        if (!correct) {
+            ++stats_.mispredictions;
+            mispredicted_[fetchSeq_] = true;
+            if (longMissOutstanding())
+                ++stats_.mispredictsDuringLongMiss;
+            // Fetch of useful instructions stops until the branch
+            // resolves (the paper's machine, Section 2).
+            branchStall_ = true;
+            ++fetchSeq_;
+            return false;
+        }
+    }
+    ++fetchSeq_;
+    return true;
+}
+
+void
+DetailedSimulator::doFetch()
+{
+    if (branchStall_ || now_ < icacheStallUntil_)
+        return;
+    const std::uint32_t bandwidth = config_.options.fetchBandwidth
+        ? config_.options.fetchBandwidth
+        : config_.machine.width;
+    std::uint32_t fetched = 0;
+    while (fetched < bandwidth && fetchSeq_ < trace_.size() &&
+           pipe_.size() < pipeCapacity()) {
+        if (!fetchOne())
+            break;
+        ++fetched;
+    }
+}
+
+SimStats
+DetailedSimulator::run()
+{
+    const std::uint64_t n = trace_.size();
+    mispredicted_.assign(n, false);
+
+    // Generous livelock guard: even a fully serialized machine with
+    // memory latency on every instruction stays well below this.
+    const Cycle bound =
+        10000 + n * (config_.hierarchy.memLatency + 64);
+
+    while (stats_.retired < n) {
+        reapLongMisses();
+        if (branchResolvePending_ && branchResolveCycle_ <= now_) {
+            branchResolvePending_ = false;
+            branchStall_ = false;
+        }
+        doRetire();
+        doIssue();
+        doDispatch();
+        doFetch();
+        ++now_;
+        fosm_assert(now_ < bound, "simulator failed to make progress");
+    }
+    stats_.cycles = now_;
+    return stats_;
+}
+
+SimStats
+simulateTrace(const Trace &trace, const SimConfig &config)
+{
+    SimConfig cfg = config;
+    cfg.syncMissDelays();
+    DetailedSimulator sim(trace, cfg);
+    return sim.run();
+}
+
+} // namespace fosm

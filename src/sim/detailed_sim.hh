@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Detailed cycle-level simulator of the paper's machine (Figure 3):
+ * a front-end pipeline of depth DeltaP and width i feeding a single
+ * homogeneous issue window with oldest-first out-of-order issue, a
+ * separate reorder buffer, unbounded functional units, in-order
+ * retirement of width i, real caches, and a real branch predictor.
+ *
+ * This is the validation reference: the paper's accuracy claims
+ * (Figures 2, 9, 11, 14, 15) compare the analytical model against
+ * exactly this kind of simulation. Being trace-driven, it does not
+ * execute wrong-path instructions; per the paper's machine, fetch of
+ * useful instructions stops at a mispredicted branch and resumes when
+ * the branch resolves (the window being empty of useful instructions
+ * by then), after which correct-path instructions take DeltaP cycles
+ * to reach the window.
+ */
+
+#ifndef FOSM_SIM_DETAILED_SIM_HH
+#define FOSM_SIM_DETAILED_SIM_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sim/sim_config.hh"
+#include "sim/sim_stats.hh"
+#include "trace/trace.hh"
+
+namespace fosm {
+
+/**
+ * One simulation run over one trace. Construct and call run().
+ */
+class DetailedSimulator
+{
+  public:
+    DetailedSimulator(const Trace &trace, const SimConfig &config);
+
+    /** Simulate to completion and return the statistics. */
+    SimStats run();
+
+  private:
+    /** Per-instruction timing state, indexed by trace position. */
+    struct InstTiming
+    {
+        Cycle issueCycle = 0;
+        Cycle completeCycle = 0;
+        std::int32_t prod1 = -1;
+        std::int32_t prod2 = -1;
+        std::uint8_t cluster = 0;
+        bool issued = false;
+        bool longMiss = false;
+    };
+
+    /** An instruction travelling through the front-end pipe. */
+    struct PipeEntry
+    {
+        std::uint32_t seq;
+        Cycle readyCycle; ///< cycle it can dispatch into the window
+    };
+
+    const Trace &trace_;
+    SimConfig config_;
+    SimStats stats_;
+
+    CacheHierarchy hierarchy_;
+    std::unique_ptr<BranchPredictor> predictor_;
+    std::unique_ptr<Tlb> dtlb_;
+
+    std::vector<InstTiming> timing_;
+
+    // Front-end state.
+    std::uint32_t fetchSeq_ = 0;
+    Cycle icacheStallUntil_ = 0;
+    bool fetchRetryPending_ = false;
+    bool branchStall_ = false;
+    Cycle branchResolveCycle_ = 0;
+    bool branchResolvePending_ = false;
+    std::deque<PipeEntry> pipe_;
+
+    /** Mispredicted flag per trace instruction, set at fetch. */
+    std::vector<bool> mispredicted_;
+
+    /** Scratch buffer of sequence numbers issued this cycle. */
+    std::vector<std::uint32_t> issuedNow_;
+
+    // Back-end state.
+    std::deque<std::uint32_t> window_;
+    std::deque<std::uint32_t> rob_;
+    std::uint32_t retireSeq_ = 0;
+
+    // Outstanding long-miss completion times (for isolation mode and
+    // the overlap counters).
+    std::vector<Cycle> outstandingLongMisses_;
+
+    /** Busy-until times of one functional-unit pool's members. */
+    struct FuPoolState
+    {
+        std::vector<Cycle> busyUntil; ///< empty when unbounded
+        bool pipelined = true;
+    };
+
+    /** Pool states: alu(+branch), mul, div, fp, mem. */
+    std::array<FuPoolState, 5> fuState_;
+
+    static std::size_t fuPoolIndex(InstClass cls);
+    bool fuAvailable(InstClass cls) const;
+    void occupyFu(InstClass cls);
+
+    // Clustered-window state (future-work 3): per-cluster occupancy
+    // and a running dispatch counter for round-robin steering.
+    std::vector<std::uint32_t> clusterOccupancy_;
+    std::uint64_t dispatchCount_ = 0;
+    std::vector<std::uint32_t> clusterIssued_; ///< per-cycle scratch
+
+    Cycle now_ = 0;
+
+    // Pipeline phases, called once per cycle.
+    void doFetch();
+    void doDispatch();
+    void doIssue();
+    void doRetire();
+
+    /** Fetch one instruction into the pipe; false if fetch must stop
+     *  this cycle. */
+    bool fetchOne();
+
+    /** Issue instruction seq at the current cycle. */
+    void issueInst(std::uint32_t seq);
+
+    bool longMissOutstanding() const;
+    void reapLongMisses();
+
+    /** Precompute producer indices from the register dependences. */
+    void resolveProducers();
+
+    std::uint32_t pipeCapacity() const;
+    bool ready(std::uint32_t seq) const;
+};
+
+/** Convenience wrapper: build a simulator and run it. */
+SimStats simulateTrace(const Trace &trace, const SimConfig &config);
+
+} // namespace fosm
+
+#endif // FOSM_SIM_DETAILED_SIM_HH

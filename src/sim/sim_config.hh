@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Configuration of the detailed cycle-level simulator: the machine of
+ * the paper's Figure 3 plus the idealization switches used by the
+ * isolation experiments (Figure 2 and Sections 4.1-4.3).
+ */
+
+#ifndef FOSM_SIM_SIM_CONFIG_HH
+#define FOSM_SIM_SIM_CONFIG_HH
+
+#include <cstdint>
+
+#include "branch/predictor.hh"
+#include "cache/hierarchy.hh"
+#include "cache/tlb.hh"
+#include "model/fu_model.hh"
+#include "model/machine_config.hh"
+#include "trace/latency.hh"
+
+namespace fosm {
+
+/** Idealization switches for the paper's isolation experiments. */
+struct SimOptions
+{
+    /** Oracle branch prediction: no mispredictions. */
+    bool idealBranchPredictor = false;
+    /** Perfect instruction cache: every fetch is an L1 hit. */
+    bool idealIcache = false;
+    /** Perfect data cache: every access is an L1 hit. */
+    bool idealDcache = false;
+    /**
+     * Section 4.3 isolation experiment: while one long data cache
+     * miss is in progress, any other would-be miss is turned into a
+     * hit, so long misses are studied strictly in isolation.
+     */
+    bool isolateDcacheMisses = false;
+    /**
+     * Record a retired-IPC timeline with this many cycles per bucket
+     * (0 disables; used for Figure 1).
+     */
+    std::uint32_t timelineBucketCycles = 0;
+
+    /**
+     * Instruction fetch buffer (Section 7 future-work 2): extra
+     * instruction slots between the I-cache and the decode pipe.
+     * With surplus fetch bandwidth the buffer runs ahead of dispatch
+     * and hides part of an I-cache miss delay. 0 disables.
+     */
+    std::uint32_t fetchBufferEntries = 0;
+
+    /**
+     * Fetch bandwidth in instructions per cycle; 0 means the machine
+     * width. Raising it above the width lets the fetch buffer fill
+     * (a fetch unit delivering whole cache lines).
+     */
+    std::uint32_t fetchBandwidth = 0;
+};
+
+/** Full simulator configuration. */
+struct SimConfig
+{
+    MachineConfig machine;
+    HierarchyConfig hierarchy;
+    PredictorKind predictor = PredictorKind::GShare;
+    std::uint32_t predictorEntries = 8192;
+    /**
+     * When >= 0, use a synthetic predictor that mispredicts each
+     * branch independently with this probability, overriding
+     * `predictor` - the statistical-simulation technique of driving
+     * the simulator with an injected misprediction rate.
+     */
+    double syntheticMispredictRate = -1.0;
+    LatencyConfig latency;
+    /**
+     * Functional-unit pools (Section 7 future-work 1). Defaults to
+     * the paper's unbounded units of every type.
+     */
+    FuPoolConfig fuPools;
+    /** Data TLB (Section 7 future-work 4; disabled by default). */
+    TlbConfig dtlb;
+    SimOptions options;
+
+    /**
+     * Keep the model-facing miss delays in sync with the hierarchy
+     * latencies (DeltaI = L2 hit latency, DeltaD = memory latency,
+     * DeltaT = TLB walk latency).
+     */
+    void
+    syncMissDelays()
+    {
+        machine.deltaI = hierarchy.l2Latency;
+        machine.deltaD = hierarchy.memLatency;
+        machine.deltaT = dtlb.walkLatency;
+    }
+};
+
+} // namespace fosm
+
+#endif // FOSM_SIM_SIM_CONFIG_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Output statistics of the detailed simulator, including the
+ * validation measurements the paper quotes (useful instructions left
+ * in the window when a mispredicted branch issues; instructions ahead
+ * of a missing load in the ROB) and the overlap counters used by the
+ * Figure 2 compensation experiment.
+ */
+
+#ifndef FOSM_SIM_SIM_STATS_HH
+#define FOSM_SIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fosm {
+
+struct SimStats
+{
+    Cycle cycles = 0;
+    std::uint64_t retired = 0;
+
+    double ipc() const;
+    double cpi() const;
+
+    // Miss-event counts observed during the run.
+    std::uint64_t branches = 0;
+    std::uint64_t mispredictions = 0;
+    std::uint64_t icacheL1Misses = 0;
+    std::uint64_t icacheL2Misses = 0;
+    std::uint64_t shortLoadMisses = 0;
+    std::uint64_t longLoadMisses = 0;
+    std::uint64_t dtlbLoadMisses = 0;
+    std::uint64_t dtlbStoreMisses = 0;
+
+    // Overlap counters (Figure 2 compensation): miss-events that
+    // begin while at least one long data-cache miss is outstanding.
+    std::uint64_t mispredictsDuringLongMiss = 0;
+    std::uint64_t icacheMissesDuringLongMiss = 0;
+
+    // Validation measurements (Sections 4.1 and 4.3).
+    /** Useful window occupancy when a mispredicted branch issues. */
+    RunningStats windowAtBranchIssue;
+    /** ROB entries ahead of a long-missing load when it issues. */
+    RunningStats robAheadOfMissedLoad;
+    /** Window occupancy when long-miss data returns. */
+    RunningStats windowAtMissReturn;
+
+    /** Retired-instruction counts per timeline bucket (Figure 1). */
+    std::vector<std::uint32_t> timeline;
+    std::uint32_t timelineBucketCycles = 0;
+};
+
+inline double
+SimStats::ipc() const
+{
+    return safeRatio(static_cast<double>(retired),
+                     static_cast<double>(cycles));
+}
+
+inline double
+SimStats::cpi() const
+{
+    return safeRatio(static_cast<double>(cycles),
+                     static_cast<double>(retired));
+}
+
+} // namespace fosm
+
+#endif // FOSM_SIM_SIM_STATS_HH

@@ -1,0 +1,246 @@
+#include "statsim/profile_estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "trace/trace_stats.hh"
+
+namespace fosm {
+
+namespace {
+
+/**
+ * Per-static-branch outcome statistics. Beyond the taken rate we
+ * track the distribution of taken-run lengths: a loop back-edge with
+ * a deterministic trip count produces runs of near-zero variance,
+ * while an unpredictable branch produces geometric runs with
+ * variance on the order of the squared mean. Rate-only profiles
+ * cannot make this distinction, which is exactly the predictability
+ * structure naive statistical simulation loses.
+ */
+struct SiteCounts
+{
+    std::uint64_t execs = 0;
+    std::uint64_t taken = 0;
+    RunningStats runLengths;
+    std::uint64_t currentRun = 0;
+};
+
+/** Round up to a power of two (bounded below by lo). */
+std::uint64_t
+ceilPow2(std::uint64_t v, std::uint64_t lo)
+{
+    std::uint64_t p = lo;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+Profile
+estimateProfile(const Trace &trace, const EstimatorConfig &config)
+{
+    fosm_assert(!trace.empty(), "cannot estimate an empty trace");
+
+    Profile profile;
+    profile.name = trace.name() + "-clone";
+    profile.seed = config.seed;
+
+    const double n = static_cast<double>(trace.size());
+
+    // --- Operation mix and source arity (exact) -------------------
+    std::array<std::uint64_t, numInstClasses> class_count{};
+    std::uint64_t body_insts = 0, body_two_src = 0, body_no_src = 0;
+    std::unordered_map<Addr, SiteCounts> sites;
+    Addr pc_min = ~Addr{0}, pc_max = 0;
+
+    for (const InstRecord &inst : trace) {
+        ++class_count[static_cast<std::size_t>(inst.cls)];
+        pc_min = std::min(pc_min, inst.pc);
+        pc_max = std::max(pc_max, inst.pc);
+
+        const bool body = !inst.isBranch() && !inst.isMem();
+        if (body) {
+            ++body_insts;
+            if (inst.src1 != invalidReg && inst.src2 != invalidReg)
+                ++body_two_src;
+            else if (inst.src1 == invalidReg &&
+                     inst.src2 == invalidReg)
+                ++body_no_src;
+        }
+        if (inst.isBranch()) {
+            SiteCounts &site = sites[inst.pc];
+            ++site.execs;
+            if (inst.branchTaken) {
+                ++site.taken;
+                ++site.currentRun;
+            } else {
+                if (site.currentRun > 0) {
+                    site.runLengths.add(
+                        static_cast<double>(site.currentRun));
+                }
+                site.currentRun = 0;
+            }
+        }
+    }
+
+    auto frac = [&](InstClass cls) {
+        return static_cast<double>(
+                   class_count[static_cast<std::size_t>(cls)]) /
+               n;
+    };
+    profile.mix.load = frac(InstClass::Load);
+    profile.mix.store = frac(InstClass::Store);
+    profile.mix.branch = frac(InstClass::Branch);
+    profile.mix.mul = frac(InstClass::IntMul);
+    profile.mix.div = frac(InstClass::IntDiv);
+    profile.mix.fp = frac(InstClass::FpAlu);
+
+    if (body_insts > 0) {
+        profile.dep.twoSourceFrac =
+            static_cast<double>(body_two_src) /
+            static_cast<double>(body_insts);
+        profile.dep.noSourceFrac =
+            static_cast<double>(body_no_src) /
+            static_cast<double>(body_insts);
+    }
+
+    // --- Dependence mixture ---------------------------------------
+    // Split the measured distance distribution at the bound and
+    // match each component's conditional mean.
+    const TraceStats stats = collectTraceStats(trace);
+    const Histogram &dist = stats.depDistance;
+    double short_mass = 0.0, short_sum = 0.0;
+    double long_mass = 0.0, long_sum = 0.0;
+    for (std::uint64_t d = 1; d <= dist.maxValue(); ++d) {
+        const double c = static_cast<double>(dist.countAt(d));
+        if (d <= config.shortDistanceBound) {
+            short_mass += c;
+            short_sum += c * static_cast<double>(d);
+        } else {
+            long_mass += c;
+            long_sum += c * static_cast<double>(d);
+        }
+    }
+    if (short_mass > 0.0) {
+        profile.dep.meanShortDistance =
+            std::max(1.0, short_sum / short_mass);
+    }
+    if (long_mass > 0.0) {
+        profile.dep.meanLongDistance =
+            std::max(profile.dep.meanShortDistance + 1.0,
+                     long_sum / long_mass);
+    }
+    if (short_mass + long_mass > 0.0) {
+        profile.dep.longFrac =
+            long_mass / (short_mass + long_mass);
+    }
+
+    // --- Branch-site behaviour ------------------------------------
+    // Classification order matters: a regular loop is checked first
+    // (low taken-run-length variance identifies a deterministic trip
+    // count at any rate), then strongly biased sites, and whatever
+    // remains is genuinely hard to predict.
+    // Kind fractions are weighted by *executions*, not site count:
+    // what must match is the dynamic share of each behaviour in the
+    // branch stream, and the clone generator's interleaved kind
+    // assignment makes its dynamic shares track these fractions.
+    std::uint64_t biased = 0, loops = 0, random = 0;
+    double loop_trip_sum = 0.0, loop_weight = 0.0;
+    for (const auto &[pc, site] : sites) {
+        const double rate = static_cast<double>(site.taken) /
+                            static_cast<double>(site.execs);
+        const RunningStats &runs = site.runLengths;
+        const bool regular_runs = runs.count() >= 3 &&
+            runs.stddev() <= std::max(0.5, 0.35 * runs.mean());
+        if (regular_runs && rate > 0.3 && rate < 0.98) {
+            loops += site.execs;
+            loop_trip_sum +=
+                static_cast<double>(site.execs) * (runs.mean() + 1.0);
+            loop_weight += static_cast<double>(site.execs);
+        } else if (rate >= 0.85 || rate <= 0.15) {
+            biased += site.execs;
+        } else {
+            random += site.execs;
+        }
+    }
+    const double n_execs = static_cast<double>(
+        std::max<std::uint64_t>(biased + loops + random, 1));
+    profile.branch.sites = static_cast<std::uint32_t>(
+        ceilPow2(std::max<std::uint64_t>(sites.size(), 16), 16));
+    profile.branch.biasedFrac = static_cast<double>(biased) / n_execs;
+    profile.branch.loopFrac = static_cast<double>(loops) / n_execs;
+    if (loop_weight > 0.0) {
+        profile.branch.meanLoopTrip =
+            std::max(3.0, loop_trip_sum / loop_weight);
+    }
+    (void)random; // the remainder of the population
+
+    // --- Code footprint --------------------------------------------
+    const std::uint64_t span = pc_max >= pc_min
+        ? (pc_max - pc_min) + 4
+        : 4096;
+    profile.code.footprintBytes =
+        ceilPow2(std::max<std::uint64_t>(span, 4096), 4096);
+
+    // --- Memory stream composition ----------------------------------
+    // Probe the trace through the reference hierarchy and fit stream
+    // weights so the clone reproduces the short/long miss rates:
+    // warm accesses nearly always miss L1 and hit L2; cold accesses
+    // nearly always miss L2.
+    ProfilerConfig probe;
+    probe.hierarchy = config.hierarchy;
+    probe.predictor = PredictorKind::Ideal;
+    const MissProfile misses = profileTrace(trace, probe);
+
+    const double mem_accesses =
+        static_cast<double>(misses.loads + misses.stores);
+    if (mem_accesses > 0.0) {
+        const double short_rate =
+            static_cast<double>(misses.shortLoadMisses +
+                                misses.storeMisses) /
+            mem_accesses;
+        const double long_rate =
+            static_cast<double>(misses.longLoadMisses) / mem_accesses;
+        const double cold = std::min(0.9, long_rate);
+        const double warm = std::min(0.9 - cold, short_rate);
+        profile.data.coldFrac = cold;
+        profile.data.warmFrac = warm;
+        profile.data.strideFrac = 0.0;
+        profile.data.hotFrac = std::max(0.0, 1.0 - cold - warm);
+        // No separate streaming estimate: fold it into warm/hot.
+        profile.data.burstEnterProb = 0.0;
+        profile.data.burstExitProb = 0.5;
+
+        // Clustering: reproduce the measured overlap factor at the
+        // reference ROB size via the burst chain. A purely Bernoulli
+        // cold stream at rate r has an expected group size of about
+        // 1 + r*rob; if the measured factor implies more clustering,
+        // concentrate cold accesses into bursts.
+        const double measured_factor = misses.ldmOverlapFactor(128);
+        const double bernoulli_factor =
+            1.0 /
+            (1.0 + cold * (profile.mix.load + profile.mix.store) *
+                       128.0);
+        if (measured_factor < 0.8 * bernoulli_factor && cold > 0.0) {
+            profile.data.burstColdFrac = std::min(0.9, 8.0 * cold);
+            profile.data.burstEnterProb = 0.002;
+            profile.data.burstExitProb = 0.05;
+            // Keep the average cold rate: the burst chain spends
+            // enter/(enter+exit) of the time in burst.
+            const double burst_duty = 0.002 / (0.002 + 0.05);
+            profile.data.coldFrac = std::max(
+                0.0,
+                (cold - burst_duty * profile.data.burstColdFrac) /
+                    (1.0 - burst_duty));
+        }
+    }
+
+    profile.validate();
+    return profile;
+}
+
+} // namespace fosm

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Statistical simulation baseline (the related work [8-11] the paper
+ * positions itself against: Nussbaum & Smith, Carl & Smith, Eeckhout
+ * et al., Noonburg & Shen). Those techniques measure a program's
+ * statistical profile, generate a *synthetic trace* with the same
+ * statistics, and run it through a fast simulator; the paper's model
+ * "performs statistical simulation, without the simulation".
+ *
+ * This module closes the loop in fosm: it estimates a workload
+ * Profile from any instruction trace (operation mix, dependence
+ * mixture, branch-site behaviour, code footprint, memory-stream
+ * composition), so a statistical clone can be generated and
+ * simulated. The ext_statistical_sim bench compares original
+ * simulation, clone simulation, and the analytical model.
+ */
+
+#ifndef FOSM_STATSIM_PROFILE_ESTIMATOR_HH
+#define FOSM_STATSIM_PROFILE_ESTIMATOR_HH
+
+#include "analysis/miss_profiler.hh"
+#include "trace/trace.hh"
+#include "workload/profile.hh"
+
+namespace fosm {
+
+/** Knobs of the estimation pass. */
+struct EstimatorConfig
+{
+    /** Hierarchy used for the memory-stream probe. */
+    HierarchyConfig hierarchy;
+    /** Seed given to the estimated profile. */
+    std::uint64_t seed = 0x57A7;
+    /**
+     * Dependence distances at or below this bound feed the
+     * short-range mixture component.
+     */
+    std::uint64_t shortDistanceBound = 8;
+};
+
+/**
+ * Measure a statistical profile from a trace. The estimate is
+ * first-order, like everything here:
+ *  - the operation mix and source-arity fractions are exact,
+ *  - the dependence-distance distribution is matched by a
+ *    two-component geometric mixture split at shortDistanceBound,
+ *  - static branch sites are classified by taken rate (biased /
+ *    loop-like / random) and the loop trip count from the taken rate,
+ *  - the code footprint is the observed PC span,
+ *  - the memory stream composition (hot / warm / cold fractions) is
+ *    fitted so a functional cache probe of the clone reproduces the
+ *    measured short/long miss rates; long-miss *clustering* is
+ *    matched through the burst Markov chain using the measured
+ *    overlap factor at a reference ROB size.
+ */
+Profile estimateProfile(const Trace &trace,
+                        const EstimatorConfig &config =
+                            EstimatorConfig{});
+
+} // namespace fosm
+
+#endif // FOSM_STATSIM_PROFILE_ESTIMATOR_HH

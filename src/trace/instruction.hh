@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The dynamic instruction record that flows through every fosm
+ * component. The first-order model consumes only functional-level
+ * information (Section 1: "trace-derived data dependence information,
+ * cache miss rates, and branch misprediction rates"), so a record
+ * carries exactly that: operation class, register dependences, memory
+ * address, and branch outcome.
+ */
+
+#ifndef FOSM_TRACE_INSTRUCTION_HH
+#define FOSM_TRACE_INSTRUCTION_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace fosm {
+
+/** Operation classes distinguished by the model's latency treatment. */
+enum class InstClass : std::uint8_t
+{
+    IntAlu,   ///< single-cycle integer operation
+    IntMul,   ///< integer multiply
+    IntDiv,   ///< integer divide
+    FpAlu,    ///< floating-point operation
+    Load,     ///< memory load (D-cache access)
+    Store,    ///< memory store (D-cache access, no dest register)
+    Branch,   ///< conditional branch (direction predicted)
+};
+
+/** Number of operation classes; useful for mix tables. */
+constexpr std::size_t numInstClasses = 7;
+
+/** Short mnemonic used in printed mix tables. */
+const char *instClassName(InstClass cls);
+
+/**
+ * Number of architectural registers in the synthetic ISA. Generously
+ * sized so the trace generator can express long-range register
+ * independence (producer distances of a couple hundred instructions),
+ * which real programs achieve through memory and large live sets.
+ */
+constexpr int numArchRegs = 256;
+
+/**
+ * One dynamic instruction. Plain data; the trace holds millions of
+ * these, so the layout is kept tight (32 bytes).
+ */
+struct InstRecord
+{
+    /** Instruction fetch address (byte address). */
+    Addr pc = 0;
+
+    /** Effective address for loads/stores; branch target for branches. */
+    Addr effAddr = 0;
+
+    /** Operation class. */
+    InstClass cls = InstClass::IntAlu;
+
+    /** True iff this is a taken branch. Meaningful only for branches. */
+    bool branchTaken = false;
+
+    /** Destination register, or invalidReg. */
+    RegIndex dst = invalidReg;
+
+    /** Source registers, or invalidReg when absent. */
+    RegIndex src1 = invalidReg;
+    RegIndex src2 = invalidReg;
+
+    bool isLoad() const { return cls == InstClass::Load; }
+    bool isStore() const { return cls == InstClass::Store; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isBranch() const { return cls == InstClass::Branch; }
+};
+
+static_assert(sizeof(InstRecord) <= 32,
+              "InstRecord must stay compact; traces hold millions");
+
+} // namespace fosm
+
+#endif // FOSM_TRACE_INSTRUCTION_HH

@@ -1,0 +1,37 @@
+#include "trace/latency.hh"
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+const char *
+instClassName(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::IntAlu: return "int_alu";
+      case InstClass::IntMul: return "int_mul";
+      case InstClass::IntDiv: return "int_div";
+      case InstClass::FpAlu:  return "fp_alu";
+      case InstClass::Load:   return "load";
+      case InstClass::Store:  return "store";
+      case InstClass::Branch: return "branch";
+    }
+    fosm_panic("unknown InstClass");
+}
+
+Cycle
+LatencyConfig::latencyFor(InstClass cls) const
+{
+    switch (cls) {
+      case InstClass::IntAlu: return intAlu;
+      case InstClass::IntMul: return intMul;
+      case InstClass::IntDiv: return intDiv;
+      case InstClass::FpAlu:  return fpAlu;
+      case InstClass::Load:   return loadHit;
+      case InstClass::Store:  return store;
+      case InstClass::Branch: return branch;
+    }
+    fosm_panic("unknown InstClass");
+}
+
+} // namespace fosm

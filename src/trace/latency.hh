@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Functional-unit latency configuration. The paper's machine has an
+ * unbounded number of functional units of each type (Section 1.1);
+ * only their latencies matter, through the average-latency term L of
+ * Little's law (Section 3) and through execution timing in the
+ * detailed simulator.
+ */
+
+#ifndef FOSM_TRACE_LATENCY_HH
+#define FOSM_TRACE_LATENCY_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "trace/instruction.hh"
+
+namespace fosm {
+
+/**
+ * Per-class execution latencies in cycles. Loads use loadHit for an L1
+ * hit; short misses (L1 miss, L2 hit) add the L2 latency and are
+ * treated as long-latency functional-unit operations per Section 4.3.
+ */
+struct LatencyConfig
+{
+    Cycle intAlu = 1;
+    Cycle intMul = 3;
+    Cycle intDiv = 12;
+    Cycle fpAlu = 4;
+    /** L1 hit takes two cycles (address generation + access). */
+    Cycle loadHit = 2;
+    Cycle store = 1;
+    Cycle branch = 1;
+
+    /** Latency for the given class assuming a cache hit for loads. */
+    Cycle latencyFor(InstClass cls) const;
+};
+
+} // namespace fosm
+
+#endif // FOSM_TRACE_LATENCY_HH

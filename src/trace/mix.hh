@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Dynamic operation mix of an instruction stream - the statistic the
+ * paper's future-work item 1 (limited functional units) consumes.
+ */
+
+#ifndef FOSM_TRACE_MIX_HH
+#define FOSM_TRACE_MIX_HH
+
+#include <array>
+
+#include "trace/instruction.hh"
+
+namespace fosm {
+
+/** Per-class fractions of the dynamic instruction stream. */
+struct InstMix
+{
+    std::array<double, numInstClasses> fraction{};
+
+    double
+    of(InstClass cls) const
+    {
+        return fraction[static_cast<std::size_t>(cls)];
+    }
+
+    double &
+    at(InstClass cls)
+    {
+        return fraction[static_cast<std::size_t>(cls)];
+    }
+};
+
+} // namespace fosm
+
+#endif // FOSM_TRACE_MIX_HH

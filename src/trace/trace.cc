@@ -1,0 +1,85 @@
+#include "trace/trace.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+namespace {
+
+constexpr char traceMagic[8] = {'F', 'O', 'S', 'M', 'T', 'R', 'C', '1'};
+
+struct FileHeader
+{
+    char magic[8];
+    std::uint64_t count;
+    std::uint64_t nameLen;
+};
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+void
+saveTrace(const Trace &trace, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        fosm_fatal("cannot open trace file for writing: ", path);
+
+    FileHeader hdr{};
+    std::memcpy(hdr.magic, traceMagic, sizeof(traceMagic));
+    hdr.count = trace.size();
+    hdr.nameLen = trace.name().size();
+    if (std::fwrite(&hdr, sizeof(hdr), 1, f.get()) != 1)
+        fosm_fatal("short write on trace header: ", path);
+    if (hdr.nameLen &&
+        std::fwrite(trace.name().data(), 1, hdr.nameLen, f.get()) !=
+            hdr.nameLen) {
+        fosm_fatal("short write on trace name: ", path);
+    }
+    for (const InstRecord &inst : trace) {
+        if (std::fwrite(&inst, sizeof(inst), 1, f.get()) != 1)
+            fosm_fatal("short write on trace body: ", path);
+    }
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        fosm_fatal("cannot open trace file for reading: ", path);
+
+    FileHeader hdr{};
+    if (std::fread(&hdr, sizeof(hdr), 1, f.get()) != 1)
+        fosm_fatal("short read on trace header: ", path);
+    if (std::memcmp(hdr.magic, traceMagic, sizeof(traceMagic)) != 0)
+        fosm_fatal("bad trace magic in ", path);
+
+    std::string name(hdr.nameLen, '\0');
+    if (hdr.nameLen &&
+        std::fread(name.data(), 1, hdr.nameLen, f.get()) != hdr.nameLen) {
+        fosm_fatal("short read on trace name: ", path);
+    }
+
+    Trace trace(name);
+    trace.reserve(hdr.count);
+    for (std::uint64_t i = 0; i < hdr.count; ++i) {
+        InstRecord inst;
+        if (std::fread(&inst, sizeof(inst), 1, f.get()) != 1)
+            fosm_fatal("short read on trace body: ", path);
+        trace.append(inst);
+    }
+    return trace;
+}
+
+} // namespace fosm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * In-memory dynamic instruction trace. All fosm analyses —
+ * miss-event profiling, IW characteristic measurement, and detailed
+ * simulation — are trace-driven over this container (the paper's
+ * "functional-level trace driven simulation").
+ */
+
+#ifndef FOSM_TRACE_TRACE_HH
+#define FOSM_TRACE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/instruction.hh"
+
+namespace fosm {
+
+/**
+ * A named, immutable-after-construction sequence of dynamic
+ * instructions.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::string name) : name_(std::move(name)) {}
+
+    /** Append an instruction during construction. */
+    void append(const InstRecord &inst) { insts_.push_back(inst); }
+
+    /** Pre-allocate storage for n instructions. */
+    void reserve(std::size_t n) { insts_.reserve(n); }
+
+    /** Number of dynamic instructions. */
+    std::size_t size() const { return insts_.size(); }
+
+    bool empty() const { return insts_.empty(); }
+
+    /** Access by dynamic sequence number. */
+    const InstRecord &operator[](std::size_t i) const { return insts_[i]; }
+
+    /** Mutable access, for generator post-passes only. */
+    InstRecord &at(std::size_t i) { return insts_[i]; }
+
+    const std::string &name() const { return name_; }
+
+    /** Range support. */
+    auto begin() const { return insts_.begin(); }
+    auto end() const { return insts_.end(); }
+
+  private:
+    std::string name_;
+    std::vector<InstRecord> insts_;
+};
+
+/**
+ * Serialize a trace to a compact binary file and load it back. Lets an
+ * expensive synthetic trace be generated once and reused by multiple
+ * harness processes.
+ */
+void saveTrace(const Trace &trace, const std::string &path);
+Trace loadTrace(const std::string &path);
+
+} // namespace fosm
+
+#endif // FOSM_TRACE_TRACE_HH

@@ -1,0 +1,85 @@
+#include "trace/trace_stats.hh"
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+double
+TraceStats::classFraction(InstClass cls) const
+{
+    return safeRatio(
+        static_cast<double>(classCount[static_cast<std::size_t>(cls)]),
+        static_cast<double>(instructions));
+}
+
+double
+TraceStats::branchFraction() const
+{
+    return classFraction(InstClass::Branch);
+}
+
+double
+TraceStats::loadFraction() const
+{
+    return classFraction(InstClass::Load);
+}
+
+TraceStats
+collectTraceStats(const Trace &trace, const LatencyConfig &lat)
+{
+    TraceStats stats;
+    stats.instructions = trace.size();
+
+    // Dynamic sequence number of the most recent writer of each
+    // architectural register; -1 when the register is still "live-in".
+    std::vector<std::int64_t> lastWriter(numArchRegs, -1);
+
+    std::unordered_set<Addr> branchSites;
+    std::uint64_t takenCount = 0;
+    std::uint64_t branchCount = 0;
+    std::uint64_t sourceCount = 0;
+    double latencySum = 0.0;
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const InstRecord &inst = trace[i];
+        ++stats.classCount[static_cast<std::size_t>(inst.cls)];
+        latencySum += static_cast<double>(lat.latencyFor(inst.cls));
+
+        for (RegIndex src : {inst.src1, inst.src2}) {
+            if (src == invalidReg)
+                continue;
+            ++sourceCount;
+            const std::int64_t writer = lastWriter[src];
+            if (writer >= 0) {
+                stats.depDistance.add(
+                    static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(i) - writer));
+            }
+        }
+        if (inst.dst != invalidReg)
+            lastWriter[inst.dst] = static_cast<std::int64_t>(i);
+
+        if (inst.isBranch()) {
+            branchSites.insert(inst.pc);
+            ++branchCount;
+            if (inst.branchTaken)
+                ++takenCount;
+        }
+    }
+
+    stats.avgBaseLatency =
+        safeRatio(latencySum, static_cast<double>(stats.instructions));
+    stats.avgSources =
+        safeRatio(static_cast<double>(sourceCount),
+                  static_cast<double>(stats.instructions));
+    stats.staticBranches = branchSites.size();
+    stats.takenFraction =
+        safeRatio(static_cast<double>(takenCount),
+                  static_cast<double>(branchCount));
+    return stats;
+}
+
+} // namespace fosm

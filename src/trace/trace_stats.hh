@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Functional statistics of a dynamic instruction trace: operation mix,
+ * register dependence distances, and the average functional-unit
+ * latency L that enters Little's law in Section 3. Short D-cache
+ * misses also contribute to L; that cache-aware refinement lives in
+ * fosm::analysis, which layers the hierarchy on top of the base
+ * latency computed here.
+ */
+
+#ifndef FOSM_TRACE_TRACE_STATS_HH
+#define FOSM_TRACE_TRACE_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "trace/latency.hh"
+#include "trace/trace.hh"
+
+namespace fosm {
+
+/** Aggregate functional statistics of one trace. */
+struct TraceStats
+{
+    /** Total dynamic instructions. */
+    std::uint64_t instructions = 0;
+
+    /** Dynamic count per operation class. */
+    std::array<std::uint64_t, numInstClasses> classCount{};
+
+    /** Fraction of the dynamic stream in the given class. */
+    double classFraction(InstClass cls) const;
+
+    /** Fraction of instructions that are conditional branches. */
+    double branchFraction() const;
+
+    /** Fraction of instructions that are loads. */
+    double loadFraction() const;
+
+    /**
+     * Average functional-unit latency assuming all loads hit in the L1
+     * D-cache. The cache-aware average (including short-miss latency)
+     * is produced by the MissProfiler.
+     */
+    double avgBaseLatency = 0.0;
+
+    /**
+     * Histogram of producer->consumer distances in dynamic
+     * instructions, over register dependences (nearest producer per
+     * source operand).
+     */
+    Histogram depDistance{512};
+
+    /** Mean number of register source operands per instruction. */
+    double avgSources = 0.0;
+
+    /** Number of distinct static branch sites observed. */
+    std::uint64_t staticBranches = 0;
+
+    /** Fraction of executed branches that were taken. */
+    double takenFraction = 0.0;
+};
+
+/** Collect TraceStats in one pass over the trace. */
+TraceStats collectTraceStats(const Trace &trace,
+                             const LatencyConfig &lat = LatencyConfig{});
+
+} // namespace fosm
+
+#endif // FOSM_TRACE_TRACE_STATS_HH

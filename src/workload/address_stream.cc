@@ -1,0 +1,79 @@
+#include "workload/address_stream.hh"
+
+namespace fosm {
+
+namespace {
+
+/** Stream indices in the samplers. */
+enum StreamIdx : std::size_t { Hot = 0, Warm, Cold, Stride };
+
+std::vector<double>
+burstWeights(const DataParams &p)
+{
+    // In the burst state the cold stream takes burstColdFrac of the
+    // references; the calm streams share the remainder in their
+    // original proportion.
+    const double calm_rest = p.hotFrac + p.warmFrac + p.strideFrac;
+    const double scale = calm_rest > 0.0
+        ? (1.0 - p.burstColdFrac) / calm_rest
+        : 0.0;
+    return {p.hotFrac * scale, p.warmFrac * scale, p.burstColdFrac,
+            p.strideFrac * scale};
+}
+
+} // namespace
+
+DataAddressStream::DataAddressStream(const DataParams &params, Rng &rng)
+    : params_(params),
+      rng_(rng),
+      calmSampler_({params.hotFrac, params.warmFrac, params.coldFrac,
+                    params.strideFrac}),
+      burstSampler_(burstWeights(params))
+{
+}
+
+Addr
+DataAddressStream::regionDraw(Addr base, std::uint64_t bytes)
+{
+    // Zipf over 64-byte chunks so spatial locality within lines is
+    // realistic while reuse is skewed toward a hot subset.
+    const std::uint64_t chunks = bytes / 64;
+    const std::uint64_t chunk = rng_.zipf(chunks, params_.regionZipf);
+    const std::uint64_t offset = rng_.nextBounded(64) & ~7ull;
+    return base + chunk * 64 + offset;
+}
+
+Addr
+DataAddressStream::next()
+{
+    if (inBurst_) {
+        if (rng_.bernoulli(params_.burstExitProb))
+            inBurst_ = false;
+    } else {
+        if (rng_.bernoulli(params_.burstEnterProb))
+            inBurst_ = true;
+    }
+
+    const std::size_t stream =
+        inBurst_ ? burstSampler_(rng_) : calmSampler_(rng_);
+
+    switch (stream) {
+      case Hot:
+        return regionDraw(hotBase, params_.hotBytes);
+      case Warm:
+        return regionDraw(warmBase, params_.warmBytes);
+      case Cold:
+        // Uniform (not Zipf-hot) so cold references keep missing.
+        return coldBase +
+               (rng_.nextBounded(params_.coldBytes) & ~7ull);
+      case Stride:
+      default: {
+        const Addr addr = strideBase + stridePos_;
+        stridePos_ = (stridePos_ + params_.strideStep) %
+                     params_.strideBytes;
+        return addr;
+      }
+    }
+}
+
+} // namespace fosm

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Data address stream generator. Produces the memory reference
+ * behaviour described by DataParams: hot/warm/cold working-set draws,
+ * a striding stream, and a calm/burst Markov modulation that clusters
+ * long-miss accesses (the source of the paper's f_LDM(i) burst
+ * distribution, Section 4.3).
+ */
+
+#ifndef FOSM_WORKLOAD_ADDRESS_STREAM_HH
+#define FOSM_WORKLOAD_ADDRESS_STREAM_HH
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "workload/profile.hh"
+
+namespace fosm {
+
+class DataAddressStream
+{
+  public:
+    DataAddressStream(const DataParams &params, Rng &rng);
+
+    /** Next data reference address. */
+    Addr next();
+
+    /** True while the stream is in the bursty (cold-heavy) state. */
+    bool inBurst() const { return inBurst_; }
+
+    /** Region base addresses (exposed for tests). */
+    static constexpr Addr hotBase = 0x10000000ull;
+    static constexpr Addr warmBase = 0x20000000ull;
+    static constexpr Addr coldBase = 0x40000000ull;
+    static constexpr Addr strideBase = 0x80000000ull;
+
+  private:
+    const DataParams &params_;
+    Rng &rng_;
+    DiscreteSampler calmSampler_;
+    DiscreteSampler burstSampler_;
+    bool inBurst_ = false;
+    Addr stridePos_ = 0;
+
+    Addr regionDraw(Addr base, std::uint64_t bytes);
+};
+
+} // namespace fosm
+
+#endif // FOSM_WORKLOAD_ADDRESS_STREAM_HH

@@ -1,0 +1,71 @@
+#include "workload/branch_stream.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+BranchSiteTable::BranchSiteTable(const BranchParams &params, Rng &rng)
+    : params_(params), rng_(rng), sites_(params.sites)
+{
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+        BranchSite &site = sites_[i];
+        // Kind assignment uses a deterministic hash of the site index
+        // rather than an RNG draw: any contiguous subset of sites (a
+        // hot code region) then carries a representative mixture of
+        // behaviours, which keeps the workload's misprediction rate
+        // stable instead of hostage to which few sites become hot.
+        const double kind_draw =
+            static_cast<double>((i * 2654435761u) % 65536u) / 65536.0;
+        if (kind_draw < params_.biasedFrac) {
+            site.kind = BranchSiteKind::Biased;
+            // Half the biased sites lean taken, half not-taken.
+            site.takenProb = rng_.bernoulli(0.5)
+                ? params_.biasedTakenProb
+                : 1.0 - params_.biasedTakenProb;
+        } else if (kind_draw < params_.biasedFrac + params_.loopFrac) {
+            site.kind = BranchSiteKind::Loop;
+            site.tripCount = static_cast<std::uint32_t>(
+                std::max<std::uint64_t>(
+                    2, rng_.geometric(1.0 / params_.meanLoopTrip) + 1));
+            site.tripPos = 0;
+        } else {
+            site.kind = BranchSiteKind::Random;
+            // Taken probability uniformly within the entropy band
+            // around 0.5: effectively unpredictable.
+            site.takenProb = 0.5 +
+                params_.randomEntropy * (2.0 * rng_.nextDouble() - 1.0);
+        }
+    }
+}
+
+std::uint32_t
+BranchSiteTable::pickSite()
+{
+    return static_cast<std::uint32_t>(
+        rng_.zipf(sites_.size(), params_.siteZipf));
+}
+
+bool
+BranchSiteTable::nextOutcome(std::uint32_t idx)
+{
+    fosm_assert(idx < sites_.size(), "branch site out of range");
+    BranchSite &site = sites_[idx];
+    switch (site.kind) {
+      case BranchSiteKind::Biased:
+      case BranchSiteKind::Random:
+        return rng_.bernoulli(site.takenProb);
+      case BranchSiteKind::Loop:
+        // Back-edge semantics: taken for tripCount-1 iterations,
+        // not-taken on loop exit.
+        if (++site.tripPos >= site.tripCount) {
+            site.tripPos = 0;
+            return false;
+        }
+        return true;
+    }
+    fosm_panic("unknown branch site kind");
+}
+
+} // namespace fosm

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Branch site population and outcome generation. Each static site has
+ * a behaviour (biased, loop-periodic, or weakly-biased random) chosen
+ * at construction; dynamic branches select sites with a Zipf draw so a
+ * few hot branches dominate. Real predictors (gShare etc.) then
+ * achieve workload-dependent accuracy organically, which is what the
+ * model's misprediction probability B measures.
+ */
+
+#ifndef FOSM_WORKLOAD_BRANCH_STREAM_HH
+#define FOSM_WORKLOAD_BRANCH_STREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "workload/profile.hh"
+
+namespace fosm {
+
+/** One static branch site's behaviour state. */
+struct BranchSite
+{
+    BranchSiteKind kind = BranchSiteKind::Biased;
+    /** Taken probability (Biased/Random kinds). */
+    double takenProb = 0.5;
+    /** Loop trip count (Loop kind). */
+    std::uint32_t tripCount = 0;
+    /** Current iteration within the loop (Loop kind). */
+    std::uint32_t tripPos = 0;
+};
+
+class BranchSiteTable
+{
+  public:
+    BranchSiteTable(const BranchParams &params, Rng &rng);
+
+    /** Select a site for the next dynamic branch (Zipf draw). */
+    std::uint32_t pickSite();
+
+    /** Generate the outcome of one execution of the given site. */
+    bool nextOutcome(std::uint32_t site);
+
+    std::size_t size() const { return sites_.size(); }
+    const BranchSite &site(std::uint32_t idx) const
+    {
+        return sites_[idx];
+    }
+
+  private:
+    const BranchParams &params_;
+    Rng &rng_;
+    std::vector<BranchSite> sites_;
+};
+
+} // namespace fosm
+
+#endif // FOSM_WORKLOAD_BRANCH_STREAM_HH

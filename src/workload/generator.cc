@@ -1,0 +1,253 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workload/address_stream.hh"
+#include "workload/branch_stream.hh"
+
+namespace fosm {
+
+namespace {
+
+/**
+ * One slot of the static program image. Real programs have a fixed
+ * instruction at every address; modeling that (instead of drawing
+ * classes i.i.d. per dynamic instruction) is what makes branch PCs
+ * and code working sets repeat, so predictors and the I-cache behave
+ * realistically.
+ */
+struct StaticSlot
+{
+    InstClass cls = InstClass::IntAlu;
+    std::uint32_t branchSite = 0;
+    std::uint32_t targetSlot = 0;
+};
+
+/**
+ * Lay out the static program image: classes per slot, and for branch
+ * slots a site id and a static taken-target. Loop back-edges target a
+ * short distance backwards (their body becomes a hot loop); other
+ * branches jump to a Zipf-selected slot, concentrating jumps on a hot
+ * code subset near the start of the footprint.
+ */
+std::vector<StaticSlot>
+buildImage(const Profile &profile, const BranchSiteTable &sites,
+           Rng &rng)
+{
+    const std::uint64_t slots = profile.code.footprintBytes / 4;
+    const MixParams &mix = profile.mix;
+
+    // Basic-block layout: a geometric run of non-branch instructions
+    // terminated by one branch. This keeps branch spacing uniform
+    // across the image, so no hot path can be branch-dense and the
+    // dynamic branch fraction tracks the static mix under any visit
+    // weighting.
+    const double branch_frac = std::max(mix.branch, 1e-6);
+    // A floor of two non-branch slots per block prevents
+    // adjacent-branch clusters (zipf targets concentrate near slot 0;
+    // a branch-only cluster there would trap the flow in a
+    // branch-saturated cycle). 2 + Geometric(q) keeps the mean run at
+    // (1-fb)/fb so the overall branch density stays fb.
+    const double mean_run = (1.0 - branch_frac) / branch_frac;
+    constexpr double min_run = 2.0;
+    const double q = mean_run > min_run + 1e-9
+        ? 1.0 / (mean_run - min_run + 1.0)
+        : 1.0;
+
+    std::vector<StaticSlot> image(slots);
+    std::uint32_t branch_counter = 0;
+    std::uint64_t s = 0;
+    while (s < slots) {
+        // Non-branch run with mean (1-fb)/fb -> branch density fb.
+        // Body slots keep the default (non-branch) class; their
+        // dynamic class is drawn at generation time so the dynamic
+        // operation mix converges to the profile mix regardless of
+        // which code paths are hot.
+        s += static_cast<std::uint64_t>(min_run) + rng.geometric(q);
+        if (s >= slots)
+            break;
+
+        StaticSlot &slot = image[s];
+        slot.cls = InstClass::Branch;
+        slot.branchSite = branch_counter++ %
+                          static_cast<std::uint32_t>(sites.size());
+        const BranchSite &site = sites.site(slot.branchSite);
+        if (site.kind == BranchSiteKind::Loop) {
+            // Back-edge: body a short distance behind this slot. A
+            // floor keeps hot loop bodies long enough to carry a
+            // representative class mix.
+            const std::uint64_t body = 6 + rng.geometric(
+                1.0 / profile.code.meanLoopBody);
+            slot.targetSlot = static_cast<std::uint32_t>(
+                s >= body ? s - body : 0);
+        } else {
+            slot.targetSlot = static_cast<std::uint32_t>(
+                rng.zipf(slots, profile.code.blockZipf));
+        }
+        ++s;
+    }
+    return image;
+}
+
+/**
+ * Tracks the destination registers of recent instructions so source
+ * operands can be wired to a producer at a requested dynamic distance.
+ */
+class WriterHistory
+{
+  public:
+    void
+    record(InstSeq seq, RegIndex reg)
+    {
+        writers_.push_back({seq, reg});
+        if (writers_.size() > capacity)
+            writers_.pop_front();
+    }
+
+    /**
+     * Register of the most recent writer at or before target_seq, or
+     * invalidReg if history does not reach back that far.
+     */
+    RegIndex
+    producerAtOrBefore(std::int64_t target_seq) const
+    {
+        for (auto it = writers_.rbegin(); it != writers_.rend(); ++it) {
+            if (static_cast<std::int64_t>(it->seq) <= target_seq)
+                return it->reg;
+        }
+        return invalidReg;
+    }
+
+  private:
+    struct Writer
+    {
+        InstSeq seq;
+        RegIndex reg;
+    };
+
+    static constexpr std::size_t capacity = 2 * numArchRegs;
+    std::deque<Writer> writers_;
+};
+
+} // namespace
+
+Trace
+generateTrace(const Profile &profile, std::uint64_t instructions)
+{
+    profile.validate();
+
+    Rng rng(profile.seed);
+    Trace trace(profile.name);
+    trace.reserve(instructions);
+
+    DataAddressStream data_stream(profile.data, rng);
+    BranchSiteTable branch_sites(profile.branch, rng);
+    const std::vector<StaticSlot> image =
+        buildImage(profile, branch_sites, rng);
+    const std::uint64_t slots = image.size();
+
+    const MixParams &mix = profile.mix;
+    DiscreteSampler body_sampler(
+        {mix.load, mix.store, mix.mul, mix.div, mix.fp, mix.alu()});
+    constexpr InstClass bodyClasses[] = {
+        InstClass::Load, InstClass::Store, InstClass::IntMul,
+        InstClass::IntDiv, InstClass::FpAlu, InstClass::IntAlu,
+    };
+
+    WriterHistory writers;
+    // Round-robin destination allocation keeps a producer's register
+    // live for numArchRegs subsequent writers; distance draws are
+    // capped below that so producers are always resolvable.
+    int next_dst = 0;
+    const std::uint64_t max_distance = numArchRegs - 16;
+
+    // d = 1 + Geometric(1/mean) has mean `mean`.
+    const double short_p = 1.0 / profile.dep.meanShortDistance;
+    const double long_p = 1.0 / profile.dep.meanLongDistance;
+
+    auto draw_source = [&](InstSeq seq) -> RegIndex {
+        const double p =
+            rng.bernoulli(profile.dep.longFrac) ? long_p : short_p;
+        const std::uint64_t d = std::min<std::uint64_t>(
+            1 + rng.geometric(p), max_distance);
+        const std::int64_t target =
+            static_cast<std::int64_t>(seq) -
+            static_cast<std::int64_t>(d);
+        if (target < 0)
+            return invalidReg; // live-in value
+        return writers.producerAtOrBefore(target);
+    };
+
+    std::uint64_t slot = 0;
+    for (InstSeq seq = 0; seq < instructions; ++seq) {
+        const StaticSlot &st = image[slot];
+        InstRecord inst;
+        inst.pc = codeBase + slot * 4;
+        inst.cls = st.cls == InstClass::Branch
+            ? InstClass::Branch
+            : bodyClasses[body_sampler(rng)];
+
+        // Wire register sources.
+        switch (inst.cls) {
+          case InstClass::Load:
+          case InstClass::Branch:
+            inst.src1 = draw_source(seq);
+            break;
+          case InstClass::Store:
+            inst.src1 = draw_source(seq);
+            inst.src2 = draw_source(seq);
+            break;
+          default: {
+            const double u = rng.nextDouble();
+            if (u < profile.dep.noSourceFrac) {
+                // immediate-operand instruction: no sources
+            } else if (u < profile.dep.noSourceFrac +
+                               profile.dep.twoSourceFrac) {
+                inst.src1 = draw_source(seq);
+                inst.src2 = draw_source(seq);
+            } else {
+                inst.src1 = draw_source(seq);
+            }
+            break;
+          }
+        }
+
+        // Allocate a destination register for value-producing classes.
+        if (inst.cls != InstClass::Store &&
+            inst.cls != InstClass::Branch) {
+            inst.dst = static_cast<RegIndex>(next_dst);
+            next_dst = (next_dst + 1) % numArchRegs;
+            writers.record(seq, inst.dst);
+        }
+
+        // Memory reference address.
+        if (inst.isMem())
+            inst.effAddr = data_stream.next();
+
+        // Control flow: outcome from the site behaviour, target from
+        // the static image.
+        if (inst.isBranch()) {
+            inst.branchTaken = branch_sites.nextOutcome(st.branchSite);
+            if (inst.branchTaken) {
+                slot = st.targetSlot;
+                inst.effAddr = codeBase + slot * 4;
+            } else {
+                slot = slot + 1;
+                inst.effAddr = codeBase + slot * 4;
+            }
+        } else {
+            ++slot;
+        }
+        if (slot >= slots)
+            slot = 0;
+
+        trace.append(inst);
+    }
+
+    return trace;
+}
+
+} // namespace fosm

@@ -1,0 +1,63 @@
+#include "workload/profile.hh"
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+double
+MixParams::alu() const
+{
+    return 1.0 - (load + store + branch + mul + div + fp);
+}
+
+void
+MixParams::validate() const
+{
+    for (double f : {load, store, branch, mul, div, fp}) {
+        if (f < 0.0 || f > 1.0)
+            fosm_fatal("mix fraction out of [0,1]: ", f);
+    }
+    if (alu() < 0.0)
+        fosm_fatal("mix fractions sum to more than 1");
+}
+
+void
+Profile::validate() const
+{
+    mix.validate();
+    if (dep.meanShortDistance < 1.0 || dep.meanLongDistance < 1.0)
+        fosm_fatal("profile ", name, ": mean distances must be >= 1");
+    if (dep.longFrac < 0.0 || dep.longFrac > 1.0)
+        fosm_fatal("profile ", name, ": longFrac must be in [0,1]");
+    if (dep.twoSourceFrac < 0.0 || dep.twoSourceFrac > 1.0 ||
+        dep.noSourceFrac < 0.0 || dep.noSourceFrac > 1.0 ||
+        dep.twoSourceFrac + dep.noSourceFrac > 1.0) {
+        fosm_fatal("profile ", name, ": invalid source fractions");
+    }
+    if (branch.sites == 0)
+        fosm_fatal("profile ", name, ": need at least one branch site");
+    if (branch.biasedFrac + branch.loopFrac > 1.0)
+        fosm_fatal("profile ", name, ": branch kind fractions exceed 1");
+    if (branch.biasedTakenProb < 0.0 || branch.biasedTakenProb > 1.0)
+        fosm_fatal("profile ", name, ": invalid biasedTakenProb");
+    if (branch.randomEntropy < 0.0 || branch.randomEntropy > 0.5)
+        fosm_fatal("profile ", name, ": randomEntropy must be in [0,0.5]");
+    if (code.footprintBytes < 4096)
+        fosm_fatal("profile ", name, ": code footprint too small");
+    if (code.meanLoopBody < 2.0)
+        fosm_fatal("profile ", name, ": meanLoopBody must be >= 2");
+    const double calm = data.hotFrac + data.warmFrac + data.coldFrac +
+                        data.strideFrac;
+    if (calm <= 0.0)
+        fosm_fatal("profile ", name, ": data stream weights must be > 0");
+    if (data.burstColdFrac < 0.0 || data.burstColdFrac > 1.0)
+        fosm_fatal("profile ", name, ": invalid burstColdFrac");
+    for (std::uint64_t bytes :
+         {data.hotBytes, data.warmBytes, data.coldBytes,
+          data.strideBytes}) {
+        if (bytes < 64)
+            fosm_fatal("profile ", name, ": data region too small");
+    }
+}
+
+} // namespace fosm

@@ -1,0 +1,190 @@
+/** @file Unit tests for the functional miss-event profiler. */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+#include "analysis/miss_profiler.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace fosm {
+namespace {
+
+ProfilerConfig
+tinyConfig()
+{
+    ProfilerConfig c;
+    c.hierarchy.l1i = {"l1i", 1024, 2, 64, ReplPolicyKind::Lru};
+    c.hierarchy.l1d = {"l1d", 1024, 2, 64, ReplPolicyKind::Lru};
+    c.hierarchy.l2 = {"l2", 8192, 4, 64, ReplPolicyKind::Lru};
+    return c;
+}
+
+TEST(MissProfiler, CountsLoadsAndStores)
+{
+    test::TraceBuilder b;
+    b.load(1, 0x100).store(0x200).load(2, 0x100).alu(3);
+    const MissProfile p = profileTrace(b.take(), tinyConfig());
+    EXPECT_EQ(p.instructions, 4u);
+    EXPECT_EQ(p.loads, 2u);
+    EXPECT_EQ(p.stores, 1u);
+}
+
+TEST(MissProfiler, ColdLoadsAreLongMisses)
+{
+    test::TraceBuilder b;
+    // Three loads to distinct lines far apart: all cold -> memory.
+    b.load(1, 0x100000).load(2, 0x200000).load(3, 0x300000);
+    const MissProfile p = profileTrace(b.take(), tinyConfig());
+    EXPECT_EQ(p.longLoadMisses, 3u);
+    EXPECT_EQ(p.shortLoadMisses, 0u);
+}
+
+TEST(MissProfiler, L2HitIsShortMiss)
+{
+    test::TraceBuilder b;
+    // Two conflicting L1 lines (1KB 2-way 64B -> set stride 512B),
+    // third access evicted from L1 but still in L2.
+    b.load(1, 0x0).load(2, 0x200).load(3, 0x400).load(4, 0x0);
+    const MissProfile p = profileTrace(b.take(), tinyConfig());
+    EXPECT_EQ(p.longLoadMisses, 3u);
+    EXPECT_EQ(p.shortLoadMisses, 1u);
+}
+
+TEST(MissProfiler, LdmGapsRecorded)
+{
+    test::TraceBuilder b;
+    b.load(1, 0x100000); // long miss at index 0
+    b.alu(2);
+    b.alu(3);
+    b.load(4, 0x200000); // long miss at index 3
+    const MissProfile p = profileTrace(b.take(), tinyConfig());
+    ASSERT_EQ(p.ldmGaps.size(), 1u);
+    EXPECT_EQ(p.ldmGaps[0], 3u);
+}
+
+TEST(MissProfile, GroupFractionsIsolated)
+{
+    MissProfile p;
+    p.longLoadMisses = 3;
+    p.ldmGaps = {500, 500}; // all gaps exceed any small ROB
+    const std::vector<double> f = p.ldmGroupFractions(128);
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_NEAR(f[0], 1.0, 1e-12);
+    EXPECT_NEAR(p.ldmOverlapFactor(128), 1.0, 1e-12);
+}
+
+TEST(MissProfile, GroupFractionsPaired)
+{
+    MissProfile p;
+    p.longLoadMisses = 4;
+    p.ldmGaps = {10, 500, 10}; // two pairs
+    const std::vector<double> f = p.ldmGroupFractions(128);
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_NEAR(f[0], 0.0, 1e-12);
+    EXPECT_NEAR(f[1], 1.0, 1e-12);
+    // Equation (7): paired misses each cost half the isolated
+    // penalty, so the overlap factor is 1/2.
+    EXPECT_NEAR(p.ldmOverlapFactor(128), 0.5, 1e-12);
+}
+
+TEST(MissProfile, GroupAnchoredAtFirstMiss)
+{
+    // Chain of misses each 100 apart: chained grouping would merge
+    // them all, but the ROB only reaches rob_size past the FIRST miss
+    // of the group, so with rob_size 128 a group holds just 2 misses
+    // (span 100 then 200 > 128).
+    MissProfile p;
+    p.longLoadMisses = 6;
+    p.ldmGaps = {100, 100, 100, 100, 100};
+    const std::vector<double> f = p.ldmGroupFractions(128);
+    ASSERT_GE(f.size(), 2u);
+    EXPECT_NEAR(f[1], 1.0, 1e-12); // all in groups of 2
+    EXPECT_NEAR(p.ldmOverlapFactor(128), 0.5, 1e-12);
+}
+
+TEST(MissProfile, OverlapFactorEqualsGroupsOverMisses)
+{
+    MissProfile p;
+    p.longLoadMisses = 5;
+    p.ldmGaps = {10, 10, 500, 10}; // group of 3, group of 2
+    // Groups: {0,1,2} (span 20 < 128), {3,4}.
+    EXPECT_NEAR(p.ldmOverlapFactor(128), 2.0 / 5.0, 1e-12);
+}
+
+TEST(MissProfile, NoMissesFactorIsOne)
+{
+    MissProfile p;
+    EXPECT_NEAR(p.ldmOverlapFactor(128), 1.0, 1e-12);
+    EXPECT_TRUE(p.ldmGroupFractions(128).empty() ||
+                p.ldmGroupFractions(128)[0] == 0.0);
+}
+
+TEST(MissProfiler, BranchStatsWithIdealPredictor)
+{
+    test::TraceBuilder b;
+    b.branch(true).branch(false).alu(1);
+    ProfilerConfig c = tinyConfig();
+    c.predictor = PredictorKind::Ideal;
+    const MissProfile p = profileTrace(b.take(), c);
+    EXPECT_EQ(p.branches, 2u);
+    EXPECT_EQ(p.mispredictions, 0u);
+    EXPECT_EQ(p.mispredictRate(), 0.0);
+}
+
+TEST(MissProfiler, AvgLatencyIncludesShortMisses)
+{
+    // One load that is a short miss (L1 conflict, L2 hit): latency
+    // becomes loadHit + l2Latency.
+    test::TraceBuilder b;
+    b.load(1, 0x0).load(2, 0x200).load(3, 0x400).load(4, 0x0);
+    ProfilerConfig c = tinyConfig();
+    const MissProfile p = profileTrace(b.take(), c);
+    // Three long misses count the base load latency (2); the short
+    // miss counts 2 + 8 = 10. Mean = (2+2+2+10)/4 = 4.
+    EXPECT_NEAR(p.avgLatency, 4.0, 1e-12);
+}
+
+TEST(MissProfiler, IcacheMissOnColdCode)
+{
+    test::TraceBuilder b;
+    b.alu(1).at(0x1000);
+    b.alu(2).at(0x1004); // same line: hit
+    b.alu(3).at(0x8000); // new line: miss
+    const MissProfile p = profileTrace(b.take(), tinyConfig());
+    EXPECT_EQ(p.icacheL1Misses, 2u);
+}
+
+TEST(MissProfiler, RatesPerInstruction)
+{
+    test::TraceBuilder b;
+    for (int i = 0; i < 10; ++i)
+        b.alu(1).at(0x1000 + (i % 2) * 4);
+    const MissProfile p = profileTrace(b.take(), tinyConfig());
+    EXPECT_NEAR(p.icacheMissesPerInst(), 0.1, 1e-12);
+}
+
+TEST(MissProfiler, RealWorkloadSanity)
+{
+    const Trace t = generateTrace(profileByName("gzip"), 50000);
+    const MissProfile p = profileTrace(t);
+    EXPECT_EQ(p.instructions, 50000u);
+    EXPECT_GT(p.branches, 1000u);
+    EXPECT_GT(p.mispredictRate(), 0.005);
+    EXPECT_LT(p.mispredictRate(), 0.30);
+    EXPECT_GT(p.avgLatency, 1.0);
+    EXPECT_LT(p.avgLatency, 4.0);
+    EXPECT_GT(p.instsBetweenMispredicts(), 10.0);
+}
+
+TEST(MissProfiler, McfHasClusteredLongMisses)
+{
+    const Trace t = generateTrace(profileByName("mcf"), 50000);
+    const MissProfile p = profileTrace(t);
+    EXPECT_GT(p.longLoadMisses, 100u);
+    // Clustering: overlap factor well below 1 at the baseline ROB.
+    EXPECT_LT(p.ldmOverlapFactor(128), 0.8);
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,132 @@
+/** @file Tests for phase segmentation and the phase model. */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+#include "analysis/phase_model.hh"
+#include "experiments/workbench.hh"
+
+namespace fosm {
+namespace {
+
+TEST(SliceTrace, ExtractsRange)
+{
+    const Trace t = test::independentStream(100);
+    const Trace slice = sliceTrace(t, 10, 20);
+    ASSERT_EQ(slice.size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(slice[i].pc, t[10 + i].pc);
+}
+
+TEST(SliceTrace, EmptyAndFullRanges)
+{
+    const Trace t = test::independentStream(50);
+    EXPECT_EQ(sliceTrace(t, 5, 5).size(), 0u);
+    EXPECT_EQ(sliceTrace(t, 0, 50).size(), 50u);
+}
+
+TEST(SliceTraceDeath, RejectsBadBounds)
+{
+    const Trace t = test::independentStream(10);
+    EXPECT_DEATH(sliceTrace(t, 5, 20), "out of range");
+}
+
+TEST(ConcatTraces, PreservesOrderAndSize)
+{
+    const Trace a = test::serialChain(30);
+    const Trace b = test::independentStream(40);
+    const Trace c = concatTraces({&a, &b, &a}, "abc");
+    ASSERT_EQ(c.size(), 100u);
+    EXPECT_EQ(c.name(), "abc");
+    EXPECT_EQ(c[0].pc, a[0].pc);
+    EXPECT_EQ(c[30].pc, b[0].pc);
+    EXPECT_EQ(c[70].pc, a[0].pc);
+}
+
+TEST(ProfilePhases, SegmentsCoverTrace)
+{
+    const Trace t = generateTrace(profileByName("gzip"), 50000);
+    const std::vector<PhaseData> phases = profilePhases(t, 12000);
+    ASSERT_GE(phases.size(), 3u);
+    EXPECT_EQ(phases.front().begin, 0u);
+    EXPECT_EQ(phases.back().end, t.size());
+    for (std::size_t p = 1; p < phases.size(); ++p)
+        EXPECT_EQ(phases[p].begin, phases[p - 1].end);
+
+    std::uint64_t insts = 0;
+    for (const PhaseData &phase : phases) {
+        insts += phase.profile.instructions;
+        EXPECT_EQ(phase.profile.instructions,
+                  phase.end - phase.begin);
+        EXPECT_EQ(phase.iwPoints.size(), 5u);
+    }
+    EXPECT_EQ(insts, t.size());
+}
+
+TEST(ProfilePhases, ShortTailMerged)
+{
+    const Trace t = test::independentStream(24000);
+    // 10k segments with a 4k tail (< half a phase): merged -> 2
+    // phases of 10k and 14k.
+    const std::vector<PhaseData> phases = profilePhases(t, 10000);
+    ASSERT_EQ(phases.size(), 2u);
+    EXPECT_EQ(phases[1].end - phases[1].begin, 14000u);
+}
+
+TEST(ProfilePhases, StateCarriesAcrossSegments)
+{
+    // Second visit to the same code/data is warm even when it falls
+    // in a new segment: segment 2's I-cache misses must be far below
+    // segment 1's compulsory misses.
+    test::TraceBuilder b;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (int i = 0; i < 4000; ++i)
+            b.alu(static_cast<RegIndex>(i % 32))
+                .at(0x10000 + i * 4);
+    }
+    const std::vector<PhaseData> phases =
+        profilePhases(b.take(), 4000);
+    ASSERT_EQ(phases.size(), 2u);
+    EXPECT_GT(phases[0].profile.icacheL1Misses, 50u);
+    EXPECT_LT(phases[1].profile.icacheL2Misses,
+              phases[0].profile.icacheL2Misses / 4);
+}
+
+TEST(PhaseModel, DetectsAlternatingBehaviour)
+{
+    const Trace quiet = generateTrace(profileByName("eon"), 40000);
+    const Trace missy = generateTrace(profileByName("mcf"), 40000);
+    const Trace program =
+        concatTraces({&quiet, &missy}, "two-phase");
+    const std::vector<PhaseData> phases =
+        profilePhases(program, 40000);
+    ASSERT_EQ(phases.size(), 2u);
+    EXPECT_GT(phases[1].profile.longLoadMissesPerInst(),
+              5.0 * phases[0].profile.longLoadMissesPerInst());
+}
+
+TEST(PhaseModel, WeightedCpiTracksSimulation)
+{
+    const Trace a = generateTrace(profileByName("vortex"), 50000);
+    const Trace b = generateTrace(profileByName("twolf"), 50000);
+    const Trace program = concatTraces({&a, &b}, "phased");
+    const SimStats sim =
+        simulateTrace(program, Workbench::baselineSimConfig());
+
+    const MachineConfig machine = Workbench::baselineMachine();
+    const FirstOrderModel model(machine);
+    const std::vector<PhaseData> phases =
+        profilePhases(program, 50000);
+    double weighted = 0.0;
+    for (const PhaseData &phase : phases) {
+        const IWCharacteristic iw = IWCharacteristic::fromPoints(
+            phase.iwPoints, phase.profile.avgLatency, machine.width);
+        weighted += model.evaluate(iw, phase.profile).total() *
+                    static_cast<double>(phase.profile.instructions) /
+                    static_cast<double>(program.size());
+    }
+    EXPECT_LT(relativeError(weighted, sim.cpi()), 0.25);
+}
+
+} // namespace
+} // namespace fosm

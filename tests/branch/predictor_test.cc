@@ -1,0 +1,190 @@
+/** @file Unit tests for the branch predictors. */
+
+#include <gtest/gtest.h>
+
+#include "branch/bimodal.hh"
+#include "branch/gshare.hh"
+#include "branch/ideal.hh"
+#include "branch/local.hh"
+#include "branch/predictor.hh"
+#include "common/rng.hh"
+
+namespace fosm {
+namespace {
+
+TEST(TwoBitCounter, SaturatesAndHysteresis)
+{
+    TwoBitCounter c;
+    EXPECT_FALSE(c.taken()); // init weakly not-taken
+    c.update(true);
+    EXPECT_TRUE(c.taken()); // 1 -> 2: weakly taken
+    c.update(true);
+    c.update(true); // saturate at 3
+    EXPECT_EQ(c.raw(), 3u);
+    c.update(false);
+    EXPECT_TRUE(c.taken()); // hysteresis: one miss keeps taken
+    c.update(false);
+    EXPECT_FALSE(c.taken());
+    c.update(false);
+    c.update(false);
+    EXPECT_EQ(c.raw(), 0u);
+}
+
+TEST(IdealPredictor, NeverMispredicts)
+{
+    IdealPredictor p;
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(p.predictAndUpdate(i * 4, rng.bernoulli(0.5)));
+    EXPECT_EQ(p.stats().mispredictions, 0u);
+    EXPECT_EQ(p.stats().predictions, 1000u);
+}
+
+TEST(BimodalPredictor, LearnsBiasedBranch)
+{
+    BimodalPredictor p(1024);
+    for (int i = 0; i < 100; ++i)
+        p.predictAndUpdate(0x100, true);
+    p.resetStats();
+    for (int i = 0; i < 100; ++i)
+        p.predictAndUpdate(0x100, true);
+    EXPECT_EQ(p.stats().mispredictions, 0u);
+}
+
+TEST(BimodalPredictor, CannotLearnAlternatingPattern)
+{
+    BimodalPredictor p(1024);
+    // Warm up, then measure: TNTN... defeats a 2-bit counter.
+    for (int i = 0; i < 1000; ++i)
+        p.predictAndUpdate(0x100, i % 2 == 0);
+    p.resetStats();
+    for (int i = 0; i < 1000; ++i)
+        p.predictAndUpdate(0x100, i % 2 == 0);
+    EXPECT_GT(p.stats().mispredictRate(), 0.4);
+}
+
+TEST(GSharePredictor, LearnsAlternatingPattern)
+{
+    GSharePredictor p(8192);
+    for (int i = 0; i < 1000; ++i)
+        p.predictAndUpdate(0x100, i % 2 == 0);
+    p.resetStats();
+    for (int i = 0; i < 1000; ++i)
+        p.predictAndUpdate(0x100, i % 2 == 0);
+    EXPECT_LT(p.stats().mispredictRate(), 0.05);
+}
+
+TEST(GSharePredictor, LearnsShortLoopPattern)
+{
+    GSharePredictor p(8192);
+    // Loop with trip count 4: TTTN repeating.
+    auto outcome = [](int i) { return i % 4 != 3; };
+    for (int i = 0; i < 4000; ++i)
+        p.predictAndUpdate(0x200, outcome(i));
+    p.resetStats();
+    for (int i = 0; i < 4000; ++i)
+        p.predictAndUpdate(0x200, outcome(i));
+    EXPECT_LT(p.stats().mispredictRate(), 0.05);
+}
+
+TEST(LocalPredictor, LearnsLoopPatternPerBranch)
+{
+    LocalPredictor p(8192);
+    auto outcome = [](int i) { return i % 5 != 4; };
+    for (int i = 0; i < 5000; ++i)
+        p.predictAndUpdate(0x300, outcome(i));
+    p.resetStats();
+    for (int i = 0; i < 5000; ++i)
+        p.predictAndUpdate(0x300, outcome(i));
+    EXPECT_LT(p.stats().mispredictRate(), 0.05);
+}
+
+TEST(Predictors, RandomBranchesNearFiftyPercent)
+{
+    GSharePredictor p(8192);
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i)
+        p.predictAndUpdate(0x400, rng.bernoulli(0.5));
+    EXPECT_GT(p.stats().mispredictRate(), 0.40);
+    EXPECT_LT(p.stats().mispredictRate(), 0.60);
+}
+
+TEST(Predictors, BiasedRandomBetterThanFair)
+{
+    GSharePredictor fair(8192), biased(8192);
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i) {
+        fair.predictAndUpdate(0x500, rng.bernoulli(0.5));
+        biased.predictAndUpdate(0x500, rng.bernoulli(0.9));
+    }
+    EXPECT_LT(biased.stats().mispredictRate(),
+              fair.stats().mispredictRate() - 0.2);
+}
+
+TEST(Factory, BuildsEachKind)
+{
+    EXPECT_EQ(makePredictor(PredictorKind::GShare)->name(), "gshare");
+    EXPECT_EQ(makePredictor(PredictorKind::Bimodal)->name(), "bimodal");
+    EXPECT_EQ(makePredictor(PredictorKind::Local)->name(), "local");
+    EXPECT_EQ(makePredictor(PredictorKind::Ideal)->name(), "ideal");
+}
+
+TEST(PredictorStats, RateComputation)
+{
+    PredictorStats s;
+    s.predictions = 100;
+    s.mispredictions = 7;
+    EXPECT_NEAR(s.mispredictRate(), 0.07, 1e-12);
+    PredictorStats empty;
+    EXPECT_EQ(empty.mispredictRate(), 0.0);
+}
+
+/**
+ * Parameterized comparison: on a mixed site population, predictor
+ * quality should order ideal < gshare <= bimodal-ish; specifically
+ * gshare must beat bimodal and ideal must beat both.
+ */
+class PredictorShowdown
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PredictorShowdown, OrderingHoldsAcrossSeeds)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+    auto gshare = makePredictor(PredictorKind::GShare);
+    auto bimodal = makePredictor(PredictorKind::Bimodal);
+    auto ideal = makePredictor(PredictorKind::Ideal);
+
+    // 32 sites visited in a fixed round-robin order, as a loop nest
+    // would: the global history is then correlated and gShare can use
+    // it. Half biased, a quarter loops, a quarter deterministic
+    // period-2 "hard" branches that only history disambiguates.
+    int counters[32] = {};
+    for (int i = 0; i < 60000; ++i) {
+        const int site = i % 32;
+        const Addr pc = 0x1000 + site * 4;
+        const int k = counters[site]++;
+        bool taken;
+        if (site < 16)
+            taken = rng.bernoulli(0.97);
+        else if (site < 24)
+            taken = k % 6 != 5;
+        else
+            taken = k % 2 == 0;
+        gshare->predictAndUpdate(pc, taken);
+        bimodal->predictAndUpdate(pc, taken);
+        ideal->predictAndUpdate(pc, taken);
+    }
+    EXPECT_EQ(ideal->stats().mispredictions, 0u);
+    EXPECT_LT(gshare->stats().mispredictRate(),
+              bimodal->stats().mispredictRate() + 0.01);
+    EXPECT_LT(gshare->stats().mispredictRate(), 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredictorShowdown,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace fosm

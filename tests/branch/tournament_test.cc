@@ -1,0 +1,85 @@
+/** @file Tests for the tournament (hybrid) predictor. */
+
+#include <gtest/gtest.h>
+
+#include "branch/bimodal.hh"
+#include "branch/gshare.hh"
+#include "branch/tournament.hh"
+#include "common/rng.hh"
+
+namespace fosm {
+namespace {
+
+TEST(Tournament, LearnsBiasedBranch)
+{
+    TournamentPredictor p(8192);
+    for (int i = 0; i < 200; ++i)
+        p.predictAndUpdate(0x100, true);
+    p.resetStats();
+    for (int i = 0; i < 200; ++i)
+        p.predictAndUpdate(0x100, true);
+    EXPECT_EQ(p.stats().mispredictions, 0u);
+}
+
+TEST(Tournament, LearnsAlternatingPatternViaGShare)
+{
+    // Bimodal cannot learn TNTN; the chooser must migrate to gShare.
+    TournamentPredictor p(8192);
+    for (int i = 0; i < 2000; ++i)
+        p.predictAndUpdate(0x200, i % 2 == 0);
+    p.resetStats();
+    for (int i = 0; i < 2000; ++i)
+        p.predictAndUpdate(0x200, i % 2 == 0);
+    EXPECT_LT(p.stats().mispredictRate(), 0.05);
+}
+
+TEST(Tournament, NeverMuchWorseThanBothComponents)
+{
+    // On a mixed stream the tournament should track (or beat) the
+    // better of its components.
+    Rng rng(5);
+    TournamentPredictor tournament(8192);
+    GSharePredictor gshare(8192);
+    BimodalPredictor bimodal(8192);
+    int counters[16] = {};
+    for (int i = 0; i < 60000; ++i) {
+        const int site = i % 16;
+        const Addr pc = 0x1000 + site * 4;
+        const int k = counters[site]++;
+        bool taken;
+        if (site < 8)
+            taken = rng.bernoulli(0.95);
+        else if (site < 12)
+            taken = k % 4 != 3;
+        else
+            taken = k % 2 == 0;
+        tournament.predictAndUpdate(pc, taken);
+        gshare.predictAndUpdate(pc, taken);
+        bimodal.predictAndUpdate(pc, taken);
+    }
+    const double best = std::min(gshare.stats().mispredictRate(),
+                                 bimodal.stats().mispredictRate());
+    EXPECT_LT(tournament.stats().mispredictRate(), best + 0.02);
+}
+
+TEST(Tournament, BeatsBimodalOnHistoryPatterns)
+{
+    TournamentPredictor tournament(8192);
+    BimodalPredictor bimodal(8192);
+    for (int i = 0; i < 30000; ++i) {
+        const bool taken = (i / 3) % 2 == 0; // TTTNNN pattern
+        tournament.predictAndUpdate(0x400, taken);
+        bimodal.predictAndUpdate(0x400, taken);
+    }
+    EXPECT_LT(tournament.stats().mispredictRate(),
+              bimodal.stats().mispredictRate() - 0.05);
+}
+
+TEST(Tournament, FactoryBuildsIt)
+{
+    EXPECT_EQ(makePredictor(PredictorKind::Tournament)->name(),
+              "tournament");
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,222 @@
+/** @file Unit and property tests for the set-associative cache. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+
+namespace fosm {
+namespace {
+
+CacheConfig
+smallCache(std::uint64_t size = 1024, std::uint32_t assoc = 2,
+           std::uint32_t line = 64)
+{
+    CacheConfig c;
+    c.name = "test";
+    c.sizeBytes = size;
+    c.assoc = assoc;
+    c.lineBytes = line;
+    return c;
+}
+
+TEST(CacheConfig, SetsComputation)
+{
+    EXPECT_EQ(smallCache(1024, 2, 64).sets(), 8u);
+    EXPECT_EQ(smallCache(4096, 4, 128).sets(), 8u);
+    EXPECT_EQ(smallCache(512 * 1024, 4, 128).sets(), 1024u);
+}
+
+TEST(Cache, FirstAccessMisses)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_EQ(c.stats().misses, 1u);
+    EXPECT_EQ(c.stats().accesses, 1u);
+}
+
+TEST(Cache, SecondAccessHits)
+{
+    Cache c(smallCache());
+    c.access(0x1000);
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_EQ(c.stats().misses, 1u);
+    EXPECT_NEAR(c.stats().missRate(), 0.5, 1e-12);
+}
+
+TEST(Cache, SameLineDifferentOffsetHits)
+{
+    Cache c(smallCache(1024, 2, 64));
+    c.access(0x1000);
+    EXPECT_TRUE(c.access(0x1004));
+    EXPECT_TRUE(c.access(0x103F));
+    EXPECT_FALSE(c.access(0x1040)); // next line
+}
+
+TEST(Cache, ConflictEvictsLru)
+{
+    // 2-way, 8 sets, 64B lines: addresses 64*8 apart map to set 0.
+    Cache c(smallCache(1024, 2, 64));
+    const Addr stride = 64 * 8;
+    c.access(0 * stride); // A
+    c.access(1 * stride); // B
+    c.access(0 * stride); // touch A (B is now LRU)
+    c.access(2 * stride); // C evicts B
+    EXPECT_TRUE(c.probe(0 * stride));
+    EXPECT_FALSE(c.probe(1 * stride));
+    EXPECT_TRUE(c.probe(2 * stride));
+}
+
+TEST(Cache, ProbeDoesNotMutate)
+{
+    Cache c(smallCache());
+    c.access(0x1000);
+    const std::uint64_t misses = c.stats().misses;
+    EXPECT_FALSE(c.probe(0x2000));
+    EXPECT_EQ(c.stats().misses, misses);
+    EXPECT_FALSE(c.access(0x2000) == false && false);
+}
+
+TEST(Cache, FlushInvalidatesAll)
+{
+    Cache c(smallCache());
+    c.access(0x1000);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x1000));
+    EXPECT_FALSE(c.access(0x1000));
+}
+
+TEST(Cache, ResetStatsKeepsContents)
+{
+    Cache c(smallCache());
+    c.access(0x1000);
+    c.resetStats();
+    EXPECT_EQ(c.stats().accesses, 0u);
+    EXPECT_TRUE(c.access(0x1000));
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheAlwaysHitsAfterWarmup)
+{
+    Cache c(smallCache(4096, 4, 64));
+    Rng rng(1);
+    std::vector<Addr> lines;
+    for (int i = 0; i < 32; ++i) // 32 * 64B = 2KB working set
+        lines.push_back(i * 64);
+    for (Addr a : lines)
+        c.access(a);
+    c.resetStats();
+    for (int i = 0; i < 10000; ++i)
+        c.access(lines[rng.nextBounded(lines.size())]);
+    EXPECT_EQ(c.stats().misses, 0u);
+}
+
+/**
+ * Reference model: fully-associative-per-set LRU via std::list, to
+ * validate the production cache against an obviously-correct one.
+ */
+class ReferenceLru
+{
+  public:
+    ReferenceLru(std::uint32_t sets, std::uint32_t ways,
+                 std::uint32_t line)
+        : sets_(sets), ways_(ways), line_(line), lists_(sets)
+    {
+    }
+
+    bool
+    access(Addr addr)
+    {
+        const Addr tag = addr / line_;
+        const std::uint32_t set = tag % sets_;
+        auto &list = lists_[set];
+        const auto it = std::find(list.begin(), list.end(), tag);
+        if (it != list.end()) {
+            list.erase(it);
+            list.push_front(tag);
+            return true;
+        }
+        list.push_front(tag);
+        if (list.size() > ways_)
+            list.pop_back();
+        return false;
+    }
+
+  private:
+    std::uint32_t sets_, ways_, line_;
+    std::vector<std::list<Addr>> lists_;
+};
+
+TEST(Cache, MatchesReferenceLruOnRandomStream)
+{
+    const CacheConfig config = smallCache(2048, 4, 64);
+    Cache cache(config);
+    ReferenceLru ref(config.sets(), config.assoc, config.lineBytes);
+    Rng rng(99);
+    for (int i = 0; i < 50000; ++i) {
+        // Mix of hot and cold addresses to exercise eviction.
+        const Addr addr = rng.bernoulli(0.7)
+            ? rng.nextBounded(4096)
+            : rng.nextBounded(1 << 20);
+        EXPECT_EQ(cache.access(addr), ref.access(addr))
+            << "divergence at access " << i << " addr " << addr;
+    }
+}
+
+/** Property sweep: miss rate is monotone non-increasing in size. */
+class CacheSizeSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CacheSizeSweep, BiggerCacheNeverWorseOnZipfStream)
+{
+    const std::uint32_t assoc = GetParam();
+    Rng rng(7);
+    std::vector<Addr> stream;
+    for (int i = 0; i < 40000; ++i)
+        stream.push_back(rng.zipf(1 << 14, 0.8) * 16);
+
+    double prev_rate = 1.1;
+    for (std::uint64_t size : {1024u, 4096u, 16384u, 65536u}) {
+        Cache c(smallCache(size, assoc, 64));
+        for (Addr a : stream)
+            c.access(a);
+        const double rate = c.stats().missRate();
+        EXPECT_LE(rate, prev_rate + 0.01)
+            << "size " << size << " assoc " << assoc;
+        prev_rate = rate;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, CacheSizeSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Cache, HigherAssociativityReducesConflicts)
+{
+    // Pathological stream: 4 lines that all map to set 0 of a 1KB
+    // direct-mapped cache (16 sets of 64B), thrashing it; the 8-way
+    // cache holds them all.
+    const Addr stride = 64 * 16;
+    Cache direct(smallCache(1024, 1, 64));
+    Cache assoc8(smallCache(1024, 8, 64));
+    for (int round = 0; round < 100; ++round) {
+        for (int i = 0; i < 4; ++i) {
+            direct.access(i * stride);
+            assoc8.access(i * stride);
+        }
+    }
+    EXPECT_LT(assoc8.stats().missRate(), direct.stats().missRate());
+}
+
+TEST(CacheDeath, RejectsNonPowerOfTwoLine)
+{
+    CacheConfig c = smallCache(1024, 2, 48);
+    EXPECT_DEATH(Cache{c}, "");
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,102 @@
+/** @file Unit tests for the L1I/L1D/L2 hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+
+namespace fosm {
+namespace {
+
+HierarchyConfig
+tinyHierarchy()
+{
+    HierarchyConfig c;
+    c.l1i = {"l1i", 1024, 2, 64, ReplPolicyKind::Lru};
+    c.l1d = {"l1d", 1024, 2, 64, ReplPolicyKind::Lru};
+    c.l2 = {"l2", 8192, 4, 64, ReplPolicyKind::Lru};
+    c.l1Latency = 1;
+    c.l2Latency = 8;
+    c.memLatency = 200;
+    return c;
+}
+
+TEST(Hierarchy, ColdAccessGoesToMemory)
+{
+    CacheHierarchy h(tinyHierarchy());
+    const AccessResult r = h.accessData(0x10000);
+    EXPECT_EQ(r.level, HitLevel::Memory);
+    EXPECT_EQ(r.latency, 201u);
+    EXPECT_TRUE(r.isL1Miss());
+    EXPECT_TRUE(r.isL2Miss());
+}
+
+TEST(Hierarchy, SecondAccessHitsL1)
+{
+    CacheHierarchy h(tinyHierarchy());
+    h.accessData(0x10000);
+    const AccessResult r = h.accessData(0x10000);
+    EXPECT_EQ(r.level, HitLevel::L1);
+    EXPECT_EQ(r.latency, 1u);
+    EXPECT_FALSE(r.isL1Miss());
+}
+
+TEST(Hierarchy, L1EvictionStillHitsL2)
+{
+    CacheHierarchy h(tinyHierarchy());
+    // L1D: 1KB 2-way 64B -> 8 sets; addresses 512B apart share a set.
+    const Addr stride = 64 * 8;
+    h.accessData(0 * stride);
+    h.accessData(1 * stride);
+    h.accessData(2 * stride); // evicts line 0 from L1 (still in L2)
+    const AccessResult r = h.accessData(0 * stride);
+    EXPECT_EQ(r.level, HitLevel::L2);
+    EXPECT_EQ(r.latency, 9u);
+    EXPECT_TRUE(r.isL1Miss());
+    EXPECT_FALSE(r.isL2Miss());
+}
+
+TEST(Hierarchy, InstAndDataPathsSeparateL1)
+{
+    CacheHierarchy h(tinyHierarchy());
+    h.fetchInst(0x4000);
+    // Same address via the data path misses L1D but hits the shared L2.
+    const AccessResult r = h.accessData(0x4000);
+    EXPECT_EQ(r.level, HitLevel::L2);
+}
+
+TEST(Hierarchy, StatsTracked)
+{
+    CacheHierarchy h(tinyHierarchy());
+    h.fetchInst(0x4000);
+    h.fetchInst(0x4000);
+    EXPECT_EQ(h.l1i().stats().accesses, 2u);
+    EXPECT_EQ(h.l1i().stats().misses, 1u);
+    EXPECT_EQ(h.l2().stats().accesses, 1u);
+}
+
+TEST(Hierarchy, ResetStatsAndFlush)
+{
+    CacheHierarchy h(tinyHierarchy());
+    h.accessData(0x123400);
+    h.resetStats();
+    EXPECT_EQ(h.l1d().stats().accesses, 0u);
+    EXPECT_TRUE(h.accessData(0x123400).level == HitLevel::L1);
+
+    h.flush();
+    EXPECT_EQ(h.accessData(0x123400).level, HitLevel::Memory);
+}
+
+TEST(Hierarchy, BaselineConfigMatchesPaper)
+{
+    const HierarchyConfig c;
+    EXPECT_EQ(c.l1i.sizeBytes, 4u * 1024);
+    EXPECT_EQ(c.l1i.assoc, 4u);
+    EXPECT_EQ(c.l1i.lineBytes, 128u);
+    EXPECT_EQ(c.l1d.sizeBytes, 4u * 1024);
+    EXPECT_EQ(c.l2.sizeBytes, 512u * 1024);
+    EXPECT_EQ(c.l2Latency, 8u);
+    EXPECT_EQ(c.memLatency, 200u);
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,70 @@
+/** @file Unit tests for the replacement policies. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/replacement.hh"
+
+namespace fosm {
+namespace {
+
+TEST(LruPolicy, VictimIsLeastRecentlyUsed)
+{
+    LruPolicy lru(1, 4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        lru.fill(0, w);
+    lru.touch(0, 0); // 1 is now oldest
+    EXPECT_EQ(lru.victim(0), 1u);
+    lru.touch(0, 1);
+    EXPECT_EQ(lru.victim(0), 2u);
+}
+
+TEST(LruPolicy, SetsIndependent)
+{
+    LruPolicy lru(2, 2);
+    lru.fill(0, 0);
+    lru.fill(0, 1);
+    lru.fill(1, 1);
+    lru.fill(1, 0);
+    EXPECT_EQ(lru.victim(0), 0u);
+    EXPECT_EQ(lru.victim(1), 1u);
+}
+
+TEST(FifoPolicy, HitsDoNotChangeOrder)
+{
+    FifoPolicy fifo(1, 3);
+    fifo.fill(0, 0);
+    fifo.fill(0, 1);
+    fifo.fill(0, 2);
+    fifo.touch(0, 0); // no effect on FIFO
+    EXPECT_EQ(fifo.victim(0), 0u);
+    fifo.fill(0, 0); // re-fill way 0: now newest
+    EXPECT_EQ(fifo.victim(0), 1u);
+}
+
+TEST(RandomPolicy, VictimsInRange)
+{
+    RandomPolicy rnd(1, 4, 5);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 200; ++i) {
+        const std::uint32_t v = rnd.victim(0);
+        EXPECT_LT(v, 4u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all ways eventually chosen
+}
+
+TEST(Factory, BuildsEachKind)
+{
+    EXPECT_EQ(makeReplacementPolicy(ReplPolicyKind::Lru, 4, 2)->name(),
+              "lru");
+    EXPECT_EQ(makeReplacementPolicy(ReplPolicyKind::Fifo, 4, 2)->name(),
+              "fifo");
+    EXPECT_EQ(
+        makeReplacementPolicy(ReplPolicyKind::Random, 4, 2)->name(),
+        "random");
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,81 @@
+/** @file Tests for the TLB model (paper Section 7, future-work 4). */
+
+#include <gtest/gtest.h>
+
+#include "cache/tlb.hh"
+
+namespace fosm {
+namespace {
+
+TlbConfig
+smallTlb()
+{
+    TlbConfig c;
+    c.enabled = true;
+    c.entries = 8;
+    c.assoc = 2;
+    c.pageBytes = 4096;
+    c.walkLatency = 30;
+    return c;
+}
+
+TEST(Tlb, FirstTouchMisses)
+{
+    Tlb tlb(smallTlb());
+    EXPECT_FALSE(tlb.access(0x10000));
+    EXPECT_TRUE(tlb.access(0x10000));
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(Tlb, SamePageDifferentOffsetHits)
+{
+    Tlb tlb(smallTlb());
+    tlb.access(0x10000);
+    EXPECT_TRUE(tlb.access(0x10FFF));
+    EXPECT_FALSE(tlb.access(0x11000)); // next page
+}
+
+TEST(Tlb, CapacityEviction)
+{
+    Tlb tlb(smallTlb());
+    // Touch 9 pages mapping across 4 sets of 2 ways: some set gets
+    // 3 pages, evicting its LRU.
+    for (Addr page = 0; page < 9; ++page)
+        tlb.access(page * 4096);
+    std::uint32_t resident = 0;
+    for (Addr page = 0; page < 9; ++page)
+        resident += tlb.probe(page * 4096) ? 1 : 0;
+    EXPECT_LE(resident, 8u);
+    EXPECT_GE(resident, 7u);
+}
+
+TEST(Tlb, WorkingSetWithinEntriesAlwaysHits)
+{
+    Tlb tlb(smallTlb());
+    for (int round = 0; round < 3; ++round) {
+        for (Addr page = 0; page < 8; ++page)
+            tlb.access(page * 4096);
+    }
+    // 8 pages across 4 sets x 2 ways: exactly fits.
+    EXPECT_EQ(tlb.stats().misses, 8u);
+}
+
+TEST(Tlb, FlushAndResetStats)
+{
+    Tlb tlb(smallTlb());
+    tlb.access(0x4000);
+    tlb.resetStats();
+    EXPECT_EQ(tlb.stats().accesses, 0u);
+    tlb.flush();
+    EXPECT_FALSE(tlb.probe(0x4000));
+}
+
+TEST(TlbDeath, RejectsZeroEntries)
+{
+    TlbConfig c = smallTlb();
+    c.entries = 0;
+    EXPECT_DEATH(Tlb{c}, "at least one entry");
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,139 @@
+/** @file Unit tests for the least-squares fits. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/fit.hh"
+#include "common/rng.hh"
+
+namespace fosm {
+namespace {
+
+TEST(FitLine, RecoversExactLine)
+{
+    std::vector<double> x{1, 2, 3, 4, 5};
+    std::vector<double> y;
+    for (double xi : x)
+        y.push_back(2.5 * xi - 1.0);
+    const LineFit fit = fitLine(x, y);
+    EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+    EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+    EXPECT_EQ(fit.points, 5u);
+}
+
+TEST(FitLine, HorizontalLine)
+{
+    std::vector<double> x{1, 2, 3};
+    std::vector<double> y{4, 4, 4};
+    const LineFit fit = fitLine(x, y);
+    EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+    // Zero total variance: define R^2 = 1.
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineApproximates)
+{
+    Rng rng(3);
+    std::vector<double> x, y;
+    for (int i = 0; i < 200; ++i) {
+        const double xi = i * 0.1;
+        x.push_back(xi);
+        y.push_back(3.0 * xi + 1.0 + rng.normal(0.0, 0.05));
+    }
+    const LineFit fit = fitLine(x, y);
+    EXPECT_NEAR(fit.slope, 3.0, 0.02);
+    EXPECT_NEAR(fit.intercept, 1.0, 0.05);
+    EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(FitPowerLaw, RecoversExactPowerLaw)
+{
+    std::vector<double> x{4, 8, 16, 32, 64};
+    std::vector<double> y;
+    for (double xi : x)
+        y.push_back(1.3 * std::pow(xi, 0.5));
+    const PowerFit fit = fitPowerLaw(x, y);
+    EXPECT_NEAR(fit.alpha, 1.3, 1e-9);
+    EXPECT_NEAR(fit.beta, 0.5, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(PowerFit, EvaluatesLaw)
+{
+    PowerFit fit;
+    fit.alpha = 2.0;
+    fit.beta = 0.5;
+    EXPECT_NEAR(fit(16.0), 8.0, 1e-12);
+    EXPECT_NEAR(fit(1.0), 2.0, 1e-12);
+}
+
+/** Parameterized: fit recovery across the Table 1 parameter space. */
+struct PowerCase
+{
+    double alpha;
+    double beta;
+};
+
+class PowerLawSweep : public ::testing::TestWithParam<PowerCase>
+{
+};
+
+TEST_P(PowerLawSweep, RecoversParameters)
+{
+    const PowerCase c = GetParam();
+    std::vector<double> x{4, 8, 16, 32, 64, 128};
+    std::vector<double> y;
+    for (double xi : x)
+        y.push_back(c.alpha * std::pow(xi, c.beta));
+    const PowerFit fit = fitPowerLaw(x, y);
+    EXPECT_NEAR(fit.alpha, c.alpha, 1e-6);
+    EXPECT_NEAR(fit.beta, c.beta, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1Space, PowerLawSweep,
+    ::testing::Values(PowerCase{1.3, 0.5}, PowerCase{1.2, 0.7},
+                      PowerCase{1.7, 0.3}, PowerCase{1.0, 1.0},
+                      PowerCase{2.0, 0.1}));
+
+TEST(FitPowerLaw, NoisyRecovery)
+{
+    Rng rng(7);
+    std::vector<double> x, y;
+    for (double xi : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+        x.push_back(xi);
+        y.push_back(1.5 * std::pow(xi, 0.6) *
+                    (1.0 + rng.normal(0.0, 0.02)));
+    }
+    const PowerFit fit = fitPowerLaw(x, y);
+    EXPECT_NEAR(fit.beta, 0.6, 0.05);
+    EXPECT_NEAR(fit.alpha, 1.5, 0.2);
+}
+
+TEST(FitLineDeath, RejectsSizeMismatch)
+{
+    std::vector<double> x{1, 2, 3};
+    std::vector<double> y{1, 2};
+    EXPECT_DEATH(fitLine(x, y), "size mismatch");
+}
+
+TEST(FitLineDeath, RejectsSinglePoint)
+{
+    std::vector<double> x{1};
+    std::vector<double> y{1};
+    EXPECT_DEATH(fitLine(x, y), "at least 2 points");
+}
+
+TEST(FitPowerLawDeath, RejectsNonPositive)
+{
+    std::vector<double> x{1, 2};
+    std::vector<double> y{1, 0};
+    EXPECT_DEATH(fitPowerLaw(x, y), "positive");
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,40 @@
+/** @file Death tests for the logging/error helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace fosm {
+namespace {
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(fosm_panic("boom ", 42), "panic: boom 42");
+}
+
+TEST(Logging, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fosm_fatal("bad config"),
+                ::testing::ExitedWithCode(1), "fatal: bad config");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    fosm_assert(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(Logging, AssertAbortsOnFalse)
+{
+    EXPECT_DEATH(fosm_assert(false, "ctx ", 7), "assertion failed");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("just a warning ", 1);
+    inform("status ", 2.5);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,234 @@
+/** @file Unit tests for the deterministic RNG and its distributions. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace fosm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.nextDouble();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, NextBoundedStaysInRange)
+{
+    Rng rng(11);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, NextBoundedCoversRange)
+{
+    Rng rng(13);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(17);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const std::int64_t v = rng.uniformInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliMean)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(23);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(29);
+    double sum = 0.0;
+    const int n = 100000;
+    const double p = 0.25;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // Mean of failures before success: (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricPOneAlwaysZero)
+{
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(37);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(5.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(41);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(7.0);
+    EXPECT_NEAR(sum / n, 7.0, 0.2);
+}
+
+TEST(Rng, DiscreteRespectsWeights)
+{
+    Rng rng(43);
+    std::vector<double> weights{1.0, 3.0, 6.0};
+    std::vector<int> counts(3, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.discrete(weights)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, ZipfSkewsTowardSmallIndices)
+{
+    Rng rng(47);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[rng.zipf(100, 1.0)];
+    // Head must dominate the tail.
+    EXPECT_GT(counts[0], counts[50] * 5);
+    EXPECT_GT(counts[0], counts[99] * 10);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniformish)
+{
+    Rng rng(53);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[rng.zipf(10, 0.0)];
+    for (int c : counts)
+        EXPECT_NEAR(c / 100000.0, 0.1, 0.01);
+}
+
+TEST(Rng, ZipfStaysInRange)
+{
+    Rng rng(59);
+    for (double s : {0.0, 0.5, 1.0, 1.5}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.zipf(17, s), 17u);
+    }
+}
+
+TEST(DiscreteSampler, MatchesWeights)
+{
+    Rng rng(61);
+    DiscreteSampler sampler({2.0, 2.0, 6.0});
+    std::vector<int> counts(3, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[sampler(rng)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.2, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(DiscreteSampler, ProbabilityAccessor)
+{
+    DiscreteSampler sampler({1.0, 1.0, 2.0});
+    EXPECT_NEAR(sampler.probability(0), 0.25, 1e-12);
+    EXPECT_NEAR(sampler.probability(1), 0.25, 1e-12);
+    EXPECT_NEAR(sampler.probability(2), 0.50, 1e-12);
+}
+
+TEST(DiscreteSampler, ZeroWeightCategoryNeverDrawn)
+{
+    Rng rng(67);
+    DiscreteSampler sampler({1.0, 0.0, 1.0});
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_NE(sampler(rng), 1u);
+}
+
+/** Parameterized sweep: geometric mean tracks 1/p across p values. */
+class GeometricSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(GeometricSweep, MeanMatchesFormula)
+{
+    const double p = GetParam();
+    Rng rng(71);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    const double expected = (1.0 - p) / p;
+    EXPECT_NEAR(sum / n, expected, std::max(0.05, expected * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, GeometricSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.35, 0.5,
+                                           0.75, 0.9));
+
+} // namespace
+} // namespace fosm

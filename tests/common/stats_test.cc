@@ -1,0 +1,195 @@
+/** @file Unit tests for RunningStats and Histogram. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace fosm {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation)
+{
+    Rng rng(5);
+    std::vector<double> xs;
+    RunningStats s;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(10.0, 3.0);
+        xs.push_back(x);
+        s.add(x);
+    }
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    const double mean = sum / xs.size();
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - mean) * (x - mean);
+    const double var = ss / (xs.size() - 1);
+
+    EXPECT_NEAR(s.mean(), mean, 1e-9);
+    EXPECT_NEAR(s.variance(), var, 1e-9);
+    EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-9);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream)
+{
+    Rng rng(9);
+    RunningStats a, b, combined;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.nextDouble() * 100.0;
+        a.add(x);
+        combined.add(x);
+    }
+    for (int i = 0; i < 700; ++i) {
+        const double x = rng.normal(-5.0, 2.0);
+        b.add(x);
+        combined.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), combined.variance(), 1e-6);
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.mean(), mean);
+
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_EQ(b.mean(), mean);
+}
+
+TEST(RunningStats, SumAndReset)
+{
+    RunningStats s;
+    s.add(1.5);
+    s.add(2.5);
+    EXPECT_NEAR(s.sum(), 4.0, 1e-12);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, BasicCounts)
+{
+    Histogram h(10);
+    h.add(3);
+    h.add(3);
+    h.add(7);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_EQ(h.countAt(3), 2u);
+    EXPECT_EQ(h.countAt(7), 1u);
+    EXPECT_EQ(h.countAt(0), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h(10);
+    h.add(2, 5);
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_EQ(h.countAt(2), 5u);
+    EXPECT_NEAR(h.mean(), 2.0, 1e-12);
+}
+
+TEST(Histogram, OverflowBucket)
+{
+    Histogram h(4);
+    h.add(100);
+    h.add(2);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.samples(), 2u);
+    EXPECT_EQ(h.countAt(100), 0u);
+}
+
+TEST(Histogram, Mean)
+{
+    Histogram h(100);
+    h.add(10);
+    h.add(20);
+    h.add(30);
+    EXPECT_NEAR(h.mean(), 20.0, 1e-12);
+}
+
+TEST(Histogram, Cdf)
+{
+    Histogram h(10);
+    for (std::uint64_t v : {1, 2, 3, 4})
+        h.add(v);
+    EXPECT_NEAR(h.cdf(0), 0.0, 1e-12);
+    EXPECT_NEAR(h.cdf(2), 0.5, 1e-12);
+    EXPECT_NEAR(h.cdf(4), 1.0, 1e-12);
+    EXPECT_NEAR(h.cdf(100), 1.0, 1e-12);
+}
+
+TEST(Histogram, CdfExcludesOverflow)
+{
+    Histogram h(4);
+    h.add(1);
+    h.add(99);
+    EXPECT_NEAR(h.cdf(4), 0.5, 1e-12);
+}
+
+TEST(Histogram, PmfSumsToNonOverflowMass)
+{
+    Histogram h(8);
+    h.add(1);
+    h.add(2);
+    h.add(50); // overflow
+    const std::vector<double> pmf = h.pmf();
+    double total = 0.0;
+    for (double p : pmf)
+        total += p;
+    EXPECT_NEAR(total, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, EmptyPmfAndCdf)
+{
+    Histogram h(8);
+    EXPECT_EQ(h.cdf(3), 0.0);
+    for (double p : h.pmf())
+        EXPECT_EQ(p, 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(SafeRatio, HandlesZeroDenominator)
+{
+    EXPECT_EQ(safeRatio(5.0, 0.0), 0.0);
+    EXPECT_EQ(safeRatio(6.0, 2.0), 3.0);
+}
+
+} // namespace
+} // namespace fosm

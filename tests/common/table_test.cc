@@ -1,0 +1,71 @@
+/** @file Unit tests for the text table formatter. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace fosm {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RowCount)
+{
+    TextTable t({"x"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, NumFormatsFixedPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::num(std::uint64_t{42}), "42");
+}
+
+TEST(TextTable, RejectsWrongRowWidth)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(TextTable, RejectsEmptyHeader)
+{
+    EXPECT_DEATH(TextTable({}), "at least one column");
+}
+
+TEST(Banner, ContainsTitle)
+{
+    std::ostringstream os;
+    printBanner(os, "Figure 15");
+    EXPECT_NE(os.str().find("Figure 15"), std::string::npos);
+    EXPECT_NE(os.str().find("==="), std::string::npos);
+}
+
+} // namespace
+} // namespace fosm

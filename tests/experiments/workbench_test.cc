@@ -1,0 +1,91 @@
+/** @file Tests for the shared experiment harness. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "experiments/workbench.hh"
+
+namespace fosm {
+namespace {
+
+TEST(Workbench, BaselineMachineMatchesPaper)
+{
+    const MachineConfig m = Workbench::baselineMachine();
+    EXPECT_EQ(m.width, 4u);
+    EXPECT_EQ(m.frontEndDepth, 5u);
+    EXPECT_EQ(m.windowSize, 48u);
+    EXPECT_EQ(m.robSize, 128u);
+    EXPECT_EQ(m.deltaI, 8u);
+    EXPECT_EQ(m.deltaD, 200u);
+    EXPECT_EQ(m.clusters, 1u);
+}
+
+TEST(Workbench, SimConfigSyncsMissDelays)
+{
+    const SimConfig c = Workbench::baselineSimConfig();
+    EXPECT_EQ(c.machine.deltaI, c.hierarchy.l2Latency);
+    EXPECT_EQ(c.machine.deltaD, c.hierarchy.memLatency);
+    EXPECT_EQ(c.predictor, PredictorKind::GShare);
+    EXPECT_EQ(c.predictorEntries, 8192u);
+    EXPECT_FALSE(c.dtlb.enabled);
+    EXPECT_FALSE(c.fuPools.anyLimited());
+}
+
+TEST(Workbench, TwelveBenchmarks)
+{
+    EXPECT_EQ(Workbench::benchmarks().size(), 12u);
+}
+
+TEST(Workbench, WorkloadCachedAcrossCalls)
+{
+    Workbench wb;
+    const WorkloadData &a = wb.workload("eon");
+    const WorkloadData &b = wb.workload("eon");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.trace.size(), wb.traceInstructions());
+    EXPECT_EQ(a.profile->name, "eon");
+}
+
+TEST(Workbench, WorkloadDataConsistent)
+{
+    Workbench wb;
+    const WorkloadData &data = wb.workload("gap");
+    EXPECT_EQ(data.missProfile.instructions, data.trace.size());
+    EXPECT_EQ(data.iwPoints.size(), 5u);
+    EXPECT_GT(data.iw.alpha(), 0.5);
+    EXPECT_GT(data.iw.beta(), 0.1);
+    EXPECT_LT(data.iw.beta(), 1.0);
+    EXPECT_NEAR(data.iw.avgLatency(), data.missProfile.avgLatency,
+                1e-12);
+    EXPECT_EQ(data.iw.issueWidth(), 4u);
+}
+
+TEST(Workbench, UnknownBenchmarkFatal)
+{
+    Workbench wb;
+    EXPECT_EXIT(wb.workload("quake"), ::testing::ExitedWithCode(1),
+                "unknown workload profile");
+}
+
+TEST(RelativeError, Basics)
+{
+    EXPECT_NEAR(relativeError(1.1, 1.0), 0.1, 1e-12);
+    EXPECT_NEAR(relativeError(0.9, 1.0), 0.1, 1e-12);
+    EXPECT_EQ(relativeError(0.0, 0.0), 0.0);
+    EXPECT_EQ(relativeError(1.0, 0.0), 1.0);
+}
+
+TEST(Workbench, FitIwWrapsFromPoints)
+{
+    std::vector<IwPoint> points;
+    for (std::uint32_t w : {4u, 8u, 16u, 32u})
+        points.push_back({w, 1.4 * std::pow(w, 0.55)});
+    const IWCharacteristic iw = Workbench::fitIw(points, 1.3, 8);
+    EXPECT_NEAR(iw.alpha(), 1.4, 1e-6);
+    EXPECT_NEAR(iw.beta(), 0.55, 1e-9);
+    EXPECT_EQ(iw.issueWidth(), 8u);
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Cross-component consistency: the functional profiler and the
+ * detailed simulator share the cache/predictor implementations and
+ * walk the same trace, so their *functional* counts must agree - the
+ * profiler being a faithful cheap stand-in for the simulator's miss
+ * streams is what makes the model's inputs valid.
+ */
+
+#include <gtest/gtest.h>
+
+#include "experiments/workbench.hh"
+
+namespace fosm {
+namespace {
+
+class Consistency : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(Consistency, ProfilerMatchesSimulatorCounts)
+{
+    const Trace t =
+        generateTrace(profileByName(GetParam()), 60000);
+    const MissProfile profile =
+        profileTrace(t, Workbench::baselineProfilerConfig());
+    const SimStats sim =
+        simulateTrace(t, Workbench::baselineSimConfig());
+
+    // Fetch is in trace order in both: I-cache streams identical.
+    EXPECT_EQ(profile.icacheL1Misses, sim.icacheL1Misses);
+    EXPECT_EQ(profile.icacheL2Misses, sim.icacheL2Misses);
+
+    // Branch stream identical (same predictor, same order).
+    EXPECT_EQ(profile.branches, sim.branches);
+    EXPECT_EQ(profile.mispredictions, sim.mispredictions);
+
+    // Data accesses happen at issue in the simulator, so out-of-order
+    // issue can permute them; counts agree within a small tolerance.
+    const double short_ratio =
+        static_cast<double>(sim.shortLoadMisses) /
+        static_cast<double>(profile.shortLoadMisses);
+    const double long_ratio =
+        static_cast<double>(sim.longLoadMisses) /
+        static_cast<double>(profile.longLoadMisses);
+    EXPECT_NEAR(short_ratio, 1.0, 0.15) << GetParam();
+    EXPECT_NEAR(long_ratio, 1.0, 0.15) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Spec, Consistency,
+                         ::testing::Values("gzip", "gcc", "mcf",
+                                           "vortex", "twolf"));
+
+TEST(Consistency, ProfilerPhaseSumsMatchWholeTrace)
+{
+    // Segment counts must add up to the whole-trace counts when the
+    // engine carries state (same accesses, same structures).
+    const Trace t = generateTrace(profileByName("parser"), 60000);
+    const MissProfile whole = profileTrace(t);
+
+    MissProfilerEngine engine{Workbench::baselineProfilerConfig()};
+    std::uint64_t mispredicts = 0, icache = 0, ldm = 0, shorts = 0;
+    for (std::uint64_t begin = 0; begin < t.size(); begin += 15000) {
+        const MissProfile part = engine.profileRange(
+            t, begin, std::min<std::uint64_t>(begin + 15000,
+                                              t.size()));
+        mispredicts += part.mispredictions;
+        icache += part.icacheL1Misses;
+        ldm += part.longLoadMisses;
+        shorts += part.shortLoadMisses;
+    }
+    EXPECT_EQ(mispredicts, whole.mispredictions);
+    EXPECT_EQ(icache, whole.icacheL1Misses);
+    EXPECT_EQ(ldm, whole.longLoadMisses);
+    EXPECT_EQ(shorts, whole.shortLoadMisses);
+}
+
+TEST(Consistency, TraceSaveLoadPreservesSimResult)
+{
+    const Trace t = generateTrace(profileByName("eon"), 30000);
+    const std::string path =
+        ::testing::TempDir() + "/consistency_trace.bin";
+    saveTrace(t, path);
+    const Trace loaded = loadTrace(path);
+    std::remove(path.c_str());
+
+    const SimStats a =
+        simulateTrace(t, Workbench::baselineSimConfig());
+    const SimStats b =
+        simulateTrace(loaded, Workbench::baselineSimConfig());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.mispredictions, b.mispredictions);
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,228 @@
+/** @file Integration tests for the Section 7 future-work extensions:
+ *  limited FUs, TLB misses, fetch buffers, and the statistical
+ *  simulation baseline. */
+
+#include <gtest/gtest.h>
+
+#include "branch/synthetic.hh"
+#include "experiments/workbench.hh"
+#include "statsim/profile_estimator.hh"
+#include "../test_util.hh"
+
+namespace fosm {
+namespace {
+
+Workbench &
+bench()
+{
+    static Workbench wb;
+    return wb;
+}
+
+TEST(LimitedFu, SimRespectsMemPortBound)
+{
+    // Pure load stream with one memory port: one load per cycle.
+    test::TraceBuilder b;
+    for (int i = 0; i < 4000; ++i)
+        b.load(static_cast<RegIndex>(i % 64), 0x10000000ull);
+    SimConfig c = Workbench::baselineSimConfig();
+    c.options.idealBranchPredictor = true;
+    c.options.idealIcache = true;
+    c.options.idealDcache = true;
+    c.fuPools.memPort = {1, true};
+    const SimStats s = simulateTrace(b.take(), c);
+    EXPECT_NEAR(s.ipc(), 1.0, 0.05);
+}
+
+TEST(LimitedFu, UnpipelinedDivSerializes)
+{
+    // Independent divides with one unpipelined divider: one result
+    // per 12 cycles.
+    test::TraceBuilder b;
+    for (int i = 0; i < 500; ++i)
+        b.add(InstClass::IntDiv, static_cast<RegIndex>(i % 64));
+    SimConfig c = Workbench::baselineSimConfig();
+    c.options.idealBranchPredictor = true;
+    c.options.idealIcache = true;
+    c.options.idealDcache = true;
+    c.fuPools.intDiv = {1, false};
+    const SimStats serialized = simulateTrace(b.take(), c);
+    EXPECT_NEAR(serialized.ipc(), 1.0 / 12.0, 0.01);
+
+    // A pipelined divider sustains one per cycle.
+    test::TraceBuilder b2;
+    for (int i = 0; i < 500; ++i)
+        b2.add(InstClass::IntDiv, static_cast<RegIndex>(i % 64));
+    c.fuPools.intDiv = {1, true};
+    const SimStats pipelined = simulateTrace(b2.take(), c);
+    EXPECT_NEAR(pipelined.ipc(), 1.0, 0.05);
+}
+
+TEST(LimitedFu, ModelTracksStarvedSim)
+{
+    const WorkloadData &data = bench().workload("crafty");
+    FuPoolConfig starved;
+    starved.memPort = {1, true};
+
+    ModelOptions options;
+    options.fuPools = starved;
+    const FirstOrderModel model(Workbench::baselineMachine(),
+                                options);
+    const CpiBreakdown cpi =
+        model.evaluate(data.iw, data.missProfile);
+
+    SimConfig sim_config = Workbench::baselineSimConfig();
+    sim_config.fuPools = starved;
+    const SimStats sim = simulateTrace(data.trace, sim_config);
+    EXPECT_LT(relativeError(cpi.total(), sim.cpi()), 0.25);
+    // The bound must actually bite vs the unbounded machine.
+    const SimStats base = simulateTrace(
+        data.trace, Workbench::baselineSimConfig());
+    EXPECT_GT(sim.cpi(), base.cpi() * 1.02);
+}
+
+TEST(TlbExtension, WalksChargedAndModeled)
+{
+    const WorkloadData &data = bench().workload("twolf");
+    TlbConfig tlb;
+    tlb.enabled = true;
+    tlb.entries = 64;
+    tlb.walkLatency = 30;
+
+    ProfilerConfig pconfig = Workbench::baselineProfilerConfig();
+    pconfig.dtlb = tlb;
+    const MissProfile profile = profileTrace(data.trace, pconfig);
+    ASSERT_GT(profile.dtlbLoadMisses, 100u);
+
+    SimConfig sim_config = Workbench::baselineSimConfig();
+    sim_config.dtlb = tlb;
+    sim_config.syncMissDelays();
+    const SimStats with = simulateTrace(data.trace, sim_config);
+    const SimStats without = simulateTrace(
+        data.trace, Workbench::baselineSimConfig());
+    EXPECT_GT(with.cycles, without.cycles);
+    EXPECT_GT(with.dtlbLoadMisses, 100u);
+
+    const FirstOrderModel model(Workbench::baselineMachine());
+    const CpiBreakdown cpi = model.evaluate(data.iw, profile);
+    EXPECT_GT(cpi.dtlb, 0.0);
+    EXPECT_LT(relativeError(cpi.total(), with.cpi()), 0.25);
+}
+
+TEST(TlbExtension, DisabledLeavesBaselineUntouched)
+{
+    const WorkloadData &data = bench().workload("gzip");
+    const MissProfile &profile = data.missProfile;
+    EXPECT_EQ(profile.dtlbLoadMisses, 0u);
+    const FirstOrderModel model(Workbench::baselineMachine());
+    EXPECT_EQ(model.evaluate(data.iw, profile).dtlb, 0.0);
+}
+
+TEST(FetchBuffer, HidesIcachePenaltyInSim)
+{
+    const WorkloadData &data = bench().workload("gcc");
+    SimConfig base = Workbench::baselineSimConfig();
+    base.options.idealBranchPredictor = true;
+    base.options.idealDcache = true;
+    const SimStats no_buffer = simulateTrace(data.trace, base);
+
+    SimConfig buffered = base;
+    buffered.options.fetchBufferEntries = 64;
+    buffered.options.fetchBandwidth = 8;
+    const SimStats with_buffer = simulateTrace(data.trace, buffered);
+    EXPECT_LT(with_buffer.cycles, no_buffer.cycles);
+}
+
+TEST(FetchBuffer, ModelReductionMonotone)
+{
+    const WorkloadData &data = bench().workload("gcc");
+    double prev = 1e18;
+    for (std::uint32_t buffer : {0u, 16u, 64u, 256u}) {
+        ModelOptions options;
+        options.fetchBufferEntries = buffer;
+        const FirstOrderModel model(Workbench::baselineMachine(),
+                                    options);
+        const CpiBreakdown b =
+            model.evaluate(data.iw, data.missProfile);
+        const double icache = b.icacheL1 + b.icacheL2;
+        EXPECT_LE(icache, prev + 1e-12) << "buffer " << buffer;
+        prev = icache;
+    }
+    EXPECT_GE(prev, 0.0);
+}
+
+TEST(SyntheticPredictor, MatchesConfiguredRate)
+{
+    SyntheticPredictor p(0.07);
+    for (int i = 0; i < 100000; ++i)
+        p.predictAndUpdate(0x1000, i % 2 == 0);
+    EXPECT_NEAR(p.stats().mispredictRate(), 0.07, 0.005);
+}
+
+TEST(SyntheticPredictor, RateZeroAndOne)
+{
+    SyntheticPredictor never(0.0);
+    SyntheticPredictor always(1.0);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(never.predictAndUpdate(0, true));
+        EXPECT_FALSE(always.predictAndUpdate(0, true));
+    }
+}
+
+TEST(StatSim, EstimatedProfileMatchesMix)
+{
+    const WorkloadData &data = bench().workload("parser");
+    const Profile est = estimateProfile(data.trace);
+    est.validate();
+    EXPECT_NEAR(est.mix.load, data.missProfile.mix.of(InstClass::Load),
+                1e-9);
+    EXPECT_NEAR(est.mix.branch,
+                data.missProfile.mix.of(InstClass::Branch), 1e-9);
+    EXPECT_EQ(est.name, "parser-clone");
+}
+
+TEST(StatSim, CloneReproducesMissRatesApproximately)
+{
+    const WorkloadData &data = bench().workload("twolf");
+    const Profile est = estimateProfile(data.trace);
+    const Trace clone = generateTrace(est, data.trace.size());
+    const MissProfile cp =
+        profileTrace(clone, Workbench::baselineProfilerConfig());
+    const MissProfile &orig = data.missProfile;
+
+    // Long-miss rate within 2x (first-order stream matching).
+    EXPECT_GT(cp.longLoadMissesPerInst(),
+              orig.longLoadMissesPerInst() * 0.4);
+    EXPECT_LT(cp.longLoadMissesPerInst(),
+              orig.longLoadMissesPerInst() * 2.5);
+    // Average latency within 20%.
+    EXPECT_NEAR(cp.avgLatency, orig.avgLatency,
+                0.2 * orig.avgLatency);
+}
+
+TEST(StatSim, CloneCpiWithinBand)
+{
+    // The paper: statistical simulation accuracy is "similar" to the
+    // model's. Loose band: within 35% per benchmark tested here.
+    for (const char *name : {"crafty", "twolf", "vpr"}) {
+        const WorkloadData &data = bench().workload(name);
+        const SimStats original = simulateTrace(
+            data.trace, Workbench::baselineSimConfig());
+        const Profile est = estimateProfile(data.trace);
+        const Trace clone = generateTrace(est, data.trace.size());
+        SimConfig clone_config = Workbench::baselineSimConfig();
+        clone_config.syntheticMispredictRate =
+            data.missProfile.mispredictRate();
+        const SimStats cloned = simulateTrace(clone, clone_config);
+        EXPECT_LT(relativeError(cloned.cpi(), original.cpi()), 0.35)
+            << name;
+    }
+}
+
+TEST(StatSimDeath, RejectsEmptyTrace)
+{
+    EXPECT_DEATH(estimateProfile(Trace("empty")), "empty");
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,139 @@
+/** @file Integration tests: the first-order model against the
+ *  detailed simulator on the 12 workloads (the Figure 15 claim). */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "experiments/workbench.hh"
+
+namespace fosm {
+namespace {
+
+/** Shared workbench so traces build once per process. */
+Workbench &
+bench()
+{
+    static Workbench wb;
+    return wb;
+}
+
+/** Per-benchmark model-vs-sim error for the baseline machine. */
+double
+benchmarkError(const std::string &name)
+{
+    const WorkloadData &data = bench().workload(name);
+    const FirstOrderModel model(Workbench::baselineMachine());
+    const CpiBreakdown cpi = model.evaluate(data.iw, data.missProfile);
+    const SimStats sim =
+        simulateTrace(data.trace, Workbench::baselineSimConfig());
+    return relativeError(cpi.total(), sim.cpi());
+}
+
+class ModelAccuracy : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ModelAccuracy, PerBenchmarkErrorBounded)
+{
+    // The paper's worst case is 13%; allow headroom for our shorter
+    // synthetic traces.
+    EXPECT_LT(benchmarkError(GetParam()), 0.25) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spec, ModelAccuracy,
+    ::testing::Values("bzip", "crafty", "eon", "gap", "gcc", "gzip",
+                      "mcf", "parser", "perl", "twolf", "vortex",
+                      "vpr"));
+
+TEST(ModelAccuracy, MeanErrorNearPaper)
+{
+    // Paper: "performance estimates that, on average, are within
+    // 5.8% of detailed simulation".
+    double sum = 0.0;
+    for (const std::string &name : Workbench::benchmarks())
+        sum += benchmarkError(name);
+    const double mean = sum / Workbench::benchmarks().size();
+    EXPECT_LT(mean, 0.10);
+}
+
+TEST(ModelAccuracy, IdealIpcMatchesIdealSim)
+{
+    // The steady-state component alone against the all-ideal
+    // simulator.
+    for (const char *name : {"gzip", "vortex", "crafty"}) {
+        const WorkloadData &data = bench().workload(name);
+        SimConfig cfg = Workbench::baselineSimConfig();
+        cfg.options.idealBranchPredictor = true;
+        cfg.options.idealIcache = true;
+        cfg.options.idealDcache = true;
+        const SimStats ideal = simulateTrace(data.trace, cfg);
+        const TransientAnalyzer transient(
+            data.iw, Workbench::baselineMachine());
+        EXPECT_NEAR(transient.steadyIpc(), ideal.ipc(), 0.5)
+            << name;
+    }
+}
+
+TEST(ModelAccuracy, StackComponentsAllNonNegative)
+{
+    const FirstOrderModel model(Workbench::baselineMachine());
+    for (const std::string &name : Workbench::benchmarks()) {
+        const WorkloadData &data = bench().workload(name);
+        const CpiBreakdown b =
+            model.evaluate(data.iw, data.missProfile);
+        EXPECT_GT(b.ideal, 0.0) << name;
+        EXPECT_GE(b.brmisp, 0.0) << name;
+        EXPECT_GE(b.icacheL1, 0.0) << name;
+        EXPECT_GE(b.icacheL2, 0.0) << name;
+        EXPECT_GE(b.dcacheLong, 0.0) << name;
+    }
+}
+
+TEST(ModelAccuracy, McfDominatedByLongMisses)
+{
+    // Figure 16: mcf's CPI stack is mostly long D-cache misses.
+    const WorkloadData &data = bench().workload("mcf");
+    const FirstOrderModel model(Workbench::baselineMachine());
+    const CpiBreakdown b = model.evaluate(data.iw, data.missProfile);
+    EXPECT_GT(b.dcacheLong / b.total(), 0.4);
+}
+
+TEST(ModelAccuracy, GzipDominatedByBranches)
+{
+    // Figure 16: gzip's CPI loss is mostly branch mispredictions.
+    const WorkloadData &data = bench().workload("gzip");
+    const FirstOrderModel model(Workbench::baselineMachine());
+    const CpiBreakdown b = model.evaluate(data.iw, data.missProfile);
+    const double loss = b.total() - b.ideal;
+    EXPECT_GT(b.brmisp / loss, 0.4);
+}
+
+TEST(ModelAccuracy, Table1BetaOrdering)
+{
+    // Table 1: beta(vpr) < beta(gzip) < beta(vortex).
+    const double beta_vpr = bench().workload("vpr").iw.beta();
+    const double beta_gzip = bench().workload("gzip").iw.beta();
+    const double beta_vortex = bench().workload("vortex").iw.beta();
+    EXPECT_LT(beta_vpr, beta_gzip);
+    EXPECT_LT(beta_gzip, beta_vortex);
+    // And the ranges are near the paper's values.
+    EXPECT_NEAR(beta_vpr, 0.3, 0.15);
+    EXPECT_NEAR(beta_gzip, 0.5, 0.15);
+    EXPECT_NEAR(beta_vortex, 0.7, 0.15);
+}
+
+TEST(ModelAccuracy, Table1LatencyOrdering)
+{
+    // Table 1: L(gzip) < L(vortex) < L(vpr), roughly 1.5/1.6/2.2.
+    const double l_gzip =
+        bench().workload("gzip").missProfile.avgLatency;
+    const double l_vpr =
+        bench().workload("vpr").missProfile.avgLatency;
+    EXPECT_LT(l_gzip, l_vpr);
+    EXPECT_NEAR(l_vpr, 2.2, 0.4);
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,186 @@
+/** @file Integration tests for the paper's headline claims
+ *  (Section 7's summary observations), verified end-to-end against
+ *  the detailed simulator on generated workloads. */
+
+#include <gtest/gtest.h>
+
+#include "experiments/workbench.hh"
+
+namespace fosm {
+namespace {
+
+Workbench &
+bench()
+{
+    static Workbench wb;
+    return wb;
+}
+
+/** Average penalty per branch misprediction from paired runs. */
+double
+simBranchPenalty(const Trace &trace, std::uint32_t depth)
+{
+    SimConfig real = Workbench::baselineSimConfig();
+    real.machine.frontEndDepth = depth;
+    real.options.idealIcache = true;
+    real.options.idealDcache = true;
+    const SimStats with = simulateTrace(trace, real);
+
+    SimConfig ideal = real;
+    ideal.options.idealBranchPredictor = true;
+    const SimStats base = simulateTrace(trace, ideal);
+    return (static_cast<double>(with.cycles) -
+            static_cast<double>(base.cycles)) /
+           static_cast<double>(with.mispredictions);
+}
+
+TEST(PaperClaims, BranchPenaltyExceedsFrontEndDepth)
+{
+    // Conclusion 1: "The branch misprediction penalty is often
+    // significantly larger than the front-end pipeline depth."
+    const Trace &t = bench().workload("gzip").trace;
+    const double penalty = simBranchPenalty(t, 5);
+    EXPECT_GT(penalty, 5.0);
+    EXPECT_LT(penalty, 20.0);
+}
+
+TEST(PaperClaims, BranchPenaltyInModelRange)
+{
+    // Section 4.1: "for the baseline processor we would expect the
+    // penalty to be between 5 and 10 cycles" (Figure 9 measures up
+    // to ~15 for outliers).
+    for (const char *name : {"gzip", "crafty", "parser"}) {
+        const double penalty =
+            simBranchPenalty(bench().workload(name).trace, 5);
+        EXPECT_GT(penalty, 4.0) << name;
+        EXPECT_LT(penalty, 16.0) << name;
+    }
+}
+
+TEST(PaperClaims, IcachePenaltyNearMissDelayAndDepthIndependent)
+{
+    // Conclusion 2 / Figure 11: the I-cache penalty per miss is about
+    // the miss service delay (DeltaI for L2 hits, the memory latency
+    // for compulsory L2 misses) and independent of front-end depth.
+    const Trace &t = bench().workload("gcc").trace;
+
+    struct Run
+    {
+        double perMiss;
+        double expectedPerMiss;
+    };
+    auto penalty = [&](std::uint32_t depth) {
+        SimConfig real = Workbench::baselineSimConfig();
+        real.machine.frontEndDepth = depth;
+        real.options.idealBranchPredictor = true;
+        real.options.idealDcache = true;
+        const SimStats with = simulateTrace(t, real);
+        SimConfig ideal = real;
+        ideal.options.idealIcache = true;
+        const SimStats base = simulateTrace(t, ideal);
+        Run run;
+        run.perMiss = (static_cast<double>(with.cycles) -
+                       static_cast<double>(base.cycles)) /
+                      static_cast<double>(with.icacheL1Misses);
+        run.expectedPerMiss =
+            (static_cast<double>(with.icacheL2Misses) * 200.0 +
+             static_cast<double>(with.icacheL1Misses -
+                                 with.icacheL2Misses) * 8.0) /
+            static_cast<double>(with.icacheL1Misses);
+        return run;
+    };
+
+    const Run r5 = penalty(5);
+    const Run r9 = penalty(9);
+    EXPECT_NEAR(r5.perMiss, r5.expectedPerMiss,
+                0.35 * r5.expectedPerMiss);
+    EXPECT_NEAR(r5.perMiss, r9.perMiss, 0.15 * r5.perMiss + 1.0);
+}
+
+TEST(PaperClaims, MissEventPenaltiesRoughlyIndependent)
+{
+    // The Figure 2 experiment: summing independently measured
+    // penalties approximates the combined run.
+    const Trace &t = bench().workload("parser").trace;
+    const SimConfig base = Workbench::baselineSimConfig();
+
+    SimConfig all_ideal = base;
+    all_ideal.options.idealBranchPredictor = true;
+    all_ideal.options.idealIcache = true;
+    all_ideal.options.idealDcache = true;
+
+    SimConfig bp_only = all_ideal;
+    bp_only.options.idealBranchPredictor = false;
+    SimConfig ic_only = all_ideal;
+    ic_only.options.idealIcache = false;
+    SimConfig dc_only = all_ideal;
+    dc_only.options.idealDcache = false;
+
+    const double ideal =
+        static_cast<double>(simulateTrace(t, all_ideal).cycles);
+    const double combined =
+        static_cast<double>(simulateTrace(t, base).cycles);
+    const double independent_sum = ideal +
+        (simulateTrace(t, bp_only).cycles - ideal) +
+        (simulateTrace(t, ic_only).cycles - ideal) +
+        (simulateTrace(t, dc_only).cycles - ideal);
+
+    // Paper: average error 5%, worst 16%.
+    EXPECT_NEAR(independent_sum / combined, 1.0, 0.16);
+}
+
+TEST(PaperClaims, OverlappedMissGroupsHalvePenalty)
+{
+    // Conclusion 3: misses within a ROB-size window share a single
+    // miss delay; the model's equation (8) captures the measured
+    // per-miss penalty.
+    const WorkloadData &mcf = bench().workload("mcf");
+    SimConfig real = Workbench::baselineSimConfig();
+    real.options.idealBranchPredictor = true;
+    real.options.idealIcache = true;
+    const SimStats with = simulateTrace(mcf.trace, real);
+    SimConfig ideal = real;
+    ideal.options.idealDcache = true;
+    const SimStats base = simulateTrace(mcf.trace, ideal);
+
+    const double sim_penalty =
+        (static_cast<double>(with.cycles) -
+         static_cast<double>(base.cycles)) /
+        static_cast<double>(with.longLoadMisses);
+    // Well below the isolated 200 cycles thanks to overlap.
+    EXPECT_LT(sim_penalty, 150.0);
+    EXPECT_GT(sim_penalty, 10.0);
+
+    const double model_penalty =
+        200.0 * mcf.missProfile.ldmOverlapFactor(128);
+    // Figure 14: "reasonably close, although not as close as other
+    // parts of the model".
+    EXPECT_NEAR(model_penalty, sim_penalty,
+                0.8 * sim_penalty + 10.0);
+}
+
+TEST(PaperClaims, PredictorQualityMustScaleWithIssueWidth)
+{
+    // Conclusion: branch prediction must improve as the square of
+    // the issue width (Figure 18) - verified at the model level in
+    // trends_test; here we check the end-to-end machinery agrees
+    // directionally: the wider machine loses more IPC fraction to
+    // the same misprediction rate.
+    const Trace &t = bench().workload("gzip").trace;
+    auto ipc_ratio = [&](std::uint32_t width) {
+        SimConfig real = Workbench::baselineSimConfig();
+        real.machine.width = width;
+        real.machine.windowSize = 48 * width / 4;
+        real.machine.robSize = 128 * width / 4;
+        real.options.idealIcache = true;
+        real.options.idealDcache = true;
+        SimConfig ideal = real;
+        ideal.options.idealBranchPredictor = true;
+        return simulateTrace(t, real).ipc() /
+               simulateTrace(t, ideal).ipc();
+    };
+    EXPECT_LT(ipc_ratio(8), ipc_ratio(2) + 0.02);
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,100 @@
+/** @file Unit tests for the IW characteristic abstraction. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "iw/iw_characteristic.hh"
+
+namespace fosm {
+namespace {
+
+TEST(IWCharacteristic, UnitRateFollowsPowerLaw)
+{
+    const IWCharacteristic iw(1.3, 0.5, 1.0, 0);
+    EXPECT_NEAR(iw.unitRate(16.0), 1.3 * 4.0, 1e-9);
+    EXPECT_NEAR(iw.unitRate(64.0), 1.3 * 8.0, 1e-9);
+    EXPECT_EQ(iw.unitRate(0.0), 0.0);
+}
+
+TEST(IWCharacteristic, LittlesLawDividesByLatency)
+{
+    // Section 3: I_L = I_1 / L.
+    const IWCharacteristic unit(1.0, 0.5, 1.0, 0);
+    const IWCharacteristic lat2(1.0, 0.5, 2.0, 0);
+    EXPECT_NEAR(lat2.issueRate(16.0), unit.issueRate(16.0) / 2.0,
+                1e-9);
+}
+
+TEST(IWCharacteristic, SaturatesAtIssueWidth)
+{
+    const IWCharacteristic iw(1.0, 0.5, 1.0, 4);
+    EXPECT_NEAR(iw.issueRate(9.0), 3.0, 1e-9);   // below saturation
+    EXPECT_NEAR(iw.issueRate(16.0), 4.0, 1e-9);  // exactly at
+    EXPECT_NEAR(iw.issueRate(64.0), 4.0, 1e-9);  // clipped
+}
+
+TEST(IWCharacteristic, SteadyStateIpcAndCpi)
+{
+    const IWCharacteristic iw(1.0, 0.5, 1.0, 4);
+    EXPECT_NEAR(iw.steadyStateIpc(48), 4.0, 1e-9);
+    EXPECT_NEAR(iw.steadyStateCpi(48), 0.25, 1e-9);
+
+    // Unsaturated case (vpr-like).
+    const IWCharacteristic low(1.7, 0.3, 2.2, 4);
+    const double expected = 1.7 * std::pow(48.0, 0.3) / 2.2;
+    EXPECT_NEAR(low.steadyStateIpc(48), expected, 1e-9);
+    EXPECT_LT(low.steadyStateIpc(48), 4.0);
+}
+
+TEST(IWCharacteristic, OccupancyForRateInvertsIssueRate)
+{
+    const IWCharacteristic iw(1.3, 0.55, 1.6, 0);
+    for (double rate : {0.5, 1.0, 2.0, 3.5}) {
+        const double w = iw.occupancyForRate(rate);
+        EXPECT_NEAR(iw.issueRate(w), rate, 1e-9) << "rate " << rate;
+    }
+    EXPECT_EQ(iw.occupancyForRate(0.0), 0.0);
+}
+
+TEST(IWCharacteristic, SquareLawOccupancyExample)
+{
+    // The Figure 8 setting: alpha=1, beta=0.5, unit latency, width 4:
+    // sustaining rate 4 needs occupancy 16.
+    const IWCharacteristic iw(1.0, 0.5, 1.0, 4);
+    EXPECT_NEAR(iw.occupancyForRate(4.0), 16.0, 1e-9);
+}
+
+TEST(IWCharacteristic, FromPointsRecoversLaw)
+{
+    std::vector<IwPoint> points;
+    for (std::uint32_t w : {4u, 8u, 16u, 32u, 64u})
+        points.push_back({w, 1.2 * std::pow(w, 0.7)});
+    const IWCharacteristic iw =
+        IWCharacteristic::fromPoints(points, 1.6, 4);
+    EXPECT_NEAR(iw.alpha(), 1.2, 1e-6);
+    EXPECT_NEAR(iw.beta(), 0.7, 1e-9);
+    EXPECT_NEAR(iw.avgLatency(), 1.6, 1e-12);
+    EXPECT_EQ(iw.issueWidth(), 4u);
+    EXPECT_NEAR(iw.fitR2(), 1.0, 1e-9);
+}
+
+TEST(IWCharacteristic, FromPointsClampsBeta)
+{
+    // Superlinear points (can happen on tiny noisy curves) clamp to 1.
+    std::vector<IwPoint> points;
+    for (std::uint32_t w : {4u, 8u, 16u})
+        points.push_back({w, 0.1 * std::pow(w, 1.4)});
+    const IWCharacteristic iw =
+        IWCharacteristic::fromPoints(points, 1.0, 0);
+    EXPECT_NEAR(iw.beta(), 1.0, 1e-12);
+}
+
+TEST(IWCharacteristicDeath, RejectsBadParameters)
+{
+    EXPECT_DEATH(IWCharacteristic(0.0, 0.5, 1.0, 4), "alpha");
+    EXPECT_DEATH(IWCharacteristic(1.0, 0.5, 0.5, 4), "latency");
+}
+
+} // namespace
+} // namespace fosm

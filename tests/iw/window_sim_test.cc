@@ -1,0 +1,163 @@
+/** @file Unit and property tests for the idealized window simulator. */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+#include "iw/window_sim.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace fosm {
+namespace {
+
+WindowSimConfig
+unitConfig(std::uint32_t window, std::uint32_t width = 0)
+{
+    WindowSimConfig c;
+    c.windowSize = window;
+    c.issueWidth = width;
+    c.unitLatency = true;
+    return c;
+}
+
+TEST(WindowSim, SerialChainIpcIsOne)
+{
+    const Trace t = test::serialChain(1000);
+    const WindowSimResult r = simulateWindow(t, unitConfig(32));
+    // Each instruction waits for its predecessor: one per cycle.
+    EXPECT_NEAR(r.ipc, 1.0, 0.01);
+}
+
+TEST(WindowSim, IndependentStreamIssuesWholeWindow)
+{
+    const Trace t = test::independentStream(10000);
+    const WindowSimResult r = simulateWindow(t, unitConfig(16));
+    // W instructions issue per cycle once the pipeline of window
+    // refills is rolling.
+    EXPECT_NEAR(r.ipc, 16.0, 0.5);
+}
+
+TEST(WindowSim, WindowOfOneSerializes)
+{
+    const Trace t = test::independentStream(1000);
+    const WindowSimResult r = simulateWindow(t, unitConfig(1));
+    EXPECT_NEAR(r.ipc, 1.0, 0.01);
+}
+
+TEST(WindowSim, NonUnitLatencyScalesSerialChain)
+{
+    // Serial chain of 3-cycle ops: one instruction per 3 cycles.
+    test::TraceBuilder b;
+    for (int i = 0; i < 500; ++i)
+        b.add(InstClass::IntMul, static_cast<RegIndex>(i % 2),
+              i == 0 ? invalidReg
+                     : static_cast<RegIndex>((i - 1) % 2));
+    WindowSimConfig c = unitConfig(32);
+    c.unitLatency = false;
+    const WindowSimResult r = simulateWindow(b.take(), c);
+    EXPECT_NEAR(r.ipc, 1.0 / 3.0, 0.01);
+}
+
+TEST(WindowSim, LimitedWidthCapsIndependentStream)
+{
+    const Trace t = test::independentStream(5000);
+    const WindowSimResult r = simulateWindow(t, unitConfig(32, 4));
+    EXPECT_NEAR(r.ipc, 4.0, 0.05);
+    EXPECT_LE(r.ipc, 4.0 + 1e-9);
+}
+
+TEST(WindowSim, LimitedWidthMatchesUnboundedWhenNotBinding)
+{
+    const Trace t = test::serialChain(500);
+    const WindowSimResult wide = simulateWindow(t, unitConfig(16, 8));
+    const WindowSimResult unbounded = simulateWindow(t, unitConfig(16));
+    EXPECT_NEAR(wide.ipc, unbounded.ipc, 0.02);
+}
+
+TEST(WindowSim, DiamondPatternIpcTwo)
+{
+    // Pairs: (a, b) independent; next pair depends on previous pair.
+    test::TraceBuilder b;
+    for (int i = 0; i < 500; ++i) {
+        const RegIndex base = static_cast<RegIndex>((i % 2) * 2);
+        const RegIndex prev =
+            static_cast<RegIndex>(((i + 1) % 2) * 2);
+        b.alu(base, i == 0 ? invalidReg : prev);
+        b.alu(static_cast<RegIndex>(base + 1),
+              i == 0 ? invalidReg : prev);
+    }
+    const WindowSimResult r = simulateWindow(b.take(), unitConfig(32));
+    EXPECT_NEAR(r.ipc, 2.0, 0.05);
+}
+
+TEST(WindowSim, EmptyTrace)
+{
+    const Trace t("empty");
+    const WindowSimResult r = simulateWindow(t, unitConfig(16));
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.ipc, 0.0);
+}
+
+TEST(MeasureIwCurve, PointsMatchSingleRuns)
+{
+    const Trace t = generateTrace(profileByName("gzip"), 20000);
+    const std::vector<IwPoint> points =
+        measureIwCurve(t, {4, 16}, unitConfig(0 /*overridden*/));
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].windowSize, 4u);
+    EXPECT_NEAR(points[0].ipc,
+                simulateWindow(t, unitConfig(4)).ipc, 1e-12);
+    EXPECT_NEAR(points[1].ipc,
+                simulateWindow(t, unitConfig(16)).ipc, 1e-12);
+}
+
+TEST(DefaultIwSizes, PowersOfTwo)
+{
+    const std::vector<std::uint32_t> sizes = defaultIwSizes();
+    ASSERT_GE(sizes.size(), 5u);
+    EXPECT_EQ(sizes.front(), 4u);
+    for (std::size_t i = 1; i < sizes.size(); ++i)
+        EXPECT_EQ(sizes[i], sizes[i - 1] * 2);
+}
+
+/** Property: IPC is monotone non-decreasing in window size. */
+class WindowMonotonic : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WindowMonotonic, IpcNonDecreasingInWindowSize)
+{
+    const Trace t = generateTrace(profileByName(GetParam()), 30000);
+    double prev = 0.0;
+    for (std::uint32_t w : {4u, 8u, 16u, 32u, 64u}) {
+        const WindowSimResult r = simulateWindow(t, unitConfig(w));
+        EXPECT_GE(r.ipc, prev - 0.02) << "window " << w;
+        prev = r.ipc;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, WindowMonotonic,
+                         ::testing::Values("gzip", "vortex", "vpr",
+                                           "mcf"));
+
+/** Property: limited issue width never beats unbounded. */
+class WidthCap : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(WidthCap, LimitedNeverFaster)
+{
+    const std::uint32_t width = GetParam();
+    const Trace t = generateTrace(profileByName("crafty"), 20000);
+    const double unbounded = simulateWindow(t, unitConfig(48)).ipc;
+    const double limited =
+        simulateWindow(t, unitConfig(48, width)).ipc;
+    EXPECT_LE(limited, unbounded + 0.02);
+    EXPECT_LE(limited, static_cast<double>(width) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthCap,
+                         ::testing::Values(1, 2, 4, 8));
+
+} // namespace
+} // namespace fosm

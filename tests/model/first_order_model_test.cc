@@ -1,0 +1,182 @@
+/** @file Tests for the assembled first-order model (equation 1). */
+
+#include <gtest/gtest.h>
+
+#include "model/first_order_model.hh"
+
+namespace fosm {
+namespace {
+
+MachineConfig
+baseline()
+{
+    MachineConfig m;
+    m.width = 4;
+    m.frontEndDepth = 5;
+    m.windowSize = 48;
+    m.robSize = 128;
+    m.deltaI = 8;
+    m.deltaD = 200;
+    return m;
+}
+
+IWCharacteristic
+squareLaw()
+{
+    return IWCharacteristic(1.0, 0.5, 1.0, 4);
+}
+
+/** A hand-built profile with clean rates. */
+MissProfile
+syntheticProfile()
+{
+    MissProfile p;
+    p.instructions = 100000;
+    p.branches = 20000;
+    p.mispredictions = 1000;     // B = 0.05, 0.01 / inst
+    p.icacheL1Misses = 500;      // 0.005 / inst
+    p.icacheL2Misses = 0;
+    p.loads = 25000;
+    p.shortLoadMisses = 500;
+    p.longLoadMisses = 200;      // 0.002 / inst
+    // All misses far apart: every miss is its own overlap group.
+    for (std::uint64_t i = 0; i + 1 < p.longLoadMisses; ++i)
+        p.ldmGaps.push_back(10000);
+    p.avgLatency = 1.0;
+    return p;
+}
+
+TEST(CpiBreakdown, TotalIsSumOfComponents)
+{
+    CpiBreakdown b;
+    b.ideal = 0.25;
+    b.brmisp = 0.10;
+    b.icacheL1 = 0.04;
+    b.icacheL2 = 0.01;
+    b.dcacheLong = 0.40;
+    EXPECT_NEAR(b.total(), 0.80, 1e-12);
+    EXPECT_NEAR(b.ipc(), 1.25, 1e-12);
+}
+
+TEST(FirstOrderModel, ComponentsMatchHandComputation)
+{
+    const FirstOrderModel model(baseline());
+    const CpiBreakdown b =
+        model.evaluate(squareLaw(), syntheticProfile());
+
+    // Ideal: saturated at width 4.
+    EXPECT_NEAR(b.ideal, 0.25, 1e-9);
+    // Branch: 0.01/inst * ~7.35 cycles (paper-average penalty).
+    EXPECT_NEAR(b.brmisp, 0.01 * b.branchPenaltyPerEvent, 1e-12);
+    EXPECT_NEAR(b.branchPenaltyPerEvent, 7.35, 0.5);
+    // Icache: 0.005/inst * 8 cycles (MissDelay mode).
+    EXPECT_NEAR(b.icacheL1, 0.005 * 8.0, 1e-9);
+    EXPECT_EQ(b.icacheL2, 0.0);
+    // Dcache: 0.002/inst * 200 * overlap (no gaps recorded -> every
+    // miss its own group -> factor 1).
+    EXPECT_NEAR(b.ldmOverlapFactor, 1.0, 1e-12);
+    EXPECT_NEAR(b.dcacheLong, 0.002 * 200.0, 1e-9);
+}
+
+TEST(FirstOrderModel, OverlapOptionChangesOnlyDcache)
+{
+    MissProfile p = syntheticProfile();
+    // All long misses in pairs 10 instructions apart.
+    p.ldmGaps.clear();
+    for (std::uint64_t i = 0; i + 2 < p.longLoadMisses; i += 2) {
+        p.ldmGaps.push_back(10);
+        p.ldmGaps.push_back(10000);
+    }
+    p.ldmGaps.push_back(10);
+    ModelOptions with, without;
+    without.dcacheOverlap = false;
+    const FirstOrderModel m1(baseline(), with);
+    const FirstOrderModel m2(baseline(), without);
+    const CpiBreakdown b1 = m1.evaluate(squareLaw(), p);
+    const CpiBreakdown b2 = m2.evaluate(squareLaw(), p);
+
+    EXPECT_LT(b1.dcacheLong, b2.dcacheLong);
+    EXPECT_NEAR(b1.ideal, b2.ideal, 1e-12);
+    EXPECT_NEAR(b1.brmisp, b2.brmisp, 1e-12);
+    EXPECT_NEAR(b2.ldmOverlapFactor, 1.0, 1e-12);
+}
+
+TEST(FirstOrderModel, MoreMispredictionsMoreCpi)
+{
+    const FirstOrderModel model(baseline());
+    MissProfile low = syntheticProfile();
+    MissProfile high = syntheticProfile();
+    high.mispredictions = 4000;
+    EXPECT_LT(model.evaluate(squareLaw(), low).total(),
+              model.evaluate(squareLaw(), high).total());
+}
+
+TEST(FirstOrderModel, DeeperPipelineMoreBranchCpi)
+{
+    MachineConfig shallow = baseline();
+    MachineConfig deep = baseline();
+    deep.frontEndDepth = 9;
+    const MissProfile p = syntheticProfile();
+    const CpiBreakdown b5 =
+        FirstOrderModel(shallow).evaluate(squareLaw(), p);
+    const CpiBreakdown b9 =
+        FirstOrderModel(deep).evaluate(squareLaw(), p);
+    EXPECT_GT(b9.brmisp, b5.brmisp);
+    // Icache CPI unchanged (Section 4.2 observation).
+    EXPECT_NEAR(b9.icacheL1, b5.icacheL1, 1e-9);
+}
+
+TEST(FirstOrderModel, LowerLatencyHigherIdealIpc)
+{
+    const FirstOrderModel model(baseline());
+    const MissProfile p = syntheticProfile();
+    const IWCharacteristic fast(1.7, 0.3, 1.0, 4);
+    const IWCharacteristic slow(1.7, 0.3, 2.2, 4);
+    EXPECT_LT(model.evaluate(fast, p).ideal,
+              model.evaluate(slow, p).ideal);
+}
+
+TEST(MeanBurstFromGaps, GeometricApproximation)
+{
+    Histogram gaps(1000);
+    // 3 of 4 gaps below the threshold: p = 0.75, mean burst 4.
+    gaps.add(10);
+    gaps.add(20);
+    gaps.add(30);
+    gaps.add(500);
+    EXPECT_NEAR(meanBurstFromGaps(gaps, 64), 4.0, 1e-9);
+}
+
+TEST(MeanBurstFromGaps, NoGapsMeansIsolated)
+{
+    Histogram gaps(1000);
+    EXPECT_EQ(meanBurstFromGaps(gaps, 64), 1.0);
+}
+
+TEST(MeanBurstFromGaps, AllClusteredCapped)
+{
+    Histogram gaps(1000);
+    for (int i = 0; i < 100; ++i)
+        gaps.add(5);
+    EXPECT_LE(meanBurstFromGaps(gaps, 64), 1000.0);
+    EXPECT_GT(meanBurstFromGaps(gaps, 64), 100.0);
+}
+
+TEST(FirstOrderModel, BurstAwareModeReducesBranchCpi)
+{
+    MissProfile p = syntheticProfile();
+    // Heavily clustered mispredictions.
+    for (int i = 0; i < 999; ++i)
+        p.mispredictGap.add(8);
+    ModelOptions burst_opts;
+    burst_opts.branchMode = BranchPenaltyMode::BurstAware;
+    const CpiBreakdown burst =
+        FirstOrderModel(baseline(), burst_opts)
+            .evaluate(squareLaw(), p);
+    const CpiBreakdown avg =
+        FirstOrderModel(baseline()).evaluate(squareLaw(), p);
+    EXPECT_LT(burst.brmisp, avg.brmisp);
+}
+
+} // namespace
+} // namespace fosm

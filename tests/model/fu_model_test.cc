@@ -1,0 +1,161 @@
+/** @file Tests for the limited-functional-unit extension
+ *  (paper Section 7, future-work 1). */
+
+#include <gtest/gtest.h>
+
+#include "model/first_order_model.hh"
+#include "model/fu_model.hh"
+
+namespace fosm {
+namespace {
+
+InstMix
+typicalMix()
+{
+    InstMix mix;
+    mix.at(InstClass::Load) = 0.25;
+    mix.at(InstClass::Store) = 0.10;
+    mix.at(InstClass::Branch) = 0.18;
+    mix.at(InstClass::IntMul) = 0.02;
+    mix.at(InstClass::IntDiv) = 0.005;
+    mix.at(InstClass::FpAlu) = 0.03;
+    mix.at(InstClass::IntAlu) = 0.415;
+    return mix;
+}
+
+TEST(FuPoolConfig, DefaultIsUnbounded)
+{
+    const FuPoolConfig pools;
+    EXPECT_FALSE(pools.anyLimited());
+    EXPECT_EQ(pools.intAlu.count, 0u);
+}
+
+TEST(FuPoolConfig, PoolSharing)
+{
+    FuPoolConfig pools;
+    // Branches share the ALU pool; loads and stores the memory port.
+    EXPECT_EQ(&pools.poolFor(InstClass::Branch),
+              &pools.poolFor(InstClass::IntAlu));
+    EXPECT_EQ(&pools.poolFor(InstClass::Load),
+              &pools.poolFor(InstClass::Store));
+    EXPECT_NE(&pools.poolFor(InstClass::IntMul),
+              &pools.poolFor(InstClass::FpAlu));
+}
+
+TEST(EffectiveIssueWidth, UnboundedPoolsGiveFullWidth)
+{
+    EXPECT_EQ(effectiveIssueWidth(4, FuPoolConfig{}, typicalMix()),
+              4.0);
+}
+
+TEST(EffectiveIssueWidth, MemPortBindsForLoadHeavyMix)
+{
+    FuPoolConfig pools;
+    pools.memPort = {1, true};
+    const InstMix mix = typicalMix(); // 35% memory operations
+    // Sustainable rate: 1 port / 0.35 ops per issue = 2.857.
+    EXPECT_NEAR(effectiveIssueWidth(8, pools, mix), 1.0 / 0.35,
+                1e-9);
+}
+
+TEST(EffectiveIssueWidth, SharedPoolAggregatesDemand)
+{
+    FuPoolConfig pools;
+    pools.intAlu = {2, true};
+    const InstMix mix = typicalMix();
+    // ALU pool serves alu + branch: 0.415 + 0.18 = 0.595 per issue.
+    EXPECT_NEAR(effectiveIssueWidth(8, pools, mix), 2.0 / 0.595,
+                1e-9);
+}
+
+TEST(EffectiveIssueWidth, UnpipelinedScalesByLatency)
+{
+    FuPoolConfig pools;
+    pools.intDiv = {1, false};
+    InstMix mix;
+    mix.at(InstClass::IntDiv) = 0.05;
+    mix.at(InstClass::IntAlu) = 0.95;
+    LatencyConfig lat; // div latency 12
+    // Demand: 0.05 * 12 = 0.6 unit-cycles per issue.
+    EXPECT_NEAR(effectiveIssueWidth(8, pools, mix, lat), 1.0 / 0.6,
+                1e-9);
+    // Pipelined divide would not bind at all (0.05 < 1).
+    pools.intDiv.pipelined = true;
+    EXPECT_EQ(effectiveIssueWidth(8, pools, mix, lat), 8.0);
+}
+
+TEST(EffectiveIssueWidth, NeverExceedsWidth)
+{
+    FuPoolConfig pools;
+    pools.memPort = {16, true};
+    EXPECT_EQ(effectiveIssueWidth(4, pools, typicalMix()), 4.0);
+}
+
+TEST(RequiredPools, SustainsTargetRate)
+{
+    const InstMix mix = typicalMix();
+    const FuPoolConfig pools = requiredPools(4.0, mix);
+    EXPECT_GE(effectiveIssueWidth(4, pools, mix), 4.0 - 1e-9);
+    // And is not grossly oversized: removing one memory port breaks
+    // the target.
+    FuPoolConfig smaller = pools;
+    ASSERT_GT(smaller.memPort.count, 0u);
+    smaller.memPort.count -= 1;
+    if (smaller.memPort.count > 0) {
+        EXPECT_LT(effectiveIssueWidth(4, smaller, mix), 4.0);
+    }
+}
+
+TEST(RequiredPools, ScalesWithTarget)
+{
+    const InstMix mix = typicalMix();
+    const FuPoolConfig p2 = requiredPools(2.0, mix);
+    const FuPoolConfig p8 = requiredPools(8.0, mix);
+    EXPECT_LE(p2.memPort.count, p8.memPort.count);
+    EXPECT_LE(p2.intAlu.count, p8.intAlu.count);
+    EXPECT_GE(p8.intAlu.count, 4u);
+}
+
+TEST(DescribePools, MentionsEveryPool)
+{
+    const std::string text =
+        describePools(FuPoolConfig::typical4Wide());
+    EXPECT_NE(text.find("alu=4"), std::string::npos);
+    EXPECT_NE(text.find("div=1u"), std::string::npos);
+    EXPECT_NE(text.find("mem=2"), std::string::npos);
+    const std::string unbounded = describePools(FuPoolConfig{});
+    EXPECT_NE(unbounded.find("inf"), std::string::npos);
+}
+
+TEST(FuModel, LimitedPoolsLowerModelIpc)
+{
+    const IWCharacteristic iw(1.5, 0.6, 1.0, 4);
+    MissProfile profile;
+    profile.instructions = 100000;
+    profile.mix = typicalMix();
+    profile.avgLatency = 1.0;
+
+    MachineConfig machine;
+    ModelOptions starved_opts;
+    starved_opts.fuPools.memPort = {1, true};
+    const CpiBreakdown base =
+        FirstOrderModel(machine).evaluate(iw, profile);
+    const CpiBreakdown starved =
+        FirstOrderModel(machine, starved_opts).evaluate(iw, profile);
+    EXPECT_GT(starved.ideal, base.ideal);
+    // Saturation at 1/0.35 = 2.857 -> ideal CPI 0.35.
+    EXPECT_NEAR(starved.ideal, 0.35, 1e-6);
+}
+
+TEST(IWCharacteristic, SaturationCapApplies)
+{
+    IWCharacteristic iw(1.0, 0.5, 1.0, 4);
+    EXPECT_NEAR(iw.issueRate(64.0), 4.0, 1e-9);
+    iw.setSaturationCap(2.5);
+    EXPECT_NEAR(iw.issueRate(64.0), 2.5, 1e-9);
+    // Below the cap the curve is unchanged.
+    EXPECT_NEAR(iw.issueRate(4.0), 2.0, 1e-9);
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,103 @@
+/** @file Tests for the second-order overlap-compensation option. */
+
+#include <gtest/gtest.h>
+
+#include "model/first_order_model.hh"
+
+namespace fosm {
+namespace {
+
+MachineConfig
+baseline()
+{
+    MachineConfig m;
+    return m;
+}
+
+IWCharacteristic
+squareLaw()
+{
+    return IWCharacteristic(1.0, 0.5, 1.0, 4);
+}
+
+MissProfile
+profileWithMisses(std::uint64_t long_misses)
+{
+    MissProfile p;
+    p.instructions = 100000;
+    p.branches = 20000;
+    p.mispredictions = 1000;
+    p.icacheL1Misses = 400;
+    p.loads = 25000;
+    p.longLoadMisses = long_misses;
+    for (std::uint64_t i = 0; i + 1 < long_misses; ++i)
+        p.ldmGaps.push_back(5000); // isolated
+    p.avgLatency = 1.0;
+    return p;
+}
+
+TEST(OverlapCompensation, NoLongMissesNoDiscount)
+{
+    ModelOptions on;
+    on.compensateOverlaps = true;
+    const MissProfile p = profileWithMisses(0);
+    const CpiBreakdown with =
+        FirstOrderModel(baseline(), on).evaluate(squareLaw(), p);
+    const CpiBreakdown without =
+        FirstOrderModel(baseline()).evaluate(squareLaw(), p);
+    EXPECT_NEAR(with.brmisp, without.brmisp, 1e-12);
+    EXPECT_NEAR(with.total(), without.total(), 1e-12);
+}
+
+TEST(OverlapCompensation, DiscountMatchesExposure)
+{
+    // 100 isolated long misses in 100k instructions: exposure is
+    // 100/100k * 128 = 0.128 of instructions.
+    ModelOptions on;
+    on.compensateOverlaps = true;
+    const MissProfile p = profileWithMisses(100);
+    const CpiBreakdown with =
+        FirstOrderModel(baseline(), on).evaluate(squareLaw(), p);
+    const CpiBreakdown without =
+        FirstOrderModel(baseline()).evaluate(squareLaw(), p);
+    EXPECT_NEAR(with.brmisp, without.brmisp * (1.0 - 0.128), 1e-9);
+    EXPECT_NEAR(with.icacheL1, without.icacheL1 * (1.0 - 0.128),
+                1e-9);
+    // The D-miss term itself is untouched.
+    EXPECT_NEAR(with.dcacheLong, without.dcacheLong, 1e-12);
+    EXPECT_NEAR(with.ideal, without.ideal, 1e-12);
+}
+
+TEST(OverlapCompensation, DiscountClamped)
+{
+    // Miss on every fourth instruction: raw exposure would exceed 1;
+    // the discount clamps at 0.9.
+    MissProfile p = profileWithMisses(0);
+    p.longLoadMisses = 25000;
+    p.ldmGaps.assign(24999, 4000); // isolated groups
+    ModelOptions on;
+    on.compensateOverlaps = true;
+    const CpiBreakdown with =
+        FirstOrderModel(baseline(), on).evaluate(squareLaw(), p);
+    const CpiBreakdown without =
+        FirstOrderModel(baseline()).evaluate(squareLaw(), p);
+    EXPECT_NEAR(with.brmisp, without.brmisp * 0.1, 1e-9);
+}
+
+TEST(OverlapCompensation, GroupedMissesExposeLess)
+{
+    // The same miss count packed into tight groups covers fewer
+    // instruction windows than isolated misses do.
+    MissProfile isolated = profileWithMisses(200);
+    MissProfile grouped = profileWithMisses(200);
+    grouped.ldmGaps.assign(199, 10); // one giant run -> few groups
+    ModelOptions on;
+    on.compensateOverlaps = true;
+    const FirstOrderModel model(baseline(), on);
+    const CpiBreakdown iso = model.evaluate(squareLaw(), isolated);
+    const CpiBreakdown grp = model.evaluate(squareLaw(), grouped);
+    EXPECT_GT(grp.brmisp, iso.brmisp); // less discounted
+}
+
+} // namespace
+} // namespace fosm

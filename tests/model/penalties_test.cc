@@ -1,0 +1,159 @@
+/** @file Tests for the equation (2)-(8) penalty models. */
+
+#include <gtest/gtest.h>
+
+#include "model/penalties.hh"
+
+namespace fosm {
+namespace {
+
+PenaltyModel
+baselineModel()
+{
+    const IWCharacteristic iw(1.0, 0.5, 1.0, 4);
+    MachineConfig m;
+    m.width = 4;
+    m.frontEndDepth = 5;
+    m.windowSize = 48;
+    m.robSize = 128;
+    m.deltaI = 8;
+    m.deltaD = 200;
+    return PenaltyModel(TransientAnalyzer(iw, m));
+}
+
+TEST(Penalties, Equation2IsolatedBranch)
+{
+    const PenaltyModel p = baselineModel();
+    EXPECT_NEAR(p.isolatedBranchPenalty(),
+                p.winDrain() + 5.0 + p.rampUp(), 1e-12);
+    // Paper: ~9.7 cycles, roughly twice the front-end depth.
+    EXPECT_GT(p.isolatedBranchPenalty(), 5.0);
+    EXPECT_NEAR(p.isolatedBranchPenalty(), 9.7, 0.7);
+}
+
+TEST(Penalties, Equation3BurstBranch)
+{
+    const PenaltyModel p = baselineModel();
+    // n = 1 reduces to the isolated case.
+    EXPECT_NEAR(p.burstBranchPenalty(1.0),
+                p.isolatedBranchPenalty(), 1e-12);
+    // n -> infinity approaches DeltaP.
+    EXPECT_NEAR(p.burstBranchPenalty(1e9), 5.0, 1e-3);
+    // Monotone decreasing in n.
+    EXPECT_GT(p.burstBranchPenalty(2.0), p.burstBranchPenalty(4.0));
+}
+
+TEST(Penalties, PaperAverageIsMidpoint)
+{
+    // Section 5: "the average of 5 and 10 cycles (i.e. 7.5 cycles)".
+    const PenaltyModel p = baselineModel();
+    const double expected =
+        0.5 * (p.isolatedBranchPenalty() + 5.0);
+    EXPECT_NEAR(p.branchPenalty(BranchPenaltyMode::PaperAverage),
+                expected, 1e-12);
+    EXPECT_NEAR(expected, 7.35, 0.4); // ~7.5 in the paper
+}
+
+TEST(Penalties, BranchModesOrdering)
+{
+    const PenaltyModel p = baselineModel();
+    EXPECT_GT(p.branchPenalty(BranchPenaltyMode::Isolated),
+              p.branchPenalty(BranchPenaltyMode::PaperAverage));
+    EXPECT_GT(p.branchPenalty(BranchPenaltyMode::PaperAverage),
+              p.branchPenalty(BranchPenaltyMode::BurstAware, 10.0));
+}
+
+TEST(Penalties, Equation4IsolatedIcache)
+{
+    const PenaltyModel p = baselineModel();
+    EXPECT_NEAR(p.isolatedIcachePenalty(8.0),
+                8.0 + p.rampUp() - p.winDrain(), 1e-12);
+    // Drain and ramp-up roughly cancel: penalty ~ DeltaI.
+    EXPECT_NEAR(p.isolatedIcachePenalty(8.0), 8.0, 1.5);
+}
+
+TEST(Penalties, Equation5BurstIcache)
+{
+    const PenaltyModel p = baselineModel();
+    EXPECT_NEAR(p.burstIcachePenalty(8.0, 1.0),
+                p.isolatedIcachePenalty(8.0), 1e-12);
+    // Bursts only shrink the (already small) correction term.
+    EXPECT_NEAR(p.burstIcachePenalty(8.0, 100.0), 8.0, 0.05);
+}
+
+TEST(Penalties, IcacheModeMissDelayIsExactlyDelay)
+{
+    const PenaltyModel p = baselineModel();
+    EXPECT_EQ(p.icachePenalty(IcachePenaltyMode::MissDelay, 8.0), 8.0);
+    EXPECT_EQ(p.icachePenalty(IcachePenaltyMode::MissDelay, 200.0),
+              200.0);
+}
+
+TEST(Penalties, IcachePenaltyIndependentOfFrontEndDepth)
+{
+    // Section 4.2's first observation.
+    const IWCharacteristic iw(1.0, 0.5, 1.0, 4);
+    MachineConfig shallow, deep;
+    shallow.frontEndDepth = 5;
+    deep.frontEndDepth = 9;
+    const PenaltyModel p5(TransientAnalyzer(iw, shallow));
+    const PenaltyModel p9(TransientAnalyzer(iw, deep));
+    EXPECT_NEAR(p5.isolatedIcachePenalty(8.0),
+                p9.isolatedIcachePenalty(8.0), 1e-9);
+}
+
+TEST(Penalties, BranchPenaltyGrowsWithFrontEndDepth)
+{
+    const IWCharacteristic iw(1.0, 0.5, 1.0, 4);
+    MachineConfig shallow, deep;
+    shallow.frontEndDepth = 5;
+    deep.frontEndDepth = 9;
+    const PenaltyModel p5(TransientAnalyzer(iw, shallow));
+    const PenaltyModel p9(TransientAnalyzer(iw, deep));
+    EXPECT_NEAR(p9.isolatedBranchPenalty() -
+                    p5.isolatedBranchPenalty(),
+                4.0, 1e-9);
+}
+
+TEST(Penalties, Equation6IsolatedDcache)
+{
+    const PenaltyModel p = baselineModel();
+    EXPECT_NEAR(p.isolatedDcachePenalty(0.0),
+                200.0 - p.winDrain() + p.rampUp(), 1e-12);
+    // rob_fill subtracts.
+    EXPECT_NEAR(p.isolatedDcachePenalty(10.0),
+                p.isolatedDcachePenalty(0.0) - 10.0, 1e-12);
+    // First-order conclusion: penalty ~ DeltaD.
+    EXPECT_NEAR(p.isolatedDcachePenalty(0.0), 200.0, 2.0);
+    EXPECT_EQ(p.firstOrderDcachePenalty(), 200.0);
+}
+
+TEST(Penalties, Equation7PairedMissesHalfPenalty)
+{
+    // Equation (7): two overlapping misses cost half each,
+    // independent of their distance y. With f_LDM(2) = 1 the factor
+    // is 1/2.
+    const PenaltyModel p = baselineModel();
+    EXPECT_NEAR(p.dcachePenalty(0.5), 100.0, 1e-9);
+}
+
+TEST(Penalties, Equation8OverlapFactorScales)
+{
+    const PenaltyModel p = baselineModel();
+    EXPECT_NEAR(p.dcachePenalty(1.0), 200.0, 1e-9);
+    EXPECT_NEAR(p.dcachePenalty(0.25), 50.0, 1e-9);
+    // Exact (non-first-order) variant uses equation (6).
+    EXPECT_NEAR(p.dcachePenalty(1.0, false),
+                p.isolatedDcachePenalty(), 1e-9);
+}
+
+TEST(PenaltiesDeath, RejectsBadInputs)
+{
+    const PenaltyModel p = baselineModel();
+    EXPECT_DEATH(p.burstBranchPenalty(0.5), "burst");
+    EXPECT_DEATH(p.dcachePenalty(0.0), "overlap factor");
+    EXPECT_DEATH(p.dcachePenalty(1.5), "overlap factor");
+}
+
+} // namespace
+} // namespace fosm

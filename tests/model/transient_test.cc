@@ -1,0 +1,184 @@
+/** @file Tests for the transient analyzer against the paper's
+ *  Figure 8 numbers and structural properties. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/transient.hh"
+
+namespace fosm {
+namespace {
+
+/** The Figure 8 setting: alpha=1, beta=0.5, unit latency, width 4,
+ *  five front-end stages, window large enough to saturate. */
+TransientAnalyzer
+figure8()
+{
+    const IWCharacteristic iw(1.0, 0.5, 1.0, 4);
+    MachineConfig m;
+    m.width = 4;
+    m.frontEndDepth = 5;
+    m.windowSize = 48;
+    m.robSize = 128;
+    return TransientAnalyzer(iw, m);
+}
+
+TEST(Transient, SteadyStateSaturatedAtWidth)
+{
+    const TransientAnalyzer t = figure8();
+    EXPECT_NEAR(t.steadyIpc(), 4.0, 1e-9);
+    // Occupancy sustaining rate 4 on I = sqrt(W): W = 16.
+    EXPECT_NEAR(t.steadyOccupancy(), 16.0, 1e-9);
+}
+
+TEST(Transient, UnsaturatedOccupancyIsWindowSize)
+{
+    const IWCharacteristic iw(1.7, 0.3, 2.2, 4); // vpr-like
+    MachineConfig m;
+    m.windowSize = 48;
+    const TransientAnalyzer t(iw, m);
+    EXPECT_LT(t.steadyIpc(), 4.0);
+    EXPECT_NEAR(t.steadyOccupancy(), 48.0, 1e-6);
+}
+
+TEST(Transient, DrainMatchesPaperFigure8)
+{
+    // Paper: "the aggregate drain penalty is 2.1 cycles" and the
+    // branch issues around time 6.
+    const DrainResult drain = figure8().windowDrain();
+    EXPECT_NEAR(drain.cycles, 6.0, 1.0);
+    EXPECT_NEAR(drain.penalty, 2.1, 0.3);
+    // The paper measured ~1.3 useful instructions left at issue.
+    EXPECT_LT(drain.residual, 2.0);
+}
+
+TEST(Transient, RampUpMatchesPaperFigure8)
+{
+    // Paper: "the ramp up penalty is computed as 2.7 cycles".
+    const RampResult ramp = figure8().rampUp();
+    EXPECT_NEAR(ramp.penalty, 2.7, 0.3);
+}
+
+TEST(Transient, TotalIsolatedPenaltyNearTenCycles)
+{
+    // Paper: drain 2.1 + pipe 4.9 + ramp 2.7 = 9.7 cycles total for
+    // the five-stage front end (we charge DeltaP = 5 exactly).
+    const TransientAnalyzer t = figure8();
+    const double total = t.windowDrain().penalty + 5.0 +
+                         t.rampUp().penalty;
+    EXPECT_NEAR(total, 9.7, 0.6);
+}
+
+TEST(Transient, DrainConservesInstructions)
+{
+    const DrainResult drain = figure8().windowDrain();
+    EXPECT_NEAR(drain.instructions + drain.residual, 16.0, 1e-6);
+}
+
+TEST(Transient, BranchSeriesShape)
+{
+    const TransientAnalyzer t = figure8();
+    const std::vector<double> series = t.branchTransientSeries(2);
+    ASSERT_GT(series.size(), 10u);
+    // Starts and ends at steady state.
+    EXPECT_NEAR(series.front(), 4.0, 1e-9);
+    EXPECT_NEAR(series.back(), 4.0, 0.05);
+    // Contains the DeltaP zero-issue refill gap.
+    EXPECT_EQ(std::count(series.begin(), series.end(), 0.0), 5);
+    // Never exceeds the steady rate.
+    for (double v : series)
+        EXPECT_LE(v, 4.0 + 1e-9);
+}
+
+TEST(Transient, IcacheSeriesIdleMatchesDelay)
+{
+    MachineConfig m;
+    m.width = 4;
+    m.frontEndDepth = 5;
+    m.windowSize = 48;
+    m.deltaI = 20; // long delay so the window fully drains
+    const IWCharacteristic iw(1.0, 0.5, 1.0, 4);
+    const TransientAnalyzer t(iw, m);
+    const std::vector<double> series = t.icacheTransientSeries(1);
+    // Zero-issue cycles: from drain end (5 + ~6) to re-entry (25):
+    // about deltaI - drain = 14.
+    const auto zeros =
+        std::count(series.begin(), series.end(), 0.0);
+    EXPECT_NEAR(static_cast<double>(zeros), 14.0, 2.0);
+}
+
+TEST(Transient, IcacheSeriesNoIdleWhenDelayShort)
+{
+    MachineConfig m;
+    m.width = 4;
+    m.frontEndDepth = 5;
+    m.windowSize = 48;
+    m.deltaI = 3; // shorter than the drain: issue never stops
+    const IWCharacteristic iw(1.0, 0.5, 1.0, 4);
+    const TransientAnalyzer t(iw, m);
+    const std::vector<double> series = t.icacheTransientSeries(1);
+    const auto zeros =
+        std::count(series.begin(), series.end(), 0.0);
+    EXPECT_LE(zeros, 1);
+}
+
+TEST(Transient, InterMispredictSeriesShape)
+{
+    const TransientAnalyzer t = figure8();
+    const std::vector<double> series = t.interMispredictSeries(100.0);
+    ASSERT_GT(series.size(), 10u);
+    // Starts with DeltaP refill zeros.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(series[i], 0.0);
+    // Issues exactly the budget.
+    double issued = 0.0;
+    for (double v : series)
+        issued += v;
+    EXPECT_NEAR(issued, 100.0, 0.5);
+    // Peak approaches the width for a 100-instruction budget.
+    EXPECT_GT(*std::max_element(series.begin(), series.end()), 3.0);
+}
+
+TEST(Transient, SaturationFractionMonotoneInDistance)
+{
+    const TransientAnalyzer t = figure8();
+    double prev = 0.0;
+    for (double n : {50.0, 100.0, 400.0, 1600.0}) {
+        const double f = t.saturationTimeFraction(n);
+        EXPECT_GE(f, prev - 1e-9) << "n " << n;
+        prev = f;
+    }
+    EXPECT_GT(prev, 0.5);
+}
+
+TEST(Transient, InversionRoundTrip)
+{
+    const TransientAnalyzer t = figure8();
+    for (double target : {0.2, 0.4, 0.6}) {
+        const double n =
+            t.instructionsForSaturationFraction(target);
+        ASSERT_TRUE(std::isfinite(n));
+        EXPECT_NEAR(t.saturationTimeFraction(n), target, 0.05)
+            << "target " << target;
+    }
+}
+
+TEST(Transient, WiderIssueNeedsLongerDistanceForSameFraction)
+{
+    // The Section 6.2 claim, in its raw form.
+    MachineConfig m4, m8;
+    m4.width = 4;
+    m4.windowSize = 64;
+    m8.width = 8;
+    m8.windowSize = 256;
+    const TransientAnalyzer t4(IWCharacteristic(1.0, 0.5, 1.0, 4), m4);
+    const TransientAnalyzer t8(IWCharacteristic(1.0, 0.5, 1.0, 8), m8);
+    const double n4 = t4.instructionsForSaturationFraction(0.3);
+    const double n8 = t8.instructionsForSaturationFraction(0.3);
+    EXPECT_GT(n8, 2.0 * n4);
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,151 @@
+/** @file Tests for the Section 6 trend studies (Figures 17-19). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/trends.hh"
+
+namespace fosm {
+namespace {
+
+TEST(TrendConfig, PaperAssumptions)
+{
+    const TrendConfig c;
+    EXPECT_NEAR(c.mispredictsPerInst(), 0.01, 1e-12);
+    EXPECT_EQ(c.totalLogicPs, 8200.0);
+    EXPECT_EQ(c.flipFlopPs, 90.0);
+}
+
+TEST(TrendMachine, WindowSaturates)
+{
+    const TrendConfig c;
+    for (std::uint32_t width : {2u, 4u, 8u}) {
+        const MachineConfig m = trendMachine(width, 5, c);
+        // alpha * W^beta must reach the width.
+        const double rate =
+            c.alpha * std::pow(m.windowSize, c.beta) / c.avgLatency;
+        EXPECT_GE(rate, width) << "width " << width;
+    }
+}
+
+TEST(PipelineDepthSweep, IpcDecreasesWithDepth)
+{
+    const std::vector<PipelineDepthPoint> points =
+        pipelineDepthSweep(4, {5, 10, 20, 40, 80});
+    for (std::size_t i = 1; i < points.size(); ++i)
+        EXPECT_LT(points[i].ipc, points[i - 1].ipc);
+}
+
+TEST(PipelineDepthSweep, WiderIssueAdvantageShrinksWithDepth)
+{
+    // Figure 17a: "As the front-end pipeline deepens the advantage
+    // for wider issue is lost."
+    const auto narrow = pipelineDepthSweep(2, {5, 80});
+    const auto wide = pipelineDepthSweep(8, {5, 80});
+    const double shallow_ratio = wide[0].ipc / narrow[0].ipc;
+    const double deep_ratio = wide[1].ipc / narrow[1].ipc;
+    EXPECT_GT(shallow_ratio, deep_ratio);
+    EXPECT_LT(deep_ratio, 1.5);
+}
+
+TEST(PipelineDepthSweep, BipsPeaksAtIntermediateDepth)
+{
+    const std::vector<std::uint32_t> depths = {2,  5,  10, 20, 30,
+                                               40, 55, 70, 90};
+    const auto points = pipelineDepthSweep(3, depths);
+    const auto best = std::max_element(
+        points.begin(), points.end(),
+        [](const auto &a, const auto &b) { return a.bips < b.bips; });
+    EXPECT_NE(best, points.begin());
+    EXPECT_NE(best, points.end() - 1);
+}
+
+TEST(OptimalPipelineDepth, Issue3NearPaperResult)
+{
+    // Paper: "For the issue width 3 curve we get the same result as
+    // reported in [4], the optimal pipeline depth is around 55."
+    const PipelineDepthPoint best = optimalPipelineDepth(3);
+    EXPECT_GE(best.depth, 35u);
+    EXPECT_LE(best.depth, 75u);
+}
+
+TEST(OptimalPipelineDepth, WiderIssueWantsShorterPipe)
+{
+    // Paper: "the optimal pipeline depth for wider issue-width moves
+    // towards shorter front-end pipeline depth."
+    const PipelineDepthPoint i2 = optimalPipelineDepth(2);
+    const PipelineDepthPoint i8 = optimalPipelineDepth(8);
+    EXPECT_LT(i8.depth, i2.depth);
+}
+
+TEST(IssueWidthRequirement, MonotoneInFraction)
+{
+    const auto points =
+        issueWidthRequirement(4, {0.1, 0.2, 0.3, 0.4, 0.5});
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GT(points[i].instructionsBetween,
+                  points[i - 1].instructionsBetween);
+    }
+}
+
+TEST(IssueWidthRequirement, QuadraticScalingWithWidth)
+{
+    // Paper Figure 18: doubling the issue width requires roughly
+    // quadrupling the instructions between mispredictions to keep
+    // the same time-at-issue-width fraction.
+    const double n4 =
+        issueWidthRequirement(4, {0.3})[0].instructionsBetween;
+    const double n8 =
+        issueWidthRequirement(8, {0.3})[0].instructionsBetween;
+    const double n16 =
+        issueWidthRequirement(16, {0.3})[0].instructionsBetween;
+    EXPECT_GT(n8 / n4, 2.0);
+    EXPECT_LT(n8 / n4, 8.0);
+    EXPECT_GT(n16 / n8, 2.0);
+    EXPECT_LT(n16 / n8, 8.0);
+}
+
+TEST(IssueRampSeries, BarelyReachesWidthAtPaperRates)
+{
+    // Figure 19: with one misprediction per 100 instructions, the
+    // width-4 machine barely reaches 4 and the width-8 machine only
+    // gets to about 6.
+    const std::vector<double> s4 = issueRampSeries(4);
+    const std::vector<double> s8 = issueRampSeries(8);
+    const double peak4 = *std::max_element(s4.begin(), s4.end());
+    const double peak8 = *std::max_element(s8.begin(), s8.end());
+    EXPECT_GT(peak4, 3.2);
+    EXPECT_LE(peak4, 4.0 + 1e-9);
+    EXPECT_GT(peak8, 4.5);
+    EXPECT_LT(peak8, 7.5);
+}
+
+TEST(IssueRampSeries, BudgetConserved)
+{
+    const std::vector<double> s = issueRampSeries(4);
+    double issued = 0.0;
+    for (double v : s)
+        issued += v;
+    EXPECT_NEAR(issued, 100.0, 1.0);
+}
+
+/** Parameterized sweep: BIPS curve is unimodal-ish for every width. */
+class DepthSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(DepthSweep, OptimumIsInterior)
+{
+    const PipelineDepthPoint best = optimalPipelineDepth(GetParam());
+    EXPECT_GT(best.depth, 3u);
+    EXPECT_LT(best.depth, 100u);
+    EXPECT_GT(best.bips, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DepthSweep,
+                         ::testing::Values(2, 3, 4, 8));
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,114 @@
+/** @file Tests for clustered issue windows (Section 7 future-work 3). */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+#include "experiments/workbench.hh"
+
+namespace fosm {
+namespace {
+
+SimConfig
+idealClustered(std::uint32_t clusters)
+{
+    SimConfig c = Workbench::baselineSimConfig();
+    c.machine.clusters = clusters;
+    c.options.idealBranchPredictor = true;
+    c.options.idealIcache = true;
+    c.options.idealDcache = true;
+    return c;
+}
+
+TEST(ClusteredSim, OneClusterIsBaseline)
+{
+    const Trace t = test::independentStream(10000);
+    const SimStats base = simulateTrace(t, idealClustered(1));
+    EXPECT_NEAR(base.ipc(), 4.0, 0.05);
+}
+
+TEST(ClusteredSim, IndependentStreamUnaffected)
+{
+    // No dependences cross clusters: splitting the window costs
+    // nothing for fully parallel work.
+    const Trace t = test::independentStream(10000);
+    const SimStats split = simulateTrace(t, idealClustered(4));
+    EXPECT_NEAR(split.ipc(), 4.0, 0.05);
+}
+
+TEST(ClusteredSim, SerialChainPaysForwardingDelay)
+{
+    // A serial chain dispatched round-robin: with K clusters every
+    // producer-consumer hop crosses clusters (distance 1 is never a
+    // multiple of K), so each hop costs 1 + interClusterDelay.
+    const Trace t = test::serialChain(4000);
+    const SimStats unified = simulateTrace(t, idealClustered(1));
+    SimConfig c2 = idealClustered(2);
+    c2.machine.interClusterDelay = 1;
+    const SimStats split = simulateTrace(t, c2);
+    EXPECT_NEAR(unified.ipc(), 1.0, 0.05);
+    EXPECT_NEAR(split.ipc(), 0.5, 0.05);
+}
+
+TEST(ClusteredSim, LargerForwardingDelayHurtsMore)
+{
+    const Trace t = test::serialChain(3000);
+    SimConfig slow = idealClustered(2);
+    slow.machine.interClusterDelay = 3;
+    const SimStats s = simulateTrace(t, slow);
+    // Each hop takes 1 + 3 cycles.
+    EXPECT_NEAR(s.ipc(), 0.25, 0.03);
+}
+
+TEST(ClusteredSim, MoreClustersNeverFaster)
+{
+    const Trace t =
+        generateTrace(profileByName("gzip"), 30000);
+    double prev = 1e18;
+    for (std::uint32_t k : {1u, 2u, 4u}) {
+        const SimStats s = simulateTrace(t, idealClustered(k));
+        EXPECT_LE(s.ipc(), prev + 0.03) << "clusters " << k;
+        prev = s.ipc();
+    }
+}
+
+TEST(ClusteredSim, ShortDependenceWorkloadSuffersMost)
+{
+    const Trace chains = generateTrace(profileByName("vpr"), 30000);
+    const Trace strands =
+        generateTrace(profileByName("vortex"), 30000);
+    auto slowdown = [&](const Trace &t) {
+        const double base = simulateTrace(t, idealClustered(1)).ipc();
+        const double split =
+            simulateTrace(t, idealClustered(4)).ipc();
+        return base / split;
+    };
+    EXPECT_GT(slowdown(chains), slowdown(strands));
+}
+
+TEST(ClusteredModel, TracksSimulation)
+{
+    Workbench bench;
+    const WorkloadData &data = bench.workload("crafty");
+    for (std::uint32_t k : {2u, 4u}) {
+        MachineConfig machine = Workbench::baselineMachine();
+        machine.clusters = k;
+        const FirstOrderModel model(machine);
+        const CpiBreakdown cpi =
+            model.evaluate(data.iw, data.missProfile);
+        SimConfig sim_config = Workbench::baselineSimConfig();
+        sim_config.machine = machine;
+        const SimStats sim = simulateTrace(data.trace, sim_config);
+        EXPECT_LT(relativeError(cpi.total(), sim.cpi()), 0.2)
+            << "clusters " << k;
+    }
+}
+
+TEST(ClusteredSimDeath, RejectsIndivisibleWidth)
+{
+    SimConfig c = idealClustered(3); // width 4 not divisible by 3
+    const Trace t = test::independentStream(10);
+    EXPECT_DEATH(simulateTrace(t, c), "divisible");
+}
+
+} // namespace
+} // namespace fosm

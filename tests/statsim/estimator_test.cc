@@ -1,0 +1,162 @@
+/** @file Unit tests for the statistical profile estimator. */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+#include "common/rng.hh"
+#include "statsim/profile_estimator.hh"
+#include "workload/generator.hh"
+
+namespace fosm {
+namespace {
+
+TEST(Estimator, ExactMixRecovery)
+{
+    test::TraceBuilder b;
+    for (int i = 0; i < 1000; ++i) {
+        switch (i % 5) {
+          case 0: b.load(1, 0x1000); break;
+          case 1: b.store(0x2000); break;
+          case 2: b.branch(false); break;
+          default: b.alu(2); break;
+        }
+    }
+    const Profile est = estimateProfile(b.take());
+    EXPECT_NEAR(est.mix.load, 0.2, 1e-9);
+    EXPECT_NEAR(est.mix.store, 0.2, 1e-9);
+    EXPECT_NEAR(est.mix.branch, 0.2, 1e-9);
+    EXPECT_NEAR(est.mix.alu(), 0.4, 1e-9);
+}
+
+TEST(Estimator, SourceArityRecovery)
+{
+    test::TraceBuilder b;
+    // Alternate 0-source and 2-source ALU ops.
+    for (int i = 0; i < 1000; ++i) {
+        if (i % 2 == 0)
+            b.alu(1);
+        else
+            b.alu(2, 1, 1);
+    }
+    const Profile est = estimateProfile(b.take());
+    EXPECT_NEAR(est.dep.twoSourceFrac, 0.5, 0.01);
+    EXPECT_NEAR(est.dep.noSourceFrac, 0.5, 0.01);
+}
+
+TEST(Estimator, BiasedSiteClassified)
+{
+    test::TraceBuilder b;
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        b.branch(rng.bernoulli(0.97)).at(0x100);
+        b.alu(1).at(0x104);
+        b.alu(2).at(0x108);
+    }
+    const Profile est = estimateProfile(b.take());
+    EXPECT_GT(est.branch.biasedFrac, 0.9);
+    EXPECT_LT(est.branch.loopFrac, 0.1);
+}
+
+TEST(Estimator, LoopSiteClassifiedByRunVariance)
+{
+    // Deterministic trip-3 loop: TTN TTN ... taken rate 2/3 with
+    // zero run-length variance.
+    test::TraceBuilder b;
+    for (int i = 0; i < 3000; ++i) {
+        b.branch(i % 3 != 2).at(0x200);
+        b.alu(1).at(0x204);
+    }
+    const Profile est = estimateProfile(b.take());
+    EXPECT_GT(est.branch.loopFrac, 0.9);
+    EXPECT_NEAR(est.branch.meanLoopTrip, 3.0, 0.5);
+}
+
+TEST(Estimator, Trip2LoopNotMistakenForCoin)
+{
+    // TNTN...: rate 0.5; run variance 0 -> loop, not random.
+    test::TraceBuilder b;
+    for (int i = 0; i < 2000; ++i) {
+        b.branch(i % 2 == 0).at(0x300);
+        b.alu(1).at(0x304);
+    }
+    const Profile est = estimateProfile(b.take());
+    EXPECT_GT(est.branch.loopFrac, 0.9);
+}
+
+TEST(Estimator, CoinClassifiedRandom)
+{
+    test::TraceBuilder b;
+    Rng rng(2);
+    for (int i = 0; i < 4000; ++i) {
+        b.branch(rng.bernoulli(0.5)).at(0x400);
+        b.alu(1).at(0x404);
+    }
+    const Profile est = estimateProfile(b.take());
+    // Neither biased nor loop: the remainder is the random share.
+    EXPECT_LT(est.branch.biasedFrac + est.branch.loopFrac, 0.2);
+}
+
+TEST(Estimator, DependenceMixtureRecovery)
+{
+    // Sources at distance 2 (half) and distance 40 (half).
+    test::TraceBuilder b;
+    for (int i = 0; i < 5000; ++i) {
+        const RegIndex dst = static_cast<RegIndex>(i % 64);
+        RegIndex src = invalidReg;
+        if (i >= 40) {
+            src = (i % 2 == 0) ? static_cast<RegIndex>((i - 2) % 64)
+                               : static_cast<RegIndex>((i - 40) % 64);
+        }
+        b.alu(dst, src);
+    }
+    const Profile est = estimateProfile(b.take());
+    EXPECT_NEAR(est.dep.meanShortDistance, 2.0, 0.5);
+    EXPECT_NEAR(est.dep.meanLongDistance, 40.0, 4.0);
+    EXPECT_NEAR(est.dep.longFrac, 0.5, 0.05);
+}
+
+TEST(Estimator, FootprintFromPcSpan)
+{
+    test::TraceBuilder b;
+    for (int i = 0; i < 100; ++i)
+        b.alu(1).at(0x1000 + i * 4);
+    b.alu(1).at(0x1000 + 20000);
+    const Profile est = estimateProfile(b.take());
+    // Span ~20KB -> rounded up to 32KB.
+    EXPECT_EQ(est.code.footprintBytes, 32u * 1024);
+}
+
+TEST(Estimator, ColdStreamFractionMatchesLongMissRate)
+{
+    // Loads alternating between one hot line and unique cold lines.
+    test::TraceBuilder b;
+    for (int i = 0; i < 8000; ++i) {
+        if (i % 4 == 0)
+            b.load(1, 0x40000000ull + i * 4096ull); // always cold
+        else
+            b.load(2, 0x1000); // hot
+    }
+    const Profile est = estimateProfile(b.take());
+    // A quarter of memory accesses are long misses.
+    EXPECT_NEAR(est.data.coldFrac +
+                    0.038 * est.data.burstColdFrac, // burst duty part
+                0.25, 0.08);
+    est.validate();
+}
+
+TEST(Estimator, CloneOfCloneIsStable)
+{
+    // Estimating a clone's profile should land near the clone's own
+    // statistics (fixed-point-ish behaviour).
+    const Trace original =
+        generateTrace(profileByName("crafty"), 60000);
+    const Profile est1 = estimateProfile(original);
+    const Trace clone1 = generateTrace(est1, 60000);
+    const Profile est2 = estimateProfile(clone1);
+    EXPECT_NEAR(est2.mix.load, est1.mix.load, 0.03);
+    EXPECT_NEAR(est2.mix.branch, est1.mix.branch, 0.03);
+    EXPECT_NEAR(est2.dep.longFrac, est1.dep.longFrac, 0.15);
+}
+
+} // namespace
+} // namespace fosm

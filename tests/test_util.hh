@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Handcrafted-trace builders shared by the unit tests. These let a
+ * test express an exact dependence/control/memory structure and check
+ * simulator and model behaviour against cycle-accurate expectations.
+ */
+
+#ifndef FOSM_TESTS_TEST_UTIL_HH
+#define FOSM_TESTS_TEST_UTIL_HH
+
+#include <cstdint>
+
+#include "trace/trace.hh"
+
+namespace fosm::test {
+
+/** Builder for tiny, fully-specified traces. */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(std::string name = "test")
+        : trace_(std::move(name))
+    {
+    }
+
+    /** Append a generic instruction. */
+    TraceBuilder &
+    add(InstClass cls, RegIndex dst = invalidReg,
+        RegIndex src1 = invalidReg, RegIndex src2 = invalidReg)
+    {
+        InstRecord inst;
+        inst.pc = nextPc_;
+        nextPc_ += 4;
+        inst.cls = cls;
+        inst.dst = dst;
+        inst.src1 = src1;
+        inst.src2 = src2;
+        trace_.append(inst);
+        return *this;
+    }
+
+    /** Append an integer ALU op. */
+    TraceBuilder &
+    alu(RegIndex dst, RegIndex src1 = invalidReg,
+        RegIndex src2 = invalidReg)
+    {
+        return add(InstClass::IntAlu, dst, src1, src2);
+    }
+
+    /** Append a load from the given address. */
+    TraceBuilder &
+    load(RegIndex dst, Addr addr, RegIndex addr_reg = invalidReg)
+    {
+        add(InstClass::Load, dst, addr_reg);
+        trace_.at(trace_.size() - 1).effAddr = addr;
+        return *this;
+    }
+
+    /** Append a store to the given address. */
+    TraceBuilder &
+    store(Addr addr, RegIndex data_reg = invalidReg,
+          RegIndex addr_reg = invalidReg)
+    {
+        add(InstClass::Store, invalidReg, addr_reg, data_reg);
+        trace_.at(trace_.size() - 1).effAddr = addr;
+        return *this;
+    }
+
+    /** Append a branch with the given outcome. */
+    TraceBuilder &
+    branch(bool taken, RegIndex cond_reg = invalidReg)
+    {
+        add(InstClass::Branch, invalidReg, cond_reg);
+        trace_.at(trace_.size() - 1).branchTaken = taken;
+        return *this;
+    }
+
+    /** Override the PC of the last instruction. */
+    TraceBuilder &
+    at(Addr pc)
+    {
+        trace_.at(trace_.size() - 1).pc = pc;
+        return *this;
+    }
+
+    /** Finish and take the trace. */
+    Trace take() { return std::move(trace_); }
+
+  private:
+    Trace trace_;
+    Addr nextPc_ = 0x1000;
+};
+
+/**
+ * A chain of n single-cycle ALU ops, each depending on the previous
+ * (serial: unbounded-window IPC is 1).
+ */
+inline Trace
+serialChain(std::size_t n)
+{
+    TraceBuilder b("serial");
+    for (std::size_t i = 0; i < n; ++i)
+        b.alu(static_cast<RegIndex>(i % 2),
+              i == 0 ? invalidReg : static_cast<RegIndex>((i - 1) % 2));
+    return b.take();
+}
+
+/** n fully independent single-cycle ALU ops (IPC limited by window). */
+inline Trace
+independentStream(std::size_t n)
+{
+    TraceBuilder b("independent");
+    for (std::size_t i = 0; i < n; ++i)
+        b.alu(static_cast<RegIndex>(i % 64));
+    return b.take();
+}
+
+} // namespace fosm::test
+
+#endif // FOSM_TESTS_TEST_UTIL_HH

@@ -1,0 +1,92 @@
+/** @file Unit tests for the functional trace statistics. */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+#include "trace/trace_stats.hh"
+
+namespace fosm {
+namespace {
+
+TEST(TraceStats, CountsClasses)
+{
+    test::TraceBuilder b;
+    b.alu(1).alu(2).load(3, 0x100).store(0x200).branch(false);
+    const TraceStats s = collectTraceStats(b.take());
+
+    EXPECT_EQ(s.instructions, 5u);
+    EXPECT_NEAR(s.classFraction(InstClass::IntAlu), 0.4, 1e-12);
+    EXPECT_NEAR(s.loadFraction(), 0.2, 1e-12);
+    EXPECT_NEAR(s.branchFraction(), 0.2, 1e-12);
+}
+
+TEST(TraceStats, DependenceDistances)
+{
+    test::TraceBuilder b;
+    b.alu(1);          // 0: writes r1
+    b.alu(2, 1);       // 1: reads r1, distance 1
+    b.alu(3);          // 2
+    b.alu(4, 1);       // 3: reads r1, distance 3
+    const TraceStats s = collectTraceStats(b.take());
+
+    EXPECT_EQ(s.depDistance.countAt(1), 1u);
+    EXPECT_EQ(s.depDistance.countAt(3), 1u);
+    EXPECT_EQ(s.depDistance.samples(), 2u);
+}
+
+TEST(TraceStats, LiveInSourcesNotCounted)
+{
+    test::TraceBuilder b;
+    b.alu(1, 5); // reads r5 which nothing wrote: live-in
+    const TraceStats s = collectTraceStats(b.take());
+    EXPECT_EQ(s.depDistance.samples(), 0u);
+}
+
+TEST(TraceStats, AvgBaseLatencyUsesConfig)
+{
+    test::TraceBuilder b;
+    b.alu(1).add(InstClass::IntMul, 2);
+    LatencyConfig lat;
+    lat.intAlu = 1;
+    lat.intMul = 3;
+    const TraceStats s = collectTraceStats(b.take(), lat);
+    EXPECT_NEAR(s.avgBaseLatency, 2.0, 1e-12);
+}
+
+TEST(TraceStats, TakenFraction)
+{
+    test::TraceBuilder b;
+    b.branch(true).branch(true).branch(false).alu(1);
+    const TraceStats s = collectTraceStats(b.take());
+    EXPECT_NEAR(s.takenFraction, 2.0 / 3.0, 1e-12);
+}
+
+TEST(TraceStats, StaticBranchSites)
+{
+    test::TraceBuilder b;
+    b.branch(true).at(0x100);
+    b.branch(false).at(0x200);
+    b.branch(true).at(0x100); // repeat site
+    const TraceStats s = collectTraceStats(b.take());
+    EXPECT_EQ(s.staticBranches, 2u);
+}
+
+TEST(TraceStats, AvgSources)
+{
+    test::TraceBuilder b;
+    b.alu(1);          // 0 sources
+    b.alu(2, 1, 1);    // 2 sources
+    const TraceStats s = collectTraceStats(b.take());
+    EXPECT_NEAR(s.avgSources, 1.0, 1e-12);
+}
+
+TEST(TraceStats, EmptyTrace)
+{
+    const TraceStats s = collectTraceStats(Trace("empty"));
+    EXPECT_EQ(s.instructions, 0u);
+    EXPECT_EQ(s.avgBaseLatency, 0.0);
+    EXPECT_EQ(s.takenFraction, 0.0);
+}
+
+} // namespace
+} // namespace fosm

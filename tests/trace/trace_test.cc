@@ -1,0 +1,115 @@
+/** @file Unit tests for the trace container and binary round-trip. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "../test_util.hh"
+#include "trace/latency.hh"
+#include "trace/trace.hh"
+
+namespace fosm {
+namespace {
+
+TEST(InstRecord, ClassPredicates)
+{
+    InstRecord inst;
+    inst.cls = InstClass::Load;
+    EXPECT_TRUE(inst.isLoad());
+    EXPECT_TRUE(inst.isMem());
+    EXPECT_FALSE(inst.isStore());
+    EXPECT_FALSE(inst.isBranch());
+
+    inst.cls = InstClass::Store;
+    EXPECT_TRUE(inst.isStore());
+    EXPECT_TRUE(inst.isMem());
+
+    inst.cls = InstClass::Branch;
+    EXPECT_TRUE(inst.isBranch());
+    EXPECT_FALSE(inst.isMem());
+}
+
+TEST(InstRecord, CompactLayout)
+{
+    EXPECT_LE(sizeof(InstRecord), 32u);
+}
+
+TEST(InstClassName, AllClassesNamed)
+{
+    EXPECT_STREQ(instClassName(InstClass::IntAlu), "int_alu");
+    EXPECT_STREQ(instClassName(InstClass::IntMul), "int_mul");
+    EXPECT_STREQ(instClassName(InstClass::IntDiv), "int_div");
+    EXPECT_STREQ(instClassName(InstClass::FpAlu), "fp_alu");
+    EXPECT_STREQ(instClassName(InstClass::Load), "load");
+    EXPECT_STREQ(instClassName(InstClass::Store), "store");
+    EXPECT_STREQ(instClassName(InstClass::Branch), "branch");
+}
+
+TEST(LatencyConfig, DefaultLatencies)
+{
+    LatencyConfig lat;
+    EXPECT_EQ(lat.latencyFor(InstClass::IntAlu), 1u);
+    EXPECT_EQ(lat.latencyFor(InstClass::IntMul), 3u);
+    EXPECT_EQ(lat.latencyFor(InstClass::IntDiv), 12u);
+    EXPECT_EQ(lat.latencyFor(InstClass::FpAlu), 4u);
+    EXPECT_EQ(lat.latencyFor(InstClass::Load), 2u);
+    EXPECT_EQ(lat.latencyFor(InstClass::Store), 1u);
+    EXPECT_EQ(lat.latencyFor(InstClass::Branch), 1u);
+}
+
+TEST(Trace, AppendAndAccess)
+{
+    Trace t("demo");
+    EXPECT_TRUE(t.empty());
+    InstRecord inst;
+    inst.pc = 0x100;
+    t.append(inst);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].pc, 0x100u);
+    EXPECT_EQ(t.name(), "demo");
+}
+
+TEST(Trace, RangeIteration)
+{
+    const Trace t = test::independentStream(10);
+    std::size_t count = 0;
+    for (const InstRecord &inst : t) {
+        EXPECT_EQ(inst.cls, InstClass::IntAlu);
+        ++count;
+    }
+    EXPECT_EQ(count, 10u);
+}
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    test::TraceBuilder b("roundtrip");
+    b.alu(1).load(2, 0xdead0, 1).store(0xbeef0, 2).branch(true, 2);
+    const Trace original = b.take();
+
+    const std::string path = ::testing::TempDir() + "/fosm_trace.bin";
+    saveTrace(original, path);
+    const Trace loaded = loadTrace(path);
+    std::remove(path.c_str());
+
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.name(), "roundtrip");
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded[i].pc, original[i].pc);
+        EXPECT_EQ(loaded[i].effAddr, original[i].effAddr);
+        EXPECT_EQ(loaded[i].cls, original[i].cls);
+        EXPECT_EQ(loaded[i].dst, original[i].dst);
+        EXPECT_EQ(loaded[i].src1, original[i].src1);
+        EXPECT_EQ(loaded[i].src2, original[i].src2);
+        EXPECT_EQ(loaded[i].branchTaken, original[i].branchTaken);
+    }
+}
+
+TEST(Trace, LoadMissingFileFatal)
+{
+    EXPECT_EXIT(loadTrace("/nonexistent/path/trace.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,221 @@
+/** @file Unit and property tests for the synthetic trace generator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/trace_stats.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace fosm {
+namespace {
+
+TEST(Generator, DeterministicForSameSeed)
+{
+    const Profile &p = profileByName("gzip");
+    const Trace a = generateTrace(p, 5000);
+    const Trace b = generateTrace(p, 5000);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].cls, b[i].cls);
+        EXPECT_EQ(a[i].effAddr, b[i].effAddr);
+        EXPECT_EQ(a[i].src1, b[i].src1);
+        EXPECT_EQ(a[i].branchTaken, b[i].branchTaken);
+    }
+}
+
+TEST(Generator, RequestedLength)
+{
+    const Trace t = generateTrace(profileByName("bzip"), 12345);
+    EXPECT_EQ(t.size(), 12345u);
+}
+
+TEST(Generator, PcsStayInFootprint)
+{
+    const Profile &p = profileByName("gzip");
+    const Trace t = generateTrace(p, 20000);
+    for (const InstRecord &inst : t) {
+        EXPECT_GE(inst.pc, codeBase);
+        EXPECT_LT(inst.pc, codeBase + p.code.footprintBytes);
+    }
+}
+
+TEST(Generator, TakenBranchTargetMatchesNextPc)
+{
+    const Trace t = generateTrace(profileByName("gcc"), 20000);
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!t[i].isBranch())
+            continue;
+        EXPECT_EQ(t[i + 1].pc, t[i].effAddr)
+            << "control-flow discontinuity at " << i;
+    }
+}
+
+TEST(Generator, NonBranchesFallThrough)
+{
+    const Profile &p = profileByName("gzip");
+    const Trace t = generateTrace(p, 20000);
+    const Addr end = codeBase + p.code.footprintBytes;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].isBranch())
+            continue;
+        const Addr expect =
+            t[i].pc + 4 >= end ? codeBase : t[i].pc + 4;
+        EXPECT_EQ(t[i + 1].pc, expect);
+    }
+}
+
+TEST(Generator, MixApproximatelyMatchesProfile)
+{
+    const Profile &p = profileByName("parser");
+    const TraceStats s =
+        collectTraceStats(generateTrace(p, 100000));
+    // Hot-loop weighting perturbs the dynamic mix; allow slack.
+    EXPECT_NEAR(s.loadFraction(), p.mix.load, 0.08);
+    EXPECT_NEAR(s.branchFraction(), p.mix.branch, 0.08);
+    EXPECT_NEAR(s.classFraction(InstClass::Store), p.mix.store, 0.08);
+}
+
+TEST(Generator, MemOpsHaveAddresses)
+{
+    const Trace t = generateTrace(profileByName("mcf"), 20000);
+    for (const InstRecord &inst : t) {
+        if (inst.isMem()) {
+            EXPECT_NE(inst.effAddr, 0u);
+        }
+    }
+}
+
+TEST(Generator, DestinationsOnlyOnValueProducers)
+{
+    const Trace t = generateTrace(profileByName("gzip"), 20000);
+    for (const InstRecord &inst : t) {
+        if (inst.isStore() || inst.isBranch())
+            EXPECT_EQ(inst.dst, invalidReg);
+        else
+            EXPECT_NE(inst.dst, invalidReg);
+    }
+}
+
+TEST(Generator, SourceRegistersInRange)
+{
+    const Trace t = generateTrace(profileByName("vortex"), 20000);
+    for (const InstRecord &inst : t) {
+        for (RegIndex src : {inst.src1, inst.src2}) {
+            if (src != invalidReg) {
+                EXPECT_GE(src, 0);
+                EXPECT_LT(src, numArchRegs);
+            }
+        }
+    }
+}
+
+TEST(Generator, BranchPcsRepeat)
+{
+    // Static program image: the same branch sites must re-execute
+    // many times, or predictors cannot train.
+    const TraceStats s = collectTraceStats(
+        generateTrace(profileByName("gzip"), 100000));
+    const std::uint64_t branches =
+        s.classCount[static_cast<std::size_t>(InstClass::Branch)];
+    ASSERT_GT(s.staticBranches, 0u);
+    const double execs_per_site =
+        static_cast<double>(branches) /
+        static_cast<double>(s.staticBranches);
+    EXPECT_GT(execs_per_site, 20.0);
+}
+
+TEST(Profiles, AllTwelvePresent)
+{
+    const std::vector<std::string> names = profileNames();
+    ASSERT_EQ(names.size(), 12u);
+    EXPECT_EQ(names.front(), "bzip");
+    EXPECT_EQ(names.back(), "vpr");
+}
+
+TEST(Profiles, AllValidate)
+{
+    for (const Profile &p : specProfiles()) {
+        p.validate();
+        EXPECT_FALSE(p.name.empty());
+    }
+    SUCCEED();
+}
+
+TEST(Profiles, UnknownNameFatal)
+{
+    EXPECT_EXIT(profileByName("doom"), ::testing::ExitedWithCode(1),
+                "unknown workload profile");
+}
+
+TEST(Profiles, SeedsAreDistinct)
+{
+    const auto &profiles = specProfiles();
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        for (std::size_t j = i + 1; j < profiles.size(); ++j)
+            EXPECT_NE(profiles[i].seed, profiles[j].seed);
+    }
+}
+
+TEST(MixParams, AluIsRemainder)
+{
+    MixParams m;
+    m.load = 0.3;
+    m.store = 0.1;
+    m.branch = 0.2;
+    m.mul = 0.0;
+    m.div = 0.0;
+    m.fp = 0.0;
+    EXPECT_NEAR(m.alu(), 0.4, 1e-12);
+}
+
+TEST(MixParams, ValidationRejectsOverflow)
+{
+    MixParams m;
+    m.load = 0.9;
+    m.store = 0.9;
+    EXPECT_EXIT(m.validate(), ::testing::ExitedWithCode(1),
+                "more than 1");
+}
+
+/** Dependence-distance means shift with the profile's parameters. */
+TEST(Generator, DependenceDistanceTracksProfile)
+{
+    Profile chains = profileByName("vpr");      // short distances
+    Profile strands = profileByName("vortex");  // long distances
+    const TraceStats cs =
+        collectTraceStats(generateTrace(chains, 60000));
+    const TraceStats ss =
+        collectTraceStats(generateTrace(strands, 60000));
+    EXPECT_LT(cs.depDistance.mean(), ss.depDistance.mean());
+}
+
+/** Parameterized: every profile generates a well-formed trace. */
+class AllProfiles : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllProfiles, GeneratesWellFormedTrace)
+{
+    const Profile &p = profileByName(GetParam());
+    const Trace t = generateTrace(p, 30000);
+    EXPECT_EQ(t.size(), 30000u);
+    const TraceStats s = collectTraceStats(t);
+    EXPECT_GT(s.branchFraction(), 0.03);
+    EXPECT_LT(s.branchFraction(), 0.40);
+    EXPECT_GT(s.loadFraction(), 0.05);
+    EXPECT_GT(s.staticBranches, 4u);
+    EXPECT_GT(s.takenFraction, 0.1);
+    EXPECT_LT(s.takenFraction, 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spec, AllProfiles,
+    ::testing::Values("bzip", "crafty", "eon", "gap", "gcc", "gzip",
+                      "mcf", "parser", "perl", "twolf", "vortex",
+                      "vpr"));
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,167 @@
+/** @file Unit tests for address and branch outcome streams. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/address_stream.hh"
+#include "workload/branch_stream.hh"
+
+namespace fosm {
+namespace {
+
+TEST(DataAddressStream, AddressesLandInKnownRegions)
+{
+    DataParams params;
+    Rng rng(1);
+    DataAddressStream stream(params, rng);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr a = stream.next();
+        const bool in_hot = a >= DataAddressStream::hotBase &&
+            a < DataAddressStream::hotBase + params.hotBytes;
+        const bool in_warm = a >= DataAddressStream::warmBase &&
+            a < DataAddressStream::warmBase + params.warmBytes;
+        const bool in_cold = a >= DataAddressStream::coldBase &&
+            a < DataAddressStream::coldBase + params.coldBytes;
+        const bool in_stride = a >= DataAddressStream::strideBase &&
+            a < DataAddressStream::strideBase + params.strideBytes;
+        EXPECT_TRUE(in_hot || in_warm || in_cold || in_stride)
+            << "stray address " << std::hex << a;
+    }
+}
+
+TEST(DataAddressStream, HotRegionDominatesCalmState)
+{
+    DataParams params;
+    params.hotFrac = 0.9;
+    params.warmFrac = 0.05;
+    params.coldFrac = 0.01;
+    params.strideFrac = 0.04;
+    params.burstEnterProb = 0.0; // never burst
+    Rng rng(2);
+    DataAddressStream stream(params, rng);
+    int hot = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const Addr a = stream.next();
+        if (a >= DataAddressStream::hotBase &&
+            a < DataAddressStream::hotBase + params.hotBytes)
+            ++hot;
+    }
+    EXPECT_NEAR(hot / static_cast<double>(n), 0.9, 0.02);
+}
+
+TEST(DataAddressStream, BurstStateRaisesColdFraction)
+{
+    DataParams params;
+    params.burstEnterProb = 1.0; // always in burst
+    params.burstExitProb = 0.0;
+    params.burstColdFrac = 0.7;
+    Rng rng(3);
+    DataAddressStream stream(params, rng);
+    int cold = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const Addr a = stream.next();
+        if (a >= DataAddressStream::coldBase &&
+            a < DataAddressStream::coldBase + params.coldBytes)
+            ++cold;
+    }
+    EXPECT_TRUE(stream.inBurst());
+    EXPECT_NEAR(cold / static_cast<double>(n), 0.7, 0.02);
+}
+
+TEST(DataAddressStream, StrideWalksSequentially)
+{
+    DataParams params;
+    params.hotFrac = 0.0;
+    params.warmFrac = 0.0;
+    params.coldFrac = 0.0;
+    params.strideFrac = 1.0;
+    params.burstEnterProb = 0.0;
+    params.strideStep = 16;
+    Rng rng(4);
+    DataAddressStream stream(params, rng);
+    Addr prev = stream.next();
+    for (int i = 0; i < 100; ++i) {
+        const Addr cur = stream.next();
+        EXPECT_EQ(cur, prev + 16);
+        prev = cur;
+    }
+}
+
+TEST(BranchSiteTable, KindFractionsRespected)
+{
+    BranchParams params;
+    params.sites = 4000;
+    params.biasedFrac = 0.5;
+    params.loopFrac = 0.3;
+    Rng rng(5);
+    BranchSiteTable table(params, rng);
+    int biased = 0, loop = 0, random = 0;
+    for (std::uint32_t i = 0; i < params.sites; ++i) {
+        switch (table.site(i).kind) {
+          case BranchSiteKind::Biased: ++biased; break;
+          case BranchSiteKind::Loop: ++loop; break;
+          case BranchSiteKind::Random: ++random; break;
+        }
+    }
+    EXPECT_NEAR(biased / 4000.0, 0.5, 0.03);
+    EXPECT_NEAR(loop / 4000.0, 0.3, 0.03);
+    EXPECT_NEAR(random / 4000.0, 0.2, 0.03);
+}
+
+TEST(BranchSiteTable, LoopSitePeriodicPattern)
+{
+    BranchParams params;
+    params.sites = 64;
+    params.biasedFrac = 0.0;
+    params.loopFrac = 1.0;
+    Rng rng(6);
+    BranchSiteTable table(params, rng);
+
+    const std::uint32_t trips = table.site(0).tripCount;
+    ASSERT_GE(trips, 2u);
+    // Pattern: taken (trips-1) times, then not-taken, repeating.
+    for (int rounds = 0; rounds < 3; ++rounds) {
+        for (std::uint32_t i = 0; i + 1 < trips; ++i)
+            EXPECT_TRUE(table.nextOutcome(0));
+        EXPECT_FALSE(table.nextOutcome(0));
+    }
+}
+
+TEST(BranchSiteTable, BiasedSiteFollowsProbability)
+{
+    BranchParams params;
+    params.sites = 16;
+    params.biasedFrac = 1.0;
+    params.loopFrac = 0.0;
+    params.biasedTakenProb = 0.95;
+    Rng rng(7);
+    BranchSiteTable table(params, rng);
+    int taken = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        taken += table.nextOutcome(3) ? 1 : 0;
+    const double rate = taken / static_cast<double>(n);
+    // Either strongly taken or strongly not-taken.
+    EXPECT_TRUE(rate > 0.9 || rate < 0.1) << "rate " << rate;
+}
+
+TEST(BranchSiteTable, PickSiteInRange)
+{
+    BranchParams params;
+    params.sites = 128;
+    Rng rng(8);
+    BranchSiteTable table(params, rng);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint32_t s = table.pickSite();
+        EXPECT_LT(s, 128u);
+        seen.insert(s);
+    }
+    EXPECT_GT(seen.size(), 32u);
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal command-line flag parsing shared by the fosm tools. Flags
+ * are --name value pairs; positional arguments are collected in
+ * order. No external dependencies.
+ */
+
+#ifndef FOSM_TOOLS_CLI_HH
+#define FOSM_TOOLS_CLI_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace fosm::cli {
+
+/** Parsed command line: flags plus positional arguments. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0) {
+                const std::string name = arg.substr(2);
+                if (i + 1 >= argc)
+                    fosm_fatal("flag --", name, " needs a value");
+                flags_[name] = argv[++i];
+            } else {
+                positional_.push_back(arg);
+            }
+        }
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        return flags_.count(name) > 0;
+    }
+
+    std::string
+    get(const std::string &name, const std::string &fallback) const
+    {
+        const auto it = flags_.find(name);
+        return it == flags_.end() ? fallback : it->second;
+    }
+
+    std::uint64_t
+    getInt(const std::string &name, std::uint64_t fallback) const
+    {
+        const auto it = flags_.find(name);
+        if (it == flags_.end())
+            return fallback;
+        return static_cast<std::uint64_t>(
+            std::strtoull(it->second.c_str(), nullptr, 0));
+    }
+
+    double
+    getDouble(const std::string &name, double fallback) const
+    {
+        const auto it = flags_.find(name);
+        if (it == flags_.end())
+            return fallback;
+        return std::strtod(it->second.c_str(), nullptr);
+    }
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace fosm::cli
+
+#endif // FOSM_TOOLS_CLI_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * First-order model runner:
+ *
+ *   fosm-model --bench <name> | --trace <file.trc>
+ *              [--width 4] [--depth 5] [--window 48] [--rob 128]
+ *              [--deltaI 8] [--deltaD 200]
+ *              [--clusters 1] [--insts 400000] [--sim 1] [--csv 1]
+ *
+ * Runs the complete Section 5 recipe on the chosen workload and
+ * machine: functional profiling, IW curve measurement + power-law
+ * fit, equation (1) evaluation, and (optionally, --sim 1) a detailed
+ * simulation for validation.
+ */
+
+#include <iostream>
+
+#include "cli.hh"
+#include "common/table.hh"
+#include "experiments/workbench.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fosm;
+    const cli::Args args(argc, argv);
+
+    // Workload: shipped profile or saved trace.
+    Trace trace;
+    if (args.has("trace")) {
+        trace = loadTrace(args.get("trace", ""));
+    } else if (args.has("bench")) {
+        const Profile &profile =
+            profileByName(args.get("bench", "gzip"));
+        trace = generateTrace(profile,
+                              args.getInt("insts", 400000));
+    } else {
+        std::cerr << "usage: fosm-model --bench <name> | --trace "
+                     "<file.trc> [machine flags]\n";
+        return 1;
+    }
+
+    // Machine.
+    MachineConfig machine;
+    machine.width =
+        static_cast<std::uint32_t>(args.getInt("width", 4));
+    machine.frontEndDepth =
+        static_cast<std::uint32_t>(args.getInt("depth", 5));
+    machine.windowSize =
+        static_cast<std::uint32_t>(args.getInt("window", 48));
+    machine.robSize =
+        static_cast<std::uint32_t>(args.getInt("rob", 128));
+    machine.deltaI = args.getInt("deltaI", 8);
+    machine.deltaD = args.getInt("deltaD", 200);
+    machine.clusters =
+        static_cast<std::uint32_t>(args.getInt("clusters", 1));
+
+    // Section 5 recipe.
+    ProfilerConfig pconfig = Workbench::baselineProfilerConfig();
+    pconfig.hierarchy.l2Latency = machine.deltaI;
+    pconfig.hierarchy.memLatency = machine.deltaD;
+    const MissProfile profile = profileTrace(trace, pconfig);
+
+    WindowSimConfig wconfig;
+    wconfig.unitLatency = true;
+    const std::vector<IwPoint> points =
+        measureIwCurve(trace, {4, 8, 16, 32, 64}, wconfig);
+    const IWCharacteristic iw = IWCharacteristic::fromPoints(
+        points, profile.avgLatency, machine.width);
+
+    const FirstOrderModel model(machine);
+    const CpiBreakdown b = model.evaluate(iw, profile);
+
+    TextTable table({"component", "CPI", "share %"});
+    auto row = [&](const char *name, double value) {
+        table.addRow({name, TextTable::num(value, 4),
+                      TextTable::num(value / b.total() * 100, 1)});
+    };
+    row("steady state", b.ideal);
+    row("branch mispredictions", b.brmisp);
+    row("L1 I-cache misses", b.icacheL1);
+    row("L2 I-cache misses", b.icacheL2);
+    row("long D-cache misses", b.dcacheLong);
+    if (b.dtlb > 0.0)
+        row("D-TLB walks", b.dtlb);
+    table.addRow({"TOTAL", TextTable::num(b.total(), 4), "100.0"});
+
+    std::cout << "workload: " << trace.name() << " ("
+              << trace.size() << " instructions)\n"
+              << "IW fit:   I = " << TextTable::num(iw.alpha(), 3)
+              << " * W^" << TextTable::num(iw.beta(), 3)
+              << ",  L = " << TextTable::num(iw.avgLatency(), 3)
+              << "\n\n";
+    if (args.getInt("csv", 0))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << "\nmodel IPC = " << TextTable::num(b.ipc(), 3)
+              << "\n";
+
+    if (args.getInt("sim", 0)) {
+        SimConfig sim_config = Workbench::baselineSimConfig();
+        sim_config.machine = machine;
+        sim_config.hierarchy.l2Latency = machine.deltaI;
+        sim_config.hierarchy.memLatency = machine.deltaD;
+        const SimStats sim = simulateTrace(trace, sim_config);
+        std::cout << "sim   IPC = " << TextTable::num(sim.ipc(), 3)
+                  << "  (model error "
+                  << TextTable::num(
+                         relativeError(b.total(), sim.cpi()) * 100,
+                         1)
+                  << " %)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Trace utility:
+ *
+ *   fosm-trace list
+ *       List the shipped workload profiles and their key parameters.
+ *
+ *   fosm-trace gen <profile> <out.trc> [--insts N] [--seed S]
+ *       Generate a synthetic trace and save it in fosm binary format.
+ *
+ *   fosm-trace info <file.trc> [--head N]
+ *       Print summary statistics (and optionally the first N records)
+ *       of a saved trace.
+ */
+
+#include <iostream>
+
+#include "analysis/miss_profiler.hh"
+#include "cli.hh"
+#include "common/table.hh"
+#include "trace/trace_stats.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace {
+
+using namespace fosm;
+
+int
+cmdList()
+{
+    TextTable table({"profile", "branch%", "load%", "store%",
+                     "footprint KB", "sites", "seed"});
+    for (const Profile &p : specProfiles()) {
+        table.addRow({p.name,
+                      TextTable::num(p.mix.branch * 100, 0),
+                      TextTable::num(p.mix.load * 100, 0),
+                      TextTable::num(p.mix.store * 100, 0),
+                      TextTable::num(p.code.footprintBytes / 1024),
+                      TextTable::num(std::uint64_t{p.branch.sites}),
+                      TextTable::num(p.seed)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdGen(const cli::Args &args)
+{
+    if (args.positional().size() < 3)
+        fosm_fatal("usage: fosm-trace gen <profile> <out.trc>");
+    Profile profile = profileByName(args.positional()[1]);
+    const std::string out = args.positional()[2];
+    const std::uint64_t insts = args.getInt("insts", 400000);
+    if (args.has("seed"))
+        profile.seed = args.getInt("seed", profile.seed);
+
+    const Trace trace = generateTrace(profile, insts);
+    saveTrace(trace, out);
+    std::cout << "wrote " << trace.size() << " instructions ("
+              << profile.name << ", seed " << profile.seed << ") to "
+              << out << "\n";
+    return 0;
+}
+
+int
+cmdInfo(const cli::Args &args)
+{
+    if (args.positional().size() < 2)
+        fosm_fatal("usage: fosm-trace info <file.trc>");
+    const Trace trace = loadTrace(args.positional()[1]);
+    const TraceStats stats = collectTraceStats(trace);
+    const MissProfile misses = profileTrace(trace);
+
+    std::cout << "trace '" << trace.name() << "': " << trace.size()
+              << " instructions\n\n";
+
+    TextTable mix({"class", "count", "fraction %"});
+    for (std::size_t c = 0; c < numInstClasses; ++c) {
+        const InstClass cls = static_cast<InstClass>(c);
+        mix.addRow({instClassName(cls),
+                    TextTable::num(stats.classCount[c]),
+                    TextTable::num(stats.classFraction(cls) * 100,
+                                   1)});
+    }
+    mix.print(std::cout);
+
+    std::cout << "\nstatic branch sites:     " << stats.staticBranches
+              << "\ntaken fraction:          "
+              << TextTable::num(stats.takenFraction * 100, 1)
+              << " %\nmean dependence dist:    "
+              << TextTable::num(stats.depDistance.mean(), 1)
+              << "\navg latency L:           "
+              << TextTable::num(misses.avgLatency, 2)
+              << "\nmisprediction rate:      "
+              << TextTable::num(misses.mispredictRate() * 100, 1)
+              << " % (8K gShare)\nL1I misses / ki:         "
+              << TextTable::num(misses.icacheMissesPerInst() * 1000, 2)
+              << "\nshort D-misses / ki:     "
+              << TextTable::num(
+                     misses.shortLoadMissesPerInst() * 1000, 2)
+              << "\nlong D-misses / ki:      "
+              << TextTable::num(misses.longLoadMissesPerInst() * 1000,
+                                2)
+              << "\nLDM overlap factor @128: "
+              << TextTable::num(misses.ldmOverlapFactor(128), 3)
+              << "\n";
+
+    const std::uint64_t head = args.getInt("head", 0);
+    if (head > 0) {
+        std::cout << "\n";
+        TextTable records({"#", "pc", "class", "dst", "src1", "src2",
+                           "addr/target", "taken"});
+        for (std::uint64_t i = 0;
+             i < head && i < trace.size(); ++i) {
+            const InstRecord &inst = trace[i];
+            char pc[32], ea[32];
+            std::snprintf(pc, sizeof(pc), "0x%llx",
+                          static_cast<unsigned long long>(inst.pc));
+            std::snprintf(ea, sizeof(ea), "0x%llx",
+                          static_cast<unsigned long long>(
+                              inst.effAddr));
+            records.addRow(
+                {TextTable::num(i), pc, instClassName(inst.cls),
+                 std::to_string(inst.dst), std::to_string(inst.src1),
+                 std::to_string(inst.src2), ea,
+                 inst.isBranch() ? (inst.branchTaken ? "T" : "N")
+                                 : "-"});
+        }
+        records.print(std::cout);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace fosm;
+    const cli::Args args(argc, argv);
+    if (args.positional().empty()) {
+        std::cerr << "usage: fosm-trace <list|gen|info> ...\n";
+        return 1;
+    }
+    const std::string &cmd = args.positional()[0];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "gen")
+        return cmdGen(args);
+    if (cmd == "info")
+        return cmdInfo(args);
+    fosm_fatal("unknown command: ", cmd);
+}
