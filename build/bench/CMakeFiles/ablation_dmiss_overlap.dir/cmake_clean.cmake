@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dmiss_overlap.dir/ablation_dmiss_overlap.cpp.o"
+  "CMakeFiles/ablation_dmiss_overlap.dir/ablation_dmiss_overlap.cpp.o.d"
+  "ablation_dmiss_overlap"
+  "ablation_dmiss_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dmiss_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

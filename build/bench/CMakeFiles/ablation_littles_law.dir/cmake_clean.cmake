@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_littles_law.dir/ablation_littles_law.cpp.o"
+  "CMakeFiles/ablation_littles_law.dir/ablation_littles_law.cpp.o.d"
+  "ablation_littles_law"
+  "ablation_littles_law.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_littles_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

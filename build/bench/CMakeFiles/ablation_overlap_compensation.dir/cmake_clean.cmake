@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overlap_compensation.dir/ablation_overlap_compensation.cpp.o"
+  "CMakeFiles/ablation_overlap_compensation.dir/ablation_overlap_compensation.cpp.o.d"
+  "ablation_overlap_compensation"
+  "ablation_overlap_compensation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overlap_compensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_penalty_model.dir/ablation_penalty_model.cpp.o"
+  "CMakeFiles/ablation_penalty_model.dir/ablation_penalty_model.cpp.o.d"
+  "ablation_penalty_model"
+  "ablation_penalty_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_penalty_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_clustered.dir/ext_clustered.cpp.o"
+  "CMakeFiles/ext_clustered.dir/ext_clustered.cpp.o.d"
+  "ext_clustered"
+  "ext_clustered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_clustered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

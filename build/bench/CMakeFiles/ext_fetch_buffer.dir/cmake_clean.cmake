@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fetch_buffer.dir/ext_fetch_buffer.cpp.o"
+  "CMakeFiles/ext_fetch_buffer.dir/ext_fetch_buffer.cpp.o.d"
+  "ext_fetch_buffer"
+  "ext_fetch_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fetch_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

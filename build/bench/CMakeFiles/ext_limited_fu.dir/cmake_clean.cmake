@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_limited_fu.dir/ext_limited_fu.cpp.o"
+  "CMakeFiles/ext_limited_fu.dir/ext_limited_fu.cpp.o.d"
+  "ext_limited_fu"
+  "ext_limited_fu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_limited_fu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

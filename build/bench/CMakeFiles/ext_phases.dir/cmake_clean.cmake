@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_phases.dir/ext_phases.cpp.o"
+  "CMakeFiles/ext_phases.dir/ext_phases.cpp.o.d"
+  "ext_phases"
+  "ext_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

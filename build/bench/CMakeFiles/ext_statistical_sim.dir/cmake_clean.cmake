@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_statistical_sim.dir/ext_statistical_sim.cpp.o"
+  "CMakeFiles/ext_statistical_sim.dir/ext_statistical_sim.cpp.o.d"
+  "ext_statistical_sim"
+  "ext_statistical_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_statistical_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tlb.dir/ext_tlb.cpp.o"
+  "CMakeFiles/ext_tlb.dir/ext_tlb.cpp.o.d"
+  "ext_tlb"
+  "ext_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

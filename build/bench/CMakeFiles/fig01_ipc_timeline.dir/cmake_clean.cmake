@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_ipc_timeline.dir/fig01_ipc_timeline.cpp.o"
+  "CMakeFiles/fig01_ipc_timeline.dir/fig01_ipc_timeline.cpp.o.d"
+  "fig01_ipc_timeline"
+  "fig01_ipc_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_ipc_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_independence.dir/fig02_independence.cpp.o"
+  "CMakeFiles/fig02_independence.dir/fig02_independence.cpp.o.d"
+  "fig02_independence"
+  "fig02_independence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig04_iw_curves.cpp" "bench/CMakeFiles/fig04_iw_curves.dir/fig04_iw_curves.cpp.o" "gcc" "bench/CMakeFiles/fig04_iw_curves.dir/fig04_iw_curves.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/fosm_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fosm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fosm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/statsim/CMakeFiles/fosm_statsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fosm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/fosm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/iw/CMakeFiles/fosm_iw.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fosm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/fosm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/fosm_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_iw_curves.dir/fig04_iw_curves.cpp.o"
+  "CMakeFiles/fig04_iw_curves.dir/fig04_iw_curves.cpp.o.d"
+  "fig04_iw_curves"
+  "fig04_iw_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_iw_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

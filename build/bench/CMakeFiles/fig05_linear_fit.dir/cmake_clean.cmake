@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_linear_fit.dir/fig05_linear_fit.cpp.o"
+  "CMakeFiles/fig05_linear_fit.dir/fig05_linear_fit.cpp.o.d"
+  "fig05_linear_fit"
+  "fig05_linear_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_linear_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

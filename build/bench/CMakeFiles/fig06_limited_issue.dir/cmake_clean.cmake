@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_limited_issue.dir/fig06_limited_issue.cpp.o"
+  "CMakeFiles/fig06_limited_issue.dir/fig06_limited_issue.cpp.o.d"
+  "fig06_limited_issue"
+  "fig06_limited_issue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_limited_issue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_limited_issue.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_brmisp_transient.dir/fig08_brmisp_transient.cpp.o"
+  "CMakeFiles/fig08_brmisp_transient.dir/fig08_brmisp_transient.cpp.o.d"
+  "fig08_brmisp_transient"
+  "fig08_brmisp_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_brmisp_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

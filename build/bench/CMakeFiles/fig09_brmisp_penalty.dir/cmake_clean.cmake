@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_brmisp_penalty.dir/fig09_brmisp_penalty.cpp.o"
+  "CMakeFiles/fig09_brmisp_penalty.dir/fig09_brmisp_penalty.cpp.o.d"
+  "fig09_brmisp_penalty"
+  "fig09_brmisp_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_brmisp_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

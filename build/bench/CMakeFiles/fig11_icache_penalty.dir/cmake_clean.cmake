@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_icache_penalty.dir/fig11_icache_penalty.cpp.o"
+  "CMakeFiles/fig11_icache_penalty.dir/fig11_icache_penalty.cpp.o.d"
+  "fig11_icache_penalty"
+  "fig11_icache_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_icache_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

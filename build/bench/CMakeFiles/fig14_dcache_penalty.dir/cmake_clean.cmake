@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_dcache_penalty.dir/fig14_dcache_penalty.cpp.o"
+  "CMakeFiles/fig14_dcache_penalty.dir/fig14_dcache_penalty.cpp.o.d"
+  "fig14_dcache_penalty"
+  "fig14_dcache_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dcache_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_cpi_stack.dir/fig16_cpi_stack.cpp.o"
+  "CMakeFiles/fig16_cpi_stack.dir/fig16_cpi_stack.cpp.o.d"
+  "fig16_cpi_stack"
+  "fig16_cpi_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cpi_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

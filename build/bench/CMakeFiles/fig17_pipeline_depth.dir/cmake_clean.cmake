@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_pipeline_depth.dir/fig17_pipeline_depth.cpp.o"
+  "CMakeFiles/fig17_pipeline_depth.dir/fig17_pipeline_depth.cpp.o.d"
+  "fig17_pipeline_depth"
+  "fig17_pipeline_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_pipeline_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_issue_width.dir/fig18_issue_width.cpp.o"
+  "CMakeFiles/fig18_issue_width.dir/fig18_issue_width.cpp.o.d"
+  "fig18_issue_width"
+  "fig18_issue_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_issue_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

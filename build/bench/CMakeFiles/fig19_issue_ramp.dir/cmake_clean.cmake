@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_issue_ramp.dir/fig19_issue_ramp.cpp.o"
+  "CMakeFiles/fig19_issue_ramp.dir/fig19_issue_ramp.cpp.o.d"
+  "fig19_issue_ramp"
+  "fig19_issue_ramp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_issue_ramp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

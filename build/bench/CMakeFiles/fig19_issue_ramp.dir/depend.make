@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_issue_ramp.
+# This may be replaced when dependencies are built.

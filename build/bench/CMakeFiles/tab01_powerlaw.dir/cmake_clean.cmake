@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_powerlaw.dir/tab01_powerlaw.cpp.o"
+  "CMakeFiles/tab01_powerlaw.dir/tab01_powerlaw.cpp.o.d"
+  "tab01_powerlaw"
+  "tab01_powerlaw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_powerlaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_machine.dir/extended_machine.cpp.o"
+  "CMakeFiles/extended_machine.dir/extended_machine.cpp.o.d"
+  "extended_machine"
+  "extended_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

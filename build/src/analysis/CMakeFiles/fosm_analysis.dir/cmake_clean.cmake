@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fosm_analysis.dir/miss_profiler.cc.o"
+  "CMakeFiles/fosm_analysis.dir/miss_profiler.cc.o.d"
+  "CMakeFiles/fosm_analysis.dir/phase_model.cc.o"
+  "CMakeFiles/fosm_analysis.dir/phase_model.cc.o.d"
+  "libfosm_analysis.a"
+  "libfosm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fosm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/branch/bimodal.cc" "src/branch/CMakeFiles/fosm_branch.dir/bimodal.cc.o" "gcc" "src/branch/CMakeFiles/fosm_branch.dir/bimodal.cc.o.d"
+  "/root/repo/src/branch/gshare.cc" "src/branch/CMakeFiles/fosm_branch.dir/gshare.cc.o" "gcc" "src/branch/CMakeFiles/fosm_branch.dir/gshare.cc.o.d"
+  "/root/repo/src/branch/ideal.cc" "src/branch/CMakeFiles/fosm_branch.dir/ideal.cc.o" "gcc" "src/branch/CMakeFiles/fosm_branch.dir/ideal.cc.o.d"
+  "/root/repo/src/branch/local.cc" "src/branch/CMakeFiles/fosm_branch.dir/local.cc.o" "gcc" "src/branch/CMakeFiles/fosm_branch.dir/local.cc.o.d"
+  "/root/repo/src/branch/predictor.cc" "src/branch/CMakeFiles/fosm_branch.dir/predictor.cc.o" "gcc" "src/branch/CMakeFiles/fosm_branch.dir/predictor.cc.o.d"
+  "/root/repo/src/branch/synthetic.cc" "src/branch/CMakeFiles/fosm_branch.dir/synthetic.cc.o" "gcc" "src/branch/CMakeFiles/fosm_branch.dir/synthetic.cc.o.d"
+  "/root/repo/src/branch/tournament.cc" "src/branch/CMakeFiles/fosm_branch.dir/tournament.cc.o" "gcc" "src/branch/CMakeFiles/fosm_branch.dir/tournament.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fosm_branch.dir/bimodal.cc.o"
+  "CMakeFiles/fosm_branch.dir/bimodal.cc.o.d"
+  "CMakeFiles/fosm_branch.dir/gshare.cc.o"
+  "CMakeFiles/fosm_branch.dir/gshare.cc.o.d"
+  "CMakeFiles/fosm_branch.dir/ideal.cc.o"
+  "CMakeFiles/fosm_branch.dir/ideal.cc.o.d"
+  "CMakeFiles/fosm_branch.dir/local.cc.o"
+  "CMakeFiles/fosm_branch.dir/local.cc.o.d"
+  "CMakeFiles/fosm_branch.dir/predictor.cc.o"
+  "CMakeFiles/fosm_branch.dir/predictor.cc.o.d"
+  "CMakeFiles/fosm_branch.dir/synthetic.cc.o"
+  "CMakeFiles/fosm_branch.dir/synthetic.cc.o.d"
+  "CMakeFiles/fosm_branch.dir/tournament.cc.o"
+  "CMakeFiles/fosm_branch.dir/tournament.cc.o.d"
+  "libfosm_branch.a"
+  "libfosm_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fosm_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fosm_cache.dir/cache.cc.o"
+  "CMakeFiles/fosm_cache.dir/cache.cc.o.d"
+  "CMakeFiles/fosm_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/fosm_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/fosm_cache.dir/replacement.cc.o"
+  "CMakeFiles/fosm_cache.dir/replacement.cc.o.d"
+  "CMakeFiles/fosm_cache.dir/tlb.cc.o"
+  "CMakeFiles/fosm_cache.dir/tlb.cc.o.d"
+  "libfosm_cache.a"
+  "libfosm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fosm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

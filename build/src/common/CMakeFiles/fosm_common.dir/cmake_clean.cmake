@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fosm_common.dir/fit.cc.o"
+  "CMakeFiles/fosm_common.dir/fit.cc.o.d"
+  "CMakeFiles/fosm_common.dir/logging.cc.o"
+  "CMakeFiles/fosm_common.dir/logging.cc.o.d"
+  "CMakeFiles/fosm_common.dir/rng.cc.o"
+  "CMakeFiles/fosm_common.dir/rng.cc.o.d"
+  "CMakeFiles/fosm_common.dir/stats.cc.o"
+  "CMakeFiles/fosm_common.dir/stats.cc.o.d"
+  "CMakeFiles/fosm_common.dir/table.cc.o"
+  "CMakeFiles/fosm_common.dir/table.cc.o.d"
+  "libfosm_common.a"
+  "libfosm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fosm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fosm_experiments.dir/workbench.cc.o"
+  "CMakeFiles/fosm_experiments.dir/workbench.cc.o.d"
+  "libfosm_experiments.a"
+  "libfosm_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fosm_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

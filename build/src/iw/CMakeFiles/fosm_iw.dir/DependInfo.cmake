@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iw/iw_characteristic.cc" "src/iw/CMakeFiles/fosm_iw.dir/iw_characteristic.cc.o" "gcc" "src/iw/CMakeFiles/fosm_iw.dir/iw_characteristic.cc.o.d"
+  "/root/repo/src/iw/window_sim.cc" "src/iw/CMakeFiles/fosm_iw.dir/window_sim.cc.o" "gcc" "src/iw/CMakeFiles/fosm_iw.dir/window_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/fosm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fosm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fosm_iw.dir/iw_characteristic.cc.o"
+  "CMakeFiles/fosm_iw.dir/iw_characteristic.cc.o.d"
+  "CMakeFiles/fosm_iw.dir/window_sim.cc.o"
+  "CMakeFiles/fosm_iw.dir/window_sim.cc.o.d"
+  "libfosm_iw.a"
+  "libfosm_iw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fosm_iw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fosm_iw.
+# This may be replaced when dependencies are built.

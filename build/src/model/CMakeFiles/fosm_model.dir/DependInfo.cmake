@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/first_order_model.cc" "src/model/CMakeFiles/fosm_model.dir/first_order_model.cc.o" "gcc" "src/model/CMakeFiles/fosm_model.dir/first_order_model.cc.o.d"
+  "/root/repo/src/model/fu_model.cc" "src/model/CMakeFiles/fosm_model.dir/fu_model.cc.o" "gcc" "src/model/CMakeFiles/fosm_model.dir/fu_model.cc.o.d"
+  "/root/repo/src/model/penalties.cc" "src/model/CMakeFiles/fosm_model.dir/penalties.cc.o" "gcc" "src/model/CMakeFiles/fosm_model.dir/penalties.cc.o.d"
+  "/root/repo/src/model/transient.cc" "src/model/CMakeFiles/fosm_model.dir/transient.cc.o" "gcc" "src/model/CMakeFiles/fosm_model.dir/transient.cc.o.d"
+  "/root/repo/src/model/trends.cc" "src/model/CMakeFiles/fosm_model.dir/trends.cc.o" "gcc" "src/model/CMakeFiles/fosm_model.dir/trends.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iw/CMakeFiles/fosm_iw.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/fosm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fosm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fosm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/fosm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/fosm_branch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

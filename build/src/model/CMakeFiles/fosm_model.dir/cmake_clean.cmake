@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fosm_model.dir/first_order_model.cc.o"
+  "CMakeFiles/fosm_model.dir/first_order_model.cc.o.d"
+  "CMakeFiles/fosm_model.dir/fu_model.cc.o"
+  "CMakeFiles/fosm_model.dir/fu_model.cc.o.d"
+  "CMakeFiles/fosm_model.dir/penalties.cc.o"
+  "CMakeFiles/fosm_model.dir/penalties.cc.o.d"
+  "CMakeFiles/fosm_model.dir/transient.cc.o"
+  "CMakeFiles/fosm_model.dir/transient.cc.o.d"
+  "CMakeFiles/fosm_model.dir/trends.cc.o"
+  "CMakeFiles/fosm_model.dir/trends.cc.o.d"
+  "libfosm_model.a"
+  "libfosm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fosm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fosm_sim.dir/detailed_sim.cc.o"
+  "CMakeFiles/fosm_sim.dir/detailed_sim.cc.o.d"
+  "libfosm_sim.a"
+  "libfosm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fosm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

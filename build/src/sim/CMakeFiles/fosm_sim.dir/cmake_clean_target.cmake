@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfosm_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fosm_statsim.dir/profile_estimator.cc.o"
+  "CMakeFiles/fosm_statsim.dir/profile_estimator.cc.o.d"
+  "libfosm_statsim.a"
+  "libfosm_statsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fosm_statsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

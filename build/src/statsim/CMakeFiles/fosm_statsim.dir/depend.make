@@ -1,0 +1,2 @@
+# Empty dependencies file for fosm_statsim.
+# This may be replaced when dependencies are built.

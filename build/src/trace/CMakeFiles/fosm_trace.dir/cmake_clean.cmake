@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fosm_trace.dir/latency.cc.o"
+  "CMakeFiles/fosm_trace.dir/latency.cc.o.d"
+  "CMakeFiles/fosm_trace.dir/trace.cc.o"
+  "CMakeFiles/fosm_trace.dir/trace.cc.o.d"
+  "CMakeFiles/fosm_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/fosm_trace.dir/trace_stats.cc.o.d"
+  "libfosm_trace.a"
+  "libfosm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fosm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

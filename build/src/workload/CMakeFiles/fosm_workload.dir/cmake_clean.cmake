@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fosm_workload.dir/address_stream.cc.o"
+  "CMakeFiles/fosm_workload.dir/address_stream.cc.o.d"
+  "CMakeFiles/fosm_workload.dir/branch_stream.cc.o"
+  "CMakeFiles/fosm_workload.dir/branch_stream.cc.o.d"
+  "CMakeFiles/fosm_workload.dir/generator.cc.o"
+  "CMakeFiles/fosm_workload.dir/generator.cc.o.d"
+  "CMakeFiles/fosm_workload.dir/profile.cc.o"
+  "CMakeFiles/fosm_workload.dir/profile.cc.o.d"
+  "CMakeFiles/fosm_workload.dir/profiles.cc.o"
+  "CMakeFiles/fosm_workload.dir/profiles.cc.o.d"
+  "libfosm_workload.a"
+  "libfosm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fosm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detailed_sim_test.dir/sim/detailed_sim_test.cc.o"
+  "CMakeFiles/detailed_sim_test.dir/sim/detailed_sim_test.cc.o.d"
+  "detailed_sim_test"
+  "detailed_sim_test.pdb"
+  "detailed_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detailed_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

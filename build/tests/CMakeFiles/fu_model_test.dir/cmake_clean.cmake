@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fu_model_test.dir/model/fu_model_test.cc.o"
+  "CMakeFiles/fu_model_test.dir/model/fu_model_test.cc.o.d"
+  "fu_model_test"
+  "fu_model_test.pdb"
+  "fu_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fu_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

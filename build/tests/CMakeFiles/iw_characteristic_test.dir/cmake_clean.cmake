@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iw_characteristic_test.dir/iw/iw_characteristic_test.cc.o"
+  "CMakeFiles/iw_characteristic_test.dir/iw/iw_characteristic_test.cc.o.d"
+  "iw_characteristic_test"
+  "iw_characteristic_test.pdb"
+  "iw_characteristic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iw_characteristic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miss_profiler_test.dir/analysis/miss_profiler_test.cc.o"
+  "CMakeFiles/miss_profiler_test.dir/analysis/miss_profiler_test.cc.o.d"
+  "miss_profiler_test"
+  "miss_profiler_test.pdb"
+  "miss_profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miss_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

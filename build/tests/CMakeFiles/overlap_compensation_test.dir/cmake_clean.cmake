@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_compensation_test.dir/model/overlap_compensation_test.cc.o"
+  "CMakeFiles/overlap_compensation_test.dir/model/overlap_compensation_test.cc.o.d"
+  "overlap_compensation_test"
+  "overlap_compensation_test.pdb"
+  "overlap_compensation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_compensation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

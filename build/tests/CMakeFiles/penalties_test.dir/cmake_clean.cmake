@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/penalties_test.dir/model/penalties_test.cc.o"
+  "CMakeFiles/penalties_test.dir/model/penalties_test.cc.o.d"
+  "penalties_test"
+  "penalties_test.pdb"
+  "penalties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/penalties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

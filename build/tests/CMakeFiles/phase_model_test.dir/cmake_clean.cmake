@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_model_test.dir/analysis/phase_model_test.cc.o"
+  "CMakeFiles/phase_model_test.dir/analysis/phase_model_test.cc.o.d"
+  "phase_model_test"
+  "phase_model_test.pdb"
+  "phase_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

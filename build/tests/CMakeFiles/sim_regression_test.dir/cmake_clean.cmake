@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_regression_test.dir/sim/sim_regression_test.cc.o"
+  "CMakeFiles/sim_regression_test.dir/sim/sim_regression_test.cc.o.d"
+  "sim_regression_test"
+  "sim_regression_test.pdb"
+  "sim_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

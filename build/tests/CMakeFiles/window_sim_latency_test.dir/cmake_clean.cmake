@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_sim_latency_test.dir/iw/window_sim_latency_test.cc.o"
+  "CMakeFiles/window_sim_latency_test.dir/iw/window_sim_latency_test.cc.o.d"
+  "window_sim_latency_test"
+  "window_sim_latency_test.pdb"
+  "window_sim_latency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_sim_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

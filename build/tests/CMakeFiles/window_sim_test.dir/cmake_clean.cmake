@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_sim_test.dir/iw/window_sim_test.cc.o"
+  "CMakeFiles/window_sim_test.dir/iw/window_sim_test.cc.o.d"
+  "window_sim_test"
+  "window_sim_test.pdb"
+  "window_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

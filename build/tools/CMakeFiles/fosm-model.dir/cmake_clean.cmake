@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fosm-model.dir/fosm-model.cpp.o"
+  "CMakeFiles/fosm-model.dir/fosm-model.cpp.o.d"
+  "fosm-model"
+  "fosm-model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fosm-model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

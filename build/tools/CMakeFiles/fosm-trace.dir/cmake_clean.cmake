@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fosm-trace.dir/fosm-trace.cpp.o"
+  "CMakeFiles/fosm-trace.dir/fosm-trace.cpp.o.d"
+  "fosm-trace"
+  "fosm-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fosm-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
