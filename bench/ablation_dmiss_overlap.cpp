@@ -24,33 +24,47 @@ main()
     TextTable table({"bench", "sim CPI", "with eq(8)", "err %",
                      "without", "err %"});
 
+    // One simulation per benchmark; all run concurrently, rows
+    // collected in benchmark order.
+    struct Row
+    {
+        std::vector<std::string> cells;
+        double err_with;
+        double err_without;
+    };
+    const std::vector<Row> rows = mapWorkloads(
+        bench, [&](const std::string &name, const WorkloadData &data) {
+            const SimStats sim = simulateTrace(
+                data.trace, Workbench::baselineSimConfig());
+
+            ModelOptions on, off;
+            off.dcacheOverlap = false;
+            const CpiBreakdown with =
+                FirstOrderModel(Workbench::baselineMachine(), on)
+                    .evaluate(data.iw, data.missProfile);
+            const CpiBreakdown without =
+                FirstOrderModel(Workbench::baselineMachine(), off)
+                    .evaluate(data.iw, data.missProfile);
+
+            const double err_with =
+                relativeError(with.total(), sim.cpi());
+            const double err_without =
+                relativeError(without.total(), sim.cpi());
+
+            return Row{{name, TextTable::num(sim.cpi(), 3),
+                        TextTable::num(with.total(), 3),
+                        TextTable::num(err_with * 100, 1),
+                        TextTable::num(without.total(), 3),
+                        TextTable::num(err_without * 100, 1)},
+                       err_with,
+                       err_without};
+        });
+
     double with_sum = 0.0, without_sum = 0.0;
-    for (const std::string &name : Workbench::benchmarks()) {
-        const WorkloadData &data = bench.workload(name);
-        const SimStats sim = simulateTrace(
-            data.trace, Workbench::baselineSimConfig());
-
-        ModelOptions on, off;
-        off.dcacheOverlap = false;
-        const CpiBreakdown with =
-            FirstOrderModel(Workbench::baselineMachine(), on)
-                .evaluate(data.iw, data.missProfile);
-        const CpiBreakdown without =
-            FirstOrderModel(Workbench::baselineMachine(), off)
-                .evaluate(data.iw, data.missProfile);
-
-        const double err_with =
-            relativeError(with.total(), sim.cpi());
-        const double err_without =
-            relativeError(without.total(), sim.cpi());
-        with_sum += err_with;
-        without_sum += err_without;
-
-        table.addRow({name, TextTable::num(sim.cpi(), 3),
-                      TextTable::num(with.total(), 3),
-                      TextTable::num(err_with * 100, 1),
-                      TextTable::num(without.total(), 3),
-                      TextTable::num(err_without * 100, 1)});
+    for (const Row &row : rows) {
+        with_sum += row.err_with;
+        without_sum += row.err_without;
+        table.addRow(row.cells);
     }
     const double n =
         static_cast<double>(Workbench::benchmarks().size());

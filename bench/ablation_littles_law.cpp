@@ -25,34 +25,49 @@ main()
     TextTable table({"bench", "L", "sim CPI", "with L", "err %",
                      "unit L", "err %"});
 
+    // One simulation per benchmark; all run concurrently, rows
+    // collected in benchmark order.
+    struct Row
+    {
+        std::vector<std::string> cells;
+        double err_with;
+        double err_without;
+    };
+    const std::vector<Row> rows = mapWorkloads(
+        bench, [&](const std::string &name, const WorkloadData &data) {
+            const SimStats sim = simulateTrace(
+                data.trace, Workbench::baselineSimConfig());
+
+            const CpiBreakdown with =
+                model.evaluate(data.iw, data.missProfile);
+            // Rebuild the characteristic pretending L = 1.
+            const IWCharacteristic unit(data.iw.alpha(),
+                                        data.iw.beta(), 1.0,
+                                        data.iw.issueWidth());
+            const CpiBreakdown without =
+                model.evaluate(unit, data.missProfile);
+
+            const double err_with =
+                relativeError(with.total(), sim.cpi());
+            const double err_without =
+                relativeError(without.total(), sim.cpi());
+
+            return Row{
+                {name, TextTable::num(data.missProfile.avgLatency, 2),
+                 TextTable::num(sim.cpi(), 3),
+                 TextTable::num(with.total(), 3),
+                 TextTable::num(err_with * 100, 1),
+                 TextTable::num(without.total(), 3),
+                 TextTable::num(err_without * 100, 1)},
+                err_with,
+                err_without};
+        });
+
     double with_sum = 0.0, without_sum = 0.0;
-    for (const std::string &name : Workbench::benchmarks()) {
-        const WorkloadData &data = bench.workload(name);
-        const SimStats sim = simulateTrace(
-            data.trace, Workbench::baselineSimConfig());
-
-        const CpiBreakdown with =
-            model.evaluate(data.iw, data.missProfile);
-        // Rebuild the characteristic pretending L = 1.
-        const IWCharacteristic unit(data.iw.alpha(), data.iw.beta(),
-                                    1.0, data.iw.issueWidth());
-        const CpiBreakdown without =
-            model.evaluate(unit, data.missProfile);
-
-        const double err_with =
-            relativeError(with.total(), sim.cpi());
-        const double err_without =
-            relativeError(without.total(), sim.cpi());
-        with_sum += err_with;
-        without_sum += err_without;
-
-        table.addRow({name,
-                      TextTable::num(data.missProfile.avgLatency, 2),
-                      TextTable::num(sim.cpi(), 3),
-                      TextTable::num(with.total(), 3),
-                      TextTable::num(err_with * 100, 1),
-                      TextTable::num(without.total(), 3),
-                      TextTable::num(err_without * 100, 1)});
+    for (const Row &row : rows) {
+        with_sum += row.err_with;
+        without_sum += row.err_without;
+        table.addRow(row.cells);
     }
     const double n =
         static_cast<double>(Workbench::benchmarks().size());

@@ -26,32 +26,49 @@ main()
     TextTable table({"bench", "sim CPI", "plain model", "err %",
                      "compensated", "err %"});
 
+    // One simulation per benchmark; all run concurrently, rows
+    // collected in benchmark order.
+    struct Row
+    {
+        std::vector<std::string> cells;
+        double e_plain;
+        double e_comp;
+    };
+    const std::vector<Row> rows = mapWorkloads(
+        bench, [&](const std::string &name, const WorkloadData &data) {
+            const SimStats sim = simulateTrace(
+                data.trace, Workbench::baselineSimConfig());
+
+            ModelOptions plain_opts, comp_opts;
+            comp_opts.compensateOverlaps = true;
+            const CpiBreakdown plain =
+                FirstOrderModel(Workbench::baselineMachine(),
+                                plain_opts)
+                    .evaluate(data.iw, data.missProfile);
+            const CpiBreakdown comp =
+                FirstOrderModel(Workbench::baselineMachine(),
+                                comp_opts)
+                    .evaluate(data.iw, data.missProfile);
+
+            const double e_plain =
+                relativeError(plain.total(), sim.cpi());
+            const double e_comp =
+                relativeError(comp.total(), sim.cpi());
+
+            return Row{{name, TextTable::num(sim.cpi(), 3),
+                        TextTable::num(plain.total(), 3),
+                        TextTable::num(e_plain * 100, 1),
+                        TextTable::num(comp.total(), 3),
+                        TextTable::num(e_comp * 100, 1)},
+                       e_plain,
+                       e_comp};
+        });
+
     double plain_sum = 0.0, comp_sum = 0.0;
-    for (const std::string &name : Workbench::benchmarks()) {
-        const WorkloadData &data = bench.workload(name);
-        const SimStats sim = simulateTrace(
-            data.trace, Workbench::baselineSimConfig());
-
-        ModelOptions plain_opts, comp_opts;
-        comp_opts.compensateOverlaps = true;
-        const CpiBreakdown plain =
-            FirstOrderModel(Workbench::baselineMachine(), plain_opts)
-                .evaluate(data.iw, data.missProfile);
-        const CpiBreakdown comp =
-            FirstOrderModel(Workbench::baselineMachine(), comp_opts)
-                .evaluate(data.iw, data.missProfile);
-
-        const double e_plain =
-            relativeError(plain.total(), sim.cpi());
-        const double e_comp = relativeError(comp.total(), sim.cpi());
-        plain_sum += e_plain;
-        comp_sum += e_comp;
-
-        table.addRow({name, TextTable::num(sim.cpi(), 3),
-                      TextTable::num(plain.total(), 3),
-                      TextTable::num(e_plain * 100, 1),
-                      TextTable::num(comp.total(), 3),
-                      TextTable::num(e_comp * 100, 1)});
+    for (const Row &row : rows) {
+        plain_sum += row.e_plain;
+        comp_sum += row.e_comp;
+        table.addRow(row.cells);
     }
     const double n =
         static_cast<double>(Workbench::benchmarks().size());

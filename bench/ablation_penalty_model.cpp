@@ -28,25 +28,38 @@ main()
         BranchPenaltyMode::PaperAverage, BranchPenaltyMode::Isolated,
         BranchPenaltyMode::BurstAware};
 
-    std::vector<double> sums(modes.size(), 0.0);
-    for (const std::string &name : Workbench::benchmarks()) {
-        const WorkloadData &data = bench.workload(name);
-        const SimStats sim = simulateTrace(
-            data.trace, Workbench::baselineSimConfig());
+    // One simulation per benchmark; all run concurrently, rows
+    // collected in benchmark order.
+    struct Row
+    {
+        std::vector<std::string> cells;
+        std::vector<double> errs;
+    };
+    const std::vector<Row> rows = mapWorkloads(
+        bench, [&](const std::string &name, const WorkloadData &data) {
+            const SimStats sim = simulateTrace(
+                data.trace, Workbench::baselineSimConfig());
 
-        std::vector<std::string> row{name};
-        for (std::size_t m = 0; m < modes.size(); ++m) {
-            ModelOptions options;
-            options.branchMode = modes[m];
-            const FirstOrderModel model(Workbench::baselineMachine(),
-                                        options);
-            const double err = relativeError(
-                model.evaluate(data.iw, data.missProfile).total(),
-                sim.cpi());
-            sums[m] += err;
-            row.push_back(TextTable::num(err * 100, 1));
-        }
-        table.addRow(row);
+            Row out{{name}, {}};
+            for (const BranchPenaltyMode mode : modes) {
+                ModelOptions options;
+                options.branchMode = mode;
+                const FirstOrderModel model(
+                    Workbench::baselineMachine(), options);
+                const double err = relativeError(
+                    model.evaluate(data.iw, data.missProfile).total(),
+                    sim.cpi());
+                out.errs.push_back(err);
+                out.cells.push_back(TextTable::num(err * 100, 1));
+            }
+            return out;
+        });
+
+    std::vector<double> sums(modes.size(), 0.0);
+    for (const Row &row : rows) {
+        for (std::size_t m = 0; m < modes.size(); ++m)
+            sums[m] += row.errs[m];
+        table.addRow(row.cells);
     }
     const double n =
         static_cast<double>(Workbench::benchmarks().size());

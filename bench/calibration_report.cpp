@@ -26,40 +26,60 @@ main()
                      "sL1d/ki", "ldm/ki", "idealI", "idealM",
                      "modelCPI", "simCPI", "err%"});
 
-    double err_sum = 0.0;
-    for (const std::string &name : Workbench::benchmarks()) {
-        const WorkloadData &data = bench.workload(name);
-        const CpiBreakdown cpi = model.evaluate(data.iw,
-                                                data.missProfile);
-        const SimStats sim = simulateTrace(
-            data.trace, Workbench::baselineSimConfig());
-        const double err = relativeError(cpi.total(), sim.cpi());
-        err_sum += err;
+    // Two simulations per benchmark (baseline + fully idealized);
+    // all 24 design points run concurrently on the pool.
+    struct Row
+    {
+        std::vector<std::string> cells;
+        double err;
+    };
+    const std::vector<Row> rows = mapWorkloads(
+        bench, [&](const std::string &name, const WorkloadData &data) {
+            const CpiBreakdown cpi =
+                model.evaluate(data.iw, data.missProfile);
+            const SimStats sim = simulateTrace(
+                data.trace, Workbench::baselineSimConfig());
+            const double err = relativeError(cpi.total(), sim.cpi());
 
-        SimConfig ideal_cfg = Workbench::baselineSimConfig();
-        ideal_cfg.options.idealBranchPredictor = true;
-        ideal_cfg.options.idealIcache = true;
-        ideal_cfg.options.idealDcache = true;
-        const SimStats ideal = simulateTrace(data.trace, ideal_cfg);
+            SimConfig ideal_cfg = Workbench::baselineSimConfig();
+            ideal_cfg.options.idealBranchPredictor = true;
+            ideal_cfg.options.idealIcache = true;
+            ideal_cfg.options.idealDcache = true;
+            const SimStats ideal = simulateTrace(data.trace, ideal_cfg);
 
-        table.addRow({
-            name,
-            TextTable::num(data.iw.alpha(), 2),
-            TextTable::num(data.iw.beta(), 2),
-            TextTable::num(data.missProfile.avgLatency, 2),
-            TextTable::num(data.missProfile.mispredictRate() * 100, 1),
-            TextTable::num(data.missProfile.icacheMissesPerInst() * 1000,
-                           2),
-            TextTable::num(
-                data.missProfile.shortLoadMissesPerInst() * 1000, 2),
-            TextTable::num(
-                data.missProfile.longLoadMissesPerInst() * 1000, 2),
-            TextTable::num(ideal.ipc(), 2),
-            TextTable::num(1.0 / cpi.ideal, 2),
-            TextTable::num(cpi.total(), 3),
-            TextTable::num(sim.cpi(), 3),
-            TextTable::num(err * 100, 1),
+            return Row{
+                {
+                    name,
+                    TextTable::num(data.iw.alpha(), 2),
+                    TextTable::num(data.iw.beta(), 2),
+                    TextTable::num(data.missProfile.avgLatency, 2),
+                    TextTable::num(
+                        data.missProfile.mispredictRate() * 100, 1),
+                    TextTable::num(
+                        data.missProfile.icacheMissesPerInst() * 1000,
+                        2),
+                    TextTable::num(
+                        data.missProfile.shortLoadMissesPerInst() *
+                            1000,
+                        2),
+                    TextTable::num(
+                        data.missProfile.longLoadMissesPerInst() *
+                            1000,
+                        2),
+                    TextTable::num(ideal.ipc(), 2),
+                    TextTable::num(1.0 / cpi.ideal, 2),
+                    TextTable::num(cpi.total(), 3),
+                    TextTable::num(sim.cpi(), 3),
+                    TextTable::num(err * 100, 1),
+                },
+                err,
+            };
         });
+
+    double err_sum = 0.0;
+    for (const Row &row : rows) {
+        err_sum += row.err;
+        table.addRow(row.cells);
     }
     table.print(std::cout);
     std::cout << "\nmean |CPI error| = "

@@ -26,35 +26,46 @@ main()
     TextTable table({"bench", "K", "model CPI", "sim CPI", "err %",
                      "slowdown vs K=1"});
 
-    for (const char *name : {"gzip", "crafty", "vortex",
-                                    "vpr"}) {
-        const WorkloadData &data = bench.workload(name);
-        double base_cpi = 0.0;
-        for (std::uint32_t k : {1u, 2u, 4u}) {
-            MachineConfig machine = Workbench::baselineMachine();
-            machine.clusters = k;
-            machine.windowSize = 48; // divisible by 1, 2, 4
-            const FirstOrderModel model(machine);
-            const CpiBreakdown cpi =
-                model.evaluate(data.iw, data.missProfile);
+    // Each benchmark's three K points form one task (the K=1 run is
+    // the slowdown reference for the others); the four benchmarks
+    // run concurrently.
+    const std::vector<std::string> names{"gzip", "crafty", "vortex",
+                                         "vpr"};
+    const auto groups = parallelMap(
+        names, [&](const std::string &name) {
+            const WorkloadData &data = bench.workload(name);
+            std::vector<std::vector<std::string>> group;
+            double base_cpi = 0.0;
+            for (std::uint32_t k : {1u, 2u, 4u}) {
+                MachineConfig machine = Workbench::baselineMachine();
+                machine.clusters = k;
+                machine.windowSize = 48; // divisible by 1, 2, 4
+                const FirstOrderModel model(machine);
+                const CpiBreakdown cpi =
+                    model.evaluate(data.iw, data.missProfile);
 
-            SimConfig sim_config = Workbench::baselineSimConfig();
-            sim_config.machine = machine;
-            const SimStats sim =
-                simulateTrace(data.trace, sim_config);
-            if (k == 1)
-                base_cpi = sim.cpi();
+                SimConfig sim_config = Workbench::baselineSimConfig();
+                sim_config.machine = machine;
+                const SimStats sim =
+                    simulateTrace(data.trace, sim_config);
+                if (k == 1)
+                    base_cpi = sim.cpi();
 
-            table.addRow(
-                {name, TextTable::num(std::uint64_t{k}),
-                 TextTable::num(cpi.total(), 3),
-                 TextTable::num(sim.cpi(), 3),
-                 TextTable::num(
-                     relativeError(cpi.total(), sim.cpi()) * 100.0,
-                     1),
-                 TextTable::num(sim.cpi() / base_cpi, 2)});
-        }
-    }
+                group.push_back(
+                    {name, TextTable::num(std::uint64_t{k}),
+                     TextTable::num(cpi.total(), 3),
+                     TextTable::num(sim.cpi(), 3),
+                     TextTable::num(
+                         relativeError(cpi.total(), sim.cpi()) *
+                             100.0,
+                         1),
+                     TextTable::num(sim.cpi() / base_cpi, 2)});
+            }
+            return group;
+        });
+    for (const auto &group : groups)
+        for (const std::vector<std::string> &row : group)
+            table.addRow(row);
     table.print(std::cout);
     std::cout << "\n(clustering taxes the short-dependence workloads "
                  "most: every forwarded operand\npays the crossing "

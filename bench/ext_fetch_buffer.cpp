@@ -49,7 +49,10 @@ main()
     const double model_base_pen =
         model_base.icacheL1 + model_base.icacheL2;
 
-    for (std::uint32_t buffer : {0u, 8u, 16u, 32u, 64u, 128u}) {
+    // One simulation per buffer size; the six design points run
+    // concurrently, rows collected in sweep order.
+    const std::vector<std::uint32_t> buffers{0, 8, 16, 32, 64, 128};
+    const auto rows = parallelMap(buffers, [&](std::uint32_t buffer) {
         SimConfig cfg = base_cfg;
         cfg.options.fetchBufferEntries = buffer;
         cfg.options.fetchBandwidth = 8;
@@ -69,12 +72,15 @@ main()
         const double model_hidden =
             (model_base_pen - model_pen) / model_base_pen * 100.0;
 
-        table.addRow({TextTable::num(std::uint64_t{buffer}),
-                      TextTable::num(with.cpi(), 3),
-                      TextTable::num(b.total(), 3),
-                      TextTable::num(hidden, 0),
-                      TextTable::num(model_hidden, 0)});
-    }
+        return std::vector<std::string>{
+            TextTable::num(std::uint64_t{buffer}),
+            TextTable::num(with.cpi(), 3),
+            TextTable::num(b.total(), 3),
+            TextTable::num(hidden, 0),
+            TextTable::num(model_hidden, 0)};
+    });
+    for (const std::vector<std::string> &row : rows)
+        table.addRow(row);
     table.print(std::cout);
     std::cout << "\n(the buffer hides up to buffer/width cycles of "
                  "each miss; hiding saturates once\nthe slack exceeds "

@@ -29,33 +29,37 @@ main()
 
     const FuPoolConfig pools = FuPoolConfig::typical4Wide();
 
-    for (const std::string &name : Workbench::benchmarks()) {
-        const WorkloadData &data = bench.workload(name);
+    // Two simulations per benchmark; all design points run
+    // concurrently, rows are collected in benchmark order.
+    const auto rows = mapWorkloads(
+        bench, [&](const std::string &name, const WorkloadData &data) {
+            ModelOptions options;
+            options.fuPools = pools;
+            const FirstOrderModel model(Workbench::baselineMachine(),
+                                        options);
+            const CpiBreakdown cpi =
+                model.evaluate(data.iw, data.missProfile);
 
-        ModelOptions options;
-        options.fuPools = pools;
-        const FirstOrderModel model(Workbench::baselineMachine(),
-                                    options);
-        const CpiBreakdown cpi =
-            model.evaluate(data.iw, data.missProfile);
+            SimConfig sim_config = Workbench::baselineSimConfig();
+            sim_config.fuPools = pools;
+            const SimStats sim = simulateTrace(data.trace, sim_config);
+            const SimStats unbounded = simulateTrace(
+                data.trace, Workbench::baselineSimConfig());
 
-        SimConfig sim_config = Workbench::baselineSimConfig();
-        sim_config.fuPools = pools;
-        const SimStats sim = simulateTrace(data.trace, sim_config);
-        const SimStats unbounded = simulateTrace(
-            data.trace, Workbench::baselineSimConfig());
-
-        table.addRow(
-            {name,
-             TextTable::num(
-                 effectiveIssueWidth(4, pools, data.missProfile.mix),
-                 2),
-             TextTable::num(cpi.total(), 3),
-             TextTable::num(sim.cpi(), 3),
-             TextTable::num(
-                 relativeError(cpi.total(), sim.cpi()) * 100.0, 1),
-             TextTable::num(unbounded.cpi(), 3)});
-    }
+            return std::vector<std::string>{
+                name,
+                TextTable::num(
+                    effectiveIssueWidth(4, pools,
+                                        data.missProfile.mix),
+                    2),
+                TextTable::num(cpi.total(), 3),
+                TextTable::num(sim.cpi(), 3),
+                TextTable::num(
+                    relativeError(cpi.total(), sim.cpi()) * 100.0, 1),
+                TextTable::num(unbounded.cpi(), 3)};
+        });
+    for (const std::vector<std::string> &row : rows)
+        table.addRow(row);
     table.print(std::cout);
 
     // A deliberately starved machine: one memory port binds for the
@@ -72,28 +76,32 @@ main()
                 "1 FP, 1 mem port): the bound binds");
     TextTable starved_table({"bench", "eff. width", "model CPI",
                              "sim CPI", "err %"});
-    for (const char *name : {"gzip", "vortex", "vpr", "mcf",
-                                    "crafty", "eon"}) {
-        const WorkloadData &data = bench.workload(name);
-        ModelOptions options;
-        options.fuPools = starved;
-        const FirstOrderModel model(Workbench::baselineMachine(),
-                                    options);
-        const CpiBreakdown cpi =
-            model.evaluate(data.iw, data.missProfile);
-        SimConfig sim_config = Workbench::baselineSimConfig();
-        sim_config.fuPools = starved;
-        const SimStats sim = simulateTrace(data.trace, sim_config);
-        starved_table.addRow(
-            {name,
-             TextTable::num(effectiveIssueWidth(
-                                4, starved, data.missProfile.mix),
-                            2),
-             TextTable::num(cpi.total(), 3),
-             TextTable::num(sim.cpi(), 3),
-             TextTable::num(
-                 relativeError(cpi.total(), sim.cpi()) * 100.0, 1)});
-    }
+    const std::vector<std::string> starved_names{
+        "gzip", "vortex", "vpr", "mcf", "crafty", "eon"};
+    const auto starved_rows = parallelMap(
+        starved_names, [&](const std::string &name) {
+            const WorkloadData &data = bench.workload(name);
+            ModelOptions options;
+            options.fuPools = starved;
+            const FirstOrderModel model(Workbench::baselineMachine(),
+                                        options);
+            const CpiBreakdown cpi =
+                model.evaluate(data.iw, data.missProfile);
+            SimConfig sim_config = Workbench::baselineSimConfig();
+            sim_config.fuPools = starved;
+            const SimStats sim = simulateTrace(data.trace, sim_config);
+            return std::vector<std::string>{
+                name,
+                TextTable::num(effectiveIssueWidth(
+                                   4, starved, data.missProfile.mix),
+                               2),
+                TextTable::num(cpi.total(), 3),
+                TextTable::num(sim.cpi(), 3),
+                TextTable::num(
+                    relativeError(cpi.total(), sim.cpi()) * 100.0, 1)};
+        });
+    for (const std::vector<std::string> &row : starved_rows)
+        starved_table.addRow(row);
     starved_table.print(std::cout);
 
     printBanner(std::cout,

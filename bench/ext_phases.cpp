@@ -32,24 +32,39 @@ main()
     const Trace program = concatTraces(
         {&compute, &chase, &compute, &chase}, "phased-program");
 
-    const SimStats sim =
-        simulateTrace(program, Workbench::baselineSimConfig());
-
     const MachineConfig machine = Workbench::baselineMachine();
     const FirstOrderModel model(machine);
 
-    // Whole-trace (average) model.
-    const MissProfile avg_profile = profileTrace(program);
-    WindowSimConfig wconfig;
-    wconfig.unitLatency = true;
-    const IWCharacteristic avg_iw = IWCharacteristic::fromPoints(
-        measureIwCurve(program, {4, 8, 16, 32, 64}, wconfig),
-        avg_profile.avgLatency, machine.width);
-    const CpiBreakdown avg_cpi = model.evaluate(avg_iw, avg_profile);
+    // The detailed simulation, the whole-trace profile + IW fit and
+    // the per-phase profiling are independent; run them concurrently.
+    SimStats sim;
+    MissProfile avg_profile;
+    std::vector<IwPoint> avg_points;
+    std::vector<PhaseData> phases;
+    parallelFor(3, [&](std::size_t task) {
+        switch (task) {
+        case 0:
+            sim = simulateTrace(program,
+                                Workbench::baselineSimConfig());
+            break;
+        case 1: {
+            avg_profile = profileTrace(program);
+            WindowSimConfig wconfig;
+            wconfig.unitLatency = true;
+            avg_points =
+                measureIwCurve(program, {4, 8, 16, 32, 64}, wconfig);
+            break;
+        }
+        case 2:
+            phases = profilePhases(program, phase_len);
+            break;
+        }
+    });
 
-    // Phase model.
-    const std::vector<PhaseData> phases =
-        profilePhases(program, phase_len);
+    // Whole-trace (average) model.
+    const IWCharacteristic avg_iw = IWCharacteristic::fromPoints(
+        avg_points, avg_profile.avgLatency, machine.width);
+    const CpiBreakdown avg_cpi = model.evaluate(avg_iw, avg_profile);
     printBanner(std::cout, "Per-phase breakdown");
     TextTable table({"phase", "insts", "B%", "ldm/ki", "beta",
                      "phase CPI"});

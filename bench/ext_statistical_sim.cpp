@@ -29,40 +29,55 @@ main()
     TextTable table({"bench", "original CPI", "clone CPI",
                      "clone err %", "model CPI", "model err %"});
 
+    // Profile estimation, clone generation and two simulations per
+    // benchmark; all run concurrently, rows collected in order.
+    struct Row
+    {
+        std::vector<std::string> cells;
+        double clone_err;
+        double model_err;
+    };
+    const std::vector<Row> row_data = mapWorkloads(
+        bench, [&](const std::string &name, const WorkloadData &data) {
+            const SimStats original = simulateTrace(
+                data.trace, Workbench::baselineSimConfig());
+
+            const Profile estimated = estimateProfile(data.trace);
+            const Trace clone =
+                generateTrace(estimated, data.trace.size());
+            // As in the statistical-simulation literature, the
+            // measured misprediction rate is injected rather than
+            // re-emerging from a real predictor on the synthetic
+            // stream.
+            SimConfig clone_config = Workbench::baselineSimConfig();
+            clone_config.syntheticMispredictRate =
+                data.missProfile.mispredictRate();
+            const SimStats cloned = simulateTrace(clone, clone_config);
+
+            const CpiBreakdown cpi =
+                model.evaluate(data.iw, data.missProfile);
+
+            const double clone_err =
+                relativeError(cloned.cpi(), original.cpi());
+            const double model_err =
+                relativeError(cpi.total(), original.cpi());
+
+            return Row{{name, TextTable::num(original.cpi(), 3),
+                        TextTable::num(cloned.cpi(), 3),
+                        TextTable::num(clone_err * 100.0, 1),
+                        TextTable::num(cpi.total(), 3),
+                        TextTable::num(model_err * 100.0, 1)},
+                       clone_err,
+                       model_err};
+        });
+
     double clone_err_sum = 0.0, model_err_sum = 0.0;
     int rows = 0;
-    for (const std::string &name : Workbench::benchmarks()) {
-        const WorkloadData &data = bench.workload(name);
-        const SimStats original = simulateTrace(
-            data.trace, Workbench::baselineSimConfig());
-
-        const Profile estimated = estimateProfile(data.trace);
-        const Trace clone =
-            generateTrace(estimated, data.trace.size());
-        // As in the statistical-simulation literature, the measured
-        // misprediction rate is injected rather than re-emerging
-        // from a real predictor on the synthetic stream.
-        SimConfig clone_config = Workbench::baselineSimConfig();
-        clone_config.syntheticMispredictRate =
-            data.missProfile.mispredictRate();
-        const SimStats cloned = simulateTrace(clone, clone_config);
-
-        const CpiBreakdown cpi =
-            model.evaluate(data.iw, data.missProfile);
-
-        const double clone_err =
-            relativeError(cloned.cpi(), original.cpi());
-        const double model_err =
-            relativeError(cpi.total(), original.cpi());
-        clone_err_sum += clone_err;
-        model_err_sum += model_err;
+    for (const Row &row : row_data) {
+        clone_err_sum += row.clone_err;
+        model_err_sum += row.model_err;
         ++rows;
-
-        table.addRow({name, TextTable::num(original.cpi(), 3),
-                      TextTable::num(cloned.cpi(), 3),
-                      TextTable::num(clone_err * 100.0, 1),
-                      TextTable::num(cpi.total(), 3),
-                      TextTable::num(model_err * 100.0, 1)});
+        table.addRow(row.cells);
     }
     table.print(std::cout);
 

@@ -30,35 +30,41 @@ main()
     TextTable table({"bench", "dtlb miss/ki", "overlap", "model CPI",
                      "sim CPI", "err %", "no-TLB sim CPI"});
 
-    for (const std::string &name : Workbench::benchmarks()) {
-        const WorkloadData &data = bench.workload(name);
+    // Re-profile plus two simulations per benchmark; all run
+    // concurrently, rows collected in benchmark order.
+    const auto rows = mapWorkloads(
+        bench, [&](const std::string &name, const WorkloadData &data) {
+            // Re-profile with the TLB enabled to collect walk
+            // statistics.
+            ProfilerConfig pconfig =
+                Workbench::baselineProfilerConfig();
+            pconfig.dtlb = tlb;
+            const MissProfile profile =
+                profileTrace(data.trace, pconfig);
 
-        // Re-profile with the TLB enabled to collect walk statistics.
-        ProfilerConfig pconfig = Workbench::baselineProfilerConfig();
-        pconfig.dtlb = tlb;
-        const MissProfile profile = profileTrace(data.trace, pconfig);
+            const FirstOrderModel model(Workbench::baselineMachine());
+            const CpiBreakdown cpi = model.evaluate(data.iw, profile);
 
-        const FirstOrderModel model(Workbench::baselineMachine());
-        const CpiBreakdown cpi = model.evaluate(data.iw, profile);
+            SimConfig sim_config = Workbench::baselineSimConfig();
+            sim_config.dtlb = tlb;
+            sim_config.syncMissDelays();
+            const SimStats sim = simulateTrace(data.trace, sim_config);
+            const SimStats base = simulateTrace(
+                data.trace, Workbench::baselineSimConfig());
 
-        SimConfig sim_config = Workbench::baselineSimConfig();
-        sim_config.dtlb = tlb;
-        sim_config.syncMissDelays();
-        const SimStats sim = simulateTrace(data.trace, sim_config);
-        const SimStats base = simulateTrace(
-            data.trace, Workbench::baselineSimConfig());
-
-        table.addRow(
-            {name,
-             TextTable::num(profile.dtlbLoadMissesPerInst() * 1000.0,
-                            2),
-             TextTable::num(profile.dtlbOverlapFactor(128), 2),
-             TextTable::num(cpi.total(), 3),
-             TextTable::num(sim.cpi(), 3),
-             TextTable::num(
-                 relativeError(cpi.total(), sim.cpi()) * 100.0, 1),
-             TextTable::num(base.cpi(), 3)});
-    }
+            return std::vector<std::string>{
+                name,
+                TextTable::num(
+                    profile.dtlbLoadMissesPerInst() * 1000.0, 2),
+                TextTable::num(profile.dtlbOverlapFactor(128), 2),
+                TextTable::num(cpi.total(), 3),
+                TextTable::num(sim.cpi(), 3),
+                TextTable::num(
+                    relativeError(cpi.total(), sim.cpi()) * 100.0, 1),
+                TextTable::num(base.cpi(), 3)};
+        });
+    for (const std::vector<std::string> &row : rows)
+        table.addRow(row);
     table.print(std::cout);
     std::cout << "\n(TLB pressure concentrates in the large-footprint "
                  "benchmarks - mcf and twolf -\nwhere walks cluster "

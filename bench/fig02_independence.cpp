@@ -28,9 +28,17 @@ main()
     TextTable table({"bench", "combined", "independent",
                      "overlaps comp.", "indep err %", "comp err %"});
 
-    double err_ind = 0.0, err_comp = 0.0;
-    for (const std::string &name : Workbench::benchmarks()) {
-        const Trace &trace = bench.workload(name).trace;
+    // Five simulations per benchmark: 60 design points, all run
+    // concurrently; rows are collected in benchmark order.
+    struct Row
+    {
+        std::vector<std::string> cells;
+        double e_ind;
+        double e_comp;
+    };
+    const std::vector<Row> rows = mapWorkloads(
+        bench, [&](const std::string &name, const WorkloadData &data) {
+        const Trace &trace = data.trace;
         const SimConfig real = Workbench::baselineSimConfig();
 
         SimConfig ideal = real;
@@ -84,14 +92,21 @@ main()
             relativeError(independent_ipc, combined_ipc);
         const double e_comp =
             relativeError(compensated_ipc, combined_ipc);
-        err_ind += e_ind;
-        err_comp += e_comp;
 
-        table.addRow({name, TextTable::num(combined_ipc, 3),
-                      TextTable::num(independent_ipc, 3),
-                      TextTable::num(compensated_ipc, 3),
-                      TextTable::num(e_ind * 100, 1),
-                      TextTable::num(e_comp * 100, 1)});
+        return Row{{name, TextTable::num(combined_ipc, 3),
+                    TextTable::num(independent_ipc, 3),
+                    TextTable::num(compensated_ipc, 3),
+                    TextTable::num(e_ind * 100, 1),
+                    TextTable::num(e_comp * 100, 1)},
+                   e_ind,
+                   e_comp};
+    });
+
+    double err_ind = 0.0, err_comp = 0.0;
+    for (const Row &row : rows) {
+        err_ind += row.e_ind;
+        err_comp += row.e_comp;
+        table.addRow(row.cells);
     }
     table.print(std::cout);
 

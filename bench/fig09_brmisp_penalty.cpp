@@ -49,14 +49,18 @@ main()
             BranchPenaltyMode::PaperAverage);
     };
 
-    for (const std::string &name : Workbench::benchmarks()) {
-        const WorkloadData &data = bench.workload(name);
-        table.addRow(
-            {name, TextTable::num(sim_penalty(data.trace, 5), 1),
-             TextTable::num(sim_penalty(data.trace, 9), 1),
-             TextTable::num(model_penalty(data, 5), 1),
-             TextTable::num(model_penalty(data, 9), 1)});
-    }
+    // Four simulations per benchmark (2 depths x with/without the
+    // real predictor); all design points run concurrently.
+    const auto rows = mapWorkloads(
+        bench, [&](const std::string &name, const WorkloadData &data) {
+            return std::vector<std::string>{
+                name, TextTable::num(sim_penalty(data.trace, 5), 1),
+                TextTable::num(sim_penalty(data.trace, 9), 1),
+                TextTable::num(model_penalty(data, 5), 1),
+                TextTable::num(model_penalty(data, 9), 1)};
+        });
+    for (const std::vector<std::string> &row : rows)
+        table.addRow(row);
     table.print(std::cout);
     std::cout << "\n(paper: penalties exceed the front-end depth; "
                  "5-stage values mostly 6.4-10,\n9-stage values up to "

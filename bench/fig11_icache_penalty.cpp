@@ -76,20 +76,26 @@ main()
         return run;
     };
 
-    for (const std::string &name : Workbench::benchmarks()) {
-        const WorkloadData &data = bench.workload(name);
-        // Skip benchmarks with a negligible number of misses, as the
-        // paper does.
-        if (data.missProfile.icacheMissesPerInst() < 0.0005) {
-            continue;
-        }
-        const Run r5 = sim_penalty(data.trace, 5);
-        const Run r9 = sim_penalty(data.trace, 9);
-        table.addRow({name, TextTable::num(r5.missesPerKi, 2),
-                      TextTable::num(r5.l2Share, 0),
-                      TextTable::num(r5.perMiss, 1),
-                      TextTable::num(r9.perMiss, 1),
-                      TextTable::num(r5.expected, 1)});
+    // Four simulations per kept benchmark; every design point runs
+    // concurrently, skipped benchmarks return an empty row.
+    const auto rows = mapWorkloads(
+        bench, [&](const std::string &name, const WorkloadData &data) {
+            // Skip benchmarks with a negligible number of misses, as
+            // the paper does.
+            if (data.missProfile.icacheMissesPerInst() < 0.0005)
+                return std::vector<std::string>{};
+            const Run r5 = sim_penalty(data.trace, 5);
+            const Run r9 = sim_penalty(data.trace, 9);
+            return std::vector<std::string>{
+                name, TextTable::num(r5.missesPerKi, 2),
+                TextTable::num(r5.l2Share, 0),
+                TextTable::num(r5.perMiss, 1),
+                TextTable::num(r9.perMiss, 1),
+                TextTable::num(r5.expected, 1)};
+        });
+    for (const std::vector<std::string> &row : rows) {
+        if (!row.empty())
+            table.addRow(row);
     }
     table.print(std::cout);
     std::cout << "\n(paper: penalty ~ miss delay and independent of "

@@ -25,26 +25,40 @@ main()
     TextTable table({"bench", "model CPI", "sim CPI", "model IPC",
                      "sim IPC", "error %"});
 
+    // One design point per benchmark, evaluated concurrently; rows
+    // come back in benchmark order so the table matches a serial run.
+    struct Row
+    {
+        CpiBreakdown cpi;
+        SimStats sim;
+        double err;
+    };
+    const std::vector<Row> rows = mapWorkloads(
+        bench, [&](const std::string &, const WorkloadData &data) {
+            Row row;
+            row.cpi = model.evaluate(data.iw, data.missProfile);
+            row.sim = simulateTrace(data.trace,
+                                    Workbench::baselineSimConfig());
+            row.err = relativeError(row.cpi.total(), row.sim.cpi());
+            return row;
+        });
+
     double err_sum = 0.0;
     double err_max = 0.0;
     std::string err_max_bench;
-    for (const std::string &name : Workbench::benchmarks()) {
-        const WorkloadData &data = bench.workload(name);
-        const CpiBreakdown cpi =
-            model.evaluate(data.iw, data.missProfile);
-        const SimStats sim = simulateTrace(
-            data.trace, Workbench::baselineSimConfig());
-        const double err = relativeError(cpi.total(), sim.cpi());
-        err_sum += err;
-        if (err > err_max) {
-            err_max = err;
-            err_max_bench = name;
+    const std::vector<std::string> names = Workbench::benchmarks();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        err_sum += row.err;
+        if (row.err > err_max) {
+            err_max = row.err;
+            err_max_bench = names[i];
         }
-        table.addRow({name, TextTable::num(cpi.total(), 3),
-                      TextTable::num(sim.cpi(), 3),
-                      TextTable::num(cpi.ipc(), 3),
-                      TextTable::num(sim.ipc(), 3),
-                      TextTable::num(err * 100.0, 1)});
+        table.addRow({names[i], TextTable::num(row.cpi.total(), 3),
+                      TextTable::num(row.sim.cpi(), 3),
+                      TextTable::num(row.cpi.ipc(), 3),
+                      TextTable::num(row.sim.ipc(), 3),
+                      TextTable::num(row.err * 100.0, 1)});
     }
     table.print(std::cout);
 

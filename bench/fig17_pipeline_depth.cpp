@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "model/trends.hh"
 
 int
@@ -29,9 +30,10 @@ main()
     {
         TextTable table({"depth", "issue 2", "issue 3", "issue 4",
                          "issue 8"});
-        std::vector<std::vector<PipelineDepthPoint>> sweeps;
-        for (std::uint32_t w : widths)
-            sweeps.push_back(pipelineDepthSweep(w, depths, config));
+        const auto sweeps =
+            parallelMap(widths, [&](std::uint32_t w) {
+                return pipelineDepthSweep(w, depths, config);
+            });
         for (std::size_t d = 0; d < depths.size(); ++d) {
             table.addRow({TextTable::num(std::uint64_t{depths[d]}),
                           TextTable::num(sweeps[0][d].ipc, 2),
@@ -48,9 +50,10 @@ main()
     {
         TextTable table({"depth", "GHz", "issue 2", "issue 3",
                          "issue 4", "issue 8"});
-        std::vector<std::vector<PipelineDepthPoint>> sweeps;
-        for (std::uint32_t w : widths)
-            sweeps.push_back(pipelineDepthSweep(w, depths, config));
+        const auto sweeps =
+            parallelMap(widths, [&](std::uint32_t w) {
+                return pipelineDepthSweep(w, depths, config);
+            });
         for (std::size_t d = 0; d < depths.size(); ++d) {
             table.addRow({TextTable::num(std::uint64_t{depths[d]}),
                           TextTable::num(sweeps[0][d].clockGhz, 2),

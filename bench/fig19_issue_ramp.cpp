@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "model/trends.hh"
 
 int
@@ -25,12 +26,13 @@ main()
                 "Figure 19: issue rate between two mispredictions "
                 "(~100 instructions apart)");
 
-    std::vector<std::vector<double>> series;
+    const std::vector<std::vector<double>> series =
+        parallelMap(widths, [&](std::uint32_t w) {
+            return issueRampSeries(w, config);
+        });
     std::size_t longest = 0;
-    for (std::uint32_t w : widths) {
-        series.push_back(issueRampSeries(w, config));
-        longest = std::max(longest, series.back().size());
-    }
+    for (const auto &s : series)
+        longest = std::max(longest, s.size());
 
     TextTable table({"cycle", "issue 2", "issue 3", "issue 4",
                      "issue 8"});

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 verification: configure, build, and run the full test suite
+# (including the golden-stats regression pins for the simulators).
+# Usage: scripts/verify.sh [build-dir]
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j
+cd "$build"
+ctest --output-on-failure -j
+
+# Golden statistics again, by name, so a filtered tier-1 run can't
+# silently skip them.
+ctest --output-on-failure -R GoldenStats

@@ -1,0 +1,158 @@
+#include "common/thread_pool.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace fosm {
+
+namespace {
+/** Set while the current thread executes pool tasks; a nested
+ *  parallelFor then runs inline instead of deadlocking. */
+thread_local bool inPoolLoop = false;
+} // namespace
+
+std::size_t
+ThreadPool::defaultSize()
+{
+    if (const char *env = std::getenv("FOSM_THREADS")) {
+        const long v = std::atol(env);
+        if (v >= 1)
+            return static_cast<std::size_t>(v);
+        warn("ignoring FOSM_THREADS=", env, " (need >= 1)");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = defaultSize();
+    // A pool of one runs everything inline on the caller; spawning a
+    // lone worker would only add handoff latency.
+    if (threads == 1)
+        return;
+    threads_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        threads_.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(0);
+    return pool;
+}
+
+void
+ThreadPool::runLoop(Loop &loop)
+{
+    const bool was_in_loop = inPoolLoop;
+    inPoolLoop = true;
+    for (;;) {
+        const std::size_t i = loop.next.fetch_add(1);
+        if (i >= loop.n)
+            break;
+        try {
+            (*loop.fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(loop.errMutex);
+            // Keep the lowest-index exception so reruns fail the
+            // same way regardless of thread interleaving.
+            if (!loop.error || i < loop.errorIndex) {
+                loop.error = std::current_exception();
+                loop.errorIndex = i;
+            }
+        }
+        if (loop.done.fetch_add(1) + 1 == loop.n) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            idle_.notify_all();
+        }
+    }
+    inPoolLoop = was_in_loop;
+}
+
+void
+ThreadPool::workerMain()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Loop *loop = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            loop = current_;
+            if (loop)
+                ++loop->active;
+        }
+        if (!loop)
+            continue;
+        runLoop(*loop);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --loop->active;
+        }
+        idle_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (threads_.empty() || inPoolLoop) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i); // inline; exceptions propagate directly
+        return;
+    }
+
+    std::lock_guard<std::mutex> submit(submitMutex_);
+    Loop loop;
+    loop.n = n;
+    loop.fn = &fn;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fosm_assert(current_ == nullptr,
+                    "parallelFor state corrupted");
+        current_ = &loop;
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    // The caller is a worker too: with k threads the loop runs k+1
+    // strands, and a pool used from its own task cannot deadlock.
+    runLoop(loop);
+
+    {
+        // Wait until every task finished AND no worker still holds a
+        // pointer into this stack frame.
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [&] {
+            return loop.done.load() == loop.n && loop.active == 0;
+        });
+        current_ = nullptr;
+    }
+    if (loop.error)
+        std::rethrow_exception(loop.error);
+}
+
+} // namespace fosm

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace fosm {
 
@@ -78,14 +79,9 @@ Workbench::fitIw(const std::vector<IwPoint> &points, double avg_latency,
     return IWCharacteristic::fromPoints(points, avg_latency, width);
 }
 
-const WorkloadData &
-Workbench::workload(const std::string &name)
+void
+Workbench::buildWorkload(const std::string &name, WorkloadData &data)
 {
-    auto it = cache_.find(name);
-    if (it != cache_.end())
-        return it->second;
-
-    WorkloadData data;
     data.profile = &profileByName(name);
     data.trace = generateTrace(*data.profile, traceInsts_);
     data.traceStats = collectTraceStats(data.trace);
@@ -102,10 +98,30 @@ Workbench::workload(const std::string &name)
 
     data.iw = fitIw(data.iwPoints, data.missProfile.avgLatency,
                     issueWidth_);
+}
 
-    auto [pos, inserted] = cache_.emplace(name, std::move(data));
-    fosm_assert(inserted, "workload cached twice");
-    return pos->second;
+const WorkloadData &
+Workbench::workload(const std::string &name)
+{
+    Entry *entry;
+    {
+        // The map only ever grows and std::map nodes are stable, so
+        // the lock covers the lookup/insert alone; the build itself
+        // runs outside it, serialized per entry by the once_flag.
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        entry = &cache_[name];
+    }
+    std::call_once(entry->once,
+                   [&] { buildWorkload(name, entry->data); });
+    return entry->data;
+}
+
+void
+Workbench::buildAll()
+{
+    const std::vector<std::string> names = benchmarks();
+    parallelFor(names.size(),
+                [&](std::size_t i) { workload(names[i]); });
 }
 
 double

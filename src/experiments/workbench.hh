@@ -12,10 +12,12 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "analysis/miss_profiler.hh"
+#include "common/thread_pool.hh"
 #include "iw/iw_characteristic.hh"
 #include "model/first_order_model.hh"
 #include "sim/detailed_sim.hh"
@@ -43,6 +45,13 @@ struct WorkloadData
  * defaults to 200k instructions and can be overridden with the
  * FOSM_TRACE_INSTS environment variable (the paper used much longer
  * SPEC traces; shapes are stable at this length).
+ *
+ * Thread-safe: workload() may be called concurrently from pool tasks
+ * (one driver task per benchmark); each workload is built exactly
+ * once behind a per-entry std::once_flag, and different workloads
+ * build concurrently. Builds are deterministic per workload (each
+ * one seeds its own generators), so concurrent and serial use return
+ * identical data.
  */
 class Workbench
 {
@@ -51,6 +60,11 @@ class Workbench
 
     /** Build (or fetch cached) data for one benchmark. */
     const WorkloadData &workload(const std::string &name);
+
+    /** Build every benchmark's data, fanning out over the global
+     *  thread pool. Purely a warm-up: later workload() calls hit the
+     *  cache. */
+    void buildAll();
 
     /** All 12 benchmark names in the paper's order. */
     static std::vector<std::string> benchmarks();
@@ -73,13 +87,43 @@ class Workbench
                                   std::uint32_t width);
 
   private:
+    /** One cache slot: built exactly once, then read-only. */
+    struct Entry
+    {
+        std::once_flag once;
+        WorkloadData data;
+    };
+
     std::uint32_t issueWidth_;
     std::uint64_t traceInsts_;
-    std::map<std::string, WorkloadData> cache_;
+    /** Guards the map structure only; entries are node-stable and
+     *  their construction is serialized by Entry::once. */
+    std::mutex cacheMutex_;
+    std::map<std::string, Entry> cache_;
+
+    void buildWorkload(const std::string &name, WorkloadData &data);
 };
 
 /** |a - b| / b, guarding b == 0. */
 double relativeError(double a, double b);
+
+/**
+ * Run fn(name, workload) for each of the 12 paper benchmarks as
+ * concurrent tasks on the global thread pool and return the results
+ * in the paper's benchmark order. This is the driver idiom: compute
+ * every design point in parallel, then print the collected rows
+ * serially so tables are byte-identical to a serial run. fn must not
+ * touch shared mutable state (Workbench itself is thread-safe).
+ */
+template <typename Fn>
+auto
+mapWorkloads(Workbench &bench, Fn &&fn)
+{
+    return parallelMap(Workbench::benchmarks(),
+                       [&](const std::string &name) {
+                           return fn(name, bench.workload(name));
+                       });
+}
 
 } // namespace fosm
 

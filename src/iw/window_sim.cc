@@ -1,35 +1,16 @@
 #include "iw/window_sim.hh"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace fosm {
 
 namespace {
 
 constexpr Cycle notIssued = std::numeric_limits<Cycle>::max();
-
-/** Resolve the producing instruction index of each source operand. */
-struct ProducerResolver
-{
-    std::vector<std::int64_t> lastWriter;
-
-    ProducerResolver() : lastWriter(numArchRegs, -1) {}
-
-    /** Producers (or -1) of inst i; call in trace order. */
-    void
-    resolve(const InstRecord &inst, std::int64_t i, std::int64_t &p1,
-            std::int64_t &p2)
-    {
-        p1 = inst.src1 != invalidReg ? lastWriter[inst.src1] : -1;
-        p2 = inst.src2 != invalidReg ? lastWriter[inst.src2] : -1;
-        if (inst.dst != invalidReg)
-            lastWriter[inst.dst] = i;
-    }
-};
 
 Cycle
 latencyOf(const InstRecord &inst, const WindowSimConfig &config)
@@ -38,22 +19,45 @@ latencyOf(const InstRecord &inst, const WindowSimConfig &config)
 }
 
 WindowSimResult
-simulateUnbounded(const Trace &trace, const WindowSimConfig &config)
+resultFor(std::size_t n, Cycle last_cycle)
+{
+    WindowSimResult result;
+    result.instructions = n;
+    result.cycles = n == 0 ? 0 : last_cycle + 1;
+    result.ipc = result.cycles == 0
+        ? 0.0
+        : static_cast<double>(n) / static_cast<double>(result.cycles);
+    return result;
+}
+
+/**
+ * One-shot unbounded simulation fused with producer resolution: a
+ * single pass over the trace, no dependence arrays materialized.
+ * Used when the caller needs only one window size; measureIwCurve
+ * amortizes a TraceDeps across sizes instead.
+ */
+WindowSimResult
+simulateUnboundedFused(const Trace &trace,
+                       const WindowSimConfig &config)
 {
     const std::size_t n = trace.size();
     const std::uint32_t w = config.windowSize;
 
     std::vector<Cycle> issue(n, 0);
     std::vector<Cycle> latency(n, 1);
-    ProducerResolver producers;
+    std::vector<std::int32_t> last_writer(numArchRegs, -1);
     Cycle last_cycle = 0;
 
     for (std::size_t i = 0; i < n; ++i) {
         const InstRecord &inst = trace[i];
         latency[i] = latencyOf(inst, config);
 
-        std::int64_t p1 = -1, p2 = -1;
-        producers.resolve(inst, static_cast<std::int64_t>(i), p1, p2);
+        const std::int32_t p1 =
+            inst.src1 != invalidReg ? last_writer[inst.src1] : -1;
+        const std::int32_t p2 =
+            inst.src2 != invalidReg ? last_writer[inst.src2] : -1;
+        if (inst.dst != invalidReg)
+            last_writer[inst.dst] = static_cast<std::int32_t>(i);
 
         // Enters the window the cycle after the instruction W older
         // issues (its slot frees at issue).
@@ -65,64 +69,96 @@ simulateUnbounded(const Trace &trace, const WindowSimConfig &config)
         issue[i] = t;
         last_cycle = std::max(last_cycle, t);
     }
-
-    WindowSimResult result;
-    result.instructions = n;
-    result.cycles = n == 0 ? 0 : last_cycle + 1;
-    result.ipc = result.cycles == 0
-        ? 0.0
-        : static_cast<double>(n) / static_cast<double>(result.cycles);
-    return result;
+    return resultFor(n, last_cycle);
 }
 
 WindowSimResult
-simulateLimited(const Trace &trace, const WindowSimConfig &config)
+simulateUnbounded(const Trace &trace, const WindowSimConfig &config,
+                  const TraceDeps &deps)
+{
+    const std::size_t n = trace.size();
+    const std::uint32_t w = config.windowSize;
+
+    std::vector<Cycle> issue(n, 0);
+    Cycle last_cycle = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        // Enters the window the cycle after the instruction W older
+        // issues (its slot frees at issue).
+        Cycle t = i >= w ? issue[i - w] + 1 : 0;
+        const std::int32_t p1 = deps.prod1[i];
+        const std::int32_t p2 = deps.prod2[i];
+        if (p1 >= 0)
+            t = std::max(t, issue[p1] + deps.latency[p1]);
+        if (p2 >= 0)
+            t = std::max(t, issue[p2] + deps.latency[p2]);
+        issue[i] = t;
+        last_cycle = std::max(last_cycle, t);
+    }
+    return resultFor(n, last_cycle);
+}
+
+WindowSimResult
+simulateLimited(const Trace &trace, const WindowSimConfig &config,
+                const TraceDeps &deps)
 {
     const std::size_t n = trace.size();
     const std::uint32_t w = config.windowSize;
     const std::uint32_t width = config.issueWidth;
 
     std::vector<Cycle> issue(n, notIssued);
-    std::vector<Cycle> latency(n, 1);
-    std::vector<std::int64_t> prod1(n, -1), prod2(n, -1);
 
-    {
-        ProducerResolver producers;
-        for (std::size_t i = 0; i < n; ++i) {
-            latency[i] = latencyOf(trace[i], config);
-            producers.resolve(trace[i], static_cast<std::int64_t>(i),
-                              prod1[i], prod2[i]);
-        }
-    }
+    // Intrusive doubly-linked list of window residents in dispatch
+    // (= age) order, with node n as the sentinel: O(1) removal on
+    // issue instead of the former erase(find(...)) deque scan.
+    std::vector<std::uint32_t> next(n + 1), prev(n + 1);
+    const std::uint32_t sentinel = static_cast<std::uint32_t>(n);
+    next[sentinel] = sentinel;
+    prev[sentinel] = sentinel;
+    std::uint32_t window_count = 0;
 
-    std::deque<std::size_t> window;
+    auto window_push_back = [&](std::uint32_t i) {
+        const std::uint32_t tail = prev[sentinel];
+        next[tail] = i;
+        prev[i] = tail;
+        next[i] = sentinel;
+        prev[sentinel] = i;
+        ++window_count;
+    };
+    auto window_remove = [&](std::uint32_t i) {
+        next[prev[i]] = next[i];
+        prev[next[i]] = prev[i];
+        --window_count;
+    };
+
     std::size_t head = 0;
     Cycle cycle = 0;
     Cycle last_cycle = 0;
 
     auto ready_at = [&](std::size_t i) -> Cycle {
         Cycle t = 0;
-        for (std::int64_t p : {prod1[i], prod2[i]}) {
+        for (std::int32_t p : {deps.prod1[i], deps.prod2[i]}) {
             if (p < 0)
                 continue;
             if (issue[p] == notIssued)
                 return notIssued;
-            t = std::max(t, issue[p] + latency[p]);
+            t = std::max(t, issue[p] + deps.latency[p]);
         }
         return t;
     };
 
-    std::vector<std::size_t> issued_this_cycle;
-    while (head < n || !window.empty()) {
+    std::vector<std::uint32_t> issued_this_cycle;
+    while (head < n || window_count > 0) {
         // Dispatch: refill the window (unbounded dispatch bandwidth in
         // the idealized machine; only the window size limits).
-        while (window.size() < w && head < n)
-            window.push_back(head++);
+        while (window_count < w && head < n)
+            window_push_back(static_cast<std::uint32_t>(head++));
 
         // Issue oldest-first up to the width limit.
         issued_this_cycle.clear();
         std::uint32_t issued = 0;
-        for (std::size_t idx : window) {
+        for (std::uint32_t idx = next[sentinel]; idx != sentinel;
+             idx = next[idx]) {
             if (issued >= width)
                 break;
             const Cycle r = ready_at(idx);
@@ -131,34 +167,67 @@ simulateLimited(const Trace &trace, const WindowSimConfig &config)
                 ++issued;
             }
         }
-        for (std::size_t idx : issued_this_cycle) {
+        for (std::uint32_t idx : issued_this_cycle) {
             issue[idx] = cycle;
             last_cycle = cycle;
-            window.erase(std::find(window.begin(), window.end(), idx));
+            window_remove(idx);
         }
         ++cycle;
         fosm_assert(cycle < 64 * n + 1024,
                     "limited window sim failed to make progress");
     }
-
-    WindowSimResult result;
-    result.instructions = n;
-    result.cycles = n == 0 ? 0 : last_cycle + 1;
-    result.ipc = result.cycles == 0
-        ? 0.0
-        : static_cast<double>(n) / static_cast<double>(result.cycles);
-    return result;
+    return resultFor(n, last_cycle);
 }
 
 } // namespace
+
+TraceDeps
+resolveTraceDeps(const Trace &trace, const WindowSimConfig &config)
+{
+    const std::size_t n = trace.size();
+    fosm_assert(n < static_cast<std::size_t>(
+                        std::numeric_limits<std::int32_t>::max()),
+                "trace too long for 32-bit producer indices");
+
+    TraceDeps deps;
+    deps.latency.resize(n);
+    deps.prod1.resize(n);
+    deps.prod2.resize(n);
+
+    std::vector<std::int32_t> last_writer(numArchRegs, -1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const InstRecord &inst = trace[i];
+        deps.latency[i] = latencyOf(inst, config);
+        deps.prod1[i] =
+            inst.src1 != invalidReg ? last_writer[inst.src1] : -1;
+        deps.prod2[i] =
+            inst.src2 != invalidReg ? last_writer[inst.src2] : -1;
+        if (inst.dst != invalidReg)
+            last_writer[inst.dst] = static_cast<std::int32_t>(i);
+    }
+    return deps;
+}
+
+WindowSimResult
+simulateWindow(const Trace &trace, const WindowSimConfig &config,
+               const TraceDeps &deps)
+{
+    fosm_assert(config.windowSize > 0, "window size must be positive");
+    fosm_assert(deps.latency.size() == trace.size(),
+                "deps resolved for a different trace");
+    if (config.issueWidth == 0)
+        return simulateUnbounded(trace, config, deps);
+    return simulateLimited(trace, config, deps);
+}
 
 WindowSimResult
 simulateWindow(const Trace &trace, const WindowSimConfig &config)
 {
     fosm_assert(config.windowSize > 0, "window size must be positive");
     if (config.issueWidth == 0)
-        return simulateUnbounded(trace, config);
-    return simulateLimited(trace, config);
+        return simulateUnboundedFused(trace, config);
+    return simulateWindow(trace, config,
+                          resolveTraceDeps(trace, config));
 }
 
 std::vector<IwPoint>
@@ -166,15 +235,16 @@ measureIwCurve(const Trace &trace,
                const std::vector<std::uint32_t> &sizes,
                const WindowSimConfig &base)
 {
-    std::vector<IwPoint> points;
-    points.reserve(sizes.size());
-    for (std::uint32_t w : sizes) {
+    // Producer resolution depends only on the trace and the latency
+    // config, so it is shared across all window sizes; the sizes then
+    // fan out over the pool (results stay in input order).
+    const TraceDeps deps = resolveTraceDeps(trace, base);
+    return parallelMap(sizes, [&](std::uint32_t w) {
         WindowSimConfig config = base;
         config.windowSize = w;
-        const WindowSimResult r = simulateWindow(trace, config);
-        points.push_back({w, r.ipc});
-    }
-    return points;
+        const WindowSimResult r = simulateWindow(trace, config, deps);
+        return IwPoint{w, r.ipc};
+    });
 }
 
 std::vector<std::uint32_t>

@@ -41,6 +41,24 @@ struct WindowSimResult
 };
 
 /**
+ * Per-instruction dependence information shared by every window
+ * simulation of one trace: the producing instruction of each source
+ * operand (-1 if none) and the operation latency. Resolving this once
+ * per trace and reusing it across window sizes removes the dominant
+ * per-size setup cost of an IW-curve measurement.
+ */
+struct TraceDeps
+{
+    std::vector<Cycle> latency;
+    std::vector<std::int32_t> prod1;
+    std::vector<std::int32_t> prod2;
+};
+
+/** Resolve producers and latencies for one trace / latency config. */
+TraceDeps resolveTraceDeps(const Trace &trace,
+                           const WindowSimConfig &config);
+
+/**
  * Run the idealized window simulation.
  *
  * With unbounded issue width the oldest-first schedule admits a closed
@@ -50,10 +68,16 @@ struct WindowSimResult
  * issued. This runs in O(n).
  *
  * With a finite issue width a cycle-driven oldest-first scheduler is
- * used instead.
+ * used instead (O(1) window insertion/removal via an intrusive list).
  */
 WindowSimResult simulateWindow(const Trace &trace,
                                const WindowSimConfig &config);
+
+/** As above, but with dependences resolved ahead of time. deps must
+ *  come from resolveTraceDeps on the same trace and latency config. */
+WindowSimResult simulateWindow(const Trace &trace,
+                               const WindowSimConfig &config,
+                               const TraceDeps &deps);
 
 /** One measured point of an IW curve. */
 struct IwPoint
@@ -64,7 +88,10 @@ struct IwPoint
 
 /**
  * Measure the IW curve at the given window sizes (paper Figure 4 uses
- * powers of two from 4 to 64).
+ * powers of two from 4 to 64). Producer resolution is hoisted out of
+ * the per-size loop, and the sizes are measured concurrently on the
+ * global thread pool (deterministic: points come back in input
+ * order).
  */
 std::vector<IwPoint> measureIwCurve(const Trace &trace,
                                     const std::vector<std::uint32_t> &sizes,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace fosm {
 
@@ -31,13 +32,12 @@ pipelineDepthSweep(std::uint32_t issue_width,
                    const std::vector<std::uint32_t> &depths,
                    const TrendConfig &config)
 {
-    std::vector<PipelineDepthPoint> points;
-    points.reserve(depths.size());
-
     const IWCharacteristic iw(config.alpha, config.beta,
                               config.avgLatency, issue_width);
 
-    for (std::uint32_t depth : depths) {
+    // Each depth is an independent design point; evaluate them
+    // concurrently, results indexed so the order is deterministic.
+    return parallelMap(depths, [&](std::uint32_t depth) {
         const MachineConfig machine =
             trendMachine(issue_width, depth, config);
         const TransientAnalyzer transient(iw, machine);
@@ -55,9 +55,8 @@ pipelineDepthSweep(std::uint32_t issue_width,
             config.flipFlopPs;
         point.clockGhz = 1000.0 / cycle_ps;
         point.bips = point.ipc * point.clockGhz;
-        points.push_back(point);
-    }
-    return points;
+        return point;
+    });
 }
 
 PipelineDepthPoint

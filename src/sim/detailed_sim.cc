@@ -1,6 +1,7 @@
 #include "sim/detailed_sim.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "branch/ideal.hh"
 #include "branch/synthetic.hh"
@@ -56,6 +57,14 @@ DetailedSimulator::DetailedSimulator(const Trace &trace,
         fuState_[p].pipelined = pools[p]->pipelined;
         fuState_[p].busyUntil.assign(pools[p]->count, 0);
     }
+
+    // Window list: sentinel node is trace_.size().
+    winSentinel_ = static_cast<std::uint32_t>(trace_.size());
+    winNext_.assign(trace_.size() + 1, winSentinel_);
+    winPrev_.assign(trace_.size() + 1, winSentinel_);
+
+    waiterHead_.assign(trace_.size(), -1);
+    waiterNext_.resize(trace_.size() * 2);
 
     resolveProducers();
 }
@@ -115,8 +124,9 @@ DetailedSimulator::occupyFu(InstClass cls)
 void
 DetailedSimulator::resolveProducers()
 {
+    const std::size_t n = trace_.size();
     std::vector<std::int32_t> last_writer(numArchRegs, -1);
-    for (std::size_t i = 0; i < trace_.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
         const InstRecord &inst = trace_[i];
         timing_[i].prod1 =
             inst.src1 != invalidReg ? last_writer[inst.src1] : -1;
@@ -125,6 +135,25 @@ DetailedSimulator::resolveProducers()
         if (inst.dst != invalidReg)
             last_writer[inst.dst] = static_cast<std::int32_t>(i);
     }
+}
+
+void
+DetailedSimulator::windowPushBack(std::uint32_t seq)
+{
+    const std::uint32_t tail = winPrev_[winSentinel_];
+    winNext_[tail] = seq;
+    winPrev_[seq] = tail;
+    winNext_[seq] = winSentinel_;
+    winPrev_[winSentinel_] = seq;
+    ++windowCount_;
+}
+
+void
+DetailedSimulator::windowRemove(std::uint32_t seq)
+{
+    winNext_[winPrev_[seq]] = winNext_[seq];
+    winPrev_[winNext_[seq]] = winPrev_[seq];
+    --windowCount_;
 }
 
 std::uint32_t
@@ -140,40 +169,42 @@ DetailedSimulator::longMissOutstanding() const
     return !outstandingLongMisses_.empty();
 }
 
-void
+bool
 DetailedSimulator::reapLongMisses()
 {
-    auto it = outstandingLongMisses_.begin();
-    while (it != outstandingLongMisses_.end()) {
-        if (*it <= now_) {
-            stats_.windowAtMissReturn.add(
-                static_cast<double>(window_.size()));
-            it = outstandingLongMisses_.erase(it);
-        } else {
-            ++it;
-        }
+    // Sorted ascending: completed deadlines form a prefix.
+    std::size_t k = 0;
+    while (k < outstandingLongMisses_.size() &&
+           outstandingLongMisses_[k] <= now_) {
+        stats_.windowAtMissReturn.add(
+            static_cast<double>(windowCount_));
+        ++k;
     }
+    if (k == 0)
+        return false;
+    outstandingLongMisses_.erase(outstandingLongMisses_.begin(),
+                                 outstandingLongMisses_.begin() + k);
+    return true;
 }
 
-bool
-DetailedSimulator::ready(std::uint32_t seq) const
+void
+DetailedSimulator::wakeConsumers(std::uint32_t seq)
 {
     const InstTiming &t = timing_[seq];
-    for (std::int32_t p : {t.prod1, t.prod2}) {
-        if (p < 0)
-            continue;
-        const InstTiming &pt = timing_[static_cast<std::uint32_t>(p)];
-        if (!pt.issued)
-            return false;
+    for (std::int32_t node = waiterHead_[seq]; node >= 0;
+         node = waiterNext_[node]) {
+        InstTiming &ct = timing_[static_cast<std::uint32_t>(node) / 2];
         // Values produced in another cluster pay the forwarding
         // delay (future-work 3).
-        Cycle available = pt.completeCycle;
-        if (pt.cluster != t.cluster)
+        Cycle available = t.completeCycle;
+        if (t.cluster != ct.cluster)
             available += config_.machine.interClusterDelay;
-        if (available > now_)
-            return false;
+        ct.readyAt = std::max(ct.readyAt, available);
+        fosm_assert(ct.pendingProducers > 0,
+                    "waking a consumer with no pending producers");
+        --ct.pendingProducers;
     }
-    return true;
+    waiterHead_[seq] = -1;
 }
 
 void
@@ -220,7 +251,12 @@ DetailedSimulator::issueInst(std::uint32_t seq)
                 fosm_assert(!rob_.empty(), "issuing outside the ROB");
                 stats_.robAheadOfMissedLoad.add(
                     static_cast<double>(seq - rob_.front()));
-                outstandingLongMisses_.push_back(now_ + lat + walk);
+                const Cycle deadline = now_ + lat + walk;
+                outstandingLongMisses_.insert(
+                    std::upper_bound(outstandingLongMisses_.begin(),
+                                     outstandingLongMisses_.end(),
+                                     deadline),
+                    deadline);
             }
         }
     } else if (inst.isStore() && !config_.options.idealDcache) {
@@ -238,13 +274,15 @@ DetailedSimulator::issueInst(std::uint32_t seq)
         // The window should be (nearly) empty of useful instructions
         // by now (Section 4.1's validation: ~1.3 on average).
         stats_.windowAtBranchIssue.add(
-            static_cast<double>(window_.size() - 1));
+            static_cast<double>(windowCount_ - 1));
         branchResolveCycle_ = t.completeCycle;
         branchResolvePending_ = true;
     }
+
+    wakeConsumers(seq);
 }
 
-void
+bool
 DetailedSimulator::doIssue()
 {
     issuedNow_.clear();
@@ -252,28 +290,30 @@ DetailedSimulator::doIssue()
     const std::uint32_t per_cluster =
         config_.machine.width / config_.machine.clusters;
     std::fill(clusterIssued_.begin(), clusterIssued_.end(), 0);
-    for (std::uint32_t seq : window_) {
+    for (std::uint32_t seq = winNext_[winSentinel_];
+         seq != winSentinel_; seq = winNext_[seq]) {
         if (issued >= config_.machine.width)
             break;
-        const std::uint8_t cluster = timing_[seq].cluster;
-        if (clusterIssued_[cluster] >= per_cluster)
+        const InstTiming &t = timing_[seq];
+        if (clusterIssued_[t.cluster] >= per_cluster)
             continue;
-        if (ready(seq) && fuAvailable(trace_[seq].cls)) {
+        if (t.pendingProducers == 0 && t.readyAt <= now_ &&
+            fuAvailable(trace_[seq].cls)) {
             occupyFu(trace_[seq].cls);
             issuedNow_.push_back(seq);
-            ++clusterIssued_[cluster];
+            ++clusterIssued_[t.cluster];
             ++issued;
         }
     }
     for (std::uint32_t seq : issuedNow_) {
         issueInst(seq);
         --clusterOccupancy_[timing_[seq].cluster];
-        window_.erase(
-            std::find(window_.begin(), window_.end(), seq));
+        windowRemove(seq);
     }
+    return !issuedNow_.empty();
 }
 
-void
+bool
 DetailedSimulator::doDispatch()
 {
     const std::uint32_t per_cluster_window =
@@ -281,7 +321,7 @@ DetailedSimulator::doDispatch()
     std::uint32_t dispatched = 0;
     while (dispatched < config_.machine.width && !pipe_.empty() &&
            pipe_.front().readyCycle <= now_ &&
-           window_.size() < config_.machine.windowSize &&
+           windowCount_ < config_.machine.windowSize &&
            rob_.size() < config_.machine.robSize) {
         // Round-robin cluster steering; head-of-line blocking when
         // the target cluster's partition is full.
@@ -291,16 +331,46 @@ DetailedSimulator::doDispatch()
             break;
         const std::uint32_t seq = pipe_.front().seq;
         pipe_.pop_front();
-        timing_[seq].cluster = cluster;
+        InstTiming &t = timing_[seq];
+        t.cluster = cluster;
         ++clusterOccupancy_[cluster];
         ++dispatchCount_;
-        window_.push_back(seq);
+        windowPushBack(seq);
+
+        // Readiness seed: producers that already issued contribute
+        // their completion (plus any forwarding delay) now; for the
+        // rest this entry joins the producer's waiter chain and is
+        // finalized when the producer issues.
+        t.readyAt = 0;
+        t.pendingProducers = 0;
+        const std::int32_t prods[2] = {t.prod1, t.prod2};
+        for (int op = 0; op < 2; ++op) {
+            const std::int32_t p = prods[op];
+            if (p < 0)
+                continue;
+            const InstTiming &pt =
+                timing_[static_cast<std::uint32_t>(p)];
+            if (pt.issued) {
+                Cycle available = pt.completeCycle;
+                if (pt.cluster != t.cluster)
+                    available += config_.machine.interClusterDelay;
+                t.readyAt = std::max(t.readyAt, available);
+            } else {
+                const std::int32_t node =
+                    static_cast<std::int32_t>(seq) * 2 + op;
+                waiterNext_[node] = waiterHead_[p];
+                waiterHead_[p] = node;
+                ++t.pendingProducers;
+            }
+        }
+
         rob_.push_back(seq);
         ++dispatched;
     }
+    return dispatched > 0;
 }
 
-void
+bool
 DetailedSimulator::doRetire()
 {
     std::uint32_t retired = 0;
@@ -320,6 +390,7 @@ DetailedSimulator::doRetire()
             stats_.timeline.resize(bucket + 1, 0);
         stats_.timeline[bucket] += retired;
     }
+    return retired > 0;
 }
 
 bool
@@ -383,6 +454,40 @@ DetailedSimulator::doFetch()
     }
 }
 
+Cycle
+DetailedSimulator::nextEventCycle() const
+{
+    constexpr Cycle noEvent = std::numeric_limits<Cycle>::max();
+    Cycle next = noEvent;
+    auto consider = [&](Cycle c) {
+        if (c > now_ && c < next)
+            next = c;
+    };
+
+    if (branchResolvePending_)
+        consider(branchResolveCycle_);
+    if (fetchRetryPending_)
+        consider(icacheStallUntil_);
+    if (!pipe_.empty())
+        consider(pipe_.front().readyCycle);
+    if (!rob_.empty() && timing_[rob_.front()].issued)
+        consider(timing_[rob_.front()].completeCycle);
+    if (!outstandingLongMisses_.empty())
+        consider(outstandingLongMisses_.front());
+    for (std::uint32_t seq = winNext_[winSentinel_];
+         seq != winSentinel_; seq = winNext_[seq]) {
+        const InstTiming &t = timing_[seq];
+        if (t.pendingProducers == 0)
+            consider(t.readyAt);
+    }
+    for (const FuPoolState &pool : fuState_) {
+        for (Cycle busy : pool.busyUntil)
+            consider(busy);
+    }
+
+    return next == noEvent ? now_ + 1 : next;
+}
+
 SimStats
 DetailedSimulator::run()
 {
@@ -395,16 +500,30 @@ DetailedSimulator::run()
         10000 + n * (config_.hierarchy.memLatency + 64);
 
     while (stats_.retired < n) {
-        reapLongMisses();
+        bool progress = reapLongMisses();
         if (branchResolvePending_ && branchResolveCycle_ <= now_) {
             branchResolvePending_ = false;
             branchStall_ = false;
+            progress = true;
         }
-        doRetire();
-        doIssue();
-        doDispatch();
+        progress |= doRetire();
+        progress |= doIssue();
+        progress |= doDispatch();
+        const std::uint32_t fetch_before = fetchSeq_;
+        const std::size_t pipe_before = pipe_.size();
+        const bool retry_before = fetchRetryPending_;
         doFetch();
-        ++now_;
+        progress |= fetchSeq_ != fetch_before ||
+                    pipe_.size() != pipe_before ||
+                    fetchRetryPending_ != retry_before;
+
+        if (progress) {
+            ++now_;
+        } else {
+            // Dead cycle: the machine state is stationary until the
+            // next recorded event time, so jump the clock there.
+            now_ = std::max(now_ + 1, nextEventCycle());
+        }
         fosm_assert(now_ < bound, "simulator failed to make progress");
     }
     stats_.cycles = now_;

@@ -14,6 +14,23 @@
  * the branch resolves (the window being empty of useful instructions
  * by then), after which correct-path instructions take DeltaP cycles
  * to reach the window.
+ *
+ * Hot-path engineering (behaviour-preserving; pinned by the
+ * golden-stats regression test):
+ *  - The issue window is an intrusive doubly-linked list in age
+ *    order, so issuing removes an entry in O(1) instead of
+ *    erase(find(...)) over a deque.
+ *  - Readiness is producer-driven: each window resident carries a
+ *    count of unissued producers and a cached ready cycle. A
+ *    consumer dispatching before its producer issued links itself
+ *    into that producer's waiter chain and is woken (readiness
+ *    finalized) when the producer issues, so the per-cycle issue
+ *    scan does no pointer chasing.
+ *  - Outstanding long-miss deadlines are kept sorted, making the
+ *    per-cycle reap a prefix pop instead of a full scan.
+ *  - Cycles where provably nothing can happen (long-miss stalls,
+ *    drained front-ends) are skipped by advancing the clock straight
+ *    to the next event time.
  */
 
 #ifndef FOSM_SIM_DETAILED_SIM_HH
@@ -48,9 +65,14 @@ class DetailedSimulator
     {
         Cycle issueCycle = 0;
         Cycle completeCycle = 0;
+        /** Cycle the operands are (known to be) available; only
+         *  meaningful while in the window with pendingProducers 0. */
+        Cycle readyAt = 0;
         std::int32_t prod1 = -1;
         std::int32_t prod2 = -1;
         std::uint8_t cluster = 0;
+        /** Producers not yet issued (counted per source operand). */
+        std::uint8_t pendingProducers = 0;
         bool issued = false;
         bool longMiss = false;
     };
@@ -72,6 +94,14 @@ class DetailedSimulator
 
     std::vector<InstTiming> timing_;
 
+    // Producer waiter chains: waiterHead_[p] is the first waiting
+    // operand of an unissued producer p, encoded as consumer * 2 +
+    // operand-index; waiterNext_[node] links the chain (-1 ends it).
+    // Consumers enqueue at dispatch, producers wake the chain at
+    // issue — built lazily, touching only real in-window waits.
+    std::vector<std::int32_t> waiterHead_;
+    std::vector<std::int32_t> waiterNext_;
+
     // Front-end state.
     std::uint32_t fetchSeq_ = 0;
     Cycle icacheStallUntil_ = 0;
@@ -87,13 +117,17 @@ class DetailedSimulator
     /** Scratch buffer of sequence numbers issued this cycle. */
     std::vector<std::uint32_t> issuedNow_;
 
-    // Back-end state.
-    std::deque<std::uint32_t> window_;
+    // Back-end state. The issue window is an intrusive doubly-linked
+    // list over sequence numbers in dispatch (age) order; node
+    // trace_.size() is the sentinel.
+    std::vector<std::uint32_t> winNext_;
+    std::vector<std::uint32_t> winPrev_;
+    std::uint32_t winSentinel_ = 0;
+    std::uint32_t windowCount_ = 0;
     std::deque<std::uint32_t> rob_;
-    std::uint32_t retireSeq_ = 0;
 
-    // Outstanding long-miss completion times (for isolation mode and
-    // the overlap counters).
+    // Outstanding long-miss completion times, sorted ascending (for
+    // isolation mode and the overlap counters).
     std::vector<Cycle> outstandingLongMisses_;
 
     /** Busy-until times of one functional-unit pool's members. */
@@ -118,11 +152,13 @@ class DetailedSimulator
 
     Cycle now_ = 0;
 
-    // Pipeline phases, called once per cycle.
+    // Pipeline phases, called once per cycle. Each returns whether it
+    // changed any machine state this cycle (used to detect dead
+    // cycles that the clock can skip).
     void doFetch();
-    void doDispatch();
-    void doIssue();
-    void doRetire();
+    bool doDispatch();
+    bool doIssue();
+    bool doRetire();
 
     /** Fetch one instruction into the pipe; false if fetch must stop
      *  this cycle. */
@@ -131,14 +167,24 @@ class DetailedSimulator
     /** Issue instruction seq at the current cycle. */
     void issueInst(std::uint32_t seq);
 
+    /** Wake consumers of a just-issued producer. */
+    void wakeConsumers(std::uint32_t seq);
+
     bool longMissOutstanding() const;
-    void reapLongMisses();
+    bool reapLongMisses();
 
     /** Precompute producer indices from the register dependences. */
     void resolveProducers();
 
+    /** Window list helpers (O(1)). */
+    void windowPushBack(std::uint32_t seq);
+    void windowRemove(std::uint32_t seq);
+
+    /** Earliest future cycle at which anything can happen, or
+     *  now_ + 1 if none is known. Only called on dead cycles. */
+    Cycle nextEventCycle() const;
+
     std::uint32_t pipeCapacity() const;
-    bool ready(std::uint32_t seq) const;
 };
 
 /** Convenience wrapper: build a simulator and run it. */

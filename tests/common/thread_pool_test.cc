@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the fixed-size thread pool and its fork-join helpers:
+ * deterministic result ordering, exception propagation, inline
+ * execution for size-1 pools, nested-call reentrancy and concurrent
+ * top-level submissions.
+ */
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+
+namespace fosm {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsANoOp)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelMapKeepsInputOrder)
+{
+    std::vector<int> items(257);
+    std::iota(items.begin(), items.end(), 0);
+    const std::vector<int> out =
+        parallelMap(items, [](int v) { return v * v; });
+    ASSERT_EQ(out.size(), items.size());
+    for (std::size_t i = 0; i < items.size(); ++i)
+        EXPECT_EQ(out[i], items[i] * items[i]);
+}
+
+TEST(ThreadPoolTest, MapMatchesSerialForNonTrivialTypes)
+{
+    const auto fn = [](std::size_t i) {
+        return std::string(i % 7 + 1, 'a' + static_cast<char>(i % 26));
+    };
+    std::vector<std::string> serial;
+    for (std::size_t i = 0; i < 100; ++i)
+        serial.push_back(fn(i));
+    EXPECT_EQ(parallelMapIndex(100, fn), serial);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [](std::size_t i) {
+                             if (i == 37)
+                                 throw std::runtime_error("boom 37");
+                         }),
+        std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestIndexExceptionWins)
+{
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(100, [](std::size_t i) {
+            if (i % 10 == 3) // 3, 13, 23, ...
+                throw std::runtime_error("boom " +
+                                         std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom 3");
+    }
+}
+
+TEST(ThreadPoolTest, PoolSurvivesAFailedLoop)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(
+                     10, [](std::size_t) { throw std::range_error(""); }),
+                 std::range_error);
+    // The pool must be reusable after an exception.
+    std::atomic<int> count{0};
+    pool.parallelFor(10, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, SizeOnePoolRunsInlineOnCaller)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ids(16);
+    pool.parallelFor(ids.size(), [&](std::size_t i) {
+        ids[i] = std::this_thread::get_id();
+    });
+    for (const std::thread::id &id : ids)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, SizeOneMatchesMultiThreadResults)
+{
+    const auto task = [](std::size_t i) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k <= i; ++k)
+            acc += static_cast<double>(k) * 1.5;
+        return acc;
+    };
+    ThreadPool serial(1);
+    ThreadPool parallel(4);
+    constexpr std::size_t n = 64;
+    std::vector<double> a(n), b(n);
+    serial.parallelFor(n, [&](std::size_t i) { a[i] = task(i); });
+    parallel.parallelFor(n, [&](std::size_t i) { b[i] = task(i); });
+    EXPECT_EQ(a, b);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline)
+{
+    // A parallelFor from inside a pool task must not deadlock; it
+    // serializes on the task's own thread.
+    std::atomic<int> inner_total{0};
+    parallelFor(8, [&](std::size_t) {
+        parallelFor(8, [&](std::size_t) { ++inner_total; });
+    });
+    EXPECT_EQ(inner_total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ConcurrentTopLevelCallsAreSafe)
+{
+    // Several plain threads submitting top-level loops to the global
+    // pool at once; each loop must see exactly its own iterations.
+    constexpr int submitters = 4;
+    constexpr std::size_t n = 200;
+    std::vector<std::vector<int>> results(submitters);
+    std::vector<std::thread> threads;
+    for (int s = 0; s < submitters; ++s) {
+        threads.emplace_back([&, s] {
+            std::vector<int> out(n, -1);
+            parallelFor(n, [&](std::size_t i) {
+                out[i] = s * 1000 + static_cast<int>(i);
+            });
+            results[s] = std::move(out);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (int s = 0; s < submitters; ++s) {
+        ASSERT_EQ(results[s].size(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(results[s][i], s * 1000 + static_cast<int>(i));
+    }
+}
+
+TEST(ThreadPoolTest, DefaultSizeIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::defaultSize(), 1u);
+    EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+} // namespace
+} // namespace fosm

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "experiments/workbench.hh"
 
@@ -66,6 +68,64 @@ TEST(Workbench, UnknownBenchmarkFatal)
     Workbench wb;
     EXPECT_EXIT(wb.workload("quake"), ::testing::ExitedWithCode(1),
                 "unknown workload profile");
+}
+
+TEST(Workbench, ConcurrentWorkloadCallsBuildOnce)
+{
+    // Many threads racing on the same names must all get the same
+    // cached entry (each workload is built exactly once).
+    Workbench wb;
+    const std::vector<std::string> &names = Workbench::benchmarks();
+    std::vector<std::vector<const WorkloadData *>> seen(
+        4, std::vector<const WorkloadData *>(names.size(), nullptr));
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < seen.size(); ++t) {
+        threads.emplace_back([&, t] {
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                // Stagger the order so the threads collide on
+                // different names at different times.
+                const std::size_t j = (i + t * 3) % names.size();
+                seen[t][j] = &wb.workload(names[j]);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        for (std::size_t t = 1; t < seen.size(); ++t)
+            EXPECT_EQ(seen[t][i], seen[0][i]) << names[i];
+    }
+}
+
+TEST(Workbench, ConcurrentBuildMatchesSerial)
+{
+    // A Workbench populated by concurrent workload() calls must hold
+    // data identical to one built serially.
+    Workbench concurrent;
+    concurrent.buildAll();
+    Workbench serial;
+    for (const std::string &name : Workbench::benchmarks()) {
+        const WorkloadData &c = concurrent.workload(name);
+        const WorkloadData &s = serial.workload(name);
+        EXPECT_EQ(c.trace.size(), s.trace.size()) << name;
+        EXPECT_EQ(c.missProfile.mispredictions,
+                  s.missProfile.mispredictions)
+            << name;
+        EXPECT_EQ(c.missProfile.longLoadMisses,
+                  s.missProfile.longLoadMisses)
+            << name;
+        EXPECT_EQ(c.missProfile.avgLatency, s.missProfile.avgLatency)
+            << name;
+        ASSERT_EQ(c.iwPoints.size(), s.iwPoints.size()) << name;
+        for (std::size_t p = 0; p < c.iwPoints.size(); ++p) {
+            EXPECT_EQ(c.iwPoints[p].windowSize,
+                      s.iwPoints[p].windowSize)
+                << name;
+            EXPECT_EQ(c.iwPoints[p].ipc, s.iwPoints[p].ipc) << name;
+        }
+        EXPECT_EQ(c.iw.alpha(), s.iw.alpha()) << name;
+        EXPECT_EQ(c.iw.beta(), s.iw.beta()) << name;
+    }
 }
 
 TEST(RelativeError, Basics)

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Hot-path micro-benchmark reporter:
+ *
+ *   fosm-bench [--bench gzip] [--insts 100000] [--repeats 5]
+ *              [--evals 200] [--out report.json]
+ *
+ * Times the four performance-critical stages of the toolkit - trace
+ * generation, window simulation (unbounded and width-limited),
+ * detailed simulation and model evaluation - and writes the results
+ * as JSON (to stdout, or to --out). Each stage is repeated and the
+ * median is reported, so a single run on a noisy machine is still
+ * usable; raise --repeats for more stable numbers.
+ *
+ * Units: nanoseconds per instruction for the per-trace stages,
+ * nanoseconds per evaluation for the (trace-length-independent)
+ * model evaluation.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "cli.hh"
+#include "experiments/workbench.hh"
+#include "iw/window_sim.hh"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Median of repeated timings of fn(), in nanoseconds per unit. */
+template <typename Fn>
+double
+medianNs(int repeats, double units, Fn &&fn)
+{
+    std::vector<double> samples;
+    samples.reserve(repeats);
+    for (int r = 0; r < repeats; ++r) {
+        const auto start = Clock::now();
+        fn();
+        const auto stop = Clock::now();
+        samples.push_back(
+            std::chrono::duration<double, std::nano>(stop - start)
+                .count() /
+            units);
+    }
+    std::sort(samples.begin(), samples.end());
+    const std::size_t mid = samples.size() / 2;
+    return samples.size() % 2 ? samples[mid]
+                              : 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace fosm;
+    const cli::Args args(argc, argv);
+
+    const std::string bench = args.get("bench", "gzip");
+    const std::uint64_t insts = args.getInt("insts", 100000);
+    const int repeats = static_cast<int>(args.getInt("repeats", 5));
+    const int evals = static_cast<int>(args.getInt("evals", 200));
+    const double n = static_cast<double>(insts);
+
+    const Profile &profile = profileByName(bench);
+    const Trace trace = generateTrace(profile, insts);
+
+    const double trace_gen = medianNs(repeats, n, [&] {
+        const Trace t = generateTrace(profile, insts);
+        if (t.size() != insts)
+            std::abort();
+    });
+
+    WindowSimConfig unbounded;
+    unbounded.windowSize = 64;
+    unbounded.issueWidth = 0;
+    unbounded.unitLatency = true;
+    const double window_unbounded = medianNs(repeats, n, [&] {
+        simulateWindow(trace, unbounded);
+    });
+
+    WindowSimConfig limited;
+    limited.windowSize = 32;
+    limited.issueWidth = 4;
+    const double window_limited = medianNs(repeats, n, [&] {
+        simulateWindow(trace, limited);
+    });
+
+    const SimConfig sim_config = Workbench::baselineSimConfig();
+    const double detailed = medianNs(repeats, n, [&] {
+        simulateTrace(trace, sim_config);
+    });
+
+    // Model evaluation needs the workload characterization once; the
+    // metric is the (trace-length-independent) evaluate() call.
+    const MissProfile miss = profileTrace(trace);
+    WindowSimConfig wconfig;
+    wconfig.unitLatency = true;
+    const IWCharacteristic iw = IWCharacteristic::fromPoints(
+        measureIwCurve(trace, {4, 8, 16, 32, 64}, wconfig),
+        miss.avgLatency, 4);
+    const FirstOrderModel model(Workbench::baselineMachine());
+    const double model_eval =
+        medianNs(repeats, static_cast<double>(evals), [&] {
+            double acc = 0.0;
+            for (int e = 0; e < evals; ++e)
+                acc += model.evaluate(iw, miss).total();
+            if (acc <= 0.0)
+                std::abort();
+        });
+
+    char json[1024];
+    std::snprintf(json, sizeof(json),
+                  "{\n"
+                  "  \"bench\": \"%s\",\n"
+                  "  \"instructions\": %llu,\n"
+                  "  \"repeats\": %d,\n"
+                  "  \"metrics\": {\n"
+                  "    \"trace_gen_ns_per_inst\": %.2f,\n"
+                  "    \"window_sim_unbounded_ns_per_inst\": %.2f,\n"
+                  "    \"window_sim_limited_ns_per_inst\": %.2f,\n"
+                  "    \"detailed_sim_ns_per_inst\": %.2f,\n"
+                  "    \"model_eval_ns_per_eval\": %.2f\n"
+                  "  }\n"
+                  "}\n",
+                  bench.c_str(),
+                  static_cast<unsigned long long>(insts), repeats,
+                  trace_gen, window_unbounded, window_limited,
+                  detailed, model_eval);
+
+    if (args.has("out")) {
+        const std::string path = args.get("out", "");
+        std::ofstream out(path);
+        out << json;
+        if (!out) {
+            std::cerr << "error: cannot write " << path << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << path << "\n";
+    } else {
+        std::cout << json;
+    }
+    return 0;
+}
