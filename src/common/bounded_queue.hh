@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Bounded multi-producer / multi-consumer task queue. The serving
+ * layer admits work through one of these so that overload turns into
+ * fast, explicit rejection (the producer sees a full queue and can
+ * answer 503) instead of unbounded memory growth and collapsing tail
+ * latency. Closing the queue lets consumers drain the remaining items
+ * and exit cleanly, which is exactly the graceful-shutdown contract
+ * the server needs.
+ */
+
+#ifndef FOSM_COMMON_BOUNDED_QUEUE_HH
+#define FOSM_COMMON_BOUNDED_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace fosm {
+
+/**
+ * Fixed-capacity FIFO. tryPush never blocks (returns false when
+ * full); pop blocks until an item arrives or the queue is closed and
+ * empty. All methods are thread-safe.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Enqueue if there is room and the queue is open. Returns false
+     * on a full or closed queue — the caller decides how to shed the
+     * load.
+     */
+    bool
+    tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        ready_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue the oldest item, blocking while the queue is open but
+     * empty. Returns false only when the queue is closed and fully
+     * drained, which is the consumer's signal to exit.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        return true;
+    }
+
+    /**
+     * Refuse new items; queued items remain poppable. Idempotent.
+     * Wakes every blocked consumer.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    /** Items currently queued (racy snapshot, for metrics). */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace fosm
+
+#endif // FOSM_COMMON_BOUNDED_QUEUE_HH

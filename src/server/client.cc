@@ -1,0 +1,202 @@
+#include "server/client.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace fosm::server {
+
+namespace {
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+} // namespace
+
+const std::string &
+ClientResponse::header(const std::string &name) const
+{
+    static const std::string empty;
+    for (const auto &h : headers)
+        if (h.first == name)
+            return h.second;
+    return empty;
+}
+
+HttpClient::HttpClient(std::string host, std::uint16_t port)
+    : host_(std::move(host)), port_(port)
+{
+}
+
+HttpClient::~HttpClient()
+{
+    disconnect();
+}
+
+void
+HttpClient::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+bool
+HttpClient::connect()
+{
+    disconnect();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return false;
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port_);
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        disconnect();
+        return false;
+    }
+    return true;
+}
+
+bool
+HttpClient::sendAll(const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+HttpClient::readResponse(ClientResponse &out)
+{
+    out = ClientResponse{};
+    // Accumulate until the header section is complete.
+    std::size_t headerEnd;
+    while ((headerEnd = buffer_.find("\r\n\r\n")) ==
+           std::string::npos) {
+        char buf[16 * 1024];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        buffer_.append(buf, static_cast<std::size_t>(n));
+    }
+
+    // Status line: HTTP/1.1 NNN Reason.
+    const std::size_t lineEnd = buffer_.find("\r\n");
+    const std::string line = buffer_.substr(0, lineEnd);
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string::npos)
+        return false;
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    out.status = std::atoi(line.substr(sp1 + 1).c_str());
+    if (sp2 != std::string::npos)
+        out.reason = line.substr(sp2 + 1);
+
+    std::size_t pos = lineEnd + 2;
+    while (pos < headerEnd) {
+        const std::size_t eol = buffer_.find("\r\n", pos);
+        const std::string field = buffer_.substr(pos, eol - pos);
+        pos = eol + 2;
+        const std::size_t colon = field.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string value = field.substr(colon + 1);
+        while (!value.empty() && value.front() == ' ')
+            value.erase(value.begin());
+        out.headers.emplace_back(toLower(field.substr(0, colon)),
+                                 value);
+    }
+
+    const std::size_t bodyLen = static_cast<std::size_t>(
+        std::strtoull(out.header("content-length").c_str(), nullptr,
+                      10));
+    const std::size_t total = headerEnd + 4 + bodyLen;
+    while (buffer_.size() < total) {
+        char buf[16 * 1024];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        buffer_.append(buf, static_cast<std::size_t>(n));
+    }
+    out.body = buffer_.substr(headerEnd + 4, bodyLen);
+    buffer_.erase(0, total);
+
+    if (toLower(out.header("connection")) == "close")
+        disconnect();
+    return true;
+}
+
+bool
+HttpClient::request(const std::string &method,
+                    const std::string &path, const std::string &body,
+                    ClientResponse &out)
+{
+    std::string wire;
+    wire.reserve(128 + body.size());
+    wire += method;
+    wire += " ";
+    wire += path;
+    wire += " HTTP/1.1\r\nHost: ";
+    wire += host_;
+    wire += "\r\n";
+    if (!body.empty()) {
+        wire += "Content-Type: application/json\r\nContent-Length: ";
+        wire += std::to_string(body.size());
+        wire += "\r\n";
+    }
+    wire += "\r\n";
+    wire += body;
+
+    // One transparent reconnect: the server may have closed an idle
+    // keep-alive connection between requests.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        if (fd_ < 0 && !connect())
+            return false;
+        if (!sendAll(wire)) {
+            disconnect();
+            continue;
+        }
+        if (readResponse(out))
+            return true;
+        disconnect();
+    }
+    return false;
+}
+
+} // namespace fosm::server

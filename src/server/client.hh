@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal blocking HTTP/1.1 client over a keep-alive connection.
+ * Exists for the load generator and the golden endpoint tests — it
+ * speaks exactly the subset the server implements (Content-Length
+ * framing, no chunked encoding) and exposes the raw status line and
+ * headers so tests can pin the wire format.
+ */
+
+#ifndef FOSM_SERVER_CLIENT_HH
+#define FOSM_SERVER_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fosm::server {
+
+/** A response as received on the wire. */
+struct ClientResponse
+{
+    int status = 0;
+    std::string reason;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** First header with this (lowercase) name, or empty. */
+    const std::string &header(const std::string &name) const;
+};
+
+/**
+ * One TCP connection to the server. request() sends and waits for
+ * the full response (closed-loop). Reconnects transparently when the
+ * server closed the connection (e.g. after a Connection: close
+ * response).
+ */
+class HttpClient
+{
+  public:
+    HttpClient(std::string host, std::uint16_t port);
+    ~HttpClient();
+
+    HttpClient(const HttpClient &) = delete;
+    HttpClient &operator=(const HttpClient &) = delete;
+
+    /**
+     * Issue one request and block for the response. Returns false on
+     * transport failure (connect refused, peer reset mid-response);
+     * out is valid only on true.
+     */
+    bool request(const std::string &method, const std::string &path,
+                 const std::string &body, ClientResponse &out);
+
+    /** Whether a connection is currently open. */
+    bool connected() const { return fd_ >= 0; }
+
+    /** Force the next request onto a fresh connection. */
+    void disconnect();
+
+  private:
+    bool connect();
+    bool sendAll(const std::string &data);
+    bool readResponse(ClientResponse &out);
+
+    std::string host_;
+    std::uint16_t port_;
+    int fd_ = -1;
+    std::string buffer_; ///< bytes read past the previous response
+};
+
+} // namespace fosm::server
+
+#endif // FOSM_SERVER_CLIENT_HH

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Dependency-free HTTP/1.1 server over POSIX sockets. One IO thread
+ * accepts connections and parses requests with poll(); complete
+ * requests are admitted through a bounded queue to a pool of worker
+ * threads that run the application handler and write the response
+ * back on the same connection (keep-alive, one request in flight per
+ * connection — no pipelining). When the queue is full the IO thread
+ * answers 503 with a Retry-After header immediately, so overload
+ * degrades into fast rejection instead of collapsing latency.
+ * Shutdown (requestStop, or a byte written to stopFd() from a signal
+ * handler) stops accepting work, drains every dispatched request,
+ * then closes all connections.
+ */
+
+#ifndef FOSM_SERVER_HTTP_HH
+#define FOSM_SERVER_HTTP_HH
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/bounded_queue.hh"
+#include "server/metrics.hh"
+
+namespace fosm::server {
+
+/** One parsed request. Header names are lowercased. */
+struct HttpRequest
+{
+    std::string method;
+    std::string target;
+    std::string version;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+    bool keepAlive = true;
+
+    /** First header with this (lowercase) name, or empty. */
+    const std::string &header(const std::string &name) const;
+
+    /** Target without the query string. */
+    std::string path() const;
+};
+
+/** One response under construction. */
+struct HttpResponse
+{
+    int status = 200;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    HttpResponse() = default;
+    explicit HttpResponse(int s) : status(s) {}
+
+    void
+    setHeader(const std::string &name, const std::string &value)
+    {
+        headers.emplace_back(name, value);
+    }
+
+    /** JSON convenience: sets body and content type. */
+    static HttpResponse json(int status, const std::string &body);
+
+    /** text/plain convenience. */
+    static HttpResponse text(int status, const std::string &body);
+};
+
+/** Standard reason phrase for a status code. */
+const char *statusReason(int status);
+
+/** Outcome of trying to parse one request from a byte buffer. */
+enum class ParseStatus
+{
+    Ok,         ///< request complete; consumed bytes reported
+    Incomplete, ///< need more bytes
+    Bad,        ///< malformed; connection should get 400 and close
+    TooLarge,   ///< body over the limit; 413 and close
+};
+
+/**
+ * Parse one HTTP/1.1 request from the front of data. On Ok, fills
+ * out and sets consumed to the bytes used (pipelined remainders stay
+ * in the buffer). error receives a diagnostic on Bad/TooLarge.
+ */
+ParseStatus parseHttpRequest(const std::string &data,
+                             std::size_t maxBody, HttpRequest &out,
+                             std::size_t &consumed,
+                             std::string &error);
+
+/** Serialize with Content-Length and Connection headers added. */
+std::string serializeResponse(const HttpResponse &response,
+                              bool keepAlive);
+
+/** Server tuning knobs. */
+struct HttpServerConfig
+{
+    std::string host = "127.0.0.1";
+    /** 0 binds an ephemeral port; see HttpServer::port(). */
+    std::uint16_t port = 0;
+    /** Worker threads; 0 means one per hardware thread (min 2). */
+    std::size_t workers = 0;
+    /** Bounded request-queue capacity (admission control). */
+    std::size_t queueCapacity = 128;
+    /** Maximum accepted connections before shedding with 503. */
+    std::size_t maxConnections = 1024;
+    /** Maximum request body bytes (413 beyond). */
+    std::size_t maxBodyBytes = 1 << 20;
+    /** Retry-After seconds advertised on 503 responses. */
+    int retryAfterSeconds = 1;
+    /**
+     * Paths used as metric label values; anything else is labeled
+     * "other" to bound the metric cardinality.
+     */
+    std::vector<std::string> metricPaths;
+};
+
+/**
+ * The server. Construct with a handler, start(), and eventually
+ * requestStop() + join(). The handler runs on worker threads and
+ * must be thread-safe; exceptions escaping it become 500 responses.
+ */
+class HttpServer
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    HttpServer(HttpServerConfig config, Handler handler,
+               MetricsRegistry *metrics = nullptr);
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Bind, listen and spawn IO + worker threads. Fatal on bind
+     *  failure (bad host, port in use). */
+    void start();
+
+    /** The bound port (after start()); useful with port 0. */
+    std::uint16_t port() const { return boundPort_; }
+
+    /** Begin graceful shutdown: stop accepting, drain in-flight. */
+    void requestStop();
+
+    /**
+     * Write end of the self-pipe; writing one byte triggers the same
+     * graceful shutdown. write() on it is async-signal-safe, so a
+     * SIGINT/SIGTERM handler can use it directly.
+     */
+    int stopFd() const { return stopPipe_[1]; }
+
+    /** Wait for shutdown to complete (all threads joined). */
+    void join();
+
+    /** Requests fully served (any status) since start. */
+    std::uint64_t requestsServed() const { return served_.load(); }
+
+    /** Requests rejected with 503 (queue full / too many conns). */
+    std::uint64_t requestsRejected() const
+    {
+        return rejected_.load();
+    }
+
+  private:
+    struct Conn;
+
+    /** One dispatched request bound for a worker. */
+    struct Task
+    {
+        int fd = -1;
+        HttpRequest request;
+        std::chrono::steady_clock::time_point arrival;
+        bool keepAlive = true;
+    };
+
+    void ioMain();
+    void workerMain();
+    void acceptNew();
+    void handleReadable(Conn &conn);
+    bool dispatchBuffered(Conn &conn);
+    void closeConn(int fd);
+    void notifyDone(int fd, bool closeAfter);
+    Counter *requestCounter(const std::string &path, int status);
+    void countRequest(const std::string &path, int status,
+                      std::chrono::steady_clock::time_point arrival);
+    void rejectBusy(int fd, const char *why, bool keepAlive);
+
+    HttpServerConfig config_;
+    Handler handler_;
+    MetricsRegistry *metrics_;
+
+    int listenFd_ = -1;
+    int stopPipe_[2] = {-1, -1};
+    int wakePipe_[2] = {-1, -1};
+    std::uint16_t boundPort_ = 0;
+
+    /** shared_ptr so the /metrics queue-depth callback registered in
+     *  the registry can outlive the server object safely. */
+    std::shared_ptr<BoundedQueue<Task>> queue_;
+    std::thread ioThread_;
+    std::vector<std::thread> workers_;
+
+    std::map<int, std::unique_ptr<Conn>> conns_;
+    std::mutex doneMutex_;
+    std::vector<std::pair<int, bool>> done_;
+
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> started_{false};
+    std::atomic<std::uint64_t> served_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::size_t inflight_ = 0; ///< dispatched tasks; IO thread only
+
+    // Metric objects resolved once at start().
+    Histogram *latency_ = nullptr;
+    Counter *rejectedCounter_ = nullptr;
+    Gauge *connectionsGauge_ = nullptr;
+    Gauge *inflightGauge_ = nullptr;
+    std::mutex counterMutex_;
+    std::map<std::pair<std::string, int>, Counter *> counters_;
+};
+
+} // namespace fosm::server
+
+#endif // FOSM_SERVER_HTTP_HH

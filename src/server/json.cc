@@ -1,0 +1,459 @@
+#include "server/json.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fosm::json {
+
+namespace {
+
+/** Parser state over the raw text; reports errors with an offset. */
+struct Parser
+{
+    const char *cur;
+    const char *end;
+    const char *begin;
+    std::string error;
+
+    /** Nesting limit: deep recursion is an attack, not a request. */
+    static constexpr int maxDepth = 64;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error.empty()) {
+            error = what + " at offset " +
+                    std::to_string(cur - begin);
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (cur < end && (*cur == ' ' || *cur == '\t' ||
+                             *cur == '\n' || *cur == '\r')) {
+            ++cur;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (cur < end && *cur == c) {
+            ++cur;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (static_cast<std::size_t>(end - cur) < len ||
+            std::memcmp(cur, word, len) != 0) {
+            return fail("invalid literal");
+        }
+        cur += len;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (cur < end) {
+            const unsigned char c =
+                static_cast<unsigned char>(*cur);
+            if (c == '"') {
+                ++cur;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out.push_back(static_cast<char>(c));
+                ++cur;
+                continue;
+            }
+            ++cur; // backslash
+            if (cur >= end)
+                return fail("truncated escape");
+            const char esc = *cur++;
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                unsigned code = 0;
+                if (!parseHex4(code))
+                    return false;
+                // Surrogate pair handling for the full BMP+.
+                if (code >= 0xD800 && code <= 0xDBFF) {
+                    if (end - cur < 2 || cur[0] != '\\' ||
+                        cur[1] != 'u') {
+                        return fail("lone high surrogate");
+                    }
+                    cur += 2;
+                    unsigned low = 0;
+                    if (!parseHex4(low))
+                        return false;
+                    if (low < 0xDC00 || low > 0xDFFF)
+                        return fail("invalid low surrogate");
+                    const unsigned cp = 0x10000 +
+                        ((code - 0xD800) << 10) + (low - 0xDC00);
+                    appendUtf8(out, cp);
+                } else if (code >= 0xDC00 && code <= 0xDFFF) {
+                    return fail("lone low surrogate");
+                } else {
+                    appendUtf8(out, code);
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseHex4(unsigned &out)
+    {
+        if (end - cur < 4)
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = *cur++;
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        // Validate strict JSON number syntax by hand; strtod accepts
+        // more (hex, inf, leading zeros) than the grammar allows.
+        const char *start = cur;
+        if (cur < end && *cur == '-')
+            ++cur;
+        if (cur >= end || *cur < '0' || *cur > '9')
+            return fail("invalid number");
+        if (*cur == '0') {
+            ++cur;
+        } else {
+            while (cur < end && *cur >= '0' && *cur <= '9')
+                ++cur;
+        }
+        if (cur < end && *cur == '.') {
+            ++cur;
+            if (cur >= end || *cur < '0' || *cur > '9')
+                return fail("digit required after decimal point");
+            while (cur < end && *cur >= '0' && *cur <= '9')
+                ++cur;
+        }
+        if (cur < end && (*cur == 'e' || *cur == 'E')) {
+            ++cur;
+            if (cur < end && (*cur == '+' || *cur == '-'))
+                ++cur;
+            if (cur >= end || *cur < '0' || *cur > '9')
+                return fail("digit required in exponent");
+            while (cur < end && *cur >= '0' && *cur <= '9')
+                ++cur;
+        }
+        const std::string text(start, cur);
+        out = Value(std::strtod(text.c_str(), nullptr));
+        return true;
+    }
+
+    bool
+    parseValue(Value &out, int depth)
+    {
+        if (depth > maxDepth)
+            return fail("nesting too deep");
+        skipSpace();
+        if (cur >= end)
+            return fail("unexpected end of input");
+        switch (*cur) {
+          case 'n':
+            out = Value();
+            return literal("null", 4);
+          case 't':
+            out = Value(true);
+            return literal("true", 4);
+          case 'f':
+            out = Value(false);
+            return literal("false", 5);
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Value(std::move(s));
+            return true;
+          }
+          case '[': {
+            ++cur;
+            out = Value::array();
+            skipSpace();
+            if (consume(']'))
+                return true;
+            while (true) {
+                Value item;
+                if (!parseValue(item, depth + 1))
+                    return false;
+                out.push(std::move(item));
+                skipSpace();
+                if (consume(']'))
+                    return true;
+                if (!consume(','))
+                    return fail("expected ',' or ']'");
+            }
+          }
+          case '{': {
+            ++cur;
+            out = Value::object();
+            skipSpace();
+            if (consume('}'))
+                return true;
+            while (true) {
+                skipSpace();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipSpace();
+                if (!consume(':'))
+                    return fail("expected ':'");
+                Value item;
+                if (!parseValue(item, depth + 1))
+                    return false;
+                out.set(key, std::move(item));
+                skipSpace();
+                if (consume('}'))
+                    return true;
+                if (!consume(','))
+                    return fail("expected ',' or '}'");
+            }
+          }
+          default:
+            break;
+        }
+        Value num;
+        if (!parseNumber(num))
+            return false;
+        out = std::move(num);
+        return true;
+    }
+};
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (const char ch : s) {
+        const unsigned char c = static_cast<unsigned char>(ch);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(ch);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+} // namespace
+
+std::string
+formatDouble(double v)
+{
+    if (std::isnan(v) || std::isinf(v)) {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        return "null";
+    }
+    // Integral values small enough to be exact print without a
+    // fraction; everything else gets the shortest decimal that
+    // round-trips through strtod to the identical bits.
+    if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            return buf;
+    }
+    return buf;
+}
+
+void
+Value::dumpTo(std::string &out, bool canon) const
+{
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Number:
+        out += formatDouble(num_);
+        break;
+      case Type::String:
+        appendEscaped(out, str_);
+        break;
+      case Type::Array: {
+        out.push_back('[');
+        bool first = true;
+        for (const Value &item : arr_) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            item.dumpTo(out, canon);
+        }
+        out.push_back(']');
+        break;
+      }
+      case Type::Object: {
+        out.push_back('{');
+        bool first = true;
+        if (canon) {
+            std::vector<const std::pair<std::string, Value> *> sorted;
+            sorted.reserve(obj_.size());
+            for (const auto &member : obj_)
+                sorted.push_back(&member);
+            std::sort(sorted.begin(), sorted.end(),
+                      [](const auto *a, const auto *b) {
+                          return a->first < b->first;
+                      });
+            for (const auto *member : sorted) {
+                if (!first)
+                    out.push_back(',');
+                first = false;
+                appendEscaped(out, member->first);
+                out.push_back(':');
+                member->second.dumpTo(out, canon);
+            }
+        } else {
+            for (const auto &member : obj_) {
+                if (!first)
+                    out.push_back(',');
+                first = false;
+                appendEscaped(out, member.first);
+                out.push_back(':');
+                member.second.dumpTo(out, canon);
+            }
+        }
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+std::string
+Value::dump() const
+{
+    std::string out;
+    dumpTo(out, false);
+    return out;
+}
+
+std::string
+Value::canonical() const
+{
+    std::string out;
+    dumpTo(out, true);
+    return out;
+}
+
+bool
+parse(const std::string &text, Value &out, std::string *error)
+{
+    Parser p{text.data(), text.data() + text.size(), text.data(), {}};
+    Value result;
+    if (!p.parseValue(result, 0)) {
+        out = Value();
+        if (error)
+            *error = p.error;
+        return false;
+    }
+    p.skipSpace();
+    if (p.cur != p.end) {
+        out = Value();
+        if (error) {
+            *error = "trailing garbage at offset " +
+                     std::to_string(p.cur - p.begin);
+        }
+        return false;
+    }
+    out = std::move(result);
+    return true;
+}
+
+std::uint64_t
+fnv1a(const std::string &data)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : data) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+} // namespace fosm::json

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Minimal JSON value, parser and serializer for the serving layer.
+ * Dependency-free by design (the repo bakes in no third-party JSON
+ * library) and tuned for the service's needs:
+ *
+ *  - doubles round-trip exactly: the serializer emits the shortest
+ *    decimal form that strtod() parses back to the same bits, so CPI
+ *    numbers computed by the model survive an HTTP round trip
+ *    bit-identically;
+ *  - objects preserve insertion order for readable responses, and a
+ *    canonical form (keys sorted recursively, compact separators) is
+ *    available for cache-key digests;
+ *  - the parser is strict (no trailing garbage, no bare values with
+ *    leading zeros, depth-limited) so malformed requests are rejected
+ *    with a clear error instead of being half-understood.
+ */
+
+#ifndef FOSM_SERVER_JSON_HH
+#define FOSM_SERVER_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fosm::json {
+
+/** One JSON value; a tree of these represents a document. */
+class Value
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Value() = default;
+    Value(bool b) : type_(Type::Bool), bool_(b) {}
+    Value(double n) : type_(Type::Number), num_(n) {}
+    Value(int n) : type_(Type::Number), num_(n) {}
+    Value(std::int64_t n)
+        : type_(Type::Number), num_(static_cast<double>(n)) {}
+    Value(std::uint64_t n)
+        : type_(Type::Number), num_(static_cast<double>(n)) {}
+    Value(std::uint32_t n) : type_(Type::Number), num_(n) {}
+    Value(const char *s) : type_(Type::String), str_(s) {}
+    Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    static Value array() { Value v; v.type_ = Type::Array; return v; }
+    static Value object() { Value v; v.type_ = Type::Object; return v; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    // -- Building --------------------------------------------------
+
+    /** Append to an array (converts a Null value into an array). */
+    Value &
+    push(Value v)
+    {
+        type_ = Type::Array;
+        arr_.push_back(std::move(v));
+        return arr_.back();
+    }
+
+    /**
+     * Set (or overwrite) an object member, preserving first-insertion
+     * order. Converts a Null value into an object.
+     */
+    Value &
+    set(const std::string &key, Value v)
+    {
+        type_ = Type::Object;
+        for (auto &member : obj_) {
+            if (member.first == key) {
+                member.second = std::move(v);
+                return member.second;
+            }
+        }
+        obj_.emplace_back(key, std::move(v));
+        return obj_.back().second;
+    }
+
+    // -- Access ----------------------------------------------------
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *
+    find(const std::string &key) const
+    {
+        if (type_ != Type::Object)
+            return nullptr;
+        for (const auto &member : obj_)
+            if (member.first == key)
+                return &member.second;
+        return nullptr;
+    }
+
+    bool asBool(bool fallback = false) const
+    {
+        return isBool() ? bool_ : fallback;
+    }
+
+    double asDouble(double fallback = 0.0) const
+    {
+        return isNumber() ? num_ : fallback;
+    }
+
+    std::int64_t asInt(std::int64_t fallback = 0) const
+    {
+        return isNumber() ? static_cast<std::int64_t>(num_) : fallback;
+    }
+
+    const std::string &
+    asString() const
+    {
+        static const std::string empty;
+        return isString() ? str_ : empty;
+    }
+
+    const std::vector<Value> &items() const { return arr_; }
+
+    const std::vector<std::pair<std::string, Value>> &
+    members() const
+    {
+        return obj_;
+    }
+
+    std::size_t
+    size() const
+    {
+        if (isArray())
+            return arr_.size();
+        if (isObject())
+            return obj_.size();
+        return 0;
+    }
+
+    // -- Serialization ---------------------------------------------
+
+    /** Compact serialization, members in insertion order. */
+    std::string dump() const;
+
+    /**
+     * Canonical serialization: compact, object keys sorted
+     * recursively. Two semantically equal documents produce the same
+     * bytes, making this the right input for cache-key digests.
+     */
+    std::string canonical() const;
+
+  private:
+    void dumpTo(std::string &out, bool canonical) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Value> arr_;
+    std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/**
+ * Parse a complete JSON document. Returns true and fills out on
+ * success; returns false and describes the problem (with a byte
+ * offset) in error otherwise. out is left Null on failure.
+ */
+bool parse(const std::string &text, Value &out, std::string *error);
+
+/** Serialize one double as the shortest exact round-trip decimal. */
+std::string formatDouble(double v);
+
+/** FNV-1a 64-bit hash, used to pick cache shards and digest keys. */
+std::uint64_t fnv1a(const std::string &data);
+
+} // namespace fosm::json
+
+#endif // FOSM_SERVER_JSON_HH

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Sharded LRU cache for evaluated design points. The model answers a
+ * design question in microseconds, but a served workload repeats the
+ * same questions (dashboards polling a sweep, several users exploring
+ * the same region of the design space), so memoizing whole responses
+ * keyed by a canonical request digest turns the common case into a
+ * hash lookup. Sharding by key hash keeps lock hold times short when
+ * many worker threads hit the cache at once.
+ */
+
+#ifndef FOSM_SERVER_LRU_CACHE_HH
+#define FOSM_SERVER_LRU_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "server/json.hh"
+
+namespace fosm::server {
+
+/**
+ * Thread-safe LRU map from string keys to values, split into
+ * independently locked shards. Capacity 0 disables caching entirely
+ * (every get misses, put is a no-op), which gives the serving layer a
+ * uniform "cache off" mode for benchmarking.
+ */
+template <typename Value>
+class ShardedLruCache
+{
+  public:
+    explicit ShardedLruCache(std::size_t capacity,
+                             std::size_t shards = 8)
+        : capacity_(capacity)
+    {
+        if (shards == 0)
+            shards = 1;
+        // Spread the total capacity across shards, rounding up so the
+        // configured total is a floor, not a ceiling.
+        const std::size_t per =
+            capacity == 0 ? 0 : (capacity + shards - 1) / shards;
+        shards_.reserve(shards);
+        for (std::size_t i = 0; i < shards; ++i)
+            shards_.push_back(std::make_unique<Shard>(per));
+    }
+
+    /** Look up key; on hit, copies the value and marks it MRU. */
+    bool
+    get(const std::string &key, Value &out)
+    {
+        if (capacity_ == 0) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.map.find(key);
+        if (it == shard.map.end()) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        shard.order.splice(shard.order.begin(), shard.order,
+                           it->second);
+        out = it->second->second;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    /** Insert or refresh key, evicting the shard's LRU tail if full. */
+    void
+    put(const std::string &key, Value value)
+    {
+        if (capacity_ == 0)
+            return;
+        Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            it->second->second = std::move(value);
+            shard.order.splice(shard.order.begin(), shard.order,
+                               it->second);
+            return;
+        }
+        shard.order.emplace_front(key, std::move(value));
+        shard.map[key] = shard.order.begin();
+        if (shard.map.size() > shard.capacity) {
+            shard.map.erase(shard.order.back().first);
+            shard.order.pop_back();
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    /** Total entries across shards (racy snapshot, for metrics). */
+    std::size_t
+    size() const
+    {
+        std::size_t total = 0;
+        for (const auto &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard->mutex);
+            total += shard->map.size();
+        }
+        return total;
+    }
+
+    void
+    clear()
+    {
+        for (const auto &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard->mutex);
+            shard->map.clear();
+            shard->order.clear();
+        }
+    }
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::uint64_t evictions() const { return evictions_.load(); }
+    std::size_t capacity() const { return capacity_; }
+    std::size_t shardCount() const { return shards_.size(); }
+
+    /** Hit fraction over the cache's lifetime (0 when unused). */
+    double
+    hitRate() const
+    {
+        const std::uint64_t h = hits();
+        const std::uint64_t total = h + misses();
+        return total == 0 ? 0.0
+                          : static_cast<double>(h) /
+                                static_cast<double>(total);
+    }
+
+  private:
+    struct Shard
+    {
+        explicit Shard(std::size_t cap) : capacity(cap) {}
+        const std::size_t capacity;
+        mutable std::mutex mutex;
+        std::list<std::pair<std::string, Value>> order; ///< front=MRU
+        std::unordered_map<
+            std::string,
+            typename std::list<std::pair<std::string, Value>>::iterator>
+            map;
+    };
+
+    Shard &
+    shardFor(const std::string &key)
+    {
+        return *shards_[json::fnv1a(key) % shards_.size()];
+    }
+
+    const std::size_t capacity_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace fosm::server
+
+#endif // FOSM_SERVER_LRU_CACHE_HH

@@ -1,0 +1,225 @@
+#include "server/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "server/json.hh"
+
+namespace fosm::server {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
+{
+    fosm_assert(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bounds must be sorted");
+}
+
+std::vector<double>
+Histogram::latencyBounds()
+{
+    return {50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3,
+            10e-3, 25e-3,  50e-3,  100e-3, 250e-3, 500e-3, 1.0, 2.5};
+}
+
+void
+Histogram::observe(double seconds)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), seconds);
+    buckets_[static_cast<std::size_t>(it - bounds_.begin())]
+        .fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sumNanos_.fetch_add(
+        static_cast<std::uint64_t>(std::max(0.0, seconds) * 1e9),
+        std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::cumulativeCount(std::size_t i) const
+{
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b <= i && b < buckets_.size(); ++b)
+        total += buckets_[b].load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    const std::uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    const double target = q * static_cast<double>(n);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        const std::uint64_t in =
+            buckets_[b].load(std::memory_order_relaxed);
+        if (static_cast<double>(cum + in) >= target && in > 0) {
+            const double lo = b == 0 ? 0.0 : bounds_[b - 1];
+            const double hi = b < bounds_.size()
+                                  ? bounds_[b]
+                                  : bounds_.empty()
+                                        ? 0.0
+                                        : bounds_.back() * 2.0;
+            const double frac =
+                (target - static_cast<double>(cum)) /
+                static_cast<double>(in);
+            return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+        }
+        cum += in;
+    }
+    return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+MetricsRegistry::Family &
+MetricsRegistry::familyFor(const std::string &name,
+                           const std::string &help,
+                           const std::string &type)
+{
+    for (Family &family : families_) {
+        if (family.name == name) {
+            fosm_assert(family.type == type, "metric ", name,
+                        " re-registered with type ", type);
+            return family;
+        }
+    }
+    families_.push_back(Family{name, help, type, {}});
+    return families_.back();
+}
+
+MetricsRegistry::Metric *
+MetricsRegistry::findMetric(Family &family, const std::string &labels)
+{
+    for (Metric &metric : family.metrics)
+        if (metric.labels == labels)
+            return &metric;
+    return nullptr;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &help,
+                         const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Family &family = familyFor(name, help, "counter");
+    if (Metric *existing = findMetric(family, labels))
+        return *existing->counter;
+    family.metrics.push_back(Metric{labels,
+                                    std::make_unique<Counter>(),
+                                    nullptr, nullptr, nullptr});
+    return *family.metrics.back().counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name,
+                       const std::string &help,
+                       const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Family &family = familyFor(name, help, "gauge");
+    if (Metric *existing = findMetric(family, labels))
+        return *existing->gauge;
+    family.metrics.push_back(Metric{labels, nullptr,
+                                    std::make_unique<Gauge>(),
+                                    nullptr, nullptr});
+    return *family.metrics.back().gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &help,
+                           const std::string &labels,
+                           std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Family &family = familyFor(name, help, "histogram");
+    if (Metric *existing = findMetric(family, labels))
+        return *existing->histogram;
+    family.metrics.push_back(
+        Metric{labels, nullptr, nullptr,
+               std::make_unique<Histogram>(std::move(bounds)),
+               nullptr});
+    return *family.metrics.back().histogram;
+}
+
+void
+MetricsRegistry::addCallbackGauge(const std::string &name,
+                                  const std::string &help,
+                                  std::function<double()> sample)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Family &family = familyFor(name, help, "gauge");
+    family.metrics.push_back(
+        Metric{"", nullptr, nullptr, nullptr, std::move(sample)});
+}
+
+namespace {
+
+/** "name" or "name{labels}" with an optional extra label appended. */
+std::string
+seriesName(const std::string &name, const std::string &labels,
+           const std::string &extra = "")
+{
+    std::string out = name;
+    if (!labels.empty() || !extra.empty()) {
+        out.push_back('{');
+        out += labels;
+        if (!labels.empty() && !extra.empty())
+            out.push_back(',');
+        out += extra;
+        out.push_back('}');
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::renderPrometheus() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    out.reserve(4096);
+    for (const Family &family : families_) {
+        out += "# HELP " + family.name + " " + family.help + "\n";
+        out += "# TYPE " + family.name + " " + family.type + "\n";
+        for (const Metric &metric : family.metrics) {
+            if (metric.counter) {
+                out += seriesName(family.name, metric.labels) + " " +
+                       std::to_string(metric.counter->value()) + "\n";
+            } else if (metric.gauge) {
+                out += seriesName(family.name, metric.labels) + " " +
+                       std::to_string(metric.gauge->value()) + "\n";
+            } else if (metric.sample) {
+                out += seriesName(family.name, metric.labels) + " " +
+                       json::formatDouble(metric.sample()) + "\n";
+            } else if (metric.histogram) {
+                const Histogram &h = *metric.histogram;
+                for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+                    out += seriesName(
+                               family.name + "_bucket", metric.labels,
+                               "le=\"" +
+                                   json::formatDouble(h.bounds()[b]) +
+                                   "\"") +
+                           " " +
+                           std::to_string(h.cumulativeCount(b)) +
+                           "\n";
+                }
+                out += seriesName(family.name + "_bucket",
+                                  metric.labels, "le=\"+Inf\"") +
+                       " " + std::to_string(h.count()) + "\n";
+                out += seriesName(family.name + "_sum",
+                                  metric.labels) +
+                       " " + json::formatDouble(h.sumSeconds()) + "\n";
+                out += seriesName(family.name + "_count",
+                                  metric.labels) +
+                       " " + std::to_string(h.count()) + "\n";
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace fosm::server

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Live service metrics in Prometheus text exposition format. The
+ * registry owns counters, gauges and latency histograms; the HTTP
+ * layer and the model service update them lock-free on the hot path
+ * (plain atomics), and GET /metrics renders the whole registry. No
+ * external client library: the text format is simple enough to emit
+ * directly, and scraping works with stock Prometheus.
+ */
+
+#ifndef FOSM_SERVER_METRICS_HH
+#define FOSM_SERVER_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fosm::server {
+
+/** Monotonically increasing counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const { return value_.load(); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Settable gauge (queue depth, in-flight requests, cache size). */
+class Gauge
+{
+  public:
+    void set(std::int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    void add(std::int64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    void sub(std::int64_t n) { add(-n); }
+
+    std::int64_t value() const { return value_.load(); }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * Cumulative histogram with fixed bucket bounds (seconds). observe()
+ * is a couple of relaxed atomic increments; the sum is accumulated in
+ * nanoseconds to stay integral.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds);
+
+    /** Default request-latency buckets: 50us .. 2.5s. */
+    static std::vector<double> latencyBounds();
+
+    void observe(double seconds);
+
+    std::uint64_t count() const { return count_.load(); }
+    double sumSeconds() const
+    {
+        return static_cast<double>(sumNanos_.load()) * 1e-9;
+    }
+
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** Cumulative count of observations <= bounds()[i]. */
+    std::uint64_t cumulativeCount(std::size_t i) const;
+
+    /**
+     * Quantile estimate (q in [0,1]) by linear interpolation within
+     * the containing bucket; the loadgen and tests use this to report
+     * p50/p99 without retaining raw samples.
+     */
+    double quantile(double q) const;
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_; ///< +1 overflow
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sumNanos_{0};
+};
+
+/**
+ * Named metric families with optional labels, rendered to the
+ * Prometheus text format. Metric objects are created once (find-or-
+ * create under a mutex) and then updated lock-free; callers should
+ * cache the returned pointers on hot paths.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name, const std::string &help,
+                     const std::string &labels = "");
+
+    Gauge &gauge(const std::string &name, const std::string &help,
+                 const std::string &labels = "");
+
+    Histogram &histogram(const std::string &name,
+                         const std::string &help,
+                         const std::string &labels = "",
+                         std::vector<double> bounds =
+                             Histogram::latencyBounds());
+
+    /**
+     * Gauges whose value is computed at scrape time (cache size,
+     * queue depth) register a sampling callback instead of an object.
+     */
+    void addCallbackGauge(const std::string &name,
+                          const std::string &help,
+                          std::function<double()> sample);
+
+    /** Render every family in Prometheus text exposition format. */
+    std::string renderPrometheus() const;
+
+  private:
+    struct Metric
+    {
+        std::string labels;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+        std::function<double()> sample;
+    };
+
+    struct Family
+    {
+        std::string name;
+        std::string help;
+        std::string type;
+        std::vector<Metric> metrics;
+    };
+
+    Family &familyFor(const std::string &name,
+                      const std::string &help,
+                      const std::string &type);
+    Metric *findMetric(Family &family, const std::string &labels);
+
+    mutable std::mutex mutex_;
+    std::vector<Family> families_; ///< render in registration order
+};
+
+} // namespace fosm::server
+
+#endif // FOSM_SERVER_METRICS_HH

@@ -1,0 +1,90 @@
+#include "server/router.hh"
+
+#include <algorithm>
+
+namespace fosm::server {
+
+namespace {
+
+std::string
+errorBody(const std::string &message)
+{
+    json::Value v = json::Value::object();
+    v.set("error", message);
+    return v.dump();
+}
+
+} // namespace
+
+void
+Router::add(const std::string &method, const std::string &path,
+            RawHandler handler)
+{
+    routes_.push_back(Route{method, path, std::move(handler)});
+}
+
+void
+Router::addJson(const std::string &method, const std::string &path,
+                JsonHandler handler)
+{
+    add(method, path,
+        [handler = std::move(handler)](const HttpRequest &request)
+            -> HttpResponse {
+            json::Value body = json::Value::object();
+            if (!request.body.empty()) {
+                std::string error;
+                if (!json::parse(request.body, body, &error)) {
+                    return HttpResponse::json(
+                        400, errorBody("invalid JSON body: " + error));
+                }
+            }
+            try {
+                return HttpResponse::json(200,
+                                          handler(body).dump());
+            } catch (const ServiceError &e) {
+                return HttpResponse::json(e.status(),
+                                          errorBody(e.what()));
+            }
+        });
+}
+
+HttpResponse
+Router::route(const HttpRequest &request) const
+{
+    const std::string path = request.path();
+    bool pathSeen = false;
+    std::string allow;
+    for (const Route &route : routes_) {
+        if (route.path != path)
+            continue;
+        if (route.method == request.method)
+            return route.handler(request);
+        pathSeen = true;
+        if (!allow.empty())
+            allow += ", ";
+        allow += route.method;
+    }
+    if (pathSeen) {
+        HttpResponse r = HttpResponse::json(
+            405, errorBody("method not allowed for " + path));
+        r.setHeader("Allow", allow);
+        return r;
+    }
+    return HttpResponse::json(404,
+                              errorBody("unknown path: " + path));
+}
+
+std::vector<std::string>
+Router::paths() const
+{
+    std::vector<std::string> out;
+    for (const Route &route : routes_) {
+        if (std::find(out.begin(), out.end(), route.path) ==
+            out.end()) {
+            out.push_back(route.path);
+        }
+    }
+    return out;
+}
+
+} // namespace fosm::server

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Request router: exact method+path dispatch with the HTTP error
+ * conventions handled in one place (404 unknown path, 405 wrong
+ * method with an Allow header, 400 for unparsable JSON bodies).
+ * JSON endpoints register a JsonHandler and never see raw HTTP.
+ */
+
+#ifndef FOSM_SERVER_ROUTER_HH
+#define FOSM_SERVER_ROUTER_HH
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "server/http.hh"
+#include "server/json.hh"
+
+namespace fosm::server {
+
+/**
+ * Thrown by JSON handlers to produce a clean HTTP error response
+ * ({"error": message} with the given status) instead of a 500.
+ */
+class ServiceError : public std::runtime_error
+{
+  public:
+    ServiceError(int status, const std::string &message)
+        : std::runtime_error(message), status_(status)
+    {
+    }
+
+    int status() const { return status_; }
+
+  private:
+    int status_;
+};
+
+/** Routes requests to handlers registered per method+path. */
+class Router
+{
+  public:
+    using RawHandler =
+        std::function<HttpResponse(const HttpRequest &)>;
+    /** Parsed request body in, response document out. */
+    using JsonHandler =
+        std::function<json::Value(const json::Value &)>;
+
+    /** Register a raw handler (used by /metrics, /healthz). */
+    void add(const std::string &method, const std::string &path,
+             RawHandler handler);
+
+    /**
+     * Register a JSON endpoint: the body is parsed (400 on failure),
+     * the handler's return value serialized with Content-Type
+     * application/json, and ServiceError mapped to its status.
+     */
+    void addJson(const std::string &method, const std::string &path,
+                 JsonHandler handler);
+
+    /** Dispatch one request. */
+    HttpResponse route(const HttpRequest &request) const;
+
+    /** Registered paths (for bounded metric label sets). */
+    std::vector<std::string> paths() const;
+
+  private:
+    struct Route
+    {
+        std::string method;
+        std::string path;
+        RawHandler handler;
+    };
+
+    std::vector<Route> routes_;
+};
+
+} // namespace fosm::server
+
+#endif // FOSM_SERVER_ROUTER_HH

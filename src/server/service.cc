@@ -1,0 +1,590 @@
+#include "server/service.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.hh"
+#include "model/trends.hh"
+
+namespace fosm::server {
+
+namespace {
+
+// ---------------------------------------------------------------
+// Request parsing helpers. All reject unknown members so typos in a
+// request fail loudly instead of silently evaluating the default.
+// ---------------------------------------------------------------
+
+[[noreturn]] void
+badRequest(const std::string &message)
+{
+    throw ServiceError(400, message);
+}
+
+void
+requireMembers(const json::Value &object, const char *what,
+               std::initializer_list<const char *> allowed)
+{
+    for (const auto &member : object.members()) {
+        bool known = false;
+        for (const char *name : allowed)
+            if (member.first == name)
+                known = true;
+        if (!known) {
+            badRequest(std::string("unknown ") + what + " member '" +
+                       member.first + "'");
+        }
+    }
+}
+
+double
+numberMember(const json::Value &object, const char *name,
+             double fallback, double lo, double hi)
+{
+    const json::Value *v = object.find(name);
+    if (!v)
+        return fallback;
+    if (!v->isNumber())
+        badRequest(std::string("'") + name + "' must be a number");
+    const double x = v->asDouble();
+    if (x < lo || x > hi) {
+        badRequest(std::string("'") + name + "' out of range [" +
+                   json::formatDouble(lo) + ", " +
+                   json::formatDouble(hi) + "]");
+    }
+    return x;
+}
+
+std::uint32_t
+intMember(const json::Value &object, const char *name,
+          std::uint32_t fallback, double lo, double hi)
+{
+    const double x =
+        numberMember(object, name, fallback, lo, hi);
+    if (x != std::floor(x))
+        badRequest(std::string("'") + name + "' must be an integer");
+    return static_cast<std::uint32_t>(x);
+}
+
+bool
+boolMember(const json::Value &object, const char *name, bool fallback)
+{
+    const json::Value *v = object.find(name);
+    if (!v)
+        return fallback;
+    if (!v->isBool())
+        badRequest(std::string("'") + name + "' must be a boolean");
+    return v->asBool();
+}
+
+std::string
+workloadMember(const json::Value &request)
+{
+    const json::Value *v = request.find("workload");
+    if (!v || !v->isString())
+        badRequest("'workload' (string) is required");
+    const std::string name = v->asString();
+    const std::vector<std::string> known = Workbench::benchmarks();
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+        std::string valid;
+        for (const std::string &k : known) {
+            if (!valid.empty())
+                valid += ", ";
+            valid += k;
+        }
+        badRequest("unknown workload '" + name + "'; valid: " + valid);
+    }
+    return name;
+}
+
+MachineConfig
+machineFromJson(const json::Value &request)
+{
+    MachineConfig machine = Workbench::baselineMachine();
+    const json::Value *m = request.find("machine");
+    if (!m)
+        return machine;
+    if (!m->isObject())
+        badRequest("'machine' must be an object");
+    requireMembers(*m, "machine",
+                   {"width", "frontEndDepth", "windowSize", "robSize",
+                    "deltaI", "deltaD", "deltaT", "clusters",
+                    "interClusterDelay"});
+    machine.width = intMember(*m, "width", machine.width, 1, 64);
+    machine.frontEndDepth =
+        intMember(*m, "frontEndDepth", machine.frontEndDepth, 1, 100);
+    machine.windowSize =
+        intMember(*m, "windowSize", machine.windowSize, 1, 4096);
+    machine.robSize =
+        intMember(*m, "robSize", machine.robSize, 1, 1 << 20);
+    machine.deltaI = intMember(*m, "deltaI",
+                               static_cast<std::uint32_t>(
+                                   machine.deltaI),
+                               0, 1e6);
+    machine.deltaD = intMember(*m, "deltaD",
+                               static_cast<std::uint32_t>(
+                                   machine.deltaD),
+                               0, 1e6);
+    machine.deltaT = intMember(*m, "deltaT",
+                               static_cast<std::uint32_t>(
+                                   machine.deltaT),
+                               0, 1e6);
+    machine.clusters =
+        intMember(*m, "clusters", machine.clusters, 1, 16);
+    machine.interClusterDelay =
+        intMember(*m, "interClusterDelay",
+                  static_cast<std::uint32_t>(
+                      machine.interClusterDelay),
+                  0, 100);
+    if (machine.width % machine.clusters != 0 ||
+        machine.windowSize % machine.clusters != 0) {
+        badRequest("width and windowSize must be divisible by "
+                   "clusters");
+    }
+    return machine;
+}
+
+ModelOptions
+optionsFromJson(const json::Value &request)
+{
+    ModelOptions options;
+    const json::Value *o = request.find("options");
+    if (!o)
+        return options;
+    if (!o->isObject())
+        badRequest("'options' must be an object");
+    requireMembers(*o, "options",
+                   {"branchMode", "icacheMode", "dcacheOverlap",
+                    "dcacheFirstOrder", "compensateOverlaps",
+                    "fetchBufferEntries", "burstGapThreshold"});
+
+    if (const json::Value *v = o->find("branchMode")) {
+        const std::string &mode = v->asString();
+        if (mode == "paper-average")
+            options.branchMode = BranchPenaltyMode::PaperAverage;
+        else if (mode == "isolated")
+            options.branchMode = BranchPenaltyMode::Isolated;
+        else if (mode == "burst-aware")
+            options.branchMode = BranchPenaltyMode::BurstAware;
+        else
+            badRequest("unknown branchMode '" + mode +
+                       "'; valid: paper-average, isolated, "
+                       "burst-aware");
+    }
+    if (const json::Value *v = o->find("icacheMode")) {
+        const std::string &mode = v->asString();
+        if (mode == "miss-delay")
+            options.icacheMode = IcachePenaltyMode::MissDelay;
+        else if (mode == "isolated")
+            options.icacheMode = IcachePenaltyMode::Isolated;
+        else
+            badRequest("unknown icacheMode '" + mode +
+                       "'; valid: miss-delay, isolated");
+    }
+    options.dcacheOverlap =
+        boolMember(*o, "dcacheOverlap", options.dcacheOverlap);
+    options.dcacheFirstOrder =
+        boolMember(*o, "dcacheFirstOrder", options.dcacheFirstOrder);
+    options.compensateOverlaps = boolMember(
+        *o, "compensateOverlaps", options.compensateOverlaps);
+    options.fetchBufferEntries =
+        intMember(*o, "fetchBufferEntries",
+                  options.fetchBufferEntries, 0, 1 << 16);
+    options.burstGapThreshold =
+        intMember(*o, "burstGapThreshold",
+                  static_cast<std::uint32_t>(
+                      options.burstGapThreshold),
+                  1, 1 << 20);
+    return options;
+}
+
+json::Value
+machineToJson(const MachineConfig &machine)
+{
+    json::Value m = json::Value::object();
+    m.set("width", machine.width);
+    m.set("frontEndDepth", machine.frontEndDepth);
+    m.set("windowSize", machine.windowSize);
+    m.set("robSize", machine.robSize);
+    m.set("deltaI", static_cast<std::uint64_t>(machine.deltaI));
+    m.set("deltaD", static_cast<std::uint64_t>(machine.deltaD));
+    m.set("clusters", machine.clusters);
+    m.set("interClusterDelay",
+          static_cast<std::uint64_t>(machine.interClusterDelay));
+    return m;
+}
+
+std::vector<std::uint32_t>
+intArrayMember(const json::Value &request, const char *name,
+               std::vector<std::uint32_t> fallback, double lo,
+               double hi, std::size_t maxItems)
+{
+    const json::Value *v = request.find(name);
+    if (!v)
+        return fallback;
+    if (!v->isArray() || v->items().empty())
+        badRequest(std::string("'") + name +
+                   "' must be a non-empty array of integers");
+    if (v->items().size() > maxItems)
+        badRequest(std::string("'") + name + "' too long (max " +
+                   std::to_string(maxItems) + ")");
+    std::vector<std::uint32_t> out;
+    out.reserve(v->items().size());
+    for (const json::Value &item : v->items()) {
+        if (!item.isNumber() ||
+            item.asDouble() != std::floor(item.asDouble()) ||
+            item.asDouble() < lo || item.asDouble() > hi) {
+            badRequest(std::string("'") + name +
+                       "' entries must be integers in [" +
+                       json::formatDouble(lo) + ", " +
+                       json::formatDouble(hi) + "]");
+        }
+        out.push_back(static_cast<std::uint32_t>(item.asDouble()));
+    }
+    return out;
+}
+
+TrendConfig
+trendConfigFromJson(const json::Value &request)
+{
+    TrendConfig config;
+    const json::Value *c = request.find("config");
+    if (!c)
+        return config;
+    if (!c->isObject())
+        badRequest("'config' must be an object");
+    requireMembers(*c, "config",
+                   {"alpha", "beta", "avgLatency", "branchFraction",
+                    "mispredictRate", "totalLogicPs", "flipFlopPs"});
+    config.alpha =
+        numberMember(*c, "alpha", config.alpha, 0.01, 100.0);
+    config.beta = numberMember(*c, "beta", config.beta, 0.01, 1.0);
+    config.avgLatency =
+        numberMember(*c, "avgLatency", config.avgLatency, 1.0, 100.0);
+    config.branchFraction = numberMember(
+        *c, "branchFraction", config.branchFraction, 0.0, 1.0);
+    config.mispredictRate = numberMember(
+        *c, "mispredictRate", config.mispredictRate, 0.0, 1.0);
+    config.totalLogicPs = numberMember(*c, "totalLogicPs",
+                                       config.totalLogicPs, 100.0,
+                                       1e6);
+    config.flipFlopPs = numberMember(*c, "flipFlopPs",
+                                     config.flipFlopPs, 1.0, 1e4);
+    return config;
+}
+
+} // namespace
+
+ModelService::ModelService(ServiceConfig config,
+                           MetricsRegistry &metrics)
+    : config_(config), metrics_(metrics),
+      cache_(config.cacheCapacity, config.cacheShards),
+      cacheHits_(metrics.counter("fosm_cache_hits_total",
+                                 "Design-point cache hits")),
+      cacheMisses_(metrics.counter("fosm_cache_misses_total",
+                                   "Design-point cache misses")),
+      evaluations_(metrics.counter(
+          "fosm_model_evaluations_total",
+          "First-order model evaluations performed"))
+{
+    metrics_.addCallbackGauge(
+        "fosm_cache_entries", "Design points currently cached",
+        [this] { return static_cast<double>(cache_.size()); });
+    metrics_.addCallbackGauge(
+        "fosm_cache_hit_rate", "Lifetime cache hit fraction",
+        [this] { return cache_.hitRate(); });
+
+    router_.addJson("POST", "/v1/cpi",
+                    [this](const json::Value &request) {
+                        return cpi(request);
+                    });
+    router_.addJson("POST", "/v1/iw-curve",
+                    [this](const json::Value &request) {
+                        return iwCurve(request);
+                    });
+    router_.addJson("POST", "/v1/trends",
+                    [this](const json::Value &request) {
+                        return trends(request);
+                    });
+    router_.add("GET", "/healthz", [this](const HttpRequest &) {
+        return HttpResponse::json(200, health().dump());
+    });
+    router_.add("GET", "/metrics", [this](const HttpRequest &) {
+        HttpResponse r = HttpResponse::text(
+            200, metrics_.renderPrometheus());
+        r.headers.clear();
+        r.setHeader("Content-Type",
+                    "text/plain; version=0.0.4; charset=utf-8");
+        return r;
+    });
+}
+
+std::string
+ModelService::cacheKey(const std::string &path,
+                       const json::Value &body)
+{
+    return path + "\n" + body.canonical();
+}
+
+std::vector<std::string>
+ModelService::metricPaths() const
+{
+    return router_.paths();
+}
+
+void
+ModelService::warmup()
+{
+    bench_.buildAll();
+}
+
+json::Value
+ModelService::health() const
+{
+    json::Value v = json::Value::object();
+    v.set("status", "ok");
+    v.set("service", "fosm-serve");
+    v.set("workloads",
+          static_cast<std::uint64_t>(Workbench::benchmarks().size()));
+    return v;
+}
+
+HttpServer::Handler
+ModelService::handler()
+{
+    return [this](const HttpRequest &request) -> HttpResponse {
+        // Memoize successful POST /v1/* evaluations by canonical
+        // request digest. The parse needed for canonicalization is
+        // trivial next to the evaluation (and the cache makes even
+        // that skippable for the response itself).
+        const std::string path = request.path();
+        const bool cacheable = request.method == "POST" &&
+                               path.rfind("/v1/", 0) == 0;
+        if (cacheable) {
+            json::Value body = json::Value::object();
+            std::string error;
+            if (request.body.empty() ||
+                json::parse(request.body, body, &error)) {
+                const std::string key = cacheKey(path, body);
+                std::string cached;
+                if (cache_.get(key, cached)) {
+                    cacheHits_.inc();
+                    return HttpResponse::json(200, cached);
+                }
+                cacheMisses_.inc();
+                HttpResponse response = router_.route(request);
+                if (response.status == 200)
+                    cache_.put(key, response.body);
+                return response;
+            }
+            // Malformed body: let the router produce the 400.
+        }
+        return router_.route(request);
+    };
+}
+
+json::Value
+ModelService::cpi(const json::Value &request)
+{
+    if (!request.isObject())
+        badRequest("request body must be a JSON object");
+    requireMembers(request, "request",
+                   {"workload", "machine", "options"});
+    const std::string workload = workloadMember(request);
+    const MachineConfig machine = machineFromJson(request);
+    const ModelOptions options = optionsFromJson(request);
+
+    const WorkloadData &data = bench_.workload(workload);
+    const IWCharacteristic iw = Workbench::fitIw(
+        data.iwPoints, data.missProfile.avgLatency, machine.width);
+    const FirstOrderModel model(machine, options);
+    const CpiBreakdown b = model.evaluate(iw, data.missProfile);
+    evaluations_.inc();
+
+    json::Value out = json::Value::object();
+    out.set("workload", workload);
+    out.set("instructions", data.missProfile.instructions);
+    out.set("machine", machineToJson(machine));
+
+    json::Value fit = json::Value::object();
+    fit.set("alpha", iw.alpha());
+    fit.set("beta", iw.beta());
+    fit.set("avgLatency", iw.avgLatency());
+    fit.set("r2", iw.fitR2());
+    out.set("iw", std::move(fit));
+
+    json::Value cpi = json::Value::object();
+    cpi.set("ideal", b.ideal);
+    cpi.set("brmisp", b.brmisp);
+    cpi.set("icacheL1", b.icacheL1);
+    cpi.set("icacheL2", b.icacheL2);
+    cpi.set("dcacheLong", b.dcacheLong);
+    cpi.set("dtlb", b.dtlb);
+    cpi.set("total", b.total());
+    out.set("cpi", std::move(cpi));
+    out.set("ipc", b.ipc());
+
+    json::Value penalties = json::Value::object();
+    penalties.set("branchPerEvent", b.branchPenaltyPerEvent);
+    penalties.set("icachePerEvent", b.icachePenaltyPerEvent);
+    penalties.set("dcachePerEvent", b.dcachePenaltyPerEvent);
+    penalties.set("ldmOverlapFactor", b.ldmOverlapFactor);
+    out.set("penalties", std::move(penalties));
+    return out;
+}
+
+json::Value
+ModelService::iwCurve(const json::Value &request)
+{
+    if (!request.isObject())
+        badRequest("request body must be a JSON object");
+    requireMembers(request, "request",
+                   {"workload", "windows", "width"});
+    const std::string workload = workloadMember(request);
+    const std::uint32_t width = intMember(request, "width", 4, 0, 64);
+    const std::vector<std::uint32_t> windows =
+        intArrayMember(request, "windows", {}, 1, 4096, 64);
+
+    const WorkloadData &data = bench_.workload(workload);
+    std::vector<IwPoint> points;
+    if (windows.empty()) {
+        // The standard Figure 4 sweep is part of the cached
+        // characterization.
+        points = data.iwPoints;
+    } else {
+        // Custom sweep: re-measure on the cached trace.
+        // measureIwCurve fans the window sizes out over the global
+        // thread pool internally.
+        WindowSimConfig config;
+        config.unitLatency = true;
+        config.issueWidth = 0;
+        points = measureIwCurve(data.trace, windows, config);
+    }
+    const IWCharacteristic fit = Workbench::fitIw(
+        points, data.missProfile.avgLatency, width);
+
+    json::Value out = json::Value::object();
+    out.set("workload", workload);
+    out.set("width", width);
+    out.set("avgLatency", data.missProfile.avgLatency);
+    json::Value arr = json::Value::array();
+    for (const IwPoint &p : points) {
+        json::Value point = json::Value::object();
+        point.set("window", p.windowSize);
+        point.set("ipc", p.ipc);
+        arr.push(std::move(point));
+    }
+    out.set("points", std::move(arr));
+    json::Value f = json::Value::object();
+    f.set("alpha", fit.alpha());
+    f.set("beta", fit.beta());
+    f.set("r2", fit.fitR2());
+    out.set("fit", std::move(f));
+    return out;
+}
+
+json::Value
+ModelService::trends(const json::Value &request)
+{
+    if (!request.isObject())
+        badRequest("request body must be a JSON object");
+    requireMembers(request, "request",
+                   {"study", "widths", "depths", "fractions",
+                    "config"});
+    const json::Value *studyMember = request.find("study");
+    if (!studyMember || !studyMember->isString())
+        badRequest("'study' (string) is required: pipeline-depth or "
+                   "issue-width");
+    const std::string study = studyMember->asString();
+    const TrendConfig config = trendConfigFromJson(request);
+    const std::vector<std::uint32_t> widths = intArrayMember(
+        request, "widths", {2, 4, 6, 8}, 1, 64, 32);
+
+    json::Value out = json::Value::object();
+    out.set("study", study);
+    json::Value series = json::Value::array();
+
+    if (study == "pipeline-depth") {
+        std::vector<std::uint32_t> depths =
+            intArrayMember(request, "depths", {}, 1, 200, 256);
+        if (depths.empty())
+            for (std::uint32_t d = 1; d <= 30; ++d)
+                depths.push_back(d);
+        // One task per issue width on the global pool (the PR 1
+        // experiment engine); results come back in input order.
+        const auto rows = parallelMap(
+            widths, [&](std::uint32_t width) {
+                return std::make_pair(
+                    pipelineDepthSweep(width, depths, config),
+                    optimalPipelineDepth(width, config));
+            });
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            json::Value entry = json::Value::object();
+            entry.set("width", widths[i]);
+            json::Value points = json::Value::array();
+            for (const PipelineDepthPoint &p : rows[i].first) {
+                json::Value point = json::Value::object();
+                point.set("depth", p.depth);
+                point.set("ipc", p.ipc);
+                point.set("clockGhz", p.clockGhz);
+                point.set("bips", p.bips);
+                points.push(std::move(point));
+            }
+            entry.set("points", std::move(points));
+            json::Value best = json::Value::object();
+            best.set("depth", rows[i].second.depth);
+            best.set("bips", rows[i].second.bips);
+            entry.set("optimal", std::move(best));
+            series.push(std::move(entry));
+        }
+    } else if (study == "issue-width") {
+        std::vector<double> fractions = {0.5, 0.8, 0.9, 0.95, 0.99};
+        if (const json::Value *f = request.find("fractions")) {
+            if (!f->isArray() || f->items().empty() ||
+                f->items().size() > 32) {
+                badRequest("'fractions' must be a non-empty array "
+                           "(max 32)");
+            }
+            fractions.clear();
+            for (const json::Value &item : f->items()) {
+                if (!item.isNumber() || item.asDouble() <= 0.0 ||
+                    item.asDouble() >= 1.0) {
+                    badRequest("'fractions' entries must be in "
+                               "(0, 1)");
+                }
+                fractions.push_back(item.asDouble());
+            }
+        }
+        const auto rows = parallelMap(
+            widths, [&](std::uint32_t width) {
+                return std::make_pair(
+                    issueWidthRequirement(width, fractions, config),
+                    issueRampSeries(width, config));
+            });
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            json::Value entry = json::Value::object();
+            entry.set("width", widths[i]);
+            json::Value points = json::Value::array();
+            for (const SaturationPoint &p : rows[i].first) {
+                json::Value point = json::Value::object();
+                point.set("timeFraction", p.timeFraction);
+                point.set("instructionsBetween",
+                          p.instructionsBetween);
+                points.push(std::move(point));
+            }
+            entry.set("points", std::move(points));
+            json::Value ramp = json::Value::array();
+            for (const double rate : rows[i].second)
+                ramp.push(rate);
+            entry.set("issueRamp", std::move(ramp));
+            series.push(std::move(entry));
+        }
+    } else {
+        badRequest("unknown study '" + study +
+                   "'; valid: pipeline-depth, issue-width");
+    }
+    out.set("series", std::move(series));
+    return out;
+}
+
+} // namespace fosm::server

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The model-evaluation service: first-order model queries behind
+ * HTTP. The paper's point is that equation (1) answers design
+ * questions in microseconds that a detailed simulator needs seconds
+ * for — exactly the latency profile worth putting behind a service.
+ * Endpoints:
+ *
+ *   POST /v1/cpi       equation-(1) CPI stack for one machine config
+ *                      x workload profile
+ *   POST /v1/iw-curve  measured IW curve points + power-law fit
+ *   POST /v1/trends    Section 6 pipeline-depth / issue-width sweeps,
+ *                      fanned out over the global thread pool
+ *   GET  /healthz      liveness
+ *   GET  /metrics      Prometheus text metrics
+ *
+ * Evaluated design points are memoized in a sharded LRU cache keyed
+ * by a canonical digest of the request (path + canonicalized JSON
+ * body), sitting above the Workbench's per-workload data cache: the
+ * Workbench caches the expensive trace/profile/IW characterization,
+ * this cache the whole serialized response.
+ */
+
+#ifndef FOSM_SERVER_SERVICE_HH
+#define FOSM_SERVER_SERVICE_HH
+
+#include <string>
+
+#include "experiments/workbench.hh"
+#include "server/lru_cache.hh"
+#include "server/metrics.hh"
+#include "server/router.hh"
+
+namespace fosm::server {
+
+/** Service tuning knobs. */
+struct ServiceConfig
+{
+    /** Response-cache entries; 0 disables the cache. */
+    std::size_t cacheCapacity = 8192;
+    std::size_t cacheShards = 8;
+};
+
+/**
+ * Stateless-per-request evaluation service over a shared Workbench.
+ * All public methods are thread-safe; handler() may be called from
+ * any number of server worker threads.
+ */
+class ModelService
+{
+  public:
+    ModelService(ServiceConfig config, MetricsRegistry &metrics);
+
+    /**
+     * The complete request handler (routing + caching), to be passed
+     * to HttpServer.
+     */
+    HttpServer::Handler handler();
+
+    /** Paths to use as bounded metric labels. */
+    std::vector<std::string> metricPaths() const;
+
+    /** Build all 12 workload characterizations up front so the first
+     *  queries don't pay the (seconds-long) build. */
+    void warmup();
+
+    // Endpoint logic, exposed for direct unit testing. Each throws
+    // ServiceError for invalid requests.
+    json::Value cpi(const json::Value &request);
+    json::Value iwCurve(const json::Value &request);
+    json::Value trends(const json::Value &request);
+
+    /**
+     * The cache key for a request: path + '\n' + canonical JSON body
+     * (keys sorted, compact), so semantically equal requests share an
+     * entry regardless of member order or whitespace.
+     */
+    static std::string cacheKey(const std::string &path,
+                                const json::Value &body);
+
+    Workbench &workbench() { return bench_; }
+    const ShardedLruCache<std::string> &cache() const
+    {
+        return cache_;
+    }
+
+  private:
+    json::Value health() const;
+
+    ServiceConfig config_;
+    MetricsRegistry &metrics_;
+    Workbench bench_;
+    ShardedLruCache<std::string> cache_;
+    Router router_;
+
+    Counter &cacheHits_;
+    Counter &cacheMisses_;
+    Counter &evaluations_;
+};
+
+} // namespace fosm::server
+
+#endif // FOSM_SERVER_SERVICE_HH

@@ -52,6 +52,21 @@ saveTrace(const Trace &trace, const std::string &path)
     }
 }
 
+namespace {
+
+/** Sanity caps: a corrupt header must not drive a giant allocation. */
+constexpr std::uint64_t maxTraceName = 4096;
+constexpr std::uint64_t maxTraceInsts = std::uint64_t{1} << 33;
+
+/** Is a stored register field valid (architectural or "none")? */
+bool
+validReg(RegIndex r)
+{
+    return r == invalidReg || (r >= 0 && r < numArchRegs);
+}
+
+} // namespace
+
 Trace
 loadTrace(const std::string &path)
 {
@@ -59,11 +74,45 @@ loadTrace(const std::string &path)
     if (!f)
         fosm_fatal("cannot open trace file for reading: ", path);
 
+    // The whole layout is knowable up front (header + name + count
+    // fixed-size records), so validate the header against the actual
+    // file size before trusting any of its fields: this catches
+    // truncated files, trailing garbage, and corrupt count/nameLen
+    // before they drive allocations or a long read loop.
+    if (std::fseek(f.get(), 0, SEEK_END) != 0)
+        fosm_fatal("cannot seek in trace file: ", path);
+    const long fileSizeL = std::ftell(f.get());
+    if (fileSizeL < 0)
+        fosm_fatal("cannot size trace file: ", path);
+    const std::uint64_t fileSize =
+        static_cast<std::uint64_t>(fileSizeL);
+    std::rewind(f.get());
+
     FileHeader hdr{};
+    if (fileSize < sizeof(hdr))
+        fosm_fatal("truncated trace header in ", path, ": ", fileSize,
+                   " bytes, need ", sizeof(hdr));
     if (std::fread(&hdr, sizeof(hdr), 1, f.get()) != 1)
         fosm_fatal("short read on trace header: ", path);
     if (std::memcmp(hdr.magic, traceMagic, sizeof(traceMagic)) != 0)
-        fosm_fatal("bad trace magic in ", path);
+        fosm_fatal("bad trace magic in ", path,
+                   " (not a fosm trace, or unsupported version)");
+    if (hdr.nameLen > maxTraceName)
+        fosm_fatal("corrupt trace header in ", path, ": name length ",
+                   hdr.nameLen, " exceeds ", maxTraceName);
+    if (hdr.count > maxTraceInsts)
+        fosm_fatal("corrupt trace header in ", path,
+                   ": instruction count ", hdr.count, " exceeds ",
+                   maxTraceInsts);
+    const std::uint64_t expected =
+        sizeof(hdr) + hdr.nameLen + hdr.count * sizeof(InstRecord);
+    if (fileSize < expected)
+        fosm_fatal("truncated trace file ", path, ": ", fileSize,
+                   " bytes, header promises ", expected);
+    if (fileSize > expected)
+        fosm_fatal("oversized trace file ", path, ": ", fileSize,
+                   " bytes, header promises ", expected,
+                   " (trailing garbage?)");
 
     std::string name(hdr.nameLen, '\0');
     if (hdr.nameLen &&
@@ -77,6 +126,18 @@ loadTrace(const std::string &path)
         InstRecord inst;
         if (std::fread(&inst, sizeof(inst), 1, f.get()) != 1)
             fosm_fatal("short read on trace body: ", path);
+        // Field-level validation: a flipped bit in an enum or
+        // register index would otherwise surface as an out-of-bounds
+        // index deep inside an analysis.
+        if (static_cast<std::uint8_t>(inst.cls) >= numInstClasses)
+            fosm_fatal("corrupt trace record ", i, " in ", path,
+                       ": bad instruction class ",
+                       static_cast<unsigned>(inst.cls));
+        if (!validReg(inst.dst) || !validReg(inst.src1) ||
+            !validReg(inst.src2)) {
+            fosm_fatal("corrupt trace record ", i, " in ", path,
+                       ": register index out of range");
+        }
         trace.append(inst);
     }
     return trace;

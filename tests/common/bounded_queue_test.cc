@@ -1,0 +1,144 @@
+/** @file Unit tests for the bounded MPMC task queue. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.hh"
+
+namespace fosm {
+namespace {
+
+TEST(BoundedQueue, FifoOrder)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_TRUE(q.tryPush(3));
+    int out = 0;
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 1);
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 2);
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 3);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, TryPushRejectsWhenFull)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3)); // full: the 503 path
+    int out = 0;
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_TRUE(q.tryPush(3)); // room again
+}
+
+TEST(BoundedQueue, TryPushRejectsWhenClosed)
+{
+    BoundedQueue<int> q(4);
+    q.close();
+    EXPECT_FALSE(q.tryPush(1));
+    EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueue, CloseDrainsQueuedItems)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_TRUE(q.tryPush(10));
+    EXPECT_TRUE(q.tryPush(11));
+    q.close();
+    int out = 0;
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 10);
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 11);
+    EXPECT_FALSE(q.pop(out)); // closed and drained: consumer exits
+}
+
+TEST(BoundedQueue, PopBlocksUntilPush)
+{
+    BoundedQueue<int> q(1);
+    std::atomic<int> got{0};
+    std::thread consumer([&] {
+        int out = 0;
+        if (q.pop(out))
+            got.store(out);
+    });
+    // Give the consumer a moment to block, then feed it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_TRUE(q.tryPush(42));
+    consumer.join();
+    EXPECT_EQ(got.load(), 42);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumers)
+{
+    BoundedQueue<int> q(1);
+    std::atomic<int> exited{0};
+    std::vector<std::thread> consumers;
+    for (int i = 0; i < 3; ++i) {
+        consumers.emplace_back([&] {
+            int out = 0;
+            while (q.pop(out)) {
+            }
+            exited.fetch_add(1);
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    for (std::thread &t : consumers)
+        t.join();
+    EXPECT_EQ(exited.load(), 3);
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumers)
+{
+    constexpr int producers = 4;
+    constexpr int consumers = 4;
+    constexpr int perProducer = 2000;
+    BoundedQueue<int> q(64);
+    std::atomic<std::uint64_t> consumedSum{0};
+    std::atomic<std::uint64_t> consumedCount{0};
+
+    std::vector<std::thread> threads;
+    for (int c = 0; c < consumers; ++c) {
+        threads.emplace_back([&] {
+            int out = 0;
+            while (q.pop(out)) {
+                consumedSum.fetch_add(out);
+                consumedCount.fetch_add(1);
+            }
+        });
+    }
+    std::uint64_t producedSum = 0;
+    std::vector<std::thread> prod;
+    std::atomic<std::uint64_t> producedAtomic{0};
+    for (int p = 0; p < producers; ++p) {
+        prod.emplace_back([&, p] {
+            for (int i = 0; i < perProducer; ++i) {
+                const int item = p * perProducer + i;
+                while (!q.tryPush(item))
+                    std::this_thread::yield();
+                producedAtomic.fetch_add(item);
+            }
+        });
+    }
+    for (std::thread &t : prod)
+        t.join();
+    producedSum = producedAtomic.load();
+    q.close();
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(consumedCount.load(),
+              static_cast<std::uint64_t>(producers * perProducer));
+    EXPECT_EQ(consumedSum.load(), producedSum);
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,236 @@
+/** @file Unit tests for the server's JSON codec. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "server/json.hh"
+
+namespace fosm::json {
+namespace {
+
+Value
+mustParse(const std::string &text)
+{
+    Value v;
+    std::string error;
+    EXPECT_TRUE(parse(text, v, &error)) << text << ": " << error;
+    return v;
+}
+
+std::string
+parseError(const std::string &text)
+{
+    Value v;
+    std::string error;
+    EXPECT_FALSE(parse(text, v, &error)) << text;
+    EXPECT_TRUE(v.isNull());
+    return error;
+}
+
+// -- Parsing -------------------------------------------------------
+
+TEST(JsonParse, Primitives)
+{
+    EXPECT_TRUE(mustParse("null").isNull());
+    EXPECT_TRUE(mustParse("true").asBool());
+    EXPECT_FALSE(mustParse("false").asBool(true));
+    EXPECT_DOUBLE_EQ(mustParse("42").asDouble(), 42.0);
+    EXPECT_DOUBLE_EQ(mustParse("-17.5").asDouble(), -17.5);
+    EXPECT_DOUBLE_EQ(mustParse("1e3").asDouble(), 1000.0);
+    EXPECT_DOUBLE_EQ(mustParse("2.5E-2").asDouble(), 0.025);
+    EXPECT_EQ(mustParse("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParse, NestedStructures)
+{
+    const Value v = mustParse(
+        "{\"a\": [1, 2, {\"b\": true}], \"c\": {\"d\": null}}");
+    ASSERT_TRUE(v.isObject());
+    const Value *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->items()[0].asDouble(), 1.0);
+    const Value *b = a->items()[2].find("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(b->asBool());
+    const Value *c = v.find("c");
+    ASSERT_NE(c, nullptr);
+    ASSERT_NE(c->find("d"), nullptr);
+    EXPECT_TRUE(c->find("d")->isNull());
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    EXPECT_EQ(mustParse("\"a\\n\\t\\\"b\\\\\"").asString(),
+              "a\n\t\"b\\");
+    EXPECT_EQ(mustParse("\"\\u0041\\u00e9\"").asString(),
+              "A\xc3\xa9"); // é in UTF-8
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ(mustParse("\"\\ud83d\\ude00\"").asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, WhitespaceTolerated)
+{
+    const Value v = mustParse(" \t\n{ \"k\" :\r [ 1 , 2 ] } \n");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.find("k")->items().size(), 2u);
+}
+
+// -- Malformed input -----------------------------------------------
+
+TEST(JsonParse, RejectsMalformed)
+{
+    parseError("");
+    parseError("   ");
+    parseError("{");
+    parseError("[1, 2");
+    parseError("{\"a\": }");
+    parseError("{\"a\" 1}");
+    parseError("{'a': 1}");
+    parseError("\"unterminated");
+    parseError("tru");
+    parseError("nulll");
+    parseError("+1");
+    parseError("01");      // leading zero
+    parseError("1.");      // digits required after the point
+    parseError(".5");
+    parseError("1e");      // digits required in the exponent
+    parseError("nan");
+    parseError("Infinity");
+    parseError("\"bad\\q escape\"");
+    parseError("\"\\ud83d\""); // lone high surrogate
+    parseError("[1,]");
+    parseError("{\"a\":1,}");
+}
+
+TEST(JsonParse, RejectsTrailingGarbage)
+{
+    parseError("{} extra");
+    parseError("1 2");
+    parseError("null,");
+}
+
+TEST(JsonParse, RejectsExcessiveNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += "[";
+    deep += "1";
+    for (int i = 0; i < 100; ++i)
+        deep += "]";
+    const std::string error = parseError(deep);
+    EXPECT_NE(error.find("deep"), std::string::npos) << error;
+}
+
+TEST(JsonParse, ErrorsCarryByteOffsets)
+{
+    const std::string error = parseError("{\"a\": blob}");
+    EXPECT_NE(error.find("offset"), std::string::npos) << error;
+}
+
+// -- Serialization -------------------------------------------------
+
+TEST(JsonDump, InsertionOrderPreserved)
+{
+    Value v = Value::object();
+    v.set("z", 1);
+    v.set("a", 2);
+    v.set("m", 3);
+    EXPECT_EQ(v.dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+}
+
+TEST(JsonDump, CanonicalSortsKeysRecursively)
+{
+    Value inner = Value::object();
+    inner.set("beta", 2);
+    inner.set("alpha", 1);
+    Value v = Value::object();
+    v.set("z", std::move(inner));
+    v.set("a", true);
+    EXPECT_EQ(v.canonical(),
+              "{\"a\":true,\"z\":{\"alpha\":1,\"beta\":2}}");
+    // Semantically equal documents canonicalize identically.
+    const Value other =
+        mustParse("{\"z\": {\"alpha\": 1, \"beta\": 2}, \"a\": true}");
+    EXPECT_EQ(other.canonical(), v.canonical());
+}
+
+TEST(JsonDump, StringEscaping)
+{
+    Value v("quote\" back\\ ctrl\x01\n");
+    EXPECT_EQ(v.dump(), "\"quote\\\" back\\\\ ctrl\\u0001\\n\"");
+}
+
+TEST(JsonDump, IntegralNumbersHaveNoFraction)
+{
+    EXPECT_EQ(Value(5).dump(), "5");
+    EXPECT_EQ(Value(-3).dump(), "-3");
+    EXPECT_EQ(Value(std::uint64_t{1} << 40).dump(), "1099511627776");
+}
+
+TEST(JsonDump, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(Value(std::nan("")).dump(), "null");
+    EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+}
+
+// -- Round trips ---------------------------------------------------
+
+TEST(JsonRoundTrip, DoublesAreBitIdentical)
+{
+    const double cases[] = {
+        0.1,
+        1.0 / 3.0,
+        2.718281828459045,
+        1.4900558581319288, // an actual fitted alpha
+        0.47961459037623627,
+        1e-300,
+        1e300,
+        5e-324, // min denormal
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::min(),
+        -123456.789012345678,
+        0.0,
+    };
+    for (const double x : cases) {
+        const std::string text = formatDouble(x);
+        const Value v = mustParse(text);
+        const double back = v.asDouble();
+        EXPECT_EQ(std::memcmp(&back, &x, sizeof(double)), 0)
+            << x << " -> " << text << " -> " << back;
+    }
+}
+
+TEST(JsonRoundTrip, DocumentSurvivesReparse)
+{
+    Value doc = Value::object();
+    doc.set("cpi", 1.1618801514675892);
+    doc.set("name", "gzip \u00e9");
+    Value arr = Value::array();
+    arr.push(1);
+    arr.push(0.25);
+    arr.push(false);
+    doc.set("points", std::move(arr));
+
+    const std::string once = doc.dump();
+    const Value back = mustParse(once);
+    EXPECT_EQ(back.dump(), once);
+    EXPECT_EQ(back.canonical(), doc.canonical());
+}
+
+TEST(JsonFnv, HashesDiffer)
+{
+    EXPECT_NE(fnv1a("a"), fnv1a("b"));
+    EXPECT_NE(fnv1a(""), fnv1a("a"));
+    EXPECT_EQ(fnv1a("design-point"), fnv1a("design-point"));
+}
+
+} // namespace
+} // namespace fosm::json

@@ -1,0 +1,140 @@
+/** @file Unit tests for the sharded LRU response cache. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/lru_cache.hh"
+
+namespace fosm::server {
+namespace {
+
+TEST(ShardedLruCache, PutGetHit)
+{
+    ShardedLruCache<std::string> cache(8, 2);
+    cache.put("k1", "v1");
+    std::string out;
+    EXPECT_TRUE(cache.get("k1", out));
+    EXPECT_EQ(out, "v1");
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(ShardedLruCache, MissOnAbsentKey)
+{
+    ShardedLruCache<std::string> cache(8, 2);
+    std::string out;
+    EXPECT_FALSE(cache.get("nope", out));
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.0);
+}
+
+TEST(ShardedLruCache, PutOverwritesExisting)
+{
+    ShardedLruCache<std::string> cache(8, 1);
+    cache.put("k", "old");
+    cache.put("k", "new");
+    std::string out;
+    EXPECT_TRUE(cache.get("k", out));
+    EXPECT_EQ(out, "new");
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedLruCache, EvictsLeastRecentlyUsed)
+{
+    // One shard so the eviction order is fully deterministic.
+    ShardedLruCache<std::string> cache(3, 1);
+    cache.put("a", "1");
+    cache.put("b", "2");
+    cache.put("c", "3");
+    // Touch "a" so "b" is now the LRU entry.
+    std::string out;
+    EXPECT_TRUE(cache.get("a", out));
+    cache.put("d", "4"); // evicts "b"
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(cache.get("b", out));
+    EXPECT_TRUE(cache.get("a", out));
+    EXPECT_TRUE(cache.get("c", out));
+    EXPECT_TRUE(cache.get("d", out));
+}
+
+TEST(ShardedLruCache, CapacityZeroDisables)
+{
+    ShardedLruCache<std::string> cache(0, 4);
+    cache.put("k", "v");
+    std::string out;
+    EXPECT_FALSE(cache.get("k", out));
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ShardedLruCache, CapacitySpreadAcrossShards)
+{
+    // 8 entries over 3 shards rounds up to 3 per shard: the
+    // configured capacity is a floor, not a ceiling.
+    ShardedLruCache<int> cache(8, 3);
+    EXPECT_EQ(cache.shardCount(), 3u);
+    for (int i = 0; i < 64; ++i)
+        cache.put("key" + std::to_string(i), i);
+    EXPECT_LE(cache.size(), 9u);
+    EXPECT_GE(cache.size(), 8u);
+}
+
+TEST(ShardedLruCache, HitRate)
+{
+    ShardedLruCache<int> cache(8, 1);
+    cache.put("k", 1);
+    int out = 0;
+    cache.get("k", out);
+    cache.get("k", out);
+    cache.get("missing", out);
+    EXPECT_NEAR(cache.hitRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ShardedLruCache, ClearEmptiesEveryShard)
+{
+    ShardedLruCache<int> cache(16, 4);
+    for (int i = 0; i < 10; ++i)
+        cache.put("key" + std::to_string(i), i);
+    EXPECT_GT(cache.size(), 0u);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    int out = 0;
+    EXPECT_FALSE(cache.get("key1", out));
+}
+
+TEST(ShardedLruCache, ConcurrentAccessIsSafe)
+{
+    ShardedLruCache<int> cache(128, 8);
+    constexpr int threads = 8;
+    constexpr int opsPerThread = 5000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            int out = 0;
+            for (int i = 0; i < opsPerThread; ++i) {
+                const std::string key =
+                    "key" + std::to_string((t * 31 + i) % 200);
+                if (i % 3 == 0)
+                    cache.put(key, i);
+                else
+                    cache.get(key, out);
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    // No crash/deadlock, and the accounting stayed consistent:
+    // every i % 3 != 0 iteration was a get (hit or miss).
+    const int getsPerThread =
+        opsPerThread - (opsPerThread + 2) / 3;
+    EXPECT_EQ(cache.hits() + cache.misses(),
+              static_cast<std::uint64_t>(threads * getsPerThread));
+    EXPECT_LE(cache.size(), 128u + 8u);
+}
+
+} // namespace
+} // namespace fosm::server

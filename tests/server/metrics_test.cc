@@ -1,0 +1,155 @@
+/** @file Unit tests for the Prometheus metrics registry. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "server/metrics.hh"
+
+namespace fosm::server {
+namespace {
+
+TEST(Counter, Increments)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(5);
+    EXPECT_EQ(c.value(), 6u);
+}
+
+TEST(Gauge, SetAddSub)
+{
+    Gauge g;
+    g.set(10);
+    g.add(5);
+    g.sub(3);
+    EXPECT_EQ(g.value(), 12);
+}
+
+TEST(Histogram, BucketsAndCount)
+{
+    Histogram h({0.001, 0.01, 0.1});
+    h.observe(0.0005); // bucket 0
+    h.observe(0.005);  // bucket 1
+    h.observe(0.05);   // bucket 2
+    h.observe(5.0);    // overflow
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_NEAR(h.sumSeconds(), 5.0555, 1e-6);
+    EXPECT_EQ(h.cumulativeCount(0), 1u);
+    EXPECT_EQ(h.cumulativeCount(1), 2u);
+    EXPECT_EQ(h.cumulativeCount(2), 3u);
+}
+
+TEST(Histogram, QuantileInterpolates)
+{
+    Histogram h({0.001, 0.01, 0.1});
+    for (int i = 0; i < 100; ++i)
+        h.observe(0.005); // all in the (0.001, 0.01] bucket
+    const double p50 = h.quantile(0.5);
+    EXPECT_GT(p50, 0.001);
+    EXPECT_LE(p50, 0.01);
+    // q=0 snaps to the lower edge of the first non-empty bucket.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.001);
+    EXPECT_LE(h.quantile(0.0), p50);
+}
+
+TEST(Histogram, DefaultLatencyBoundsAreSorted)
+{
+    const std::vector<double> bounds = Histogram::latencyBounds();
+    ASSERT_GE(bounds.size(), 4u);
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_LT(bounds[i - 1], bounds[i]);
+    EXPECT_LE(bounds.front(), 100e-6);
+    EXPECT_GE(bounds.back(), 1.0);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsSameObject)
+{
+    MetricsRegistry registry;
+    Counter &a = registry.counter("fosm_test_total", "help");
+    Counter &b = registry.counter("fosm_test_total", "help");
+    EXPECT_EQ(&a, &b);
+    a.inc();
+    EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(MetricsRegistry, LabelsCreateSeparateSeries)
+{
+    MetricsRegistry registry;
+    Counter &ok = registry.counter("fosm_req_total", "requests",
+                                   "path=\"/v1/cpi\",code=\"200\"");
+    Counter &bad = registry.counter("fosm_req_total", "requests",
+                                    "path=\"/v1/cpi\",code=\"400\"");
+    EXPECT_NE(&ok, &bad);
+    ok.inc(3);
+    bad.inc(1);
+    const std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("fosm_req_total{path=\"/v1/cpi\","
+                        "code=\"200\"} 3"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("fosm_req_total{path=\"/v1/cpi\","
+                        "code=\"400\"} 1"),
+              std::string::npos)
+        << text;
+    // One HELP/TYPE pair per family, not per series.
+    EXPECT_EQ(text.find("# HELP fosm_req_total"),
+              text.rfind("# HELP fosm_req_total"));
+}
+
+TEST(MetricsRegistry, RenderFormat)
+{
+    MetricsRegistry registry;
+    registry.counter("fosm_served_total", "Requests served").inc(7);
+    registry.gauge("fosm_inflight", "In-flight requests").set(2);
+    const std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("# HELP fosm_served_total Requests served"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE fosm_served_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("fosm_served_total 7"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE fosm_inflight gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("fosm_inflight 2"), std::string::npos);
+}
+
+TEST(MetricsRegistry, HistogramRendersBucketsSumCount)
+{
+    MetricsRegistry registry;
+    Histogram &h = registry.histogram("fosm_lat_seconds", "latency",
+                                      "", {0.01, 0.1});
+    h.observe(0.005);
+    h.observe(0.5);
+    const std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("# TYPE fosm_lat_seconds histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("fosm_lat_seconds_bucket{le=\"0.01\"} 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("fosm_lat_seconds_bucket{le=\"0.1\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("fosm_lat_seconds_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("fosm_lat_seconds_count 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("fosm_lat_seconds_sum"), std::string::npos);
+}
+
+TEST(MetricsRegistry, CallbackGaugeSampledAtScrape)
+{
+    MetricsRegistry registry;
+    double value = 1.5;
+    registry.addCallbackGauge("fosm_cache_entries", "entries",
+                              [&] { return value; });
+    EXPECT_NE(registry.renderPrometheus().find(
+                  "fosm_cache_entries 1.5"),
+              std::string::npos);
+    value = 7.0;
+    EXPECT_NE(registry.renderPrometheus().find(
+                  "fosm_cache_entries 7"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace fosm::server

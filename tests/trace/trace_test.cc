@@ -111,5 +111,155 @@ TEST(Trace, LoadMissingFileFatal)
                 ::testing::ExitedWithCode(1), "cannot open");
 }
 
+// ------------------------------------------------------------------
+// Robustness: loadTrace must fail loudly (never crash or allocate
+// wildly) on truncated, oversized, and corrupt files.
+
+namespace {
+
+/** A small valid trace file on disk, as raw bytes to corrupt. */
+std::string
+writeValidTrace(const std::string &path, std::size_t insts = 8)
+{
+    test::TraceBuilder b("victim");
+    for (std::size_t i = 0; i < insts; ++i)
+        b.alu(static_cast<int>(i % 4));
+    saveTrace(b.take(), path);
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string bytes;
+    char buf[256];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.append(buf, n);
+    std::fclose(f);
+    return bytes;
+}
+
+void
+writeBytes(const std::string &path, const std::string &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+              bytes.size());
+    std::fclose(f);
+}
+
+// On-disk layout constants (mirror trace.cc's FileHeader and the
+// InstRecord field order).
+constexpr std::size_t headerBytes = 24; // magic[8] + count + nameLen
+constexpr std::size_t countOffset = 8;
+constexpr std::size_t nameLenOffset = 16;
+
+} // namespace
+
+TEST(TraceRobustness, TruncatedHeaderFatal)
+{
+    const std::string path =
+        ::testing::TempDir() + "/fosm_trunc_hdr.trc";
+    writeBytes(path, writeValidTrace(path).substr(0, 10));
+    EXPECT_EXIT(loadTrace(path), ::testing::ExitedWithCode(1),
+                "truncated trace header");
+    std::remove(path.c_str());
+}
+
+TEST(TraceRobustness, TruncatedBodyFatal)
+{
+    const std::string path =
+        ::testing::TempDir() + "/fosm_trunc_body.trc";
+    const std::string bytes = writeValidTrace(path);
+    // Cut the file mid-record.
+    writeBytes(path, bytes.substr(0, bytes.size() - 5));
+    EXPECT_EXIT(loadTrace(path), ::testing::ExitedWithCode(1),
+                "truncated trace file");
+    std::remove(path.c_str());
+}
+
+TEST(TraceRobustness, TrailingGarbageFatal)
+{
+    const std::string path =
+        ::testing::TempDir() + "/fosm_oversize.trc";
+    std::string bytes = writeValidTrace(path);
+    bytes += "extra bytes after the last record";
+    writeBytes(path, bytes);
+    EXPECT_EXIT(loadTrace(path), ::testing::ExitedWithCode(1),
+                "oversized trace file");
+    std::remove(path.c_str());
+}
+
+TEST(TraceRobustness, BadMagicFatal)
+{
+    const std::string path =
+        ::testing::TempDir() + "/fosm_badmagic.trc";
+    std::string bytes = writeValidTrace(path);
+    bytes[0] ^= 0x01; // bit flip inside the magic
+    writeBytes(path, bytes);
+    EXPECT_EXIT(loadTrace(path), ::testing::ExitedWithCode(1),
+                "bad trace magic");
+    std::remove(path.c_str());
+}
+
+TEST(TraceRobustness, CorruptCountFatal)
+{
+    const std::string path =
+        ::testing::TempDir() + "/fosm_badcount.trc";
+    std::string bytes = writeValidTrace(path);
+    // A flipped high bit in the count promises ~10^18 records; the
+    // size cross-check must reject it before any allocation.
+    bytes[countOffset + 7] ^= 0x10;
+    writeBytes(path, bytes);
+    EXPECT_EXIT(loadTrace(path), ::testing::ExitedWithCode(1),
+                "corrupt trace header|truncated trace file");
+    std::remove(path.c_str());
+}
+
+TEST(TraceRobustness, CorruptNameLenFatal)
+{
+    const std::string path =
+        ::testing::TempDir() + "/fosm_badname.trc";
+    std::string bytes = writeValidTrace(path);
+    bytes[nameLenOffset + 2] = static_cast<char>(0xff);
+    writeBytes(path, bytes);
+    EXPECT_EXIT(loadTrace(path), ::testing::ExitedWithCode(1),
+                "corrupt trace header|truncated trace file");
+    std::remove(path.c_str());
+}
+
+TEST(TraceRobustness, BitFlippedClassFatal)
+{
+    const std::string path =
+        ::testing::TempDir() + "/fosm_badclass.trc";
+    std::string bytes = writeValidTrace(path);
+    // cls is the 17th byte of the 3rd record ("victim" name = 6
+    // bytes): pc(8) + effAddr(8) precede it.
+    const std::size_t clsOffset =
+        headerBytes + 6 + 2 * sizeof(InstRecord) + 16;
+    ASSERT_LT(clsOffset, bytes.size());
+    bytes[clsOffset] = static_cast<char>(0xe0); // >= numInstClasses
+    writeBytes(path, bytes);
+    EXPECT_EXIT(loadTrace(path), ::testing::ExitedWithCode(1),
+                "bad instruction class");
+    std::remove(path.c_str());
+}
+
+TEST(TraceRobustness, BitFlippedRegisterFatal)
+{
+    const std::string path =
+        ::testing::TempDir() + "/fosm_badreg.trc";
+    std::string bytes = writeValidTrace(path);
+    // dst (int16) starts at byte 18 of the first record; 0x7fff is
+    // far outside [0, numArchRegs) and not invalidReg.
+    const std::size_t dstOffset = headerBytes + 6 + 18;
+    ASSERT_LT(dstOffset + 1, bytes.size());
+    bytes[dstOffset] = static_cast<char>(0xff);
+    bytes[dstOffset + 1] = 0x7f;
+    writeBytes(path, bytes);
+    EXPECT_EXIT(loadTrace(path), ::testing::ExitedWithCode(1),
+                "register index out of range");
+    std::remove(path.c_str());
+}
+
 } // namespace
 } // namespace fosm

@@ -1,15 +1,23 @@
 /**
  * @file
- * Minimal command-line flag parsing shared by the fosm tools. Flags
- * are --name value pairs; positional arguments are collected in
- * order. No external dependencies.
+ * Minimal command-line flag parsing shared by the fosm tools.
+ * Flags come as `--name value`, `--name=value`, or bare `--name`
+ * (boolean, stored as "1"); positional arguments are collected in
+ * order. Each tool declares its known flags and a usage text:
+ * unknown flags are a fatal error (instead of silently swallowing a
+ * following flag as a value), `--help` prints the usage and exits,
+ * and numeric getters reject garbage values. No external
+ * dependencies.
  */
 
 #ifndef FOSM_TOOLS_CLI_HH
 #define FOSM_TOOLS_CLI_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <initializer_list>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -22,18 +30,52 @@ namespace fosm::cli {
 class Args
 {
   public:
-    Args(int argc, char **argv)
+    /**
+     * @param known every flag name the tool accepts (without the
+     *        leading dashes); anything else is fatal
+     * @param usage help text printed (followed by exit 0) on --help
+     */
+    Args(int argc, char **argv,
+         std::initializer_list<const char *> known,
+         const std::string &usage)
     {
+        const std::vector<std::string> knownFlags(known.begin(),
+                                                  known.end());
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
-            if (arg.rfind("--", 0) == 0) {
-                const std::string name = arg.substr(2);
-                if (i + 1 >= argc)
-                    fosm_fatal("flag --", name, " needs a value");
-                flags_[name] = argv[++i];
-            } else {
+            if (arg.rfind("--", 0) != 0) {
                 positional_.push_back(arg);
+                continue;
             }
+            std::string name = arg.substr(2);
+            std::string value;
+            bool haveValue = false;
+            const std::size_t eq = name.find('=');
+            if (eq != std::string::npos) {
+                value = name.substr(eq + 1);
+                name = name.substr(0, eq);
+                haveValue = true;
+            }
+            if (name == "help") {
+                std::cout << usage;
+                std::exit(0);
+            }
+            if (std::find(knownFlags.begin(), knownFlags.end(),
+                          name) == knownFlags.end()) {
+                fosm_fatal("unknown flag --", name,
+                           " (try --help)");
+            }
+            if (!haveValue) {
+                // A following token that is not itself a flag is the
+                // value; otherwise this is a boolean flag.
+                if (i + 1 < argc &&
+                    std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                    value = argv[++i];
+                } else {
+                    value = "1";
+                }
+            }
+            flags_[name] = value;
         }
     }
 
@@ -56,8 +98,14 @@ class Args
         const auto it = flags_.find(name);
         if (it == flags_.end())
             return fallback;
-        return static_cast<std::uint64_t>(
-            std::strtoull(it->second.c_str(), nullptr, 0));
+        char *end = nullptr;
+        const std::uint64_t v = static_cast<std::uint64_t>(
+            std::strtoull(it->second.c_str(), &end, 0));
+        if (end == it->second.c_str() || *end != '\0') {
+            fosm_fatal("flag --", name, " needs an integer, got '",
+                       it->second, "'");
+        }
+        return v;
     }
 
     double
@@ -66,7 +114,13 @@ class Args
         const auto it = flags_.find(name);
         if (it == flags_.end())
             return fallback;
-        return std::strtod(it->second.c_str(), nullptr);
+        char *end = nullptr;
+        const double v = std::strtod(it->second.c_str(), &end);
+        if (end == it->second.c_str() || *end != '\0') {
+            fosm_fatal("flag --", name, " needs a number, got '",
+                       it->second, "'");
+        }
+        return v;
     }
 
     const std::vector<std::string> &positional() const

@@ -60,7 +60,10 @@ int
 main(int argc, char **argv)
 {
     using namespace fosm;
-    const cli::Args args(argc, argv);
+    const cli::Args args(
+        argc, argv, {"bench", "insts", "repeats", "evals", "out"},
+        "usage: fosm-bench [--bench gzip] [--insts 100000]\n"
+        "  [--repeats 5] [--evals 200] [--out report.json]\n");
 
     const std::string bench = args.get("bench", "gzip");
     const std::uint64_t insts = args.getInt("insts", 100000);

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * fosm-loadgen: closed-loop load generator for fosm-serve.
+ *
+ *   fosm-loadgen [--host 127.0.0.1] [--port 8080]
+ *                [--connections 4] [--duration 10] [--warmup 1]
+ *                [--endpoint /v1/cpi] [--distinct 12]
+ *                [--out report.json]
+ *
+ * Each connection is one thread issuing requests back-to-back over a
+ * keep-alive connection (closed loop: a new request only after the
+ * previous response). Request bodies rotate through --distinct
+ * different design points (workload x deltaD variations), which sets
+ * the server-side cache hit profile: --distinct far below the cache
+ * capacity measures the cached path, --distinct 0 sends a unique
+ * design point every time (all misses). Reports throughput and
+ * latency percentiles, excluding the warm-up window, and counts per
+ * status (503s are retried immediately — that IS the overload test).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "cli.hh"
+#include "server/client.hh"
+#include "server/json.hh"
+#include "workload/profile.hh"
+
+namespace {
+
+using namespace fosm;
+using Clock = std::chrono::steady_clock;
+
+struct WorkerResult
+{
+    std::vector<double> latencies; ///< seconds, 2xx only, post-warmup
+    std::uint64_t ok = 0;          ///< 2xx post-warmup
+    std::uint64_t rejected = 0;    ///< 503 post-warmup
+    std::uint64_t errors = 0;      ///< other statuses / transport
+    std::uint64_t warmup = 0;      ///< requests in the warmup window
+};
+
+/** Pre-built request bodies rotated by every worker. */
+std::vector<std::string>
+buildBodies(const std::string &endpoint, std::uint64_t distinct)
+{
+    const std::vector<std::string> names = profileNames();
+    // 0 means "never repeat": the worker appends a unique deltaD per
+    // request instead of using this list.
+    const std::uint64_t n = distinct == 0 ? names.size() : distinct;
+    std::vector<std::string> bodies;
+    bodies.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        json::Value body = json::Value::object();
+        if (endpoint == "/v1/trends") {
+            // Trends are workload-independent; vary the width list
+            // to make each body a distinct design question.
+            body.set("study", i % 2 == 0 ? "pipeline-depth"
+                                         : "issue-width");
+            json::Value widths = json::Value::array();
+            widths.push(std::uint64_t{2 + i % 7});
+            body.set("widths", std::move(widths));
+        } else if (endpoint == "/v1/iw-curve") {
+            body.set("workload", names[i % names.size()]);
+            if (i >= names.size()) {
+                json::Value windows = json::Value::array();
+                windows.push(std::uint64_t{4 + i % 60});
+                body.set("windows", std::move(windows));
+            }
+        } else {
+            body.set("workload", names[i % names.size()]);
+            json::Value machine = json::Value::object();
+            // Vary the memory latency so each body is a distinct
+            // design point.
+            machine.set("deltaD",
+                        std::uint64_t{100 + 10 * (i / names.size())});
+            body.set("machine", std::move(machine));
+        }
+        bodies.push_back(body.dump());
+    }
+    return bodies;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const cli::Args args(
+        argc, argv,
+        {"host", "port", "connections", "duration", "warmup",
+         "endpoint", "distinct", "out"},
+        "usage: fosm-loadgen [flags]\n"
+        "  --host 127.0.0.1    server address\n"
+        "  --port 8080         server port\n"
+        "  --connections 4     concurrent closed-loop connections\n"
+        "  --duration 10       measured seconds\n"
+        "  --warmup 1          unmeasured leading seconds\n"
+        "  --endpoint /v1/cpi  target endpoint\n"
+        "  --distinct 12       distinct request bodies "
+        "(0 = all unique)\n"
+        "  --out report.json   write the report as JSON\n");
+
+    const std::string host = args.get("host", "127.0.0.1");
+    const std::uint16_t port =
+        static_cast<std::uint16_t>(args.getInt("port", 8080));
+    const std::uint64_t connections =
+        std::max<std::uint64_t>(1, args.getInt("connections", 4));
+    const double duration =
+        std::max(0.1, args.getDouble("duration", 10.0));
+    const double warmup = args.getDouble("warmup", 1.0);
+    const std::string endpoint = args.get("endpoint", "/v1/cpi");
+    const std::uint64_t distinct = args.getInt("distinct", 12);
+
+    const std::vector<std::string> bodies =
+        buildBodies(endpoint, distinct);
+
+    const auto start = Clock::now();
+    const auto measureFrom =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(warmup));
+    const auto deadline =
+        measureFrom + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(duration));
+
+    std::vector<WorkerResult> results(connections);
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    std::atomic<std::uint64_t> uniqueSeq{0};
+
+    for (std::uint64_t c = 0; c < connections; ++c) {
+        threads.emplace_back([&, c] {
+            WorkerResult &r = results[c];
+            fosm::server::HttpClient client(host, port);
+            fosm::server::ClientResponse response;
+            std::uint64_t i = c; // stagger the rotation per thread
+            while (Clock::now() < deadline) {
+                std::string body = bodies[i % bodies.size()];
+                if (distinct == 0) {
+                    // Unique design point per request: defeat the
+                    // cache by bumping a parameter monotonically.
+                    // Each endpoint accepts different members, so
+                    // vary one it actually validates.
+                    json::Value v;
+                    std::string err;
+                    json::parse(body, v, &err);
+                    const std::uint64_t seq = uniqueSeq.fetch_add(1);
+                    if (endpoint == "/v1/trends") {
+                        json::Value config = json::Value::object();
+                        config.set(
+                            "avgLatency",
+                            1.0 +
+                                static_cast<double>(seq % 900000) *
+                                    1e-6);
+                        v.set("config", std::move(config));
+                    } else if (endpoint == "/v1/iw-curve") {
+                        json::Value windows = json::Value::array();
+                        windows.push(std::uint64_t{4 + seq % 250});
+                        v.set("windows", std::move(windows));
+                    } else {
+                        json::Value machine = json::Value::object();
+                        machine.set("deltaD",
+                                    std::uint64_t{100 + seq % 900000});
+                        v.set("machine", std::move(machine));
+                    }
+                    body = v.dump();
+                }
+                ++i;
+                const auto t0 = Clock::now();
+                const bool ok =
+                    client.request("POST", endpoint, body, response);
+                const auto t1 = Clock::now();
+                if (t1 < measureFrom) {
+                    ++r.warmup;
+                    continue;
+                }
+                if (!ok) {
+                    ++r.errors;
+                    continue;
+                }
+                if (response.status == 200) {
+                    ++r.ok;
+                    r.latencies.push_back(
+                        std::chrono::duration<double>(t1 - t0)
+                            .count());
+                } else if (response.status == 503) {
+                    ++r.rejected;
+                } else {
+                    ++r.errors;
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    // Aggregate.
+    WorkerResult total;
+    for (WorkerResult &r : results) {
+        total.ok += r.ok;
+        total.rejected += r.rejected;
+        total.errors += r.errors;
+        total.warmup += r.warmup;
+        total.latencies.insert(total.latencies.end(),
+                               r.latencies.begin(),
+                               r.latencies.end());
+    }
+    std::sort(total.latencies.begin(), total.latencies.end());
+    const auto pct = [&](double q) {
+        if (total.latencies.empty())
+            return 0.0;
+        const std::size_t idx = std::min(
+            total.latencies.size() - 1,
+            static_cast<std::size_t>(
+                q * static_cast<double>(total.latencies.size())));
+        return total.latencies[idx];
+    };
+    double sum = 0.0;
+    for (const double l : total.latencies)
+        sum += l;
+    const double mean =
+        total.latencies.empty()
+            ? 0.0
+            : sum / static_cast<double>(total.latencies.size());
+    const double throughput =
+        static_cast<double>(total.ok) / duration;
+
+    json::Value report = json::Value::object();
+    report.set("endpoint", endpoint);
+    report.set("connections", connections);
+    report.set("duration_s", duration);
+    report.set("distinct_bodies",
+               distinct == 0 ? json::Value("unique")
+                             : json::Value(distinct));
+    report.set("requests_ok", total.ok);
+    report.set("requests_503", total.rejected);
+    report.set("requests_error", total.errors);
+    report.set("throughput_rps", throughput);
+    json::Value lat = json::Value::object();
+    lat.set("mean_us", mean * 1e6);
+    lat.set("p50_us", pct(0.50) * 1e6);
+    lat.set("p90_us", pct(0.90) * 1e6);
+    lat.set("p99_us", pct(0.99) * 1e6);
+    lat.set("max_us", total.latencies.empty()
+                          ? 0.0
+                          : total.latencies.back() * 1e6);
+    report.set("latency", std::move(lat));
+
+    std::cout << "fosm-loadgen: " << total.ok << " ok, "
+              << total.rejected << " x 503, " << total.errors
+              << " errors in " << duration << " s ("
+              << json::formatDouble(throughput) << " req/s)\n"
+              << "latency us: mean "
+              << json::formatDouble(mean * 1e6) << ", p50 "
+              << json::formatDouble(pct(0.50) * 1e6) << ", p90 "
+              << json::formatDouble(pct(0.90) * 1e6) << ", p99 "
+              << json::formatDouble(pct(0.99) * 1e6) << "\n";
+
+    if (args.has("out")) {
+        std::ofstream out(args.get("out", ""));
+        out << report.dump() << "\n";
+        if (!out) {
+            std::cerr << "error: cannot write "
+                      << args.get("out", "") << "\n";
+            return 1;
+        }
+    }
+    return total.errors == 0 ? 0 : 2;
+}

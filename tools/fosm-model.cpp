@@ -23,7 +23,14 @@ int
 main(int argc, char **argv)
 {
     using namespace fosm;
-    const cli::Args args(argc, argv);
+    const cli::Args args(
+        argc, argv,
+        {"bench", "trace", "width", "depth", "window", "rob",
+         "deltaI", "deltaD", "clusters", "insts", "sim", "csv"},
+        "usage: fosm-model --bench <name> | --trace <file.trc>\n"
+        "  [--width 4] [--depth 5] [--window 48] [--rob 128]\n"
+        "  [--deltaI 8] [--deltaD 200] [--clusters 1]\n"
+        "  [--insts 400000] [--sim] [--csv]\n");
 
     // Workload: shipped profile or saved trace.
     Trace trace;

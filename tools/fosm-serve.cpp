@@ -1,0 +1,120 @@
+/**
+ * @file
+ * fosm-serve: the model-evaluation daemon.
+ *
+ *   fosm-serve [--host 127.0.0.1] [--port 8080] [--workers N]
+ *              [--queue 128] [--cache 8192] [--no-warmup]
+ *
+ * Serves POST /v1/cpi, /v1/iw-curve and /v1/trends plus GET /healthz
+ * and /metrics (Prometheus text). Evaluated design points are
+ * memoized in a sharded LRU response cache (--cache 0 disables, for
+ * benchmarking the uncached path). By default all 12 workload
+ * characterizations are built before the socket opens so first
+ * queries are fast; --no-warmup defers that to first use.
+ * SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
+ * requests before exiting.
+ */
+
+#include <csignal>
+#include <iostream>
+
+#include <unistd.h>
+
+#include "cli.hh"
+#include "server/http.hh"
+#include "server/service.hh"
+
+namespace {
+
+/** Written by the signal handler; write() is async-signal-safe. */
+volatile int stopFd = -1;
+
+void
+onSignal(int)
+{
+    if (stopFd >= 0) {
+        const char b = 's';
+        [[maybe_unused]] ssize_t n = ::write(stopFd, &b, 1);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace fosm;
+    using namespace fosm::server;
+
+    const cli::Args args(
+        argc, argv,
+        {"host", "port", "workers", "queue", "cache", "no-warmup",
+         "retry-after", "max-connections"},
+        "usage: fosm-serve [flags]\n"
+        "  --host 127.0.0.1       listen address\n"
+        "  --port 8080            listen port (0 = ephemeral)\n"
+        "  --workers N            worker threads (default: cores)\n"
+        "  --queue 128            admission queue capacity\n"
+        "  --cache 8192           response cache entries (0 = off)\n"
+        "  --max-connections 1024 connection limit\n"
+        "  --retry-after 1        Retry-After seconds on 503\n"
+        "  --no-warmup            build workloads lazily\n");
+
+    MetricsRegistry metrics;
+
+    ServiceConfig serviceConfig;
+    serviceConfig.cacheCapacity = args.getInt("cache", 8192);
+    ModelService service(serviceConfig, metrics);
+
+    if (!args.has("no-warmup")) {
+        std::cout << "fosm-serve: building "
+                  << Workbench::benchmarks().size()
+                  << " workload characterizations ("
+                  << service.workbench().traceInstructions()
+                  << " insts each)...\n";
+        service.warmup();
+    }
+
+    HttpServerConfig serverConfig;
+    serverConfig.host = args.get("host", "127.0.0.1");
+    serverConfig.port =
+        static_cast<std::uint16_t>(args.getInt("port", 8080));
+    serverConfig.workers = args.getInt("workers", 0);
+    serverConfig.queueCapacity = args.getInt("queue", 128);
+    serverConfig.maxConnections =
+        args.getInt("max-connections", 1024);
+    serverConfig.retryAfterSeconds =
+        static_cast<int>(args.getInt("retry-after", 1));
+    serverConfig.metricPaths = service.metricPaths();
+
+    HttpServer server(serverConfig, service.handler(), &metrics);
+    server.start();
+
+    stopFd = server.stopFd();
+    struct sigaction sa{};
+    sa.sa_handler = onSignal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    signal(SIGPIPE, SIG_IGN);
+
+    std::cout << "fosm-serve: listening on " << serverConfig.host
+              << ":" << server.port() << " ("
+              << (serverConfig.workers
+                      ? std::to_string(serverConfig.workers)
+                      : std::string("auto"))
+              << " workers, queue " << serverConfig.queueCapacity
+              << ", cache "
+              << (serviceConfig.cacheCapacity
+                      ? std::to_string(serviceConfig.cacheCapacity)
+                      : std::string("off"))
+              << ")\n"
+              << "fosm-serve: POST /v1/cpi /v1/iw-curve /v1/trends; "
+                 "GET /healthz /metrics\n";
+    std::cout.flush();
+
+    server.join();
+    std::cout << "fosm-serve: drained, "
+              << server.requestsServed() << " requests served, "
+              << server.requestsRejected() << " rejected\n";
+    return 0;
+}

@@ -138,7 +138,14 @@ int
 main(int argc, char **argv)
 {
     using namespace fosm;
-    const cli::Args args(argc, argv);
+    const cli::Args args(
+        argc, argv, {"insts", "seed", "head"},
+        "usage: fosm-trace <command> [flags]\n"
+        "  list                      list shipped workload profiles\n"
+        "  gen <profile> <out.trc>   generate a synthetic trace\n"
+        "      [--insts N] [--seed S]\n"
+        "  info <file.trc>           summarize a saved trace\n"
+        "      [--head N]\n");
     if (args.positional().empty()) {
         std::cerr << "usage: fosm-trace <list|gen|info> ...\n";
         return 1;
