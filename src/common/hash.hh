@@ -1,0 +1,75 @@
+/**
+ * @file
+ * FNV-1a 64-bit hashing, shared by the serving layer (cache shard
+ * selection, request digests) and the persistent store (record key
+ * digests, trace content digests). Header-only: the hash is a few
+ * instructions per byte and inlining matters on the digest paths.
+ */
+
+#ifndef FOSM_COMMON_HASH_HH
+#define FOSM_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fosm {
+
+inline constexpr std::uint64_t fnvOffsetBasis =
+    1469598103934665603ull;
+inline constexpr std::uint64_t fnvPrime = 1099511628211ull;
+
+/**
+ * Incremental FNV-1a hasher for digesting structured data
+ * field-by-field (never hash raw struct bytes: padding is
+ * indeterminate).
+ */
+class Fnv1a
+{
+  public:
+    void
+    update(const void *data, std::size_t size)
+    {
+        const auto *bytes = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            hash_ ^= bytes[i];
+            hash_ *= fnvPrime;
+        }
+    }
+
+    void
+    update(std::string_view s)
+    {
+        update(s.data(), s.size());
+    }
+
+    /** Hash one integral value by its little-endian byte image. */
+    template <typename T>
+    void
+    updateInt(T v)
+    {
+        const auto u = static_cast<std::uint64_t>(v);
+        for (unsigned i = 0; i < sizeof(T); ++i) {
+            hash_ ^= static_cast<unsigned char>(u >> (8 * i));
+            hash_ *= fnvPrime;
+        }
+    }
+
+    std::uint64_t digest() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = fnvOffsetBasis;
+};
+
+/** One-shot FNV-1a over a byte string. */
+inline std::uint64_t
+fnv1a64(std::string_view data)
+{
+    Fnv1a h;
+    h.update(data);
+    return h.digest();
+}
+
+} // namespace fosm
+
+#endif // FOSM_COMMON_HASH_HH

@@ -96,6 +96,19 @@ Histogram::add(std::uint64_t value, std::uint64_t weight)
         overflow_ += weight;
 }
 
+Histogram
+Histogram::restore(std::vector<std::uint64_t> counts,
+                   std::uint64_t samples, std::uint64_t overflow,
+                   double weighted_sum)
+{
+    Histogram h(counts.empty() ? 0 : counts.size() - 1);
+    h.buckets_ = std::move(counts);
+    h.samples_ = samples;
+    h.overflow_ = overflow;
+    h.weightedSum_ = weighted_sum;
+    return h;
+}
+
 std::uint64_t
 Histogram::countAt(std::uint64_t value) const
 {

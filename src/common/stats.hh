@@ -85,6 +85,28 @@ class Histogram
      */
     std::vector<double> pmf() const;
 
+    // -- Raw state, for exact serialization --------------------------
+
+    /** Bucket counts for values [0, maxValue]. */
+    const std::vector<std::uint64_t> &counts() const
+    {
+        return buckets_;
+    }
+
+    /** Accumulated value*weight sum (overflow counted at cap + 1). */
+    double weightedSum() const { return weightedSum_; }
+
+    /**
+     * Reconstitute a histogram from previously serialized raw state.
+     * weighted_sum is restored verbatim rather than re-accumulated:
+     * floating-point addition order would otherwise differ from the
+     * original run and mean() must be bit-identical after a reload.
+     */
+    static Histogram restore(std::vector<std::uint64_t> counts,
+                             std::uint64_t samples,
+                             std::uint64_t overflow,
+                             double weighted_sum);
+
   private:
     std::vector<std::uint64_t> buckets_;
     std::uint64_t samples_ = 0;

@@ -1,0 +1,156 @@
+#include "experiments/characterization_store.hh"
+
+#include <cstdio>
+
+#include "common/version.hh"
+#include "store/codec.hh"
+
+namespace fosm {
+
+namespace {
+
+void
+encodeHistogram(store::Encoder &enc, const Histogram &h)
+{
+    enc.u64Vector(h.counts());
+    enc.u64(h.samples());
+    enc.u64(h.overflow());
+    enc.f64(h.weightedSum());
+}
+
+bool
+decodeHistogram(store::Decoder &dec, Histogram &out)
+{
+    std::vector<std::uint64_t> counts;
+    std::uint64_t samples, overflow;
+    double weightedSum;
+    if (!dec.u64Vector(counts) || !dec.u64(samples) ||
+        !dec.u64(overflow) || !dec.f64(weightedSum) ||
+        counts.empty())
+        return false;
+    out = Histogram::restore(std::move(counts), samples, overflow,
+                             weightedSum);
+    return true;
+}
+
+} // namespace
+
+CharacterizationStore::CharacterizationStore(
+    std::shared_ptr<store::PersistentStore> store)
+    : store_(std::move(store))
+{
+}
+
+std::string
+CharacterizationStore::key(const std::string &workload,
+                           std::uint64_t instructions,
+                           std::uint64_t trace_digest)
+{
+    char digest[17];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(trace_digest));
+    return "c/v" + std::to_string(modelSchemaVersion) + "." +
+           std::to_string(characterizationFormatVersion) + "/" +
+           workload + "/" + std::to_string(instructions) + "/" +
+           digest;
+}
+
+std::string
+CharacterizationStore::encode(const Characterization &c)
+{
+    const MissProfile &p = c.missProfile;
+    store::Encoder enc;
+    enc.u64(p.instructions);
+    for (const double f : p.mix.fraction)
+        enc.f64(f);
+    enc.u64(p.branches);
+    enc.u64(p.mispredictions);
+    encodeHistogram(enc, p.mispredictGap);
+    enc.u64(p.icacheL1Misses);
+    enc.u64(p.icacheL2Misses);
+    encodeHistogram(enc, p.icacheMissGap);
+    enc.u64(p.loads);
+    enc.u64(p.stores);
+    enc.u64(p.shortLoadMisses);
+    enc.u64(p.longLoadMisses);
+    enc.u64(p.storeMisses);
+    enc.u32Vector(p.ldmGaps);
+    enc.u64(p.dtlbLoadMisses);
+    enc.u64(p.dtlbStoreMisses);
+    enc.u32Vector(p.dtlbGaps);
+    enc.f64(p.avgLatency);
+
+    enc.u64(c.iwPoints.size());
+    for (const IwPoint &point : c.iwPoints) {
+        enc.u32(point.windowSize);
+        enc.f64(point.ipc);
+    }
+    return enc.take();
+}
+
+bool
+CharacterizationStore::decode(const std::string &bytes,
+                              Characterization &out)
+{
+    MissProfile p;
+    store::Decoder dec(bytes);
+    bool ok = dec.u64(p.instructions);
+    for (double &f : p.mix.fraction)
+        ok = ok && dec.f64(f);
+    ok = ok && dec.u64(p.branches);
+    ok = ok && dec.u64(p.mispredictions);
+    ok = ok && decodeHistogram(dec, p.mispredictGap);
+    ok = ok && dec.u64(p.icacheL1Misses);
+    ok = ok && dec.u64(p.icacheL2Misses);
+    ok = ok && decodeHistogram(dec, p.icacheMissGap);
+    ok = ok && dec.u64(p.loads);
+    ok = ok && dec.u64(p.stores);
+    ok = ok && dec.u64(p.shortLoadMisses);
+    ok = ok && dec.u64(p.longLoadMisses);
+    ok = ok && dec.u64(p.storeMisses);
+    ok = ok && dec.u32Vector(p.ldmGaps);
+    ok = ok && dec.u64(p.dtlbLoadMisses);
+    ok = ok && dec.u64(p.dtlbStoreMisses);
+    ok = ok && dec.u32Vector(p.dtlbGaps);
+    ok = ok && dec.f64(p.avgLatency);
+
+    std::uint64_t points = 0;
+    ok = ok && dec.u64(points);
+    if (!ok || points > bytes.size())
+        return false;
+    std::vector<IwPoint> iw;
+    iw.reserve(points);
+    for (std::uint64_t i = 0; i < points; ++i) {
+        IwPoint point;
+        if (!dec.u32(point.windowSize) || !dec.f64(point.ipc))
+            return false;
+        iw.push_back(point);
+    }
+    if (!dec.atEnd())
+        return false;
+    out.missProfile = std::move(p);
+    out.iwPoints = std::move(iw);
+    return true;
+}
+
+bool
+CharacterizationStore::load(const std::string &key,
+                            Characterization &out) const
+{
+    std::string bytes;
+    if (!store_ || !store_->get(key, bytes))
+        return false;
+    // A record that fails to decode (e.g. written by a build with a
+    // different layout but an un-bumped format version) is a miss.
+    return decode(bytes, out);
+}
+
+void
+CharacterizationStore::save(const std::string &key,
+                            const Characterization &c)
+{
+    if (store_)
+        store_->put(key, encode(c));
+}
+
+} // namespace fosm

@@ -85,6 +85,25 @@ Workbench::buildWorkload(const std::string &name, WorkloadData &data)
     data.profile = &profileByName(name);
     data.trace = generateTrace(*data.profile, traceInsts_);
     data.traceStats = collectTraceStats(data.trace);
+
+    // The miss profile and IW curve are pure functions of the trace
+    // bytes, so with a store attached they are loaded by content
+    // digest when a previous process already computed them.
+    std::string storeKey;
+    if (charStore_) {
+        storeKey = CharacterizationStore::key(
+            name, traceInsts_, traceDigest(data.trace));
+        Characterization c;
+        if (charStore_->load(storeKey, c)) {
+            data.missProfile = std::move(c.missProfile);
+            data.iwPoints = std::move(c.iwPoints);
+            data.iw = fitIw(data.iwPoints,
+                            data.missProfile.avgLatency, issueWidth_);
+            charLoads_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+    }
+
     data.missProfile =
         profileTrace(data.trace, baselineProfilerConfig());
 
@@ -98,6 +117,11 @@ Workbench::buildWorkload(const std::string &name, WorkloadData &data)
 
     data.iw = fitIw(data.iwPoints, data.missProfile.avgLatency,
                     issueWidth_);
+
+    if (charStore_)
+        charStore_->save(storeKey,
+                         Characterization{data.missProfile,
+                                          data.iwPoints});
 }
 
 const WorkloadData &

@@ -10,13 +10,16 @@
 #ifndef FOSM_EXPERIMENTS_WORKBENCH_HH
 #define FOSM_EXPERIMENTS_WORKBENCH_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "analysis/miss_profiler.hh"
+#include "experiments/characterization_store.hh"
 #include "common/thread_pool.hh"
 #include "iw/iw_characteristic.hh"
 #include "model/first_order_model.hh"
@@ -86,6 +89,25 @@ class Workbench
                                   double avg_latency,
                                   std::uint32_t width);
 
+    /**
+     * Attach a persistent characterization store. Must be called
+     * before the first workload() (it is not synchronized against
+     * in-flight builds). With a store attached, buildWorkload loads
+     * the miss profile and IW curve by trace digest instead of
+     * recomputing them, and saves them after a cold build.
+     */
+    void setCharacterizationStore(
+        std::shared_ptr<CharacterizationStore> store)
+    {
+        charStore_ = std::move(store);
+    }
+
+    /** Characterizations loaded from the store instead of built. */
+    std::uint64_t characterizationLoads() const
+    {
+        return charLoads_;
+    }
+
   private:
     /** One cache slot: built exactly once, then read-only. */
     struct Entry
@@ -96,6 +118,8 @@ class Workbench
 
     std::uint32_t issueWidth_;
     std::uint64_t traceInsts_;
+    std::shared_ptr<CharacterizationStore> charStore_;
+    std::atomic<std::uint64_t> charLoads_{0};
     /** Guards the map structure only; entries are node-stable and
      *  their construction is serialized by Entry::once. */
     std::mutex cacheMutex_;

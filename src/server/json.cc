@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/hash.hh"
+
 namespace fosm::json {
 
 namespace {
@@ -448,12 +450,7 @@ parse(const std::string &text, Value &out, std::string *error)
 std::uint64_t
 fnv1a(const std::string &data)
 {
-    std::uint64_t hash = 0xcbf29ce484222325ull;
-    for (const char c : data) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 0x100000001b3ull;
-    }
-    return hash;
+    return fnv1a64(data);
 }
 
 } // namespace fosm::json

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Persistent backing tier for the response cache. The in-memory
+ * sharded LRU answers hot repeats; this wrapper writes every cached
+ * response through to a PersistentStore and refills LRU misses from
+ * disk, so a restarted server serves bit-identical responses for
+ * previously evaluated design points without re-running the model.
+ *
+ * Response entries live under the "r/" key prefix so the same store
+ * directory can also hold workload characterizations ("c/" — see
+ * experiments/characterization_store.hh) with one segment log and
+ * one compaction thread between them.
+ */
+
+#ifndef FOSM_SERVER_PERSISTENT_CACHE_HH
+#define FOSM_SERVER_PERSISTENT_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "store/store.hh"
+
+namespace fosm::server {
+
+class PersistentResponseCache
+{
+  public:
+    explicit PersistentResponseCache(
+        std::shared_ptr<store::PersistentStore> store)
+        : store_(std::move(store))
+    {
+    }
+
+    /** Disk lookup for an LRU miss. Counts a storeHit on success. */
+    bool
+    get(const std::string &key, std::string &value)
+    {
+        if (!store_ || !store_->get(prefixed(key), value))
+            return false;
+        storeHits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    /** Write-through for a freshly evaluated response. */
+    void
+    put(const std::string &key, std::string_view value)
+    {
+        if (store_)
+            store_->put(prefixed(key), value);
+    }
+
+    /** Responses recovered from disk instead of re-evaluated. */
+    std::uint64_t
+    storeHits() const
+    {
+        return storeHits_.load(std::memory_order_relaxed);
+    }
+
+    store::StoreStats stats() const { return store_->stats(); }
+
+    const std::shared_ptr<store::PersistentStore> &
+    store() const
+    {
+        return store_;
+    }
+
+  private:
+    static std::string
+    prefixed(const std::string &key)
+    {
+        return "r/" + key;
+    }
+
+    std::shared_ptr<store::PersistentStore> store_;
+    std::atomic<std::uint64_t> storeHits_{0};
+};
+
+} // namespace fosm::server
+
+#endif // FOSM_SERVER_PERSISTENT_CACHE_HH

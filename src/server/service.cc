@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/thread_pool.hh"
+#include "common/version.hh"
+#include "experiments/characterization_store.hh"
 #include "model/trends.hh"
 
 namespace fosm::server {
@@ -285,14 +287,60 @@ ModelService::ModelService(ServiceConfig config,
                                    "Design-point cache misses")),
       evaluations_(metrics.counter(
           "fosm_model_evaluations_total",
-          "First-order model evaluations performed"))
+          "First-order model evaluations performed")),
+      storeRefills_(metrics.counter(
+          "fosm_store_refills_total",
+          "Responses served from the persistent store after an LRU "
+          "miss"))
 {
+    if (!config_.storeDir.empty()) {
+        store::StoreConfig sc;
+        sc.dir = config_.storeDir;
+        store_ = std::make_shared<store::PersistentStore>(sc);
+        persistent_ =
+            std::make_unique<PersistentResponseCache>(store_);
+        bench_.setCharacterizationStore(
+            std::make_shared<CharacterizationStore>(store_));
+
+        metrics_.addCallbackGauge(
+            "fosm_store_live_records",
+            "Live records in the persistent store", [this] {
+                return static_cast<double>(
+                    store_->stats().liveRecords);
+            });
+        metrics_.addCallbackGauge(
+            "fosm_store_live_bytes",
+            "Bytes of live data in the persistent store", [this] {
+                return static_cast<double>(store_->stats().liveBytes);
+            });
+        metrics_.addCallbackGauge(
+            "fosm_store_dead_bytes",
+            "Bytes awaiting compaction in the persistent store",
+            [this] {
+                return static_cast<double>(store_->stats().deadBytes);
+            });
+        metrics_.addCallbackGauge(
+            "fosm_store_segments",
+            "Segment files in the persistent store", [this] {
+                return static_cast<double>(store_->stats().segments);
+            });
+        metrics_.addCallbackGauge(
+            "fosm_store_compactions_total",
+            "Compactions performed since this store opened", [this] {
+                return static_cast<double>(
+                    store_->stats().compactions);
+            });
+    }
+
     metrics_.addCallbackGauge(
         "fosm_cache_entries", "Design points currently cached",
         [this] { return static_cast<double>(cache_.size()); });
     metrics_.addCallbackGauge(
         "fosm_cache_hit_rate", "Lifetime cache hit fraction",
         [this] { return cache_.hitRate(); });
+    metrics_.addCallbackGauge(
+        "fosm_trend_memo_rows", "Memoized trend-study rows",
+        [this] { return static_cast<double>(trends_.size()); });
 
     router_.addJson("POST", "/v1/cpi",
                     [this](const json::Value &request) {
@@ -309,6 +357,11 @@ ModelService::ModelService(ServiceConfig config,
     router_.add("GET", "/healthz", [this](const HttpRequest &) {
         return HttpResponse::json(200, health().dump());
     });
+    router_.add("GET", "/v1/store/stats",
+                [this](const HttpRequest &) {
+                    return HttpResponse::json(200,
+                                              storeStats().dump());
+                });
     router_.add("GET", "/metrics", [this](const HttpRequest &) {
         HttpResponse r = HttpResponse::text(
             200, metrics_.renderPrometheus());
@@ -323,7 +376,8 @@ std::string
 ModelService::cacheKey(const std::string &path,
                        const json::Value &body)
 {
-    return path + "\n" + body.canonical();
+    return "v" + std::to_string(modelSchemaVersion) + "\n" + path +
+           "\n" + body.canonical();
 }
 
 std::vector<std::string>
@@ -336,6 +390,39 @@ void
 ModelService::warmup()
 {
     bench_.buildAll();
+}
+
+json::Value
+ModelService::storeStats() const
+{
+    json::Value v = json::Value::object();
+    v.set("enabled", static_cast<bool>(store_));
+    json::Value memo = json::Value::object();
+    memo.set("trendRows", static_cast<std::uint64_t>(trends_.size()));
+    memo.set("trendHits", trends_.memoHits());
+    memo.set("trendMisses", trends_.memoMisses());
+    v.set("memo", std::move(memo));
+    if (!store_)
+        return v;
+    const store::StoreStats s = store_->stats();
+    v.set("dir", config_.storeDir);
+    v.set("schemaVersion",
+          static_cast<std::uint64_t>(modelSchemaVersion));
+    json::Value d = json::Value::object();
+    d.set("segments", s.segments);
+    d.set("liveRecords", s.liveRecords);
+    d.set("deadRecords", s.deadRecords);
+    d.set("liveBytes", s.liveBytes);
+    d.set("deadBytes", s.deadBytes);
+    d.set("totalBytes", s.totalBytes);
+    d.set("appends", s.appends);
+    d.set("gets", s.gets);
+    d.set("hits", s.hits);
+    d.set("compactions", s.compactions);
+    d.set("truncatedTails", s.truncatedTails);
+    v.set("store", std::move(d));
+    v.set("responseRefills", persistent_->storeHits());
+    return v;
 }
 
 json::Value
@@ -372,9 +459,20 @@ ModelService::handler()
                     return HttpResponse::json(200, cached);
                 }
                 cacheMisses_.inc();
+                // Second tier: the persistent store. A hit serves
+                // the byte-identical response a previous process
+                // computed, and repopulates the LRU.
+                if (persistent_ && persistent_->get(key, cached)) {
+                    storeRefills_.inc();
+                    cache_.put(key, cached);
+                    return HttpResponse::json(200, cached);
+                }
                 HttpResponse response = router_.route(request);
-                if (response.status == 200)
+                if (response.status == 200) {
                     cache_.put(key, response.body);
+                    if (persistent_)
+                        persistent_->put(key, response.body);
+                }
                 return response;
             }
             // Malformed body: let the router produce the 400.
@@ -512,17 +610,17 @@ ModelService::trends(const json::Value &request)
                 depths.push_back(d);
         // One task per issue width on the global pool (the PR 1
         // experiment engine); results come back in input order.
+        // Rows hit the TrendStudies memo when a previous sweep
+        // already computed this (width, depths, config).
         const auto rows = parallelMap(
             widths, [&](std::uint32_t width) {
-                return std::make_pair(
-                    pipelineDepthSweep(width, depths, config),
-                    optimalPipelineDepth(width, config));
+                return trends_.depthRow(width, depths, config);
             });
         for (std::size_t i = 0; i < widths.size(); ++i) {
             json::Value entry = json::Value::object();
             entry.set("width", widths[i]);
             json::Value points = json::Value::array();
-            for (const PipelineDepthPoint &p : rows[i].first) {
+            for (const PipelineDepthPoint &p : rows[i].points) {
                 json::Value point = json::Value::object();
                 point.set("depth", p.depth);
                 point.set("ipc", p.ipc);
@@ -532,8 +630,8 @@ ModelService::trends(const json::Value &request)
             }
             entry.set("points", std::move(points));
             json::Value best = json::Value::object();
-            best.set("depth", rows[i].second.depth);
-            best.set("bips", rows[i].second.bips);
+            best.set("depth", rows[i].optimal.depth);
+            best.set("bips", rows[i].optimal.bips);
             entry.set("optimal", std::move(best));
             series.push(std::move(entry));
         }
@@ -557,15 +655,13 @@ ModelService::trends(const json::Value &request)
         }
         const auto rows = parallelMap(
             widths, [&](std::uint32_t width) {
-                return std::make_pair(
-                    issueWidthRequirement(width, fractions, config),
-                    issueRampSeries(width, config));
+                return trends_.widthRow(width, fractions, config);
             });
         for (std::size_t i = 0; i < widths.size(); ++i) {
             json::Value entry = json::Value::object();
             entry.set("width", widths[i]);
             json::Value points = json::Value::array();
-            for (const SaturationPoint &p : rows[i].first) {
+            for (const SaturationPoint &p : rows[i].saturation) {
                 json::Value point = json::Value::object();
                 point.set("timeFraction", p.timeFraction);
                 point.set("instructionsBetween",
@@ -574,7 +670,7 @@ ModelService::trends(const json::Value &request)
             }
             entry.set("points", std::move(points));
             json::Value ramp = json::Value::array();
-            for (const double rate : rows[i].second)
+            for (const double rate : rows[i].issueRamp)
                 ramp.push(rate);
             entry.set("issueRamp", std::move(ramp));
             series.push(std::move(entry));

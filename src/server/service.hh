@@ -24,12 +24,15 @@
 #ifndef FOSM_SERVER_SERVICE_HH
 #define FOSM_SERVER_SERVICE_HH
 
+#include <memory>
 #include <string>
 
 #include "experiments/workbench.hh"
 #include "server/lru_cache.hh"
 #include "server/metrics.hh"
+#include "server/persistent_cache.hh"
 #include "server/router.hh"
+#include "server/trend_studies.hh"
 
 namespace fosm::server {
 
@@ -39,6 +42,13 @@ struct ServiceConfig
     /** Response-cache entries; 0 disables the cache. */
     std::size_t cacheCapacity = 8192;
     std::size_t cacheShards = 8;
+
+    /**
+     * Directory for the persistent result store (responses +
+     * workload characterizations). Empty disables persistence: the
+     * server runs memory-only, exactly as before the store existed.
+     */
+    std::string storeDir;
 };
 
 /**
@@ -69,11 +79,15 @@ class ModelService
     json::Value cpi(const json::Value &request);
     json::Value iwCurve(const json::Value &request);
     json::Value trends(const json::Value &request);
+    json::Value storeStats() const;
 
     /**
-     * The cache key for a request: path + '\n' + canonical JSON body
-     * (keys sorted, compact), so semantically equal requests share an
-     * entry regardless of member order or whitespace.
+     * The cache key for a request: schema version + path + canonical
+     * JSON body (keys sorted, compact), so semantically equal
+     * requests share an entry regardless of member order or
+     * whitespace. The version prefix makes persisted entries from an
+     * older model vintage invisible instead of silently stale — see
+     * common/version.hh.
      */
     static std::string cacheKey(const std::string &path,
                                 const json::Value &body);
@@ -83,6 +97,12 @@ class ModelService
     {
         return cache_;
     }
+    /** Null when persistence is disabled. */
+    const PersistentResponseCache *persistentCache() const
+    {
+        return persistent_.get();
+    }
+    const TrendStudies &trendStudies() const { return trends_; }
 
   private:
     json::Value health() const;
@@ -91,11 +111,15 @@ class ModelService
     MetricsRegistry &metrics_;
     Workbench bench_;
     ShardedLruCache<std::string> cache_;
+    std::shared_ptr<store::PersistentStore> store_;
+    std::unique_ptr<PersistentResponseCache> persistent_;
+    TrendStudies trends_;
     Router router_;
 
     Counter &cacheHits_;
     Counter &cacheMisses_;
     Counter &evaluations_;
+    Counter &storeRefills_;
 };
 
 } // namespace fosm::server

@@ -1,0 +1,125 @@
+#include "server/trend_studies.hh"
+
+#include "common/hash.hh"
+
+namespace fosm::server {
+
+namespace {
+
+/**
+ * Digest of everything a row depends on. Doubles are hashed by bit
+ * image: memoization must distinguish any inputs the computation
+ * would, and exact-bit identity is the only equality the model's
+ * floating-point outputs respect.
+ */
+void
+updateConfig(Fnv1a &h, const TrendConfig &config)
+{
+    for (const double v :
+         {config.alpha, config.beta, config.avgLatency,
+          config.branchFraction, config.mispredictRate,
+          config.totalLogicPs, config.flipFlopPs}) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        h.updateInt(bits);
+    }
+}
+
+std::uint64_t
+depthKey(std::uint32_t width,
+         const std::vector<std::uint32_t> &depths,
+         const TrendConfig &config)
+{
+    Fnv1a h;
+    h.update("depth");
+    h.updateInt(width);
+    h.updateInt(static_cast<std::uint64_t>(depths.size()));
+    for (const std::uint32_t d : depths)
+        h.updateInt(d);
+    updateConfig(h, config);
+    return h.digest();
+}
+
+std::uint64_t
+widthKey(std::uint32_t width, const std::vector<double> &fractions,
+         const TrendConfig &config)
+{
+    Fnv1a h;
+    h.update("width");
+    h.updateInt(width);
+    h.updateInt(static_cast<std::uint64_t>(fractions.size()));
+    for (const double f : fractions) {
+        std::uint64_t bits;
+        __builtin_memcpy(&bits, &f, sizeof(bits));
+        h.updateInt(bits);
+    }
+    updateConfig(h, config);
+    return h.digest();
+}
+
+} // namespace
+
+DepthRow
+TrendStudies::depthRow(std::uint32_t width,
+                       const std::vector<std::uint32_t> &depths,
+                       const TrendConfig &config)
+{
+    const std::uint64_t key = depthKey(width, depths, config);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = depthRows_.find(key);
+        if (it != depthRows_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+
+    // Compute outside the lock: rows are pure, so two threads racing
+    // on the same key just do the work twice and store equal values.
+    DepthRow row;
+    row.points = pipelineDepthSweep(width, depths, config);
+    row.optimal = optimalPipelineDepth(width, config);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (depthRows_.size() + widthRows_.size() >= maxRows) {
+            depthRows_.clear();
+            widthRows_.clear();
+        }
+        depthRows_.emplace(key, row);
+    }
+    return row;
+}
+
+WidthRow
+TrendStudies::widthRow(std::uint32_t width,
+                       const std::vector<double> &fractions,
+                       const TrendConfig &config)
+{
+    const std::uint64_t key = widthKey(width, fractions, config);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = widthRows_.find(key);
+        if (it != widthRows_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+
+    WidthRow row;
+    row.saturation = issueWidthRequirement(width, fractions, config);
+    row.issueRamp = issueRampSeries(width, config);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (depthRows_.size() + widthRows_.size() >= maxRows) {
+            depthRows_.clear();
+            widthRows_.clear();
+        }
+        widthRows_.emplace(key, row);
+    }
+    return row;
+}
+
+} // namespace fosm::server

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Memoized Section 6 trend computations for /v1/trends. Sweep
+ * requests routinely overlap — a client exploring widths {2,4,6,8}
+ * then {2,4,6,8,12} recomputes four of five rows — so each
+ * (study, width, sweep-axis, config) row is cached by digest and
+ * reused across requests. Rows are pure functions of their inputs,
+ * which makes the memo safe and unbounded growth the only risk; the
+ * table is cleared wholesale past a generous cap.
+ */
+
+#ifndef FOSM_SERVER_TREND_STUDIES_HH
+#define FOSM_SERVER_TREND_STUDIES_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "model/trends.hh"
+
+namespace fosm::server {
+
+/** One memoized pipeline-depth row (Figure 17, one issue width). */
+struct DepthRow
+{
+    std::vector<PipelineDepthPoint> points;
+    PipelineDepthPoint optimal;
+};
+
+/** One memoized issue-width row (Figures 18/19, one issue width). */
+struct WidthRow
+{
+    std::vector<SaturationPoint> saturation;
+    std::vector<double> issueRamp;
+};
+
+class TrendStudies
+{
+  public:
+    /** Cached-or-computed row for one width of a depth sweep. */
+    DepthRow depthRow(std::uint32_t width,
+                      const std::vector<std::uint32_t> &depths,
+                      const TrendConfig &config);
+
+    /** Cached-or-computed row for one width of a width study. */
+    WidthRow widthRow(std::uint32_t width,
+                      const std::vector<double> &fractions,
+                      const TrendConfig &config);
+
+    std::uint64_t
+    memoHits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    memoMisses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return depthRows_.size() + widthRows_.size();
+    }
+
+  private:
+    /** Rows memoized per service, not per process. */
+    static constexpr std::size_t maxRows = 65536;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, DepthRow> depthRows_;
+    std::unordered_map<std::uint64_t, WidthRow> widthRows_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace fosm::server
+
+#endif // FOSM_SERVER_TREND_STUDIES_HH

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Little-endian binary encoding helpers for store values. The store
+ * itself treats values as opaque bytes; layers above it (the
+ * characterization store in particular) need an exact, compact
+ * serialization — doubles must round-trip bit-identically, because
+ * warm-started evaluations are required to be byte-equal to cold
+ * ones. Encoding by byte image (memcpy) guarantees that; JSON would
+ * too, but at several times the size for numeric bulk data like gap
+ * vectors.
+ */
+
+#ifndef FOSM_STORE_CODEC_HH
+#define FOSM_STORE_CODEC_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fosm::store {
+
+/** Appends fixed-width little-endian fields to a byte string. */
+class Encoder
+{
+  public:
+    void
+    u32(std::uint32_t v)
+    {
+        appendInt(v);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        appendInt(v);
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        appendInt(bits);
+    }
+
+    /** Length-prefixed byte string. */
+    void
+    bytes(std::string_view s)
+    {
+        u64(s.size());
+        buf_.append(s.data(), s.size());
+    }
+
+    void
+    u32Vector(const std::vector<std::uint32_t> &v)
+    {
+        u64(v.size());
+        for (const std::uint32_t x : v)
+            u32(x);
+    }
+
+    void
+    u64Vector(const std::vector<std::uint64_t> &v)
+    {
+        u64(v.size());
+        for (const std::uint64_t x : v)
+            u64(x);
+    }
+
+    void
+    f64Vector(const std::vector<double> &v)
+    {
+        u64(v.size());
+        for (const double x : v)
+            f64(x);
+    }
+
+    const std::string &str() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    template <typename T>
+    void
+    appendInt(T v)
+    {
+        for (unsigned i = 0; i < sizeof(T); ++i)
+            buf_.push_back(static_cast<char>(
+                static_cast<std::uint64_t>(v) >> (8 * i)));
+    }
+
+    std::string buf_;
+};
+
+/**
+ * Reads Encoder output back. All getters return false once the input
+ * is exhausted or malformed; callers check ok() (or the last getter)
+ * and treat failure as a cache miss, never an error.
+ */
+class Decoder
+{
+  public:
+    explicit Decoder(std::string_view data) : data_(data) {}
+
+    bool
+    u32(std::uint32_t &out)
+    {
+        return readInt(out);
+    }
+
+    bool
+    u64(std::uint64_t &out)
+    {
+        return readInt(out);
+    }
+
+    bool
+    f64(double &out)
+    {
+        std::uint64_t bits;
+        if (!readInt(bits))
+            return false;
+        std::memcpy(&out, &bits, sizeof(out));
+        return true;
+    }
+
+    bool
+    bytes(std::string &out)
+    {
+        std::uint64_t n;
+        if (!u64(n) || n > data_.size() - pos_)
+            return fail();
+        out.assign(data_.data() + pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    u32Vector(std::vector<std::uint32_t> &out)
+    {
+        std::uint64_t n;
+        // Each element needs 4 bytes; bound before reserving so a
+        // corrupt length can't trigger a huge allocation.
+        if (!u64(n) || n > (data_.size() - pos_) / 4)
+            return fail();
+        out.clear();
+        out.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint32_t v;
+            if (!u32(v))
+                return false;
+            out.push_back(v);
+        }
+        return true;
+    }
+
+    bool
+    u64Vector(std::vector<std::uint64_t> &out)
+    {
+        std::uint64_t n;
+        if (!u64(n) || n > (data_.size() - pos_) / 8)
+            return fail();
+        out.clear();
+        out.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint64_t v;
+            if (!u64(v))
+                return false;
+            out.push_back(v);
+        }
+        return true;
+    }
+
+    bool
+    f64Vector(std::vector<double> &out)
+    {
+        std::uint64_t n;
+        if (!u64(n) || n > (data_.size() - pos_) / 8)
+            return fail();
+        out.clear();
+        out.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            double v;
+            if (!f64(v))
+                return false;
+            out.push_back(v);
+        }
+        return true;
+    }
+
+    /** True while no getter has failed. */
+    bool ok() const { return ok_; }
+
+    /** True when the whole input has been consumed exactly. */
+    bool atEnd() const { return ok_ && pos_ == data_.size(); }
+
+  private:
+    template <typename T>
+    bool
+    readInt(T &out)
+    {
+        if (!ok_ || data_.size() - pos_ < sizeof(T))
+            return fail();
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < sizeof(T); ++i)
+            v |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+                     data_[pos_ + i]))
+                 << (8 * i);
+        out = static_cast<T>(v);
+        pos_ += sizeof(T);
+        return true;
+    }
+
+    bool
+    fail()
+    {
+        ok_ = false;
+        return false;
+    }
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace fosm::store
+
+#endif // FOSM_STORE_CODEC_HH

@@ -1,0 +1,60 @@
+#include "store/crc32c.hh"
+
+#include <array>
+
+namespace fosm::store {
+
+namespace {
+
+/** Reflected CRC32C polynomial. */
+constexpr std::uint32_t poly = 0x82F63B78u;
+
+struct Tables
+{
+    // tables[k][b]: CRC contribution of byte b placed k bytes before
+    // the end of a 4-byte block (slicing-by-4).
+    std::array<std::array<std::uint32_t, 256>, 4> t{};
+
+    constexpr Tables()
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c >> 1) ^ ((c & 1) ? poly : 0);
+            t[0][i] = c;
+        }
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = t[0][i];
+            for (std::size_t k = 1; k < 4; ++k) {
+                c = (c >> 8) ^ t[0][c & 0xFF];
+                t[k][i] = c;
+            }
+        }
+    }
+};
+
+constexpr Tables tables{};
+
+} // namespace
+
+std::uint32_t
+crc32c(const void *data, std::size_t size, std::uint32_t crc)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = ~crc;
+    while (size >= 4) {
+        c ^= static_cast<std::uint32_t>(p[0]) |
+             static_cast<std::uint32_t>(p[1]) << 8 |
+             static_cast<std::uint32_t>(p[2]) << 16 |
+             static_cast<std::uint32_t>(p[3]) << 24;
+        c = tables.t[3][c & 0xFF] ^ tables.t[2][(c >> 8) & 0xFF] ^
+            tables.t[1][(c >> 16) & 0xFF] ^ tables.t[0][c >> 24];
+        p += 4;
+        size -= 4;
+    }
+    while (size-- > 0)
+        c = (c >> 8) ^ tables.t[0][(c ^ *p++) & 0xFF];
+    return ~c;
+}
+
+} // namespace fosm::store

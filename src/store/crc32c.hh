@@ -1,0 +1,34 @@
+/**
+ * @file
+ * CRC32C (Castagnoli polynomial, the iSCSI/ext4 checksum) for store
+ * record integrity. Software table-driven implementation — the store
+ * checksums a few hundred bytes per record, so slicing-by-4 is plenty
+ * and keeps the subsystem dependency-free (no SSE4.2 intrinsics to
+ * gate on).
+ */
+
+#ifndef FOSM_STORE_CRC32C_HH
+#define FOSM_STORE_CRC32C_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fosm::store {
+
+/**
+ * CRC32C of the buffer, optionally continuing from a previous crc
+ * (pass the prior return value to checksum data in pieces).
+ */
+std::uint32_t crc32c(const void *data, std::size_t size,
+                     std::uint32_t crc = 0);
+
+inline std::uint32_t
+crc32c(std::string_view data, std::uint32_t crc = 0)
+{
+    return crc32c(data.data(), data.size(), crc);
+}
+
+} // namespace fosm::store
+
+#endif // FOSM_STORE_CRC32C_HH

@@ -1,0 +1,940 @@
+#include "store/store.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "store/crc32c.hh"
+
+namespace fosm::store {
+
+namespace {
+
+// ---------------------------------------------------------------
+// On-disk format (docs/STORE.md). All integers little-endian.
+//
+// Segment header (16 bytes):
+//   0  char[8]  magic "FOSMSEG1"
+//   8  u32      format version (1)
+//   12 u32      reserved (0)
+//
+// Record (32-byte header + key + value):
+//   0  u32      CRC32C of bytes [4, end) of the record
+//   4  u32      key length
+//   8  u32      value length
+//   12 u32      flags (bit 0: tombstone)
+//   16 u64      LSN (global logical sequence number; max wins)
+//   24 u64      FNV-1a digest of the key
+//   32 key bytes, then value bytes
+// ---------------------------------------------------------------
+
+constexpr char segMagic[8] = {'F', 'O', 'S', 'M', 'S', 'E', 'G', '1'};
+constexpr std::uint32_t segFormatVersion = 1;
+constexpr std::size_t segHeaderSize = 16;
+constexpr std::size_t recHeaderSize = 32;
+constexpr std::uint32_t flagTombstone = 1u;
+constexpr std::uint32_t maxKeyLen = 1u << 20;
+constexpr std::uint32_t maxValueLen = 1u << 30;
+
+void
+putU32(char *p, std::uint32_t v)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        p[i] = static_cast<char>(v >> (8 * i));
+}
+
+void
+putU64(char *p, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        p[i] = static_cast<char>(v >> (8 * i));
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::string
+segmentName(std::uint64_t id)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llu.seg",
+                  static_cast<unsigned long long>(id));
+    return buf;
+}
+
+/** Parse "<16 digits>.seg"; returns false for anything else. */
+bool
+parseSegmentName(const std::string &name, std::uint64_t &id)
+{
+    if (name.size() != 20 || name.substr(16) != ".seg")
+        return false;
+    id = 0;
+    for (int i = 0; i < 16; ++i) {
+        if (name[i] < '0' || name[i] > '9')
+            return false;
+        id = id * 10 + static_cast<std::uint64_t>(name[i] - '0');
+    }
+    return true;
+}
+
+std::string
+segmentHeaderBytes()
+{
+    std::string h(segHeaderSize, '\0');
+    std::memcpy(h.data(), segMagic, sizeof(segMagic));
+    putU32(h.data() + 8, segFormatVersion);
+    putU32(h.data() + 12, 0);
+    return h;
+}
+
+/** write() the whole buffer, retrying on EINTR / short writes. */
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        const ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+fsyncDir(const std::string &dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+/** One record as seen by the segment scanner. */
+struct ScannedRecord
+{
+    std::uint64_t offset = 0;
+    std::string_view key;
+    std::uint32_t valueLen = 0;
+    std::uint32_t flags = 0;
+    std::uint64_t lsn = 0;
+    std::uint64_t recordLen = 0;
+};
+
+struct ScanResult
+{
+    bool headerOk = false;
+    std::uint64_t validEnd = 0; ///< end of the intact prefix
+    std::uint64_t records = 0;
+    std::string error; ///< first structural/CRC problem, if any
+};
+
+/**
+ * Walk the records of one segment image, stopping at the first torn
+ * or corrupt record (that offset becomes validEnd). This is THE
+ * recovery routine: open() truncates to validEnd, verify reports it.
+ */
+template <typename OnRecord>
+ScanResult
+scanSegment(const unsigned char *data, std::size_t size,
+            OnRecord &&onRecord)
+{
+    ScanResult result;
+    if (size < segHeaderSize ||
+        std::memcmp(data, segMagic, sizeof(segMagic)) != 0) {
+        result.error = "missing or torn segment header";
+        return result;
+    }
+    if (getU32(data + 8) != segFormatVersion) {
+        result.error = "unsupported format version " +
+                       std::to_string(getU32(data + 8));
+        return result;
+    }
+    result.headerOk = true;
+    std::uint64_t off = segHeaderSize;
+    while (off + recHeaderSize <= size) {
+        const unsigned char *rec = data + off;
+        const std::uint32_t keyLen = getU32(rec + 4);
+        const std::uint32_t valueLen = getU32(rec + 8);
+        if (keyLen > maxKeyLen || valueLen > maxValueLen) {
+            result.error = "implausible record lengths at offset " +
+                           std::to_string(off);
+            break;
+        }
+        const std::uint64_t recordLen =
+            recHeaderSize + keyLen + valueLen;
+        if (off + recordLen > size) {
+            result.error = "truncated record at offset " +
+                           std::to_string(off);
+            break;
+        }
+        if (crc32c(rec + 4, recordLen - 4) != getU32(rec)) {
+            result.error = "CRC mismatch at offset " +
+                           std::to_string(off);
+            break;
+        }
+        const std::string_view key(
+            reinterpret_cast<const char *>(rec + recHeaderSize),
+            keyLen);
+        if (fnv1a64(key) != getU64(rec + 24)) {
+            result.error = "key digest mismatch at offset " +
+                           std::to_string(off);
+            break;
+        }
+        ScannedRecord s;
+        s.offset = off;
+        s.key = key;
+        s.valueLen = valueLen;
+        s.flags = getU32(rec + 12);
+        s.lsn = getU64(rec + 16);
+        s.recordLen = recordLen;
+        onRecord(s);
+        ++result.records;
+        off += recordLen;
+    }
+    if (result.error.empty() && off != size) {
+        // A partial record header at the tail is an ordinary torn
+        // write, not an error worth naming.
+        result.error = "torn record header at offset " +
+                       std::to_string(off);
+    }
+    result.validEnd = off;
+    return result;
+}
+
+/** mmap a file read-only; returns nullptr for size 0. */
+const unsigned char *
+mapFile(int fd, std::size_t size)
+{
+    if (size == 0)
+        return nullptr;
+    void *p = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    return p == MAP_FAILED ? nullptr
+                           : static_cast<const unsigned char *>(p);
+}
+
+std::string
+encodeRecord(const std::string &key, std::string_view value,
+             std::uint64_t lsn, std::uint32_t flags)
+{
+    std::string rec(recHeaderSize, '\0');
+    putU32(rec.data() + 4, static_cast<std::uint32_t>(key.size()));
+    putU32(rec.data() + 8, static_cast<std::uint32_t>(value.size()));
+    putU32(rec.data() + 12, flags);
+    putU64(rec.data() + 16, lsn);
+    putU64(rec.data() + 24, fnv1a64(key));
+    rec.append(key);
+    rec.append(value.data(), value.size());
+    putU32(rec.data(), crc32c(rec.data() + 4, rec.size() - 4));
+    return rec;
+}
+
+} // namespace
+
+// -- Segment -------------------------------------------------------
+
+struct PersistentStore::Segment
+{
+    std::uint64_t id = 0;
+    std::string path;
+    int fd = -1;
+    std::uint64_t size = 0; ///< valid bytes (header + intact records)
+    bool sealed = false;
+    const unsigned char *map = nullptr; ///< read mapping when sealed
+    std::size_t mapSize = 0;
+
+    // Accounting (guarded by the store's exclusive lock).
+    std::uint64_t records = 0;
+    std::uint64_t recordBytes = 0;
+    std::uint64_t deadRecords = 0;
+    std::uint64_t deadBytes = 0;
+
+    ~Segment()
+    {
+        if (map)
+            ::munmap(const_cast<unsigned char *>(map), mapSize);
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    void
+    mapSealed()
+    {
+        map = mapFile(fd, size);
+        mapSize = size;
+        sealed = true;
+    }
+};
+
+// -- Open / recovery -----------------------------------------------
+
+PersistentStore::PersistentStore(StoreConfig config)
+    : config_(std::move(config))
+{
+    if (config_.dir.empty())
+        throw std::runtime_error("fosm-store: empty directory path");
+    openDir();
+    if (config_.backgroundCompaction)
+        compactor_ = std::thread([this] { compactionLoop(); });
+}
+
+void
+PersistentStore::openDir()
+{
+    if (::mkdir(config_.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        throw std::runtime_error("fosm-store: cannot create " +
+                                 config_.dir + ": " +
+                                 std::strerror(errno));
+    }
+    DIR *d = ::opendir(config_.dir.c_str());
+    if (!d) {
+        throw std::runtime_error("fosm-store: cannot open " +
+                                 config_.dir + ": " +
+                                 std::strerror(errno));
+    }
+    std::vector<std::uint64_t> ids;
+    while (const dirent *e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        std::uint64_t id;
+        if (parseSegmentName(name, id)) {
+            ids.push_back(id);
+        } else if (name.size() > 4 &&
+                   name.substr(name.size() - 4) == ".tmp") {
+            // A compaction that died before its rename; the rename is
+            // the commit point, so the temp file is garbage.
+            ::unlink((config_.dir + "/" + name).c_str());
+        }
+    }
+    ::closedir(d);
+    std::sort(ids.begin(), ids.end());
+
+    // Replay every segment, newest LSN per key winning regardless of
+    // file order.
+    struct ReplayEntry
+    {
+        Location loc;
+        bool tombstone = false;
+    };
+    std::unordered_map<std::string, ReplayEntry> replay;
+
+    for (const std::uint64_t id : ids) {
+        auto seg = std::make_unique<Segment>();
+        seg->id = id;
+        seg->path = config_.dir + "/" + segmentName(id);
+        seg->fd = ::open(seg->path.c_str(), O_RDWR | O_APPEND);
+        if (seg->fd < 0) {
+            throw std::runtime_error("fosm-store: cannot open " +
+                                     seg->path + ": " +
+                                     std::strerror(errno));
+        }
+        struct stat st{};
+        ::fstat(seg->fd, &st);
+        const auto fileSize = static_cast<std::size_t>(st.st_size);
+        const unsigned char *data = mapFile(seg->fd, fileSize);
+
+        const ScanResult scan = scanSegment(
+            data, data ? fileSize : 0, [&](const ScannedRecord &r) {
+                const std::string key(r.key);
+                Location loc;
+                loc.segmentId = id;
+                loc.offset = r.offset;
+                loc.valueLen = r.valueLen;
+                loc.recordLen = r.recordLen;
+                loc.lsn = r.lsn;
+                auto [it, inserted] =
+                    replay.try_emplace(key, ReplayEntry{});
+                if (inserted || r.lsn > it->second.loc.lsn) {
+                    it->second.loc = loc;
+                    it->second.tombstone =
+                        (r.flags & flagTombstone) != 0;
+                }
+                nextLsn_ = std::max(nextLsn_, r.lsn + 1);
+            });
+        if (data)
+            ::munmap(const_cast<unsigned char *>(data), fileSize);
+
+        if (!scan.headerOk) {
+            // The header itself is torn: nothing in this file is
+            // trustworthy. Reset it to an empty segment.
+            if (fileSize > 0) {
+                warn("fosm-store: resetting segment ", seg->path,
+                     " (", scan.error, ")");
+                ++truncatedTails_;
+            }
+            ::ftruncate(seg->fd, 0);
+            const std::string h = segmentHeaderBytes();
+            writeAll(seg->fd, h.data(), h.size());
+            seg->size = segHeaderSize;
+        } else {
+            if (scan.validEnd < fileSize) {
+                warn("fosm-store: truncating torn tail of ",
+                     seg->path, " at ", scan.validEnd, " (",
+                     scan.error, ")");
+                ::ftruncate(seg->fd,
+                            static_cast<off_t>(scan.validEnd));
+                ::fsync(seg->fd);
+                ++truncatedTails_;
+            }
+            seg->size = scan.validEnd;
+        }
+        seg->records = scan.records;
+        seg->recordBytes = seg->size - segHeaderSize;
+        segments_.emplace(id, std::move(seg));
+        nextSegmentId_ = std::max(nextSegmentId_, id + 1);
+    }
+
+    // Final index: drop tombstones, then charge every superseded or
+    // tombstoned record as dead bytes in its segment.
+    for (auto &[key, entry] : replay) {
+        if (!entry.tombstone)
+            index_.emplace(key, entry.loc);
+    }
+    std::unordered_map<std::uint64_t, std::uint64_t> liveBytesBySeg;
+    std::unordered_map<std::uint64_t, std::uint64_t> liveRecsBySeg;
+    for (const auto &[key, loc] : index_) {
+        liveBytesBySeg[loc.segmentId] += loc.recordLen;
+        ++liveRecsBySeg[loc.segmentId];
+    }
+    for (auto &[id, seg] : segments_) {
+        seg->deadBytes = seg->recordBytes - liveBytesBySeg[id];
+        seg->deadRecords = seg->records - liveRecsBySeg[id];
+    }
+
+    // The highest-numbered segment stays the append target; everyone
+    // else is sealed and mapped.
+    if (segments_.empty()) {
+        newSegmentLocked();
+    } else {
+        activeId_ = segments_.rbegin()->first;
+        for (auto &[id, seg] : segments_)
+            if (id != activeId_)
+                seg->mapSealed();
+        Segment *last = segments_.rbegin()->second.get();
+        if (last->size >= config_.maxSegmentBytes) {
+            newSegmentLocked();
+            ::fsync(last->fd);
+            last->mapSealed();
+        }
+    }
+}
+
+PersistentStore::~PersistentStore()
+{
+    {
+        std::lock_guard<std::mutex> lock(cvMutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (compactor_.joinable())
+        compactor_.join();
+    flush();
+}
+
+// -- Data path -----------------------------------------------------
+
+PersistentStore::Segment *
+PersistentStore::activeSegment()
+{
+    return segments_.at(activeId_).get();
+}
+
+bool
+PersistentStore::readValue(const Segment &segment,
+                           const Location &loc,
+                           std::string &out) const
+{
+    const std::uint64_t keyLen =
+        loc.recordLen - recHeaderSize - loc.valueLen;
+    const std::uint64_t valueOff =
+        loc.offset + recHeaderSize + keyLen;
+    if (config_.verifyOnRead) {
+        // Re-read and re-verify the whole record.
+        std::string rec(loc.recordLen, '\0');
+        if (segment.map) {
+            std::memcpy(rec.data(), segment.map + loc.offset,
+                        loc.recordLen);
+        } else if (::pread(segment.fd, rec.data(), loc.recordLen,
+                           static_cast<off_t>(loc.offset)) !=
+                   static_cast<ssize_t>(loc.recordLen)) {
+            return false;
+        }
+        const auto *bytes =
+            reinterpret_cast<const unsigned char *>(rec.data());
+        if (crc32c(bytes + 4, loc.recordLen - 4) != getU32(bytes))
+            return false;
+        out.assign(rec, recHeaderSize + keyLen, loc.valueLen);
+        return true;
+    }
+    out.resize(loc.valueLen);
+    if (segment.map) {
+        std::memcpy(out.data(), segment.map + valueOff,
+                    loc.valueLen);
+        return true;
+    }
+    return ::pread(segment.fd, out.data(), loc.valueLen,
+                   static_cast<off_t>(valueOff)) ==
+           static_cast<ssize_t>(loc.valueLen);
+}
+
+bool
+PersistentStore::get(const std::string &key, std::string &value)
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    gets_.fetch_add(1, std::memory_order_relaxed);
+    const auto it = index_.find(key);
+    if (it == index_.end())
+        return false;
+    const auto seg = segments_.find(it->second.segmentId);
+    if (seg == segments_.end() ||
+        !readValue(*seg->second, it->second, value))
+        return false;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+PersistentStore::contains(const std::string &key)
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return index_.count(key) > 0;
+}
+
+void
+PersistentStore::accountDead(const Location &loc)
+{
+    const auto it = segments_.find(loc.segmentId);
+    if (it != segments_.end()) {
+        it->second->deadBytes += loc.recordLen;
+        ++it->second->deadRecords;
+    }
+}
+
+void
+PersistentStore::appendLocked(const std::string &key,
+                              std::string_view value, bool tombstone)
+{
+    Segment *seg = activeSegment();
+    const std::uint64_t lsn = nextLsn_++;
+    const std::string rec = encodeRecord(
+        key, value, lsn, tombstone ? flagTombstone : 0);
+    if (!writeAll(seg->fd, rec.data(), rec.size())) {
+        // Disk trouble: roll the file back to the last intact record
+        // so later appends stay aligned, and drop this write (the
+        // store is a cache; the caller recomputes).
+        warn("fosm-store: append to ", seg->path, " failed: ",
+             std::strerror(errno));
+        ::ftruncate(seg->fd, static_cast<off_t>(seg->size));
+        return;
+    }
+    if (config_.fsyncEachPut)
+        ::fsync(seg->fd);
+
+    Location loc;
+    loc.segmentId = seg->id;
+    loc.offset = seg->size;
+    loc.valueLen = static_cast<std::uint32_t>(value.size());
+    loc.recordLen = rec.size();
+    loc.lsn = lsn;
+    seg->size += rec.size();
+    ++seg->records;
+    seg->recordBytes += rec.size();
+    ++appends_;
+
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        accountDead(it->second);
+        if (tombstone)
+            index_.erase(it);
+        else
+            it->second = loc;
+    } else if (!tombstone) {
+        index_.emplace(key, loc);
+    }
+    if (tombstone) {
+        // The tombstone record itself is dead weight from birth.
+        seg->deadBytes += rec.size();
+        ++seg->deadRecords;
+    }
+
+    if (seg->size >= config_.maxSegmentBytes) {
+        // Create the successor first: if that fails (disk trouble),
+        // the current segment just keeps growing instead of the
+        // store wedging on a sealed append target.
+        try {
+            newSegmentLocked();
+            ::fsync(seg->fd);
+            seg->mapSealed();
+        } catch (const std::exception &e) {
+            warn("fosm-store: segment rotation failed: ", e.what());
+        }
+    }
+}
+
+void
+PersistentStore::put(const std::string &key, std::string_view value)
+{
+    if (key.size() > maxKeyLen || value.size() > maxValueLen) {
+        warn("fosm-store: oversized put dropped (key ", key.size(),
+             " bytes, value ", value.size(), " bytes)");
+        return;
+    }
+    bool wantCompaction;
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        appendLocked(key, value, false);
+        wantCompaction = shouldCompactLocked();
+    }
+    if (wantCompaction && config_.backgroundCompaction) {
+        {
+            std::lock_guard<std::mutex> lock(cvMutex_);
+            compactRequested_ = true;
+        }
+        cv_.notify_one();
+    }
+}
+
+void
+PersistentStore::remove(const std::string &key)
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (index_.count(key) == 0)
+        return; // nothing to shadow; skip the tombstone
+    appendLocked(key, {}, true);
+}
+
+PersistentStore::Segment *
+PersistentStore::newSegmentLocked()
+{
+    const std::uint64_t id = nextSegmentId_++;
+    auto seg = std::make_unique<Segment>();
+    seg->id = id;
+    seg->path = config_.dir + "/" + segmentName(id);
+    seg->fd = ::open(seg->path.c_str(),
+                     O_RDWR | O_CREAT | O_TRUNC | O_APPEND, 0644);
+    if (seg->fd < 0) {
+        throw std::runtime_error("fosm-store: cannot create " +
+                                 seg->path + ": " +
+                                 std::strerror(errno));
+    }
+    const std::string h = segmentHeaderBytes();
+    writeAll(seg->fd, h.data(), h.size());
+    seg->size = segHeaderSize;
+    fsyncDir(config_.dir);
+    Segment *raw = seg.get();
+    segments_.emplace(id, std::move(seg));
+    activeId_ = id;
+    return raw;
+}
+
+void
+PersistentStore::flush()
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = segments_.find(activeId_);
+    if (it != segments_.end())
+        ::fsync(it->second->fd);
+}
+
+bool
+PersistentStore::shouldCompactLocked() const
+{
+    std::uint64_t sealedBytes = 0, sealedDead = 0;
+    for (const auto &[id, seg] : segments_) {
+        if (!seg->sealed)
+            continue;
+        sealedBytes += seg->recordBytes;
+        sealedDead += seg->deadBytes;
+    }
+    return sealedDead >= config_.compactMinDeadBytes &&
+           sealedBytes > 0 &&
+           static_cast<double>(sealedDead) >
+               config_.compactDeadFraction *
+                   static_cast<double>(sealedBytes);
+}
+
+// -- Compaction ----------------------------------------------------
+
+void
+PersistentStore::compact()
+{
+    // One compaction at a time; sealed segments are immutable and can
+    // only be retired by this function, so their mappings stay valid
+    // for the whole run without holding the store lock.
+    std::lock_guard<std::mutex> run(compactRunMutex_);
+
+    struct LiveRec
+    {
+        std::string key;
+        const Segment *segment;
+        Location loc;
+        std::uint64_t newOffset = 0;
+    };
+    std::vector<LiveRec> live;
+    std::vector<std::uint64_t> retiring;
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        for (const auto &[id, seg] : segments_)
+            if (seg->sealed)
+                retiring.push_back(id);
+        if (retiring.empty())
+            return;
+        for (const auto &[key, loc] : index_) {
+            const auto it = segments_.find(loc.segmentId);
+            if (it != segments_.end() && it->second->sealed)
+                live.push_back(
+                    LiveRec{key, it->second.get(), loc, 0});
+        }
+    }
+
+    std::uint64_t newId;
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        newId = nextSegmentId_++;
+    }
+
+    // Rewrite the live records (original LSNs preserved) into a temp
+    // file. If we die anywhere before the rename below, the temp file
+    // is deleted at next open and nothing changed.
+    const std::string tmpPath =
+        config_.dir + "/compact-" + std::to_string(newId) + ".tmp";
+    const int fd = ::open(tmpPath.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        warn("fosm-store: compaction cannot create ", tmpPath, ": ",
+             std::strerror(errno));
+        return;
+    }
+    std::string out = segmentHeaderBytes();
+    std::uint64_t newSize = segHeaderSize;
+    std::uint64_t newRecords = 0;
+    for (LiveRec &r : live) {
+        const std::uint64_t keyLen =
+            r.loc.recordLen - recHeaderSize - r.loc.valueLen;
+        const char *value = reinterpret_cast<const char *>(
+            r.segment->map + r.loc.offset + recHeaderSize + keyLen);
+        const std::string rec = encodeRecord(
+            r.key, std::string_view(value, r.loc.valueLen),
+            r.loc.lsn, 0);
+        r.newOffset = newSize;
+        out.append(rec);
+        newSize += rec.size();
+        ++newRecords;
+        if (out.size() >= (1u << 20)) {
+            if (!writeAll(fd, out.data(), out.size()))
+                break;
+            out.clear();
+        }
+    }
+    bool ok = writeAll(fd, out.data(), out.size());
+    ok = ok && ::fsync(fd) == 0;
+    ::close(fd);
+    if (!ok) {
+        warn("fosm-store: compaction write failed: ",
+             std::strerror(errno));
+        ::unlink(tmpPath.c_str());
+        return;
+    }
+
+    // Commit point: the rename. After this the new segment exists
+    // alongside the old ones; LSN-max replay makes the overlap
+    // harmless if we die before the unlinks.
+    const std::string newPath =
+        config_.dir + "/" + segmentName(newId);
+    if (::rename(tmpPath.c_str(), newPath.c_str()) != 0) {
+        warn("fosm-store: compaction rename failed: ",
+             std::strerror(errno));
+        ::unlink(tmpPath.c_str());
+        return;
+    }
+    fsyncDir(config_.dir);
+
+    auto seg = std::make_unique<Segment>();
+    seg->id = newId;
+    seg->path = newPath;
+    seg->fd = ::open(newPath.c_str(), O_RDONLY);
+    seg->size = newSize;
+    seg->records = newRecords;
+    seg->recordBytes = newSize - segHeaderSize;
+    seg->mapSealed();
+
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        // Repoint entries that still reference the retired segments.
+        // Anything overwritten while we copied now points at the
+        // active segment; its stale copy in the new segment is dead.
+        for (const LiveRec &r : live) {
+            const auto it = index_.find(r.key);
+            if (it != index_.end() &&
+                it->second.segmentId == r.loc.segmentId &&
+                it->second.offset == r.loc.offset) {
+                it->second.segmentId = newId;
+                it->second.offset = r.newOffset;
+            } else {
+                seg->deadBytes += r.loc.recordLen;
+                ++seg->deadRecords;
+            }
+        }
+        for (const std::uint64_t id : retiring) {
+            const auto it = segments_.find(id);
+            if (it != segments_.end()) {
+                ::unlink(it->second->path.c_str());
+                segments_.erase(it);
+            }
+        }
+        segments_.emplace(newId, std::move(seg));
+        ++compactions_;
+    }
+    fsyncDir(config_.dir);
+}
+
+void
+PersistentStore::compactionLoop()
+{
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(cvMutex_);
+            cv_.wait(lock, [this] {
+                return stopping_ || compactRequested_;
+            });
+            if (stopping_)
+                return;
+            compactRequested_ = false;
+        }
+        compact();
+    }
+}
+
+// -- Introspection -------------------------------------------------
+
+void
+PersistentStore::forEachLive(
+    const std::function<void(const std::string &, const std::string &,
+                             std::uint64_t)> &fn)
+{
+    std::vector<std::string> keys;
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        keys.reserve(index_.size());
+        for (const auto &[key, loc] : index_)
+            keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (const std::string &key : keys) {
+        std::string value;
+        std::uint64_t lsn = 0;
+        {
+            std::shared_lock<std::shared_mutex> lock(mutex_);
+            const auto it = index_.find(key);
+            if (it == index_.end())
+                continue;
+            const auto seg = segments_.find(it->second.segmentId);
+            if (seg == segments_.end() ||
+                !readValue(*seg->second, it->second, value))
+                continue;
+            lsn = it->second.lsn;
+        }
+        fn(key, value, lsn);
+    }
+}
+
+StoreStats
+PersistentStore::stats() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    StoreStats s;
+    s.segments = segments_.size();
+    s.liveRecords = index_.size();
+    std::uint64_t recordBytes = 0;
+    for (const auto &[id, seg] : segments_) {
+        s.deadRecords += seg->deadRecords;
+        s.deadBytes += seg->deadBytes;
+        s.totalBytes += seg->size;
+        recordBytes += seg->recordBytes;
+    }
+    s.liveBytes = recordBytes - s.deadBytes;
+    s.appends = appends_;
+    s.gets = gets_.load(std::memory_order_relaxed);
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.compactions = compactions_;
+    s.truncatedTails = truncatedTails_;
+    return s;
+}
+
+std::vector<SegmentReport>
+verifyDir(const std::string &dir)
+{
+    std::vector<SegmentReport> reports;
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return reports;
+    std::vector<std::pair<std::uint64_t, std::string>> files;
+    while (const dirent *e = ::readdir(d)) {
+        std::uint64_t id;
+        if (parseSegmentName(e->d_name, id))
+            files.emplace_back(id, dir + "/" + e->d_name);
+    }
+    ::closedir(d);
+    std::sort(files.begin(), files.end());
+
+    for (const auto &[id, path] : files) {
+        SegmentReport report;
+        report.file = path;
+        report.id = id;
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0) {
+            report.intact = false;
+            report.error = std::strerror(errno);
+            reports.push_back(std::move(report));
+            continue;
+        }
+        struct stat st{};
+        ::fstat(fd, &st);
+        const auto size = static_cast<std::size_t>(st.st_size);
+        report.fileBytes = size;
+        const unsigned char *data = mapFile(fd, size);
+        const ScanResult scan = scanSegment(
+            data, data ? size : 0, [](const ScannedRecord &) {});
+        report.records = scan.records;
+        report.bytes = scan.validEnd > segHeaderSize
+                           ? scan.validEnd - segHeaderSize
+                           : 0;
+        report.intact = scan.headerOk && scan.validEnd == size;
+        report.error = scan.error;
+        if (data)
+            ::munmap(const_cast<unsigned char *>(data), size);
+        ::close(fd);
+        reports.push_back(std::move(report));
+    }
+    return reports;
+}
+
+} // namespace fosm::store

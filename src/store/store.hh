@@ -1,0 +1,229 @@
+/**
+ * @file
+ * fosm-store: an embedded, dependency-free, crash-safe persistent
+ * key-value store. First-order model evaluations are cheap and
+ * deterministic, which makes them ideal to persist and reuse across
+ * process lifetimes: the serving layer's response cache and the
+ * Workbench's characterization cache both sit on one of these so a
+ * restart starts warm instead of recomputing everything.
+ *
+ * Design (bitcask-style segment log):
+ *
+ *  - A store is a directory of append-only segment files. Every
+ *    record carries a CRC32C, its key, its value, and a global
+ *    logical sequence number (LSN); the newest LSN per key wins, so
+ *    replay order never matters and duplicate records (a compaction
+ *    interrupted between rename and cleanup) are harmless.
+ *  - Writes append to the active (highest-numbered) segment; when it
+ *    exceeds the configured size it is sealed, mmap()ed read-only,
+ *    and a fresh segment started. Reads of sealed segments come
+ *    straight from the mapping; reads of the active segment use
+ *    pread().
+ *  - The whole key space is indexed in memory (key -> newest record
+ *    location), built by scanning the segments at open.
+ *  - Recovery truncates, never fails open: a torn or bit-flipped
+ *    record invalidates its CRC, the scan stops there, and the file
+ *    is truncated back to the last intact record. Exactly the prefix
+ *    of intact records survives.
+ *  - Compaction rewrites the live records of all sealed segments
+ *    (preserving their LSNs) into a new segment, fsync()s it, renames
+ *    it into place atomically, then drops the old files. It runs on a
+ *    background thread concurrently with reads; writers only block
+ *    for the final pointer swap.
+ *
+ * See docs/STORE.md for the byte-level format and the full recovery
+ * semantics.
+ */
+
+#ifndef FOSM_STORE_STORE_HH
+#define FOSM_STORE_STORE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace fosm::store {
+
+/** Store tuning knobs. */
+struct StoreConfig
+{
+    /** Directory holding the segment files (created if absent). */
+    std::string dir;
+
+    /** Seal the active segment beyond this many bytes. */
+    std::size_t maxSegmentBytes = 8u << 20;
+
+    /**
+     * Background compaction triggers when sealed segments hold at
+     * least this many dead bytes AND dead bytes exceed this fraction
+     * of sealed bytes. compact() ignores both and always runs.
+     */
+    std::size_t compactMinDeadBytes = 1u << 20;
+    double compactDeadFraction = 0.5;
+
+    /** Start the background compaction thread. */
+    bool backgroundCompaction = true;
+
+    /**
+     * fsync() after every put. Off by default: the store's crash
+     * guarantee is integrity (never serve a torn record), not zero
+     * data loss — a lost tail is recomputed on demand, which for
+     * deterministic model results costs microseconds.
+     */
+    bool fsyncEachPut = false;
+
+    /** Re-verify the record CRC on every get (scans always verify). */
+    bool verifyOnRead = false;
+};
+
+/** Counters exposed via /v1/store/stats and the Prometheus gauges. */
+struct StoreStats
+{
+    std::uint64_t segments = 0;
+    std::uint64_t liveRecords = 0;
+    std::uint64_t deadRecords = 0; ///< superseded or tombstoned
+    std::uint64_t liveBytes = 0;   ///< record bytes the index points at
+    std::uint64_t deadBytes = 0;
+    std::uint64_t totalBytes = 0;  ///< sum of segment file sizes
+    std::uint64_t appends = 0;     ///< puts + removes this session
+    std::uint64_t gets = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t truncatedTails = 0; ///< torn writes repaired at open
+};
+
+/** One segment's verification result (fosm-store verify). */
+struct SegmentReport
+{
+    std::string file;
+    std::uint64_t id = 0;
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;       ///< intact record bytes incl. header
+    std::uint64_t fileBytes = 0;
+    bool intact = true;            ///< no trailing garbage
+    std::string error;             ///< first problem found
+};
+
+/**
+ * The store. All public methods are thread-safe; get() runs under a
+ * shared lock so readers never serialize against each other, and
+ * compaction only takes the exclusive lock for its final swap.
+ *
+ * Throws std::runtime_error from the constructor when the directory
+ * cannot be created or opened; never throws from the data path.
+ */
+class PersistentStore
+{
+  public:
+    explicit PersistentStore(StoreConfig config);
+    ~PersistentStore();
+
+    PersistentStore(const PersistentStore &) = delete;
+    PersistentStore &operator=(const PersistentStore &) = delete;
+
+    /** Look up key; fills value and returns true on hit. */
+    bool get(const std::string &key, std::string &value);
+
+    bool contains(const std::string &key);
+
+    /** Insert or overwrite. Values up to ~1 GiB. */
+    void put(const std::string &key, std::string_view value);
+
+    /** Delete key (appends a tombstone; space reclaimed by
+     *  compaction). */
+    void remove(const std::string &key);
+
+    /**
+     * Rewrite live records of all sealed segments into a fresh
+     * segment and delete the old files. Safe to call concurrently
+     * with readers and writers; concurrent compact() calls serialize.
+     */
+    void compact();
+
+    /** fsync the active segment. */
+    void flush();
+
+    /**
+     * Visit every live record (snapshot of the keys at call time;
+     * values read as of the visit). For fosm-store inspect.
+     */
+    void forEachLive(
+        const std::function<void(const std::string &key,
+                                 const std::string &value,
+                                 std::uint64_t lsn)> &fn);
+
+    StoreStats stats() const;
+
+    const StoreConfig &config() const { return config_; }
+
+  private:
+    struct Segment;
+    struct Location
+    {
+        std::uint64_t segmentId = 0;
+        std::uint64_t offset = 0;   ///< record start in the file
+        std::uint32_t valueLen = 0;
+        std::uint64_t recordLen = 0;
+        std::uint64_t lsn = 0;
+    };
+
+    void openDir();
+    Segment *activeSegment();
+    Segment *newSegmentLocked();
+    void appendLocked(const std::string &key, std::string_view value,
+                      bool tombstone);
+    bool readValue(const Segment &segment, const Location &loc,
+                   std::string &out) const;
+    void accountDead(const Location &loc);
+    bool shouldCompactLocked() const;
+    void compactionLoop();
+
+    StoreConfig config_;
+
+    mutable std::shared_mutex mutex_; ///< index + segment table
+    std::unordered_map<std::string, Location> index_;
+    std::map<std::uint64_t, std::unique_ptr<Segment>> segments_;
+    std::uint64_t activeId_ = 0;
+    std::uint64_t nextLsn_ = 1;
+    std::uint64_t nextSegmentId_ = 1;
+
+    // Statistics (guarded by mutex_ except the read counters).
+    std::uint64_t deadRecords_ = 0;
+    std::uint64_t deadBytes_ = 0;       ///< in sealed segments only
+    std::uint64_t activeDeadBytes_ = 0; ///< migrates on seal
+    std::uint64_t liveBytes_ = 0;
+    std::uint64_t appends_ = 0;
+    std::uint64_t compactions_ = 0;
+    std::uint64_t truncatedTails_ = 0;
+    mutable std::atomic<std::uint64_t> gets_{0};
+    mutable std::atomic<std::uint64_t> hits_{0};
+
+    // Background compaction.
+    std::mutex compactRunMutex_; ///< serializes compact() bodies
+    std::mutex cvMutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    bool compactRequested_ = false;
+    std::thread compactor_;
+};
+
+/**
+ * Read-only integrity scan of a store directory (fosm-store verify):
+ * walks every segment checking structure and CRCs without repairing
+ * anything. Safe on a directory another process has open.
+ */
+std::vector<SegmentReport> verifyDir(const std::string &dir);
+
+} // namespace fosm::store
+
+#endif // FOSM_STORE_STORE_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "workload/address_stream.hh"
@@ -248,6 +249,26 @@ generateTrace(const Profile &profile, std::uint64_t instructions)
     }
 
     return trace;
+}
+
+std::uint64_t
+traceDigest(const Trace &trace)
+{
+    // Field by field, never raw struct bytes: InstRecord has padding
+    // whose content is indeterminate.
+    Fnv1a h;
+    h.update(trace.name());
+    h.updateInt(static_cast<std::uint64_t>(trace.size()));
+    for (const InstRecord &inst : trace) {
+        h.updateInt(inst.pc);
+        h.updateInt(inst.effAddr);
+        h.updateInt(static_cast<std::uint8_t>(inst.cls));
+        h.updateInt(static_cast<std::uint8_t>(inst.branchTaken));
+        h.updateInt(inst.dst);
+        h.updateInt(inst.src1);
+        h.updateInt(inst.src2);
+    }
+    return h.digest();
 }
 
 } // namespace fosm

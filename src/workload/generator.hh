@@ -39,6 +39,15 @@ namespace fosm {
  */
 Trace generateTrace(const Profile &profile, std::uint64_t instructions);
 
+/**
+ * Content digest of a trace (FNV-1a over every record, field by
+ * field). Persistent characterization entries are keyed by this, so
+ * any change to the generator, the profile parameters, or the trace
+ * length produces a different key and stale entries are simply never
+ * found — no invalidation pass needed.
+ */
+std::uint64_t traceDigest(const Trace &trace);
+
 /** Base address of the synthetic code region. */
 constexpr Addr codeBase = 0x00400000ull;
 

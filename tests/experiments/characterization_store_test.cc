@@ -1,0 +1,214 @@
+/**
+ * @file
+ * CharacterizationStore tests: the binary codec round-trips every
+ * MissProfile field exactly (doubles by bit image), damaged input is
+ * rejected rather than half-decoded, keys pin the schema/format
+ * versions and trace digest, and a Workbench reopened over the same
+ * store reloads its characterization instead of rebuilding it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiments/characterization_store.hh"
+#include "experiments/workbench.hh"
+
+#include "../store/store_test_util.hh"
+
+namespace fosm {
+namespace {
+
+/** A characterization exercising every encoded field, including
+ *  histogram overflow and non-round doubles. */
+Characterization
+sampleCharacterization()
+{
+    Characterization c;
+    MissProfile &p = c.missProfile;
+    p.instructions = 200000;
+    for (std::size_t i = 0; i < numInstClasses; ++i)
+        p.mix.fraction[i] = 0.1 + 0.01 * static_cast<double>(i);
+    p.branches = 40000;
+    p.mispredictions = 1700;
+    p.mispredictGap.add(3);
+    p.mispredictGap.add(17, 2);
+    p.mispredictGap.add(900);
+    p.mispredictGap.add(99999, 2); // lands in the overflow bucket
+    p.icacheL1Misses = 812;
+    p.icacheL2Misses = 77;
+    p.icacheMissGap.add(250);
+    p.icacheMissGap.add(4096);
+    p.loads = 52000;
+    p.stores = 31000;
+    p.shortLoadMisses = 1500;
+    p.longLoadMisses = 310;
+    p.storeMisses = 120;
+    p.ldmGaps = {1, 2, 3, 640, 65535};
+    p.dtlbLoadMisses = 44;
+    p.dtlbStoreMisses = 11;
+    p.dtlbGaps = {10, 20, 30};
+    p.avgLatency = 4.0 / 3.0;
+    c.iwPoints = {{4, 1.125},
+                  {8, 1.9},
+                  {16, 2.75},
+                  {32, 3.0000000000000004},
+                  {64, 3.25}};
+    return c;
+}
+
+void
+expectHistogramEq(const Histogram &a, const Histogram &b)
+{
+    EXPECT_EQ(a.counts(), b.counts());
+    EXPECT_EQ(a.samples(), b.samples());
+    EXPECT_EQ(a.overflow(), b.overflow());
+    // Bit-equal, not approximately equal: the weighted sum is stored
+    // verbatim so mean() reproduces the original FP result exactly.
+    EXPECT_EQ(a.weightedSum(), b.weightedSum());
+    EXPECT_EQ(a.mean(), b.mean());
+}
+
+void
+expectCharacterizationEq(const Characterization &a,
+                         const Characterization &b)
+{
+    const MissProfile &p = a.missProfile;
+    const MissProfile &q = b.missProfile;
+    EXPECT_EQ(p.instructions, q.instructions);
+    for (std::size_t i = 0; i < numInstClasses; ++i)
+        EXPECT_EQ(p.mix.fraction[i], q.mix.fraction[i]) << i;
+    EXPECT_EQ(p.branches, q.branches);
+    EXPECT_EQ(p.mispredictions, q.mispredictions);
+    expectHistogramEq(p.mispredictGap, q.mispredictGap);
+    EXPECT_EQ(p.icacheL1Misses, q.icacheL1Misses);
+    EXPECT_EQ(p.icacheL2Misses, q.icacheL2Misses);
+    expectHistogramEq(p.icacheMissGap, q.icacheMissGap);
+    EXPECT_EQ(p.loads, q.loads);
+    EXPECT_EQ(p.stores, q.stores);
+    EXPECT_EQ(p.shortLoadMisses, q.shortLoadMisses);
+    EXPECT_EQ(p.longLoadMisses, q.longLoadMisses);
+    EXPECT_EQ(p.storeMisses, q.storeMisses);
+    EXPECT_EQ(p.ldmGaps, q.ldmGaps);
+    EXPECT_EQ(p.dtlbLoadMisses, q.dtlbLoadMisses);
+    EXPECT_EQ(p.dtlbStoreMisses, q.dtlbStoreMisses);
+    EXPECT_EQ(p.dtlbGaps, q.dtlbGaps);
+    EXPECT_EQ(p.avgLatency, q.avgLatency);
+    ASSERT_EQ(a.iwPoints.size(), b.iwPoints.size());
+    for (std::size_t i = 0; i < a.iwPoints.size(); ++i) {
+        EXPECT_EQ(a.iwPoints[i].windowSize, b.iwPoints[i].windowSize);
+        EXPECT_EQ(a.iwPoints[i].ipc, b.iwPoints[i].ipc);
+    }
+}
+
+store::StoreConfig
+storeConfig(const std::string &dir)
+{
+    store::StoreConfig config;
+    config.dir = dir;
+    config.backgroundCompaction = false;
+    return config;
+}
+
+TEST(CharacterizationStore, EncodeDecodeRoundTripsEveryFieldExactly)
+{
+    const Characterization original = sampleCharacterization();
+    const std::string bytes = CharacterizationStore::encode(original);
+    Characterization decoded;
+    ASSERT_TRUE(CharacterizationStore::decode(bytes, decoded));
+    expectCharacterizationEq(decoded, original);
+}
+
+TEST(CharacterizationStore, DecodeRejectsTruncationAndTrailingBytes)
+{
+    const std::string bytes =
+        CharacterizationStore::encode(sampleCharacterization());
+    Characterization out;
+    // Every proper prefix must fail cleanly: vector lengths are
+    // embedded in the data, so a shorter input either underruns a
+    // read or leaves trailing slack — never half-decodes.
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_FALSE(CharacterizationStore::decode(
+            bytes.substr(0, len), out))
+            << "prefix of " << len;
+    }
+    EXPECT_FALSE(CharacterizationStore::decode(bytes + "x", out));
+    EXPECT_TRUE(CharacterizationStore::decode(bytes, out));
+}
+
+TEST(CharacterizationStore, KeyPinsVersionsLengthAndDigest)
+{
+    const std::string key =
+        CharacterizationStore::key("gcc", 5000, 0x1234);
+    EXPECT_EQ(key.rfind("c/v", 0), 0u);
+    EXPECT_NE(key.find("/gcc/"), std::string::npos);
+    EXPECT_NE(key.find("/5000/"), std::string::npos);
+    EXPECT_NE(key, CharacterizationStore::key("gcc", 5000, 0x1235));
+    EXPECT_NE(key, CharacterizationStore::key("gcc", 6000, 0x1234));
+    EXPECT_NE(key, CharacterizationStore::key("gzip", 5000, 0x1234));
+}
+
+TEST(CharacterizationStore, SaveLoadRoundTripsAcrossReopen)
+{
+    test::TempDir dir;
+    const std::string key =
+        CharacterizationStore::key("synthetic", 200000, 0xabcdef);
+    const Characterization original = sampleCharacterization();
+    {
+        CharacterizationStore cs(
+            std::make_shared<store::PersistentStore>(
+                storeConfig(dir.path())));
+        Characterization miss;
+        EXPECT_FALSE(cs.load(key, miss));
+        cs.save(key, original);
+    }
+    CharacterizationStore cs(std::make_shared<store::PersistentStore>(
+        storeConfig(dir.path())));
+    Characterization loaded;
+    ASSERT_TRUE(cs.load(key, loaded));
+    expectCharacterizationEq(loaded, original);
+}
+
+TEST(CharacterizationStore, WorkbenchReloadsInsteadOfRebuilding)
+{
+    ::setenv("FOSM_TRACE_INSTS", "5000", 1);
+    test::TempDir dir;
+
+    // Cold pass: builds from the trace and persists.
+    Characterization cold;
+    double coldAlpha = 0.0, coldBeta = 0.0;
+    {
+        Workbench bench;
+        bench.setCharacterizationStore(
+            std::make_shared<CharacterizationStore>(
+                std::make_shared<store::PersistentStore>(
+                    storeConfig(dir.path()))));
+        const WorkloadData &data = bench.workload("gcc");
+        EXPECT_EQ(bench.characterizationLoads(), 0u);
+        cold.missProfile = data.missProfile;
+        cold.iwPoints = data.iwPoints;
+        coldAlpha = data.iw.alpha();
+        coldBeta = data.iw.beta();
+    }
+
+    // Warm pass over the same directory: loaded, not rebuilt, and
+    // every derived number (including the fitted IW characteristic)
+    // matches the cold build bit for bit.
+    Workbench bench;
+    bench.setCharacterizationStore(
+        std::make_shared<CharacterizationStore>(
+            std::make_shared<store::PersistentStore>(
+                storeConfig(dir.path()))));
+    const WorkloadData &data = bench.workload("gcc");
+    EXPECT_EQ(bench.characterizationLoads(), 1u);
+    expectCharacterizationEq(
+        Characterization{data.missProfile, data.iwPoints}, cold);
+    EXPECT_EQ(data.iw.alpha(), coldAlpha);
+    EXPECT_EQ(data.iw.beta(), coldBeta);
+}
+
+} // namespace
+} // namespace fosm

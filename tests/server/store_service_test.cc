@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Service persistence tests: a restarted service serves bit-identical
+ * responses straight from the store (nonzero hit rate, no rebuild), a
+ * fresh design point after restart is evaluated from the reloaded
+ * characterization, /v1/store/stats reports both modes, and the trend
+ * memo reuses rows across overlapping sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "server/service.hh"
+
+#include "../store/store_test_util.hh"
+
+namespace fosm::server {
+namespace {
+
+/** Drive the full handler: routing plus both cache tiers. */
+HttpResponse
+post(ModelService &service, const std::string &path,
+     const std::string &body)
+{
+    HttpRequest request;
+    request.method = "POST";
+    request.target = path;
+    request.body = body;
+    return service.handler()(request);
+}
+
+ServiceConfig
+storeConfig(const std::string &dir)
+{
+    // Short traces keep each characterization build cheap; must be
+    // set before the first Workbench is constructed.
+    ::setenv("FOSM_TRACE_INSTS", "5000", 1);
+    ServiceConfig config;
+    config.storeDir = dir;
+    return config;
+}
+
+TEST(ServicePersistence, WarmRestartServesBitIdenticalResponses)
+{
+    test::TempDir dir;
+    const std::string cpiBody = "{\"workload\":\"gcc\"}";
+
+    std::string coldCpi, coldCurve;
+    {
+        MetricsRegistry metrics;
+        ModelService cold(storeConfig(dir.path()), metrics);
+        ASSERT_NE(cold.persistentCache(), nullptr);
+        const HttpResponse r = post(cold, "/v1/cpi", cpiBody);
+        ASSERT_EQ(r.status, 200);
+        coldCpi = r.body;
+        coldCurve = post(cold, "/v1/iw-curve", cpiBody).body;
+        EXPECT_EQ(cold.persistentCache()->storeHits(), 0u);
+    }
+
+    MetricsRegistry metrics;
+    ModelService warm(storeConfig(dir.path()), metrics);
+    EXPECT_EQ(post(warm, "/v1/cpi", cpiBody).body, coldCpi);
+    EXPECT_EQ(post(warm, "/v1/iw-curve", cpiBody).body, coldCurve);
+    // Both answers came off disk: nonzero hit rate immediately after
+    // restart, and the workload was never rebuilt (nor even loaded —
+    // the whole response was stored).
+    EXPECT_EQ(warm.persistentCache()->storeHits(), 2u);
+    EXPECT_EQ(warm.workbench().characterizationLoads(), 0u);
+}
+
+TEST(ServicePersistence, FreshQueryAfterRestartUsesReloadedData)
+{
+    test::TempDir dir;
+    // A design point only the warm service sees: it must be evaluated
+    // fresh, from the characterization the cold service persisted.
+    const std::string novel =
+        "{\"workload\":\"gcc\",\"machine\":{\"width\":8}}";
+
+    {
+        MetricsRegistry metrics;
+        ModelService cold(storeConfig(dir.path()), metrics);
+        ASSERT_EQ(
+            post(cold, "/v1/cpi", "{\"workload\":\"gcc\"}").status,
+            200);
+    }
+
+    MetricsRegistry warmMetrics;
+    ModelService warm(storeConfig(dir.path()), warmMetrics);
+    const HttpResponse served = post(warm, "/v1/cpi", novel);
+    ASSERT_EQ(served.status, 200);
+    EXPECT_EQ(warm.persistentCache()->storeHits(), 0u);
+    EXPECT_EQ(warm.workbench().characterizationLoads(), 1u);
+
+    // Reference: the same evaluation memory-only, built from scratch.
+    MetricsRegistry referenceMetrics;
+    ModelService reference(ServiceConfig{}, referenceMetrics);
+    EXPECT_EQ(served.body, post(reference, "/v1/cpi", novel).body);
+}
+
+TEST(ServicePersistence, PersistentTierAnswersWhenLruIsDisabled)
+{
+    test::TempDir dir;
+    MetricsRegistry metrics;
+    ServiceConfig config = storeConfig(dir.path());
+    config.cacheCapacity = 0;
+    ModelService service(config, metrics);
+
+    const std::string body = "{\"workload\":\"mcf\"}";
+    const std::string first = post(service, "/v1/cpi", body).body;
+    EXPECT_EQ(service.persistentCache()->storeHits(), 0u);
+    // No LRU to hit, so the repeat is served by the store.
+    EXPECT_EQ(post(service, "/v1/cpi", body).body, first);
+    EXPECT_EQ(service.persistentCache()->storeHits(), 1u);
+}
+
+TEST(ServicePersistence, StoreStatsReportsBothModes)
+{
+    {
+        test::TempDir dir;
+        MetricsRegistry metrics;
+        ModelService service(storeConfig(dir.path()), metrics);
+        ASSERT_EQ(
+            post(service, "/v1/cpi", "{\"workload\":\"gzip\"}").status,
+            200);
+        const json::Value stats = service.storeStats();
+        EXPECT_TRUE(stats.find("enabled")->asBool());
+        const json::Value *s = stats.find("store");
+        ASSERT_NE(s, nullptr);
+        // One response plus one characterization were persisted.
+        EXPECT_GE(s->find("liveRecords")->asInt(), 2);
+
+        // The GET endpoint serves exactly this document.
+        HttpRequest request;
+        request.method = "GET";
+        request.target = "/v1/store/stats";
+        EXPECT_EQ(service.handler()(request).status, 200);
+    }
+    MetricsRegistry metrics;
+    ModelService memoryOnly(ServiceConfig{}, metrics);
+    const json::Value stats = memoryOnly.storeStats();
+    EXPECT_FALSE(stats.find("enabled")->asBool());
+    EXPECT_EQ(stats.find("store"), nullptr);
+}
+
+TEST(ServiceTrendMemo, OverlappingSweepsReuseRows)
+{
+    MetricsRegistry metrics;
+    ModelService service(ServiceConfig{}, metrics);
+
+    json::Value first = json::Value::object();
+    first.set("study", "pipeline-depth");
+    json::Value widths = json::Value::array();
+    widths.push(2);
+    widths.push(4);
+    first.set("widths", std::move(widths));
+    json::Value depths = json::Value::array();
+    depths.push(5);
+    depths.push(10);
+    first.set("depths", std::move(depths));
+
+    const json::Value a = service.trends(first);
+    EXPECT_EQ(service.trendStudies().memoMisses(), 2u);
+    EXPECT_EQ(service.trendStudies().memoHits(), 0u);
+
+    // The identical request reuses every row.
+    EXPECT_EQ(service.trends(first).dump(), a.dump());
+    EXPECT_EQ(service.trendStudies().memoHits(), 2u);
+
+    // A superset sweep reuses the overlap and computes only the new
+    // width; the shared rows are bit-identical across responses.
+    json::Value second = json::Value::object();
+    second.set("study", "pipeline-depth");
+    json::Value moreWidths = json::Value::array();
+    moreWidths.push(2);
+    moreWidths.push(4);
+    moreWidths.push(8);
+    second.set("widths", std::move(moreWidths));
+    json::Value sameDepths = json::Value::array();
+    sameDepths.push(5);
+    sameDepths.push(10);
+    second.set("depths", std::move(sameDepths));
+
+    const json::Value c = service.trends(second);
+    EXPECT_EQ(service.trendStudies().memoHits(), 4u);
+    EXPECT_EQ(service.trendStudies().memoMisses(), 3u);
+    const json::Value *seriesA = a.find("series");
+    const json::Value *seriesC = c.find("series");
+    ASSERT_NE(seriesA, nullptr);
+    ASSERT_NE(seriesC, nullptr);
+    ASSERT_EQ(seriesC->items().size(), 3u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(seriesC->items()[i].dump(),
+                  seriesA->items()[i].dump());
+    }
+
+    // Width-study rows memoize in their own table.
+    json::Value widthReq = json::Value::object();
+    widthReq.set("study", "issue-width");
+    json::Value w = json::Value::array();
+    w.push(4);
+    widthReq.set("widths", std::move(w));
+    const json::Value d = service.trends(widthReq);
+    EXPECT_EQ(service.trendStudies().memoMisses(), 4u);
+    EXPECT_EQ(service.trends(widthReq).dump(), d.dump());
+    EXPECT_EQ(service.trendStudies().memoHits(), 5u);
+    EXPECT_EQ(service.trendStudies().size(), 4u);
+}
+
+} // namespace
+} // namespace fosm::server

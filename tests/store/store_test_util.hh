@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Filesystem scaffolding for the store tests: a self-deleting
+ * temporary directory and raw file helpers the torture test uses to
+ * inflict precise corruption.
+ */
+
+#ifndef FOSM_TESTS_STORE_STORE_TEST_UTIL_HH
+#define FOSM_TESTS_STORE_STORE_TEST_UTIL_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <stdlib.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace fosm::test {
+
+/** mkdtemp() wrapper that removes the tree on destruction. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char buf[] = "/tmp/fosm-store-test-XXXXXX";
+        path_ = ::mkdtemp(buf);
+    }
+
+    ~TempDir() { removeAll(); }
+
+    TempDir(const TempDir &) = delete;
+    TempDir &operator=(const TempDir &) = delete;
+
+    const std::string &path() const { return path_; }
+
+    /** Delete every file inside (the store layout is flat). */
+    void
+    removeAll()
+    {
+        if (path_.empty())
+            return;
+        for (const std::string &f : list())
+            ::unlink((path_ + "/" + f).c_str());
+        ::rmdir(path_.c_str());
+        path_.clear();
+    }
+
+    /** File names inside the directory, sorted. */
+    std::vector<std::string>
+    list() const
+    {
+        std::vector<std::string> names;
+        DIR *d = ::opendir(path_.c_str());
+        if (!d)
+            return names;
+        while (const dirent *e = ::readdir(d)) {
+            const std::string name = e->d_name;
+            if (name != "." && name != "..")
+                names.push_back(name);
+        }
+        ::closedir(d);
+        std::sort(names.begin(), names.end());
+        return names;
+    }
+
+  private:
+    std::string path_;
+};
+
+inline std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+inline void
+writeFile(const std::string &path, const std::string &data)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(),
+              static_cast<std::streamsize>(data.size()));
+}
+
+} // namespace fosm::test
+
+#endif // FOSM_TESTS_STORE_STORE_TEST_UTIL_HH

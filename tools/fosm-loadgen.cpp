@@ -1,21 +1,30 @@
 /**
  * @file
- * fosm-loadgen: closed-loop load generator for fosm-serve.
+ * fosm-loadgen: load generator for fosm-serve.
  *
  *   fosm-loadgen [--host 127.0.0.1] [--port 8080]
  *                [--connections 4] [--duration 10] [--warmup 1]
- *                [--endpoint /v1/cpi] [--distinct 12]
+ *                [--endpoint /v1/cpi] [--distinct 12] [--rate N]
  *                [--out report.json]
  *
- * Each connection is one thread issuing requests back-to-back over a
- * keep-alive connection (closed loop: a new request only after the
- * previous response). Request bodies rotate through --distinct
- * different design points (workload x deltaD variations), which sets
- * the server-side cache hit profile: --distinct far below the cache
- * capacity measures the cached path, --distinct 0 sends a unique
- * design point every time (all misses). Reports throughput and
+ * Closed loop by default: each connection is one thread issuing
+ * requests back-to-back over a keep-alive connection (a new request
+ * only after the previous response). Request bodies rotate through
+ * --distinct different design points (workload x deltaD variations),
+ * which sets the server-side cache hit profile: --distinct far below
+ * the cache capacity measures the cached path, --distinct 0 sends a
+ * unique design point every time (all misses). Reports throughput and
  * latency percentiles, excluding the warm-up window, and counts per
  * status (503s are retried immediately — that IS the overload test).
+ *
+ * --rate N switches to open loop: arrivals are scheduled at N
+ * requests/second on a fixed global timetable regardless of how fast
+ * responses come back, the way real clients behave. When the server
+ * falls behind, requests queue inside the load generator; the report
+ * then separates QUEUEING DELAY (scheduled arrival -> request
+ * actually sent) from SERVICE TIME (sent -> response), because under
+ * overload the former grows without bound while the latter stays
+ * flat — the coordinated-omission distinction a closed loop hides.
  */
 
 #include <algorithm>
@@ -40,11 +49,26 @@ using Clock = std::chrono::steady_clock;
 struct WorkerResult
 {
     std::vector<double> latencies; ///< seconds, 2xx only, post-warmup
+    /** Open loop only: scheduled arrival -> send, post-warmup. */
+    std::vector<double> queueDelays;
     std::uint64_t ok = 0;          ///< 2xx post-warmup
     std::uint64_t rejected = 0;    ///< 503 post-warmup
     std::uint64_t errors = 0;      ///< other statuses / transport
     std::uint64_t warmup = 0;      ///< requests in the warmup window
 };
+
+/** Percentile over a sorted sample vector. */
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const std::size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(
+            q * static_cast<double>(sorted.size())));
+    return sorted[idx];
+}
 
 /** Pre-built request bodies rotated by every worker. */
 std::vector<std::string>
@@ -95,16 +119,19 @@ main(int argc, char **argv)
     const cli::Args args(
         argc, argv,
         {"host", "port", "connections", "duration", "warmup",
-         "endpoint", "distinct", "out"},
+         "endpoint", "distinct", "rate", "out"},
         "usage: fosm-loadgen [flags]\n"
         "  --host 127.0.0.1    server address\n"
         "  --port 8080         server port\n"
-        "  --connections 4     concurrent closed-loop connections\n"
+        "  --connections 4     concurrent connections\n"
         "  --duration 10       measured seconds\n"
         "  --warmup 1          unmeasured leading seconds\n"
         "  --endpoint /v1/cpi  target endpoint\n"
         "  --distinct 12       distinct request bodies "
         "(0 = all unique)\n"
+        "  --rate N            open loop: N scheduled requests/s "
+        "across\n"
+        "                      all connections (0 = closed loop)\n"
         "  --out report.json   write the report as JSON\n");
 
     const std::string host = args.get("host", "127.0.0.1");
@@ -117,6 +144,7 @@ main(int argc, char **argv)
     const double warmup = args.getDouble("warmup", 1.0);
     const std::string endpoint = args.get("endpoint", "/v1/cpi");
     const std::uint64_t distinct = args.getInt("distinct", 12);
+    const double rate = args.getDouble("rate", 0.0);
 
     const std::vector<std::string> bodies =
         buildBodies(endpoint, distinct);
@@ -133,6 +161,8 @@ main(int argc, char **argv)
     std::vector<std::thread> threads;
     threads.reserve(connections);
     std::atomic<std::uint64_t> uniqueSeq{0};
+    /** Open loop: workers claim arrival slots off one timetable. */
+    std::atomic<std::uint64_t> arrivalSeq{0};
 
     for (std::uint64_t c = 0; c < connections; ++c) {
         threads.emplace_back([&, c] {
@@ -140,7 +170,25 @@ main(int argc, char **argv)
             fosm::server::HttpClient client(host, port);
             fosm::server::ClientResponse response;
             std::uint64_t i = c; // stagger the rotation per thread
-            while (Clock::now() < deadline) {
+            while (true) {
+                Clock::time_point scheduled{};
+                if (rate > 0.0) {
+                    // Claim the next slot on the global timetable.
+                    // If the server is slow the slot's time is
+                    // already past and the sleep is a no-op — the
+                    // lateness is the queueing delay reported below.
+                    const std::uint64_t seq = arrivalSeq.fetch_add(1);
+                    scheduled =
+                        start +
+                        std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                static_cast<double>(seq) / rate));
+                    if (scheduled >= deadline)
+                        break;
+                    std::this_thread::sleep_until(scheduled);
+                } else if (Clock::now() >= deadline) {
+                    break;
+                }
                 std::string body = bodies[i % bodies.size()];
                 if (distinct == 0) {
                     // Unique design point per request: defeat the
@@ -180,6 +228,12 @@ main(int argc, char **argv)
                     ++r.warmup;
                     continue;
                 }
+                if (rate > 0.0) {
+                    r.queueDelays.push_back(std::max(
+                        0.0, std::chrono::duration<double>(
+                                 t0 - scheduled)
+                                 .count()));
+                }
                 if (!ok) {
                     ++r.errors;
                     continue;
@@ -210,16 +264,14 @@ main(int argc, char **argv)
         total.latencies.insert(total.latencies.end(),
                                r.latencies.begin(),
                                r.latencies.end());
+        total.queueDelays.insert(total.queueDelays.end(),
+                                 r.queueDelays.begin(),
+                                 r.queueDelays.end());
     }
     std::sort(total.latencies.begin(), total.latencies.end());
+    std::sort(total.queueDelays.begin(), total.queueDelays.end());
     const auto pct = [&](double q) {
-        if (total.latencies.empty())
-            return 0.0;
-        const std::size_t idx = std::min(
-            total.latencies.size() - 1,
-            static_cast<std::size_t>(
-                q * static_cast<double>(total.latencies.size())));
-        return total.latencies[idx];
+        return percentile(total.latencies, q);
     };
     double sum = 0.0;
     for (const double l : total.latencies)
@@ -233,6 +285,9 @@ main(int argc, char **argv)
 
     json::Value report = json::Value::object();
     report.set("endpoint", endpoint);
+    report.set("mode", rate > 0.0 ? "open-loop" : "closed-loop");
+    if (rate > 0.0)
+        report.set("offered_rate_rps", rate);
     report.set("connections", connections);
     report.set("duration_s", duration);
     report.set("distinct_bodies",
@@ -251,16 +306,53 @@ main(int argc, char **argv)
                           ? 0.0
                           : total.latencies.back() * 1e6);
     report.set("latency", std::move(lat));
+    if (rate > 0.0) {
+        // Service time above; time spent waiting for a connection
+        // behind the offered schedule is its own distribution.
+        json::Value qd = json::Value::object();
+        double qsum = 0.0;
+        for (const double d : total.queueDelays)
+            qsum += d;
+        qd.set("mean_us",
+               total.queueDelays.empty()
+                   ? 0.0
+                   : qsum /
+                         static_cast<double>(
+                             total.queueDelays.size()) *
+                         1e6);
+        qd.set("p50_us", percentile(total.queueDelays, 0.50) * 1e6);
+        qd.set("p90_us", percentile(total.queueDelays, 0.90) * 1e6);
+        qd.set("p99_us", percentile(total.queueDelays, 0.99) * 1e6);
+        qd.set("max_us", total.queueDelays.empty()
+                             ? 0.0
+                             : total.queueDelays.back() * 1e6);
+        report.set("queue_delay", std::move(qd));
+    }
 
     std::cout << "fosm-loadgen: " << total.ok << " ok, "
               << total.rejected << " x 503, " << total.errors
               << " errors in " << duration << " s ("
-              << json::formatDouble(throughput) << " req/s)\n"
-              << "latency us: mean "
+              << json::formatDouble(throughput) << " req/s";
+    if (rate > 0.0)
+        std::cout << ", offered " << json::formatDouble(rate);
+    std::cout << ")\n"
+              << "service us: mean "
               << json::formatDouble(mean * 1e6) << ", p50 "
               << json::formatDouble(pct(0.50) * 1e6) << ", p90 "
               << json::formatDouble(pct(0.90) * 1e6) << ", p99 "
               << json::formatDouble(pct(0.99) * 1e6) << "\n";
+    if (rate > 0.0) {
+        std::cout << "queue-delay us: p50 "
+                  << json::formatDouble(
+                         percentile(total.queueDelays, 0.50) * 1e6)
+                  << ", p90 "
+                  << json::formatDouble(
+                         percentile(total.queueDelays, 0.90) * 1e6)
+                  << ", p99 "
+                  << json::formatDouble(
+                         percentile(total.queueDelays, 0.99) * 1e6)
+                  << "\n";
+    }
 
     if (args.has("out")) {
         std::ofstream out(args.get("out", ""));

@@ -4,11 +4,15 @@
  *
  *   fosm-serve [--host 127.0.0.1] [--port 8080] [--workers N]
  *              [--queue 128] [--cache 8192] [--no-warmup]
+ *              [--store-dir .fosm-store] [--no-store]
  *
- * Serves POST /v1/cpi, /v1/iw-curve and /v1/trends plus GET /healthz
- * and /metrics (Prometheus text). Evaluated design points are
- * memoized in a sharded LRU response cache (--cache 0 disables, for
- * benchmarking the uncached path). By default all 12 workload
+ * Serves POST /v1/cpi, /v1/iw-curve and /v1/trends plus GET /healthz,
+ * /metrics (Prometheus text) and /v1/store/stats. Evaluated design
+ * points are memoized in a sharded LRU response cache (--cache 0
+ * disables, for benchmarking the uncached path) backed by a
+ * crash-safe persistent store (docs/STORE.md): responses and workload
+ * characterizations survive restarts, so a restarted server starts
+ * warm. --no-store runs memory-only. By default all 12 workload
  * characterizations are built before the socket opens so first
  * queries are fast; --no-warmup defers that to first use.
  * SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
@@ -49,7 +53,7 @@ main(int argc, char **argv)
     const cli::Args args(
         argc, argv,
         {"host", "port", "workers", "queue", "cache", "no-warmup",
-         "retry-after", "max-connections"},
+         "retry-after", "max-connections", "store-dir", "no-store"},
         "usage: fosm-serve [flags]\n"
         "  --host 127.0.0.1       listen address\n"
         "  --port 8080            listen port (0 = ephemeral)\n"
@@ -58,13 +62,29 @@ main(int argc, char **argv)
         "  --cache 8192           response cache entries (0 = off)\n"
         "  --max-connections 1024 connection limit\n"
         "  --retry-after 1        Retry-After seconds on 503\n"
-        "  --no-warmup            build workloads lazily\n");
+        "  --no-warmup            build workloads lazily\n"
+        "  --store-dir DIR        persistent result store directory\n"
+        "                         (default .fosm-store)\n"
+        "  --no-store             memory-only: no persistence\n");
 
     MetricsRegistry metrics;
 
     ServiceConfig serviceConfig;
     serviceConfig.cacheCapacity = args.getInt("cache", 8192);
+    if (!args.has("no-store"))
+        serviceConfig.storeDir = args.get("store-dir", ".fosm-store");
     ModelService service(serviceConfig, metrics);
+
+    if (const auto *persistent = service.persistentCache()) {
+        const auto s = persistent->stats();
+        std::cout << "fosm-serve: store " << serviceConfig.storeDir
+                  << " (" << s.liveRecords << " records, "
+                  << s.totalBytes << " bytes";
+        if (s.truncatedTails)
+            std::cout << ", " << s.truncatedTails
+                      << " torn tails repaired";
+        std::cout << ")\n";
+    }
 
     if (!args.has("no-warmup")) {
         std::cout << "fosm-serve: building "
@@ -107,9 +127,13 @@ main(int argc, char **argv)
               << (serviceConfig.cacheCapacity
                       ? std::to_string(serviceConfig.cacheCapacity)
                       : std::string("off"))
+              << ", store "
+              << (serviceConfig.storeDir.empty()
+                      ? std::string("off")
+                      : serviceConfig.storeDir)
               << ")\n"
               << "fosm-serve: POST /v1/cpi /v1/iw-curve /v1/trends; "
-                 "GET /healthz /metrics\n";
+                 "GET /healthz /metrics /v1/store/stats\n";
     std::cout.flush();
 
     server.join();

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * fosm-store: offline inspection and maintenance of a persistent
+ * result store directory (see docs/STORE.md).
+ *
+ *   fosm-store stats   <dir>             summary counters as JSON
+ *   fosm-store verify  <dir>             check every segment's CRCs
+ *   fosm-store inspect <dir> [--prefix P] [--limit N] [--values]
+ *                                        list live records
+ *   fosm-store compact <dir>             rewrite live data, drop dead
+ *
+ * `verify` reads the files as-is and never modifies them (safe on a
+ * store another process has open); the other subcommands open the
+ * store, which runs normal recovery — torn tails are truncated, and
+ * leftover compaction temp files removed — so don't point them at a
+ * directory a live server is using.
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "cli.hh"
+#include "server/json.hh"
+#include "store/store.hh"
+
+namespace {
+
+using namespace fosm;
+
+const char usage[] =
+    "usage: fosm-store <stats|verify|inspect|compact> <dir> [flags]\n"
+    "  stats   <dir>   print summary counters as JSON\n"
+    "  verify  <dir>   check segment integrity (read-only); exit 1\n"
+    "                  if any segment is corrupt\n"
+    "  inspect <dir>   list live records\n"
+    "    --prefix P    only keys starting with P (e.g. r/ or c/)\n"
+    "    --limit N     stop after N records (default 100, 0 = all)\n"
+    "    --values      print values too (escaped)\n"
+    "  compact <dir>   rewrite live records, delete dead space\n";
+
+/** Keys/values may hold any bytes; escape for one-line printing. */
+std::string
+printable(const std::string &s, std::size_t max)
+{
+    std::string out;
+    for (const char c : s) {
+        if (out.size() >= max) {
+            out += "...";
+            break;
+        }
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else if (std::isprint(static_cast<unsigned char>(c)))
+            out += c;
+        else {
+            char buf[5];
+            std::snprintf(buf, sizeof(buf), "\\x%02x",
+                          static_cast<unsigned char>(c));
+            out += buf;
+        }
+    }
+    return out;
+}
+
+json::Value
+statsToJson(const store::StoreStats &s)
+{
+    json::Value v = json::Value::object();
+    v.set("segments", s.segments);
+    v.set("liveRecords", s.liveRecords);
+    v.set("deadRecords", s.deadRecords);
+    v.set("liveBytes", s.liveBytes);
+    v.set("deadBytes", s.deadBytes);
+    v.set("totalBytes", s.totalBytes);
+    v.set("compactions", s.compactions);
+    v.set("truncatedTails", s.truncatedTails);
+    return v;
+}
+
+store::StoreConfig
+openConfig(const std::string &dir)
+{
+    store::StoreConfig config;
+    config.dir = dir;
+    // Maintenance runs: no background thread, compact explicitly.
+    config.backgroundCompaction = false;
+    return config;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const cli::Args args(argc, argv,
+                         {"prefix", "limit", "values"}, usage);
+    if (args.positional().size() != 2) {
+        std::cerr << usage;
+        return 1;
+    }
+    const std::string &command = args.positional()[0];
+    const std::string &dir = args.positional()[1];
+
+    if (command == "verify") {
+        const std::vector<store::SegmentReport> reports =
+            store::verifyDir(dir);
+        if (reports.empty()) {
+            std::cout << "no segment files in " << dir << "\n";
+            return 0;
+        }
+        bool allIntact = true;
+        for (const store::SegmentReport &r : reports) {
+            std::cout << r.file << ": " << r.records << " records, "
+                      << r.bytes << "/" << r.fileBytes
+                      << " bytes intact";
+            if (r.intact) {
+                std::cout << ", ok\n";
+            } else {
+                std::cout << ", CORRUPT: " << r.error << "\n";
+                allIntact = false;
+            }
+        }
+        return allIntact ? 0 : 1;
+    }
+
+    if (command != "stats" && command != "inspect" &&
+        command != "compact") {
+        std::cerr << "unknown command '" << command << "'\n"
+                  << usage;
+        return 1;
+    }
+
+    try {
+        store::PersistentStore st(openConfig(dir));
+
+        if (command == "stats") {
+            std::cout << statsToJson(st.stats()).dump() << "\n";
+        } else if (command == "inspect") {
+            const std::string prefix = args.get("prefix", "");
+            const std::uint64_t limit = args.getInt("limit", 100);
+            const bool values = args.has("values");
+            std::uint64_t shown = 0, matched = 0;
+            st.forEachLive([&](const std::string &key,
+                               const std::string &value,
+                               std::uint64_t lsn) {
+                if (key.rfind(prefix, 0) != 0)
+                    return;
+                ++matched;
+                if (limit != 0 && shown >= limit)
+                    return;
+                ++shown;
+                std::cout << "lsn=" << lsn << " bytes="
+                          << value.size() << " key="
+                          << printable(key, 120);
+                if (values)
+                    std::cout << " value=" << printable(value, 200);
+                std::cout << "\n";
+            });
+            if (shown < matched) {
+                std::cout << "(" << (matched - shown)
+                          << " more; raise --limit)\n";
+            }
+        } else { // compact
+            const store::StoreStats before = st.stats();
+            st.compact();
+            const store::StoreStats after = st.stats();
+            std::cout << "compacted " << dir << ": "
+                      << before.totalBytes << " -> "
+                      << after.totalBytes << " bytes, "
+                      << before.deadRecords << " -> "
+                      << after.deadRecords << " dead records\n";
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
