@@ -1,0 +1,505 @@
+#include "cluster/gateway.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <thread>
+
+#include <poll.h>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "server/service.hh"
+
+namespace fosm::cluster {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+server::HttpResponse
+jsonError(int status, const std::string &message)
+{
+    json::Value body = json::Value::object();
+    body.set("error", message);
+    return server::HttpResponse::json(status, body.dump());
+}
+
+/** Jitter in [0, limitMs] from a cheap thread-local generator. */
+int
+jitterMs(int limitMs)
+{
+    thread_local std::minstd_rand rng(static_cast<unsigned>(
+        Clock::now().time_since_epoch().count()));
+    if (limitMs <= 0)
+        return 0;
+    return static_cast<int>(rng() % (limitMs + 1));
+}
+
+int
+millisLeft(Clock::time_point deadline)
+{
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now())
+            .count();
+    return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/** Recursively sum numeric leaves of src into dst (by key path). */
+void
+sumNumericLeaves(json::Value &dst, const json::Value &src)
+{
+    for (const auto &member : src.members()) {
+        const json::Value &v = member.second;
+        if (v.isNumber()) {
+            const json::Value *prev = dst.find(member.first);
+            dst.set(member.first,
+                    (prev ? prev->asDouble() : 0.0) + v.asDouble());
+        } else if (v.isObject()) {
+            json::Value *slot =
+                const_cast<json::Value *>(dst.find(member.first));
+            if (!slot)
+                slot = &dst.set(member.first,
+                                json::Value::object());
+            sumNumericLeaves(*slot, v);
+        }
+    }
+}
+
+const char *const kProxyPaths[] = {"/v1/cpi", "/v1/iw-curve",
+                                   "/v1/trends"};
+
+bool
+isProxyPath(const std::string &path)
+{
+    for (const char *p : kProxyPaths)
+        if (path == p)
+            return true;
+    return false;
+}
+
+} // namespace
+
+Gateway::Gateway(GatewayConfig config,
+                 server::MetricsRegistry *metrics)
+    : config_(std::move(config)), metrics_(metrics),
+      ring_(config_.vnodes)
+{
+    fosm_assert(!config_.backends.empty(),
+                "gateway needs at least one backend");
+    // Ring node index i == pool backend index i: both are built from
+    // config_.backends in order.
+    for (const auto &addr : config_.backends)
+        ring_.add(addr.label);
+    pool_ = std::make_unique<BackendPool>(
+        config_.backends, config_.upstream, metrics_);
+
+    if (metrics_) {
+        retries_ = &metrics_->counter(
+            "fosm_gateway_retries_total",
+            "Upstream attempts beyond the first per request");
+        hedges_ = &metrics_->counter(
+            "fosm_gateway_hedges_total",
+            "Hedged duplicate requests fired");
+        hedgeWins_ = &metrics_->counter(
+            "fosm_gateway_hedge_wins_total",
+            "Hedged duplicates that answered first");
+        upstreamLatency_ = &metrics_->histogram(
+            "fosm_gateway_upstream_latency_seconds",
+            "Latency of winning upstream exchanges");
+        metrics_->addCallbackGauge(
+            "fosm_gateway_healthy_backends",
+            "Backends currently passing health checks",
+            [this] {
+                return static_cast<double>(pool_->healthyCount());
+            });
+        const std::vector<double> share = ring_.keyspaceShare();
+        for (std::size_t i = 0; i < share.size(); ++i) {
+            metrics_
+                ->gauge("fosm_gateway_ring_share_milli",
+                        "Keyspace share per backend (x1000)",
+                        "backend=\"" + ring_.name(i) + "\"")
+                .set(static_cast<std::int64_t>(share[i] * 1000.0 +
+                                               0.5));
+        }
+    }
+}
+
+Gateway::~Gateway()
+{
+    stop();
+}
+
+void
+Gateway::start()
+{
+    pool_->start();
+}
+
+void
+Gateway::stop()
+{
+    pool_->stop();
+}
+
+std::vector<std::string>
+Gateway::metricPaths() const
+{
+    std::vector<std::string> paths(std::begin(kProxyPaths),
+                                   std::end(kProxyPaths));
+    paths.emplace_back("/healthz");
+    paths.emplace_back("/metrics");
+    paths.emplace_back("/v1/store/stats");
+    return paths;
+}
+
+std::uint64_t
+Gateway::shardDigest(const std::string &path,
+                     const std::string &body) const
+{
+    json::Value parsed;
+    std::string error;
+    if (json::parse(body, parsed, &error))
+        return fnv1a64(server::ModelService::cacheKey(path, parsed));
+    // Unparsable: still deterministic — the owning backend will
+    // answer 400 the same way every time.
+    return fnv1a64(path + "\n" + body);
+}
+
+int
+Gateway::hedgeDelayMs() const
+{
+    if (!upstreamLatency_ ||
+        upstreamLatency_->count() <
+            std::max<std::uint64_t>(1, config_.hedgeMinSamples))
+        return config_.hedgeMaxMs;
+    const double q =
+        upstreamLatency_->quantile(config_.hedgeQuantile) * 1000.0;
+    return std::clamp(static_cast<int>(q + 0.5), config_.hedgeMinMs,
+                      config_.hedgeMaxMs);
+}
+
+server::HttpResponse
+Gateway::exchangeWithHedge(Backend &primary, Backend *hedgeTarget,
+                           const std::string &path,
+                           const std::string &body,
+                           bool &transportOk)
+{
+    transportOk = false;
+    const auto start = Clock::now();
+    const auto deadline =
+        start + std::chrono::milliseconds(
+                    config_.upstream.requestTimeoutMs);
+
+    UpstreamCall calls[2];
+    bool refreshed[2] = {false, false};
+    Backend *owners[2] = {&primary, hedgeTarget};
+    int active = 1;
+    bool hedged = false;
+
+    if (primary.requests)
+        primary.requests->inc();
+    if (!calls[0].start(primary,
+                        server::serializeRequest(
+                            "POST", path, primary.address().label,
+                            body),
+                        config_.upstream.connectTimeoutMs)) {
+        if (primary.errors)
+            primary.errors->inc();
+        primary.noteFailure(config_.upstream.ejectAfter);
+        return server::HttpResponse(502);
+    }
+
+    auto hedgeAt =
+        start + std::chrono::milliseconds(hedgeDelayMs());
+
+    for (;;) {
+        pollfd pfds[2];
+        int idx[2];
+        int n = 0;
+        for (int i = 0; i < active; ++i) {
+            if (calls[i].state() ==
+                UpstreamCall::State::Receiving) {
+                pfds[n] = {calls[i].fd(), POLLIN, 0};
+                idx[n] = i;
+                ++n;
+            }
+        }
+        if (n == 0) {
+            // Every outstanding call failed.
+            for (int i = 0; i < active; ++i)
+                if (owners[i] && owners[i]->errors)
+                    owners[i]->errors->inc();
+            primary.noteFailure(config_.upstream.ejectAfter);
+            return server::HttpResponse(502);
+        }
+
+        auto wakeAt = deadline;
+        const bool canHedge = !hedged && hedgeTarget;
+        if (canHedge && hedgeAt < wakeAt)
+            wakeAt = hedgeAt;
+        const int waitMs = millisLeft(wakeAt);
+        const int ready = ::poll(pfds, n, waitMs);
+
+        if (ready > 0) {
+            for (int k = 0; k < n; ++k) {
+                if (!(pfds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                    continue;
+                const int i = idx[k];
+                switch (calls[i].onReadable()) {
+                case UpstreamCall::State::Done: {
+                    // First complete response wins.
+                    transportOk = true;
+                    owners[i]->noteSuccess();
+                    if (upstreamLatency_)
+                        upstreamLatency_->observe(
+                            std::chrono::duration<double>(
+                                Clock::now() - start)
+                                .count());
+                    if (i == 1 && hedgeWins_)
+                        hedgeWins_->inc();
+                    const server::ClientResponse &r =
+                        calls[i].response();
+                    server::HttpResponse out(r.status);
+                    out.body = r.body;
+                    const std::string &ct =
+                        r.header("content-type");
+                    if (!ct.empty())
+                        out.setHeader("Content-Type", ct);
+                    out.setHeader("X-Fosm-Backend",
+                                  owners[i]->address().label);
+                    calls[i].finish();
+                    for (int j = 0; j < active; ++j)
+                        if (j != i)
+                            calls[j].abandon();
+                    return out;
+                }
+                case UpstreamCall::State::Failed:
+                    // A pooled connection may have been closed by
+                    // the backend while idle; one fresh re-dial on
+                    // the same backend, not counted as a retry.
+                    if (calls[i].usedPooledConn() &&
+                        !calls[i].receivedBytes() &&
+                        !refreshed[i]) {
+                        refreshed[i] = true;
+                        calls[i].start(
+                            *owners[i],
+                            server::serializeRequest(
+                                "POST", path,
+                                owners[i]->address().label, body),
+                            config_.upstream.connectTimeoutMs,
+                            /*forceFresh=*/true);
+                    }
+                    break;
+                default:
+                    break;
+                }
+            }
+            continue;
+        }
+
+        // Timeout: fire the (single) hedge, or give up.
+        const auto now = Clock::now();
+        if (now >= deadline) {
+            for (int i = 0; i < active; ++i) {
+                calls[i].abandon();
+                if (owners[i] && owners[i]->errors)
+                    owners[i]->errors->inc();
+            }
+            primary.noteFailure(config_.upstream.ejectAfter);
+            return server::HttpResponse(504);
+        }
+        if (canHedge && now >= hedgeAt) {
+            hedged = true;
+            active = 2;
+            if (hedges_)
+                hedges_->inc();
+            if (hedgeTarget->requests)
+                hedgeTarget->requests->inc();
+            calls[1].start(*hedgeTarget,
+                           server::serializeRequest(
+                               "POST", path,
+                               hedgeTarget->address().label, body),
+                           config_.upstream.connectTimeoutMs);
+        }
+    }
+}
+
+server::HttpResponse
+Gateway::proxy(const std::string &path, const std::string &body)
+{
+    const std::uint64_t digest = shardDigest(path, body);
+    const std::vector<std::uint32_t> pref =
+        ring_.route(digest, pool_->size());
+
+    // Healthy backends first, in ring preference order; ejected ones
+    // only as a last resort (every backend may be flapping).
+    std::vector<std::uint32_t> order;
+    order.reserve(pref.size());
+    for (std::uint32_t i : pref)
+        if (pool_->backend(i).healthy())
+            order.push_back(i);
+    for (std::uint32_t i : pref)
+        if (!pool_->backend(i).healthy())
+            order.push_back(i);
+
+    const int attempts = 1 + std::max(0, config_.retries);
+    server::HttpResponse last5xx(0);
+    bool have5xx = false;
+
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        Backend &target = pool_->backend(
+            order[static_cast<std::size_t>(attempt) %
+                  order.size()]);
+        // The hedge goes to the next distinct backend in preference
+        // order, if there is one.
+        Backend *hedgeTarget = nullptr;
+        if (order.size() > 1)
+            hedgeTarget = &pool_->backend(
+                order[(static_cast<std::size_t>(attempt) + 1) %
+                      order.size()]);
+
+        if (attempt > 0) {
+            if (retries_)
+                retries_->inc();
+            const int backoff =
+                (config_.retryBaseMs << (attempt - 1)) +
+                jitterMs(config_.retryBaseMs);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff));
+        }
+
+        bool transportOk = false;
+        server::HttpResponse response = exchangeWithHedge(
+            target, hedgeTarget, path, body, transportOk);
+        if (!transportOk)
+            continue;
+        if (response.status >= 500) {
+            if (target.errors)
+                target.errors->inc();
+            last5xx = std::move(response);
+            have5xx = true;
+            continue;
+        }
+        // 2xx–4xx pass through unchanged: a 400 is the client's
+        // problem, not the backend's.
+        return response;
+    }
+
+    if (have5xx)
+        return last5xx;
+    return jsonError(502, "all upstream attempts failed");
+}
+
+bool
+Gateway::blockingExchange(Backend &backend,
+                          const std::string &method,
+                          const std::string &target,
+                          const std::string &body, int timeoutMs,
+                          server::ClientResponse &out)
+{
+    UpstreamCall call;
+    if (!call.start(backend,
+                    server::serializeRequest(
+                        method, target, backend.address().label,
+                        body),
+                    config_.upstream.connectTimeoutMs,
+                    /*forceFresh=*/true))
+        return false;
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeoutMs);
+    while (call.state() == UpstreamCall::State::Receiving) {
+        pollfd pfd{call.fd(), POLLIN, 0};
+        const int left = millisLeft(deadline);
+        if (left == 0 || ::poll(&pfd, 1, left) <= 0)
+            return false;
+        call.onReadable();
+    }
+    if (call.state() != UpstreamCall::State::Done)
+        return false;
+    out = call.response();
+    call.finish();
+    return true;
+}
+
+server::HttpResponse
+Gateway::health() const
+{
+    json::Value body = json::Value::object();
+    const std::size_t healthy = pool_->healthyCount();
+    body.set("status", healthy > 0 ? "ok" : "unavailable");
+    body.set("backends",
+             static_cast<std::uint64_t>(pool_->size()));
+    body.set("healthy", static_cast<std::uint64_t>(healthy));
+    json::Value detail = json::Value::object();
+    for (std::size_t i = 0; i < pool_->size(); ++i) {
+        const Backend &b = pool_->backend(i);
+        detail.set(b.address().label, b.healthy());
+    }
+    body.set("backend_health", std::move(detail));
+    return server::HttpResponse::json(healthy > 0 ? 200 : 503,
+                                      body.dump());
+}
+
+server::HttpResponse
+Gateway::aggregateStoreStats()
+{
+    json::Value aggregate = json::Value::object();
+    json::Value perBackend = json::Value::object();
+    std::size_t reachable = 0;
+
+    for (std::size_t i = 0; i < pool_->size(); ++i) {
+        Backend &b = pool_->backend(i);
+        server::ClientResponse r;
+        json::Value stats;
+        std::string error;
+        if (b.healthy() &&
+            blockingExchange(b, "GET", "/v1/store/stats", "",
+                             config_.upstream.requestTimeoutMs,
+                             r) &&
+            r.status == 200 &&
+            json::parse(r.body, stats, &error)) {
+            ++reachable;
+            sumNumericLeaves(aggregate, stats);
+            perBackend.set(b.address().label, std::move(stats));
+        } else {
+            perBackend.set(b.address().label, json::Value());
+        }
+    }
+
+    json::Value body = json::Value::object();
+    body.set("backends_reporting",
+             static_cast<std::uint64_t>(reachable));
+    body.set("aggregate", std::move(aggregate));
+    body.set("per_backend", std::move(perBackend));
+    return server::HttpResponse::json(reachable > 0 ? 200 : 502,
+                                      body.dump());
+}
+
+server::HttpServer::Handler
+Gateway::handler()
+{
+    return [this](const server::HttpRequest &request) {
+        const std::string path = request.path();
+        if (request.method == "GET" && path == "/healthz")
+            return health();
+        if (request.method == "GET" && path == "/metrics") {
+            return metrics_
+                       ? server::HttpResponse::text(
+                             200, metrics_->renderPrometheus())
+                       : server::HttpResponse::text(404,
+                                                    "no metrics\n");
+        }
+        if (request.method == "GET" && path == "/v1/store/stats")
+            return aggregateStoreStats();
+        if (isProxyPath(path)) {
+            if (request.method != "POST")
+                return jsonError(405, "use POST");
+            return proxy(path, request.body);
+        }
+        return jsonError(404, "unknown path: " + path);
+    };
+}
+
+} // namespace fosm::cluster

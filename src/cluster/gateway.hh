@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The L7 gateway: shards model-evaluation requests across a pool of
+ * fosm-serve replicas by the same canonical request digest the
+ * response cache keys on, so N replicas' caches compose into one
+ * large non-overlapping cache. Failed or slow attempts are retried
+ * on the next ring replica (bounded, jittered backoff) and tail
+ * latency is clipped by hedging: once an attempt outlives the
+ * configured latency-percentile budget, a single duplicate goes to
+ * the next replica and the first response wins. Model evaluation is
+ * pure computation, so duplicates are always safe.
+ */
+
+#ifndef FOSM_CLUSTER_GATEWAY_HH
+#define FOSM_CLUSTER_GATEWAY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/hash_ring.hh"
+#include "cluster/upstream.hh"
+#include "server/http.hh"
+#include "server/json.hh"
+#include "server/metrics.hh"
+
+namespace fosm::cluster {
+
+/** Gateway tuning knobs. */
+struct GatewayConfig
+{
+    std::vector<BackendAddress> backends;
+    /** Virtual nodes per backend on the hash ring. */
+    std::size_t vnodes = 128;
+    UpstreamConfig upstream;
+    /** Extra attempts after the first (connect failure or 5xx). */
+    int retries = 2;
+    /** Base of the jittered exponential retry backoff. */
+    int retryBaseMs = 2;
+    /**
+     * Hedge when an attempt outlives this quantile of observed
+     * upstream latency, clamped to [hedgeMinMs, hedgeMaxMs].
+     */
+    double hedgeQuantile = 0.95;
+    int hedgeMinMs = 1;
+    int hedgeMaxMs = 50;
+    /** Observations required before the quantile is trusted. */
+    std::uint64_t hedgeMinSamples = 100;
+};
+
+/**
+ * The gateway application: construct, start() (spawns the health
+ * checker), hand handler() to an HttpServer, and stop() on the way
+ * down. The handler is thread-safe; each invocation drives its own
+ * upstream sockets from a private poll loop, so hedging needs no
+ * extra threads.
+ */
+class Gateway
+{
+  public:
+    Gateway(GatewayConfig config, server::MetricsRegistry *metrics);
+    ~Gateway();
+
+    Gateway(const Gateway &) = delete;
+    Gateway &operator=(const Gateway &) = delete;
+
+    void start();
+    void stop();
+
+    server::HttpServer::Handler handler();
+
+    /** Paths to use as bounded metric labels. */
+    std::vector<std::string> metricPaths() const;
+
+    /**
+     * The shard digest for a request: the 64-bit hash of the exact
+     * cache key the backends use (schema version + path + canonical
+     * body), so one backend owns each cache entry. Unparsable bodies
+     * hash path + raw body — the owning backend answers 400
+     * deterministically.
+     */
+    std::uint64_t shardDigest(const std::string &path,
+                              const std::string &body) const;
+
+    BackendPool &pool() { return *pool_; }
+    const HashRing &ring() const { return ring_; }
+
+  private:
+    server::HttpResponse proxy(const std::string &path,
+                               const std::string &body);
+    /** One attempt with optional hedge; -1 = transport failure. */
+    server::HttpResponse exchangeWithHedge(Backend &primary,
+                                           Backend *hedgeTarget,
+                                           const std::string &path,
+                                           const std::string &body,
+                                           bool &transportOk);
+    /** Current hedge trigger delay in milliseconds. */
+    int hedgeDelayMs() const;
+    bool blockingExchange(Backend &backend,
+                          const std::string &method,
+                          const std::string &target,
+                          const std::string &body, int timeoutMs,
+                          server::ClientResponse &out);
+    server::HttpResponse health() const;
+    server::HttpResponse aggregateStoreStats();
+
+    GatewayConfig config_;
+    server::MetricsRegistry *metrics_;
+    HashRing ring_;
+    std::unique_ptr<BackendPool> pool_;
+
+    server::Counter *retries_ = nullptr;
+    server::Counter *hedges_ = nullptr;
+    server::Counter *hedgeWins_ = nullptr;
+    server::Histogram *upstreamLatency_ = nullptr;
+};
+
+} // namespace fosm::cluster
+
+#endif // FOSM_CLUSTER_GATEWAY_HH

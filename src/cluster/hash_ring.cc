@@ -1,0 +1,131 @@
+#include "cluster/hash_ring.hh"
+
+#include <algorithm>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace fosm::cluster {
+
+namespace {
+
+/** splitmix64 finalizer: spreads entropy across all 64 bits. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+/**
+ * Position of one virtual node. FNV-1a over "name#i", remixed with a
+ * 64-bit finalizer: FNV alone is weak for short suffix changes, and
+ * ring positions need all 64 bits well spread. Key hashes get the
+ * same remix on lookup (route()/primary()), so a caller may feed raw
+ * FNV digests and still land uniformly on the ring.
+ */
+std::uint64_t
+vnodePosition(const std::string &name, std::size_t index)
+{
+    Fnv1a h;
+    h.update(name);
+    h.update("#", 1);
+    h.updateInt(static_cast<std::uint64_t>(index));
+    return mix64(h.digest());
+}
+
+} // namespace
+
+void
+HashRing::add(const std::string &node)
+{
+    for (const std::string &existing : names_)
+        fosm_assert(existing != node, "duplicate ring node");
+    names_.push_back(node);
+    rebuild();
+}
+
+void
+HashRing::remove(const std::string &node)
+{
+    const auto it = std::find(names_.begin(), names_.end(), node);
+    if (it == names_.end())
+        return;
+    names_.erase(it);
+    rebuild();
+}
+
+void
+HashRing::rebuild()
+{
+    ring_.clear();
+    ring_.reserve(names_.size() * vnodes_);
+    for (std::uint32_t n = 0; n < names_.size(); ++n)
+        for (std::size_t v = 0; v < vnodes_; ++v)
+            ring_.emplace_back(vnodePosition(names_[n], v), n);
+    std::sort(ring_.begin(), ring_.end());
+}
+
+std::vector<std::uint32_t>
+HashRing::route(std::uint64_t keyHash, std::size_t maxNodes) const
+{
+    std::vector<std::uint32_t> out;
+    if (ring_.empty())
+        return out;
+    const std::size_t want = std::min(maxNodes, names_.size());
+    out.reserve(want);
+    // First vnode at or after the (remixed) key hash, wrapping.
+    std::size_t i =
+        std::lower_bound(
+            ring_.begin(), ring_.end(),
+            std::make_pair(mix64(keyHash), std::uint32_t{0})) -
+        ring_.begin();
+    for (std::size_t walked = 0;
+         out.size() < want && walked < ring_.size(); ++walked, ++i) {
+        const std::uint32_t node = ring_[i % ring_.size()].second;
+        if (std::find(out.begin(), out.end(), node) == out.end())
+            out.push_back(node);
+    }
+    return out;
+}
+
+std::uint32_t
+HashRing::primary(std::uint64_t keyHash) const
+{
+    fosm_assert(!ring_.empty(), "routing on an empty ring");
+    const std::size_t i =
+        std::lower_bound(
+            ring_.begin(), ring_.end(),
+            std::make_pair(mix64(keyHash), std::uint32_t{0})) -
+        ring_.begin();
+    return ring_[i % ring_.size()].second;
+}
+
+std::vector<double>
+HashRing::keyspaceShare() const
+{
+    std::vector<double> share(names_.size(), 0.0);
+    if (ring_.empty())
+        return share;
+    if (ring_.size() == 1) {
+        share[ring_[0].second] = 1.0;
+        return share;
+    }
+    // Each vnode owns the arc from its predecessor (exclusive) to
+    // itself (inclusive); the first vnode also owns the wrap-around.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        const std::uint64_t here = ring_[i].first;
+        const std::uint64_t prev =
+            i == 0 ? ring_.back().first : ring_[i - 1].first;
+        const std::uint64_t arc = here - prev; // mod 2^64 wraps right
+        share[ring_[i].second] +=
+            static_cast<double>(arc) / 18446744073709551615.0;
+    }
+    return share;
+}
+
+} // namespace fosm::cluster

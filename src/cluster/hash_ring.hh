@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Consistent-hash ring with virtual nodes, the gateway's routing
+ * core. Model evaluations are deterministic and cache-keyed by the
+ * canonical request digest, so hashing that digest onto a ring of
+ * replicas gives every design point exactly one home shard: N
+ * replicas' response caches and persistent stores compose into one
+ * large, non-overlapping cache instead of N overlapping copies.
+ * Virtual nodes (many ring positions per backend) smooth the
+ * keyspace split, and consistency means membership changes move only
+ * ~1/N of the keys — the rest keep their warm shard.
+ *
+ * The ring itself is membership-only and immutable-after-setup by
+ * convention (backends are configured at gateway start); liveness is
+ * layered on top by the caller, which walks the preference order
+ * returned by route() and skips ejected backends. That way a dead
+ * replica's keys spill to the next replica on the ring and snap back
+ * on reinstatement, with zero movement among surviving keys.
+ */
+
+#ifndef FOSM_CLUSTER_HASH_RING_HH
+#define FOSM_CLUSTER_HASH_RING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fosm::cluster {
+
+/**
+ * The ring. add()/remove() are not thread-safe; build the membership
+ * before sharing, then route() freely from any thread.
+ */
+class HashRing
+{
+  public:
+    /** @param vnodes ring positions per node (keyspace smoothing). */
+    explicit HashRing(std::size_t vnodes = 128) : vnodes_(vnodes) {}
+
+    /** Add a node (its name is the identity, e.g. "host:port"). */
+    void add(const std::string &node);
+
+    /** Remove a node; only its keys change homes. */
+    void remove(const std::string &node);
+
+    /**
+     * Preference-ordered distinct node indices for a key hash: the
+     * primary (first vnode at or after the hash, wrapping) followed
+     * by the successor nodes around the ring. At most maxNodes
+     * entries; fewer when the ring has fewer nodes.
+     */
+    std::vector<std::uint32_t> route(std::uint64_t keyHash,
+                                     std::size_t maxNodes) const;
+
+    /** The primary node index for a key hash (ring must be
+     *  non-empty). */
+    std::uint32_t primary(std::uint64_t keyHash) const;
+
+    const std::string &name(std::uint32_t index) const
+    {
+        return names_[index];
+    }
+
+    std::size_t nodes() const { return names_.size(); }
+    std::size_t positions() const { return ring_.size(); }
+    std::size_t vnodesPerNode() const { return vnodes_; }
+
+    /**
+     * Fraction of the 2^64 keyspace owned by each node (arc lengths
+     * of its vnodes) — the ring-occupancy metric. Sums to 1 for a
+     * non-empty ring.
+     */
+    std::vector<double> keyspaceShare() const;
+
+  private:
+    void rebuild();
+
+    std::size_t vnodes_;
+    std::vector<std::string> names_;
+    /** Sorted (position, node index) pairs. */
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+};
+
+} // namespace fosm::cluster
+
+#endif // FOSM_CLUSTER_HASH_RING_HH

@@ -1,0 +1,447 @@
+#include "cluster/upstream.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace fosm::cluster {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int
+millisLeft(Clock::time_point deadline)
+{
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now())
+            .count();
+    return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/**
+ * Non-blocking connect with a deadline: dial, poll for writability,
+ * then confirm with SO_ERROR. The socket stays non-blocking — every
+ * later read is driven from a poll loop anyway.
+ */
+int
+dialNonBlocking(const BackendAddress &address, int timeoutMs)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(address.port);
+    if (::inet_pton(AF_INET, address.host.c_str(), &addr.sin_addr) !=
+        1) {
+        ::close(fd);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (errno != EINPROGRESS) {
+            ::close(fd);
+            return -1;
+        }
+        pollfd pfd{fd, POLLOUT, 0};
+        if (::poll(&pfd, 1, timeoutMs) <= 0) {
+            ::close(fd);
+            return -1;
+        }
+        int soError = 0;
+        socklen_t len = sizeof(soError);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &len) !=
+                0 ||
+            soError != 0) {
+            ::close(fd);
+            return -1;
+        }
+    }
+    return fd;
+}
+
+/** Blocking-style send on a non-blocking socket (polls on EAGAIN). */
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                pollfd pfd{fd, POLLOUT, 0};
+                if (::poll(&pfd, 1, 1000) <= 0)
+                    return false;
+                continue;
+            }
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseBackendList(const std::string &list,
+                 std::vector<BackendAddress> &out, std::string &error)
+{
+    out.clear();
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string item = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        const std::size_t colon = item.rfind(':');
+        if (colon == std::string::npos || colon + 1 >= item.size()) {
+            error = "backend '" + item + "' is missing a port";
+            return false;
+        }
+        char *end = nullptr;
+        const long port =
+            std::strtol(item.c_str() + colon + 1, &end, 10);
+        if (*end != '\0' || port <= 0 || port > 65535) {
+            error = "backend '" + item + "' has an invalid port";
+            return false;
+        }
+        BackendAddress addr;
+        addr.host = item.substr(0, colon);
+        addr.port = static_cast<std::uint16_t>(port);
+        addr.label = item;
+        out.push_back(std::move(addr));
+    }
+    if (out.empty()) {
+        error = "backend list is empty";
+        return false;
+    }
+    return true;
+}
+
+Backend::Backend(BackendAddress address,
+                 server::MetricsRegistry *metrics)
+    : address_(std::move(address))
+{
+    if (!metrics)
+        return;
+    const std::string label = "backend=\"" + address_.label + "\"";
+    requests = &metrics->counter(
+        "fosm_gateway_upstream_requests_total",
+        "Requests proxied to each backend", label);
+    errors = &metrics->counter(
+        "fosm_gateway_upstream_errors_total",
+        "Failed upstream exchanges per backend", label);
+    ejections_ = &metrics->counter(
+        "fosm_gateway_backend_ejections_total",
+        "Health ejections per backend", label);
+    reinstatements_ = &metrics->counter(
+        "fosm_gateway_backend_reinstatements_total",
+        "Health reinstatements per backend", label);
+}
+
+Backend::~Backend()
+{
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    for (int fd : idle_)
+        ::close(fd);
+    idle_.clear();
+}
+
+int
+Backend::checkoutConn()
+{
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    if (idle_.empty())
+        return -1;
+    const int fd = idle_.back();
+    idle_.pop_back();
+    return fd;
+}
+
+void
+Backend::checkinConn(int fd)
+{
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    if (idle_.size() >= 16) {
+        ::close(fd);
+        return;
+    }
+    idle_.push_back(fd);
+}
+
+void
+Backend::noteSuccess()
+{
+    failures_.store(0);
+}
+
+void
+Backend::noteFailure(int ejectAfter)
+{
+    const int streak = failures_.fetch_add(1) + 1;
+    if (streak >= ejectAfter && healthy_.exchange(false)) {
+        if (ejections_)
+            ejections_->inc();
+        fosm::warn("gateway: ejecting backend ", address_.label,
+                   " after ", streak, " consecutive failures");
+    }
+}
+
+void
+Backend::noteProbeSuccess()
+{
+    failures_.store(0);
+    if (!healthy_.exchange(true)) {
+        if (reinstatements_)
+            reinstatements_->inc();
+        fosm::inform("gateway: reinstating backend ",
+                     address_.label);
+    }
+}
+
+void
+Backend::setHealthy(bool healthy)
+{
+    healthy_.store(healthy);
+    if (healthy)
+        failures_.store(0);
+}
+
+bool
+UpstreamCall::start(Backend &backend, const std::string &wire,
+                    int connectTimeoutMs, bool forceFresh)
+{
+    abandon();
+    backend_ = &backend;
+    inbuf_.clear();
+    response_ = server::ClientResponse{};
+    pooled_ = false;
+
+    if (!forceFresh) {
+        fd_ = backend.checkoutConn();
+        pooled_ = fd_ >= 0;
+    }
+    if (fd_ < 0)
+        fd_ = dialNonBlocking(backend.address(), connectTimeoutMs);
+    if (fd_ < 0) {
+        state_ = State::Failed;
+        return false;
+    }
+    if (!sendAll(fd_, wire)) {
+        ::close(fd_);
+        fd_ = -1;
+        state_ = State::Failed;
+        return false;
+    }
+    state_ = State::Receiving;
+    return true;
+}
+
+UpstreamCall::State
+UpstreamCall::onReadable()
+{
+    if (state_ != State::Receiving)
+        return state_;
+    char buf[16 * 1024];
+    for (;;) {
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+            inbuf_.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        // Peer closed (or hard error) before a complete response.
+        std::size_t consumed = 0;
+        state_ = parseHttpResponse(inbuf_, response_, consumed) ==
+                         server::ParseStatus::Ok
+                     ? State::Done
+                     : State::Failed;
+        return state_;
+    }
+    std::size_t consumed = 0;
+    switch (parseHttpResponse(inbuf_, response_, consumed)) {
+    case server::ParseStatus::Ok:
+        state_ = State::Done;
+        break;
+    case server::ParseStatus::Incomplete:
+        break;
+    default:
+        state_ = State::Failed;
+        break;
+    }
+    return state_;
+}
+
+void
+UpstreamCall::finish()
+{
+    if (fd_ < 0)
+        return;
+    if (state_ == State::Done && response_.keepAlive() && backend_) {
+        backend_->checkinConn(fd_);
+    } else {
+        ::close(fd_);
+    }
+    fd_ = -1;
+    state_ = State::Unstarted;
+}
+
+void
+UpstreamCall::abandon()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    state_ = State::Unstarted;
+}
+
+BackendPool::BackendPool(std::vector<BackendAddress> addresses,
+                         UpstreamConfig config,
+                         server::MetricsRegistry *metrics)
+    : config_(config)
+{
+    backends_.reserve(addresses.size());
+    for (auto &addr : addresses)
+        backends_.push_back(
+            std::make_unique<Backend>(std::move(addr), metrics));
+}
+
+BackendPool::~BackendPool()
+{
+    stop();
+}
+
+std::size_t
+BackendPool::healthyCount() const
+{
+    std::size_t n = 0;
+    for (const auto &b : backends_)
+        if (b->healthy())
+            ++n;
+    return n;
+}
+
+bool
+BackendPool::probe(Backend &backend)
+{
+    UpstreamCall call;
+    const std::string wire = server::serializeRequest(
+        "GET", "/healthz", backend.address().label, "");
+    // Probes always dial fresh: a probe must test connectivity, not
+    // an idle pooled socket's liveness.
+    if (!call.start(backend, wire, config_.connectTimeoutMs,
+                    /*forceFresh=*/true))
+        return false;
+    const auto deadline =
+        Clock::now() +
+        std::chrono::milliseconds(config_.probeTimeoutMs);
+    while (call.state() == UpstreamCall::State::Receiving) {
+        pollfd pfd{call.fd(), POLLIN, 0};
+        const int left = millisLeft(deadline);
+        if (left == 0 || ::poll(&pfd, 1, left) <= 0)
+            return false;
+        call.onReadable();
+    }
+    if (call.state() != UpstreamCall::State::Done)
+        return false;
+    const bool ok = call.response().status == 200;
+    call.finish();
+    return ok;
+}
+
+void
+BackendPool::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    // One synchronous round so routing starts with accurate health.
+    for (auto &b : backends_)
+        b->setHealthy(probe(*b));
+    prober_ = std::thread([this] { proberMain(); });
+}
+
+void
+BackendPool::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(stopMutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    stopCv_.notify_all();
+    if (prober_.joinable())
+        prober_.join();
+}
+
+void
+BackendPool::proberMain()
+{
+    // Per-backend next-probe schedule; unhealthy backends back off
+    // exponentially so a dead replica is not hammered.
+    std::vector<Clock::time_point> next(backends_.size(),
+                                        Clock::now());
+    std::vector<int> backoffMs(backends_.size(),
+                               config_.healthIntervalMs);
+
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(stopMutex_);
+            stopCv_.wait_for(
+                lock,
+                std::chrono::milliseconds(
+                    std::max(10, config_.healthIntervalMs / 4)),
+                [&] { return stopping_; });
+            if (stopping_)
+                return;
+        }
+        const auto now = Clock::now();
+        for (std::size_t i = 0; i < backends_.size(); ++i) {
+            if (now < next[i])
+                continue;
+            Backend &b = *backends_[i];
+            if (probe(b)) {
+                b.noteProbeSuccess();
+                backoffMs[i] = config_.healthIntervalMs;
+            } else {
+                b.noteFailure(config_.ejectAfter);
+                if (!b.healthy())
+                    backoffMs[i] =
+                        std::min(backoffMs[i] * 2,
+                                 config_.maxProbeBackoffMs);
+            }
+            next[i] = Clock::now() +
+                      std::chrono::milliseconds(backoffMs[i]);
+        }
+    }
+}
+
+} // namespace fosm::cluster

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Upstream side of the gateway: the backend table (address, health
+ * state, pooled keep-alive connections, per-backend counters), an
+ * active health checker with ejection and exponential-backoff
+ * reinstatement, and UpstreamCall — one asynchronous HTTP exchange
+ * whose socket is driven from a caller-owned poll loop, so a worker
+ * thread can race a hedged duplicate against a slow primary without
+ * spawning threads. Reuses the HTTP wire machinery from src/server/
+ * (serializeRequest / parseHttpResponse).
+ */
+
+#ifndef FOSM_CLUSTER_UPSTREAM_HH
+#define FOSM_CLUSTER_UPSTREAM_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.hh"
+#include "server/metrics.hh"
+
+namespace fosm::cluster {
+
+/** One backend's location. label is "host:port", the node identity
+ *  on the hash ring and in metric labels. */
+struct BackendAddress
+{
+    std::string host;
+    std::uint16_t port = 0;
+    std::string label;
+};
+
+/**
+ * Parse "host:port[,host:port...]" into addresses. Returns false
+ * with a diagnostic on malformed input (missing port, bad number,
+ * empty list).
+ */
+bool parseBackendList(const std::string &list,
+                      std::vector<BackendAddress> &out,
+                      std::string &error);
+
+/** Upstream tuning knobs shared by the proxy path and the prober. */
+struct UpstreamConfig
+{
+    /** Non-blocking connect budget per dial. */
+    int connectTimeoutMs = 250;
+    /** Whole-exchange budget per proxy attempt. */
+    int requestTimeoutMs = 5000;
+    /** Whole-exchange budget per health probe. */
+    int probeTimeoutMs = 500;
+    /** Interval between probes of a healthy backend. */
+    int healthIntervalMs = 500;
+    /** Probe backoff cap while a backend stays ejected. */
+    int maxProbeBackoffMs = 8000;
+    /** Consecutive failures (probe or proxy) that eject. */
+    int ejectAfter = 2;
+};
+
+/**
+ * One backend: health state updated by the prober and by passive
+ * proxy outcomes, a pool of idle keep-alive connections, and
+ * per-backend metric objects. All methods are thread-safe.
+ */
+class Backend
+{
+  public:
+    Backend(BackendAddress address,
+            server::MetricsRegistry *metrics);
+    ~Backend();
+
+    Backend(const Backend &) = delete;
+    Backend &operator=(const Backend &) = delete;
+
+    const BackendAddress &address() const { return address_; }
+
+    bool healthy() const { return healthy_.load(); }
+
+    /** An idle pooled connection, or -1. */
+    int checkoutConn();
+    /** Return a reusable keep-alive connection to the pool. */
+    void checkinConn(int fd);
+
+    /** Reset the failure streak (any successful exchange). */
+    void noteSuccess();
+    /**
+     * Count one failure; ejects (healthy -> false) when the streak
+     * reaches ejectAfter. Used by both proxy attempts and probes.
+     */
+    void noteFailure(int ejectAfter);
+    /** Probe success: reinstate if ejected. */
+    void noteProbeSuccess();
+    /** Force the health bit (initial synchronous probe round). */
+    void setHealthy(bool healthy);
+
+    // Hot-path metric objects; null when metrics are disabled.
+    server::Counter *requests = nullptr;
+    server::Counter *errors = nullptr;
+
+  private:
+    BackendAddress address_;
+    std::atomic<bool> healthy_{true};
+    std::atomic<int> failures_{0};
+    std::mutex poolMutex_;
+    std::vector<int> idle_;
+    server::Counter *ejections_ = nullptr;
+    server::Counter *reinstatements_ = nullptr;
+};
+
+/**
+ * One asynchronous upstream HTTP exchange. start() dials (or reuses
+ * a pooled connection) and sends the request; the caller then polls
+ * fd() for readability and calls onReadable() until the state is
+ * Done or Failed. finish() recycles the connection; abandon() closes
+ * it (hedge losers, timeouts — the response would arrive on a
+ * connection whose stream position we no longer trust).
+ */
+class UpstreamCall
+{
+  public:
+    enum class State
+    {
+        Unstarted,
+        Receiving, ///< sent; awaiting (more of) the response
+        Done,      ///< response() is valid
+        Failed,    ///< transport failure or malformed response
+    };
+
+    UpstreamCall() = default;
+    ~UpstreamCall() { abandon(); }
+
+    UpstreamCall(const UpstreamCall &) = delete;
+    UpstreamCall &operator=(const UpstreamCall &) = delete;
+
+    /**
+     * Checkout a pooled connection (unless forceFresh) or dial a
+     * fresh one, then send the serialized request. Returns false —
+     * with state() == Failed — on connect or send failure.
+     */
+    bool start(Backend &backend, const std::string &wire,
+               int connectTimeoutMs, bool forceFresh = false);
+
+    State state() const { return state_; }
+    int fd() const { return fd_; }
+    Backend *backend() const { return backend_; }
+    /** Whether start() used a pooled (possibly stale) connection. */
+    bool usedPooledConn() const { return pooled_; }
+    /** Whether any response bytes arrived (stale-conn detection). */
+    bool receivedBytes() const { return !inbuf_.empty(); }
+
+    /** Drive reads after poll() reports fd() readable. */
+    State onReadable();
+
+    /** Valid when state() == Done. */
+    const server::ClientResponse &response() const
+    {
+        return response_;
+    }
+
+    /** Recycle the connection if reusable, else close. Done only. */
+    void finish();
+    /** Close the connection unconditionally. Idempotent. */
+    void abandon();
+
+  private:
+    Backend *backend_ = nullptr;
+    int fd_ = -1;
+    bool pooled_ = false;
+    std::string inbuf_;
+    server::ClientResponse response_;
+    State state_ = State::Unstarted;
+};
+
+/**
+ * The backend set plus its active health checker. start() runs one
+ * synchronous probe round (so routing starts with accurate health)
+ * and then probes in a background thread: healthy backends every
+ * healthIntervalMs, ejected ones on an exponential backoff capped at
+ * maxProbeBackoffMs, reinstating on the first successful probe.
+ */
+class BackendPool
+{
+  public:
+    BackendPool(std::vector<BackendAddress> addresses,
+                UpstreamConfig config,
+                server::MetricsRegistry *metrics);
+    ~BackendPool();
+
+    BackendPool(const BackendPool &) = delete;
+    BackendPool &operator=(const BackendPool &) = delete;
+
+    void start();
+    void stop();
+
+    std::size_t size() const { return backends_.size(); }
+    Backend &backend(std::size_t i) { return *backends_[i]; }
+    const Backend &backend(std::size_t i) const
+    {
+        return *backends_[i];
+    }
+    std::size_t healthyCount() const;
+
+    const UpstreamConfig &config() const { return config_; }
+
+    /** One blocking GET probe of /healthz; true on HTTP 200. */
+    bool probe(Backend &backend);
+
+  private:
+    void proberMain();
+
+    UpstreamConfig config_;
+    std::vector<std::unique_ptr<Backend>> backends_;
+    std::thread prober_;
+    std::mutex stopMutex_;
+    std::condition_variable stopCv_;
+    bool stopping_ = false;
+    bool started_ = false;
+};
+
+} // namespace fosm::cluster
+
+#endif // FOSM_CLUSTER_UPSTREAM_HH

@@ -16,6 +16,8 @@ namespace fosm::server {
 
 namespace {
 
+constexpr std::size_t maxResponseHeaderBytes = 16 * 1024;
+
 std::string
 toLower(std::string s)
 {
@@ -35,6 +37,89 @@ ClientResponse::header(const std::string &name) const
         if (h.first == name)
             return h.second;
     return empty;
+}
+
+bool
+ClientResponse::keepAlive() const
+{
+    return toLower(header("connection")) != "close";
+}
+
+ParseStatus
+parseHttpResponse(const std::string &data, ClientResponse &out,
+                  std::size_t &consumed)
+{
+    const std::size_t headerEnd = data.find("\r\n\r\n");
+    if (headerEnd == std::string::npos) {
+        return data.size() > maxResponseHeaderBytes
+                   ? ParseStatus::Bad
+                   : ParseStatus::Incomplete;
+    }
+    if (headerEnd > maxResponseHeaderBytes)
+        return ParseStatus::Bad;
+
+    out = ClientResponse{};
+
+    // Status line: HTTP/1.1 NNN Reason.
+    const std::size_t lineEnd = data.find("\r\n");
+    const std::string line = data.substr(0, lineEnd);
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string::npos || line.rfind("HTTP/", 0) != 0)
+        return ParseStatus::Bad;
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    out.status = std::atoi(line.substr(sp1 + 1).c_str());
+    if (out.status < 100 || out.status > 599)
+        return ParseStatus::Bad;
+    if (sp2 != std::string::npos)
+        out.reason = line.substr(sp2 + 1);
+
+    std::size_t pos = lineEnd + 2;
+    while (pos < headerEnd) {
+        const std::size_t eol = data.find("\r\n", pos);
+        const std::string field = data.substr(pos, eol - pos);
+        pos = eol + 2;
+        const std::size_t colon = field.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string value = field.substr(colon + 1);
+        while (!value.empty() && value.front() == ' ')
+            value.erase(value.begin());
+        out.headers.emplace_back(toLower(field.substr(0, colon)),
+                                 value);
+    }
+
+    const std::size_t bodyLen = static_cast<std::size_t>(
+        std::strtoull(out.header("content-length").c_str(), nullptr,
+                      10));
+    const std::size_t total = headerEnd + 4 + bodyLen;
+    if (data.size() < total)
+        return ParseStatus::Incomplete;
+    out.body = data.substr(headerEnd + 4, bodyLen);
+    consumed = total;
+    return ParseStatus::Ok;
+}
+
+std::string
+serializeRequest(const std::string &method,
+                 const std::string &target, const std::string &host,
+                 const std::string &body)
+{
+    std::string wire;
+    wire.reserve(128 + body.size());
+    wire += method;
+    wire += " ";
+    wire += target;
+    wire += " HTTP/1.1\r\nHost: ";
+    wire += host;
+    wire += "\r\n";
+    if (!body.empty()) {
+        wire += "Content-Type: application/json\r\nContent-Length: ";
+        wire += std::to_string(body.size());
+        wire += "\r\n";
+    }
+    wire += "\r\n";
+    wire += body;
+    return wire;
 }
 
 HttpClient::HttpClient(std::string host, std::uint16_t port)
@@ -100,10 +185,10 @@ bool
 HttpClient::readResponse(ClientResponse &out)
 {
     out = ClientResponse{};
-    // Accumulate until the header section is complete.
-    std::size_t headerEnd;
-    while ((headerEnd = buffer_.find("\r\n\r\n")) ==
-           std::string::npos) {
+    std::size_t consumed = 0;
+    ParseStatus st;
+    while ((st = parseHttpResponse(buffer_, out, consumed)) ==
+           ParseStatus::Incomplete) {
         char buf[16 * 1024];
         const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
         if (n <= 0) {
@@ -113,51 +198,11 @@ HttpClient::readResponse(ClientResponse &out)
         }
         buffer_.append(buf, static_cast<std::size_t>(n));
     }
-
-    // Status line: HTTP/1.1 NNN Reason.
-    const std::size_t lineEnd = buffer_.find("\r\n");
-    const std::string line = buffer_.substr(0, lineEnd);
-    const std::size_t sp1 = line.find(' ');
-    if (sp1 == std::string::npos)
+    if (st != ParseStatus::Ok)
         return false;
-    const std::size_t sp2 = line.find(' ', sp1 + 1);
-    out.status = std::atoi(line.substr(sp1 + 1).c_str());
-    if (sp2 != std::string::npos)
-        out.reason = line.substr(sp2 + 1);
+    buffer_.erase(0, consumed);
 
-    std::size_t pos = lineEnd + 2;
-    while (pos < headerEnd) {
-        const std::size_t eol = buffer_.find("\r\n", pos);
-        const std::string field = buffer_.substr(pos, eol - pos);
-        pos = eol + 2;
-        const std::size_t colon = field.find(':');
-        if (colon == std::string::npos)
-            continue;
-        std::string value = field.substr(colon + 1);
-        while (!value.empty() && value.front() == ' ')
-            value.erase(value.begin());
-        out.headers.emplace_back(toLower(field.substr(0, colon)),
-                                 value);
-    }
-
-    const std::size_t bodyLen = static_cast<std::size_t>(
-        std::strtoull(out.header("content-length").c_str(), nullptr,
-                      10));
-    const std::size_t total = headerEnd + 4 + bodyLen;
-    while (buffer_.size() < total) {
-        char buf[16 * 1024];
-        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            return false;
-        }
-        buffer_.append(buf, static_cast<std::size_t>(n));
-    }
-    out.body = buffer_.substr(headerEnd + 4, bodyLen);
-    buffer_.erase(0, total);
-
-    if (toLower(out.header("connection")) == "close")
+    if (!out.keepAlive())
         disconnect();
     return true;
 }
@@ -167,21 +212,8 @@ HttpClient::request(const std::string &method,
                     const std::string &path, const std::string &body,
                     ClientResponse &out)
 {
-    std::string wire;
-    wire.reserve(128 + body.size());
-    wire += method;
-    wire += " ";
-    wire += path;
-    wire += " HTTP/1.1\r\nHost: ";
-    wire += host_;
-    wire += "\r\n";
-    if (!body.empty()) {
-        wire += "Content-Type: application/json\r\nContent-Length: ";
-        wire += std::to_string(body.size());
-        wire += "\r\n";
-    }
-    wire += "\r\n";
-    wire += body;
+    const std::string wire =
+        serializeRequest(method, path, host_, body);
 
     // One transparent reconnect: the server may have closed an idle
     // keep-alive connection between requests.

@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "server/http.hh"
+
 namespace fosm::server {
 
 /** A response as received on the wire. */
@@ -27,7 +29,32 @@ struct ClientResponse
 
     /** First header with this (lowercase) name, or empty. */
     const std::string &header(const std::string &name) const;
+
+    /** Whether the server will keep the connection open. */
+    bool keepAlive() const;
 };
+
+/**
+ * Incrementally parse one HTTP/1.1 response from the front of data
+ * (Content-Length framing only — the subset this stack speaks).
+ * Returns Incomplete until the full response is buffered; on Ok
+ * fills out and sets consumed so pipelined remainders stay put.
+ * Shared by the blocking HttpClient and the gateway's async
+ * upstream calls, which drive it from a poll loop.
+ */
+ParseStatus parseHttpResponse(const std::string &data,
+                              ClientResponse &out,
+                              std::size_t &consumed);
+
+/**
+ * Serialize one request with Host (and, for non-empty bodies, JSON
+ * Content-Type and Content-Length) headers — the exact wire form
+ * every client in this repo sends.
+ */
+std::string serializeRequest(const std::string &method,
+                             const std::string &target,
+                             const std::string &host,
+                             const std::string &body);
 
 /**
  * One TCP connection to the server. request() sends and waits for

@@ -280,7 +280,7 @@ drainPipe(int fd)
 
 } // namespace
 
-/** Per-connection state, owned by the IO thread. */
+/** Per-connection state, owned by its acceptor's IO thread. */
 struct HttpServer::Conn
 {
     enum class State
@@ -294,6 +294,30 @@ struct HttpServer::Conn
     int fd;
     State state = State::Reading;
     std::string inbuf;
+};
+
+/**
+ * One acceptor: its own SO_REUSEPORT listen socket, poll loop,
+ * connection table and worker-completion queue. All fields except
+ * done/doneMutex are touched only by the loop's own thread.
+ */
+struct HttpServer::IoLoop
+{
+    ~IoLoop()
+    {
+        for (const int fd : {listenFd, wakePipe[0], wakePipe[1]}) {
+            if (fd >= 0)
+                ::close(fd);
+        }
+    }
+
+    int listenFd = -1;
+    int wakePipe[2] = {-1, -1};
+    std::thread thread;
+    std::map<int, std::unique_ptr<Conn>> conns;
+    std::mutex doneMutex;
+    std::vector<std::pair<int, bool>> done;
+    std::size_t inflight = 0; ///< dispatched tasks; loop thread only
 };
 
 HttpServer::HttpServer(HttpServerConfig config, Handler handler,
@@ -311,8 +335,8 @@ HttpServer::~HttpServer()
         requestStop();
         join();
     }
-    for (const int fd : {stopPipe_[0], stopPipe_[1], wakePipe_[0],
-                         wakePipe_[1], listenFd_}) {
+    loops_.clear(); // closes per-loop fds
+    for (const int fd : {stopPipe_[0], stopPipe_[1]}) {
         if (fd >= 0)
             ::close(fd);
     }
@@ -323,41 +347,67 @@ HttpServer::start()
 {
     fosm_assert(!started_.load(), "HttpServer started twice");
 
-    if (::pipe(stopPipe_) != 0 || ::pipe(wakePipe_) != 0)
+    if (::pipe(stopPipe_) != 0)
         fosm_fatal("cannot create server pipes: ",
                    std::strerror(errno));
     setNonBlocking(stopPipe_[0]);
     setNonBlocking(stopPipe_[1]);
-    setNonBlocking(wakePipe_[0]);
-    setNonBlocking(wakePipe_[1]);
 
-    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listenFd_ < 0)
-        fosm_fatal("cannot create socket: ", std::strerror(errno));
-    const int one = 1;
-    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
-                 sizeof(one));
+    const std::size_t nloops =
+        std::max<std::size_t>(1, config_.ioThreads);
+    loops_.reserve(nloops);
+    for (std::size_t i = 0; i < nloops; ++i) {
+        auto loop = std::make_unique<IoLoop>();
+        if (::pipe(loop->wakePipe) != 0)
+            fosm_fatal("cannot create server pipes: ",
+                       std::strerror(errno));
+        setNonBlocking(loop->wakePipe[0]);
+        setNonBlocking(loop->wakePipe[1]);
 
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(config_.port);
-    if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) !=
-        1) {
-        fosm_fatal("invalid listen address: ", config_.host);
+        loop->listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (loop->listenFd < 0)
+            fosm_fatal("cannot create socket: ",
+                       std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(loop->listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        if (nloops > 1) {
+            // Each acceptor binds its own socket to the same port;
+            // the kernel spreads incoming connections across them.
+            if (::setsockopt(loop->listenFd, SOL_SOCKET,
+                             SO_REUSEPORT, &one, sizeof(one)) != 0) {
+                fosm_fatal("SO_REUSEPORT unavailable: ",
+                           std::strerror(errno));
+            }
+        }
+
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        // Acceptors past the first share whatever port the first
+        // one bound (--port 0 resolves to one ephemeral port).
+        addr.sin_port = htons(i == 0 ? config_.port : boundPort_);
+        if (::inet_pton(AF_INET, config_.host.c_str(),
+                        &addr.sin_addr) != 1) {
+            fosm_fatal("invalid listen address: ", config_.host);
+        }
+        if (::bind(loop->listenFd,
+                   reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            fosm_fatal("cannot bind ", config_.host, ":",
+                       config_.port, ": ", std::strerror(errno));
+        }
+        if (::listen(loop->listenFd, 512) != 0)
+            fosm_fatal("listen failed: ", std::strerror(errno));
+        setNonBlocking(loop->listenFd);
+
+        if (i == 0) {
+            socklen_t len = sizeof(addr);
+            ::getsockname(loop->listenFd,
+                          reinterpret_cast<sockaddr *>(&addr), &len);
+            boundPort_ = ntohs(addr.sin_port);
+        }
+        loops_.push_back(std::move(loop));
     }
-    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) != 0) {
-        fosm_fatal("cannot bind ", config_.host, ":", config_.port,
-                   ": ", std::strerror(errno));
-    }
-    if (::listen(listenFd_, 512) != 0)
-        fosm_fatal("listen failed: ", std::strerror(errno));
-    setNonBlocking(listenFd_);
-
-    socklen_t len = sizeof(addr);
-    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
-                  &len);
-    boundPort_ = ntohs(addr.sin_port);
 
     if (metrics_) {
         latency_ = &metrics_->histogram(
@@ -388,7 +438,11 @@ HttpServer::start()
             2, std::thread::hardware_concurrency());
     }
     started_.store(true);
-    ioThread_ = std::thread([this] { ioMain(); });
+    activeLoops_.store(loops_.size());
+    for (auto &loop : loops_) {
+        IoLoop *l = loop.get();
+        loop->thread = std::thread([this, l] { ioMain(*l); });
+    }
     workers_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i)
         workers_.emplace_back([this] { workerMain(); });
@@ -406,8 +460,9 @@ HttpServer::requestStop()
 void
 HttpServer::join()
 {
-    if (ioThread_.joinable())
-        ioThread_.join();
+    for (auto &loop : loops_)
+        if (loop->thread.joinable())
+            loop->thread.join();
     for (std::thread &t : workers_)
         if (t.joinable())
             t.join();
@@ -415,14 +470,14 @@ HttpServer::join()
 }
 
 void
-HttpServer::notifyDone(int fd, bool closeAfter)
+HttpServer::notifyDone(IoLoop &loop, int fd, bool closeAfter)
 {
     {
-        std::lock_guard<std::mutex> lock(doneMutex_);
-        done_.emplace_back(fd, closeAfter);
+        std::lock_guard<std::mutex> lock(loop.doneMutex);
+        loop.done.emplace_back(fd, closeAfter);
     }
     const char b = 'd';
-    [[maybe_unused]] ssize_t n = ::write(wakePipe_[1], &b, 1);
+    [[maybe_unused]] ssize_t n = ::write(loop.wakePipe[1], &b, 1);
 }
 
 Counter *
@@ -480,28 +535,35 @@ errorBody(const std::string &message)
 void
 HttpServer::workerMain()
 {
-    Task task;
-    while (queue_->pop(task)) {
-        if (inflightGauge_)
-            inflightGauge_->add(1);
-        HttpResponse response;
-        try {
-            response = handler_(task.request);
-        } catch (const std::exception &e) {
-            response = HttpResponse::json(500, errorBody(e.what()));
-        } catch (...) {
-            response = HttpResponse::json(
-                500, errorBody("unknown handler error"));
+    const std::size_t batchMax =
+        std::max<std::size_t>(1, config_.batchSize);
+    std::vector<Task> batch;
+    while (queue_->popBatch(batch, batchMax)) {
+        // Every task in the batch was admitted by one queue wakeup;
+        // handle them back to back without re-taking the queue lock.
+        for (Task &task : batch) {
+            if (inflightGauge_)
+                inflightGauge_->add(1);
+            HttpResponse response;
+            try {
+                response = handler_(task.request);
+            } catch (const std::exception &e) {
+                response =
+                    HttpResponse::json(500, errorBody(e.what()));
+            } catch (...) {
+                response = HttpResponse::json(
+                    500, errorBody("unknown handler error"));
+            }
+            const bool keepAlive = task.keepAlive;
+            const bool ok = sendAll(
+                task.fd, serializeResponse(response, keepAlive));
+            served_.fetch_add(1, std::memory_order_relaxed);
+            countRequest(task.request.path(), response.status,
+                         task.arrival);
+            if (inflightGauge_)
+                inflightGauge_->sub(1);
+            notifyDone(*task.loop, task.fd, !keepAlive || !ok);
         }
-        const bool keepAlive = task.keepAlive;
-        const bool ok =
-            sendAll(task.fd, serializeResponse(response, keepAlive));
-        served_.fetch_add(1, std::memory_order_relaxed);
-        countRequest(task.request.path(), response.status,
-                     task.arrival);
-        if (inflightGauge_)
-            inflightGauge_->sub(1);
-        notifyDone(task.fd, !keepAlive || !ok);
     }
 }
 
@@ -518,23 +580,24 @@ HttpServer::rejectBusy(int fd, const char *why, bool keepAlive)
 }
 
 void
-HttpServer::closeConn(int fd)
+HttpServer::closeConn(IoLoop &loop, int fd)
 {
-    const auto it = conns_.find(fd);
-    if (it == conns_.end())
+    const auto it = loop.conns.find(fd);
+    if (it == loop.conns.end())
         return;
     ::close(fd);
-    conns_.erase(it);
+    loop.conns.erase(it);
+    const std::size_t total =
+        totalConns_.fetch_sub(1, std::memory_order_relaxed) - 1;
     if (connectionsGauge_)
-        connectionsGauge_->set(static_cast<std::int64_t>(
-            conns_.size()));
+        connectionsGauge_->set(static_cast<std::int64_t>(total));
 }
 
 void
-HttpServer::acceptNew()
+HttpServer::acceptNew(IoLoop &loop)
 {
     while (true) {
-        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        const int fd = ::accept(loop.listenFd, nullptr, nullptr);
         if (fd < 0) {
             if (errno == EAGAIN || errno == EWOULDBLOCK ||
                 errno == EINTR) {
@@ -547,21 +610,23 @@ HttpServer::acceptNew()
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
                      sizeof(one));
-        if (conns_.size() >= config_.maxConnections) {
+        if (totalConns_.load(std::memory_order_relaxed) >=
+            config_.maxConnections) {
             // Connection-level shedding: tell the client to back off.
             rejectBusy(fd, "too many connections", false);
             ::close(fd);
             continue;
         }
-        conns_.emplace(fd, std::make_unique<Conn>(fd));
+        loop.conns.emplace(fd, std::make_unique<Conn>(fd));
+        const std::size_t total =
+            totalConns_.fetch_add(1, std::memory_order_relaxed) + 1;
         if (connectionsGauge_)
-            connectionsGauge_->set(static_cast<std::int64_t>(
-                conns_.size()));
+            connectionsGauge_->set(static_cast<std::int64_t>(total));
     }
 }
 
 bool
-HttpServer::dispatchBuffered(Conn &conn)
+HttpServer::dispatchBuffered(IoLoop &loop, Conn &conn)
 {
     while (conn.state == Conn::State::Reading &&
            !conn.inbuf.empty()) {
@@ -581,7 +646,7 @@ HttpServer::dispatchBuffered(Conn &conn)
                         false));
             countRequest("(bad)", code,
                          std::chrono::steady_clock::now());
-            closeConn(conn.fd);
+            closeConn(loop, conn.fd);
             return false;
         }
         conn.inbuf.erase(0, consumed);
@@ -591,12 +656,13 @@ HttpServer::dispatchBuffered(Conn &conn)
 
         Task task;
         task.fd = conn.fd;
+        task.loop = &loop;
         task.request = std::move(request);
         task.arrival = std::chrono::steady_clock::now();
         task.keepAlive = keepAlive;
         if (queue_->tryPush(std::move(task))) {
             conn.state = Conn::State::Processing;
-            ++inflight_;
+            ++loop.inflight;
             return true;
         }
 
@@ -605,7 +671,7 @@ HttpServer::dispatchBuffered(Conn &conn)
         rejectBusy(conn.fd, "server overloaded", keepAlive);
         countRequest(path, 503, std::chrono::steady_clock::now());
         if (!keepAlive) {
-            closeConn(conn.fd);
+            closeConn(loop, conn.fd);
             return false;
         }
     }
@@ -613,7 +679,7 @@ HttpServer::dispatchBuffered(Conn &conn)
 }
 
 void
-HttpServer::handleReadable(Conn &conn)
+HttpServer::handleReadable(IoLoop &loop, Conn &conn)
 {
     char buf[16 * 1024];
     while (true) {
@@ -625,7 +691,7 @@ HttpServer::handleReadable(Conn &conn)
             if (conn.state == Conn::State::Reading &&
                 conn.inbuf.size() >
                     maxHeaderBytes + config_.maxBodyBytes) {
-                closeConn(conn.fd);
+                closeConn(loop, conn.fd);
                 return;
             }
             continue;
@@ -635,7 +701,7 @@ HttpServer::handleReadable(Conn &conn)
             // still owns the fd for writing; defer the close to the
             // done notification (the write will just fail).
             if (conn.state != Conn::State::Processing)
-                closeConn(conn.fd);
+                closeConn(loop, conn.fd);
             return;
         }
         if (errno == EAGAIN || errno == EWOULDBLOCK)
@@ -643,26 +709,37 @@ HttpServer::handleReadable(Conn &conn)
         if (errno == EINTR)
             continue;
         if (conn.state != Conn::State::Processing)
-            closeConn(conn.fd);
+            closeConn(loop, conn.fd);
         return;
     }
-    dispatchBuffered(conn);
+    dispatchBuffered(loop, conn);
 }
 
 void
-HttpServer::ioMain()
+HttpServer::ioMain(IoLoop &loop)
 {
     std::vector<struct pollfd> fds;
     std::vector<int> readable;
     while (true) {
+        bool stopping = stopping_.load();
         fds.clear();
-        fds.push_back({stopPipe_[0], POLLIN, 0});
-        fds.push_back({wakePipe_[0], POLLIN, 0});
-        const bool accepting = !stopping_.load() && listenFd_ >= 0;
-        if (accepting)
-            fds.push_back({listenFd_, POLLIN, 0});
-        if (!stopping_.load()) {
-            for (const auto &entry : conns_) {
+        // The stop pipe is never drained, so its POLLIN is level-
+        // triggered and every acceptor observes the same stop byte;
+        // once observed, drop it from the poll set.
+        const bool watchStop = !stopping;
+        if (watchStop)
+            fds.push_back({stopPipe_[0], POLLIN, 0});
+        const std::size_t wakeIdx = fds.size();
+        fds.push_back({loop.wakePipe[0], POLLIN, 0});
+        const bool accepting = !stopping && loop.listenFd >= 0;
+        std::size_t listenIdx = 0;
+        if (accepting) {
+            listenIdx = fds.size();
+            fds.push_back({loop.listenFd, POLLIN, 0});
+        }
+        const std::size_t connsFrom = fds.size();
+        if (!stopping) {
+            for (const auto &entry : loop.conns) {
                 if (entry.second->state == Conn::State::Reading)
                     fds.push_back({entry.first, POLLIN, 0});
             }
@@ -678,75 +755,76 @@ HttpServer::ioMain()
         }
 
         // Stop signal: stop accepting and parsing; drain below.
-        if (fds[0].revents & POLLIN) {
-            drainPipe(stopPipe_[0]);
-            if (!stopping_.exchange(true)) {
-                ::close(listenFd_);
-                listenFd_ = -1;
-            }
+        if (watchStop && (fds[0].revents & POLLIN)) {
+            stopping_.store(true);
+            stopping = true;
+        }
+        if (stopping && loop.listenFd >= 0) {
+            ::close(loop.listenFd);
+            loop.listenFd = -1;
         }
 
         // Worker completions.
-        if (fds[1].revents & POLLIN) {
-            drainPipe(wakePipe_[0]);
+        if (fds[wakeIdx].revents & POLLIN) {
+            drainPipe(loop.wakePipe[0]);
             std::vector<std::pair<int, bool>> done;
             {
-                std::lock_guard<std::mutex> lock(doneMutex_);
-                done.swap(done_);
+                std::lock_guard<std::mutex> lock(loop.doneMutex);
+                done.swap(loop.done);
             }
             for (const auto &[fd, closeAfter] : done) {
-                --inflight_;
-                const auto it = conns_.find(fd);
-                if (it == conns_.end())
+                --loop.inflight;
+                const auto it = loop.conns.find(fd);
+                if (it == loop.conns.end())
                     continue;
                 if (closeAfter || stopping_.load()) {
-                    closeConn(fd);
+                    closeConn(loop, fd);
                     continue;
                 }
                 it->second->state = Conn::State::Reading;
                 // A pipelined or half-buffered next request may
                 // already be waiting.
-                dispatchBuffered(*it->second);
+                dispatchBuffered(loop, *it->second);
             }
         }
 
         if (stopping_.load()) {
-            if (inflight_ == 0)
+            if (loop.inflight == 0)
                 break;
             continue;
         }
 
-        std::size_t idx = 2;
-        if (accepting) {
-            if (fds[idx].revents & (POLLIN | POLLERR))
-                acceptNew();
-            ++idx;
-        }
+        if (accepting &&
+            (fds[listenIdx].revents & (POLLIN | POLLERR)))
+            acceptNew(loop);
         // Collect fds first: handleReadable can erase conns, and
-        // conns_ iteration order must not be disturbed mid-walk.
+        // the conns iteration order must not be disturbed mid-walk.
         readable.clear();
-        for (; idx < fds.size(); ++idx) {
+        for (std::size_t idx = connsFrom; idx < fds.size(); ++idx) {
             if (fds[idx].revents &
                 (POLLIN | POLLERR | POLLHUP)) {
                 readable.push_back(fds[idx].fd);
             }
         }
         for (const int fd : readable) {
-            const auto it = conns_.find(fd);
-            if (it != conns_.end())
-                handleReadable(*it->second);
+            const auto it = loop.conns.find(fd);
+            if (it != loop.conns.end())
+                handleReadable(loop, *it->second);
         }
     }
 
-    // Drained: refuse any queued-but-unpopped work (there is none,
-    // inflight_ == 0), release the workers, close every connection.
-    queue_->close();
+    // This acceptor has drained (its inflight hit zero). The last
+    // one out closes the queue, releasing the workers once the
+    // remaining queued work — all of it counted in some loop's
+    // inflight, hence already zero — is done.
+    if (activeLoops_.fetch_sub(1) == 1)
+        queue_->close();
     std::vector<int> open;
-    open.reserve(conns_.size());
-    for (const auto &entry : conns_)
+    open.reserve(loop.conns.size());
+    for (const auto &entry : loop.conns)
         open.push_back(entry.first);
     for (const int fd : open)
-        closeConn(fd);
+        closeConn(loop, fd);
 }
 
 } // namespace fosm::server

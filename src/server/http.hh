@@ -1,16 +1,20 @@
 /**
  * @file
- * Dependency-free HTTP/1.1 server over POSIX sockets. One IO thread
- * accepts connections and parses requests with poll(); complete
- * requests are admitted through a bounded queue to a pool of worker
- * threads that run the application handler and write the response
- * back on the same connection (keep-alive, one request in flight per
- * connection — no pipelining). When the queue is full the IO thread
- * answers 503 with a Retry-After header immediately, so overload
- * degrades into fast rejection instead of collapsing latency.
- * Shutdown (requestStop, or a byte written to stopFd() from a signal
- * handler) stops accepting work, drains every dispatched request,
- * then closes all connections.
+ * Dependency-free HTTP/1.1 server over POSIX sockets. One or more IO
+ * threads (config.ioThreads; N > 1 binds N SO_REUSEPORT listen
+ * sockets so the kernel load-balances accepts) each run a poll()
+ * loop over their own connections; complete requests are admitted
+ * through a shared bounded queue to a pool of worker threads that
+ * run the application handler and write the response back on the
+ * same connection (keep-alive, one request in flight per connection
+ * — no pipelining). Workers drain up to config.batchSize queued
+ * requests per wakeup, amortizing the condition-variable handoff
+ * under load. When the queue is full the IO thread answers 503 with
+ * a Retry-After header immediately, so overload degrades into fast
+ * rejection instead of collapsing latency. Shutdown (requestStop, or
+ * a byte written to stopFd() from a signal handler) stops accepting
+ * work, drains every dispatched request, then closes all
+ * connections.
  */
 
 #ifndef FOSM_SERVER_HTTP_HH
@@ -106,6 +110,14 @@ struct HttpServerConfig
     std::uint16_t port = 0;
     /** Worker threads; 0 means one per hardware thread (min 2). */
     std::size_t workers = 0;
+    /**
+     * Acceptor/IO threads. Values > 1 bind that many SO_REUSEPORT
+     * listen sockets, one poll loop per acceptor, so connection
+     * handling scales past a single IO thread.
+     */
+    std::size_t ioThreads = 1;
+    /** Max queued requests one worker drains per queue wakeup. */
+    std::size_t batchSize = 4;
     /** Bounded request-queue capacity (admission control). */
     std::size_t queueCapacity = 128;
     /** Maximum accepted connections before shedding with 503. */
@@ -169,23 +181,25 @@ class HttpServer
 
   private:
     struct Conn;
+    struct IoLoop;
 
     /** One dispatched request bound for a worker. */
     struct Task
     {
         int fd = -1;
+        IoLoop *loop = nullptr; ///< acceptor that owns the conn
         HttpRequest request;
         std::chrono::steady_clock::time_point arrival;
         bool keepAlive = true;
     };
 
-    void ioMain();
+    void ioMain(IoLoop &loop);
     void workerMain();
-    void acceptNew();
-    void handleReadable(Conn &conn);
-    bool dispatchBuffered(Conn &conn);
-    void closeConn(int fd);
-    void notifyDone(int fd, bool closeAfter);
+    void acceptNew(IoLoop &loop);
+    void handleReadable(IoLoop &loop, Conn &conn);
+    bool dispatchBuffered(IoLoop &loop, Conn &conn);
+    void closeConn(IoLoop &loop, int fd);
+    void notifyDone(IoLoop &loop, int fd, bool closeAfter);
     Counter *requestCounter(const std::string &path, int status);
     void countRequest(const std::string &path, int status,
                       std::chrono::steady_clock::time_point arrival);
@@ -195,26 +209,23 @@ class HttpServer
     Handler handler_;
     MetricsRegistry *metrics_;
 
-    int listenFd_ = -1;
     int stopPipe_[2] = {-1, -1};
-    int wakePipe_[2] = {-1, -1};
     std::uint16_t boundPort_ = 0;
 
     /** shared_ptr so the /metrics queue-depth callback registered in
      *  the registry can outlive the server object safely. */
     std::shared_ptr<BoundedQueue<Task>> queue_;
-    std::thread ioThread_;
+    std::vector<std::unique_ptr<IoLoop>> loops_;
     std::vector<std::thread> workers_;
-
-    std::map<int, std::unique_ptr<Conn>> conns_;
-    std::mutex doneMutex_;
-    std::vector<std::pair<int, bool>> done_;
 
     std::atomic<bool> stopping_{false};
     std::atomic<bool> started_{false};
     std::atomic<std::uint64_t> served_{0};
     std::atomic<std::uint64_t> rejected_{0};
-    std::size_t inflight_ = 0; ///< dispatched tasks; IO thread only
+    /** IO loops still draining; the last one closes the queue. */
+    std::atomic<std::size_t> activeLoops_{0};
+    /** Open connections across all loops (limit + gauge). */
+    std::atomic<std::size_t> totalConns_{0};
 
     // Metric objects resolved once at start().
     Histogram *latency_ = nullptr;

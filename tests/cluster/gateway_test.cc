@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Gateway behavior against stub in-process backends: digest routing,
+ * retry on dead/5xx backends, bounded hedging, health ejection and
+ * reinstatement, and store-stats aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/gateway.hh"
+#include "server/client.hh"
+#include "server/http.hh"
+#include "server/json.hh"
+
+namespace fosm::cluster {
+namespace {
+
+using server::ClientResponse;
+using server::HttpRequest;
+using server::HttpResponse;
+using server::HttpServer;
+using server::HttpServerConfig;
+
+/** A stub fosm-serve replica: any handler, ephemeral port. */
+std::unique_ptr<HttpServer>
+makeBackend(HttpServer::Handler handler, std::uint16_t port = 0)
+{
+    HttpServerConfig config;
+    config.port = port;
+    config.workers = 2;
+    auto server =
+        std::make_unique<HttpServer>(config, std::move(handler));
+    server->start();
+    return server;
+}
+
+BackendAddress
+addressOf(const HttpServer &server)
+{
+    BackendAddress addr;
+    addr.host = "127.0.0.1";
+    addr.port = server.port();
+    addr.label = "127.0.0.1:" + std::to_string(server.port());
+    return addr;
+}
+
+/** Echo the backend's identity so tests can see who answered. */
+HttpServer::Handler
+echoHandler(const std::string &who)
+{
+    return [who](const HttpRequest &req) {
+        if (req.path() == "/healthz")
+            return HttpResponse::json(200, "{\"status\":\"ok\"}");
+        return HttpResponse::json(200, "{\"who\":\"" + who + "\"}");
+    };
+}
+
+GatewayConfig
+testGatewayConfig(std::vector<BackendAddress> backends)
+{
+    GatewayConfig config;
+    config.backends = std::move(backends);
+    config.upstream.healthIntervalMs = 50;
+    config.upstream.ejectAfter = 1;
+    config.upstream.connectTimeoutMs = 200;
+    config.upstream.requestTimeoutMs = 2000;
+    config.retries = 2;
+    config.retryBaseMs = 1;
+    // Effectively no hedging unless a test opts in.
+    config.hedgeMaxMs = 1000;
+    return config;
+}
+
+/** Ask the gateway handler directly (no front HttpServer needed). */
+HttpResponse
+ask(Gateway &gateway, const std::string &method,
+    const std::string &path, const std::string &body)
+{
+    HttpRequest req;
+    req.method = method;
+    req.target = path;
+    req.body = body;
+    return gateway.handler()(req);
+}
+
+std::string
+whoAnswered(const HttpResponse &response)
+{
+    json::Value v;
+    std::string error;
+    if (!json::parse(response.body, v, &error))
+        return "";
+    const json::Value *who = v.find("who");
+    return who ? who->asString() : "";
+}
+
+std::string
+cpiBody(int i)
+{
+    return "{\"workload\":\"w" + std::to_string(i) + "\"}";
+}
+
+TEST(Gateway, RoutesByDigestConsistentlyAndUsesAllBackends)
+{
+    auto a = makeBackend(echoHandler("a"));
+    auto b = makeBackend(echoHandler("b"));
+    auto c = makeBackend(echoHandler("c"));
+
+    Gateway gateway(testGatewayConfig({addressOf(*a), addressOf(*b),
+                                       addressOf(*c)}),
+                    nullptr);
+    gateway.start();
+
+    std::set<std::string> owners;
+    for (int i = 0; i < 30; ++i) {
+        const std::string body = cpiBody(i);
+        // Same body, asked three times, must land on one backend —
+        // that is what makes the shard caches compose.
+        std::string first;
+        for (int rep = 0; rep < 3; ++rep) {
+            HttpResponse r = ask(gateway, "POST", "/v1/cpi", body);
+            ASSERT_EQ(r.status, 200) << body;
+            const std::string who = whoAnswered(r);
+            if (rep == 0)
+                first = who;
+            EXPECT_EQ(who, first) << body;
+        }
+        owners.insert(first);
+    }
+    // 30 distinct bodies across 3 backends: all shards participate.
+    EXPECT_EQ(owners.size(), 3u);
+
+    // Whitespace / member order don't change the shard: the digest
+    // is over the canonical body.
+    const std::string compact = "{\"a\":1,\"b\":2}";
+    const std::string spaced = "{ \"b\" : 2 , \"a\" : 1 }";
+    EXPECT_EQ(gateway.shardDigest("/v1/cpi", compact),
+              gateway.shardDigest("/v1/cpi", spaced));
+
+    gateway.stop();
+    a->requestStop();
+    b->requestStop();
+    c->requestStop();
+    a->join();
+    b->join();
+    c->join();
+}
+
+TEST(Gateway, Passes4xxThroughWithoutRetry)
+{
+    std::atomic<int> hits{0};
+    auto a = makeBackend([&](const HttpRequest &req) {
+        if (req.path() == "/healthz")
+            return HttpResponse::json(200, "{}");
+        hits.fetch_add(1);
+        return HttpResponse::json(400, "{\"error\":\"bad\"}");
+    });
+
+    Gateway gateway(testGatewayConfig({addressOf(*a)}), nullptr);
+    gateway.start();
+
+    HttpResponse r = ask(gateway, "POST", "/v1/cpi", "{\"x\":1}");
+    EXPECT_EQ(r.status, 400);
+    EXPECT_EQ(r.body, "{\"error\":\"bad\"}");
+    EXPECT_EQ(hits.load(), 1); // 4xx is final: no retry
+
+    gateway.stop();
+    a->requestStop();
+    a->join();
+}
+
+TEST(Gateway, RetriesPastDeadBackend)
+{
+    auto a = makeBackend(echoHandler("a"));
+    // A second configured backend that refuses connections.
+    BackendAddress dead;
+    dead.host = "127.0.0.1";
+    dead.port = 1; // nothing listens there
+    dead.label = "127.0.0.1:1";
+
+    server::MetricsRegistry metrics;
+    GatewayConfig config =
+        testGatewayConfig({addressOf(*a), dead});
+    Gateway gateway(config, &metrics);
+    gateway.start(); // initial probe round ejects the dead backend
+
+    // Every body must succeed, including those whose primary shard
+    // is the dead backend (they spill to the live one).
+    for (int i = 0; i < 20; ++i) {
+        HttpResponse r =
+            ask(gateway, "POST", "/v1/cpi", cpiBody(i));
+        ASSERT_EQ(r.status, 200) << cpiBody(i);
+        EXPECT_EQ(whoAnswered(r), "a");
+    }
+
+    gateway.stop();
+    a->requestStop();
+    a->join();
+}
+
+TEST(Gateway, RetriesOn5xxAndAnswersFromNextReplica)
+{
+    std::atomic<int> badHits{0};
+    auto bad = makeBackend([&](const HttpRequest &req) {
+        if (req.path() == "/healthz")
+            return HttpResponse::json(200, "{}");
+        badHits.fetch_add(1);
+        return HttpResponse::json(500, "{\"error\":\"boom\"}");
+    });
+    auto good = makeBackend(echoHandler("good"));
+
+    server::MetricsRegistry metrics;
+    Gateway gateway(
+        testGatewayConfig({addressOf(*bad), addressOf(*good)}),
+        &metrics);
+    gateway.start();
+
+    for (int i = 0; i < 20; ++i) {
+        HttpResponse r =
+            ask(gateway, "POST", "/v1/cpi", cpiBody(i));
+        ASSERT_EQ(r.status, 200) << cpiBody(i);
+        EXPECT_EQ(whoAnswered(r), "good");
+    }
+    // Some bodies were homed on the bad backend and needed a retry.
+    EXPECT_GT(badHits.load(), 0);
+    EXPECT_GT(metrics.counter("fosm_gateway_retries_total", "")
+                  .value(),
+              0u);
+
+    gateway.stop();
+    bad->requestStop();
+    good->requestStop();
+    bad->join();
+    good->join();
+}
+
+TEST(Gateway, HedgesOncePastBudgetAndFirstResponseWins)
+{
+    auto slow = makeBackend([](const HttpRequest &req) {
+        if (req.path() == "/healthz")
+            return HttpResponse::json(200, "{}");
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(400));
+        return HttpResponse::json(200, "{\"who\":\"slow\"}");
+    });
+    auto fast = makeBackend(echoHandler("fast"));
+
+    server::MetricsRegistry metrics;
+    GatewayConfig config =
+        testGatewayConfig({addressOf(*slow), addressOf(*fast)});
+    config.hedgeMaxMs = 25; // hedge after 25ms (no samples yet)
+    config.retries = 0;     // isolate hedging from retries
+    Gateway gateway(config, &metrics);
+    gateway.start();
+
+    // Find a body whose primary shard is the slow backend, so the
+    // hedge (to the fast one) decides the outcome.
+    const std::string slowLabel = addressOf(*slow).label;
+    std::string body;
+    for (int i = 0; i < 1000; ++i) {
+        const std::string candidate = cpiBody(i);
+        const auto pref = gateway.ring().route(
+            gateway.shardDigest("/v1/cpi", candidate), 2);
+        if (gateway.ring().name(pref[0]) == slowLabel) {
+            body = candidate;
+            break;
+        }
+    }
+    ASSERT_FALSE(body.empty());
+
+    const auto start = std::chrono::steady_clock::now();
+    HttpResponse r = ask(gateway, "POST", "/v1/cpi", body);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    ASSERT_EQ(r.status, 200);
+    EXPECT_EQ(whoAnswered(r), "fast"); // the hedge won
+    EXPECT_LT(elapsed, 350); // well under the slow backend's 400ms
+    // Exactly one hedge was fired for the one request.
+    EXPECT_EQ(
+        metrics.counter("fosm_gateway_hedges_total", "").value(),
+        1u);
+    EXPECT_EQ(
+        metrics.counter("fosm_gateway_hedge_wins_total", "").value(),
+        1u);
+
+    gateway.stop();
+    slow->requestStop();
+    fast->requestStop();
+    slow->join();
+    fast->join();
+}
+
+TEST(Gateway, FastRequestsDoNotHedge)
+{
+    auto a = makeBackend(echoHandler("a"));
+    auto b = makeBackend(echoHandler("b"));
+
+    server::MetricsRegistry metrics;
+    GatewayConfig config =
+        testGatewayConfig({addressOf(*a), addressOf(*b)});
+    config.hedgeMaxMs = 500; // far above stub latency
+    Gateway gateway(config, &metrics);
+    gateway.start();
+
+    for (int i = 0; i < 20; ++i)
+        ASSERT_EQ(
+            ask(gateway, "POST", "/v1/cpi", cpiBody(i)).status,
+            200);
+    EXPECT_EQ(
+        metrics.counter("fosm_gateway_hedges_total", "").value(),
+        0u);
+
+    gateway.stop();
+    a->requestStop();
+    b->requestStop();
+    a->join();
+    b->join();
+}
+
+TEST(Gateway, EjectsDeadBackendAndReinstatesOnRecovery)
+{
+    auto a = makeBackend(echoHandler("a"));
+    auto b = makeBackend(echoHandler("b"));
+    const std::uint16_t bPort = b->port();
+
+    Gateway gateway(
+        testGatewayConfig({addressOf(*a), addressOf(*b)}), nullptr);
+    gateway.start();
+    ASSERT_EQ(gateway.pool().healthyCount(), 2u);
+
+    // Kill b; the prober must eject it.
+    b->requestStop();
+    b->join();
+    b.reset();
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(5);
+    while (gateway.pool().healthyCount() != 1 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_EQ(gateway.pool().healthyCount(), 1u);
+
+    // Zero client-visible errors while a replica is down.
+    for (int i = 0; i < 20; ++i) {
+        HttpResponse r =
+            ask(gateway, "POST", "/v1/cpi", cpiBody(i));
+        ASSERT_EQ(r.status, 200) << cpiBody(i);
+        EXPECT_EQ(whoAnswered(r), "a");
+    }
+
+    // Gateway's own health endpoint reflects the partial outage.
+    HttpResponse health = ask(gateway, "GET", "/healthz", "");
+    EXPECT_EQ(health.status, 200); // still serving: one healthy
+    json::Value hv;
+    std::string herr;
+    ASSERT_TRUE(json::parse(health.body, hv, &herr)) << herr;
+    EXPECT_EQ(hv.find("healthy")->asInt(), 1);
+    EXPECT_EQ(hv.find("backends")->asInt(), 2);
+
+    // Revive b on the same port; the prober must reinstate it.
+    b = makeBackend(echoHandler("b"), bPort);
+    const auto deadline2 = std::chrono::steady_clock::now() +
+                           std::chrono::seconds(10);
+    while (gateway.pool().healthyCount() != 2 &&
+           std::chrono::steady_clock::now() < deadline2)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(gateway.pool().healthyCount(), 2u);
+
+    gateway.stop();
+    a->requestStop();
+    b->requestStop();
+    a->join();
+    b->join();
+}
+
+TEST(Gateway, AggregatesStoreStatsAcrossBackends)
+{
+    auto statsHandler = [](double responses, double hits) {
+        return [responses, hits](const HttpRequest &req) {
+            if (req.path() == "/healthz")
+                return HttpResponse::json(200, "{}");
+            json::Value v = json::Value::object();
+            v.set("responses", responses);
+            json::Value nested = json::Value::object();
+            nested.set("hits", hits);
+            v.set("cache", std::move(nested));
+            return HttpResponse::json(200, v.dump());
+        };
+    };
+    auto a = makeBackend(statsHandler(10, 3));
+    auto b = makeBackend(statsHandler(32, 4));
+
+    Gateway gateway(
+        testGatewayConfig({addressOf(*a), addressOf(*b)}), nullptr);
+    gateway.start();
+
+    HttpResponse r = ask(gateway, "GET", "/v1/store/stats", "");
+    ASSERT_EQ(r.status, 200);
+    json::Value v;
+    std::string error;
+    ASSERT_TRUE(json::parse(r.body, v, &error)) << error;
+    EXPECT_EQ(v.find("backends_reporting")->asInt(), 2);
+    const json::Value *agg = v.find("aggregate");
+    ASSERT_NE(agg, nullptr);
+    EXPECT_DOUBLE_EQ(agg->find("responses")->asDouble(), 42.0);
+    EXPECT_DOUBLE_EQ(agg->find("cache")->find("hits")->asDouble(),
+                     7.0);
+    // Per-backend detail is preserved alongside the aggregate.
+    EXPECT_EQ(v.find("per_backend")->size(), 2u);
+
+    gateway.stop();
+    a->requestStop();
+    b->requestStop();
+    a->join();
+    b->join();
+}
+
+TEST(Gateway, UnknownPathIs404AndWrongMethodIs405)
+{
+    auto a = makeBackend(echoHandler("a"));
+    Gateway gateway(testGatewayConfig({addressOf(*a)}), nullptr);
+    gateway.start();
+
+    EXPECT_EQ(ask(gateway, "GET", "/nope", "").status, 404);
+    EXPECT_EQ(ask(gateway, "GET", "/v1/cpi", "").status, 405);
+
+    gateway.stop();
+    a->requestStop();
+    a->join();
+}
+
+TEST(Gateway, ParsesBackendLists)
+{
+    std::vector<BackendAddress> out;
+    std::string error;
+    ASSERT_TRUE(parseBackendList(
+        "127.0.0.1:8080,localhost:9090", out, error));
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].host, "127.0.0.1");
+    EXPECT_EQ(out[0].port, 8080);
+    EXPECT_EQ(out[0].label, "127.0.0.1:8080");
+    EXPECT_EQ(out[1].host, "localhost");
+    EXPECT_EQ(out[1].port, 9090);
+
+    EXPECT_FALSE(parseBackendList("", out, error));
+    EXPECT_FALSE(parseBackendList("127.0.0.1", out, error));
+    EXPECT_FALSE(parseBackendList("127.0.0.1:notaport", out, error));
+    EXPECT_FALSE(parseBackendList("127.0.0.1:99999", out, error));
+}
+
+} // namespace
+} // namespace fosm::cluster

@@ -96,6 +96,54 @@ TEST(BoundedQueue, CloseWakesBlockedConsumers)
     EXPECT_EQ(exited.load(), 3);
 }
 
+TEST(BoundedQueue, PopBatchDrainsUpToMaxInFifoOrder)
+{
+    BoundedQueue<int> q(16);
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(q.tryPush(i));
+
+    std::vector<int> batch;
+    ASSERT_TRUE(q.popBatch(batch, 4));
+    EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+    ASSERT_TRUE(q.popBatch(batch, 4));
+    EXPECT_EQ(batch, (std::vector<int>{4, 5, 6, 7}));
+    // Fewer than max left: the batch is just smaller.
+    ASSERT_TRUE(q.popBatch(batch, 4));
+    EXPECT_EQ(batch, (std::vector<int>{8, 9}));
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, PopBatchBlocksThenReturnsFalseWhenClosedEmpty)
+{
+    BoundedQueue<int> q(4);
+    std::vector<int> batch{99}; // stale content must be cleared
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        q.tryPush(7);
+    });
+    ASSERT_TRUE(q.popBatch(batch, 8));
+    EXPECT_EQ(batch, (std::vector<int>{7}));
+    producer.join();
+
+    q.close();
+    ASSERT_FALSE(q.popBatch(batch, 8));
+    EXPECT_TRUE(batch.empty());
+}
+
+TEST(BoundedQueue, PopBatchDrainsRemainderAfterClose)
+{
+    BoundedQueue<int> q(8);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(q.tryPush(i));
+    q.close();
+    std::vector<int> batch;
+    ASSERT_TRUE(q.popBatch(batch, 3));
+    EXPECT_EQ(batch, (std::vector<int>{0, 1, 2}));
+    ASSERT_TRUE(q.popBatch(batch, 3));
+    EXPECT_EQ(batch, (std::vector<int>{3, 4}));
+    EXPECT_FALSE(q.popBatch(batch, 3));
+}
+
 TEST(BoundedQueue, ManyProducersManyConsumers)
 {
     constexpr int producers = 4;

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * fosm-gateway: sharded cluster front-end for fosm-serve replicas.
+ *
+ *   fosm-gateway --backends host:port,host:port,...
+ *                [--host 127.0.0.1] [--port 9090] [--workers N]
+ *                [--queue 256] [--vnodes 128] [--retries 2]
+ *                [--hedge-quantile 0.95] [--hedge-max 50]
+ *                [--health-interval 500]
+ *
+ * Routes POST /v1/cpi, /v1/iw-curve and /v1/trends to one of the
+ * configured backends by consistent-hashing the canonical request
+ * digest — the same key the backends' response caches use — so the
+ * replicas' caches compose into one large, non-overlapping cache.
+ * Unhealthy backends (failing active /healthz probes) are ejected
+ * and reinstated after recovery; failed attempts are retried on the
+ * next ring replica, and attempts that outlive the configured
+ * latency-percentile budget are hedged once to the next replica
+ * (first response wins). GET /healthz reports cluster health, GET
+ * /metrics the gateway's own Prometheus metrics, and GET
+ * /v1/store/stats an aggregate of every backend's store stats.
+ * See docs/CLUSTER.md.
+ */
+
+#include <csignal>
+#include <iostream>
+
+#include <unistd.h>
+
+#include "cli.hh"
+#include "cluster/gateway.hh"
+#include "server/http.hh"
+
+namespace {
+
+volatile int stopFd = -1;
+
+void
+onSignal(int)
+{
+    if (stopFd >= 0) {
+        const char b = 's';
+        [[maybe_unused]] ssize_t n = ::write(stopFd, &b, 1);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace fosm;
+    using namespace fosm::cluster;
+
+    const cli::Args args(
+        argc, argv,
+        {"host", "port", "backends", "workers", "queue",
+         "max-connections", "vnodes", "retries", "retry-base",
+         "hedge-quantile", "hedge-min", "hedge-max",
+         "hedge-min-samples", "health-interval", "eject-after",
+         "connect-timeout", "request-timeout"},
+        "usage: fosm-gateway --backends host:port[,host:port...] "
+        "[flags]\n"
+        "  --host 127.0.0.1       listen address\n"
+        "  --port 9090            listen port (0 = ephemeral)\n"
+        "  --workers N            worker threads (default: cores)\n"
+        "  --queue 256            admission queue capacity\n"
+        "  --max-connections 1024 connection limit\n"
+        "  --vnodes 128           virtual nodes per backend\n"
+        "  --retries 2            extra attempts on failure/5xx\n"
+        "  --retry-base 2         retry backoff base (ms)\n"
+        "  --hedge-quantile 0.95  latency quantile that arms the "
+        "hedge\n"
+        "  --hedge-min 1          hedge delay floor (ms)\n"
+        "  --hedge-max 50         hedge delay ceiling (ms)\n"
+        "  --hedge-min-samples 100  samples before the quantile is "
+        "trusted\n"
+        "  --health-interval 500  health probe interval (ms)\n"
+        "  --eject-after 2        consecutive failures that eject\n"
+        "  --connect-timeout 250  upstream connect budget (ms)\n"
+        "  --request-timeout 5000 per-attempt exchange budget (ms)\n");
+
+    const std::string backendList = args.get("backends", "");
+    GatewayConfig config;
+    std::string error;
+    if (!parseBackendList(backendList, config.backends, error))
+        fosm_fatal("fosm-gateway: ", error,
+                   " (use --backends host:port[,host:port...])");
+
+    config.vnodes = args.getInt("vnodes", 128);
+    config.retries = static_cast<int>(args.getInt("retries", 2));
+    config.retryBaseMs =
+        static_cast<int>(args.getInt("retry-base", 2));
+    config.hedgeQuantile = args.getDouble("hedge-quantile", 0.95);
+    config.hedgeMinMs =
+        static_cast<int>(args.getInt("hedge-min", 1));
+    config.hedgeMaxMs =
+        static_cast<int>(args.getInt("hedge-max", 50));
+    config.hedgeMinSamples = args.getInt("hedge-min-samples", 100);
+    config.upstream.healthIntervalMs =
+        static_cast<int>(args.getInt("health-interval", 500));
+    config.upstream.ejectAfter =
+        static_cast<int>(args.getInt("eject-after", 2));
+    config.upstream.connectTimeoutMs =
+        static_cast<int>(args.getInt("connect-timeout", 250));
+    config.upstream.requestTimeoutMs =
+        static_cast<int>(args.getInt("request-timeout", 5000));
+
+    server::MetricsRegistry metrics;
+    Gateway gateway(config, &metrics);
+
+    server::HttpServerConfig serverConfig;
+    serverConfig.host = args.get("host", "127.0.0.1");
+    serverConfig.port =
+        static_cast<std::uint16_t>(args.getInt("port", 9090));
+    serverConfig.workers = args.getInt("workers", 0);
+    serverConfig.queueCapacity = args.getInt("queue", 256);
+    serverConfig.maxConnections =
+        args.getInt("max-connections", 1024);
+    serverConfig.metricPaths = gateway.metricPaths();
+
+    gateway.start();
+
+    server::HttpServer server(serverConfig, gateway.handler(),
+                              &metrics);
+    server.start();
+
+    stopFd = server.stopFd();
+    struct sigaction sa{};
+    sa.sa_handler = onSignal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    signal(SIGPIPE, SIG_IGN);
+
+    std::cout << "fosm-gateway: listening on " << serverConfig.host
+              << ":" << server.port() << ", fronting "
+              << gateway.pool().size() << " backends ("
+              << gateway.pool().healthyCount() << " healthy, "
+              << config.vnodes << " vnodes each, retries "
+              << config.retries << ", hedge p"
+              << static_cast<int>(config.hedgeQuantile * 100)
+              << " capped at " << config.hedgeMaxMs << "ms)\n"
+              << "fosm-gateway: POST /v1/cpi /v1/iw-curve "
+                 "/v1/trends; GET /healthz /metrics "
+                 "/v1/store/stats\n";
+    std::cout.flush();
+
+    server.join();
+    gateway.stop();
+    std::cout << "fosm-gateway: drained, "
+              << server.requestsServed() << " requests served\n";
+    return 0;
+}

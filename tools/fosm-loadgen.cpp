@@ -3,6 +3,7 @@
  * fosm-loadgen: load generator for fosm-serve.
  *
  *   fosm-loadgen [--host 127.0.0.1] [--port 8080]
+ *                [--targets host:port,host:port,...]
  *                [--connections 4] [--duration 10] [--warmup 1]
  *                [--endpoint /v1/cpi] [--distinct 12] [--rate N]
  *                [--out report.json]
@@ -25,6 +26,14 @@
  * actually sent) from SERVICE TIME (sent -> response), because under
  * overload the former grows without bound while the latter stays
  * flat — the coordinated-omission distinction a closed loop hides.
+ *
+ * --targets takes a comma-separated endpoint list and stripes the
+ * connections across it round-robin (client-side round-robin — the
+ * baseline a digest-sharding gateway is benchmarked against; a
+ * single gateway address is just a one-entry list). The report then
+ * adds a per-target breakdown (requests, errors, throughput, latency
+ * percentiles) so a slow or dead replica is visible per-target
+ * instead of smeared into the aggregate.
  */
 
 #include <algorithm>
@@ -37,6 +46,7 @@
 #include <vector>
 
 #include "cli.hh"
+#include "cluster/upstream.hh"
 #include "server/client.hh"
 #include "server/json.hh"
 #include "workload/profile.hh"
@@ -83,13 +93,22 @@ buildBodies(const std::string &endpoint, std::uint64_t distinct)
     for (std::uint64_t i = 0; i < n; ++i) {
         json::Value body = json::Value::object();
         if (endpoint == "/v1/trends") {
-            // Trends are workload-independent; vary the width list
-            // to make each body a distinct design question.
+            // Trends are workload-independent; each body is a full
+            // 7-point width sweep (a realistic design question and
+            // a deliberately expensive miss), made distinct by the
+            // study and a perturbed baseline config.
             body.set("study", i % 2 == 0 ? "pipeline-depth"
                                          : "issue-width");
             json::Value widths = json::Value::array();
-            widths.push(std::uint64_t{2 + i % 7});
+            for (std::uint64_t w = 2; w <= 8; ++w)
+                widths.push(w);
             body.set("widths", std::move(widths));
+            if (i >= 2) {
+                json::Value config = json::Value::object();
+                config.set("avgLatency",
+                           1.0 + static_cast<double>(i) * 1e-6);
+                body.set("config", std::move(config));
+            }
         } else if (endpoint == "/v1/iw-curve") {
             body.set("workload", names[i % names.size()]);
             if (i >= names.size()) {
@@ -118,11 +137,14 @@ main(int argc, char **argv)
 {
     const cli::Args args(
         argc, argv,
-        {"host", "port", "connections", "duration", "warmup",
-         "endpoint", "distinct", "rate", "out"},
+        {"host", "port", "targets", "connections", "duration",
+         "warmup", "endpoint", "distinct", "rate", "out"},
         "usage: fosm-loadgen [flags]\n"
         "  --host 127.0.0.1    server address\n"
         "  --port 8080         server port\n"
+        "  --targets a:p,b:p   endpoint list; connections stripe\n"
+        "                      across it round-robin (overrides\n"
+        "                      --host/--port)\n"
         "  --connections 4     concurrent connections\n"
         "  --duration 10       measured seconds\n"
         "  --warmup 1          unmeasured leading seconds\n"
@@ -146,6 +168,19 @@ main(int argc, char **argv)
     const std::uint64_t distinct = args.getInt("distinct", 12);
     const double rate = args.getDouble("rate", 0.0);
 
+    std::vector<cluster::BackendAddress> targets;
+    if (args.has("targets")) {
+        std::string error;
+        if (!cluster::parseBackendList(args.get("targets", ""),
+                                       targets, error)) {
+            std::cerr << "error: --targets: " << error << "\n";
+            return 1;
+        }
+    } else {
+        targets.push_back({host, port, host + ":" +
+                                           std::to_string(port)});
+    }
+
     const std::vector<std::string> bodies =
         buildBodies(endpoint, distinct);
 
@@ -167,7 +202,10 @@ main(int argc, char **argv)
     for (std::uint64_t c = 0; c < connections; ++c) {
         threads.emplace_back([&, c] {
             WorkerResult &r = results[c];
-            fosm::server::HttpClient client(host, port);
+            const cluster::BackendAddress &target =
+                targets[c % targets.size()];
+            fosm::server::HttpClient client(target.host,
+                                            target.port);
             fosm::server::ClientResponse response;
             std::uint64_t i = c; // stagger the rotation per thread
             while (true) {
@@ -306,6 +344,63 @@ main(int argc, char **argv)
                           ? 0.0
                           : total.latencies.back() * 1e6);
     report.set("latency", std::move(lat));
+
+    // Per-target breakdown: a dead or slow replica shows up here
+    // instead of being smeared into the aggregate percentiles.
+    const bool breakdown = args.has("targets");
+    std::string targetLines;
+    if (breakdown) {
+        json::Value perTarget = json::Value::array();
+        for (std::size_t t = 0; t < targets.size(); ++t) {
+            WorkerResult tr;
+            for (std::uint64_t c = t; c < connections;
+                 c += targets.size()) {
+                tr.ok += results[c].ok;
+                tr.rejected += results[c].rejected;
+                tr.errors += results[c].errors;
+                tr.latencies.insert(tr.latencies.end(),
+                                    results[c].latencies.begin(),
+                                    results[c].latencies.end());
+            }
+            std::sort(tr.latencies.begin(), tr.latencies.end());
+            double tsum = 0.0;
+            for (const double l : tr.latencies)
+                tsum += l;
+            json::Value row = json::Value::object();
+            row.set("target", targets[t].label);
+            row.set("requests_ok", tr.ok);
+            row.set("requests_503", tr.rejected);
+            row.set("requests_error", tr.errors);
+            row.set("throughput_rps",
+                    static_cast<double>(tr.ok) / duration);
+            row.set("mean_us",
+                    tr.latencies.empty()
+                        ? 0.0
+                        : tsum /
+                              static_cast<double>(
+                                  tr.latencies.size()) *
+                              1e6);
+            row.set("p50_us",
+                    percentile(tr.latencies, 0.50) * 1e6);
+            row.set("p99_us",
+                    percentile(tr.latencies, 0.99) * 1e6);
+            perTarget.push(std::move(row));
+            targetLines +=
+                "  " + targets[t].label + ": " +
+                std::to_string(tr.ok) + " ok, " +
+                std::to_string(tr.errors) + " errors, " +
+                json::formatDouble(
+                    static_cast<double>(tr.ok) / duration) +
+                " req/s, p50 " +
+                json::formatDouble(
+                    percentile(tr.latencies, 0.50) * 1e6) +
+                " us, p99 " +
+                json::formatDouble(
+                    percentile(tr.latencies, 0.99) * 1e6) +
+                " us\n";
+        }
+        report.set("targets", std::move(perTarget));
+    }
     if (rate > 0.0) {
         // Service time above; time spent waiting for a connection
         // behind the offered schedule is its own distribution.
@@ -341,6 +436,8 @@ main(int argc, char **argv)
               << json::formatDouble(pct(0.50) * 1e6) << ", p90 "
               << json::formatDouble(pct(0.90) * 1e6) << ", p99 "
               << json::formatDouble(pct(0.99) * 1e6) << "\n";
+    if (breakdown)
+        std::cout << "per-target:\n" << targetLines;
     if (rate > 0.0) {
         std::cout << "queue-delay us: p50 "
                   << json::formatDouble(

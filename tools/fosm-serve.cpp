@@ -52,12 +52,17 @@ main(int argc, char **argv)
 
     const cli::Args args(
         argc, argv,
-        {"host", "port", "workers", "queue", "cache", "no-warmup",
-         "retry-after", "max-connections", "store-dir", "no-store"},
+        {"host", "port", "workers", "io-threads", "batch", "queue",
+         "cache", "no-warmup", "retry-after", "max-connections",
+         "store-dir", "no-store"},
         "usage: fosm-serve [flags]\n"
         "  --host 127.0.0.1       listen address\n"
         "  --port 8080            listen port (0 = ephemeral)\n"
         "  --workers N            worker threads (default: cores)\n"
+        "  --io-threads 1         acceptor/IO poll loops\n"
+        "                         (>1 uses SO_REUSEPORT)\n"
+        "  --batch 4              max requests drained per worker\n"
+        "                         wakeup\n"
         "  --queue 128            admission queue capacity\n"
         "  --cache 8192           response cache entries (0 = off)\n"
         "  --max-connections 1024 connection limit\n"
@@ -100,6 +105,8 @@ main(int argc, char **argv)
     serverConfig.port =
         static_cast<std::uint16_t>(args.getInt("port", 8080));
     serverConfig.workers = args.getInt("workers", 0);
+    serverConfig.ioThreads = args.getInt("io-threads", 1);
+    serverConfig.batchSize = args.getInt("batch", 4);
     serverConfig.queueCapacity = args.getInt("queue", 128);
     serverConfig.maxConnections =
         args.getInt("max-connections", 1024);
