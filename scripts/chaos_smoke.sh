@@ -1,0 +1,199 @@
+#!/bin/sh
+# Chaos smoke test: a 3-replica cluster under deterministic fault
+# injection, deadline-carrying load, live membership changes and a
+# SIGKILL — asserting the client never notices.
+#
+#   - replica 3 runs with FOSM_FAULTS="serve.handler=delay:1.0:400":
+#     it accepts connections and answers /healthz (under the probe
+#     timeout), but every real request outlives the gateway's 250ms
+#     attempt budget — the failure mode only the circuit breaker can
+#     see. The breaker must open.
+#   - replica 3 is then drained live (POST /admin/backends), killed
+#     with SIGKILL, restarted clean, and re-joined live; its breaker
+#     must read closed again.
+#   - replica 2 is SIGKILLed mid-load and restarted; the prober path
+#     absorbs that one.
+#   - the loadgen sends X-Fosm-Deadline-Ms with every request.
+#
+# Pass criteria: loadgen exits 0 with zero errors / 503s / 504s /
+# timeouts, p99 stays bounded, and the gateway's breaker + deadline
+# metric families are live.
+# Usage: scripts/chaos_smoke.sh [build-dir]
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+serve="$build/tools/fosm-serve"
+gateway="$build/tools/fosm-gateway"
+loadgen="$build/tools/fosm-loadgen"
+
+base=${FOSM_CHAOS_PORT:-18790}
+p1=$((base + 1)); p2=$((base + 2)); p3=$((base + 3))
+gp=$base
+backends="127.0.0.1:$p1,127.0.0.1:$p2,127.0.0.1:$p3"
+tmp=$(mktemp -d)
+
+pids=""
+cleanup() {
+    for pid in $pids; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+wait_healthy() { # $1 = port, $2 = name
+    i=0
+    while ! curl -fsS "http://127.0.0.1:$1/healthz" \
+            > /dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "FAIL: $2 (:$1) never became healthy" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+start_replica() { # $1 = port
+    "$serve" --port "$1" --no-store --no-warmup \
+        > "$tmp/serve-$1.log" 2>&1 &
+    echo $!
+}
+
+start_slow_replica() { # $1 = port: healthz fine, work delayed 400ms
+    FOSM_FAULTS="serve.handler=delay:1.0:400" FOSM_FAULT_SEED=42 \
+        "$serve" --port "$1" --no-store --no-warmup --cache 0 \
+        > "$tmp/serve-$1.log" 2>&1 &
+    echo $!
+}
+
+gateway_metric() { # $1 = anchored grep pattern; prints the sum
+    curl -fsS "http://127.0.0.1:$gp/metrics" \
+        | grep "$1" | awk '{s += $NF} END {print s + 0}'
+}
+
+admin() { # $1 = JSON body; expects HTTP 200
+    code=$(curl -s -o "$tmp/admin.json" -w '%{http_code}' \
+        -X POST -d "$1" "http://127.0.0.1:$gp/admin/backends")
+    if [ "$code" != "200" ]; then
+        echo "FAIL: POST /admin/backends $1 -> HTTP $code" >&2
+        cat "$tmp/admin.json" >&2
+        exit 1
+    fi
+}
+
+echo "== booting replicas (:$p1 :$p2 fast, :$p3 injected-slow)"
+r1=$(start_replica "$p1"); pids="$pids $r1"
+r2=$(start_replica "$p2"); pids="$pids $r2"
+r3=$(start_slow_replica "$p3"); pids="$pids $r3"
+wait_healthy "$p1" replica1
+wait_healthy "$p2" replica2
+wait_healthy "$p3" replica3
+
+echo "== booting gateway on :$gp (250ms attempts, eager breaker)"
+"$gateway" --port "$gp" --backends "$backends" \
+    --health-interval 100 --request-timeout 250 \
+    --breaker-failures 3 --breaker-open-base 500 \
+    --breaker-open-max 4000 \
+    > "$tmp/gateway.log" 2>&1 &
+gw=$!
+pids="$pids $gw"
+wait_healthy "$gp" gateway
+
+echo "== deadline-carrying load; chaos drills run underneath"
+"$loadgen" --targets "127.0.0.1:$gp" --connections 4 \
+    --warmup 0.5 --duration 14 --distinct 24 \
+    --timeout 5000 --deadline 2000 \
+    --out "$tmp/report.json" > "$tmp/loadgen.log" 2>&1 &
+lg=$!
+pids="$pids $lg"
+
+# The slow replica times out live traffic: the breaker must open.
+i=0
+while :; do
+    opens=$(gateway_metric \
+        "^fosm_gateway_breaker_opens_total{backend=\"127.0.0.1:$p3\"}")
+    [ "$opens" -ge 1 ] && break
+    i=$((i + 1))
+    if [ "$i" -ge 80 ]; then
+        echo "FAIL: breaker never opened for :$p3" >&2
+        cat "$tmp/gateway.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "OK: breaker opened for the injected-slow replica ($opens)"
+
+echo "== draining :$p3 live, SIGKILL, clean restart, live re-join"
+admin "{\"remove\":[\"127.0.0.1:$p3\"]}"
+kill -9 "$r3"
+wait "$r3" 2>/dev/null || true
+r3=$(start_replica "$p3"); pids="$pids $r3"   # no faults this time
+wait_healthy "$p3" replica3-restarted
+admin "{\"add\":[\"127.0.0.1:$p3\"]}"
+
+echo "== SIGKILL replica 2 mid-load, then restart it"
+kill -9 "$r2"
+wait "$r2" 2>/dev/null || true
+sleep 2
+r2=$(start_replica "$p2"); pids="$pids $r2"
+wait_healthy "$p2" replica2-restarted
+
+if ! wait "$lg"; then
+    echo "FAIL: loadgen reported client-visible errors" >&2
+    cat "$tmp/loadgen.log" >&2
+    exit 1
+fi
+cat "$tmp/loadgen.log"
+
+# head -1: the aggregate counts (per-target rows repeat the keys).
+count() { # $1 = report key
+    grep -o "\"$1\":[0-9]*" "$tmp/report.json" \
+        | head -1 | cut -d: -f2
+}
+errors=$(count requests_error)
+rejected=$(count requests_503)
+expired=$(count requests_504)
+timeouts=$(count requests_timeout)
+if [ "$errors" != "0" ] || [ "$rejected" != "0" ] ||
+   [ "$expired" != "0" ] || [ "$timeouts" != "0" ]; then
+    echo "FAIL: client saw errors=$errors 503s=$rejected" \
+         "504s=$expired timeouts=$timeouts" >&2
+    exit 1
+fi
+echo "OK: zero client-visible errors across every drill"
+
+# Bounded tail: even requests homed on the slow/killed replicas must
+# fail over inside the 250ms attempt budget, far under this bound.
+p99=$(grep -o '"p99_us":[0-9.]*' "$tmp/report.json" \
+    | head -1 | cut -d: -f2 | cut -d. -f1)
+if [ "$p99" -ge 1500000 ]; then
+    echo "FAIL: p99 ${p99}us exceeds 1.5s" >&2
+    exit 1
+fi
+echo "OK: p99 bounded (${p99}us)"
+
+# Breaker observability: the re-joined replica reads closed again,
+# the deadline family is live, and both drills were counted.
+state=$(gateway_metric \
+    "^fosm_gateway_breaker_state{backend=\"127.0.0.1:$p3\"}")
+if [ "$state" != "0" ]; then
+    echo "FAIL: breaker for rejoined :$p3 reads $state" \
+         "(expected closed=0)" >&2
+    exit 1
+fi
+curl -fsS "http://127.0.0.1:$gp/metrics" > "$tmp/metrics.txt"
+if ! grep -q '^fosm_deadline_exceeded_total' "$tmp/metrics.txt"; then
+    echo "FAIL: fosm_deadline_exceeded_total missing" >&2
+    exit 1
+fi
+changes=$(gateway_metric "^fosm_gateway_membership_changes_total")
+if [ "$changes" -lt 2 ]; then
+    echo "FAIL: membership_changes=$changes (expected >= 2)" >&2
+    exit 1
+fi
+echo "OK: breaker closed after rejoin, deadline metrics live," \
+     "$changes membership changes"
+echo "chaos smoke: PASS"

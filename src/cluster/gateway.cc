@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <limits>
 #include <random>
 #include <thread>
 
@@ -43,7 +45,17 @@ millisLeft(Clock::time_point deadline)
         std::chrono::duration_cast<std::chrono::milliseconds>(
             deadline - Clock::now())
             .count();
-    return left > 0 ? static_cast<int>(left) : 0;
+    if (left <= 0)
+        return 0;
+    return static_cast<int>(std::min<long long>(
+        left, std::numeric_limits<int>::max()));
+}
+
+/** The first Retry-After value on a response, or empty. */
+const std::string &
+retryAfterOf(const server::ClientResponse &response)
+{
+    return response.header("retry-after");
 }
 
 /** Recursively sum numeric leaves of src into dst (by key path). */
@@ -83,15 +95,10 @@ isProxyPath(const std::string &path)
 
 Gateway::Gateway(GatewayConfig config,
                  server::MetricsRegistry *metrics)
-    : config_(std::move(config)), metrics_(metrics),
-      ring_(config_.vnodes)
+    : config_(std::move(config)), metrics_(metrics)
 {
     fosm_assert(!config_.backends.empty(),
                 "gateway needs at least one backend");
-    // Ring node index i == pool backend index i: both are built from
-    // config_.backends in order.
-    for (const auto &addr : config_.backends)
-        ring_.add(addr.label);
     pool_ = std::make_unique<BackendPool>(
         config_.backends, config_.upstream, metrics_);
 
@@ -105,6 +112,20 @@ Gateway::Gateway(GatewayConfig config,
         hedgeWins_ = &metrics_->counter(
             "fosm_gateway_hedge_wins_total",
             "Hedged duplicates that answered first");
+        deadlineExceeded_ = &metrics_->counter(
+            "fosm_deadline_exceeded_total",
+            "Requests answered 504 at the gateway because the "
+            "client's deadline budget ran out");
+        retryAfterHonored_ = &metrics_->counter(
+            "fosm_gateway_retry_after_honored_total",
+            "503 responses whose Retry-After deferred a backend");
+        breakerRejections_ = &metrics_->counter(
+            "fosm_gateway_breaker_rejections_total",
+            "Proxy attempts not sent because the target's breaker "
+            "was open");
+        membershipChanges_ = &metrics_->counter(
+            "fosm_gateway_membership_changes_total",
+            "Topology rebuilds from POST /admin/backends");
         upstreamLatency_ = &metrics_->histogram(
             "fosm_gateway_upstream_latency_seconds",
             "Latency of winning upstream exchanges");
@@ -114,16 +135,41 @@ Gateway::Gateway(GatewayConfig config,
             [this] {
                 return static_cast<double>(pool_->healthyCount());
             });
-        const std::vector<double> share = ring_.keyspaceShare();
+    }
+    rebuildTopology();
+}
+
+std::shared_ptr<const Topology>
+Gateway::topology() const
+{
+    std::lock_guard<std::mutex> lock(topologyMutex_);
+    return topology_;
+}
+
+void
+Gateway::rebuildTopology()
+{
+    auto topo = std::make_shared<Topology>(config_.vnodes);
+    // Ring node index i == topology backend index i: both are built
+    // from the same membership snapshot in order.
+    for (const auto &b : pool_->snapshot()) {
+        topo->ring.add(b->address().label);
+        topo->backends.push_back(b);
+    }
+    if (metrics_) {
+        const std::vector<double> share =
+            topo->ring.keyspaceShare();
         for (std::size_t i = 0; i < share.size(); ++i) {
             metrics_
                 ->gauge("fosm_gateway_ring_share_milli",
                         "Keyspace share per backend (x1000)",
-                        "backend=\"" + ring_.name(i) + "\"")
+                        "backend=\"" + topo->ring.name(i) + "\"")
                 .set(static_cast<std::int64_t>(share[i] * 1000.0 +
                                                0.5));
         }
     }
+    std::lock_guard<std::mutex> lock(topologyMutex_);
+    topology_ = std::move(topo);
 }
 
 Gateway::~Gateway()
@@ -151,6 +197,7 @@ Gateway::metricPaths() const
     paths.emplace_back("/healthz");
     paths.emplace_back("/metrics");
     paths.emplace_back("/v1/store/stats");
+    paths.emplace_back("/admin/backends");
     return paths;
 }
 
@@ -184,13 +231,19 @@ server::HttpResponse
 Gateway::exchangeWithHedge(Backend &primary, Backend *hedgeTarget,
                            const std::string &path,
                            const std::string &body,
+                           Clock::time_point deadline,
                            bool &transportOk)
 {
     transportOk = false;
     const auto start = Clock::now();
-    const auto deadline =
-        start + std::chrono::milliseconds(
-                    config_.upstream.requestTimeoutMs);
+    // Propagate the remaining budget so the replica can shed work
+    // this gateway has already given up on.
+    const auto wireFor = [&](const Backend &b) {
+        return server::serializeRequest(
+            "POST", path, b.address().label, body,
+            {{server::deadlineHeader,
+              std::to_string(millisLeft(deadline))}});
+    };
 
     UpstreamCall calls[2];
     bool refreshed[2] = {false, false};
@@ -200,14 +253,11 @@ Gateway::exchangeWithHedge(Backend &primary, Backend *hedgeTarget,
 
     if (primary.requests)
         primary.requests->inc();
-    if (!calls[0].start(primary,
-                        server::serializeRequest(
-                            "POST", path, primary.address().label,
-                            body),
+    if (!calls[0].start(primary, wireFor(primary),
                         config_.upstream.connectTimeoutMs)) {
         if (primary.errors)
             primary.errors->inc();
-        primary.noteFailure(config_.upstream.ejectAfter);
+        primary.noteProxyFailure(config_.upstream.ejectAfter);
         return server::HttpResponse(502);
     }
 
@@ -231,7 +281,7 @@ Gateway::exchangeWithHedge(Backend &primary, Backend *hedgeTarget,
             for (int i = 0; i < active; ++i)
                 if (owners[i] && owners[i]->errors)
                     owners[i]->errors->inc();
-            primary.noteFailure(config_.upstream.ejectAfter);
+            primary.noteProxyFailure(config_.upstream.ejectAfter);
             return server::HttpResponse(502);
         }
 
@@ -251,7 +301,29 @@ Gateway::exchangeWithHedge(Backend &primary, Backend *hedgeTarget,
                 case UpstreamCall::State::Done: {
                     // First complete response wins.
                     transportOk = true;
-                    owners[i]->noteSuccess();
+                    const server::ClientResponse &r =
+                        calls[i].response();
+                    const std::string &retryAfter =
+                        retryAfterOf(r);
+                    if (r.status < 500) {
+                        owners[i]->noteProxySuccess();
+                    } else if (r.status == 503 &&
+                               !retryAfter.empty()) {
+                        // The replica is alive and shedding with a
+                        // hint; honor it instead of punishing the
+                        // backend or retrying into the overload.
+                        owners[i]->deferFor(
+                            std::atoi(retryAfter.c_str()) * 1000);
+                        if (retryAfterHonored_)
+                            retryAfterHonored_->inc();
+                        if (owners[i]->errors)
+                            owners[i]->errors->inc();
+                    } else {
+                        owners[i]->noteProxyFailure(
+                            config_.upstream.ejectAfter);
+                        if (owners[i]->errors)
+                            owners[i]->errors->inc();
+                    }
                     if (upstreamLatency_)
                         upstreamLatency_->observe(
                             std::chrono::duration<double>(
@@ -259,14 +331,14 @@ Gateway::exchangeWithHedge(Backend &primary, Backend *hedgeTarget,
                                 .count());
                     if (i == 1 && hedgeWins_)
                         hedgeWins_->inc();
-                    const server::ClientResponse &r =
-                        calls[i].response();
                     server::HttpResponse out(r.status);
                     out.body = r.body;
                     const std::string &ct =
                         r.header("content-type");
                     if (!ct.empty())
                         out.setHeader("Content-Type", ct);
+                    if (!retryAfter.empty())
+                        out.setHeader("Retry-After", retryAfter);
                     out.setHeader("X-Fosm-Backend",
                                   owners[i]->address().label);
                     calls[i].finish();
@@ -284,10 +356,7 @@ Gateway::exchangeWithHedge(Backend &primary, Backend *hedgeTarget,
                         !refreshed[i]) {
                         refreshed[i] = true;
                         calls[i].start(
-                            *owners[i],
-                            server::serializeRequest(
-                                "POST", path,
-                                owners[i]->address().label, body),
+                            *owners[i], wireFor(*owners[i]),
                             config_.upstream.connectTimeoutMs,
                             /*forceFresh=*/true);
                     }
@@ -307,79 +376,169 @@ Gateway::exchangeWithHedge(Backend &primary, Backend *hedgeTarget,
                 if (owners[i] && owners[i]->errors)
                     owners[i]->errors->inc();
             }
-            primary.noteFailure(config_.upstream.ejectAfter);
+            primary.noteProxyFailure(config_.upstream.ejectAfter);
             return server::HttpResponse(504);
         }
         if (canHedge && now >= hedgeAt) {
             hedged = true;
-            active = 2;
-            if (hedges_)
-                hedges_->inc();
-            if (hedgeTarget->requests)
-                hedgeTarget->requests->inc();
-            calls[1].start(*hedgeTarget,
-                           server::serializeRequest(
-                               "POST", path,
-                               hedgeTarget->address().label, body),
-                           config_.upstream.connectTimeoutMs);
+            // A deferred or breaker-guarded backend does not get a
+            // speculative duplicate (allowRequest consumes the
+            // half-open trial only when we really send).
+            if (!hedgeTarget->deferred(now) &&
+                hedgeTarget->breaker().allowRequest(now)) {
+                active = 2;
+                if (hedges_)
+                    hedges_->inc();
+                if (hedgeTarget->requests)
+                    hedgeTarget->requests->inc();
+                calls[1].start(*hedgeTarget, wireFor(*hedgeTarget),
+                               config_.upstream.connectTimeoutMs);
+            }
         }
     }
 }
 
 server::HttpResponse
-Gateway::proxy(const std::string &path, const std::string &body)
+Gateway::proxy(const server::HttpRequest &request)
 {
+    const std::string path = request.path();
+    const std::string &body = request.body;
+
+    // Overall budget: the client's propagated deadline, or the
+    // configured synthetic default. Attempts are clipped to it, and
+    // a spent budget answers 504 immediately — wasted upstream work
+    // helps nobody.
+    const auto entry = Clock::now();
+    const bool hasOverall =
+        request.hasDeadline() || config_.defaultDeadlineMs > 0;
+    const Clock::time_point overall =
+        request.hasDeadline()
+            ? request.deadline
+            : entry + std::chrono::milliseconds(
+                          config_.defaultDeadlineMs);
+    if (hasOverall && entry >= overall) {
+        if (deadlineExceeded_)
+            deadlineExceeded_->inc();
+        return jsonError(504, "deadline exhausted before proxying");
+    }
+
+    // One topology snapshot per request: membership changes swap in
+    // a new Topology, but this request completes on the one it
+    // started with (the shared_ptrs keep draining backends alive).
+    const std::shared_ptr<const Topology> topo = topology();
+    if (topo->backends.empty())
+        return jsonError(503, "no backends in topology");
     const std::uint64_t digest = shardDigest(path, body);
     const std::vector<std::uint32_t> pref =
-        ring_.route(digest, pool_->size());
+        topo->ring.route(digest, topo->backends.size());
 
-    // Healthy backends first, in ring preference order; ejected ones
-    // only as a last resort (every backend may be flapping).
+    // Preference order within each tier: fully routable backends
+    // first, then deferred/breaker-open ones, ejected ones last
+    // (every backend may be flapping).
+    const auto rank = [&](const Backend &b) {
+        if (!b.healthy())
+            return 2;
+        if (b.deferred(entry) || !b.breaker().routable(entry))
+            return 1;
+        return 0;
+    };
     std::vector<std::uint32_t> order;
     order.reserve(pref.size());
-    for (std::uint32_t i : pref)
-        if (pool_->backend(i).healthy())
-            order.push_back(i);
-    for (std::uint32_t i : pref)
-        if (!pool_->backend(i).healthy())
-            order.push_back(i);
+    for (int tier = 0; tier <= 2; ++tier)
+        for (std::uint32_t i : pref)
+            if (rank(*topo->backends[i]) == tier)
+                order.push_back(i);
 
+    // The configured retry count is a floor, not a ceiling: while
+    // the overall deadline still has budget, transport-level
+    // failures keep cycling the preference ring rather than
+    // surfacing 502 with time left on the clock. Replica-generated
+    // 5xx (other than Retry-After failovers) still stop at the
+    // configured count — retrying those amplifies load on a backend
+    // that is answering, just badly. The hard cap only guards
+    // against a topology where every dial fails instantly.
     const int attempts = 1 + std::max(0, config_.retries);
+    const int maxAttempts =
+        hasOverall ? std::max(attempts, 32) : attempts;
     server::HttpResponse last5xx(0);
     bool have5xx = false;
+    bool skipBackoff = false;
 
-    for (int attempt = 0; attempt < attempts; ++attempt) {
-        Backend &target = pool_->backend(
-            order[static_cast<std::size_t>(attempt) %
-                  order.size()]);
+    for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+        if (attempt > 0) {
+            if (retries_)
+                retries_->inc();
+            // No backoff sleep when nothing was actually sent
+            // (breaker rejection) or the backend asked us to fail
+            // over (Retry-After) — the next backend is fine now.
+            if (!skipBackoff) {
+                const int backoff =
+                    (config_.retryBaseMs
+                     << std::min(attempt - 1, 8)) +
+                    jitterMs(config_.retryBaseMs);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff));
+            }
+            skipBackoff = false;
+        }
+        const auto now = Clock::now();
+        if (hasOverall && now >= overall) {
+            if (deadlineExceeded_)
+                deadlineExceeded_->inc();
+            return jsonError(504, "deadline exhausted during retry");
+        }
+
+        Backend &target =
+            *topo->backends[order[static_cast<std::size_t>(
+                                      attempt) %
+                                  order.size()]];
+        if (!target.breaker().allowRequest(now)) {
+            if (breakerRejections_)
+                breakerRejections_->inc();
+            skipBackoff = true;
+            continue;
+        }
         // The hedge goes to the next distinct backend in preference
         // order, if there is one.
         Backend *hedgeTarget = nullptr;
         if (order.size() > 1)
-            hedgeTarget = &pool_->backend(
-                order[(static_cast<std::size_t>(attempt) + 1) %
-                      order.size()]);
+            hedgeTarget =
+                topo->backends[order[(static_cast<std::size_t>(
+                                          attempt) +
+                                      1) %
+                                     order.size()]]
+                    .get();
 
-        if (attempt > 0) {
-            if (retries_)
-                retries_->inc();
-            const int backoff =
-                (config_.retryBaseMs << (attempt - 1)) +
-                jitterMs(config_.retryBaseMs);
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(backoff));
-        }
+        Clock::time_point attemptDeadline =
+            now + std::chrono::milliseconds(
+                      config_.upstream.requestTimeoutMs);
+        if (hasOverall && overall < attemptDeadline)
+            attemptDeadline = overall;
 
         bool transportOk = false;
-        server::HttpResponse response = exchangeWithHedge(
-            target, hedgeTarget, path, body, transportOk);
+        server::HttpResponse response =
+            exchangeWithHedge(target, hedgeTarget, path, body,
+                              attemptDeadline, transportOk);
         if (!transportOk)
             continue;
         if (response.status >= 500) {
-            if (target.errors)
-                target.errors->inc();
+            // A shedding replica's Retry-After already deferred it
+            // in exchangeWithHedge; fail over to the next ring
+            // replica without the backoff sleep.
+            if (response.status == 503) {
+                for (const auto &h : response.headers)
+                    if (h.first == "Retry-After") {
+                        skipBackoff = true;
+                        break;
+                    }
+            }
             last5xx = std::move(response);
             have5xx = true;
+            // Only transport failures and Retry-After failovers
+            // earn deadline-extended attempts; a replica answering
+            // plain 5xx gets the configured count and no more.
+            if (!skipBackoff && attempt + 1 >= attempts)
+                break;
             continue;
         }
         // 2xx–4xx pass through unchanged: a 400 is the client's
@@ -426,17 +585,19 @@ Gateway::blockingExchange(Backend &backend,
 server::HttpResponse
 Gateway::health() const
 {
+    const auto members = pool_->snapshot();
+    std::size_t healthy = 0;
+    json::Value detail = json::Value::object();
+    for (const auto &b : members) {
+        if (b->healthy())
+            ++healthy;
+        detail.set(b->address().label, b->healthy());
+    }
     json::Value body = json::Value::object();
-    const std::size_t healthy = pool_->healthyCount();
     body.set("status", healthy > 0 ? "ok" : "unavailable");
     body.set("backends",
-             static_cast<std::uint64_t>(pool_->size()));
+             static_cast<std::uint64_t>(members.size()));
     body.set("healthy", static_cast<std::uint64_t>(healthy));
-    json::Value detail = json::Value::object();
-    for (std::size_t i = 0; i < pool_->size(); ++i) {
-        const Backend &b = pool_->backend(i);
-        detail.set(b.address().label, b.healthy());
-    }
     body.set("backend_health", std::move(detail));
     return server::HttpResponse::json(healthy > 0 ? 200 : 503,
                                       body.dump());
@@ -449,8 +610,8 @@ Gateway::aggregateStoreStats()
     json::Value perBackend = json::Value::object();
     std::size_t reachable = 0;
 
-    for (std::size_t i = 0; i < pool_->size(); ++i) {
-        Backend &b = pool_->backend(i);
+    for (const auto &member : pool_->snapshot()) {
+        Backend &b = *member;
         server::ClientResponse r;
         json::Value stats;
         std::string error;
@@ -477,6 +638,109 @@ Gateway::aggregateStoreStats()
                                       body.dump());
 }
 
+server::HttpResponse
+Gateway::adminListBackends() const
+{
+    const auto now = Clock::now();
+    const auto members = pool_->snapshot();
+    const std::shared_ptr<const Topology> topo = topology();
+    json::Value list = json::Value::array();
+    for (const auto &b : members) {
+        json::Value entry = json::Value::object();
+        entry.set("backend", b->address().label);
+        entry.set("healthy", b->healthy());
+        entry.set("breaker",
+                  breakerStateName(b->breaker().state()));
+        entry.set("deferred", b->deferred(now));
+        list.push(std::move(entry));
+    }
+    json::Value body = json::Value::object();
+    body.set("backends", std::move(list));
+    body.set("topology_backends",
+             static_cast<std::uint64_t>(topo->backends.size()));
+    return server::HttpResponse::json(200, body.dump());
+}
+
+server::HttpResponse
+Gateway::adminChangeBackends(const std::string &body)
+{
+    json::Value v;
+    std::string error;
+    if (!json::parse(body, v, &error) || !v.isObject()) {
+        return jsonError(400,
+                         "body must be a JSON object: " + error);
+    }
+    for (const auto &member : v.members()) {
+        if (member.first != "add" && member.first != "remove") {
+            return jsonError(400, "unknown member '" +
+                                      member.first +
+                                      "' (valid: add, remove)");
+        }
+    }
+
+    // Validate fully before mutating anything, so a bad request
+    // leaves the membership untouched.
+    std::vector<BackendAddress> toAdd;
+    std::vector<std::string> toRemove;
+    if (const json::Value *add = v.find("add")) {
+        if (!add->isArray())
+            return jsonError(
+                400, "'add' must be an array of host:port strings");
+        for (const json::Value &item : add->items()) {
+            std::vector<BackendAddress> parsed;
+            if (!item.isString() ||
+                !parseBackendList(item.asString(), parsed, error) ||
+                parsed.size() != 1) {
+                return jsonError(400, "bad backend in 'add': " +
+                                          error);
+            }
+            toAdd.push_back(std::move(parsed[0]));
+        }
+    }
+    if (const json::Value *remove = v.find("remove")) {
+        if (!remove->isArray())
+            return jsonError(
+                400,
+                "'remove' must be an array of host:port labels");
+        for (const json::Value &item : remove->items()) {
+            if (!item.isString())
+                return jsonError(400,
+                                 "'remove' entries must be strings");
+            if (!pool_->find(item.asString()))
+                return jsonError(400, "unknown backend '" +
+                                          item.asString() + "'");
+            toRemove.push_back(item.asString());
+        }
+    }
+    if (toAdd.empty() && toRemove.empty())
+        return jsonError(400, "nothing to do: give add or remove");
+    // Refuse a change that would leave no backends at all.
+    std::size_t projected = pool_->size() + toAdd.size();
+    for (const std::string &label : toRemove) {
+        bool alsoAdded = false;
+        for (const auto &a : toAdd)
+            if (a.label == label)
+                alsoAdded = true;
+        if (!alsoAdded)
+            --projected;
+    }
+    if (projected == 0)
+        return jsonError(400,
+                         "refusing to remove the last backend");
+
+    for (const auto &addr : toAdd)
+        pool_->add(addr);
+    for (const std::string &label : toRemove)
+        pool_->remove(label);
+    rebuildTopology();
+    if (membershipChanges_)
+        membershipChanges_->inc();
+    fosm::inform("gateway: membership now ", pool_->size(),
+                 " backends (+", toAdd.size(), "/-",
+                 toRemove.size(), ")");
+    return adminListBackends();
+}
+
 server::HttpServer::Handler
 Gateway::handler()
 {
@@ -493,10 +757,17 @@ Gateway::handler()
         }
         if (request.method == "GET" && path == "/v1/store/stats")
             return aggregateStoreStats();
+        if (path == "/admin/backends") {
+            if (request.method == "GET")
+                return adminListBackends();
+            if (request.method == "POST")
+                return adminChangeBackends(request.body);
+            return jsonError(405, "use GET or POST");
+        }
         if (isProxyPath(path)) {
             if (request.method != "POST")
                 return jsonError(405, "use POST");
-            return proxy(path, request.body);
+            return proxy(request);
         }
         return jsonError(404, "unknown path: " + path);
     };

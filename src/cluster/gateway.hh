@@ -14,8 +14,10 @@
 #ifndef FOSM_CLUSTER_GATEWAY_HH
 #define FOSM_CLUSTER_GATEWAY_HH
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,28 @@ struct GatewayConfig
     int hedgeMaxMs = 50;
     /** Observations required before the quantile is trusted. */
     std::uint64_t hedgeMinSamples = 100;
+    /**
+     * Default whole-request deadline when the client sends no
+     * X-Fosm-Deadline-Ms; 0 disables the synthetic deadline (each
+     * attempt still has requestTimeoutMs).
+     */
+    int defaultDeadlineMs = 0;
+};
+
+/**
+ * One immutable routing topology: the hash ring plus the backend
+ * pointers its node indices refer to. Membership changes build a new
+ * Topology and atomically swap the shared_ptr (RCU-style); requests
+ * in flight keep using the snapshot they started with, and a drained
+ * Backend is destroyed when the last such request drops its
+ * reference.
+ */
+struct Topology
+{
+    HashRing ring;
+    std::vector<std::shared_ptr<Backend>> backends;
+
+    explicit Topology(std::size_t vnodes) : ring(vnodes) {}
 };
 
 /**
@@ -84,17 +108,31 @@ class Gateway
                               const std::string &body) const;
 
     BackendPool &pool() { return *pool_; }
-    const HashRing &ring() const { return ring_; }
+    /** The current topology's ring (a stable snapshot copy). */
+    HashRing ring() const { return topology()->ring; }
+    /** The current routing topology snapshot. */
+    std::shared_ptr<const Topology> topology() const;
+
+    /**
+     * Live membership change: join every address in add, drain every
+     * label in remove, then publish a rebuilt topology. In-flight
+     * requests complete on the snapshot they hold. Returns the new
+     * membership summary (the GET /admin/backends body).
+     */
+    server::HttpResponse
+    adminChangeBackends(const std::string &body);
+    /** Membership + health + breaker state, as JSON. */
+    server::HttpResponse adminListBackends() const;
 
   private:
-    server::HttpResponse proxy(const std::string &path,
-                               const std::string &body);
-    /** One attempt with optional hedge; -1 = transport failure. */
-    server::HttpResponse exchangeWithHedge(Backend &primary,
-                                           Backend *hedgeTarget,
-                                           const std::string &path,
-                                           const std::string &body,
-                                           bool &transportOk);
+    using Clock = std::chrono::steady_clock;
+
+    server::HttpResponse proxy(const server::HttpRequest &request);
+    /** One attempt (with optional hedge) bounded by deadline. */
+    server::HttpResponse exchangeWithHedge(
+        Backend &primary, Backend *hedgeTarget,
+        const std::string &path, const std::string &body,
+        Clock::time_point deadline, bool &transportOk);
     /** Current hedge trigger delay in milliseconds. */
     int hedgeDelayMs() const;
     bool blockingExchange(Backend &backend,
@@ -104,15 +142,23 @@ class Gateway
                           server::ClientResponse &out);
     server::HttpResponse health() const;
     server::HttpResponse aggregateStoreStats();
+    /** Rebuild + publish the topology from the pool membership. */
+    void rebuildTopology();
 
     GatewayConfig config_;
     server::MetricsRegistry *metrics_;
-    HashRing ring_;
     std::unique_ptr<BackendPool> pool_;
+
+    mutable std::mutex topologyMutex_;
+    std::shared_ptr<const Topology> topology_;
 
     server::Counter *retries_ = nullptr;
     server::Counter *hedges_ = nullptr;
     server::Counter *hedgeWins_ = nullptr;
+    server::Counter *deadlineExceeded_ = nullptr;
+    server::Counter *retryAfterHonored_ = nullptr;
+    server::Counter *breakerRejections_ = nullptr;
+    server::Counter *membershipChanges_ = nullptr;
     server::Histogram *upstreamLatency_ = nullptr;
 };
 

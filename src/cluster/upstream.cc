@@ -1,5 +1,6 @@
 #include "cluster/upstream.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -12,6 +13,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/fault_injector.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace fosm::cluster {
@@ -38,6 +41,12 @@ millisLeft(Clock::time_point deadline)
 int
 dialNonBlocking(const BackendAddress &address, int timeoutMs)
 {
+    if (FaultInjector::active()) {
+        const FaultAction fault = faultAt("upstream.connect");
+        faultSleep(fault);
+        if (fault.kind == FaultKind::Error)
+            return -1;
+    }
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
         return -1;
@@ -80,6 +89,12 @@ dialNonBlocking(const BackendAddress &address, int timeoutMs)
 bool
 sendAll(int fd, const std::string &data)
 {
+    if (FaultInjector::active()) {
+        const FaultAction fault = faultAt("upstream.send");
+        faultSleep(fault);
+        if (fault.kind == FaultKind::Error)
+            return false;
+    }
     std::size_t off = 0;
     while (off < data.size()) {
         const ssize_t n = ::send(fd, data.data() + off,
@@ -141,9 +156,167 @@ parseBackendList(const std::string &list,
     return true;
 }
 
+const char *
+breakerStateName(BreakerState state)
+{
+    switch (state) {
+    case BreakerState::Closed:
+        return "closed";
+    case BreakerState::Open:
+        return "open";
+    case BreakerState::HalfOpen:
+        return "half-open";
+    }
+    return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const UpstreamConfig &config,
+                               std::uint64_t seed)
+    : failures_(std::max(1, config.breakerFailures)),
+      minSamples_(std::max(1, config.breakerMinSamples)),
+      errorRate_(config.breakerErrorRate),
+      windowMs_(std::max(1, config.breakerWindowMs)),
+      openBaseMs_(std::max(1, config.breakerOpenBaseMs)),
+      openMaxMs_(std::max(config.breakerOpenBaseMs,
+                          config.breakerOpenMaxMs)),
+      openMs_(openBaseMs_)
+{
+    rng_.seed(static_cast<unsigned>(seed | 1u));
+}
+
+void
+CircuitBreaker::bindMetrics(server::Gauge *stateGauge,
+                            server::Counter *opens,
+                            server::Counter *closes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stateGauge_ = stateGauge;
+    opens_ = opens;
+    closes_ = closes;
+    if (stateGauge_)
+        stateGauge_->set(static_cast<std::int64_t>(state_));
+}
+
+BreakerState
+CircuitBreaker::state() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+}
+
+bool
+CircuitBreaker::routable(Clock::time_point now) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_ != BreakerState::Open || now >= reopenAt_;
+}
+
+bool
+CircuitBreaker::allowRequest(Clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (state_) {
+    case BreakerState::Closed:
+        return true;
+    case BreakerState::Open:
+        if (now < reopenAt_)
+            return false;
+        setStateLocked(BreakerState::HalfOpen);
+        trialStart_ = now;
+        return true;
+    case BreakerState::HalfOpen:
+        // One trial at a time — unless it was abandoned (a hedge
+        // loser records no outcome) long enough ago that waiting
+        // would wedge the breaker half-open forever.
+        if (now < trialStart_ + std::chrono::milliseconds(openMs_))
+            return false;
+        trialStart_ = now;
+        return true;
+    }
+    return true;
+}
+
+void
+CircuitBreaker::onSuccess()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    streak_ = 0;
+    ++windowTotal_;
+    if (state_ == BreakerState::HalfOpen) {
+        // Trial succeeded: the backend is back.
+        setStateLocked(BreakerState::Closed);
+        openMs_ = openBaseMs_;
+        windowTotal_ = 0;
+        windowFailures_ = 0;
+        if (closes_)
+            closes_->inc();
+    }
+}
+
+void
+CircuitBreaker::onFailure(Clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == BreakerState::Open)
+        return; // already open; nothing new to learn
+    if (state_ == BreakerState::HalfOpen) {
+        // Trial failed: back off harder.
+        openMs_ = std::min(openMs_ * 2, openMaxMs_);
+        openLocked(now);
+        return;
+    }
+    ++streak_;
+    if (windowStart_ == Clock::time_point{} ||
+        now - windowStart_ > std::chrono::milliseconds(windowMs_)) {
+        windowStart_ = now;
+        windowTotal_ = 0;
+        windowFailures_ = 0;
+    }
+    ++windowTotal_;
+    ++windowFailures_;
+    const bool streakTrips = streak_ >= failures_;
+    const bool rateTrips =
+        windowTotal_ >= minSamples_ &&
+        static_cast<double>(windowFailures_) >=
+            errorRate_ * static_cast<double>(windowTotal_);
+    if (streakTrips || rateTrips)
+        openLocked(now);
+}
+
+void
+CircuitBreaker::openLocked(Clock::time_point now)
+{
+    // Jitter the reinstatement (0.75x..1.25x) so breakers across a
+    // fleet that opened together do not retry in lockstep.
+    const double unit =
+        static_cast<double>(rng_() - decltype(rng_)::min()) /
+        static_cast<double>(decltype(rng_)::max() -
+                            decltype(rng_)::min());
+    const int wait = std::max(
+        1, static_cast<int>(openMs_ * (0.75 + 0.5 * unit)));
+    reopenAt_ = now + std::chrono::milliseconds(wait);
+    setStateLocked(BreakerState::Open);
+    streak_ = 0;
+    windowTotal_ = 0;
+    windowFailures_ = 0;
+    windowStart_ = Clock::time_point{};
+    if (opens_)
+        opens_->inc();
+}
+
+void
+CircuitBreaker::setStateLocked(BreakerState state)
+{
+    state_ = state;
+    if (stateGauge_)
+        stateGauge_->set(static_cast<std::int64_t>(state));
+}
+
 Backend::Backend(BackendAddress address,
+                 const UpstreamConfig &config,
                  server::MetricsRegistry *metrics)
-    : address_(std::move(address))
+    : address_(std::move(address)),
+      breaker_(config, fnv1a64(address_.label))
 {
     if (!metrics)
         return;
@@ -160,6 +333,20 @@ Backend::Backend(BackendAddress address,
     reinstatements_ = &metrics->counter(
         "fosm_gateway_backend_reinstatements_total",
         "Health reinstatements per backend", label);
+    // find-or-create: re-adding a drained backend reuses the same
+    // metric objects, so counters survive membership churn.
+    breaker_.bindMetrics(
+        &metrics->gauge("fosm_gateway_breaker_state",
+                        "Circuit breaker state per backend "
+                        "(0=closed, 1=open, 2=half-open)",
+                        label),
+        &metrics->counter("fosm_gateway_breaker_opens_total",
+                          "Breaker open transitions per backend",
+                          label),
+        &metrics->counter("fosm_gateway_breaker_closes_total",
+                          "Breaker half-open-to-closed transitions "
+                          "per backend",
+                          label));
 }
 
 Backend::~Backend()
@@ -185,17 +372,11 @@ void
 Backend::checkinConn(int fd)
 {
     std::lock_guard<std::mutex> lock(poolMutex_);
-    if (idle_.size() >= 16) {
+    if (draining_.load() || idle_.size() >= 16) {
         ::close(fd);
         return;
     }
     idle_.push_back(fd);
-}
-
-void
-Backend::noteSuccess()
-{
-    failures_.store(0);
 }
 
 void
@@ -223,11 +404,58 @@ Backend::noteProbeSuccess()
 }
 
 void
+Backend::noteProbeFailure(int ejectAfter)
+{
+    noteFailure(ejectAfter);
+}
+
+void
+Backend::noteProxySuccess()
+{
+    failures_.store(0);
+    breaker_.onSuccess();
+}
+
+void
+Backend::noteProxyFailure(int ejectAfter)
+{
+    noteFailure(ejectAfter);
+    breaker_.onFailure(Clock::now());
+}
+
+void
 Backend::setHealthy(bool healthy)
 {
     healthy_.store(healthy);
     if (healthy)
         failures_.store(0);
+}
+
+void
+Backend::deferFor(int ms)
+{
+    const auto until =
+        Clock::now() + std::chrono::milliseconds(std::max(0, ms));
+    deferUntilNs_.store(
+        until.time_since_epoch().count(),
+        std::memory_order_relaxed);
+}
+
+bool
+Backend::deferred(Clock::time_point now) const
+{
+    return now.time_since_epoch().count() <
+           deferUntilNs_.load(std::memory_order_relaxed);
+}
+
+void
+Backend::drain()
+{
+    draining_.store(true);
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    for (int fd : idle_)
+        ::close(fd);
+    idle_.clear();
 }
 
 bool
@@ -265,6 +493,14 @@ UpstreamCall::onReadable()
 {
     if (state_ != State::Receiving)
         return state_;
+    if (FaultInjector::active()) {
+        const FaultAction fault = faultAt("upstream.recv");
+        faultSleep(fault);
+        if (fault.kind == FaultKind::Error) {
+            state_ = State::Failed;
+            return state_;
+        }
+    }
     char buf[16 * 1024];
     for (;;) {
         const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
@@ -325,12 +561,12 @@ UpstreamCall::abandon()
 BackendPool::BackendPool(std::vector<BackendAddress> addresses,
                          UpstreamConfig config,
                          server::MetricsRegistry *metrics)
-    : config_(config)
+    : config_(config), metrics_(metrics)
 {
     backends_.reserve(addresses.size());
     for (auto &addr : addresses)
-        backends_.push_back(
-            std::make_unique<Backend>(std::move(addr), metrics));
+        backends_.push_back(std::make_shared<Backend>(
+            std::move(addr), config_, metrics_));
 }
 
 BackendPool::~BackendPool()
@@ -338,9 +574,84 @@ BackendPool::~BackendPool()
     stop();
 }
 
+std::vector<std::shared_ptr<Backend>>
+BackendPool::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(membershipMutex_);
+    return backends_;
+}
+
+std::shared_ptr<Backend>
+BackendPool::find(const std::string &label) const
+{
+    std::lock_guard<std::mutex> lock(membershipMutex_);
+    for (const auto &b : backends_)
+        if (b->address().label == label)
+            return b;
+    return nullptr;
+}
+
+std::shared_ptr<Backend>
+BackendPool::add(const BackendAddress &address)
+{
+    if (std::shared_ptr<Backend> existing = find(address.label))
+        return existing;
+    auto backend =
+        std::make_shared<Backend>(address, config_, metrics_);
+    // Probe before the backend becomes routable so a dead address
+    // joins ejected instead of eating its first ejectAfter requests.
+    if (started_.load())
+        backend->setHealthy(probe(*backend));
+    std::lock_guard<std::mutex> lock(membershipMutex_);
+    for (const auto &b : backends_)
+        if (b->address().label == address.label)
+            return b;
+    backends_.push_back(backend);
+    fosm::inform("gateway: added backend ", address.label,
+                 backend->healthy() ? " (healthy)" : " (unhealthy)");
+    return backend;
+}
+
+bool
+BackendPool::remove(const std::string &label)
+{
+    std::shared_ptr<Backend> victim;
+    {
+        std::lock_guard<std::mutex> lock(membershipMutex_);
+        for (auto it = backends_.begin(); it != backends_.end();
+             ++it) {
+            if ((*it)->address().label == label) {
+                victim = *it;
+                backends_.erase(it);
+                break;
+            }
+        }
+    }
+    if (!victim)
+        return false;
+    victim->drain();
+    fosm::inform("gateway: draining backend ", label);
+    return true;
+}
+
+std::size_t
+BackendPool::size() const
+{
+    std::lock_guard<std::mutex> lock(membershipMutex_);
+    return backends_.size();
+}
+
+Backend &
+BackendPool::backend(std::size_t i)
+{
+    std::lock_guard<std::mutex> lock(membershipMutex_);
+    return *backends_[i];
+}
+
 std::size_t
 BackendPool::healthyCount() const
 {
+    std::lock_guard<std::mutex> lock(membershipMutex_);
     std::size_t n = 0;
     for (const auto &b : backends_)
         if (b->healthy())
@@ -379,11 +690,10 @@ BackendPool::probe(Backend &backend)
 void
 BackendPool::start()
 {
-    if (started_)
+    if (started_.exchange(true))
         return;
-    started_ = true;
     // One synchronous round so routing starts with accurate health.
-    for (auto &b : backends_)
+    for (const auto &b : snapshot())
         b->setHealthy(probe(*b));
     prober_ = std::thread([this] { proberMain(); });
 }
@@ -405,12 +715,15 @@ BackendPool::stop()
 void
 BackendPool::proberMain()
 {
-    // Per-backend next-probe schedule; unhealthy backends back off
-    // exponentially so a dead replica is not hammered.
-    std::vector<Clock::time_point> next(backends_.size(),
-                                        Clock::now());
-    std::vector<int> backoffMs(backends_.size(),
-                               config_.healthIntervalMs);
+    // Per-backend next-probe schedule keyed by label (membership
+    // changes under us); unhealthy backends back off exponentially
+    // so a dead replica is not hammered.
+    struct Schedule
+    {
+        Clock::time_point next{};
+        int backoffMs = 0;
+    };
+    std::map<std::string, Schedule> schedule;
 
     for (;;) {
         {
@@ -423,23 +736,37 @@ BackendPool::proberMain()
             if (stopping_)
                 return;
         }
+        const auto members = snapshot();
         const auto now = Clock::now();
-        for (std::size_t i = 0; i < backends_.size(); ++i) {
-            if (now < next[i])
+        for (const auto &b : members) {
+            Schedule &s = schedule[b->address().label];
+            if (s.backoffMs == 0)
+                s.backoffMs = config_.healthIntervalMs;
+            if (now < s.next)
                 continue;
-            Backend &b = *backends_[i];
-            if (probe(b)) {
-                b.noteProbeSuccess();
-                backoffMs[i] = config_.healthIntervalMs;
+            if (probe(*b)) {
+                b->noteProbeSuccess();
+                s.backoffMs = config_.healthIntervalMs;
             } else {
-                b.noteFailure(config_.ejectAfter);
-                if (!b.healthy())
-                    backoffMs[i] =
-                        std::min(backoffMs[i] * 2,
+                b->noteProbeFailure(config_.ejectAfter);
+                if (!b->healthy())
+                    s.backoffMs =
+                        std::min(s.backoffMs * 2,
                                  config_.maxProbeBackoffMs);
             }
-            next[i] = Clock::now() +
-                      std::chrono::milliseconds(backoffMs[i]);
+            s.next = Clock::now() +
+                     std::chrono::milliseconds(s.backoffMs);
+        }
+        // Forget schedules for departed members so the map does not
+        // grow without bound across membership churn.
+        for (auto it = schedule.begin(); it != schedule.end();) {
+            bool present = false;
+            for (const auto &b : members)
+                if (b->address().label == it->first) {
+                    present = true;
+                    break;
+                }
+            it = present ? std::next(it) : schedule.erase(it);
         }
     }
 }

@@ -14,10 +14,13 @@
 #define FOSM_CLUSTER_UPSTREAM_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -60,6 +63,101 @@ struct UpstreamConfig
     int maxProbeBackoffMs = 8000;
     /** Consecutive failures (probe or proxy) that eject. */
     int ejectAfter = 2;
+
+    // Circuit breaker (live-traffic outcomes only — probes keep
+    // their own ejection path, because a backend can accept
+    // connections and answer /healthz while timing out real work).
+    /** Consecutive proxy failures that open the breaker. */
+    int breakerFailures = 5;
+    /** Minimum window samples before the error rate can trip. */
+    int breakerMinSamples = 20;
+    /** Window error fraction that opens the breaker. */
+    double breakerErrorRate = 0.5;
+    /** Sliding error-rate window length. */
+    int breakerWindowMs = 10000;
+    /** First open duration; doubles per consecutive reopen. */
+    int breakerOpenBaseMs = 1000;
+    /** Open-duration cap. */
+    int breakerOpenMaxMs = 30000;
+};
+
+/** Circuit breaker states (gauge values on /metrics). */
+enum class BreakerState
+{
+    Closed = 0,  ///< normal traffic
+    Open = 1,    ///< no traffic until reopenAt
+    HalfOpen = 2 ///< one trial request in flight
+};
+
+/** A state's metric/display name. */
+const char *breakerStateName(BreakerState state);
+
+/**
+ * Per-backend circuit breaker driven by live proxy outcomes. Opens
+ * on a consecutive-failure streak or a windowed error rate, stays
+ * open for a jittered exponentially-growing interval, then admits a
+ * single half-open trial whose outcome closes or re-opens it. All
+ * methods are thread-safe.
+ */
+class CircuitBreaker
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    CircuitBreaker(const UpstreamConfig &config, std::uint64_t seed);
+
+    /** Attach /metrics objects (optional; set once at startup). */
+    void bindMetrics(server::Gauge *stateGauge,
+                     server::Counter *opens,
+                     server::Counter *closes);
+
+    BreakerState state() const;
+
+    /**
+     * Whether the routing order should consider this backend at all:
+     * true unless Open with reinstatement time still in the future.
+     * An Open breaker whose backoff has elapsed IS routable — that is
+     * how the half-open trial gets scheduled.
+     */
+    bool routable(Clock::time_point now) const;
+
+    /**
+     * Admission check immediately before an exchange. Closed admits;
+     * Open transitions to HalfOpen and admits exactly one trial once
+     * the backoff elapsed; HalfOpen admits nothing while the trial is
+     * in flight (with a timeout so an abandoned trial cannot wedge
+     * the breaker half-open forever).
+     */
+    bool allowRequest(Clock::time_point now);
+
+    /** Record a live-traffic outcome. */
+    void onSuccess();
+    void onFailure(Clock::time_point now);
+
+  private:
+    void openLocked(Clock::time_point now);
+    void setStateLocked(BreakerState state);
+
+    const int failures_;
+    const int minSamples_;
+    const double errorRate_;
+    const int windowMs_;
+    const int openBaseMs_;
+    const int openMaxMs_;
+
+    mutable std::mutex mutex_;
+    BreakerState state_ = BreakerState::Closed;
+    int streak_ = 0;            ///< consecutive failures
+    int windowTotal_ = 0;       ///< outcomes in the current window
+    int windowFailures_ = 0;    ///< failures in the current window
+    Clock::time_point windowStart_{};
+    Clock::time_point reopenAt_{};   ///< when Open admits a trial
+    Clock::time_point trialStart_{}; ///< HalfOpen trial admission
+    int openMs_ = 0;                 ///< current (undoubled) backoff
+    std::minstd_rand rng_;           ///< reopen jitter
+    server::Gauge *stateGauge_ = nullptr;
+    server::Counter *opens_ = nullptr;
+    server::Counter *closes_ = nullptr;
 };
 
 /**
@@ -70,7 +168,9 @@ struct UpstreamConfig
 class Backend
 {
   public:
-    Backend(BackendAddress address,
+    using Clock = std::chrono::steady_clock;
+
+    Backend(BackendAddress address, const UpstreamConfig &config,
             server::MetricsRegistry *metrics);
     ~Backend();
 
@@ -86,30 +186,56 @@ class Backend
     /** Return a reusable keep-alive connection to the pool. */
     void checkinConn(int fd);
 
-    /** Reset the failure streak (any successful exchange). */
-    void noteSuccess();
-    /**
-     * Count one failure; ejects (healthy -> false) when the streak
-     * reaches ejectAfter. Used by both proxy attempts and probes.
-     */
-    void noteFailure(int ejectAfter);
-    /** Probe success: reinstate if ejected. */
+    /** Probe success: reset streak, reinstate if ejected. */
     void noteProbeSuccess();
+    /**
+     * Probe failure: count toward the ejection streak (healthy ->
+     * false at ejectAfter). Probes never touch the breaker.
+     */
+    void noteProbeFailure(int ejectAfter);
+    /** Live-traffic success: streak reset + breaker success. */
+    void noteProxySuccess();
+    /** Live-traffic failure: ejection streak + breaker failure. */
+    void noteProxyFailure(int ejectAfter);
     /** Force the health bit (initial synchronous probe round). */
     void setHealthy(bool healthy);
+
+    CircuitBreaker &breaker() { return breaker_; }
+    const CircuitBreaker &breaker() const { return breaker_; }
+
+    /**
+     * Honor an upstream Retry-After: keep proxy traffic off this
+     * backend until the moment passes (no breaker/ejection penalty —
+     * the backend is alive, just shedding).
+     */
+    void deferFor(int ms);
+    bool deferred(Clock::time_point now) const;
+
+    /**
+     * Begin graceful removal: the backend leaves new routing
+     * topologies and its idle connections close now; in-flight
+     * requests holding a shared_ptr complete normally.
+     */
+    void drain();
+    bool draining() const { return draining_.load(); }
 
     // Hot-path metric objects; null when metrics are disabled.
     server::Counter *requests = nullptr;
     server::Counter *errors = nullptr;
 
   private:
+    void noteFailure(int ejectAfter);
+
     BackendAddress address_;
     std::atomic<bool> healthy_{true};
+    std::atomic<bool> draining_{false};
     std::atomic<int> failures_{0};
+    std::atomic<std::int64_t> deferUntilNs_{0};
     std::mutex poolMutex_;
     std::vector<int> idle_;
     server::Counter *ejections_ = nullptr;
     server::Counter *reinstatements_ = nullptr;
+    CircuitBreaker breaker_;
 };
 
 /**
@@ -177,11 +303,15 @@ class UpstreamCall
 };
 
 /**
- * The backend set plus its active health checker. start() runs one
- * synchronous probe round (so routing starts with accurate health)
- * and then probes in a background thread: healthy backends every
- * healthIntervalMs, ejected ones on an exponential backoff capped at
- * maxProbeBackoffMs, reinstating on the first successful probe.
+ * The live backend set plus its active health checker. Membership is
+ * dynamic: add() joins a replica (probing it synchronously first so
+ * it starts with accurate health) and remove() drains one without
+ * disturbing in-flight requests — callers hold shared_ptrs, so a
+ * drained Backend dies when its last request completes. start() runs
+ * one synchronous probe round and then probes in a background
+ * thread: healthy backends every healthIntervalMs, ejected ones on
+ * an exponential backoff capped at maxProbeBackoffMs, reinstating on
+ * the first successful probe.
  */
 class BackendPool
 {
@@ -197,12 +327,30 @@ class BackendPool
     void start();
     void stop();
 
-    std::size_t size() const { return backends_.size(); }
-    Backend &backend(std::size_t i) { return *backends_[i]; }
-    const Backend &backend(std::size_t i) const
-    {
-        return *backends_[i];
-    }
+    /** The current membership (a stable point-in-time copy). */
+    std::vector<std::shared_ptr<Backend>> snapshot() const;
+
+    /** Member with this "host:port" label, or null. */
+    std::shared_ptr<Backend> find(const std::string &label) const;
+
+    /**
+     * Join a replica. Returns the new (or existing — add is
+     * idempotent) member. When the pool is already started the new
+     * backend is probed synchronously so it joins with accurate
+     * health.
+     */
+    std::shared_ptr<Backend> add(const BackendAddress &address);
+
+    /**
+     * Begin draining the member with this label; it leaves the
+     * membership immediately (no new routing) and closes idle
+     * connections. Returns false if no such member.
+     */
+    bool remove(const std::string &label);
+
+    std::size_t size() const;
+    /** Member i of the current membership (test convenience). */
+    Backend &backend(std::size_t i);
     std::size_t healthyCount() const;
 
     const UpstreamConfig &config() const { return config_; }
@@ -214,12 +362,14 @@ class BackendPool
     void proberMain();
 
     UpstreamConfig config_;
-    std::vector<std::unique_ptr<Backend>> backends_;
+    server::MetricsRegistry *metrics_;
+    mutable std::mutex membershipMutex_;
+    std::vector<std::shared_ptr<Backend>> backends_;
     std::thread prober_;
     std::mutex stopMutex_;
     std::condition_variable stopCv_;
     bool stopping_ = false;
-    bool started_ = false;
+    std::atomic<bool> started_{false};
 };
 
 } // namespace fosm::cluster

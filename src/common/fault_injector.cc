@@ -1,0 +1,206 @@
+#include "common/fault_injector.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace fosm {
+
+std::atomic<bool> FaultInjector::active_{false};
+
+namespace {
+
+bool
+parseKind(const std::string &word, FaultKind &kind)
+{
+    if (word == "delay")
+        kind = FaultKind::Delay;
+    else if (word == "stall")
+        kind = FaultKind::Stall;
+    else if (word == "error")
+        kind = FaultKind::Error;
+    else if (word == "short")
+        kind = FaultKind::ShortWrite;
+    else
+        return false;
+    return true;
+}
+
+int
+defaultDelayMs(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::Delay:
+        return 50;
+    case FaultKind::Stall:
+        return 2000;
+    default:
+        return 0;
+    }
+}
+
+} // namespace
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    static std::once_flag fromEnv;
+    std::call_once(fromEnv, [] {
+        const char *spec = std::getenv("FOSM_FAULTS");
+        if (!spec || !*spec)
+            return;
+        std::uint64_t seed = 1;
+        if (const char *s = std::getenv("FOSM_FAULT_SEED"))
+            seed = std::strtoull(s, nullptr, 10);
+        std::string error;
+        if (!injector.configure(spec, seed, error))
+            fosm_fatal("FOSM_FAULTS: ", error);
+        fosm::inform("fault injection armed: ", spec,
+                     " (seed ", seed, ")");
+    });
+    return injector;
+}
+
+bool
+FaultInjector::configure(const std::string &spec, std::uint64_t seed,
+                         std::string &error)
+{
+    std::map<std::string, Rule> rules;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            error = "rule '" + item + "' is not point=kind:prob[:ms]";
+            return false;
+        }
+        const std::string point = item.substr(0, eq);
+        const std::string rhs = item.substr(eq + 1);
+        const std::size_t c1 = rhs.find(':');
+        if (c1 == std::string::npos || c1 + 1 >= rhs.size()) {
+            error = "rule '" + item + "' is missing a probability";
+            return false;
+        }
+        Rule rule;
+        if (!parseKind(rhs.substr(0, c1), rule.kind)) {
+            error = "unknown fault kind '" + rhs.substr(0, c1) +
+                    "' (valid: delay, stall, error, short)";
+            return false;
+        }
+        const std::size_t c2 = rhs.find(':', c1 + 1);
+        char *end = nullptr;
+        const std::string probStr =
+            rhs.substr(c1 + 1, c2 == std::string::npos
+                                   ? std::string::npos
+                                   : c2 - c1 - 1);
+        rule.probability = std::strtod(probStr.c_str(), &end);
+        if (end == probStr.c_str() || *end != '\0' ||
+            rule.probability < 0.0 || rule.probability > 1.0) {
+            error = "probability '" + probStr +
+                    "' must be a number in [0, 1]";
+            return false;
+        }
+        rule.delayMs = defaultDelayMs(rule.kind);
+        if (c2 != std::string::npos) {
+            const std::string msStr = rhs.substr(c2 + 1);
+            const long ms = std::strtol(msStr.c_str(), &end, 10);
+            if (end == msStr.c_str() || *end != '\0' || ms < 0 ||
+                ms > 600000) {
+                error = "millis '" + msStr +
+                        "' must be an integer in [0, 600000]";
+                return false;
+            }
+            rule.delayMs = static_cast<int>(ms);
+        }
+        // Per-point stream: the same seed replays the same decision
+        // sequence at this point no matter what other points do.
+        // Fold into minstd's valid seed range [1, 2^31-2]; masking
+        // the low bit instead would alias adjacent seeds.
+        rule.rng.seed(static_cast<unsigned>(
+            (seed ^ fnv1a64(point)) % 2147483646ull + 1ull));
+        rules[point] = std::move(rule);
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    rules_ = std::move(rules);
+    active_.store(!rules_.empty(), std::memory_order_relaxed);
+    return true;
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rules_.clear();
+    active_.store(false, std::memory_order_relaxed);
+}
+
+FaultAction
+FaultInjector::sample(const std::string &point)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = rules_.find(point);
+    if (it == rules_.end())
+        return {};
+    Rule &rule = it->second;
+    const double roll =
+        static_cast<double>(rule.rng() - rule.rng.min()) /
+        static_cast<double>(rule.rng.max() - rule.rng.min());
+    if (roll >= rule.probability)
+        return {};
+    ++rule.hits;
+    return {rule.kind, rule.delayMs};
+}
+
+std::uint64_t
+FaultInjector::injected(const std::string &point) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = rules_.find(point);
+    return it == rules_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t
+FaultInjector::injectedTotal() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto &entry : rules_)
+        total += entry.second.hits;
+    return total;
+}
+
+std::vector<std::string>
+FaultInjector::armedPoints() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> points;
+    points.reserve(rules_.size());
+    for (const auto &entry : rules_)
+        points.push_back(entry.first);
+    return points;
+}
+
+void
+faultSleep(const FaultAction &action)
+{
+    if ((action.kind == FaultKind::Delay ||
+         action.kind == FaultKind::Stall) &&
+        action.delayMs > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(action.delayMs));
+    }
+}
+
+} // namespace fosm

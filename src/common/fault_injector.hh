@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Deterministic fault injection for resilience drills. Production
+ * code marks hook points by name ("store.write", "upstream.recv",
+ * "serve.handler", ...); a process-wide injector — configured from
+ * the FOSM_FAULTS environment variable or programmatically by tests
+ * — decides per hook whether to inject a fault and which kind:
+ *
+ *   delay  sleep N milliseconds, then proceed normally
+ *   stall  like delay but meant to exceed peer timeouts (a socket
+ *          that accepts and then hangs, a disk that takes seconds)
+ *   error  fail the operation (EIO-style) without touching state
+ *   short  perform only a prefix of a write, then fail — the torn
+ *          record a crash mid-write leaves behind
+ *
+ * The spec grammar is a comma-separated rule list:
+ *
+ *   FOSM_FAULTS="store.write=short:0.05,upstream.recv=stall:0.1:800"
+ *   FOSM_FAULT_SEED=42
+ *
+ * i.e. point=kind:probability[:millis]. Every rule draws from its own
+ * RNG stream seeded from (seed, point name), so a drill replays
+ * identically for a given seed regardless of thread interleaving at
+ * OTHER points; runs are deterministic per point, which is what a
+ * chaos script asserts against. When no rules are configured (the
+ * default), the hot-path cost is one relaxed atomic load.
+ */
+
+#ifndef FOSM_COMMON_FAULT_INJECTOR_HH
+#define FOSM_COMMON_FAULT_INJECTOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace fosm {
+
+/** What a hook point should do, as decided by the injector. */
+enum class FaultKind
+{
+    None,       ///< proceed normally
+    Delay,      ///< sleep delayMs, then proceed
+    Stall,      ///< sleep delayMs (meant to exceed peer timeouts)
+    Error,      ///< fail the operation
+    ShortWrite, ///< write a prefix, then fail (torn record)
+};
+
+/** One sampled decision. */
+struct FaultAction
+{
+    FaultKind kind = FaultKind::None;
+    int delayMs = 0;
+
+    explicit operator bool() const { return kind != FaultKind::None; }
+};
+
+/**
+ * The process-wide injector. instance() lazily configures itself from
+ * FOSM_FAULTS / FOSM_FAULT_SEED; tests call configure() directly.
+ * sample() and the counters are thread-safe.
+ */
+class FaultInjector
+{
+  public:
+    static FaultInjector &instance();
+
+    /**
+     * Replace the rule set from a spec string (see file comment).
+     * Returns false with a diagnostic on a malformed spec; the
+     * previous rules are kept in that case. An empty spec disables
+     * injection entirely.
+     */
+    bool configure(const std::string &spec, std::uint64_t seed,
+                   std::string &error);
+
+    /** Drop every rule (used by tests). */
+    void reset();
+
+    /** Whether any rule is armed — the only hot-path check. */
+    static bool active()
+    {
+        return active_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Decide what the named hook point should do this time. Returns
+     * kind None when no rule matches the point or the rule's coin
+     * toss says "no fault this time".
+     */
+    FaultAction sample(const std::string &point);
+
+    /** Faults actually injected at a point so far (drill assertions,
+     *  /metrics). */
+    std::uint64_t injected(const std::string &point) const;
+
+    /** Total faults injected across all points. */
+    std::uint64_t injectedTotal() const;
+
+    /** Points with at least one armed rule, for introspection. */
+    std::vector<std::string> armedPoints() const;
+
+  private:
+    FaultInjector() = default;
+
+    struct Rule
+    {
+        FaultKind kind = FaultKind::None;
+        double probability = 0.0;
+        int delayMs = 0;
+        std::uint64_t hits = 0;
+        std::minstd_rand rng;
+    };
+
+    static std::atomic<bool> active_;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Rule> rules_;
+};
+
+/**
+ * Sample the injector at a hook point. The disabled path is one
+ * relaxed atomic load — cheap enough for file-I/O and socket paths.
+ */
+inline FaultAction
+faultAt(const char *point)
+{
+    if (!FaultInjector::active())
+        return {};
+    return FaultInjector::instance().sample(point);
+}
+
+/** Sleep out a Delay/Stall action (no-op for other kinds). */
+void faultSleep(const FaultAction &action);
+
+} // namespace fosm
+
+#endif // FOSM_COMMON_FAULT_INJECTOR_HH

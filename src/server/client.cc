@@ -10,6 +10,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 namespace fosm::server {
@@ -104,6 +105,16 @@ serializeRequest(const std::string &method,
                  const std::string &target, const std::string &host,
                  const std::string &body)
 {
+    return serializeRequest(method, target, host, body, {});
+}
+
+std::string
+serializeRequest(const std::string &method,
+                 const std::string &target, const std::string &host,
+                 const std::string &body,
+                 const std::vector<std::pair<std::string, std::string>>
+                     &extraHeaders)
+{
     std::string wire;
     wire.reserve(128 + body.size());
     wire += method;
@@ -112,6 +123,12 @@ serializeRequest(const std::string &method,
     wire += " HTTP/1.1\r\nHost: ";
     wire += host;
     wire += "\r\n";
+    for (const auto &h : extraHeaders) {
+        wire += h.first;
+        wire += ": ";
+        wire += h.second;
+        wire += "\r\n";
+    }
     if (!body.empty()) {
         wire += "Content-Type: application/json\r\nContent-Length: ";
         wire += std::to_string(body.size());
@@ -161,7 +178,27 @@ HttpClient::connect()
         disconnect();
         return false;
     }
+    applyTimeout();
     return true;
+}
+
+void
+HttpClient::setTimeoutMs(int ms)
+{
+    timeoutMs_ = ms > 0 ? ms : 0;
+    applyTimeout();
+}
+
+void
+HttpClient::applyTimeout()
+{
+    if (fd_ < 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = timeoutMs_ / 1000;
+    tv.tv_usec = (timeoutMs_ % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 bool
@@ -174,6 +211,8 @@ HttpClient::sendAll(const std::string &data)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                timedOut_ = true;
             return false;
         }
         off += static_cast<std::size_t>(n);
@@ -194,6 +233,8 @@ HttpClient::readResponse(ClientResponse &out)
         if (n <= 0) {
             if (n < 0 && errno == EINTR)
                 continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                timedOut_ = true;
             return false;
         }
         buffer_.append(buf, static_cast<std::size_t>(n));
@@ -212,21 +253,38 @@ HttpClient::request(const std::string &method,
                     const std::string &path, const std::string &body,
                     ClientResponse &out)
 {
+    return request(method, path, body, {}, out);
+}
+
+bool
+HttpClient::request(const std::string &method,
+                    const std::string &path, const std::string &body,
+                    const std::vector<std::pair<std::string,
+                                                std::string>>
+                        &extraHeaders,
+                    ClientResponse &out)
+{
     const std::string wire =
-        serializeRequest(method, path, host_, body);
+        serializeRequest(method, path, host_, body, extraHeaders);
 
     // One transparent reconnect: the server may have closed an idle
-    // keep-alive connection between requests.
+    // keep-alive connection between requests. A socket timeout does
+    // not get that retry — repeating it would double the wait.
+    timedOut_ = false;
     for (int attempt = 0; attempt < 2; ++attempt) {
         if (fd_ < 0 && !connect())
             return false;
         if (!sendAll(wire)) {
             disconnect();
+            if (timedOut_)
+                return false;
             continue;
         }
         if (readResponse(out))
             return true;
         disconnect();
+        if (timedOut_)
+            return false;
     }
     return false;
 }

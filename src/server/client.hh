@@ -57,6 +57,16 @@ std::string serializeRequest(const std::string &method,
                              const std::string &body);
 
 /**
+ * Same, with extra headers appended verbatim after Host — used to
+ * forward X-Fosm-Deadline-Ms and other per-request metadata.
+ */
+std::string serializeRequest(
+    const std::string &method, const std::string &target,
+    const std::string &host, const std::string &body,
+    const std::vector<std::pair<std::string, std::string>>
+        &extraHeaders);
+
+/**
  * One TCP connection to the server. request() sends and waits for
  * the full response (closed-loop). Reconnects transparently when the
  * server closed the connection (e.g. after a Connection: close
@@ -79,6 +89,24 @@ class HttpClient
     bool request(const std::string &method, const std::string &path,
                  const std::string &body, ClientResponse &out);
 
+    /** Same, with extra request headers (e.g. the deadline). */
+    bool request(const std::string &method, const std::string &path,
+                 const std::string &body,
+                 const std::vector<std::pair<std::string, std::string>>
+                     &extraHeaders,
+                 ClientResponse &out);
+
+    /**
+     * Bound send/recv waits (SO_SNDTIMEO/SO_RCVTIMEO) on current and
+     * future connections; 0 restores blocking forever. A request that
+     * trips the timeout fails with timedOut() set and is NOT retried
+     * on a fresh connection — the retry would double the wait.
+     */
+    void setTimeoutMs(int ms);
+
+    /** Whether the last failed request() hit the socket timeout. */
+    bool timedOut() const { return timedOut_; }
+
     /** Whether a connection is currently open. */
     bool connected() const { return fd_ >= 0; }
 
@@ -90,9 +118,13 @@ class HttpClient
     bool sendAll(const std::string &data);
     bool readResponse(ClientResponse &out);
 
+    void applyTimeout();
+
     std::string host_;
     std::uint16_t port_;
     int fd_ = -1;
+    int timeoutMs_ = 0;
+    bool timedOut_ = false;
     std::string buffer_; ///< bytes read past the previous response
 };
 

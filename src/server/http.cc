@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include <arpa/inet.h>
@@ -39,6 +40,35 @@ HttpRequest::path() const
     return q == std::string::npos ? target : target.substr(0, q);
 }
 
+int
+HttpRequest::deadlineRemainingMs() const
+{
+    if (!hasDeadline())
+        return -1;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count();
+    return left > 0 ? static_cast<int>(left) : 0;
+}
+
+void
+stampDeadline(HttpRequest &request,
+              std::chrono::steady_clock::time_point now)
+{
+    const std::string &value =
+        request.header("x-fosm-deadline-ms");
+    if (value.empty())
+        return;
+    char *end = nullptr;
+    const long ms = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || ms < 0)
+        return; // malformed hint: ignore, don't fail the request
+    request.deadline =
+        now + std::chrono::milliseconds(
+                  std::min(ms, 3600L * 1000L));
+}
+
 HttpResponse
 HttpResponse::json(int status, const std::string &body)
 {
@@ -69,7 +99,9 @@ statusReason(int status)
       case 413: return "Payload Too Large";
       case 500: return "Internal Server Error";
       case 501: return "Not Implemented";
+      case 502: return "Bad Gateway";
       case 503: return "Service Unavailable";
+      case 504: return "Gateway Timeout";
       default: return "Unknown";
     }
 }
@@ -418,6 +450,11 @@ HttpServer::start()
             "fosm_http_rejected_total",
             "Requests shed with 503 (queue full or connection "
             "limit)");
+        deadlineShed_ = &metrics_->counter(
+            "fosm_deadline_shed_total",
+            "Requests answered 504 because their deadline expired "
+            "before a worker picked them up",
+            "stage=\"queue\"");
         connectionsGauge_ =
             &metrics_->gauge("fosm_http_connections",
                              "Open client connections");
@@ -544,6 +581,26 @@ HttpServer::workerMain()
         for (Task &task : batch) {
             if (inflightGauge_)
                 inflightGauge_->add(1);
+            // The waiter has already timed out; answering 504 now is
+            // cheaper than computing a result nobody will read.
+            if (task.request.deadlineExpired()) {
+                if (deadlineShed_)
+                    deadlineShed_->inc();
+                const bool keepAlive = task.keepAlive;
+                const bool ok = sendAll(
+                    task.fd,
+                    serializeResponse(
+                        HttpResponse::json(
+                            504,
+                            errorBody("deadline exceeded in queue")),
+                        keepAlive));
+                served_.fetch_add(1, std::memory_order_relaxed);
+                countRequest(task.request.path(), 504, task.arrival);
+                if (inflightGauge_)
+                    inflightGauge_->sub(1);
+                notifyDone(*task.loop, task.fd, !keepAlive || !ok);
+                continue;
+            }
             HttpResponse response;
             try {
                 response = handler_(task.request);
@@ -659,6 +716,7 @@ HttpServer::dispatchBuffered(IoLoop &loop, Conn &conn)
         task.loop = &loop;
         task.request = std::move(request);
         task.arrival = std::chrono::steady_clock::now();
+        stampDeadline(task.request, task.arrival);
         task.keepAlive = keepAlive;
         if (queue_->tryPush(std::move(task))) {
             conn.state = Conn::State::Processing;

@@ -46,12 +46,48 @@ struct HttpRequest
     std::string body;
     bool keepAlive = true;
 
+    /**
+     * Absolute processing deadline derived from the
+     * X-Fosm-Deadline-Ms request header (stampDeadline); the epoch
+     * default means "no deadline". Work past the deadline is wasted —
+     * the waiter upstream has already timed out — so the worker pool
+     * sheds expired requests with 504 at dequeue and the service
+     * checks again before expensive evaluation.
+     */
+    std::chrono::steady_clock::time_point deadline{};
+
+    bool hasDeadline() const
+    {
+        return deadline != std::chrono::steady_clock::time_point{};
+    }
+
+    bool deadlineExpired() const
+    {
+        return hasDeadline() &&
+               std::chrono::steady_clock::now() >= deadline;
+    }
+
+    /** Milliseconds of budget left; 0 when expired, -1 when none. */
+    int deadlineRemainingMs() const;
+
     /** First header with this (lowercase) name, or empty. */
     const std::string &header(const std::string &name) const;
 
     /** Target without the query string. */
     std::string path() const;
 };
+
+/** The request header that carries a relative deadline budget. */
+inline constexpr const char *deadlineHeader = "X-Fosm-Deadline-Ms";
+
+/**
+ * Parse X-Fosm-Deadline-Ms (non-negative integer milliseconds,
+ * capped at one hour) and stamp request.deadline relative to now.
+ * Malformed values are ignored — a bad hint must not fail a request
+ * that would otherwise succeed.
+ */
+void stampDeadline(HttpRequest &request,
+                   std::chrono::steady_clock::time_point now);
 
 /** One response under construction. */
 struct HttpResponse
@@ -230,6 +266,7 @@ class HttpServer
     // Metric objects resolved once at start().
     Histogram *latency_ = nullptr;
     Counter *rejectedCounter_ = nullptr;
+    Counter *deadlineShed_ = nullptr;
     Gauge *connectionsGauge_ = nullptr;
     Gauge *inflightGauge_ = nullptr;
     std::mutex counterMutex_;

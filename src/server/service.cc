@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fault_injector.hh"
 #include "common/thread_pool.hh"
 #include "common/version.hh"
 #include "experiments/characterization_store.hh"
@@ -21,6 +22,14 @@ namespace {
 badRequest(const std::string &message)
 {
     throw ServiceError(400, message);
+}
+
+std::string
+errorJson(const std::string &message)
+{
+    json::Value v = json::Value::object();
+    v.set("error", message);
+    return v.dump();
 }
 
 void
@@ -291,7 +300,12 @@ ModelService::ModelService(ServiceConfig config,
       storeRefills_(metrics.counter(
           "fosm_store_refills_total",
           "Responses served from the persistent store after an LRU "
-          "miss"))
+          "miss")),
+      deadlineShed_(metrics.counter(
+          "fosm_deadline_shed_total",
+          "Requests answered 504 because their deadline expired "
+          "before model evaluation started",
+          "stage=\"pre-eval\""))
 {
     if (!config_.storeDir.empty()) {
         store::StoreConfig sc;
@@ -440,6 +454,17 @@ HttpServer::Handler
 ModelService::handler()
 {
     return [this](const HttpRequest &request) -> HttpResponse {
+        // Chaos hook: lets the fault harness make this replica slow
+        // or failing while /healthz stays green — the exact failure
+        // mode circuit breakers exist for.
+        if (FaultInjector::active()) {
+            const FaultAction fault = faultAt("serve.handler");
+            faultSleep(fault);
+            if (fault.kind == FaultKind::Error) {
+                return HttpResponse::json(
+                    500, errorJson("injected fault"));
+            }
+        }
         // Memoize successful POST /v1/* evaluations by canonical
         // request digest. The parse needed for canonicalization is
         // trivial next to the evaluation (and the cache makes even
@@ -466,6 +491,16 @@ ModelService::handler()
                     storeRefills_.inc();
                     cache_.put(key, cached);
                     return HttpResponse::json(200, cached);
+                }
+                // Both caches missed, so real evaluation is next.
+                // If the budget is already spent the waiter has
+                // timed out; don't burn the cycles.
+                if (request.deadlineExpired()) {
+                    deadlineShed_.inc();
+                    return HttpResponse::json(
+                        504,
+                        errorJson(
+                            "deadline exceeded before evaluation"));
                 }
                 HttpResponse response = router_.route(request);
                 if (response.status == 200) {

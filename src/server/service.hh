@@ -120,6 +120,7 @@ class ModelService
     Counter &cacheMisses_;
     Counter &evaluations_;
     Counter &storeRefills_;
+    Counter &deadlineShed_;
 };
 
 } // namespace fosm::server

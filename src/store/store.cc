@@ -12,6 +12,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "common/fault_injector.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "store/crc32c.hh"
@@ -116,6 +117,28 @@ segmentHeaderBytes()
 bool
 writeAll(int fd, const char *data, std::size_t size)
 {
+    if (const FaultAction fault = faultAt("store.write")) {
+        faultSleep(fault);
+        if (fault.kind == FaultKind::Error) {
+            errno = EIO;
+            return false;
+        }
+        if (fault.kind == FaultKind::ShortWrite) {
+            // A torn record: write a prefix, then fail as a crash
+            // mid-write would. The caller's rollback (ftruncate to
+            // the last intact record) is exactly what's under test.
+            std::size_t half = size / 2;
+            while (half > 0) {
+                const ssize_t n = ::write(fd, data, half);
+                if (n <= 0)
+                    break;
+                data += n;
+                half -= static_cast<std::size_t>(n);
+            }
+            errno = EIO;
+            return false;
+        }
+    }
     while (size > 0) {
         const ssize_t n = ::write(fd, data, size);
         if (n < 0) {
@@ -472,6 +495,12 @@ PersistentStore::readValue(const Segment &segment,
                            const Location &loc,
                            std::string &out) const
 {
+    if (const FaultAction fault = faultAt("store.read")) {
+        faultSleep(fault);
+        if (fault.kind == FaultKind::Error ||
+            fault.kind == FaultKind::ShortWrite)
+            return false; // a miss: the caller recomputes
+    }
     const std::uint64_t keyLen =
         loc.recordLen - recHeaderSize - loc.valueLen;
     const std::uint64_t valueOff =
@@ -555,8 +584,10 @@ PersistentStore::appendLocked(const std::string &key,
         ::ftruncate(seg->fd, static_cast<off_t>(seg->size));
         return;
     }
-    if (config_.fsyncEachPut)
+    if (config_.fsyncEachPut) {
+        faultSleep(faultAt("store.fsync")); // a slow disk's fsync
         ::fsync(seg->fd);
+    }
 
     Location loc;
     loc.segmentId = seg->id;

@@ -1,0 +1,475 @@
+/**
+ * @file
+ * Resilience behavior: circuit-breaker state machine (synthetic
+ * clock, no sockets), breaker-driven ejection of a backend that
+ * accepts connections but fails live traffic, deadline propagation
+ * to upstreams, Retry-After deferral, and live membership changes
+ * through the admin endpoint.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/gateway.hh"
+#include "server/http.hh"
+#include "server/json.hh"
+#include "server/metrics.hh"
+
+namespace fosm::cluster {
+namespace {
+
+using server::HttpRequest;
+using server::HttpResponse;
+using server::HttpServer;
+using server::HttpServerConfig;
+
+using Clock = std::chrono::steady_clock;
+using std::chrono::milliseconds;
+
+// -- Circuit breaker state machine (pure, synthetic time) ----------
+
+UpstreamConfig
+breakerConfig()
+{
+    UpstreamConfig config;
+    config.breakerFailures = 3;
+    config.breakerMinSamples = 4;
+    config.breakerErrorRate = 0.5;
+    config.breakerOpenBaseMs = 100;
+    config.breakerOpenMaxMs = 400;
+    return config;
+}
+
+TEST(CircuitBreaker, ClosedAdmitsAndSuccessKeepsItClosed)
+{
+    CircuitBreaker breaker(breakerConfig(), 1);
+    const auto t0 = Clock::now();
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(breaker.routable(t0));
+        EXPECT_TRUE(breaker.allowRequest(t0));
+        breaker.onSuccess();
+    }
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+}
+
+TEST(CircuitBreaker, ConsecutiveFailuresTripAndTrialCloses)
+{
+    CircuitBreaker breaker(breakerConfig(), 1);
+    const auto t0 = Clock::now();
+    for (int i = 0; i < 3; ++i)
+        breaker.onFailure(t0);
+    EXPECT_EQ(breaker.state(), BreakerState::Open);
+    EXPECT_FALSE(breaker.routable(t0));
+    EXPECT_FALSE(breaker.allowRequest(t0));
+
+    // Jitter keeps the reopen inside [0.75, 1.25] x openBaseMs, so
+    // 130ms later the breaker must offer a half-open trial.
+    const auto trialTime = t0 + milliseconds(130);
+    EXPECT_TRUE(breaker.routable(trialTime));
+    EXPECT_TRUE(breaker.allowRequest(trialTime));
+    EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+    // Exactly one trial: a second admission at the same instant is
+    // refused while the trial is in flight.
+    EXPECT_FALSE(breaker.allowRequest(trialTime));
+
+    breaker.onSuccess();
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+    EXPECT_TRUE(breaker.allowRequest(trialTime));
+}
+
+TEST(CircuitBreaker, FailedTrialReopensWithLongerBackoff)
+{
+    CircuitBreaker breaker(breakerConfig(), 1);
+    const auto t0 = Clock::now();
+    for (int i = 0; i < 3; ++i)
+        breaker.onFailure(t0);
+    const auto trial = t0 + milliseconds(130);
+    ASSERT_TRUE(breaker.allowRequest(trial));
+    breaker.onFailure(trial);
+    EXPECT_EQ(breaker.state(), BreakerState::Open);
+    // The second open interval doubles: at most 1.25 x 200ms.
+    EXPECT_FALSE(breaker.allowRequest(trial + milliseconds(100)));
+    EXPECT_TRUE(breaker.allowRequest(trial + milliseconds(260)));
+    EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+}
+
+TEST(CircuitBreaker, AbandonedTrialDoesNotWedgeHalfOpen)
+{
+    CircuitBreaker breaker(breakerConfig(), 1);
+    const auto t0 = Clock::now();
+    for (int i = 0; i < 3; ++i)
+        breaker.onFailure(t0);
+    const auto trial = t0 + milliseconds(130);
+    ASSERT_TRUE(breaker.allowRequest(trial));
+    // The trial's outcome never arrives (caller died). After the
+    // open interval passes again, a new trial must be admitted.
+    EXPECT_FALSE(breaker.allowRequest(trial + milliseconds(10)));
+    EXPECT_TRUE(breaker.allowRequest(trial + milliseconds(150)));
+}
+
+TEST(CircuitBreaker, WindowedErrorRateTripsWithoutAStreak)
+{
+    CircuitBreaker breaker(breakerConfig(), 1);
+    const auto t0 = Clock::now();
+    // F S F F: the streak never reaches 3, but 3 of 4 windowed
+    // outcomes failed >= the 0.5 rate with minSamples met.
+    breaker.onFailure(t0);
+    breaker.onSuccess();
+    breaker.onFailure(t0);
+    breaker.onFailure(t0);
+    EXPECT_EQ(breaker.state(), BreakerState::Open);
+}
+
+// -- Gateway-level scenarios (stub backends) -----------------------
+
+std::unique_ptr<HttpServer>
+makeBackend(HttpServer::Handler handler, std::uint16_t port = 0)
+{
+    HttpServerConfig config;
+    config.port = port;
+    config.workers = 2;
+    auto server =
+        std::make_unique<HttpServer>(config, std::move(handler));
+    server->start();
+    return server;
+}
+
+BackendAddress
+addressOf(const HttpServer &server)
+{
+    BackendAddress addr;
+    addr.host = "127.0.0.1";
+    addr.port = server.port();
+    addr.label = "127.0.0.1:" + std::to_string(server.port());
+    return addr;
+}
+
+HttpServer::Handler
+echoHandler(const std::string &who)
+{
+    return [who](const HttpRequest &req) {
+        if (req.path() == "/healthz")
+            return HttpResponse::json(200, "{\"status\":\"ok\"}");
+        return HttpResponse::json(200, "{\"who\":\"" + who + "\"}");
+    };
+}
+
+GatewayConfig
+testGatewayConfig(std::vector<BackendAddress> backends)
+{
+    GatewayConfig config;
+    config.backends = std::move(backends);
+    config.upstream.healthIntervalMs = 50;
+    config.upstream.ejectAfter = 1;
+    config.upstream.connectTimeoutMs = 200;
+    config.upstream.requestTimeoutMs = 2000;
+    config.retries = 2;
+    config.retryBaseMs = 1;
+    config.hedgeMaxMs = 1000; // effectively no hedging
+    return config;
+}
+
+HttpResponse
+ask(Gateway &gateway, const std::string &method,
+    const std::string &path, const std::string &body,
+    Clock::time_point deadline = Clock::time_point{})
+{
+    HttpRequest req;
+    req.method = method;
+    req.target = path;
+    req.body = body;
+    req.deadline = deadline;
+    return gateway.handler()(req);
+}
+
+std::string
+whoAnswered(const HttpResponse &response)
+{
+    json::Value v;
+    std::string error;
+    if (!json::parse(response.body, v, &error))
+        return "";
+    const json::Value *who = v.find("who");
+    return who ? who->asString() : "";
+}
+
+std::string
+cpiBody(int i)
+{
+    return "{\"workload\":\"w" + std::to_string(i) + "\"}";
+}
+
+/** The admin listing entry for one backend label, or null. */
+const json::Value *
+adminEntry(const json::Value &listing, const std::string &label)
+{
+    const json::Value *backends = listing.find("backends");
+    if (!backends)
+        return nullptr;
+    for (const json::Value &entry : backends->items()) {
+        const json::Value *name = entry.find("backend");
+        if (name && name->asString() == label)
+            return &entry;
+    }
+    return nullptr;
+}
+
+TEST(Resilience, BreakerEjectsBackendThatFailsLiveTraffic)
+{
+    // The case health probes cannot see: /healthz answers 200 while
+    // every real request fails.
+    std::atomic<int> flakyHits{0};
+    auto flaky = makeBackend([&](const HttpRequest &req) {
+        if (req.path() == "/healthz")
+            return HttpResponse::json(200, "{}");
+        flakyHits.fetch_add(1);
+        return HttpResponse::json(500, "{\"error\":\"boom\"}");
+    });
+    auto good = makeBackend(echoHandler("good"));
+    const std::string flakyLabel = addressOf(*flaky).label;
+
+    server::MetricsRegistry metrics;
+    GatewayConfig config =
+        testGatewayConfig({addressOf(*flaky), addressOf(*good)});
+    // Keep active-probe ejection out of the picture: only the
+    // breaker may take the flaky backend out of rotation.
+    config.upstream.ejectAfter = 1000;
+    config.upstream.breakerFailures = 2;
+    config.upstream.breakerOpenBaseMs = 60000; // stays open
+    Gateway gateway(config, &metrics);
+    gateway.start();
+
+    for (int i = 0; i < 30; ++i) {
+        HttpResponse r =
+            ask(gateway, "POST", "/v1/cpi", cpiBody(i));
+        ASSERT_EQ(r.status, 200) << cpiBody(i);
+        EXPECT_EQ(whoAnswered(r), "good");
+    }
+
+    // The breaker opened after 2 live failures and absorbed every
+    // later attempt — the flaky backend saw only the trip traffic.
+    const std::string label = "backend=\"" + flakyLabel + "\"";
+    EXPECT_EQ(metrics.gauge("fosm_gateway_breaker_state", "", label)
+                  .value(),
+              1); // open
+    EXPECT_GE(
+        metrics.counter("fosm_gateway_breaker_opens_total", "", label)
+            .value(),
+        1u);
+    EXPECT_LE(flakyHits.load(), 4);
+
+    // The admin view agrees.
+    HttpResponse listing = ask(gateway, "GET", "/admin/backends", "");
+    ASSERT_EQ(listing.status, 200);
+    json::Value v;
+    std::string error;
+    ASSERT_TRUE(json::parse(listing.body, v, &error)) << error;
+    const json::Value *entry = adminEntry(v, flakyLabel);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->find("breaker")->asString(), "open");
+    EXPECT_TRUE(entry->find("healthy")->asBool());
+
+    // With the good backend gone, the retry chain falls through to
+    // the open breaker, which refuses without sending anything.
+    good->requestStop();
+    good->join();
+    good.reset();
+    const int hitsBefore = flakyHits.load();
+    EXPECT_GE(ask(gateway, "POST", "/v1/cpi", cpiBody(99)).status,
+              500);
+    EXPECT_GT(metrics
+                  .counter("fosm_gateway_breaker_rejections_total",
+                           "")
+                  .value(),
+              0u);
+    EXPECT_EQ(flakyHits.load(), hitsBefore);
+
+    gateway.stop();
+    flaky->requestStop();
+    flaky->join();
+}
+
+TEST(Resilience, DeadlinePropagatesToUpstreamAndShedsWhenSpent)
+{
+    // The backend echoes the deadline header it received.
+    std::atomic<int> hits{0};
+    auto echoDeadline = makeBackend([&](const HttpRequest &req) {
+        if (req.path() == "/healthz")
+            return HttpResponse::json(200, "{}");
+        hits.fetch_add(1);
+        const std::string &budget =
+            req.header("x-fosm-deadline-ms");
+        return HttpResponse::json(
+            200, "{\"budget\":\"" + budget + "\"}");
+    });
+
+    server::MetricsRegistry metrics;
+    Gateway gateway(testGatewayConfig({addressOf(*echoDeadline)}),
+                    &metrics);
+    gateway.start();
+
+    // A live deadline is forwarded as the remaining budget.
+    HttpResponse r = ask(gateway, "POST", "/v1/cpi", cpiBody(0),
+                         Clock::now() + milliseconds(400));
+    ASSERT_EQ(r.status, 200);
+    json::Value v;
+    std::string error;
+    ASSERT_TRUE(json::parse(r.body, v, &error)) << error;
+    const long budget =
+        std::stol(v.find("budget")->asString());
+    EXPECT_GT(budget, 0);
+    EXPECT_LE(budget, 400);
+
+    // A spent deadline is shed before any upstream work.
+    const int before = hits.load();
+    HttpResponse shed = ask(gateway, "POST", "/v1/cpi", cpiBody(1),
+                            Clock::now() - milliseconds(1));
+    EXPECT_EQ(shed.status, 504);
+    EXPECT_EQ(hits.load(), before);
+    EXPECT_EQ(
+        metrics.counter("fosm_deadline_exceeded_total", "").value(),
+        1u);
+
+    gateway.stop();
+    echoDeadline->requestStop();
+    echoDeadline->join();
+}
+
+TEST(Resilience, RetryAfterDefersBackendWithoutBreakerPenalty)
+{
+    std::atomic<int> shedHits{0};
+    auto shedding = makeBackend([&](const HttpRequest &req) {
+        if (req.path() == "/healthz")
+            return HttpResponse::json(200, "{}");
+        shedHits.fetch_add(1);
+        HttpResponse r =
+            HttpResponse::json(503, "{\"error\":\"overloaded\"}");
+        r.setHeader("Retry-After", "30");
+        return r;
+    });
+    auto good = makeBackend(echoHandler("good"));
+    const std::string shedLabel = addressOf(*shedding).label;
+
+    server::MetricsRegistry metrics;
+    GatewayConfig config =
+        testGatewayConfig({addressOf(*shedding), addressOf(*good)});
+    config.upstream.ejectAfter = 1000;
+    Gateway gateway(config, &metrics);
+    gateway.start();
+
+    for (int i = 0; i < 30; ++i) {
+        HttpResponse r =
+            ask(gateway, "POST", "/v1/cpi", cpiBody(i));
+        ASSERT_EQ(r.status, 200) << cpiBody(i);
+        EXPECT_EQ(whoAnswered(r), "good");
+    }
+
+    // The hint was honored at least once, and a polite 503 is not a
+    // breaker failure: the shedding backend stays closed/deferred.
+    EXPECT_GE(metrics
+                  .counter("fosm_gateway_retry_after_honored_total",
+                           "")
+                  .value(),
+              1u);
+    const std::string label = "backend=\"" + shedLabel + "\"";
+    EXPECT_EQ(metrics.gauge("fosm_gateway_breaker_state", "", label)
+                  .value(),
+              0); // closed
+    HttpResponse listing = ask(gateway, "GET", "/admin/backends", "");
+    json::Value v;
+    std::string error;
+    ASSERT_TRUE(json::parse(listing.body, v, &error)) << error;
+    const json::Value *entry = adminEntry(v, shedLabel);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(entry->find("deferred")->asBool());
+
+    gateway.stop();
+    shedding->requestStop();
+    good->requestStop();
+    shedding->join();
+    good->join();
+}
+
+TEST(Resilience, AdminAddsAndDrainsBackendsLive)
+{
+    auto a = makeBackend(echoHandler("a"));
+    auto b = makeBackend(echoHandler("b"));
+    const std::string aLabel = addressOf(*a).label;
+    const std::string bLabel = addressOf(*b).label;
+
+    server::MetricsRegistry metrics;
+    Gateway gateway(testGatewayConfig({addressOf(*a)}), &metrics);
+    gateway.start();
+    ASSERT_EQ(gateway.topology()->backends.size(), 1u);
+
+    // Join b without a restart.
+    HttpResponse joined =
+        ask(gateway, "POST", "/admin/backends",
+            "{\"add\":[\"" + bLabel + "\"]}");
+    ASSERT_EQ(joined.status, 200) << joined.body;
+    EXPECT_EQ(gateway.topology()->backends.size(), 2u);
+    json::Value v;
+    std::string error;
+    ASSERT_TRUE(json::parse(joined.body, v, &error)) << error;
+    EXPECT_EQ(v.find("topology_backends")->asInt(), 2);
+
+    // Traffic now reaches both replicas, split by digest.
+    std::set<std::string> owners;
+    for (int i = 0; i < 30; ++i) {
+        HttpResponse r =
+            ask(gateway, "POST", "/v1/cpi", cpiBody(i));
+        ASSERT_EQ(r.status, 200) << cpiBody(i);
+        owners.insert(whoAnswered(r));
+    }
+    EXPECT_EQ(owners.size(), 2u);
+
+    // Drain b: it leaves the topology, traffic re-homes to a, and
+    // no request fails across the transition.
+    HttpResponse drained =
+        ask(gateway, "POST", "/admin/backends",
+            "{\"remove\":[\"" + bLabel + "\"]}");
+    ASSERT_EQ(drained.status, 200) << drained.body;
+    EXPECT_EQ(gateway.topology()->backends.size(), 1u);
+    for (int i = 0; i < 30; ++i) {
+        HttpResponse r =
+            ask(gateway, "POST", "/v1/cpi", cpiBody(i));
+        ASSERT_EQ(r.status, 200) << cpiBody(i);
+        EXPECT_EQ(whoAnswered(r), "a");
+    }
+    EXPECT_EQ(
+        metrics.counter("fosm_gateway_membership_changes_total", "")
+            .value(),
+        2u);
+
+    // Guard rails: unknown labels, unknown members, and emptying
+    // the membership are all rejected without side effects.
+    EXPECT_EQ(ask(gateway, "POST", "/admin/backends",
+                  "{\"remove\":[\"" + bLabel + "\"]}")
+                  .status,
+              400); // already gone
+    EXPECT_EQ(ask(gateway, "POST", "/admin/backends",
+                  "{\"evict\":[\"" + aLabel + "\"]}")
+                  .status,
+              400);
+    EXPECT_EQ(ask(gateway, "POST", "/admin/backends",
+                  "{\"remove\":[\"" + aLabel + "\"]}")
+                  .status,
+              400); // refuses to remove the last backend
+    EXPECT_EQ(gateway.topology()->backends.size(), 1u);
+
+    gateway.stop();
+    a->requestStop();
+    b->requestStop();
+    a->join();
+    b->join();
+}
+
+} // namespace
+} // namespace fosm::cluster

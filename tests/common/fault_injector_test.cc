@@ -1,0 +1,176 @@
+/** @file Spec parsing, determinism and counters of FaultInjector. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.hh"
+
+namespace fosm {
+namespace {
+
+/** Every test starts and ends with the injector disarmed. */
+class FaultInjectorTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { FaultInjector::instance().reset(); }
+    void TearDown() override { FaultInjector::instance().reset(); }
+
+    static bool configure(const std::string &spec,
+                          std::uint64_t seed = 1)
+    {
+        std::string error;
+        const bool ok =
+            FaultInjector::instance().configure(spec, seed, error);
+        EXPECT_TRUE(ok || !error.empty());
+        return ok;
+    }
+};
+
+TEST_F(FaultInjectorTest, DisabledByDefault)
+{
+    EXPECT_FALSE(FaultInjector::active());
+    EXPECT_FALSE(faultAt("store.write"));
+    EXPECT_EQ(FaultInjector::instance().injectedTotal(), 0u);
+}
+
+TEST_F(FaultInjectorTest, ParsesMultiRuleSpec)
+{
+    ASSERT_TRUE(configure("store.write=short:0.05,"
+                          "upstream.recv=stall:0.1:800,"
+                          "serve.handler=error:1.0"));
+    EXPECT_TRUE(FaultInjector::active());
+    const std::vector<std::string> points =
+        FaultInjector::instance().armedPoints();
+    EXPECT_EQ(points.size(), 3u);
+    // std::map ordering: sorted by point name.
+    EXPECT_EQ(points[0], "serve.handler");
+    EXPECT_EQ(points[1], "store.write");
+    EXPECT_EQ(points[2], "upstream.recv");
+}
+
+TEST_F(FaultInjectorTest, MalformedSpecsRejectedAndKeepOldRules)
+{
+    ASSERT_TRUE(configure("store.write=error:1.0"));
+    const char *bad[] = {
+        "no-equals-sign",
+        "=error:1.0",
+        "p=error",            // missing probability
+        "p=explode:0.5",      // unknown kind
+        "p=error:nan-ish",    // unparsable probability
+        "p=error:1.5",        // probability out of range
+        "p=error:-0.1",       // probability out of range
+        "p=delay:0.5:abc",    // unparsable millis
+        "p=delay:0.5:-1",     // negative millis
+        "p=delay:0.5:900000", // millis over the cap
+    };
+    for (const char *spec : bad) {
+        std::string error;
+        EXPECT_FALSE(FaultInjector::instance().configure(
+            spec, 1, error))
+            << spec;
+        EXPECT_FALSE(error.empty()) << spec;
+    }
+    // The good rule from before every failed configure survives.
+    EXPECT_TRUE(FaultInjector::active());
+    EXPECT_EQ(FaultInjector::instance().armedPoints(),
+              std::vector<std::string>{"store.write"});
+}
+
+TEST_F(FaultInjectorTest, ProbabilityOneAlwaysFires)
+{
+    ASSERT_TRUE(configure("p=error:1.0"));
+    for (int i = 0; i < 100; ++i) {
+        const FaultAction action = faultAt("p");
+        ASSERT_TRUE(action);
+        EXPECT_EQ(action.kind, FaultKind::Error);
+    }
+    EXPECT_EQ(FaultInjector::instance().injected("p"), 100u);
+    EXPECT_EQ(FaultInjector::instance().injectedTotal(), 100u);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityZeroNeverFires)
+{
+    ASSERT_TRUE(configure("p=error:0.0"));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(faultAt("p"));
+    EXPECT_EQ(FaultInjector::instance().injected("p"), 0u);
+}
+
+TEST_F(FaultInjectorTest, UnarmedPointNeverFires)
+{
+    ASSERT_TRUE(configure("p=error:1.0"));
+    EXPECT_FALSE(faultAt("other.point"));
+    EXPECT_EQ(FaultInjector::instance().injected("other.point"), 0u);
+}
+
+TEST_F(FaultInjectorTest, DelayKindsCarryMillis)
+{
+    ASSERT_TRUE(configure("a=delay:1.0:7,b=stall:1.0"));
+    const FaultAction delay = faultAt("a");
+    ASSERT_EQ(delay.kind, FaultKind::Delay);
+    EXPECT_EQ(delay.delayMs, 7);
+    // Stall without explicit millis gets the long default.
+    const FaultAction stall = faultAt("b");
+    ASSERT_EQ(stall.kind, FaultKind::Stall);
+    EXPECT_EQ(stall.delayMs, 2000);
+}
+
+TEST_F(FaultInjectorTest, SameSeedReplaysSameDecisions)
+{
+    const std::string spec = "p=error:0.3";
+    ASSERT_TRUE(configure(spec, 42));
+    std::vector<bool> first;
+    for (int i = 0; i < 200; ++i)
+        first.push_back(static_cast<bool>(faultAt("p")));
+
+    ASSERT_TRUE(configure(spec, 42));
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(static_cast<bool>(faultAt("p")), first[i]) << i;
+
+    // A different seed produces a different sequence.
+    ASSERT_TRUE(configure(spec, 43));
+    std::vector<bool> other;
+    for (int i = 0; i < 200; ++i)
+        other.push_back(static_cast<bool>(faultAt("p")));
+    EXPECT_NE(first, other);
+}
+
+TEST_F(FaultInjectorTest, PointsDrawFromIndependentStreams)
+{
+    // Interleaving samples at a second point must not perturb the
+    // first point's sequence — that is what makes drills replayable.
+    ASSERT_TRUE(configure("a=error:0.3,b=error:0.3", 7));
+    std::vector<bool> alone;
+    for (int i = 0; i < 100; ++i)
+        alone.push_back(static_cast<bool>(faultAt("a")));
+
+    ASSERT_TRUE(configure("a=error:0.3,b=error:0.3", 7));
+    for (int i = 0; i < 100; ++i) {
+        (void)faultAt("b"); // interleaved noise
+        EXPECT_EQ(static_cast<bool>(faultAt("a")), alone[i]) << i;
+    }
+}
+
+TEST_F(FaultInjectorTest, EmptySpecDisables)
+{
+    ASSERT_TRUE(configure("p=error:1.0"));
+    EXPECT_TRUE(FaultInjector::active());
+    ASSERT_TRUE(configure(""));
+    EXPECT_FALSE(FaultInjector::active());
+    EXPECT_TRUE(FaultInjector::instance().armedPoints().empty());
+}
+
+TEST_F(FaultInjectorTest, ApproximatesConfiguredProbability)
+{
+    ASSERT_TRUE(configure("p=error:0.25", 99));
+    int fired = 0;
+    for (int i = 0; i < 4000; ++i)
+        fired += faultAt("p") ? 1 : 0;
+    EXPECT_GT(fired, 4000 * 0.15);
+    EXPECT_LT(fired, 4000 * 0.35);
+}
+
+} // namespace
+} // namespace fosm

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Corpus-driven robustness tests: malformed, truncated and corrupted
+ * input against the request parser, the live server, the response
+ * parser the gateway drives, and the deadline-header decoder. The
+ * invariant throughout is "never crash, never hang, stay serving".
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "server/client.hh"
+#include "server/http.hh"
+
+namespace fosm::server {
+namespace {
+
+// -- Request parser corpus -----------------------------------------
+
+const std::vector<std::string> &
+malformedRequests()
+{
+    static const std::vector<std::string> corpus = {
+        "GARBAGE\r\n\r\n",
+        "\r\n\r\n",
+        " GET / HTTP/1.1\r\n\r\n",
+        "GET  /  HTTP/1.1\r\n\r\n",
+        "GET / HTTP/9.9\r\n\r\n",
+        "GET / http/1.1\r\n\r\n",
+        "GET noslash HTTP/1.1\r\n\r\n",
+        "GET / HTTP/1.1\r\nno-colon\r\n\r\n",
+        "GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+        "GET / HTTP/1.1\r\nBad Name: x\r\n\r\n",
+        "GET / HTTP/1.1\r\nX\tY: smuggle\r\n\r\n",
+        "GET / HTTP/1.1\r\nContent-Length: twelve\r\n\r\n",
+        "GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+        "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        "5\r\nhello\r\n0\r\n\r\n",
+        "POST / HTTP/1.1\r\nContent-Length: "
+        "99999999999999999999\r\n\r\n",
+    };
+    return corpus;
+}
+
+TEST(HttpRobustness, MalformedRequestCorpusNeverParsesOk)
+{
+    for (const std::string &raw : malformedRequests()) {
+        HttpRequest req;
+        std::size_t consumed = 0;
+        std::string error;
+        const ParseStatus st =
+            parseHttpRequest(raw, 1 << 20, req, consumed, error);
+        EXPECT_NE(st, ParseStatus::Ok) << raw;
+    }
+}
+
+TEST(HttpRobustness, TruncatedRequestPrefixesNeverParseOk)
+{
+    const std::string full = "POST /v1/cpi HTTP/1.1\r\n"
+                             "Host: localhost\r\n"
+                             "X-Fosm-Deadline-Ms: 250\r\n"
+                             "Content-Length: 11\r\n"
+                             "\r\n"
+                             "{\"k\":\"v\"}!!";
+    for (std::size_t len = 0; len < full.size(); ++len) {
+        HttpRequest req;
+        std::size_t consumed = 0;
+        std::string error;
+        const ParseStatus st = parseHttpRequest(
+            full.substr(0, len), 1 << 20, req, consumed, error);
+        // A strict prefix is at best incomplete; it must never be
+        // reported as a finished request.
+        EXPECT_NE(st, ParseStatus::Ok) << "prefix length " << len;
+    }
+    HttpRequest req;
+    std::size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(parseHttpRequest(full, 1 << 20, req, consumed, error),
+              ParseStatus::Ok);
+    EXPECT_EQ(consumed, full.size());
+}
+
+TEST(HttpRobustness, SingleByteCorruptionNeverCrashesParser)
+{
+    const std::string full = "POST /v1/cpi HTTP/1.1\r\n"
+                             "Host: localhost\r\n"
+                             "Content-Length: 9\r\n"
+                             "\r\n"
+                             "{\"k\":\"v\"}";
+    for (std::size_t i = 0; i < full.size(); ++i) {
+        for (const char c : {'\0', '\r', '\n', ':', ' ', '\x7f'}) {
+            std::string mutated = full;
+            mutated[i] = c;
+            HttpRequest req;
+            std::size_t consumed = 0;
+            std::string error;
+            // Any status is acceptable; surviving the parse is the
+            // assertion (ASan/UBSan runs make it a strong one).
+            (void)parseHttpRequest(mutated, 1 << 20, req, consumed,
+                                   error);
+        }
+    }
+    SUCCEED();
+}
+
+// -- Response parser corpus (what the gateway reads) ---------------
+
+TEST(HttpRobustness, MalformedResponseCorpusNeverParsesOk)
+{
+    const std::vector<std::string> corpus = {
+        "GARBAGE\r\n\r\n",
+        "\r\n\r\n",
+        "HTTP/1.1\r\n\r\n",
+        "HTTP/1.1 abc OK\r\n\r\n",
+        "HTTP/1.1 99 Too-Low\r\n\r\n",
+        "HTTP/1.1 600 Too-High\r\n\r\n",
+        "HTTP/1.1 -200 Negative\r\n\r\n",
+        "SMTP/1.1 200 OK\r\n\r\n",
+    };
+    for (const std::string &raw : corpus) {
+        ClientResponse resp;
+        std::size_t consumed = 0;
+        EXPECT_NE(parseHttpResponse(raw, resp, consumed),
+                  ParseStatus::Ok)
+            << raw;
+    }
+}
+
+TEST(HttpRobustness, TruncatedResponsePrefixesNeverParseOk)
+{
+    const std::string full = "HTTP/1.1 200 OK\r\n"
+                             "Content-Type: application/json\r\n"
+                             "Content-Length: 11\r\n"
+                             "Connection: keep-alive\r\n"
+                             "\r\n"
+                             "{\"ok\":true}";
+    for (std::size_t len = 0; len < full.size(); ++len) {
+        ClientResponse resp;
+        std::size_t consumed = 0;
+        EXPECT_NE(parseHttpResponse(full.substr(0, len), resp,
+                                    consumed),
+                  ParseStatus::Ok)
+            << "prefix length " << len;
+    }
+    ClientResponse resp;
+    std::size_t consumed = 0;
+    ASSERT_EQ(parseHttpResponse(full, resp, consumed),
+              ParseStatus::Ok);
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "{\"ok\":true}");
+    EXPECT_EQ(consumed, full.size());
+}
+
+TEST(HttpRobustness, UnboundedResponseHeadersRejected)
+{
+    // A peer that streams header bytes forever must eventually be
+    // cut off instead of buffering without limit.
+    std::string raw = "HTTP/1.1 200 OK\r\n";
+    raw.append(64u << 10, 'x');
+    ClientResponse resp;
+    std::size_t consumed = 0;
+    EXPECT_EQ(parseHttpResponse(raw, resp, consumed),
+              ParseStatus::Bad);
+}
+
+// -- Deadline header decoding --------------------------------------
+
+int
+stampedRemainingMs(const std::string &value)
+{
+    HttpRequest req;
+    req.headers.emplace_back("x-fosm-deadline-ms", value);
+    stampDeadline(req, std::chrono::steady_clock::now());
+    return req.deadlineRemainingMs();
+}
+
+TEST(HttpRobustness, MalformedDeadlineHeaderIgnored)
+{
+    for (const char *bad :
+         {"", "abc", "-5", "12abc", " ", "0x10", "1e9"}) {
+        EXPECT_EQ(stampedRemainingMs(bad), -1) << "'" << bad << "'";
+    }
+}
+
+TEST(HttpRobustness, ValidDeadlineHeaderStamped)
+{
+    const int remaining = stampedRemainingMs("5000");
+    EXPECT_GT(remaining, 4000);
+    EXPECT_LE(remaining, 5000);
+    // Values over an hour are capped, not trusted.
+    EXPECT_LE(stampedRemainingMs("999999999"), 3600 * 1000);
+    // A zero budget is already expired.
+    HttpRequest req;
+    req.headers.emplace_back("x-fosm-deadline-ms", "0");
+    stampDeadline(req, std::chrono::steady_clock::now());
+    EXPECT_TRUE(req.deadlineExpired());
+}
+
+// -- Live server under the corpus ----------------------------------
+
+std::string
+rawRoundTrip(std::uint16_t port, const std::string &bytes)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    EXPECT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+    std::string out;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        out.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    return out;
+}
+
+TEST(HttpRobustness, ServerSurvivesMalformedCorpus)
+{
+    HttpServerConfig config;
+    config.port = 0;
+    config.workers = 2;
+    HttpServer server(config, [](const HttpRequest &) {
+        return HttpResponse::json(200, "{\"ok\":true}");
+    });
+    server.start();
+
+    for (const std::string &raw : malformedRequests()) {
+        const std::string reply = rawRoundTrip(server.port(), raw);
+        // Every malformed request draws a 4xx (or a bare close on
+        // bytes the parser cannot frame) — never a 200, never a hang.
+        if (!reply.empty()) {
+            EXPECT_EQ(reply.rfind("HTTP/1.1 4", 0), 0u) << raw;
+        }
+        // The server is still alive and serving afterwards.
+        HttpClient probe("127.0.0.1", server.port());
+        ClientResponse resp;
+        ASSERT_TRUE(probe.request("GET", "/ok", "", resp)) << raw;
+        EXPECT_EQ(resp.status, 200);
+    }
+
+    server.requestStop();
+    server.join();
+}
+
+TEST(HttpRobustness, ExpiredDeadlineShedsBeforeHandler)
+{
+    HttpServerConfig config;
+    config.port = 0;
+    config.workers = 1;
+    std::atomic<int> handled{0};
+    HttpServer server(config, [&](const HttpRequest &) {
+        handled.fetch_add(1);
+        return HttpResponse::json(200, "{}");
+    });
+    server.start();
+
+    // A zero budget is expired by dequeue time: the worker answers
+    // 504 without ever invoking the handler.
+    HttpClient client("127.0.0.1", server.port());
+    ClientResponse resp;
+    ASSERT_TRUE(client.request("POST", "/v1/cpi", "{}",
+                               {{deadlineHeader, "0"}}, resp));
+    EXPECT_EQ(resp.status, 504);
+    EXPECT_EQ(handled.load(), 0);
+
+    // A generous budget passes through untouched.
+    ASSERT_TRUE(client.request("POST", "/v1/cpi", "{}",
+                               {{deadlineHeader, "30000"}}, resp));
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(handled.load(), 1);
+
+    server.requestStop();
+    server.join();
+}
+
+} // namespace
+} // namespace fosm::server

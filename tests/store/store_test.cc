@@ -341,7 +341,10 @@ TEST(StoreCodec, TruncatedInputFailsCleanly)
     enc.bytes("hello");
     const std::string full = enc.str();
     for (std::size_t cut = 0; cut < full.size(); ++cut) {
-        Decoder dec(full.substr(0, cut));
+        // The Decoder only borrows its input; the view must outlive
+        // it (a substr temporary here is a use-after-scope).
+        const std::string prefix = full.substr(0, cut);
+        Decoder dec(prefix);
         std::uint64_t a;
         std::string b;
         const bool complete = dec.u64(a) && dec.bytes(b);

@@ -58,7 +58,10 @@ main(int argc, char **argv)
          "max-connections", "vnodes", "retries", "retry-base",
          "hedge-quantile", "hedge-min", "hedge-max",
          "hedge-min-samples", "health-interval", "eject-after",
-         "connect-timeout", "request-timeout"},
+         "connect-timeout", "request-timeout", "default-deadline",
+         "breaker-failures", "breaker-min-samples",
+         "breaker-error-rate", "breaker-open-base",
+         "breaker-open-max"},
         "usage: fosm-gateway --backends host:port[,host:port...] "
         "[flags]\n"
         "  --host 127.0.0.1       listen address\n"
@@ -78,7 +81,23 @@ main(int argc, char **argv)
         "  --health-interval 500  health probe interval (ms)\n"
         "  --eject-after 2        consecutive failures that eject\n"
         "  --connect-timeout 250  upstream connect budget (ms)\n"
-        "  --request-timeout 5000 per-attempt exchange budget (ms)\n");
+        "  --request-timeout 5000 per-attempt exchange budget (ms)\n"
+        "  --default-deadline 0   whole-request budget when the "
+        "client\n"
+        "                         sends no X-Fosm-Deadline-Ms (ms, "
+        "0 = off)\n"
+        "  --breaker-failures 5   consecutive proxy failures that "
+        "open\n"
+        "                         a backend's circuit breaker\n"
+        "  --breaker-min-samples 20  window samples before the "
+        "error\n"
+        "                         rate can trip the breaker\n"
+        "  --breaker-error-rate 0.5  window error fraction that "
+        "opens\n"
+        "  --breaker-open-base 1000  first breaker-open duration "
+        "(ms)\n"
+        "  --breaker-open-max 30000  breaker-open duration cap "
+        "(ms)\n");
 
     const std::string backendList = args.get("backends", "");
     GatewayConfig config;
@@ -105,6 +124,18 @@ main(int argc, char **argv)
         static_cast<int>(args.getInt("connect-timeout", 250));
     config.upstream.requestTimeoutMs =
         static_cast<int>(args.getInt("request-timeout", 5000));
+    config.defaultDeadlineMs =
+        static_cast<int>(args.getInt("default-deadline", 0));
+    config.upstream.breakerFailures =
+        static_cast<int>(args.getInt("breaker-failures", 5));
+    config.upstream.breakerMinSamples =
+        static_cast<int>(args.getInt("breaker-min-samples", 20));
+    config.upstream.breakerErrorRate =
+        args.getDouble("breaker-error-rate", 0.5);
+    config.upstream.breakerOpenBaseMs =
+        static_cast<int>(args.getInt("breaker-open-base", 1000));
+    config.upstream.breakerOpenMaxMs =
+        static_cast<int>(args.getInt("breaker-open-max", 30000));
 
     server::MetricsRegistry metrics;
     Gateway gateway(config, &metrics);
@@ -142,7 +173,7 @@ main(int argc, char **argv)
               << " capped at " << config.hedgeMaxMs << "ms)\n"
               << "fosm-gateway: POST /v1/cpi /v1/iw-curve "
                  "/v1/trends; GET /healthz /metrics "
-                 "/v1/store/stats\n";
+                 "/v1/store/stats; GET+POST /admin/backends\n";
     std::cout.flush();
 
     server.join();

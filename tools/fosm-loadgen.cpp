@@ -63,6 +63,8 @@ struct WorkerResult
     std::vector<double> queueDelays;
     std::uint64_t ok = 0;          ///< 2xx post-warmup
     std::uint64_t rejected = 0;    ///< 503 post-warmup
+    std::uint64_t deadline = 0;    ///< 504 deadline exceeded
+    std::uint64_t timeouts = 0;    ///< client-side socket timeout
     std::uint64_t errors = 0;      ///< other statuses / transport
     std::uint64_t warmup = 0;      ///< requests in the warmup window
 };
@@ -138,7 +140,8 @@ main(int argc, char **argv)
     const cli::Args args(
         argc, argv,
         {"host", "port", "targets", "connections", "duration",
-         "warmup", "endpoint", "distinct", "rate", "out"},
+         "warmup", "endpoint", "distinct", "rate", "timeout",
+         "deadline", "out"},
         "usage: fosm-loadgen [flags]\n"
         "  --host 127.0.0.1    server address\n"
         "  --port 8080         server port\n"
@@ -154,6 +157,12 @@ main(int argc, char **argv)
         "  --rate N            open loop: N scheduled requests/s "
         "across\n"
         "                      all connections (0 = closed loop)\n"
+        "  --timeout MS        client socket timeout; a request that\n"
+        "                      trips it counts as a timeout, not an\n"
+        "                      error (0 = wait forever)\n"
+        "  --deadline MS       send X-Fosm-Deadline-Ms so servers\n"
+        "                      shed work we stopped waiting for;\n"
+        "                      504s count separately (0 = none)\n"
         "  --out report.json   write the report as JSON\n");
 
     const std::string host = args.get("host", "127.0.0.1");
@@ -167,6 +176,10 @@ main(int argc, char **argv)
     const std::string endpoint = args.get("endpoint", "/v1/cpi");
     const std::uint64_t distinct = args.getInt("distinct", 12);
     const double rate = args.getDouble("rate", 0.0);
+    const int timeoutMs =
+        static_cast<int>(args.getInt("timeout", 0));
+    const int deadlineMs =
+        static_cast<int>(args.getInt("deadline", 0));
 
     std::vector<cluster::BackendAddress> targets;
     if (args.has("targets")) {
@@ -206,6 +219,14 @@ main(int argc, char **argv)
                 targets[c % targets.size()];
             fosm::server::HttpClient client(target.host,
                                             target.port);
+            if (timeoutMs > 0)
+                client.setTimeoutMs(timeoutMs);
+            std::vector<std::pair<std::string, std::string>>
+                extraHeaders;
+            if (deadlineMs > 0)
+                extraHeaders.emplace_back(
+                    fosm::server::deadlineHeader,
+                    std::to_string(deadlineMs));
             fosm::server::ClientResponse response;
             std::uint64_t i = c; // stagger the rotation per thread
             while (true) {
@@ -259,8 +280,8 @@ main(int argc, char **argv)
                 }
                 ++i;
                 const auto t0 = Clock::now();
-                const bool ok =
-                    client.request("POST", endpoint, body, response);
+                const bool ok = client.request(
+                    "POST", endpoint, body, extraHeaders, response);
                 const auto t1 = Clock::now();
                 if (t1 < measureFrom) {
                     ++r.warmup;
@@ -273,7 +294,13 @@ main(int argc, char **argv)
                                  .count()));
                 }
                 if (!ok) {
-                    ++r.errors;
+                    // A tripped --timeout is the client giving up,
+                    // not the server failing — report it apart from
+                    // transport errors.
+                    if (client.timedOut())
+                        ++r.timeouts;
+                    else
+                        ++r.errors;
                     continue;
                 }
                 if (response.status == 200) {
@@ -283,6 +310,8 @@ main(int argc, char **argv)
                             .count());
                 } else if (response.status == 503) {
                     ++r.rejected;
+                } else if (response.status == 504) {
+                    ++r.deadline;
                 } else {
                     ++r.errors;
                 }
@@ -297,6 +326,8 @@ main(int argc, char **argv)
     for (WorkerResult &r : results) {
         total.ok += r.ok;
         total.rejected += r.rejected;
+        total.deadline += r.deadline;
+        total.timeouts += r.timeouts;
         total.errors += r.errors;
         total.warmup += r.warmup;
         total.latencies.insert(total.latencies.end(),
@@ -333,6 +364,8 @@ main(int argc, char **argv)
                              : json::Value(distinct));
     report.set("requests_ok", total.ok);
     report.set("requests_503", total.rejected);
+    report.set("requests_504", total.deadline);
+    report.set("requests_timeout", total.timeouts);
     report.set("requests_error", total.errors);
     report.set("throughput_rps", throughput);
     json::Value lat = json::Value::object();
@@ -357,6 +390,8 @@ main(int argc, char **argv)
                  c += targets.size()) {
                 tr.ok += results[c].ok;
                 tr.rejected += results[c].rejected;
+                tr.deadline += results[c].deadline;
+                tr.timeouts += results[c].timeouts;
                 tr.errors += results[c].errors;
                 tr.latencies.insert(tr.latencies.end(),
                                     results[c].latencies.begin(),
@@ -370,6 +405,8 @@ main(int argc, char **argv)
             row.set("target", targets[t].label);
             row.set("requests_ok", tr.ok);
             row.set("requests_503", tr.rejected);
+            row.set("requests_504", tr.deadline);
+            row.set("requests_timeout", tr.timeouts);
             row.set("requests_error", tr.errors);
             row.set("throughput_rps",
                     static_cast<double>(tr.ok) / duration);
@@ -388,6 +425,8 @@ main(int argc, char **argv)
             targetLines +=
                 "  " + targets[t].label + ": " +
                 std::to_string(tr.ok) + " ok, " +
+                std::to_string(tr.deadline) + " x 504, " +
+                std::to_string(tr.timeouts) + " timeouts, " +
                 std::to_string(tr.errors) + " errors, " +
                 json::formatDouble(
                     static_cast<double>(tr.ok) / duration) +
@@ -425,9 +464,11 @@ main(int argc, char **argv)
     }
 
     std::cout << "fosm-loadgen: " << total.ok << " ok, "
-              << total.rejected << " x 503, " << total.errors
-              << " errors in " << duration << " s ("
-              << json::formatDouble(throughput) << " req/s";
+              << total.rejected << " x 503, " << total.deadline
+              << " x 504, " << total.timeouts << " timeouts, "
+              << total.errors << " errors in " << duration
+              << " s (" << json::formatDouble(throughput)
+              << " req/s";
     if (rate > 0.0)
         std::cout << ", offered " << json::formatDouble(rate);
     std::cout << ")\n"
