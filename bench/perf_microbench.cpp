@@ -10,8 +10,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
 #include "branch/gshare.hh"
 #include "experiments/workbench.hh"
+#include "model/batch_eval.hh"
 
 namespace {
 
@@ -93,6 +99,78 @@ BM_ModelEvaluation(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ModelEvaluation);
+
+/** ULPs between two doubles (0 = identical bits). */
+std::uint64_t
+ulpDistance(double a, double b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return a == a || b == b ? ~0ull : 0;
+    std::int64_t ia, ib;
+    std::memcpy(&ia, &a, sizeof(ia));
+    std::memcpy(&ib, &b, sizeof(ib));
+    // Map the sign-magnitude bit pattern onto a monotone integer
+    // line so distance works across zero.
+    if (ia < 0)
+        ia = std::numeric_limits<std::int64_t>::min() - ia;
+    if (ib < 0)
+        ib = std::numeric_limits<std::int64_t>::min() - ib;
+    return static_cast<std::uint64_t>(ia > ib ? ia - ib : ib - ia);
+}
+
+void
+BM_ModelEvaluationBatched(benchmark::State &state)
+{
+    // The /v1/batch inner loop: many design points of one workload
+    // through the SoA kernels (shared transient walks, one overlap
+    // sweep) vs. the scalar model per point. Also the CI equivalence
+    // gate: batch results must be within MAX_ULPS of the scalar path
+    // (the contract is 0 — bit-identical; the bound exists so a
+    // future relaxation is an explicit decision, not silent drift).
+    constexpr std::uint64_t kMaxUlps = 0;
+    static Workbench bench;
+    const WorkloadData &data = bench.workload("gzip");
+    const std::size_t rows = static_cast<std::size_t>(state.range(0));
+
+    std::vector<MachineConfig> machines;
+    std::vector<IWCharacteristic> iws;
+    for (std::size_t i = 0; i < rows; ++i) {
+        MachineConfig m = Workbench::baselineMachine();
+        m.deltaD = static_cast<std::uint32_t>(100 + 10 * i);
+        if (i % 7 == 0)
+            m.robSize = 64u << (i % 3);
+        machines.push_back(m);
+        iws.push_back(data.iw);
+    }
+    const ModelOptions options;
+
+    const std::vector<CpiBreakdown> batched =
+        evaluateBatch(iws, machines, data.missProfile, options);
+    for (std::size_t i = 0; i < rows; ++i) {
+        const CpiBreakdown scalar =
+            FirstOrderModel(machines[i], options)
+                .evaluate(iws[i], data.missProfile);
+        if (ulpDistance(batched[i].total(), scalar.total()) >
+                kMaxUlps ||
+            ulpDistance(batched[i].dcacheLong, scalar.dcacheLong) >
+                kMaxUlps ||
+            ulpDistance(batched[i].brmisp, scalar.brmisp) >
+                kMaxUlps) {
+            state.SkipWithError(
+                "batched evaluation diverged from the scalar model "
+                "beyond the ULP bound");
+            return;
+        }
+    }
+
+    for (auto _ : state) {
+        const std::vector<CpiBreakdown> out =
+            evaluateBatch(iws, machines, data.missProfile, options);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_ModelEvaluationBatched)->Arg(64)->Arg(1024);
 
 void
 BM_CacheAccess(benchmark::State &state)

@@ -55,33 +55,38 @@ MissProfile::instsBetweenMispredicts() const
                      static_cast<double>(mispredictions));
 }
 
-std::vector<double>
-overlapGroupFractions(const std::vector<std::uint32_t> &gaps,
-                      std::uint64_t events, std::uint64_t rob_size)
+std::vector<std::uint64_t>
+overlapGroupSizes(const std::vector<std::uint32_t> &gaps,
+                  std::uint64_t rob_size)
 {
     std::vector<std::uint64_t> group_sizes;
-    if (events > 0) {
-        // gaps[k] is the gap before event k+1; the first event opens
-        // the first group. A later event joins the group only while
-        // it is within rob_size instructions of the group's *first*
-        // member — the ROB can only hold that many instructions
-        // behind the stalled one (Figure 13), so a long chain of
-        // closely spaced events still splits into ROB-sized groups.
-        std::uint64_t current = 1;
-        std::uint64_t span = 0;
-        for (std::uint32_t gap : gaps) {
-            if (span + gap < rob_size) {
-                ++current;
-                span += gap;
-            } else {
-                group_sizes.push_back(current);
-                current = 1;
-                span = 0;
-            }
+    // gaps[k] is the gap before event k+1; the first event opens
+    // the first group. A later event joins the group only while
+    // it is within rob_size instructions of the group's *first*
+    // member — the ROB can only hold that many instructions
+    // behind the stalled one (Figure 13), so a long chain of
+    // closely spaced events still splits into ROB-sized groups.
+    std::uint64_t current = 1;
+    std::uint64_t span = 0;
+    for (std::uint32_t gap : gaps) {
+        if (span + gap < rob_size) {
+            ++current;
+            span += gap;
+        } else {
+            group_sizes.push_back(current);
+            current = 1;
+            span = 0;
         }
-        group_sizes.push_back(current);
     }
+    group_sizes.push_back(current);
+    return group_sizes;
+}
 
+std::vector<double>
+overlapFractionsFromGroups(
+    const std::vector<std::uint64_t> &group_sizes,
+    std::uint64_t events)
+{
     std::uint64_t max_group = 1;
     for (std::uint64_t g : group_sizes)
         max_group = std::max(max_group, g);
@@ -103,17 +108,32 @@ overlapGroupFractions(const std::vector<std::uint32_t> &gaps,
 }
 
 double
+overlapFactorFromFractions(const std::vector<double> &fractions)
+{
+    double factor = 0.0;
+    for (std::size_t i = 0; i < fractions.size(); ++i)
+        factor += fractions[i] / static_cast<double>(i + 1);
+    return factor;
+}
+
+std::vector<double>
+overlapGroupFractions(const std::vector<std::uint32_t> &gaps,
+                      std::uint64_t events, std::uint64_t rob_size)
+{
+    if (events == 0)
+        return std::vector<double>(1, 0.0);
+    return overlapFractionsFromGroups(
+        overlapGroupSizes(gaps, rob_size), events);
+}
+
+double
 overlapFactor(const std::vector<std::uint32_t> &gaps,
               std::uint64_t events, std::uint64_t rob_size)
 {
     if (events == 0)
         return 1.0;
-    const std::vector<double> f =
-        overlapGroupFractions(gaps, events, rob_size);
-    double factor = 0.0;
-    for (std::size_t i = 0; i < f.size(); ++i)
-        factor += f[i] / static_cast<double>(i + 1);
-    return factor;
+    return overlapFactorFromFractions(
+        overlapGroupFractions(gaps, events, rob_size));
 }
 
 std::vector<double>

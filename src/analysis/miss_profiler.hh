@@ -129,6 +129,26 @@ overlapGroupFractions(const std::vector<std::uint32_t> &gaps,
 double overlapFactor(const std::vector<std::uint32_t> &gaps,
                      std::uint64_t events, std::uint64_t rob_size);
 
+/**
+ * The group-collection pass alone: sizes of the overlap groups the
+ * gap sequence splits into for one rob_size. Exposed so the batch
+ * kernel (model/kernels.hh) can run this recurrence for many ROB
+ * sizes in a single pass over the (potentially long) gap vector and
+ * still finish through the same fraction/summation code below —
+ * keeping batch results bit-identical to the scalar path.
+ */
+std::vector<std::uint64_t>
+overlapGroupSizes(const std::vector<std::uint32_t> &gaps,
+                  std::uint64_t rob_size);
+
+/** The f(i) distribution from collected group sizes. */
+std::vector<double>
+overlapFractionsFromGroups(const std::vector<std::uint64_t> &group_sizes,
+                           std::uint64_t events);
+
+/** sum_i f(i)/(i+1) over the distribution, in ascending-i order. */
+double overlapFactorFromFractions(const std::vector<double> &fractions);
+
 /** Configuration of the profiling pass. */
 struct ProfilerConfig
 {

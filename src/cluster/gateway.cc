@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <limits>
+#include <map>
 #include <random>
 #include <thread>
 
@@ -126,6 +127,19 @@ Gateway::Gateway(GatewayConfig config,
         membershipChanges_ = &metrics_->counter(
             "fosm_gateway_membership_changes_total",
             "Topology rebuilds from POST /admin/backends");
+        batchRequests_ = &metrics_->counter(
+            "fosm_gateway_batch_requests_total",
+            "Client /v1/batch requests split across backends");
+        batchShardCalls_ = &metrics_->counter(
+            "fosm_gateway_batch_shard_calls_total",
+            "Per-backend binary batch frames sent upstream");
+        batchRows_ = &metrics_->counter(
+            "fosm_gateway_batch_rows_total",
+            "Design-point rows carried by /v1/batch requests");
+        batchRowErrors_ = &metrics_->counter(
+            "fosm_gateway_batch_row_errors_total",
+            "Batch rows answered with an error slot (invalid row "
+            "or failed shard)");
         upstreamLatency_ = &metrics_->histogram(
             "fosm_gateway_upstream_latency_seconds",
             "Latency of winning upstream exchanges");
@@ -194,6 +208,7 @@ Gateway::metricPaths() const
 {
     std::vector<std::string> paths(std::begin(kProxyPaths),
                                    std::end(kProxyPaths));
+    paths.emplace_back("/v1/batch");
     paths.emplace_back("/healthz");
     paths.emplace_back("/metrics");
     paths.emplace_back("/v1/store/stats");
@@ -231,6 +246,7 @@ server::HttpResponse
 Gateway::exchangeWithHedge(Backend &primary, Backend *hedgeTarget,
                            const std::string &path,
                            const std::string &body,
+                           const std::string &contentType,
                            Clock::time_point deadline,
                            bool &transportOk)
 {
@@ -239,10 +255,13 @@ Gateway::exchangeWithHedge(Backend &primary, Backend *hedgeTarget,
     // Propagate the remaining budget so the replica can shed work
     // this gateway has already given up on.
     const auto wireFor = [&](const Backend &b) {
+        std::vector<std::pair<std::string, std::string>> extra{
+            {server::deadlineHeader,
+             std::to_string(millisLeft(deadline))}};
+        if (!contentType.empty())
+            extra.emplace_back("Content-Type", contentType);
         return server::serializeRequest(
-            "POST", path, b.address().label, body,
-            {{server::deadlineHeader,
-              std::to_string(millisLeft(deadline))}});
+            "POST", path, b.address().label, body, extra);
     };
 
     UpstreamCall calls[2];
@@ -428,9 +447,20 @@ Gateway::proxy(const server::HttpRequest &request)
     const std::shared_ptr<const Topology> topo = topology();
     if (topo->backends.empty())
         return jsonError(503, "no backends in topology");
-    const std::uint64_t digest = shardDigest(path, body);
+    return routedExchange(*topo, shardDigest(path, body), path,
+                          body, std::string(), hasOverall, overall);
+}
+
+server::HttpResponse
+Gateway::routedExchange(const Topology &topo, std::uint64_t digest,
+                        const std::string &path,
+                        const std::string &body,
+                        const std::string &contentType,
+                        bool hasOverall, Clock::time_point overall)
+{
+    const auto entry = Clock::now();
     const std::vector<std::uint32_t> pref =
-        topo->ring.route(digest, topo->backends.size());
+        topo.ring.route(digest, topo.backends.size());
 
     // Preference order within each tier: fully routable backends
     // first, then deferred/breaker-open ones, ejected ones last
@@ -446,7 +476,7 @@ Gateway::proxy(const server::HttpRequest &request)
     order.reserve(pref.size());
     for (int tier = 0; tier <= 2; ++tier)
         for (std::uint32_t i : pref)
-            if (rank(*topo->backends[i]) == tier)
+            if (rank(*topo.backends[i]) == tier)
                 order.push_back(i);
 
     // The configured retry count is a floor, not a ceiling: while
@@ -489,9 +519,9 @@ Gateway::proxy(const server::HttpRequest &request)
         }
 
         Backend &target =
-            *topo->backends[order[static_cast<std::size_t>(
-                                      attempt) %
-                                  order.size()]];
+            *topo.backends[order[static_cast<std::size_t>(
+                                     attempt) %
+                                 order.size()]];
         if (!target.breaker().allowRequest(now)) {
             if (breakerRejections_)
                 breakerRejections_->inc();
@@ -503,10 +533,10 @@ Gateway::proxy(const server::HttpRequest &request)
         Backend *hedgeTarget = nullptr;
         if (order.size() > 1)
             hedgeTarget =
-                topo->backends[order[(static_cast<std::size_t>(
-                                          attempt) +
-                                      1) %
-                                     order.size()]]
+                topo.backends[order[(static_cast<std::size_t>(
+                                         attempt) +
+                                     1) %
+                                    order.size()]]
                     .get();
 
         Clock::time_point attemptDeadline =
@@ -518,7 +548,8 @@ Gateway::proxy(const server::HttpRequest &request)
         bool transportOk = false;
         server::HttpResponse response =
             exchangeWithHedge(target, hedgeTarget, path, body,
-                              attemptDeadline, transportOk);
+                              contentType, attemptDeadline,
+                              transportOk);
         if (!transportOk)
             continue;
         if (response.status >= 500) {
@@ -549,6 +580,160 @@ Gateway::proxy(const server::HttpRequest &request)
     if (have5xx)
         return last5xx;
     return jsonError(502, "all upstream attempts failed");
+}
+
+server::HttpResponse
+Gateway::proxyBatch(const server::HttpRequest &request)
+{
+    namespace batch = server::batch;
+
+    // The binary frame is a gateway-to-backend wire; clients of the
+    // gateway speak JSON on both sides of /v1/batch.
+    if (request.header("content-type")
+            .rfind(batch::contentType, 0) == 0) {
+        return jsonError(415,
+                         "the gateway accepts JSON batches; "
+                         "application/x-fosm-batch is the upstream "
+                         "wire format");
+    }
+
+    json::Value parsed;
+    std::string error;
+    if (!json::parse(request.body, parsed, &error))
+        return jsonError(400, "invalid JSON body: " + error);
+    batch::Request req;
+    try {
+        req = batch::parseRequest(parsed);
+    } catch (const server::ServiceError &e) {
+        return jsonError(e.status(), e.what());
+    }
+
+    const auto entry = Clock::now();
+    const bool hasOverall =
+        request.hasDeadline() || config_.defaultDeadlineMs > 0;
+    const Clock::time_point overall =
+        request.hasDeadline()
+            ? request.deadline
+            : entry + std::chrono::milliseconds(
+                          config_.defaultDeadlineMs);
+    if (hasOverall && entry >= overall) {
+        if (deadlineExceeded_)
+            deadlineExceeded_->inc();
+        return jsonError(504, "deadline exhausted before proxying");
+    }
+
+    const std::shared_ptr<const Topology> topo = topology();
+    if (topo->backends.empty())
+        return jsonError(503, "no backends in topology");
+
+    const std::size_t n = req.rows.size();
+    if (batchRequests_)
+        batchRequests_->inc();
+    if (batchRows_)
+        batchRows_->inc(n);
+
+    // Every row starts as an error slot; evaluated rows overwrite
+    // theirs when the owning shard's response is scattered back.
+    batch::Result result;
+    result.workload = req.workload;
+    for (std::size_t i = 0; i < n; ++i)
+        result.pushError("row not evaluated");
+
+    // Split by the same digest the backends' response caches key on:
+    // each row lands on the backend that owns (and has likely
+    // cached) the identical single-request /v1/cpi entry.
+    struct Group
+    {
+        std::uint64_t digest = 0;
+        std::vector<std::size_t> rows;
+    };
+    std::map<std::uint32_t, Group> groups;
+    for (std::size_t i = 0; i < n; ++i) {
+        json::Value merged;
+        try {
+            merged = batch::mergedRowBody(req, req.rows[i]);
+        } catch (const server::ServiceError &e) {
+            // Same per-row message the backend's own validation
+            // produces; no point shipping the row upstream.
+            result.errors[i] = e.what();
+            continue;
+        }
+        const std::uint64_t digest = fnv1a64(
+            server::ModelService::cacheKey("/v1/cpi", merged));
+        const std::uint32_t owner =
+            topo->ring.route(digest, topo->backends.size())[0];
+        auto [it, fresh] = groups.try_emplace(owner);
+        if (fresh)
+            it->second.digest = digest;
+        it->second.rows.push_back(i);
+    }
+
+    const json::Value *sharedMachine =
+        req.sharedMachine.isObject() ? &req.sharedMachine : nullptr;
+    const json::Value *sharedOptions =
+        req.sharedOptions.isObject() ? &req.sharedOptions : nullptr;
+
+    for (const auto &[owner, group] : groups) {
+        if (batchShardCalls_)
+            batchShardCalls_->inc();
+        std::vector<const json::Value *> rowPtrs;
+        rowPtrs.reserve(group.rows.size());
+        for (std::size_t i : group.rows)
+            rowPtrs.push_back(&req.rows[i]);
+        const std::string wire = batch::encodeRequest(
+            req.workload, sharedMachine, sharedOptions, rowPtrs);
+
+        // The group digest routes to the shard owner first; retries
+        // and hedges walk the same ring order as single requests.
+        server::HttpResponse upstream = routedExchange(
+            *topo, group.digest, "/v1/batch", wire,
+            batch::contentType, hasOverall, overall);
+
+        batch::Result shard;
+        std::string decodeError;
+        if (upstream.status == 200 &&
+            batch::decodeResponse(upstream.body, shard,
+                                  &decodeError) &&
+            shard.rows() == group.rows.size()) {
+            for (std::size_t j = 0; j < group.rows.size(); ++j) {
+                const std::size_t i = group.rows[j];
+                result.ideal[i] = shard.ideal[j];
+                result.brmisp[i] = shard.brmisp[j];
+                result.icacheL1[i] = shard.icacheL1[j];
+                result.icacheL2[i] = shard.icacheL2[j];
+                result.dcacheLong[i] = shard.dcacheLong[j];
+                result.dtlb[i] = shard.dtlb[j];
+                result.total[i] = shard.total[j];
+                result.ipc[i] = shard.ipc[j];
+                result.errors[i] = shard.errors[j];
+            }
+        } else {
+            // A failed shard degrades to error slots for its rows
+            // only — the rest of the batch still answers.
+            const std::string why =
+                upstream.status == 200
+                    ? "bad upstream batch frame: " + decodeError
+                    : "upstream shard answered " +
+                          std::to_string(upstream.status);
+            for (std::size_t i : group.rows)
+                result.errors[i] = why;
+        }
+    }
+
+    if (batchRowErrors_) {
+        std::uint64_t bad = 0;
+        for (const std::string &e : result.errors)
+            if (!e.empty())
+                ++bad;
+        if (bad > 0)
+            batchRowErrors_->inc(bad);
+    }
+
+    server::HttpResponse out = server::HttpResponse::json(
+        200, batch::toJson(result).dump());
+    out.setHeader("X-Fosm-Batch-Shards",
+                  std::to_string(groups.size()));
+    return out;
 }
 
 bool
@@ -763,6 +948,11 @@ Gateway::handler()
             if (request.method == "POST")
                 return adminChangeBackends(request.body);
             return jsonError(405, "use GET or POST");
+        }
+        if (path == "/v1/batch") {
+            if (request.method != "POST")
+                return jsonError(405, "use POST");
+            return proxyBatch(request);
         }
         if (isProxyPath(path)) {
             if (request.method != "POST")

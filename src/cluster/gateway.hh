@@ -128,10 +128,32 @@ class Gateway
     using Clock = std::chrono::steady_clock;
 
     server::HttpResponse proxy(const server::HttpRequest &request);
+    /**
+     * /v1/batch: split the client's JSON batch into per-backend row
+     * groups by each row's cache digest, send every group upstream
+     * as one binary frame, and reassemble the columnar response in
+     * the client's row order. A failed group degrades to per-row
+     * error slots, never a whole-batch failure.
+     */
+    server::HttpResponse
+    proxyBatch(const server::HttpRequest &request);
+    /**
+     * The shared retry/hedge engine: route digest onto topo's ring
+     * and walk the preference order (healthy tier first) with
+     * bounded, jittered backoff until a response, the retry budget,
+     * or the overall deadline. contentType overrides the JSON
+     * default on the upstream wire when non-empty.
+     */
+    server::HttpResponse routedExchange(
+        const Topology &topo, std::uint64_t digest,
+        const std::string &path, const std::string &body,
+        const std::string &contentType, bool hasOverall,
+        Clock::time_point overall);
     /** One attempt (with optional hedge) bounded by deadline. */
     server::HttpResponse exchangeWithHedge(
         Backend &primary, Backend *hedgeTarget,
         const std::string &path, const std::string &body,
+        const std::string &contentType,
         Clock::time_point deadline, bool &transportOk);
     /** Current hedge trigger delay in milliseconds. */
     int hedgeDelayMs() const;
@@ -159,6 +181,10 @@ class Gateway
     server::Counter *retryAfterHonored_ = nullptr;
     server::Counter *breakerRejections_ = nullptr;
     server::Counter *membershipChanges_ = nullptr;
+    server::Counter *batchRequests_ = nullptr;
+    server::Counter *batchShardCalls_ = nullptr;
+    server::Counter *batchRows_ = nullptr;
+    server::Counter *batchRowErrors_ = nullptr;
     server::Histogram *upstreamLatency_ = nullptr;
 };
 

@@ -32,6 +32,15 @@ inline constexpr std::uint32_t modelSchemaVersion = 1;
  */
 inline constexpr std::uint32_t characterizationFormatVersion = 1;
 
+/**
+ * Version of the application/x-fosm-batch wire format the gateway
+ * speaks to backends for /v1/batch (server/batch.hh). Carried in
+ * every frame; a receiver rejects frames from a different vintage
+ * with 400 rather than misdecoding them. Bump when the frame layout
+ * changes.
+ */
+inline constexpr std::uint32_t batchWireFormatVersion = 1;
+
 } // namespace fosm
 
 #endif // FOSM_COMMON_VERSION_HH

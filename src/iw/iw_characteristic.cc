@@ -42,30 +42,11 @@ IWCharacteristic::fromPoints(const std::vector<IwPoint> &points,
     return iw;
 }
 
-double
-IWCharacteristic::unitRate(double window_occupancy) const
-{
-    if (window_occupancy <= 0.0)
-        return 0.0;
-    return alpha_ * std::pow(window_occupancy, beta_);
-}
-
 void
 IWCharacteristic::setSaturationCap(double cap)
 {
     fosm_assert(cap >= 0.0, "saturation cap must be >= 0");
     saturationCap_ = cap;
-}
-
-double
-IWCharacteristic::issueRate(double window_occupancy) const
-{
-    double rate = unitRate(window_occupancy) / avgLatency_;
-    if (issueWidth_ != 0)
-        rate = std::min(rate, static_cast<double>(issueWidth_));
-    if (saturationCap_ > 0.0)
-        rate = std::min(rate, saturationCap_);
-    return rate;
 }
 
 double

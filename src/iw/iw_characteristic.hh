@@ -9,6 +9,8 @@
 #ifndef FOSM_IW_IW_CHARACTERISTIC_HH
 #define FOSM_IW_IW_CHARACTERISTIC_HH
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -46,11 +48,32 @@ class IWCharacteristic
     /**
      * Average issue rate with W instructions in the window:
      * min(issueWidth, alpha * W^beta / L). W=0 issues nothing.
+     *
+     * Defined inline in the header so the scalar transient walks and
+     * the structure-of-arrays batch kernels (model/kernels.hh) compile
+     * the exact same expression: one definition means both paths get
+     * identical floating-point results bit for bit, which the batch
+     * endpoint's bit-identity contract depends on.
      */
-    double issueRate(double window_occupancy) const;
+    double
+    issueRate(double window_occupancy) const
+    {
+        double rate = unitRate(window_occupancy) / avgLatency_;
+        if (issueWidth_ != 0)
+            rate = std::min(rate, static_cast<double>(issueWidth_));
+        if (saturationCap_ > 0.0)
+            rate = std::min(rate, saturationCap_);
+        return rate;
+    }
 
     /** Unit-latency, unbounded-width rate alpha * W^beta. */
-    double unitRate(double window_occupancy) const;
+    double
+    unitRate(double window_occupancy) const
+    {
+        if (window_occupancy <= 0.0)
+            return 0.0;
+        return alpha_ * std::pow(window_occupancy, beta_);
+    }
 
     /**
      * Steady-state sustainable IPC for the given window size

@@ -1,0 +1,119 @@
+#include "model/batch_eval.hh"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <tuple>
+
+#include "common/logging.hh"
+#include "model/kernels.hh"
+
+namespace fosm {
+
+namespace {
+
+/**
+ * Everything the drain/ramp walks read: the effective curve's
+ * parameters plus the machine's width and window size. Rows that
+ * agree on these share one walk regardless of their miss delays or
+ * ROB size. Doubles are compared exactly — equal keys come from
+ * identical inputs, so they carry identical bits.
+ */
+using TransientKey = std::tuple<double, double, double, std::uint32_t,
+                                double, std::uint32_t, std::uint32_t>;
+
+TransientKey
+transientKey(const IWCharacteristic &iw, const MachineConfig &m)
+{
+    return {iw.alpha(),      iw.beta(),  iw.avgLatency(),
+            iw.issueWidth(), iw.saturationCap(),
+            m.width,         m.windowSize};
+}
+
+} // namespace
+
+std::vector<CpiBreakdown>
+evaluateBatch(const std::vector<IWCharacteristic> &iws,
+              const std::vector<MachineConfig> &machines,
+              const MissProfile &profile, const ModelOptions &options)
+{
+    fosm_assert(iws.size() == machines.size(),
+                "one IW curve per machine");
+    const std::size_t n = machines.size();
+    std::vector<CpiBreakdown> out(n);
+    if (n == 0)
+        return out;
+
+    // Per-row models and effective curves (cheap; the walks are the
+    // expensive part).
+    std::vector<FirstOrderModel> models;
+    models.reserve(n);
+    std::vector<IWCharacteristic> effective;
+    effective.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        models.emplace_back(machines[i], options);
+        effective.push_back(models[i].effectiveIw(iws[i], profile));
+    }
+
+    // Deduplicate transients. deque keeps analyzer addresses stable
+    // while lanes grow.
+    std::map<TransientKey, std::size_t> laneOf;
+    std::deque<TransientAnalyzer> analyzers;
+    std::vector<const TransientAnalyzer *> lanes;
+    std::vector<std::size_t> rowLane(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const TransientKey key = transientKey(effective[i], machines[i]);
+        auto [it, inserted] = laneOf.emplace(key, lanes.size());
+        if (inserted) {
+            analyzers.emplace_back(effective[i], machines[i]);
+            lanes.push_back(&analyzers.back());
+        }
+        rowLane[i] = it->second;
+    }
+    const std::vector<kernels::TransientWalks> walks =
+        kernels::drainRampBatch(lanes);
+
+    // Overlap factors for all distinct ROB sizes in one sweep of the
+    // gap vectors (only when the options read them).
+    const bool needOverlap =
+        options.dcacheOverlap || options.compensateOverlaps;
+    std::map<std::uint64_t, std::size_t> robOf;
+    std::vector<std::uint64_t> robs;
+    std::vector<std::size_t> rowRob(n, 0);
+    std::vector<double> ldmFactors, dtlbFactors;
+    if (needOverlap) {
+        for (std::size_t i = 0; i < n; ++i) {
+            auto [it, inserted] =
+                robOf.emplace(machines[i].robSize, robs.size());
+            if (inserted)
+                robs.push_back(machines[i].robSize);
+            rowRob[i] = it->second;
+        }
+        ldmFactors = kernels::overlapFactorBatch(
+            profile.ldmGaps, profile.longLoadMisses, robs);
+        if (profile.dtlbLoadMisses > 0 && options.dcacheOverlap)
+            dtlbFactors = kernels::overlapFactorBatch(
+                profile.dtlbGaps, profile.dtlbLoadMisses, robs);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const kernels::TransientWalks &w = walks[rowLane[i]];
+        const double *ldm =
+            needOverlap ? &ldmFactors[rowRob[i]] : nullptr;
+        const double *dtlb =
+            dtlbFactors.empty() ? nullptr : &dtlbFactors[rowRob[i]];
+        // The memoized walks only depend on the lane key, but the
+        // penalty formulas read the row's own machine (deltaD,
+        // frontEndDepth, ...) — so hand them a per-row analyzer
+        // (O(1) to build; the walks are the expensive part), not the
+        // shared lane's, whose machine is the lane creator's.
+        const TransientAnalyzer rowTransient(effective[i],
+                                             machines[i]);
+        out[i] = models[i].evaluateWithWalks(rowTransient, w.drain,
+                                             w.ramp, profile, ldm,
+                                             dtlb);
+    }
+    return out;
+}
+
+} // namespace fosm

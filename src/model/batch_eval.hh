@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Batched equation-(1) evaluation for many design points of one
+ * workload. The /v1/batch endpoint amortizes what the single-request
+ * path pays per design point:
+ *
+ *  - drain/ramp transient walks are memoized per distinct effective
+ *    (IW curve, width, windowSize) and walked in lockstep by the
+ *    structure-of-arrays kernels (model/kernels.hh); rows that vary
+ *    only the miss delays or ROB size share one walk.
+ *  - equation-(8) overlap factors for all distinct ROB sizes come
+ *    from a single sweep over the profile's gap vectors.
+ *
+ * Every row's final numbers are assembled by the exact scalar
+ * FirstOrderModel::evaluateWithWalks, so a batch row is bit-identical
+ * to FirstOrderModel::evaluate for the same machine.
+ */
+
+#ifndef FOSM_MODEL_BATCH_EVAL_HH
+#define FOSM_MODEL_BATCH_EVAL_HH
+
+#include <vector>
+
+#include "model/first_order_model.hh"
+
+namespace fosm {
+
+/**
+ * Evaluate one workload (profile + per-row fitted IW curve) against
+ * many machines under shared options. iws[i] is the curve fitted for
+ * machines[i] (the fit's alpha/beta are machine independent, but the
+ * specialised issue width follows machines[i].width); iws and
+ * machines must be the same length. Row i of the result equals
+ * FirstOrderModel(machines[i], options).evaluate(iws[i], profile)
+ * bit for bit.
+ */
+std::vector<CpiBreakdown>
+evaluateBatch(const std::vector<IWCharacteristic> &iws,
+              const std::vector<MachineConfig> &machines,
+              const MissProfile &profile, const ModelOptions &options);
+
+} // namespace fosm
+
+#endif // FOSM_MODEL_BATCH_EVAL_HH

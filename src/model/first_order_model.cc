@@ -41,6 +41,16 @@ CpiBreakdown
 FirstOrderModel::evaluate(const IWCharacteristic &iw,
                           const MissProfile &profile) const
 {
+    const IWCharacteristic effective = effectiveIw(iw, profile);
+    const TransientAnalyzer transient(effective, machine_);
+    return evaluateWithWalks(transient, transient.windowDrain(),
+                             transient.rampUp(), profile);
+}
+
+IWCharacteristic
+FirstOrderModel::effectiveIw(const IWCharacteristic &iw,
+                             const MissProfile &profile) const
+{
     // Future-work 1: limited functional units lower the saturation
     // level below the issue width, given the workload's mix.
     IWCharacteristic effective = iw;
@@ -65,8 +75,29 @@ FirstOrderModel::evaluate(const IWCharacteristic &iw,
         clustered.setSaturationCap(effective.saturationCap());
         effective = clustered;
     }
-    const TransientAnalyzer transient(effective, machine_);
-    const PenaltyModel penalties(transient);
+    return effective;
+}
+
+CpiBreakdown
+FirstOrderModel::evaluateWithWalks(const TransientAnalyzer &transient,
+                                   const DrainResult &drain,
+                                   const RampResult &ramp,
+                                   const MissProfile &profile,
+                                   const double *ldm_overlap,
+                                   const double *dtlb_overlap) const
+{
+    const PenaltyModel penalties(transient, drain, ramp);
+
+    // The overlap factor at this machine's ROB size feeds both the
+    // D-miss term and the compensation term; compute (or take the
+    // injected value) once.
+    const bool need_ldm =
+        options_.dcacheOverlap || options_.compensateOverlaps;
+    const double ldm_factor = !need_ldm
+        ? 1.0
+        : (ldm_overlap != nullptr
+               ? *ldm_overlap
+               : profile.ldmOverlapFactor(machine_.robSize));
 
     CpiBreakdown breakdown;
     breakdown.ideal = 1.0 / transient.steadyIpc();
@@ -108,9 +139,8 @@ FirstOrderModel::evaluate(const IWCharacteristic &iw,
                      buffer_slack);
 
     // Long data cache misses (Section 4.3, equation 8).
-    breakdown.ldmOverlapFactor = options_.dcacheOverlap
-        ? profile.ldmOverlapFactor(machine_.robSize)
-        : 1.0;
+    breakdown.ldmOverlapFactor =
+        options_.dcacheOverlap ? ldm_factor : 1.0;
     breakdown.dcachePenaltyPerEvent = penalties.dcachePenalty(
         breakdown.ldmOverlapFactor, options_.dcacheFirstOrder);
     breakdown.dcacheLong =
@@ -121,7 +151,9 @@ FirstOrderModel::evaluate(const IWCharacteristic &iw,
     // misses" - the walk latency, shared within ROB-reach groups.
     if (profile.dtlbLoadMisses > 0) {
         const double tlb_factor = options_.dcacheOverlap
-            ? profile.dtlbOverlapFactor(machine_.robSize)
+            ? (dtlb_overlap != nullptr
+                   ? *dtlb_overlap
+                   : profile.dtlbOverlapFactor(machine_.robSize))
             : 1.0;
         breakdown.dtlb = profile.dtlbLoadMissesPerInst() *
                          static_cast<double>(machine_.deltaT) *
@@ -137,8 +169,7 @@ FirstOrderModel::evaluate(const IWCharacteristic &iw,
     // groups/instruction x rob_size.
     if (options_.compensateOverlaps) {
         const double groups_per_inst =
-            profile.longLoadMissesPerInst() *
-            profile.ldmOverlapFactor(machine_.robSize);
+            profile.longLoadMissesPerInst() * ldm_factor;
         const double f = std::min(
             0.9, groups_per_inst * static_cast<double>(machine_.robSize));
         breakdown.brmisp *= 1.0 - f;

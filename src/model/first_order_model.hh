@@ -110,6 +110,33 @@ class FirstOrderModel
     CpiBreakdown evaluate(const IWCharacteristic &iw,
                           const MissProfile &profile) const;
 
+    /**
+     * The IW characteristic actually walked for this machine: the
+     * fitted curve with the functional-unit saturation cap
+     * (future-work 1) and the clustered-window latency stretch
+     * (future-work 3) applied. evaluate() is effectiveIw +
+     * TransientAnalyzer + evaluateWithWalks; the batch evaluator
+     * calls the pieces so it can memoize the walks across rows.
+     */
+    IWCharacteristic effectiveIw(const IWCharacteristic &iw,
+                                 const MissProfile &profile) const;
+
+    /**
+     * Equation (1) given precomputed drain/ramp walks for the
+     * effective transient. When non-null, ldm_overlap / dtlb_overlap
+     * inject the equation-(8) overlap factors at this machine's ROB
+     * size (the batch evaluator computes them for all distinct ROB
+     * sizes in one sweep of the gap vector); null recomputes them
+     * from the profile, which yields the same bits.
+     */
+    CpiBreakdown evaluateWithWalks(const TransientAnalyzer &transient,
+                                   const DrainResult &drain,
+                                   const RampResult &ramp,
+                                   const MissProfile &profile,
+                                   const double *ldm_overlap = nullptr,
+                                   const double *dtlb_overlap =
+                                       nullptr) const;
+
     const MachineConfig &machine() const { return machine_; }
     const ModelOptions &options() const { return options_; }
 

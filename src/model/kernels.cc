@@ -1,0 +1,179 @@
+#include "model/kernels.hh"
+
+#include <algorithm>
+
+#include "analysis/miss_profiler.hh"
+
+namespace fosm::kernels {
+
+void
+issueRateArray(const IWCharacteristic &iw, const double *w,
+               double *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = iw.issueRate(w[i]);
+}
+
+namespace {
+
+/**
+ * One lockstep iteration of either walk needs the live lanes' rates;
+ * gather their occupancies into a contiguous scratch array, evaluate
+ * the power-law once per lane per iteration, and scatter back. The
+ * per-lane arithmetic and its order are exactly the scalar loop's.
+ */
+struct Gather
+{
+    std::vector<std::size_t> live; ///< indices of active lanes
+    std::vector<double> w;         ///< their occupancies, packed
+    std::vector<double> rate;      ///< issueRate results, packed
+};
+
+} // namespace
+
+std::vector<TransientWalks>
+drainRampBatch(const std::vector<const TransientAnalyzer *> &lanes)
+{
+    const std::size_t n = lanes.size();
+    std::vector<TransientWalks> out(n);
+
+    // ---- Drain: w starts at steady occupancy and falls by the issue
+    // rate each cycle until below drainFloor (scalar windowDrain).
+    std::vector<double> w(n), inst(n, 0.0);
+    std::vector<int> cycles(n, 0);
+    Gather g;
+    g.live.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        w[i] = lanes[i]->steadyOccupancy();
+        g.live.push_back(i);
+    }
+    while (!g.live.empty()) {
+        g.w.clear();
+        g.rate.clear();
+        std::vector<std::size_t> next;
+        next.reserve(g.live.size());
+        for (const std::size_t i : g.live) {
+            if (!(w[i] > TransientAnalyzer::drainFloor &&
+                  cycles[i] < TransientAnalyzer::maxWalk))
+                continue;
+            next.push_back(i);
+            g.w.push_back(w[i]);
+        }
+        g.rate.resize(g.w.size());
+        g.live.clear();
+        // Per-lane rate via the shared inline power-law; grouping by
+        // IW is unnecessary for correctness (each element calls its
+        // own lane's characteristic).
+        for (std::size_t k = 0; k < next.size(); ++k)
+            g.rate[k] =
+                lanes[next[k]]->iw().issueRate(g.w[k]);
+        for (std::size_t k = 0; k < next.size(); ++k) {
+            const std::size_t i = next[k];
+            const double rate = std::min(g.rate[k], w[i]);
+            if (rate <= 1e-9)
+                continue; // lane terminates (scalar break)
+            inst[i] += rate;
+            w[i] -= rate;
+            ++cycles[i];
+            g.live.push_back(i);
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        DrainResult &d = out[i].drain;
+        d.cycles = cycles[i];
+        d.instructions = inst[i];
+        d.residual = w[i];
+        d.penalty =
+            d.cycles - d.instructions / lanes[i]->steadyIpc();
+    }
+
+    // ---- Ramp: the empty window fills at the dispatch width while
+    // issuing, until the rate is within tolerance of steady (scalar
+    // rampUp). Same lockstep structure.
+    std::vector<double> lost(n, 0.0);
+    std::fill(w.begin(), w.end(), 0.0);
+    std::fill(inst.begin(), inst.end(), 0.0);
+    std::fill(cycles.begin(), cycles.end(), 0);
+    g.live.clear();
+    for (std::size_t i = 0; i < n; ++i)
+        g.live.push_back(i);
+    while (!g.live.empty()) {
+        std::vector<std::size_t> next;
+        next.reserve(g.live.size());
+        g.w.clear();
+        for (const std::size_t i : g.live) {
+            if (cycles[i] >= TransientAnalyzer::maxWalk)
+                continue;
+            const MachineConfig &m = lanes[i]->machine();
+            w[i] = std::min(w[i] + m.width,
+                            static_cast<double>(m.windowSize));
+            next.push_back(i);
+            g.w.push_back(w[i]);
+        }
+        g.rate.resize(g.w.size());
+        g.live.clear();
+        for (std::size_t k = 0; k < next.size(); ++k)
+            g.rate[k] =
+                lanes[next[k]]->iw().issueRate(g.w[k]);
+        for (std::size_t k = 0; k < next.size(); ++k) {
+            const std::size_t i = next[k];
+            const double rate = std::min(g.rate[k], w[i]);
+            const double steady = lanes[i]->steadyIpc();
+            if (rate >= TransientAnalyzer::rampTolerance * steady)
+                continue; // lane terminates (scalar break)
+            inst[i] += rate;
+            lost[i] += steady - rate;
+            w[i] -= rate;
+            ++cycles[i];
+            g.live.push_back(i);
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        RampResult &r = out[i].ramp;
+        r.cycles = cycles[i];
+        r.instructions = inst[i];
+        r.penalty = lost[i] / lanes[i]->steadyIpc();
+    }
+    return out;
+}
+
+std::vector<double>
+overlapFactorBatch(const std::vector<std::uint32_t> &gaps,
+                   std::uint64_t events,
+                   const std::vector<std::uint64_t> &robSizes)
+{
+    const std::size_t n = robSizes.size();
+    std::vector<double> out(n, 1.0);
+    if (events == 0)
+        return out;
+
+    // The group-collection recurrence of overlapGroupSizes, run for
+    // every ROB size in one sweep of the gap vector. The gap list is
+    // proportional to the long-miss count (can be hundreds of
+    // thousands of entries), so for a batch sweeping robSize this
+    // single pass replaces robSizes.size() full passes.
+    std::vector<std::uint64_t> current(n, 1), span(n, 0);
+    std::vector<std::vector<std::uint64_t>> groups(n);
+    for (const std::uint32_t gap : gaps) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (span[i] + gap < robSizes[i]) {
+                ++current[i];
+                span[i] += gap;
+            } else {
+                groups[i].push_back(current[i]);
+                current[i] = 1;
+                span[i] = 0;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        groups[i].push_back(current[i]);
+        // Finish through the same fraction/summation code as the
+        // scalar overlapFactor, preserving bit-identical results.
+        out[i] = overlapFactorFromFractions(
+            overlapFractionsFromGroups(groups[i], events));
+    }
+    return out;
+}
+
+} // namespace fosm::kernels

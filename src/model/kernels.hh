@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Structure-of-arrays batch kernels for the model arithmetic that
+ * dominates a /v1/batch evaluation: the IW power-law (the inner
+ * expression of trends.cc and transient.cc walks), the drain/ramp
+ * transient walks, and the f_LDM overlap sums of penalties.cc /
+ * miss_profiler.cc. Each kernel evaluates many lanes per pass —
+ * occupancies gathered into contiguous arrays for the power-law, one
+ * shared sweep over the (long) gap vector for all ROB sizes — while
+ * calling the exact same inline per-element helpers the scalar path
+ * uses (IWCharacteristic::issueRate, the overlapFractionsFromGroups /
+ * overlapFactorFromFractions finish). One definition of the math
+ * means batch results are bit-identical to the scalar walks — the
+ * /v1/batch bit-identity contract — and the scalar members of
+ * TransientAnalyzer remain the single-lane fallback.
+ */
+
+#ifndef FOSM_MODEL_KERNELS_HH
+#define FOSM_MODEL_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "model/transient.hh"
+
+namespace fosm::kernels {
+
+/** Precomputed drain + ramp walks for one (IW, machine) pair. */
+struct TransientWalks
+{
+    DrainResult drain;
+    RampResult ramp;
+};
+
+/**
+ * Power-law array kernel: out[i] = iw.issueRate(w[i]) for n
+ * occupancies. The per-element expression is the inline
+ * IWCharacteristic member, so results match scalar calls bit for
+ * bit; the contiguous loop is what the compiler can vectorize.
+ */
+void issueRateArray(const IWCharacteristic &iw, const double *w,
+                    double *out, std::size_t n);
+
+/**
+ * Walk the drain and ramp transients of every lane in lockstep:
+ * per-iteration, the live lanes' occupancies are evaluated as one
+ * array (issueRateArray) and advanced together. Each lane terminates
+ * independently under the scalar walk's exact conditions
+ * (TransientAnalyzer::drainFloor / rampTolerance / maxWalk), so lane
+ * i's results equal lanes[i]->windowDrain() / rampUp() bitwise.
+ */
+std::vector<TransientWalks>
+drainRampBatch(const std::vector<const TransientAnalyzer *> &lanes);
+
+/**
+ * Equation-(8) overlap factors for many ROB sizes in one pass over
+ * the gap vector. The scalar path re-walks the whole gap list per
+ * rob_size; a batch sweeping robSize pays that walk once here. Lane
+ * results equal overlapFactor(gaps, events, robSizes[i]) bitwise
+ * (shared grouping recurrence and summation order).
+ */
+std::vector<double>
+overlapFactorBatch(const std::vector<std::uint32_t> &gaps,
+                   std::uint64_t events,
+                   const std::vector<std::uint64_t> &robSizes);
+
+} // namespace fosm::kernels
+
+#endif // FOSM_MODEL_KERNELS_HH

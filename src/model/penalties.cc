@@ -13,6 +13,13 @@ PenaltyModel::PenaltyModel(const TransientAnalyzer &transient)
 {
 }
 
+PenaltyModel::PenaltyModel(const TransientAnalyzer &transient,
+                           const DrainResult &drain,
+                           const RampResult &ramp)
+    : transient_(transient), drain_(drain), ramp_(ramp)
+{
+}
+
 double
 PenaltyModel::isolatedBranchPenalty() const
 {

@@ -45,6 +45,16 @@ class PenaltyModel
   public:
     explicit PenaltyModel(const TransientAnalyzer &transient);
 
+    /**
+     * Construct from already-computed drain/ramp walks (the batch
+     * evaluator memoizes them per distinct transient key — the walks
+     * are the expensive part, while the penalty formulas below also
+     * depend on per-row machine parameters like DeltaP and DeltaD
+     * that must come from this row's analyzer).
+     */
+    PenaltyModel(const TransientAnalyzer &transient,
+                 const DrainResult &drain, const RampResult &ramp);
+
     /** The window drain penalty win_drain (cycles). */
     double winDrain() const { return drain_.penalty; }
 

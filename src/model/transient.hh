@@ -131,18 +131,20 @@ class TransientAnalyzer
     const IWCharacteristic &iw() const { return iw_; }
     const MachineConfig &machine() const { return machine_; }
 
-  private:
-    IWCharacteristic iw_;
-    MachineConfig machine_;
-    double steadyIpc_;
-    double steadyOccupancy_;
-
+    // Walk constants, public so the structure-of-arrays batch kernels
+    // (model/kernels.hh) run the exact same recurrence.
     /** Occupancy below which the window counts as drained. */
     static constexpr double drainFloor = 1.0;
     /** Ramp terminates when the rate reaches this fraction of steady. */
     static constexpr double rampTolerance = 0.999;
     /** Hard iteration cap for the walks. */
     static constexpr int maxWalk = 100000;
+
+  private:
+    IWCharacteristic iw_;
+    MachineConfig machine_;
+    double steadyIpc_;
+    double steadyOccupancy_;
 };
 
 } // namespace fosm

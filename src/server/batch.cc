@@ -1,0 +1,361 @@
+#include "server/batch.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/version.hh"
+#include "server/params.hh"
+#include "store/codec.hh"
+
+namespace fosm::server::batch {
+
+namespace {
+
+constexpr std::uint32_t kRequestMagic = 0x46424154;  // "FBAT"
+constexpr std::uint32_t kResponseMagic = 0x46425253; // "FBRS"
+
+/** Machine members a row may set, in wire bit order. */
+constexpr const char *kMachineFields[] = {
+    "width",  "frontEndDepth", "windowSize",
+    "robSize", "deltaI",        "deltaD",
+    "deltaT", "clusters",       "interClusterDelay",
+};
+constexpr std::size_t kFieldCount =
+    sizeof(kMachineFields) / sizeof(kMachineFields[0]);
+
+/** Mask bit marking a row that is not a JSON object (carried whole
+ *  in the extra-JSON slot so the backend can reject it with the same
+ *  per-row error the JSON path produces). */
+constexpr std::uint32_t kNonObjectRow = 0x80000000u;
+
+int
+fieldIndex(const std::string &name)
+{
+    for (std::size_t i = 0; i < kFieldCount; ++i)
+        if (name == kMachineFields[i])
+            return static_cast<int>(i);
+    return -1;
+}
+
+bool
+failDecode(std::string *error, const char *what)
+{
+    if (error)
+        *error = what;
+    return false;
+}
+
+} // namespace
+
+Request
+parseRequest(const json::Value &body)
+{
+    if (!body.isObject())
+        badRequest("request body must be a JSON object");
+    requireMembers(body, "request",
+                   {"workload", "machine", "options", "rows"});
+    Request out;
+    out.workload = workloadMember(body);
+    if (const json::Value *m = body.find("machine")) {
+        if (!m->isObject())
+            badRequest("'machine' must be an object");
+        out.sharedMachine = *m;
+    }
+    if (const json::Value *o = body.find("options")) {
+        if (!o->isObject())
+            badRequest("'options' must be an object");
+        out.sharedOptions = *o;
+    }
+    const json::Value *rows = body.find("rows");
+    if (!rows || !rows->isArray() || rows->items().empty())
+        badRequest("'rows' must be a non-empty array");
+    if (rows->items().size() > maxRows) {
+        throw ServiceError(413, "'rows' too long (max " +
+                                    std::to_string(maxRows) + ")");
+    }
+    out.rows = rows->items();
+    return out;
+}
+
+json::Value
+mergedRowBody(const Request &request, const json::Value &row)
+{
+    if (!row.isObject())
+        badRequest("batch row must be an object");
+    json::Value body = json::Value::object();
+    body.set("workload", request.workload);
+    const bool haveShared = request.sharedMachine.isObject();
+    if (haveShared || row.size() > 0) {
+        json::Value machine =
+            haveShared ? request.sharedMachine : json::Value::object();
+        for (const auto &member : row.members())
+            machine.set(member.first, member.second);
+        body.set("machine", std::move(machine));
+    }
+    if (request.sharedOptions.isObject())
+        body.set("options", request.sharedOptions);
+    return body;
+}
+
+std::string
+encodeRequest(const std::string &workload,
+              const json::Value *sharedMachine,
+              const json::Value *sharedOptions,
+              const std::vector<const json::Value *> &rows)
+{
+    store::Encoder e;
+    e.u32(kRequestMagic);
+    e.u32(batchWireFormatVersion);
+    e.bytes(workload);
+    e.bytes(sharedMachine ? sharedMachine->canonical()
+                          : std::string());
+    e.bytes(sharedOptions ? sharedOptions->canonical()
+                          : std::string());
+    e.u64(rows.size());
+    for (const json::Value *row : rows) {
+        if (!row->isObject()) {
+            e.u32(kNonObjectRow);
+            e.bytes(row->canonical());
+            continue;
+        }
+        std::uint32_t mask = 0;
+        std::uint32_t packed[kFieldCount] = {};
+        json::Value extra = json::Value::object();
+        for (const auto &member : row->members()) {
+            const int idx = fieldIndex(member.first);
+            const double d = member.second.asDouble();
+            if (idx >= 0 && member.second.isNumber() &&
+                d == std::floor(d) && d >= 0.0 && d <= 4294967295.0) {
+                mask |= 1u << idx;
+                packed[idx] = static_cast<std::uint32_t>(d);
+            } else {
+                // Invalid or non-integral members ride as JSON so
+                // the backend rejects them with the exact error the
+                // JSON path would have produced.
+                extra.set(member.first, member.second);
+            }
+        }
+        e.u32(mask);
+        for (std::size_t i = 0; i < kFieldCount; ++i)
+            if (mask & (1u << i))
+                e.u32(packed[i]);
+        e.bytes(extra.size() > 0 ? extra.canonical() : std::string());
+    }
+    return e.take();
+}
+
+bool
+decodeRequest(std::string_view wire, json::Value &out,
+              std::string *error)
+{
+    store::Decoder d(wire);
+    std::uint32_t magic = 0, version = 0;
+    if (!d.u32(magic) || magic != kRequestMagic)
+        return failDecode(error, "not a batch request frame");
+    if (!d.u32(version) || version != batchWireFormatVersion)
+        return failDecode(error,
+                          "unsupported batch wire format version");
+    std::string workload, machineJson, optionsJson;
+    if (!d.bytes(workload) || !d.bytes(machineJson) ||
+        !d.bytes(optionsJson)) {
+        return failDecode(error, "truncated batch frame header");
+    }
+    std::uint64_t rowCount = 0;
+    // A row costs at least mask + extra-length = 12 bytes; bound the
+    // count before looping so a corrupt frame can't demand work
+    // proportional to a forged length.
+    if (!d.u64(rowCount) || rowCount > wire.size() / 12)
+        return failDecode(error, "implausible batch row count");
+
+    out = json::Value::object();
+    out.set("workload", workload);
+    if (!machineJson.empty()) {
+        json::Value machine;
+        if (!json::parse(machineJson, machine, nullptr))
+            return failDecode(error, "bad shared machine JSON");
+        out.set("machine", std::move(machine));
+    }
+    if (!optionsJson.empty()) {
+        json::Value options;
+        if (!json::parse(optionsJson, options, nullptr))
+            return failDecode(error, "bad shared options JSON");
+        out.set("options", std::move(options));
+    }
+    json::Value rows = json::Value::array();
+    std::string extraJson;
+    for (std::uint64_t r = 0; r < rowCount; ++r) {
+        std::uint32_t mask = 0;
+        if (!d.u32(mask))
+            return failDecode(error, "truncated batch row");
+        if (mask & kNonObjectRow) {
+            if (!d.bytes(extraJson))
+                return failDecode(error, "truncated batch row");
+            json::Value row;
+            if (!json::parse(extraJson, row, nullptr))
+                return failDecode(error, "bad row JSON");
+            rows.push(std::move(row));
+            continue;
+        }
+        json::Value row = json::Value::object();
+        for (std::size_t i = 0; i < kFieldCount; ++i) {
+            if (!(mask & (1u << i)))
+                continue;
+            std::uint32_t v = 0;
+            if (!d.u32(v))
+                return failDecode(error, "truncated batch row");
+            row.set(kMachineFields[i], v);
+        }
+        if (!d.bytes(extraJson))
+            return failDecode(error, "truncated batch row");
+        if (!extraJson.empty()) {
+            json::Value extra;
+            if (!json::parse(extraJson, extra, nullptr) ||
+                !extra.isObject()) {
+                return failDecode(error, "bad row JSON");
+            }
+            for (const auto &member : extra.members())
+                row.set(member.first, member.second);
+        }
+        rows.push(std::move(row));
+    }
+    if (!d.atEnd())
+        return failDecode(error, "trailing bytes in batch frame");
+    out.set("rows", std::move(rows));
+    return true;
+}
+
+void
+Result::pushRow(double ideal_, double brmisp_, double icacheL1_,
+                double icacheL2_, double dcacheLong_, double dtlb_,
+                double total_, double ipc_)
+{
+    ideal.push_back(ideal_);
+    brmisp.push_back(brmisp_);
+    icacheL1.push_back(icacheL1_);
+    icacheL2.push_back(icacheL2_);
+    dcacheLong.push_back(dcacheLong_);
+    dtlb.push_back(dtlb_);
+    total.push_back(total_);
+    ipc.push_back(ipc_);
+    errors.emplace_back();
+}
+
+void
+Result::pushError(std::string message)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    ideal.push_back(nan);
+    brmisp.push_back(nan);
+    icacheL1.push_back(nan);
+    icacheL2.push_back(nan);
+    dcacheLong.push_back(nan);
+    dtlb.push_back(nan);
+    total.push_back(nan);
+    ipc.push_back(nan);
+    errors.push_back(std::move(message));
+}
+
+namespace {
+
+json::Value
+column(const std::vector<double> &values,
+       const std::vector<std::string> &errors)
+{
+    json::Value arr = json::Value::array();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (errors[i].empty())
+            arr.push(values[i]);
+        else
+            arr.push(json::Value()); // null slot for a failed row
+    }
+    return arr;
+}
+
+} // namespace
+
+json::Value
+toJson(const Result &result)
+{
+    json::Value out = json::Value::object();
+    out.set("workload", result.workload);
+    out.set("rows", static_cast<std::uint64_t>(result.rows()));
+    json::Value cpi = json::Value::object();
+    cpi.set("ideal", column(result.ideal, result.errors));
+    cpi.set("brmisp", column(result.brmisp, result.errors));
+    cpi.set("icacheL1", column(result.icacheL1, result.errors));
+    cpi.set("icacheL2", column(result.icacheL2, result.errors));
+    cpi.set("dcacheLong", column(result.dcacheLong, result.errors));
+    cpi.set("dtlb", column(result.dtlb, result.errors));
+    cpi.set("total", column(result.total, result.errors));
+    out.set("cpi", std::move(cpi));
+    out.set("ipc", column(result.ipc, result.errors));
+    json::Value errs = json::Value::array();
+    for (const std::string &e : result.errors) {
+        if (e.empty())
+            errs.push(json::Value());
+        else
+            errs.push(e);
+    }
+    out.set("errors", std::move(errs));
+    return out;
+}
+
+std::string
+encodeResponse(const Result &result)
+{
+    store::Encoder e;
+    e.u32(kResponseMagic);
+    e.u32(batchWireFormatVersion);
+    e.bytes(result.workload);
+    e.u64(result.rows());
+    e.f64Vector(result.ideal);
+    e.f64Vector(result.brmisp);
+    e.f64Vector(result.icacheL1);
+    e.f64Vector(result.icacheL2);
+    e.f64Vector(result.dcacheLong);
+    e.f64Vector(result.dtlb);
+    e.f64Vector(result.total);
+    e.f64Vector(result.ipc);
+    for (const std::string &err : result.errors)
+        e.bytes(err);
+    return e.take();
+}
+
+bool
+decodeResponse(std::string_view wire, Result &out, std::string *error)
+{
+    store::Decoder d(wire);
+    std::uint32_t magic = 0, version = 0;
+    if (!d.u32(magic) || magic != kResponseMagic)
+        return failDecode(error, "not a batch response frame");
+    if (!d.u32(version) || version != batchWireFormatVersion)
+        return failDecode(error,
+                          "unsupported batch wire format version");
+    std::uint64_t rows = 0;
+    if (!d.bytes(out.workload) || !d.u64(rows))
+        return failDecode(error, "truncated batch response");
+    if (!d.f64Vector(out.ideal) || !d.f64Vector(out.brmisp) ||
+        !d.f64Vector(out.icacheL1) || !d.f64Vector(out.icacheL2) ||
+        !d.f64Vector(out.dcacheLong) || !d.f64Vector(out.dtlb) ||
+        !d.f64Vector(out.total) || !d.f64Vector(out.ipc)) {
+        return failDecode(error, "truncated batch response columns");
+    }
+    if (out.ideal.size() != rows || out.brmisp.size() != rows ||
+        out.icacheL1.size() != rows || out.icacheL2.size() != rows ||
+        out.dcacheLong.size() != rows || out.dtlb.size() != rows ||
+        out.total.size() != rows || out.ipc.size() != rows) {
+        return failDecode(error, "batch response column mismatch");
+    }
+    out.errors.clear();
+    std::string err;
+    for (std::uint64_t i = 0; i < rows; ++i) {
+        if (!d.bytes(err))
+            return failDecode(error, "truncated batch errors");
+        out.errors.push_back(err);
+    }
+    if (!d.atEnd())
+        return failDecode(error, "trailing bytes in batch response");
+    return true;
+}
+
+} // namespace fosm::server::batch

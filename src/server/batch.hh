@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The /v1/batch request/response shapes: many design points of one
+ * workload per HTTP request, amortizing the HTTP parse and the
+ * (seconds-to-build, per-workload) characterization lookup across all
+ * of them.
+ *
+ * JSON request:
+ *   { "workload": "...",
+ *     "machine":  { shared members ... },        // optional
+ *     "options":  { shared members ... },        // optional
+ *     "rows": [ { per-row machine deltas }, ... ] }
+ *
+ * Each row is a flat object of machine members layered over the
+ * shared "machine" block; row i is semantically the /v1/cpi request
+ * { workload, machine: shared (+) row, options }. mergedRowBody()
+ * constructs exactly that body, so a row's response-cache digest is
+ * the single-request digest by construction and the two paths share
+ * cache entries.
+ *
+ * The JSON response is columnar: per-component CPI arrays indexed by
+ * row, with null (and a message in "errors") at rows that failed
+ * validation or were shed at the deadline.
+ *
+ * The binary wire format (Content-Type application/x-fosm-batch,
+ * store/codec.hh conventions: little-endian fixed-width fields,
+ * length-prefixed bytes) is what the gateway speaks to backends so a
+ * split batch doesn't pay JSON re-serialization per hop. Rows whose
+ * members are the nine known machine fields with u32-exact values —
+ * in practice all of them — travel as a presence mask + packed u32s;
+ * anything else falls back to embedded JSON so error semantics match
+ * the JSON path exactly. Doubles in the response travel as raw bit
+ * images, preserving the bit-identity contract.
+ */
+
+#ifndef FOSM_SERVER_BATCH_HH
+#define FOSM_SERVER_BATCH_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/json.hh"
+
+namespace fosm::server::batch {
+
+/** Content-Type negotiating the binary frames below. */
+inline constexpr const char *contentType =
+    "application/x-fosm-batch";
+
+/** Hard per-request row cap (413 beyond). */
+inline constexpr std::size_t maxRows = 4096;
+
+/** Parsed and shape-validated top level of a batch request. */
+struct Request
+{
+    std::string workload;
+    /** Shared machine block; Null when absent. */
+    json::Value sharedMachine;
+    /** Shared options block; Null when absent. */
+    json::Value sharedOptions;
+    /** Per-row deltas, exactly as received (not yet validated). */
+    std::vector<json::Value> rows;
+};
+
+/**
+ * Validate the top-level shape of a batch body and split it into its
+ * parts. Throws ServiceError: 400 for a non-object body, unknown
+ * members, a missing workload, or a missing/empty/non-array "rows";
+ * 413 when rows exceed maxRows. Individual rows are NOT validated
+ * here — bad rows become per-row error slots, not request failures.
+ */
+Request parseRequest(const json::Value &body);
+
+/**
+ * The /v1/cpi-equivalent body for one row: workload + (shared
+ * machine layered with the row's deltas) + shared options. Throws
+ * ServiceError(400) when the row is not an object. The "machine"
+ * member is omitted when the request has no shared block and the row
+ * no deltas, matching what a bare single request would carry — so
+ * digests line up with /v1/cpi exactly.
+ */
+json::Value mergedRowBody(const Request &request,
+                          const json::Value &row);
+
+/**
+ * Encode a batch request for a backend hop. Rows are passed as
+ * pointers so the gateway can encode a shard's subset of a client
+ * batch without copying the Values.
+ */
+std::string
+encodeRequest(const std::string &workload,
+              const json::Value *sharedMachine,
+              const json::Value *sharedOptions,
+              const std::vector<const json::Value *> &rows);
+
+/**
+ * Decode a binary batch request into the equivalent JSON body (the
+ * exact Value the JSON path would have parsed, so everything
+ * downstream — validation, digests, errors — is shared). Returns
+ * false with a diagnostic on malformed or version-mismatched frames.
+ */
+bool decodeRequest(std::string_view wire, json::Value &out,
+                   std::string *error);
+
+/**
+ * Columnar batch result. Arrays are indexed by row; error rows carry
+ * NaN in every numeric column (serialized as null) and a non-empty
+ * message in errors.
+ */
+struct Result
+{
+    std::string workload;
+    std::vector<double> ideal, brmisp, icacheL1, icacheL2,
+        dcacheLong, dtlb, total, ipc;
+    std::vector<std::string> errors;
+
+    std::size_t rows() const { return errors.size(); }
+
+    /** Append one evaluated row. */
+    void pushRow(double ideal, double brmisp, double icacheL1,
+                 double icacheL2, double dcacheLong, double dtlb,
+                 double total, double ipc);
+
+    /** Append one failed row. */
+    void pushError(std::string message);
+};
+
+/** The columnar JSON response document. */
+json::Value toJson(const Result &result);
+
+/** Binary response frame for the gateway hop. */
+std::string encodeResponse(const Result &result);
+
+/** Inverse of encodeResponse; false + diagnostic on bad frames. */
+bool decodeResponse(std::string_view wire, Result &out,
+                    std::string *error);
+
+} // namespace fosm::server::batch
+
+#endif // FOSM_SERVER_BATCH_HH

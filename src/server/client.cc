@@ -123,14 +123,25 @@ serializeRequest(const std::string &method,
     wire += " HTTP/1.1\r\nHost: ";
     wire += host;
     wire += "\r\n";
+    // An extra Content-Type (the gateway's binary batch hops) replaces
+    // the JSON default instead of duplicating the header.
+    bool haveContentType = false;
     for (const auto &h : extraHeaders) {
+        std::string lower = h.first;
+        for (char &c : lower)
+            c = static_cast<char>(std::tolower(
+                static_cast<unsigned char>(c)));
+        if (lower == "content-type")
+            haveContentType = true;
         wire += h.first;
         wire += ": ";
         wire += h.second;
         wire += "\r\n";
     }
     if (!body.empty()) {
-        wire += "Content-Type: application/json\r\nContent-Length: ";
+        if (!haveContentType)
+            wire += "Content-Type: application/json\r\n";
+        wire += "Content-Length: ";
         wire += std::to_string(body.size());
         wire += "\r\n";
     }

@@ -58,7 +58,9 @@ std::string serializeRequest(const std::string &method,
 
 /**
  * Same, with extra headers appended verbatim after Host — used to
- * forward X-Fosm-Deadline-Ms and other per-request metadata.
+ * forward X-Fosm-Deadline-Ms and other per-request metadata. An
+ * extra Content-Type header suppresses the JSON default (the
+ * gateway's binary batch hops send application/x-fosm-batch).
  */
 std::string serializeRequest(
     const std::string &method, const std::string &target,

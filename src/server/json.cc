@@ -205,8 +205,20 @@ struct Parser
             while (cur < end && *cur >= '0' && *cur <= '9')
                 ++cur;
         }
-        const std::string text(start, cur);
-        out = Value(std::strtod(text.c_str(), nullptr));
+        // strtod needs a NUL-terminated copy (the input buffer is
+        // not). Numbers overwhelmingly fit a stack buffer; a batch
+        // body carries thousands of them, so the per-number heap
+        // string this used to build was measurable parse cost.
+        const std::size_t len = static_cast<std::size_t>(cur - start);
+        char buf[64];
+        if (len < sizeof(buf)) {
+            std::memcpy(buf, start, len);
+            buf[len] = '\0';
+            out = Value(std::strtod(buf, nullptr));
+        } else {
+            const std::string text(start, cur);
+            out = Value(std::strtod(text.c_str(), nullptr));
+        }
         return true;
     }
 

@@ -158,6 +158,16 @@ class Value
      */
     std::string canonical() const;
 
+    /**
+     * Append-into-buffer variants: serialize into a caller-owned
+     * string without clearing it. The batch path serializes thousands
+     * of row bodies per request; appending into one arena-style
+     * buffer (cleared and reused between rows, capacity retained)
+     * replaces a fresh heap allocation per row.
+     */
+    void dumpTo(std::string &out) const { dumpTo(out, false); }
+    void canonicalTo(std::string &out) const { dumpTo(out, true); }
+
   private:
     void dumpTo(std::string &out, bool canonical) const;
 

@@ -1,0 +1,276 @@
+#include "server/params.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "experiments/workbench.hh"
+
+namespace fosm::server {
+
+void
+badRequest(const std::string &message)
+{
+    throw ServiceError(400, message);
+}
+
+std::string
+errorJson(const std::string &message)
+{
+    json::Value v = json::Value::object();
+    v.set("error", message);
+    return v.dump();
+}
+
+void
+requireMembers(const json::Value &object, const char *what,
+               std::initializer_list<const char *> allowed)
+{
+    for (const auto &member : object.members()) {
+        bool known = false;
+        for (const char *name : allowed)
+            if (member.first == name)
+                known = true;
+        if (!known) {
+            badRequest(std::string("unknown ") + what + " member '" +
+                       member.first + "'");
+        }
+    }
+}
+
+double
+numberMember(const json::Value &object, const char *name,
+             double fallback, double lo, double hi)
+{
+    const json::Value *v = object.find(name);
+    if (!v)
+        return fallback;
+    if (!v->isNumber())
+        badRequest(std::string("'") + name + "' must be a number");
+    const double x = v->asDouble();
+    if (x < lo || x > hi) {
+        badRequest(std::string("'") + name + "' out of range [" +
+                   json::formatDouble(lo) + ", " +
+                   json::formatDouble(hi) + "]");
+    }
+    return x;
+}
+
+std::uint32_t
+intMember(const json::Value &object, const char *name,
+          std::uint32_t fallback, double lo, double hi)
+{
+    const double x =
+        numberMember(object, name, fallback, lo, hi);
+    if (x != std::floor(x))
+        badRequest(std::string("'") + name + "' must be an integer");
+    return static_cast<std::uint32_t>(x);
+}
+
+bool
+boolMember(const json::Value &object, const char *name, bool fallback)
+{
+    const json::Value *v = object.find(name);
+    if (!v)
+        return fallback;
+    if (!v->isBool())
+        badRequest(std::string("'") + name + "' must be a boolean");
+    return v->asBool();
+}
+
+std::string
+workloadMember(const json::Value &request)
+{
+    const json::Value *v = request.find("workload");
+    if (!v || !v->isString())
+        badRequest("'workload' (string) is required");
+    const std::string name = v->asString();
+    const std::vector<std::string> known = Workbench::benchmarks();
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+        std::string valid;
+        for (const std::string &k : known) {
+            if (!valid.empty())
+                valid += ", ";
+            valid += k;
+        }
+        badRequest("unknown workload '" + name + "'; valid: " + valid);
+    }
+    return name;
+}
+
+MachineConfig
+machineFromJson(const json::Value &request)
+{
+    MachineConfig machine = Workbench::baselineMachine();
+    const json::Value *m = request.find("machine");
+    if (!m)
+        return machine;
+    if (!m->isObject())
+        badRequest("'machine' must be an object");
+    requireMembers(*m, "machine",
+                   {"width", "frontEndDepth", "windowSize", "robSize",
+                    "deltaI", "deltaD", "deltaT", "clusters",
+                    "interClusterDelay"});
+    machine.width = intMember(*m, "width", machine.width, 1, 64);
+    machine.frontEndDepth =
+        intMember(*m, "frontEndDepth", machine.frontEndDepth, 1, 100);
+    machine.windowSize =
+        intMember(*m, "windowSize", machine.windowSize, 1, 4096);
+    machine.robSize =
+        intMember(*m, "robSize", machine.robSize, 1, 1 << 20);
+    machine.deltaI = intMember(*m, "deltaI",
+                               static_cast<std::uint32_t>(
+                                   machine.deltaI),
+                               0, 1e6);
+    machine.deltaD = intMember(*m, "deltaD",
+                               static_cast<std::uint32_t>(
+                                   machine.deltaD),
+                               0, 1e6);
+    machine.deltaT = intMember(*m, "deltaT",
+                               static_cast<std::uint32_t>(
+                                   machine.deltaT),
+                               0, 1e6);
+    machine.clusters =
+        intMember(*m, "clusters", machine.clusters, 1, 16);
+    machine.interClusterDelay =
+        intMember(*m, "interClusterDelay",
+                  static_cast<std::uint32_t>(
+                      machine.interClusterDelay),
+                  0, 100);
+    if (machine.width % machine.clusters != 0 ||
+        machine.windowSize % machine.clusters != 0) {
+        badRequest("width and windowSize must be divisible by "
+                   "clusters");
+    }
+    return machine;
+}
+
+ModelOptions
+optionsFromJson(const json::Value &request)
+{
+    ModelOptions options;
+    const json::Value *o = request.find("options");
+    if (!o)
+        return options;
+    if (!o->isObject())
+        badRequest("'options' must be an object");
+    requireMembers(*o, "options",
+                   {"branchMode", "icacheMode", "dcacheOverlap",
+                    "dcacheFirstOrder", "compensateOverlaps",
+                    "fetchBufferEntries", "burstGapThreshold"});
+
+    if (const json::Value *v = o->find("branchMode")) {
+        const std::string &mode = v->asString();
+        if (mode == "paper-average")
+            options.branchMode = BranchPenaltyMode::PaperAverage;
+        else if (mode == "isolated")
+            options.branchMode = BranchPenaltyMode::Isolated;
+        else if (mode == "burst-aware")
+            options.branchMode = BranchPenaltyMode::BurstAware;
+        else
+            badRequest("unknown branchMode '" + mode +
+                       "'; valid: paper-average, isolated, "
+                       "burst-aware");
+    }
+    if (const json::Value *v = o->find("icacheMode")) {
+        const std::string &mode = v->asString();
+        if (mode == "miss-delay")
+            options.icacheMode = IcachePenaltyMode::MissDelay;
+        else if (mode == "isolated")
+            options.icacheMode = IcachePenaltyMode::Isolated;
+        else
+            badRequest("unknown icacheMode '" + mode +
+                       "'; valid: miss-delay, isolated");
+    }
+    options.dcacheOverlap =
+        boolMember(*o, "dcacheOverlap", options.dcacheOverlap);
+    options.dcacheFirstOrder =
+        boolMember(*o, "dcacheFirstOrder", options.dcacheFirstOrder);
+    options.compensateOverlaps = boolMember(
+        *o, "compensateOverlaps", options.compensateOverlaps);
+    options.fetchBufferEntries =
+        intMember(*o, "fetchBufferEntries",
+                  options.fetchBufferEntries, 0, 1 << 16);
+    options.burstGapThreshold =
+        intMember(*o, "burstGapThreshold",
+                  static_cast<std::uint32_t>(
+                      options.burstGapThreshold),
+                  1, 1 << 20);
+    return options;
+}
+
+json::Value
+machineToJson(const MachineConfig &machine)
+{
+    json::Value m = json::Value::object();
+    m.set("width", machine.width);
+    m.set("frontEndDepth", machine.frontEndDepth);
+    m.set("windowSize", machine.windowSize);
+    m.set("robSize", machine.robSize);
+    m.set("deltaI", static_cast<std::uint64_t>(machine.deltaI));
+    m.set("deltaD", static_cast<std::uint64_t>(machine.deltaD));
+    m.set("clusters", machine.clusters);
+    m.set("interClusterDelay",
+          static_cast<std::uint64_t>(machine.interClusterDelay));
+    return m;
+}
+
+std::vector<std::uint32_t>
+intArrayMember(const json::Value &request, const char *name,
+               std::vector<std::uint32_t> fallback, double lo,
+               double hi, std::size_t maxItems)
+{
+    const json::Value *v = request.find(name);
+    if (!v)
+        return fallback;
+    if (!v->isArray() || v->items().empty())
+        badRequest(std::string("'") + name +
+                   "' must be a non-empty array of integers");
+    if (v->items().size() > maxItems)
+        badRequest(std::string("'") + name + "' too long (max " +
+                   std::to_string(maxItems) + ")");
+    std::vector<std::uint32_t> out;
+    out.reserve(v->items().size());
+    for (const json::Value &item : v->items()) {
+        if (!item.isNumber() ||
+            item.asDouble() != std::floor(item.asDouble()) ||
+            item.asDouble() < lo || item.asDouble() > hi) {
+            badRequest(std::string("'") + name +
+                       "' entries must be integers in [" +
+                       json::formatDouble(lo) + ", " +
+                       json::formatDouble(hi) + "]");
+        }
+        out.push_back(static_cast<std::uint32_t>(item.asDouble()));
+    }
+    return out;
+}
+
+TrendConfig
+trendConfigFromJson(const json::Value &request)
+{
+    TrendConfig config;
+    const json::Value *c = request.find("config");
+    if (!c)
+        return config;
+    if (!c->isObject())
+        badRequest("'config' must be an object");
+    requireMembers(*c, "config",
+                   {"alpha", "beta", "avgLatency", "branchFraction",
+                    "mispredictRate", "totalLogicPs", "flipFlopPs"});
+    config.alpha =
+        numberMember(*c, "alpha", config.alpha, 0.01, 100.0);
+    config.beta = numberMember(*c, "beta", config.beta, 0.01, 1.0);
+    config.avgLatency =
+        numberMember(*c, "avgLatency", config.avgLatency, 1.0, 100.0);
+    config.branchFraction = numberMember(
+        *c, "branchFraction", config.branchFraction, 0.0, 1.0);
+    config.mispredictRate = numberMember(
+        *c, "mispredictRate", config.mispredictRate, 0.0, 1.0);
+    config.totalLogicPs = numberMember(*c, "totalLogicPs",
+                                       config.totalLogicPs, 100.0,
+                                       1e6);
+    config.flipFlopPs = numberMember(*c, "flipFlopPs",
+                                     config.flipFlopPs, 1.0, 1e4);
+    return config;
+}
+
+} // namespace fosm::server

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Request-parameter parsing shared by the service endpoints (/v1/cpi,
+ * /v1/iw-curve, /v1/trends) and the batch endpoint (/v1/batch), which
+ * validates the same machine/options members per row. All helpers
+ * reject unknown members so typos in a request fail loudly instead of
+ * silently evaluating the default, and throw ServiceError(400) on any
+ * violation.
+ */
+
+#ifndef FOSM_SERVER_PARAMS_HH
+#define FOSM_SERVER_PARAMS_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "model/first_order_model.hh"
+#include "model/trends.hh"
+#include "server/json.hh"
+#include "server/router.hh"
+
+namespace fosm::server {
+
+/** Throw ServiceError(400, message). */
+[[noreturn]] void badRequest(const std::string &message);
+
+/** {"error": message} as a serialized JSON document. */
+std::string errorJson(const std::string &message);
+
+/** Reject members of object outside the allowed list. */
+void requireMembers(const json::Value &object, const char *what,
+                    std::initializer_list<const char *> allowed);
+
+/** Range-checked number member with a fallback when absent. */
+double numberMember(const json::Value &object, const char *name,
+                    double fallback, double lo, double hi);
+
+/** Range-checked integer member with a fallback when absent. */
+std::uint32_t intMember(const json::Value &object, const char *name,
+                        std::uint32_t fallback, double lo, double hi);
+
+/** Boolean member with a fallback when absent. */
+bool boolMember(const json::Value &object, const char *name,
+                bool fallback);
+
+/** The required 'workload' member, validated against the bench set. */
+std::string workloadMember(const json::Value &request);
+
+/** The optional 'machine' member over the baseline machine. */
+MachineConfig machineFromJson(const json::Value &request);
+
+/** The optional 'options' member over the paper defaults. */
+ModelOptions optionsFromJson(const json::Value &request);
+
+/** The machine block of a response, as /v1/cpi has always shaped it. */
+json::Value machineToJson(const MachineConfig &machine);
+
+/** Bounded array of range-checked integers. */
+std::vector<std::uint32_t>
+intArrayMember(const json::Value &request, const char *name,
+               std::vector<std::uint32_t> fallback, double lo,
+               double hi, std::size_t maxItems);
+
+/** The optional 'config' member of /v1/trends. */
+TrendConfig trendConfigFromJson(const json::Value &request);
+
+} // namespace fosm::server
+
+#endif // FOSM_SERVER_PARAMS_HH

@@ -1,290 +1,99 @@
 #include "server/service.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <map>
 
 #include "common/fault_injector.hh"
 #include "common/thread_pool.hh"
 #include "common/version.hh"
 #include "experiments/characterization_store.hh"
+#include "model/batch_eval.hh"
 #include "model/trends.hh"
+#include "server/params.hh"
 
 namespace fosm::server {
 
 namespace {
 
-// ---------------------------------------------------------------
-// Request parsing helpers. All reject unknown members so typos in a
-// request fail loudly instead of silently evaluating the default.
-// ---------------------------------------------------------------
-
-[[noreturn]] void
-badRequest(const std::string &message)
-{
-    throw ServiceError(400, message);
-}
-
-std::string
-errorJson(const std::string &message)
-{
-    json::Value v = json::Value::object();
-    v.set("error", message);
-    return v.dump();
-}
-
-void
-requireMembers(const json::Value &object, const char *what,
-               std::initializer_list<const char *> allowed)
-{
-    for (const auto &member : object.members()) {
-        bool known = false;
-        for (const char *name : allowed)
-            if (member.first == name)
-                known = true;
-        if (!known) {
-            badRequest(std::string("unknown ") + what + " member '" +
-                       member.first + "'");
-        }
-    }
-}
-
-double
-numberMember(const json::Value &object, const char *name,
-             double fallback, double lo, double hi)
-{
-    const json::Value *v = object.find(name);
-    if (!v)
-        return fallback;
-    if (!v->isNumber())
-        badRequest(std::string("'") + name + "' must be a number");
-    const double x = v->asDouble();
-    if (x < lo || x > hi) {
-        badRequest(std::string("'") + name + "' out of range [" +
-                   json::formatDouble(lo) + ", " +
-                   json::formatDouble(hi) + "]");
-    }
-    return x;
-}
-
-std::uint32_t
-intMember(const json::Value &object, const char *name,
-          std::uint32_t fallback, double lo, double hi)
-{
-    const double x =
-        numberMember(object, name, fallback, lo, hi);
-    if (x != std::floor(x))
-        badRequest(std::string("'") + name + "' must be an integer");
-    return static_cast<std::uint32_t>(x);
-}
-
-bool
-boolMember(const json::Value &object, const char *name, bool fallback)
-{
-    const json::Value *v = object.find(name);
-    if (!v)
-        return fallback;
-    if (!v->isBool())
-        badRequest(std::string("'") + name + "' must be a boolean");
-    return v->asBool();
-}
-
-std::string
-workloadMember(const json::Value &request)
-{
-    const json::Value *v = request.find("workload");
-    if (!v || !v->isString())
-        badRequest("'workload' (string) is required");
-    const std::string name = v->asString();
-    const std::vector<std::string> known = Workbench::benchmarks();
-    if (std::find(known.begin(), known.end(), name) == known.end()) {
-        std::string valid;
-        for (const std::string &k : known) {
-            if (!valid.empty())
-                valid += ", ";
-            valid += k;
-        }
-        badRequest("unknown workload '" + name + "'; valid: " + valid);
-    }
-    return name;
-}
-
-MachineConfig
-machineFromJson(const json::Value &request)
-{
-    MachineConfig machine = Workbench::baselineMachine();
-    const json::Value *m = request.find("machine");
-    if (!m)
-        return machine;
-    if (!m->isObject())
-        badRequest("'machine' must be an object");
-    requireMembers(*m, "machine",
-                   {"width", "frontEndDepth", "windowSize", "robSize",
-                    "deltaI", "deltaD", "deltaT", "clusters",
-                    "interClusterDelay"});
-    machine.width = intMember(*m, "width", machine.width, 1, 64);
-    machine.frontEndDepth =
-        intMember(*m, "frontEndDepth", machine.frontEndDepth, 1, 100);
-    machine.windowSize =
-        intMember(*m, "windowSize", machine.windowSize, 1, 4096);
-    machine.robSize =
-        intMember(*m, "robSize", machine.robSize, 1, 1 << 20);
-    machine.deltaI = intMember(*m, "deltaI",
-                               static_cast<std::uint32_t>(
-                                   machine.deltaI),
-                               0, 1e6);
-    machine.deltaD = intMember(*m, "deltaD",
-                               static_cast<std::uint32_t>(
-                                   machine.deltaD),
-                               0, 1e6);
-    machine.deltaT = intMember(*m, "deltaT",
-                               static_cast<std::uint32_t>(
-                                   machine.deltaT),
-                               0, 1e6);
-    machine.clusters =
-        intMember(*m, "clusters", machine.clusters, 1, 16);
-    machine.interClusterDelay =
-        intMember(*m, "interClusterDelay",
-                  static_cast<std::uint32_t>(
-                      machine.interClusterDelay),
-                  0, 100);
-    if (machine.width % machine.clusters != 0 ||
-        machine.windowSize % machine.clusters != 0) {
-        badRequest("width and windowSize must be divisible by "
-                   "clusters");
-    }
-    return machine;
-}
-
-ModelOptions
-optionsFromJson(const json::Value &request)
-{
-    ModelOptions options;
-    const json::Value *o = request.find("options");
-    if (!o)
-        return options;
-    if (!o->isObject())
-        badRequest("'options' must be an object");
-    requireMembers(*o, "options",
-                   {"branchMode", "icacheMode", "dcacheOverlap",
-                    "dcacheFirstOrder", "compensateOverlaps",
-                    "fetchBufferEntries", "burstGapThreshold"});
-
-    if (const json::Value *v = o->find("branchMode")) {
-        const std::string &mode = v->asString();
-        if (mode == "paper-average")
-            options.branchMode = BranchPenaltyMode::PaperAverage;
-        else if (mode == "isolated")
-            options.branchMode = BranchPenaltyMode::Isolated;
-        else if (mode == "burst-aware")
-            options.branchMode = BranchPenaltyMode::BurstAware;
-        else
-            badRequest("unknown branchMode '" + mode +
-                       "'; valid: paper-average, isolated, "
-                       "burst-aware");
-    }
-    if (const json::Value *v = o->find("icacheMode")) {
-        const std::string &mode = v->asString();
-        if (mode == "miss-delay")
-            options.icacheMode = IcachePenaltyMode::MissDelay;
-        else if (mode == "isolated")
-            options.icacheMode = IcachePenaltyMode::Isolated;
-        else
-            badRequest("unknown icacheMode '" + mode +
-                       "'; valid: miss-delay, isolated");
-    }
-    options.dcacheOverlap =
-        boolMember(*o, "dcacheOverlap", options.dcacheOverlap);
-    options.dcacheFirstOrder =
-        boolMember(*o, "dcacheFirstOrder", options.dcacheFirstOrder);
-    options.compensateOverlaps = boolMember(
-        *o, "compensateOverlaps", options.compensateOverlaps);
-    options.fetchBufferEntries =
-        intMember(*o, "fetchBufferEntries",
-                  options.fetchBufferEntries, 0, 1 << 16);
-    options.burstGapThreshold =
-        intMember(*o, "burstGapThreshold",
-                  static_cast<std::uint32_t>(
-                      options.burstGapThreshold),
-                  1, 1 << 20);
-    return options;
-}
-
+/**
+ * The /v1/cpi response document. Shared by the single-request
+ * endpoint and the batch path, which caches each row under its
+ * /v1/cpi digest: both must produce byte-identical documents for the
+ * same design point.
+ */
 json::Value
-machineToJson(const MachineConfig &machine)
+cpiResponseJson(const std::string &workload, const WorkloadData &data,
+                const MachineConfig &machine,
+                const IWCharacteristic &iw, const CpiBreakdown &b)
 {
-    json::Value m = json::Value::object();
-    m.set("width", machine.width);
-    m.set("frontEndDepth", machine.frontEndDepth);
-    m.set("windowSize", machine.windowSize);
-    m.set("robSize", machine.robSize);
-    m.set("deltaI", static_cast<std::uint64_t>(machine.deltaI));
-    m.set("deltaD", static_cast<std::uint64_t>(machine.deltaD));
-    m.set("clusters", machine.clusters);
-    m.set("interClusterDelay",
-          static_cast<std::uint64_t>(machine.interClusterDelay));
-    return m;
-}
+    json::Value out = json::Value::object();
+    out.set("workload", workload);
+    out.set("instructions", data.missProfile.instructions);
+    out.set("machine", machineToJson(machine));
 
-std::vector<std::uint32_t>
-intArrayMember(const json::Value &request, const char *name,
-               std::vector<std::uint32_t> fallback, double lo,
-               double hi, std::size_t maxItems)
-{
-    const json::Value *v = request.find(name);
-    if (!v)
-        return fallback;
-    if (!v->isArray() || v->items().empty())
-        badRequest(std::string("'") + name +
-                   "' must be a non-empty array of integers");
-    if (v->items().size() > maxItems)
-        badRequest(std::string("'") + name + "' too long (max " +
-                   std::to_string(maxItems) + ")");
-    std::vector<std::uint32_t> out;
-    out.reserve(v->items().size());
-    for (const json::Value &item : v->items()) {
-        if (!item.isNumber() ||
-            item.asDouble() != std::floor(item.asDouble()) ||
-            item.asDouble() < lo || item.asDouble() > hi) {
-            badRequest(std::string("'") + name +
-                       "' entries must be integers in [" +
-                       json::formatDouble(lo) + ", " +
-                       json::formatDouble(hi) + "]");
-        }
-        out.push_back(static_cast<std::uint32_t>(item.asDouble()));
-    }
+    json::Value fit = json::Value::object();
+    fit.set("alpha", iw.alpha());
+    fit.set("beta", iw.beta());
+    fit.set("avgLatency", iw.avgLatency());
+    fit.set("r2", iw.fitR2());
+    out.set("iw", std::move(fit));
+
+    json::Value cpi = json::Value::object();
+    cpi.set("ideal", b.ideal);
+    cpi.set("brmisp", b.brmisp);
+    cpi.set("icacheL1", b.icacheL1);
+    cpi.set("icacheL2", b.icacheL2);
+    cpi.set("dcacheLong", b.dcacheLong);
+    cpi.set("dtlb", b.dtlb);
+    cpi.set("total", b.total());
+    out.set("cpi", std::move(cpi));
+    out.set("ipc", b.ipc());
+
+    json::Value penalties = json::Value::object();
+    penalties.set("branchPerEvent", b.branchPenaltyPerEvent);
+    penalties.set("icachePerEvent", b.icachePenaltyPerEvent);
+    penalties.set("dcachePerEvent", b.dcachePenaltyPerEvent);
+    penalties.set("ldmOverlapFactor", b.ldmOverlapFactor);
+    out.set("penalties", std::move(penalties));
     return out;
 }
 
-TrendConfig
-trendConfigFromJson(const json::Value &request)
+/**
+ * Pull the eight columnar numbers back out of a cached /v1/cpi
+ * response. The serializer emits shortest-round-trip decimals, so
+ * the parsed doubles are bit-identical to the ones the evaluation
+ * produced — cached and freshly evaluated batch rows carry the same
+ * bits.
+ */
+bool
+extractColumns(const std::string &responseText,
+               std::array<double, 8> &cols)
 {
-    TrendConfig config;
-    const json::Value *c = request.find("config");
-    if (!c)
-        return config;
-    if (!c->isObject())
-        badRequest("'config' must be an object");
-    requireMembers(*c, "config",
-                   {"alpha", "beta", "avgLatency", "branchFraction",
-                    "mispredictRate", "totalLogicPs", "flipFlopPs"});
-    config.alpha =
-        numberMember(*c, "alpha", config.alpha, 0.01, 100.0);
-    config.beta = numberMember(*c, "beta", config.beta, 0.01, 1.0);
-    config.avgLatency =
-        numberMember(*c, "avgLatency", config.avgLatency, 1.0, 100.0);
-    config.branchFraction = numberMember(
-        *c, "branchFraction", config.branchFraction, 0.0, 1.0);
-    config.mispredictRate = numberMember(
-        *c, "mispredictRate", config.mispredictRate, 0.0, 1.0);
-    config.totalLogicPs = numberMember(*c, "totalLogicPs",
-                                       config.totalLogicPs, 100.0,
-                                       1e6);
-    config.flipFlopPs = numberMember(*c, "flipFlopPs",
-                                     config.flipFlopPs, 1.0, 1e4);
-    return config;
+    json::Value doc;
+    if (!json::parse(responseText, doc, nullptr))
+        return false;
+    const json::Value *cpi = doc.find("cpi");
+    const json::Value *ipc = doc.find("ipc");
+    if (!cpi || !cpi->isObject() || !ipc || !ipc->isNumber())
+        return false;
+    static constexpr const char *kNames[] = {
+        "ideal",      "brmisp", "icacheL1", "icacheL2",
+        "dcacheLong", "dtlb",   "total",
+    };
+    for (std::size_t i = 0; i < 7; ++i) {
+        const json::Value *v = cpi->find(kNames[i]);
+        if (!v || !v->isNumber())
+            return false;
+        cols[i] = v->asDouble();
+    }
+    cols[7] = ipc->asDouble();
+    return true;
 }
 
 } // namespace
+
 
 ModelService::ModelService(ServiceConfig config,
                            MetricsRegistry &metrics)
@@ -305,12 +114,46 @@ ModelService::ModelService(ServiceConfig config,
           "fosm_deadline_shed_total",
           "Requests answered 504 because their deadline expired "
           "before model evaluation started",
-          "stage=\"pre-eval\""))
+          "stage=\"pre-eval\"")),
+      batchRows_(metrics.counter("fosm_batch_rows_total",
+                                 "Design points received via "
+                                 "/v1/batch")),
+      batchRowErrors_(metrics.counter(
+          "fosm_batch_row_errors_total",
+          "Batch rows answered with a per-row error slot")),
+      batchShedRows_(metrics.counter(
+          "fosm_batch_shed_rows_total",
+          "Batch rows shed unevaluated because the request deadline "
+          "expired mid-batch"))
 {
     if (!config_.storeDir.empty()) {
         store::StoreConfig sc;
         sc.dir = config_.storeDir;
         store_ = std::make_shared<store::PersistentStore>(sc);
+        // Startup schema pin: cache keys already carry the schema
+        // version, so entries from another vintage can never be
+        // *served* — but a version flip would leave every "r/" entry
+        // silently unreachable while the store keeps growing. Refuse
+        // to open such a store so the operator deletes or migrates it
+        // deliberately instead of serving out of an all-miss cache.
+        const std::string schemaKey = "m/schemaVersion";
+        const std::string current =
+            std::to_string(modelSchemaVersion);
+        std::string persisted;
+        if (store_->get(schemaKey, persisted)) {
+            if (persisted != current) {
+                throw std::runtime_error(
+                    "persistent store '" + config_.storeDir +
+                    "' was written under model schema version " +
+                    persisted + " but this build is version " +
+                    current +
+                    "; refusing to serve its stale 'r/' entries — "
+                    "remove the store directory (or point at a "
+                    "fresh one) to continue");
+            }
+        } else {
+            store_->put(schemaKey, current);
+        }
         persistent_ =
             std::make_unique<PersistentResponseCache>(store_);
         bench_.setCharacterizationStore(
@@ -368,6 +211,12 @@ ModelService::ModelService(ServiceConfig config,
                     [this](const json::Value &request) {
                         return trends(request);
                     });
+    // Raw route: /v1/batch negotiates the binary wire format by
+    // Content-Type and reads the request deadline, so it needs the
+    // HttpRequest, not just a parsed JSON body.
+    router_.add("POST", "/v1/batch", [this](const HttpRequest &r) {
+        return batchHttp(r);
+    });
     router_.add("GET", "/healthz", [this](const HttpRequest &) {
         return HttpResponse::json(200, health().dump());
     });
@@ -470,8 +319,13 @@ ModelService::handler()
         // trivial next to the evaluation (and the cache makes even
         // that skippable for the response itself).
         const std::string path = request.path();
+        // /v1/batch opts out of whole-request memoization: its body
+        // may be binary (not canonicalizable as JSON), and its rows
+        // are cached individually under their /v1/cpi digests, which
+        // a whole-batch entry would bypass.
         const bool cacheable = request.method == "POST" &&
-                               path.rfind("/v1/", 0) == 0;
+                               path.rfind("/v1/", 0) == 0 &&
+                               path != "/v1/batch";
         if (cacheable) {
             json::Value body = json::Value::object();
             std::string error;
@@ -533,37 +387,7 @@ ModelService::cpi(const json::Value &request)
     const FirstOrderModel model(machine, options);
     const CpiBreakdown b = model.evaluate(iw, data.missProfile);
     evaluations_.inc();
-
-    json::Value out = json::Value::object();
-    out.set("workload", workload);
-    out.set("instructions", data.missProfile.instructions);
-    out.set("machine", machineToJson(machine));
-
-    json::Value fit = json::Value::object();
-    fit.set("alpha", iw.alpha());
-    fit.set("beta", iw.beta());
-    fit.set("avgLatency", iw.avgLatency());
-    fit.set("r2", iw.fitR2());
-    out.set("iw", std::move(fit));
-
-    json::Value cpi = json::Value::object();
-    cpi.set("ideal", b.ideal);
-    cpi.set("brmisp", b.brmisp);
-    cpi.set("icacheL1", b.icacheL1);
-    cpi.set("icacheL2", b.icacheL2);
-    cpi.set("dcacheLong", b.dcacheLong);
-    cpi.set("dtlb", b.dtlb);
-    cpi.set("total", b.total());
-    out.set("cpi", std::move(cpi));
-    out.set("ipc", b.ipc());
-
-    json::Value penalties = json::Value::object();
-    penalties.set("branchPerEvent", b.branchPenaltyPerEvent);
-    penalties.set("icachePerEvent", b.icachePenaltyPerEvent);
-    penalties.set("dcachePerEvent", b.dcachePenaltyPerEvent);
-    penalties.set("ldmOverlapFactor", b.ldmOverlapFactor);
-    out.set("penalties", std::move(penalties));
-    return out;
+    return cpiResponseJson(workload, data, machine, iw, b);
 }
 
 json::Value
@@ -716,6 +540,180 @@ ModelService::trends(const json::Value &request)
     }
     out.set("series", std::move(series));
     return out;
+}
+
+batch::Result
+ModelService::batchEvaluate(const json::Value &body,
+                            const HttpRequest *request)
+{
+    const batch::Request req = batch::parseRequest(body);
+    // Shared options are request-level input: malformed options fail
+    // the whole batch (every row would carry the same error).
+    const ModelOptions options = optionsFromJson(body);
+    // The one characterization lookup the whole batch shares.
+    const WorkloadData &data = bench_.workload(req.workload);
+
+    const std::size_t n = req.rows.size();
+    std::vector<std::string> rowError(n);
+    std::vector<std::array<double, 8>> cols(n);
+    std::vector<std::size_t> evalRows;
+    std::vector<MachineConfig> evalMachines;
+    std::vector<std::string> evalKeys;
+
+    const bool useCache = config_.cacheCapacity > 0;
+    const bool keyed = useCache || persistent_ != nullptr;
+
+    // Pass 1: validate each row and consult the response caches
+    // under the row's single-request digest. A row that fails
+    // validation becomes an error slot; everything else is either
+    // answered from cache or queued for evaluation.
+    for (std::size_t i = 0; i < n; ++i) {
+        try {
+            const json::Value merged =
+                batch::mergedRowBody(req, req.rows[i]);
+            const MachineConfig machine = machineFromJson(merged);
+            std::string key;
+            if (keyed) {
+                key = cacheKey("/v1/cpi", merged);
+                std::string cached;
+                if (useCache && cache_.get(key, cached)) {
+                    cacheHits_.inc();
+                    if (extractColumns(cached, cols[i]))
+                        continue;
+                }
+                if (useCache)
+                    cacheMisses_.inc();
+                if (persistent_ && persistent_->get(key, cached)) {
+                    storeRefills_.inc();
+                    if (useCache)
+                        cache_.put(key, cached);
+                    if (extractColumns(cached, cols[i]))
+                        continue;
+                }
+            }
+            evalRows.push_back(i);
+            evalMachines.push_back(machine);
+            evalKeys.push_back(std::move(key));
+        } catch (const ServiceError &e) {
+            rowError[i] = e.what();
+        }
+    }
+
+    // Pass 2: evaluate the misses through the batched kernels, in
+    // chunks so an expired deadline sheds the remaining rows instead
+    // of finishing a batch nobody is waiting for. The IW fit is
+    // memoized per distinct width (it only depends on the width and
+    // the workload's characterization).
+    constexpr std::size_t kChunk = 64;
+    std::map<std::uint32_t, IWCharacteristic> fitByWidth;
+    for (std::size_t base = 0; base < evalRows.size();
+         base += kChunk) {
+        if (request && request->deadlineExpired()) {
+            for (std::size_t k = base; k < evalRows.size(); ++k) {
+                rowError[evalRows[k]] =
+                    "deadline exceeded before evaluation";
+            }
+            batchShedRows_.inc(evalRows.size() - base);
+            break;
+        }
+        const std::size_t count =
+            std::min(kChunk, evalRows.size() - base);
+        std::vector<IWCharacteristic> iws;
+        iws.reserve(count);
+        std::vector<MachineConfig> machines(
+            evalMachines.begin() + base,
+            evalMachines.begin() + base + count);
+        for (const MachineConfig &machine : machines) {
+            auto it = fitByWidth.find(machine.width);
+            if (it == fitByWidth.end()) {
+                it = fitByWidth
+                         .emplace(machine.width,
+                                  Workbench::fitIw(
+                                      data.iwPoints,
+                                      data.missProfile.avgLatency,
+                                      machine.width))
+                         .first;
+            }
+            iws.push_back(it->second);
+        }
+        const std::vector<CpiBreakdown> bs = evaluateBatch(
+            iws, machines, data.missProfile, options);
+        evaluations_.inc(count);
+        for (std::size_t k = 0; k < count; ++k) {
+            const std::size_t row = evalRows[base + k];
+            const CpiBreakdown &b = bs[k];
+            cols[row] = {b.ideal,      b.brmisp, b.icacheL1,
+                         b.icacheL2,   b.dcacheLong,
+                         b.dtlb,       b.total(), b.ipc()};
+            if (keyed) {
+                // Write the full single-request response through the
+                // caches so a later /v1/cpi for this design point is
+                // a byte-identical hit.
+                const std::string text =
+                    cpiResponseJson(req.workload, data, machines[k],
+                                    iws[k], b)
+                        .dump();
+                if (useCache)
+                    cache_.put(evalKeys[base + k], text);
+                if (persistent_)
+                    persistent_->put(evalKeys[base + k], text);
+            }
+        }
+    }
+
+    batch::Result result;
+    result.workload = req.workload;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!rowError[i].empty()) {
+            batchRowErrors_.inc();
+            result.pushError(std::move(rowError[i]));
+        } else {
+            result.pushRow(cols[i][0], cols[i][1], cols[i][2],
+                           cols[i][3], cols[i][4], cols[i][5],
+                           cols[i][6], cols[i][7]);
+        }
+    }
+    batchRows_.inc(n);
+    return result;
+}
+
+json::Value
+ModelService::batch(const json::Value &request)
+{
+    return batch::toJson(batchEvaluate(request, nullptr));
+}
+
+HttpResponse
+ModelService::batchHttp(const HttpRequest &request)
+{
+    const std::string &contentType = request.header("content-type");
+    const bool binary =
+        contentType.rfind(batch::contentType, 0) == 0;
+    json::Value body = json::Value::object();
+    std::string error;
+    if (binary) {
+        if (!batch::decodeRequest(request.body, body, &error)) {
+            return HttpResponse::json(
+                400, errorJson("invalid batch frame: " + error));
+        }
+    } else if (!request.body.empty() &&
+               !json::parse(request.body, body, &error)) {
+        return HttpResponse::json(
+            400, errorJson("invalid JSON body: " + error));
+    }
+    try {
+        const batch::Result result = batchEvaluate(body, &request);
+        if (binary) {
+            HttpResponse r(200);
+            r.body = batch::encodeResponse(result);
+            r.setHeader("Content-Type", batch::contentType);
+            return r;
+        }
+        return HttpResponse::json(200,
+                                  batch::toJson(result).dump());
+    } catch (const ServiceError &e) {
+        return HttpResponse::json(e.status(), errorJson(e.what()));
+    }
 }
 
 } // namespace fosm::server

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "experiments/workbench.hh"
+#include "server/batch.hh"
 #include "server/lru_cache.hh"
 #include "server/metrics.hh"
 #include "server/persistent_cache.hh"
@@ -82,6 +83,22 @@ class ModelService
     json::Value storeStats() const;
 
     /**
+     * /v1/batch for a parsed JSON body: many machine configs against
+     * one workload, columnar response (server/batch.hh). Invalid
+     * rows become per-row error slots; only request-level problems
+     * (bad workload, malformed shared blocks, empty or oversized
+     * rows) throw ServiceError.
+     */
+    json::Value batch(const json::Value &request);
+
+    /**
+     * The raw /v1/batch HTTP handler: negotiates JSON vs the binary
+     * wire format by Content-Type and applies per-chunk deadline
+     * shedding from the request's X-Fosm-Deadline-Ms budget.
+     */
+    HttpResponse batchHttp(const HttpRequest &request);
+
+    /**
      * The cache key for a request: schema version + path + canonical
      * JSON body (keys sorted, compact), so semantically equal
      * requests share an entry regardless of member order or
@@ -107,6 +124,17 @@ class ModelService
   private:
     json::Value health() const;
 
+    /**
+     * Shared batch core: validate rows, consult the per-row response
+     * caches, evaluate the misses through the batched model kernels,
+     * write fresh rows back through the caches. request (when
+     * non-null) supplies the deadline checked between evaluation
+     * chunks; rows past an expired deadline are shed into error
+     * slots instead of evaluated.
+     */
+    batch::Result batchEvaluate(const json::Value &body,
+                                const HttpRequest *request);
+
     ServiceConfig config_;
     MetricsRegistry &metrics_;
     Workbench bench_;
@@ -121,6 +149,9 @@ class ModelService
     Counter &evaluations_;
     Counter &storeRefills_;
     Counter &deadlineShed_;
+    Counter &batchRows_;
+    Counter &batchRowErrors_;
+    Counter &batchShedRows_;
 };
 
 } // namespace fosm::server

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * /v1/batch tests: per-row results bit-identical to /v1/cpi (the
+ * cache-sharing contract), top-level and per-row validation, the
+ * binary gateway wire format round-tripping to the same digests and
+ * bytes as the JSON path, deadline shedding of partially evaluated
+ * batches, and the startup schema pin on the persistent store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/version.hh"
+#include "server/service.hh"
+#include "store/store.hh"
+
+#include "../store/store_test_util.hh"
+
+namespace fosm::server {
+namespace {
+
+MetricsRegistry &
+sharedRegistry()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+ModelService &
+sharedService()
+{
+    static ModelService *service = [] {
+        ::setenv("FOSM_TRACE_INSTS", "5000", 1);
+        return new ModelService(ServiceConfig{}, sharedRegistry());
+    }();
+    return *service;
+}
+
+/** {workload, machine: shared, rows: [...]} */
+json::Value
+batchBody(const std::string &workload, json::Value sharedMachine,
+          std::vector<json::Value> rows)
+{
+    json::Value body = json::Value::object();
+    body.set("workload", workload);
+    if (sharedMachine.isObject())
+        body.set("machine", std::move(sharedMachine));
+    json::Value arr = json::Value::array();
+    for (json::Value &row : rows)
+        arr.push(std::move(row));
+    body.set("rows", std::move(arr));
+    return body;
+}
+
+json::Value
+deltaDRow(std::uint64_t deltaD)
+{
+    json::Value row = json::Value::object();
+    row.set("deltaD", deltaD);
+    return row;
+}
+
+double
+columnAt(const json::Value &response, const char *column,
+         std::size_t i)
+{
+    const json::Value *cpi = response.find("cpi");
+    EXPECT_NE(cpi, nullptr);
+    const json::Value *col = cpi->find(column);
+    EXPECT_NE(col, nullptr);
+    return col->items()[i].asDouble();
+}
+
+int
+statusOfBatch(ModelService &service, const json::Value &body)
+{
+    try {
+        service.batch(body);
+        return 200;
+    } catch (const ServiceError &e) {
+        return e.status();
+    }
+}
+
+// -- Bit-identity with the single-request path ---------------------
+
+TEST(BatchService, RowsBitIdenticalToSingleRequests)
+{
+    ModelService &service = sharedService();
+    json::Value shared = json::Value::object();
+    shared.set("windowSize", 64);
+
+    std::vector<json::Value> rows;
+    for (const std::uint64_t d : {100u, 250u, 400u})
+        rows.push_back(deltaDRow(d));
+    {
+        json::Value wide = json::Value::object();
+        wide.set("width", 8);
+        rows.push_back(std::move(wide));
+    }
+    const json::Value body =
+        batchBody("gcc", shared, std::move(rows));
+    const json::Value response = service.batch(body);
+    ASSERT_EQ(response.find("rows")->asDouble(), 4.0);
+
+    // Each row must serve the exact bytes /v1/cpi serves for the
+    // merged machine — same doubles, same cache entry.
+    const json::Value *reqRows = body.find("rows");
+    for (std::size_t i = 0; i < reqRows->items().size(); ++i) {
+        json::Value single = json::Value::object();
+        single.set("workload", "gcc");
+        json::Value machine = shared;
+        for (const auto &member : reqRows->items()[i].members())
+            machine.set(member.first, member.second);
+        single.set("machine", std::move(machine));
+        const json::Value direct = service.cpi(single);
+
+        const json::Value *cpi = direct.find("cpi");
+        ASSERT_NE(cpi, nullptr) << i;
+        for (const char *c :
+             {"ideal", "brmisp", "icacheL1", "icacheL2",
+              "dcacheLong", "dtlb", "total"}) {
+            EXPECT_EQ(columnAt(response, c, i),
+                      cpi->find(c)->asDouble())
+                << "row " << i << " column " << c;
+        }
+        EXPECT_EQ(response.find("ipc")->items()[i].asDouble(),
+                  direct.find("ipc")->asDouble())
+            << i;
+        EXPECT_TRUE(
+            response.find("errors")->items()[i].isNull())
+            << i;
+    }
+}
+
+TEST(BatchService, SingleRowBatchWorks)
+{
+    ModelService &service = sharedService();
+    const json::Value response = service.batch(
+        batchBody("mcf", json::Value(), {deltaDRow(333)}));
+    EXPECT_EQ(response.find("rows")->asDouble(), 1.0);
+    EXPECT_TRUE(response.find("errors")->items()[0].isNull());
+    EXPECT_GT(columnAt(response, "total", 0), 0.0);
+}
+
+// -- Top-level and per-row validation ------------------------------
+
+TEST(BatchService, EmptyRowsRejectedWith400)
+{
+    ModelService &service = sharedService();
+    EXPECT_EQ(statusOfBatch(service, batchBody("gcc", json::Value(),
+                                               {})),
+              400);
+    // Missing rows entirely.
+    json::Value body = json::Value::object();
+    body.set("workload", "gcc");
+    EXPECT_EQ(statusOfBatch(service, body), 400);
+    // Unknown top-level member.
+    json::Value odd = batchBody("gcc", json::Value(), {deltaDRow(1)});
+    odd.set("bogus", 1);
+    EXPECT_EQ(statusOfBatch(service, odd), 400);
+}
+
+TEST(BatchService, OversizeBatchRejectedWith413)
+{
+    ModelService &service = sharedService();
+    std::vector<json::Value> rows;
+    rows.reserve(batch::maxRows + 1);
+    for (std::size_t i = 0; i <= batch::maxRows; ++i)
+        rows.push_back(json::Value::object());
+    EXPECT_EQ(statusOfBatch(service, batchBody("gcc", json::Value(),
+                                               std::move(rows))),
+              413);
+}
+
+TEST(BatchService, MixedRowsYieldPerRowErrorsNotWholeBatch400)
+{
+    ModelService &service = sharedService();
+    std::vector<json::Value> rows;
+    rows.push_back(deltaDRow(150));     // valid
+    rows.push_back(json::Value(42.0));  // not an object
+    {
+        json::Value bad = json::Value::object();
+        bad.set("width", 0); // out of range
+        rows.push_back(std::move(bad));
+    }
+    {
+        json::Value unknown = json::Value::object();
+        unknown.set("nonsense", 1);
+        rows.push_back(std::move(unknown));
+    }
+    const json::Value response = service.batch(
+        batchBody("gcc", json::Value(), std::move(rows)));
+
+    const json::Value *errors = response.find("errors");
+    ASSERT_NE(errors, nullptr);
+    ASSERT_EQ(errors->items().size(), 4u);
+    EXPECT_TRUE(errors->items()[0].isNull());
+    for (std::size_t i = 1; i < 4; ++i) {
+        EXPECT_TRUE(errors->items()[i].isString()) << i;
+        // The failed rows' numeric slots are null, not garbage.
+        EXPECT_TRUE(response.find("cpi")
+                        ->find("total")
+                        ->items()[i]
+                        .isNull())
+            << i;
+    }
+    // Valid row still evaluated.
+    EXPECT_GT(columnAt(response, "total", 0), 0.0);
+}
+
+// -- Binary wire format --------------------------------------------
+
+TEST(BatchService, BinaryRequestDecodesToTheExactJsonBody)
+{
+    json::Value shared = json::Value::object();
+    shared.set("windowSize", 64);
+    json::Value options = json::Value::object();
+    options.set("dcacheOverlap", false);
+    std::vector<json::Value> rows = {deltaDRow(100), deltaDRow(250)};
+    {
+        // A row the packed-u32 fast path cannot carry: fractional
+        // member, must ride as embedded JSON and still produce the
+        // JSON path's exact validation error downstream.
+        json::Value frac = json::Value::object();
+        frac.set("width", 2.5);
+        rows.push_back(std::move(frac));
+    }
+    json::Value body =
+        batchBody("twolf", shared, std::move(rows));
+    body.set("options", options);
+
+    const batch::Request parsed = batch::parseRequest(body);
+    std::vector<const json::Value *> rowPtrs;
+    for (const json::Value &row : parsed.rows)
+        rowPtrs.push_back(&row);
+    const std::string wire = batch::encodeRequest(
+        parsed.workload, &parsed.sharedMachine,
+        &parsed.sharedOptions, rowPtrs);
+
+    json::Value decoded;
+    std::string error;
+    ASSERT_TRUE(batch::decodeRequest(wire, decoded, &error))
+        << error;
+    // Canonical forms equal => identical digests, identical
+    // downstream validation, identical responses.
+    EXPECT_EQ(decoded.canonical(), body.canonical());
+}
+
+TEST(BatchService, BinaryRejectsGarbageAndWrongVersion)
+{
+    json::Value decoded;
+    std::string error;
+    EXPECT_FALSE(batch::decodeRequest("not a frame", decoded,
+                                      &error));
+    EXPECT_FALSE(batch::decodeRequest("", decoded, &error));
+
+    batch::Result result;
+    EXPECT_FALSE(batch::decodeResponse("junk", result, &error));
+}
+
+TEST(BatchService, BinaryHttpMatchesJsonHttpBitForBit)
+{
+    ModelService &service = sharedService();
+    const json::Value body = batchBody(
+        "gzip", json::Value(),
+        {deltaDRow(110), deltaDRow(220), json::Value(1.0)});
+
+    HttpRequest jsonReq;
+    jsonReq.method = "POST";
+    jsonReq.target = "/v1/batch";
+    jsonReq.body = body.dump();
+    const HttpResponse viaJson = service.batchHttp(jsonReq);
+    ASSERT_EQ(viaJson.status, 200);
+
+    const batch::Request parsed = batch::parseRequest(body);
+    std::vector<const json::Value *> rowPtrs;
+    for (const json::Value &row : parsed.rows)
+        rowPtrs.push_back(&row);
+    HttpRequest binReq;
+    binReq.method = "POST";
+    binReq.target = "/v1/batch";
+    binReq.headers.emplace_back("content-type",
+                                batch::contentType);
+    binReq.body = batch::encodeRequest(parsed.workload, nullptr,
+                                       nullptr, rowPtrs);
+    const HttpResponse viaBinary = service.batchHttp(binReq);
+    ASSERT_EQ(viaBinary.status, 200);
+    bool binaryType = false;
+    for (const auto &h : viaBinary.headers)
+        if (h.first == "Content-Type" &&
+            h.second == batch::contentType)
+            binaryType = true;
+    EXPECT_TRUE(binaryType);
+
+    batch::Result decoded;
+    std::string error;
+    ASSERT_TRUE(
+        batch::decodeResponse(viaBinary.body, decoded, &error))
+        << error;
+    // The binary response re-serialized as JSON is byte-identical
+    // to the JSON path's response (round-trip double formatting).
+    EXPECT_EQ(batch::toJson(decoded).dump(), viaJson.body);
+}
+
+TEST(BatchService, BinaryHttpRejectsBadFrameWith400)
+{
+    ModelService &service = sharedService();
+    HttpRequest req;
+    req.method = "POST";
+    req.target = "/v1/batch";
+    req.headers.emplace_back("content-type", batch::contentType);
+    req.body = "garbage bytes";
+    EXPECT_EQ(service.batchHttp(req).status, 400);
+}
+
+// -- Digest equivalence pin ----------------------------------------
+
+TEST(BatchService, DigestEquivalencePinsModelSchemaVersion)
+{
+    // The response-cache digest is versioned: bumping
+    // modelSchemaVersion MUST break this pin so whoever bumps it
+    // re-checks batch/single digest parity deliberately.
+    EXPECT_EQ(modelSchemaVersion, 1u);
+    EXPECT_EQ(batchWireFormatVersion, 1u);
+
+    json::Value shared = json::Value::object();
+    shared.set("robSize", 256);
+    json::Value body =
+        batchBody("gcc", shared, {deltaDRow(180)});
+    const batch::Request parsed = batch::parseRequest(body);
+
+    // JSON path digest for row 0.
+    const json::Value mergedJson =
+        batch::mergedRowBody(parsed, parsed.rows[0]);
+    const std::string jsonKey =
+        ModelService::cacheKey("/v1/cpi", mergedJson);
+    EXPECT_EQ(jsonKey.rfind("v1\n/v1/cpi\n", 0), 0u) << jsonKey;
+
+    // Binary round-trip digest for the same row.
+    std::vector<const json::Value *> rowPtrs = {&parsed.rows[0]};
+    const std::string wire = batch::encodeRequest(
+        parsed.workload, &parsed.sharedMachine, nullptr, rowPtrs);
+    json::Value decoded;
+    std::string error;
+    ASSERT_TRUE(batch::decodeRequest(wire, decoded, &error))
+        << error;
+    const batch::Request reparsed = batch::parseRequest(decoded);
+    EXPECT_EQ(ModelService::cacheKey(
+                  "/v1/cpi",
+                  batch::mergedRowBody(reparsed, reparsed.rows[0])),
+              jsonKey);
+
+    // A bare row with no shared block digests like a bare /v1/cpi
+    // request (no "machine" member at all).
+    json::Value bare = json::Value::object();
+    bare.set("workload", "gcc");
+    batch::Request bareReq;
+    bareReq.workload = "gcc";
+    bareReq.rows.push_back(json::Value::object());
+    EXPECT_EQ(ModelService::cacheKey(
+                  "/v1/cpi",
+                  batch::mergedRowBody(bareReq, bareReq.rows[0])),
+              ModelService::cacheKey("/v1/cpi", bare));
+}
+
+// -- Deadline shedding ---------------------------------------------
+
+TEST(BatchService, ExpiredDeadlineShedsUncachedRowsOnly)
+{
+    ModelService &service = sharedService();
+
+    // Warm one design point through the single-request path — via
+    // the handler, which is where the response cache is populated.
+    json::Value warm = json::Value::object();
+    warm.set("workload", "parser");
+    {
+        json::Value machine = json::Value::object();
+        machine.set("deltaD", 510);
+        warm.set("machine", std::move(machine));
+    }
+    HttpRequest warmReq;
+    warmReq.method = "POST";
+    warmReq.target = "/v1/cpi";
+    warmReq.body = warm.dump();
+    ASSERT_EQ(service.handler()(warmReq).status, 200);
+
+    HttpRequest req;
+    req.method = "POST";
+    req.target = "/v1/batch";
+    req.body = batchBody("parser", json::Value(),
+                         {deltaDRow(510), deltaDRow(511)})
+                   .dump();
+    req.deadline = std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(5);
+    const HttpResponse response = service.batchHttp(req);
+    ASSERT_EQ(response.status, 200);
+
+    json::Value v;
+    std::string error;
+    ASSERT_TRUE(json::parse(response.body, v, &error)) << error;
+    const json::Value *errors = v.find("errors");
+    ASSERT_NE(errors, nullptr);
+    // The cached row is served from the response cache even with no
+    // budget left; the fresh row is shed, not evaluated.
+    EXPECT_TRUE(errors->items()[0].isNull());
+    ASSERT_TRUE(errors->items()[1].isString());
+    EXPECT_NE(errors->items()[1].asString().find("deadline"),
+              std::string::npos);
+}
+
+// -- Persistent-store schema pin -----------------------------------
+
+TEST(BatchService, StartupRefusesStoreFromAnotherSchemaVersion)
+{
+    ::setenv("FOSM_TRACE_INSTS", "5000", 1);
+    test::TempDir dir;
+    {
+        store::StoreConfig sc;
+        sc.dir = dir.path();
+        store::PersistentStore stale(sc);
+        stale.put("m/schemaVersion", "999");
+    }
+    ServiceConfig config;
+    config.storeDir = dir.path();
+    MetricsRegistry metrics;
+    EXPECT_THROW(ModelService(config, metrics), std::runtime_error);
+}
+
+TEST(BatchService, StartupStampsFreshStoreWithSchemaVersion)
+{
+    ::setenv("FOSM_TRACE_INSTS", "5000", 1);
+    test::TempDir dir;
+    {
+        MetricsRegistry metrics;
+        ServiceConfig config;
+        config.storeDir = dir.path();
+        ModelService service(config, metrics);
+    }
+    store::StoreConfig sc;
+    sc.dir = dir.path();
+    store::PersistentStore store(sc);
+    std::string persisted;
+    ASSERT_TRUE(store.get("m/schemaVersion", persisted));
+    EXPECT_EQ(persisted, std::to_string(modelSchemaVersion));
+}
+
+} // namespace
+} // namespace fosm::server

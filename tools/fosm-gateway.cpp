@@ -171,8 +171,8 @@ main(int argc, char **argv)
               << config.retries << ", hedge p"
               << static_cast<int>(config.hedgeQuantile * 100)
               << " capped at " << config.hedgeMaxMs << "ms)\n"
-              << "fosm-gateway: POST /v1/cpi /v1/iw-curve "
-                 "/v1/trends; GET /healthz /metrics "
+              << "fosm-gateway: POST /v1/cpi /v1/batch "
+                 "/v1/iw-curve /v1/trends; GET /healthz /metrics "
                  "/v1/store/stats; GET+POST /admin/backends\n";
     std::cout.flush();
 

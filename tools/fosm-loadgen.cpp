@@ -27,6 +27,12 @@
  * overload the former grows without bound while the latter stays
  * flat — the coordinated-omission distinction a closed loop hides.
  *
+ * --batch N switches to POST /v1/batch with N design points (rows)
+ * per request, in both loop modes. --distinct then counts distinct
+ * batch bodies (--distinct 0 generates never-repeating rows), and
+ * the report adds per-design-point throughput next to the per-batch
+ * numbers — the figure comparable across batch sizes.
+ *
  * --targets takes a comma-separated endpoint list and stripes the
  * connections across it round-robin (client-side round-robin — the
  * baseline a digest-sharding gateway is benchmarked against; a
@@ -84,7 +90,8 @@ percentile(const std::vector<double> &sorted, double q)
 
 /** Pre-built request bodies rotated by every worker. */
 std::vector<std::string>
-buildBodies(const std::string &endpoint, std::uint64_t distinct)
+buildBodies(const std::string &endpoint, std::uint64_t distinct,
+            std::uint64_t batchRows)
 {
     const std::vector<std::string> names = profileNames();
     // 0 means "never repeat": the worker appends a unique deltaD per
@@ -94,7 +101,21 @@ buildBodies(const std::string &endpoint, std::uint64_t distinct)
     bodies.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
         json::Value body = json::Value::object();
-        if (endpoint == "/v1/trends") {
+        if (batchRows > 0) {
+            // One /v1/batch request carrying batchRows design
+            // points of one workload: per-row deltaD deltas over an
+            // empty shared machine, each row a distinct point.
+            body.set("workload", names[i % names.size()]);
+            json::Value rows = json::Value::array();
+            for (std::uint64_t j = 0; j < batchRows; ++j) {
+                json::Value row = json::Value::object();
+                row.set("deltaD",
+                        std::uint64_t{
+                            100 + 10 * (i * batchRows + j)});
+                rows.push(std::move(row));
+            }
+            body.set("rows", std::move(rows));
+        } else if (endpoint == "/v1/trends") {
             // Trends are workload-independent; each body is a full
             // 7-point width sweep (a realistic design question and
             // a deliberately expensive miss), made distinct by the
@@ -141,7 +162,7 @@ main(int argc, char **argv)
         argc, argv,
         {"host", "port", "targets", "connections", "duration",
          "warmup", "endpoint", "distinct", "rate", "timeout",
-         "deadline", "out"},
+         "deadline", "batch", "out"},
         "usage: fosm-loadgen [flags]\n"
         "  --host 127.0.0.1    server address\n"
         "  --port 8080         server port\n"
@@ -163,6 +184,10 @@ main(int argc, char **argv)
         "  --deadline MS       send X-Fosm-Deadline-Ms so servers\n"
         "                      shed work we stopped waiting for;\n"
         "                      504s count separately (0 = none)\n"
+        "  --batch N           POST /v1/batch with N design points\n"
+        "                      per request; throughput is reported\n"
+        "                      per design point as well as per\n"
+        "                      request (0 = single-request mode)\n"
         "  --out report.json   write the report as JSON\n");
 
     const std::string host = args.get("host", "127.0.0.1");
@@ -173,7 +198,9 @@ main(int argc, char **argv)
     const double duration =
         std::max(0.1, args.getDouble("duration", 10.0));
     const double warmup = args.getDouble("warmup", 1.0);
-    const std::string endpoint = args.get("endpoint", "/v1/cpi");
+    const std::uint64_t batchRows = args.getInt("batch", 0);
+    const std::string endpoint = args.get(
+        "endpoint", batchRows > 0 ? "/v1/batch" : "/v1/cpi");
     const std::uint64_t distinct = args.getInt("distinct", 12);
     const double rate = args.getDouble("rate", 0.0);
     const int timeoutMs =
@@ -195,7 +222,7 @@ main(int argc, char **argv)
     }
 
     const std::vector<std::string> bodies =
-        buildBodies(endpoint, distinct);
+        buildBodies(endpoint, distinct, batchRows);
 
     const auto start = Clock::now();
     const auto measureFrom =
@@ -257,8 +284,29 @@ main(int argc, char **argv)
                     json::Value v;
                     std::string err;
                     json::parse(body, v, &err);
-                    const std::uint64_t seq = uniqueSeq.fetch_add(1);
-                    if (endpoint == "/v1/trends") {
+                    const std::uint64_t seq = uniqueSeq.fetch_add(
+                        batchRows > 0 ? batchRows : 1);
+                    if (batchRows > 0) {
+                        // Fresh rows every request: batchRows
+                        // never-seen design points per batch. The
+                        // deltaI second axis keeps points unique
+                        // past the deltaD wrap (batch rates clear
+                        // 900k points well inside a run).
+                        json::Value rows = json::Value::array();
+                        for (std::uint64_t j = 0; j < batchRows;
+                             ++j) {
+                            json::Value row = json::Value::object();
+                            row.set("deltaD",
+                                    std::uint64_t{
+                                        100 +
+                                        (seq + j) % 900000});
+                            row.set("deltaI",
+                                    std::uint64_t{
+                                        8 + (seq + j) / 900000});
+                            rows.push(std::move(row));
+                        }
+                        v.set("rows", std::move(rows));
+                    } else if (endpoint == "/v1/trends") {
                         json::Value config = json::Value::object();
                         config.set(
                             "avgLatency",
@@ -368,6 +416,11 @@ main(int argc, char **argv)
     report.set("requests_timeout", total.timeouts);
     report.set("requests_error", total.errors);
     report.set("throughput_rps", throughput);
+    if (batchRows > 0) {
+        report.set("batch_rows", batchRows);
+        report.set("design_points_per_s",
+                   throughput * static_cast<double>(batchRows));
+    }
     json::Value lat = json::Value::object();
     lat.set("mean_us", mean * 1e6);
     lat.set("p50_us", pct(0.50) * 1e6);
@@ -471,6 +524,12 @@ main(int argc, char **argv)
               << " req/s";
     if (rate > 0.0)
         std::cout << ", offered " << json::formatDouble(rate);
+    if (batchRows > 0)
+        std::cout << "; " << batchRows << " rows/batch = "
+                  << json::formatDouble(
+                         throughput *
+                         static_cast<double>(batchRows))
+                  << " design points/s";
     std::cout << ")\n"
               << "service us: mean "
               << json::formatDouble(mean * 1e6) << ", p50 "

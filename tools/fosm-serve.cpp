@@ -6,8 +6,9 @@
  *              [--queue 128] [--cache 8192] [--no-warmup]
  *              [--store-dir .fosm-store] [--no-store]
  *
- * Serves POST /v1/cpi, /v1/iw-curve and /v1/trends plus GET /healthz,
- * /metrics (Prometheus text) and /v1/store/stats. Evaluated design
+ * Serves POST /v1/cpi, /v1/batch, /v1/iw-curve and /v1/trends plus
+ * GET /healthz, /metrics (Prometheus text) and /v1/store/stats.
+ * Evaluated design
  * points are memoized in a sharded LRU response cache (--cache 0
  * disables, for benchmarking the uncached path) backed by a
  * crash-safe persistent store (docs/STORE.md): responses and workload
@@ -139,7 +140,7 @@ main(int argc, char **argv)
                       ? std::string("off")
                       : serviceConfig.storeDir)
               << ")\n"
-              << "fosm-serve: POST /v1/cpi /v1/iw-curve /v1/trends; "
+              << "fosm-serve: POST /v1/cpi /v1/batch /v1/iw-curve /v1/trends; "
                  "GET /healthz /metrics /v1/store/stats\n";
     std::cout.flush();
 
