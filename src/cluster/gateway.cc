@@ -80,8 +80,12 @@ sumNumericLeaves(json::Value &dst, const json::Value &src)
     }
 }
 
+// /v1/optimize rides the same digest routing as the point queries:
+// its whole-request digest keys the shard, so repeated/overlapping
+// space searches land on the replica whose caches and store already
+// hold the space's rows.
 const char *const kProxyPaths[] = {"/v1/cpi", "/v1/iw-curve",
-                                   "/v1/trends"};
+                                   "/v1/trends", "/v1/optimize"};
 
 bool
 isProxyPath(const std::string &path)

@@ -1,0 +1,361 @@
+#include "opt/expr.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace fosm::opt {
+
+/**
+ * Recursive-descent parser emitting postfix Steps straight into the
+ * Expr under construction. One instance per parse() call; no state
+ * survives it.
+ */
+class ExprParser
+{
+  public:
+    ExprParser(const std::string &text,
+               const std::vector<std::string> &variables, Expr &out)
+        : text_(text), variables_(variables), out_(out)
+    {
+    }
+
+    bool run(std::string *error)
+    {
+        if (!parseOr()) {
+            if (error)
+                *error = error_;
+            return false;
+        }
+        skipSpace();
+        if (pos_ != text_.size()) {
+            if (error)
+                *error = "unexpected trailing input at offset " +
+                         std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    using Op = Expr::Op;
+
+    void emit(Op op, std::uint32_t arg = 0)
+    {
+        out_.ops_.push_back({op, arg});
+    }
+
+    bool fail(const std::string &message)
+    {
+        error_ = message + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    /** Consume the literal token if it is next (after whitespace). */
+    bool accept(const char *token)
+    {
+        skipSpace();
+        std::size_t n = 0;
+        while (token[n])
+            ++n;
+        if (text_.compare(pos_, n, token) != 0)
+            return false;
+        // Don't let '<' swallow the front of '<=' — callers must try
+        // the longer token first, which the cmp parser does.
+        pos_ += n;
+        return true;
+    }
+
+    bool parseOr()
+    {
+        if (!parseAnd())
+            return false;
+        while (true) {
+            skipSpace();
+            if (text_.compare(pos_, 2, "||") != 0)
+                return true;
+            pos_ += 2;
+            if (!parseAnd())
+                return false;
+            emit(Op::Or);
+        }
+    }
+
+    bool parseAnd()
+    {
+        if (!parseCmp())
+            return false;
+        while (true) {
+            skipSpace();
+            if (text_.compare(pos_, 2, "&&") != 0)
+                return true;
+            pos_ += 2;
+            if (!parseCmp())
+                return false;
+            emit(Op::And);
+        }
+    }
+
+    bool parseCmp()
+    {
+        if (!parseSum())
+            return false;
+        skipSpace();
+        Op op;
+        if (accept("<="))
+            op = Op::Le;
+        else if (accept(">="))
+            op = Op::Ge;
+        else if (accept("=="))
+            op = Op::Eq;
+        else if (accept("!="))
+            op = Op::Ne;
+        else if (pos_ < text_.size() && text_[pos_] == '<') {
+            ++pos_;
+            op = Op::Lt;
+        } else if (pos_ < text_.size() && text_[pos_] == '>') {
+            ++pos_;
+            op = Op::Gt;
+        } else
+            return true;
+        if (!parseSum())
+            return false;
+        emit(op);
+        return true;
+    }
+
+    bool parseSum()
+    {
+        if (!parseTerm())
+            return false;
+        while (true) {
+            skipSpace();
+            if (pos_ >= text_.size())
+                return true;
+            const char c = text_[pos_];
+            if (c != '+' && c != '-')
+                return true;
+            ++pos_;
+            if (!parseTerm())
+                return false;
+            emit(c == '+' ? Op::Add : Op::Sub);
+        }
+    }
+
+    bool parseTerm()
+    {
+        if (!parseUnary())
+            return false;
+        while (true) {
+            skipSpace();
+            if (pos_ >= text_.size())
+                return true;
+            const char c = text_[pos_];
+            if (c != '*' && c != '/' && c != '%')
+                return true;
+            ++pos_;
+            if (!parseUnary())
+                return false;
+            emit(c == '*'   ? Op::Mul
+                 : c == '/' ? Op::Div
+                            : Op::Mod);
+        }
+    }
+
+    bool parseUnary()
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '!' &&
+            // '!' alone, not the '!=' operator mid-expression.
+            (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '=')) {
+            ++pos_;
+            if (!parseUnary())
+                return false;
+            emit(Op::Not);
+            return true;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            ++pos_;
+            if (!parseUnary())
+                return false;
+            emit(Op::Neg);
+            return true;
+        }
+        return parsePrimary();
+    }
+
+    bool parsePrimary()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("expected value");
+        const char c = text_[pos_];
+        if (c == '(') {
+            ++pos_;
+            if (!parseOr())
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != ')')
+                return fail("expected ')'");
+            ++pos_;
+            return true;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '.')
+            return parseNumber();
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+            return parseIdentifier();
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+
+    bool parseNumber()
+    {
+        const char *begin = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double v = std::strtod(begin, &end);
+        if (end == begin)
+            return fail("bad number");
+        pos_ += static_cast<std::size_t>(end - begin);
+        out_.consts_.push_back(v);
+        emit(Op::PushConst,
+             static_cast<std::uint32_t>(out_.consts_.size() - 1));
+        return true;
+    }
+
+    bool parseIdentifier()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(
+                    static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_'))
+            ++pos_;
+        const std::string name =
+            text_.substr(start, pos_ - start);
+        for (std::size_t i = 0; i < variables_.size(); ++i) {
+            if (variables_[i] != name)
+                continue;
+            const auto idx = static_cast<std::uint32_t>(i);
+            emit(Op::PushVar, idx);
+            bool seen = false;
+            for (const auto r : out_.referenced_)
+                seen = seen || r == idx;
+            if (!seen)
+                out_.referenced_.push_back(idx);
+            return true;
+        }
+        pos_ = start;
+        return fail("unknown identifier '" + name + "'");
+    }
+
+    const std::string &text_;
+    const std::vector<std::string> &variables_;
+    Expr &out_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+bool
+Expr::parse(const std::string &text,
+            const std::vector<std::string> &variables, Expr &out,
+            std::string *error)
+{
+    out = Expr();
+    out.text_ = text;
+    ExprParser parser(text, variables, out);
+    if (parser.run(error)) {
+        return true;
+    }
+    out = Expr();
+    return false;
+}
+
+double
+Expr::eval(const std::vector<double> &values) const
+{
+    // Expressions are small; a fixed stack avoids an allocation per
+    // point. Depth is bounded by expression length, which params
+    // caps well below this.
+    double stack[64];
+    std::size_t top = 0;
+    const auto pop = [&]() -> double { return stack[--top]; };
+    const auto push = [&](double v) {
+        if (top < 64)
+            stack[top++] = v;
+    };
+
+    for (const auto &step : ops_) {
+        switch (step.op) {
+        case Op::PushConst:
+            push(consts_[step.arg]);
+            break;
+        case Op::PushVar:
+            push(values[step.arg]);
+            break;
+        case Op::Neg:
+            stack[top - 1] = -stack[top - 1];
+            break;
+        case Op::Not:
+            stack[top - 1] = stack[top - 1] == 0.0 ? 1.0 : 0.0;
+            break;
+        default: {
+            const double b = pop();
+            const double a = stack[top - 1];
+            double r = 0.0;
+            switch (step.op) {
+            case Op::Add:
+                r = a + b;
+                break;
+            case Op::Sub:
+                r = a - b;
+                break;
+            case Op::Mul:
+                r = a * b;
+                break;
+            case Op::Div:
+                r = b == 0.0 ? 0.0 : a / b;
+                break;
+            case Op::Mod:
+                r = b == 0.0 ? 0.0 : std::fmod(a, b);
+                break;
+            case Op::Lt:
+                r = a < b ? 1.0 : 0.0;
+                break;
+            case Op::Le:
+                r = a <= b ? 1.0 : 0.0;
+                break;
+            case Op::Gt:
+                r = a > b ? 1.0 : 0.0;
+                break;
+            case Op::Ge:
+                r = a >= b ? 1.0 : 0.0;
+                break;
+            case Op::Eq:
+                r = a == b ? 1.0 : 0.0;
+                break;
+            case Op::Ne:
+                r = a != b ? 1.0 : 0.0;
+                break;
+            case Op::And:
+                r = a != 0.0 && b != 0.0 ? 1.0 : 0.0;
+                break;
+            case Op::Or:
+                r = a != 0.0 || b != 0.0 ? 1.0 : 0.0;
+                break;
+            default:
+                break;
+            }
+            stack[top - 1] = r;
+        }
+        }
+    }
+    return top ? stack[top - 1] : 0.0;
+}
+
+} // namespace fosm::opt

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tiny arithmetic/boolean expression language for design-space
+ * constraints and optimization objectives:
+ *
+ *   depth <= 20 && width * windowSize <= 1024
+ *   cpi + 0.001 * windowSize
+ *
+ * Expressions are parsed once into a flat postfix program and then
+ * evaluated per design point against a caller-supplied variable
+ * table, so a 100k-point sweep pays the parse exactly once.
+ * Evaluation is plain double arithmetic in a fixed order — the same
+ * expression over the same inputs yields the same bits on every run
+ * and thread count, which the optimizer's determinism contract
+ * (frontier bit-identical across -j1/-jN) leans on.
+ *
+ * Grammar (C-like precedence, all left-associative):
+ *
+ *   or     := and ('||' and)*
+ *   and    := cmp ('&&' cmp)*
+ *   cmp    := sum (('<='|'<'|'>='|'>'|'=='|'!=') sum)?
+ *   sum    := term (('+'|'-') term)*
+ *   term   := unary (('*'|'/'|'%') unary)*
+ *   unary  := ('!'|'-') unary | primary
+ *   primary:= number | identifier | '(' or ')'
+ *
+ * Booleans are doubles: comparisons yield 1.0/0.0 and '&&'/'||'/'!'
+ * treat any non-zero as true. '/' and '%' by zero yield 0.0 (a
+ * constraint that divides by zero rejects nothing rather than
+ * crashing the sweep); '%' is fmod.
+ */
+
+#ifndef FOSM_OPT_EXPR_HH
+#define FOSM_OPT_EXPR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fosm::opt {
+
+/** Resolves an identifier to its value for one evaluation. */
+using VarLookup = std::function<double(const std::string &)>;
+
+/** A parsed expression; cheap to copy, reusable across points. */
+class Expr
+{
+  public:
+    /**
+     * Parse text against a fixed set of known identifiers. Returns
+     * false and a diagnostic (with byte offset) on syntax errors or
+     * unknown identifiers — rejecting typos at parse time keeps a
+     * misspelled parameter from silently evaluating as 0 across a
+     * whole sweep.
+     */
+    static bool parse(const std::string &text,
+                      const std::vector<std::string> &variables,
+                      Expr &out, std::string *error);
+
+    /**
+     * Evaluate against the variable values, in the same order as the
+     * `variables` vector given to parse(). values.size() must match.
+     */
+    double eval(const std::vector<double> &values) const;
+
+    /** Identifiers the expression actually references (parse order,
+     *  deduplicated) — lets a caller validate that an objective only
+     *  uses result columns, say. */
+    const std::vector<std::uint32_t> &referenced() const
+    {
+        return referenced_;
+    }
+
+    bool empty() const { return ops_.empty(); }
+
+    /** The original text (for echoing in responses). */
+    const std::string &text() const { return text_; }
+
+  private:
+    enum class Op : std::uint8_t
+    {
+        PushConst,
+        PushVar,
+        Neg,
+        Not,
+        Add,
+        Sub,
+        Mul,
+        Div,
+        Mod,
+        Lt,
+        Le,
+        Gt,
+        Ge,
+        Eq,
+        Ne,
+        And,
+        Or,
+    };
+
+    struct Step
+    {
+        Op op;
+        /** PushConst: constant slot; PushVar: variable index. */
+        std::uint32_t arg = 0;
+    };
+
+    friend class ExprParser;
+
+    std::string text_;
+    std::vector<Step> ops_;
+    std::vector<double> consts_;
+    std::vector<std::uint32_t> referenced_;
+};
+
+} // namespace fosm::opt
+
+#endif // FOSM_OPT_EXPR_HH

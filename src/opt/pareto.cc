@@ -1,0 +1,91 @@
+#include "opt/pareto.hh"
+
+#include <algorithm>
+
+namespace fosm::opt {
+
+namespace {
+
+/** a dominates b: <= everywhere, < somewhere. */
+bool
+dominates(const double *a, const double *b, std::size_t n)
+{
+    bool strict = false;
+    for (std::size_t k = 0; k < n; ++k) {
+        if (a[k] > b[k])
+            return false;
+        if (a[k] < b[k])
+            strict = true;
+    }
+    return strict;
+}
+
+} // namespace
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<double> &scores,
+               std::size_t nObjectives)
+{
+    if (nObjectives == 0)
+        return {};
+    const std::size_t n = scores.size() / nObjectives;
+    if (n == 0)
+        return {};
+
+    // Sort lexicographically by score vector, index as final key.
+    // Any dominator of a point precedes it in this order (the first
+    // differing column is strictly smaller), so scanning in order and
+    // testing each candidate only against frontier members already
+    // accepted is O(n log n + n * |frontier|) and exact.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  const double *pa = &scores[a * nObjectives];
+                  const double *pb = &scores[b * nObjectives];
+                  for (std::size_t k = 0; k < nObjectives; ++k) {
+                      if (pa[k] < pb[k])
+                          return true;
+                      if (pa[k] > pb[k])
+                          return false;
+                  }
+                  return a < b;
+              });
+
+    std::vector<std::size_t> frontier;
+    for (const std::size_t i : order) {
+        const double *p = &scores[i * nObjectives];
+        bool dominated = false;
+        for (const std::size_t f : frontier) {
+            const double *q = &scores[f * nObjectives];
+            // A bitwise-equal vector already on the frontier also
+            // eliminates this one: lexicographic order put the lower
+            // index first, so "first point wins" holds.
+            if (dominates(q, p, nObjectives) ||
+                std::equal(q, q + nObjectives, p)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    std::sort(frontier.begin(), frontier.end());
+    return frontier;
+}
+
+std::size_t
+argminFirstObjective(const std::vector<double> &scores,
+                     std::size_t nObjectives)
+{
+    const std::size_t n =
+        nObjectives ? scores.size() / nObjectives : 0;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i)
+        if (scores[i * nObjectives] < scores[best * nObjectives])
+            best = i;
+    return best;
+}
+
+} // namespace fosm::opt

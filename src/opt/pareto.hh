@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic single- and multi-objective selection over evaluated
+ * design points.
+ *
+ * Every objective is normalized to a minimization score (maximize
+ * objectives are negated), so a point dominates another when it is
+ * <= on every score and < on at least one. The frontier is the set
+ * of non-dominated points; ties between bitwise-identical score
+ * vectors are broken by enumeration ordinal (first point wins), so
+ * the result is a pure function of (scores, order) with no
+ * dependence on thread count or comparison instability.
+ */
+
+#ifndef FOSM_OPT_PARETO_HH
+#define FOSM_OPT_PARETO_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace fosm::opt {
+
+/**
+ * Indices (into the candidate array) of the Pareto-optimal points
+ * under minimization of every score column, ascending by index.
+ *
+ * `scores` is row-major: point i's vector is
+ * scores[i*nObjectives .. (i+1)*nObjectives). Among points with
+ * bitwise-equal score vectors only the lowest index survives — equal
+ * vectors never "mutually dominate" each other into the frontier
+ * twice.
+ */
+std::vector<std::size_t>
+paretoFrontier(const std::vector<double> &scores,
+               std::size_t nObjectives);
+
+/**
+ * Index of the single best point under score column 0 (ties broken
+ * by lowest index). Candidates must be non-empty.
+ */
+std::size_t argminFirstObjective(const std::vector<double> &scores,
+                                 std::size_t nObjectives);
+
+} // namespace fosm::opt
+
+#endif // FOSM_OPT_PARETO_HH

@@ -1,0 +1,215 @@
+#include "opt/space.hh"
+
+#include <limits>
+
+namespace fosm::opt {
+
+namespace {
+
+/**
+ * Member accessors in canonical order. The order is load-bearing: it
+ * fixes the odometer digit order for any spec, so the same axes
+ * always enumerate in the same sequence regardless of the order the
+ * request listed them in.
+ */
+struct Member
+{
+    const char *name;
+    std::uint64_t (*get)(const MachineConfig &);
+    void (*set)(MachineConfig &, std::uint64_t);
+};
+
+constexpr Member kMembers[] = {
+    {"width", [](const MachineConfig &m) -> std::uint64_t { return m.width; },
+     [](MachineConfig &m, std::uint64_t v) {
+         m.width = static_cast<std::uint32_t>(v);
+     }},
+    {"frontEndDepth",
+     [](const MachineConfig &m) -> std::uint64_t {
+         return m.frontEndDepth;
+     },
+     [](MachineConfig &m, std::uint64_t v) {
+         m.frontEndDepth = static_cast<std::uint32_t>(v);
+     }},
+    {"windowSize",
+     [](const MachineConfig &m) -> std::uint64_t {
+         return m.windowSize;
+     },
+     [](MachineConfig &m, std::uint64_t v) {
+         m.windowSize = static_cast<std::uint32_t>(v);
+     }},
+    {"robSize",
+     [](const MachineConfig &m) -> std::uint64_t { return m.robSize; },
+     [](MachineConfig &m, std::uint64_t v) {
+         m.robSize = static_cast<std::uint32_t>(v);
+     }},
+    {"deltaI",
+     [](const MachineConfig &m) -> std::uint64_t { return m.deltaI; },
+     [](MachineConfig &m, std::uint64_t v) { m.deltaI = v; }},
+    {"deltaD",
+     [](const MachineConfig &m) -> std::uint64_t { return m.deltaD; },
+     [](MachineConfig &m, std::uint64_t v) { m.deltaD = v; }},
+    {"deltaT",
+     [](const MachineConfig &m) -> std::uint64_t { return m.deltaT; },
+     [](MachineConfig &m, std::uint64_t v) { m.deltaT = v; }},
+    {"clusters",
+     [](const MachineConfig &m) -> std::uint64_t {
+         return m.clusters;
+     },
+     [](MachineConfig &m, std::uint64_t v) {
+         m.clusters = static_cast<std::uint32_t>(v);
+     }},
+    {"interClusterDelay",
+     [](const MachineConfig &m) -> std::uint64_t {
+         return m.interClusterDelay;
+     },
+     [](MachineConfig &m, std::uint64_t v) {
+         m.interClusterDelay = v;
+     }},
+};
+
+constexpr std::size_t kMemberCount =
+    sizeof(kMembers) / sizeof(kMembers[0]);
+
+/** depth/window/rob shorthands, resolved after the canonical names. */
+constexpr struct
+{
+    const char *alias;
+    const char *target;
+} kAliases[] = {
+    {"depth", "frontEndDepth"},
+    {"window", "windowSize"},
+    {"rob", "robSize"},
+};
+
+} // namespace
+
+const std::vector<std::string> &
+machineMemberNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &m : kMembers)
+            v.emplace_back(m.name);
+        return v;
+    }();
+    return names;
+}
+
+const std::vector<std::string> &
+machineVariableNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v = machineMemberNames();
+        for (const auto &a : kAliases)
+            v.emplace_back(a.alias);
+        return v;
+    }();
+    return names;
+}
+
+std::string
+canonicalMemberName(const std::string &name)
+{
+    for (const auto &m : kMembers)
+        if (name == m.name)
+            return m.name;
+    for (const auto &a : kAliases)
+        if (name == a.alias)
+            return a.target;
+    return {};
+}
+
+bool
+setMachineMember(MachineConfig &machine, const std::string &name,
+                 std::uint64_t value)
+{
+    for (const auto &m : kMembers) {
+        if (name == m.name) {
+            m.set(machine, value);
+            return true;
+        }
+    }
+    for (const auto &a : kAliases)
+        if (name == a.alias)
+            return setMachineMember(machine, a.target, value);
+    return false;
+}
+
+std::uint64_t
+machineMember(const MachineConfig &machine, const std::string &name)
+{
+    for (const auto &m : kMembers)
+        if (name == m.name)
+            return m.get(machine);
+    for (const auto &a : kAliases)
+        if (name == a.alias)
+            return machineMember(machine, a.target);
+    return 0;
+}
+
+std::uint64_t
+SpaceSpec::cardinality() const
+{
+    std::uint64_t product = 1;
+    for (const auto &axis : axes) {
+        const auto n = static_cast<std::uint64_t>(axis.values.size());
+        if (n == 0)
+            return 0;
+        if (product >
+            std::numeric_limits<std::uint64_t>::max() / n)
+            return std::numeric_limits<std::uint64_t>::max();
+        product *= n;
+    }
+    return product;
+}
+
+EnumeratedSpace
+enumerate(const SpaceSpec &spec)
+{
+    EnumeratedSpace out;
+    const std::uint64_t total = spec.cardinality();
+    if (total == 0)
+        return out;
+
+    // The constraint sees machine members + aliases, in the same
+    // order machineVariableNames() lists them.
+    std::vector<double> vars(kMemberCount + 3, 0.0);
+    const auto bindVars = [&](const MachineConfig &m) {
+        for (std::size_t i = 0; i < kMemberCount; ++i)
+            vars[i] = static_cast<double>(kMembers[i].get(m));
+        vars[kMemberCount + 0] = static_cast<double>(m.frontEndDepth);
+        vars[kMemberCount + 1] = static_cast<double>(m.windowSize);
+        vars[kMemberCount + 2] = static_cast<double>(m.robSize);
+    };
+
+    std::vector<std::size_t> odometer(spec.axes.size(), 0);
+    for (std::uint64_t ordinal = 0; ordinal < total; ++ordinal) {
+        MachineConfig machine = spec.baseline;
+        for (std::size_t a = 0; a < spec.axes.size(); ++a)
+            setMachineMember(machine, spec.axes[a].name,
+                             spec.axes[a].values[odometer[a]]);
+
+        bool feasible = machine.clusters != 0 &&
+                        machine.width % machine.clusters == 0 &&
+                        machine.windowSize % machine.clusters == 0;
+        if (feasible && !spec.constraint.empty()) {
+            bindVars(machine);
+            feasible = spec.constraint.eval(vars) != 0.0;
+        }
+        if (feasible)
+            out.machines.push_back(machine);
+        else
+            ++out.infeasible;
+
+        // Advance, last axis fastest.
+        for (std::size_t a = spec.axes.size(); a-- > 0;) {
+            if (++odometer[a] < spec.axes[a].values.size())
+                break;
+            odometer[a] = 0;
+        }
+    }
+    return out;
+}
+
+} // namespace fosm::opt

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Declarative design spaces: a set of machine-parameter axes, each a
+ * finite value list, whose cross product (filtered by an optional
+ * constraint expression) is the candidate set an optimization sweeps.
+ *
+ * The cardinality of the *unfiltered* product is computed before
+ * anything is materialized, so a caller can reject absurd requests
+ * (HTTP 413) without allocating gigabytes. Enumeration is a plain
+ * odometer — the last axis spins fastest — giving every point a
+ * stable ordinal that the Pareto tie-breaking and the planner's
+ * batching both key off. Same spec, same order, always.
+ */
+
+#ifndef FOSM_OPT_SPACE_HH
+#define FOSM_OPT_SPACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/machine_config.hh"
+#include "opt/expr.hh"
+
+namespace fosm::opt {
+
+/** One swept machine parameter and the values it takes. */
+struct AxisSpec
+{
+    /** Canonical MachineConfig member name (e.g. "windowSize"). */
+    std::string name;
+
+    /** Values in sweep order, as given by the caller. */
+    std::vector<std::uint64_t> values;
+};
+
+/** Names of the sweepable MachineConfig members, canonical order. */
+const std::vector<std::string> &machineMemberNames();
+
+/** Aliases accepted in constraint text (depth, window, rob). */
+const std::vector<std::string> &machineVariableNames();
+
+/**
+ * Resolve a member name or alias to the canonical member name;
+ * empty string for an unknown name.
+ */
+std::string canonicalMemberName(const std::string &name);
+
+/**
+ * Apply one member by canonical name. Returns false for an unknown
+ * name (the request parser rejects those earlier).
+ */
+bool setMachineMember(MachineConfig &machine, const std::string &name,
+                      std::uint64_t value);
+
+/** Read one member by canonical name (0 for unknown). */
+std::uint64_t machineMember(const MachineConfig &machine,
+                            const std::string &name);
+
+/** A design space: axes over a baseline machine + a constraint. */
+struct SpaceSpec
+{
+    /** Baseline for members no axis sweeps. */
+    MachineConfig baseline;
+
+    /** Axes in canonical member order (the odometer digit order). */
+    std::vector<AxisSpec> axes;
+
+    /**
+     * Optional feasibility predicate over the machine-variable
+     * names; empty() means "every point is feasible".
+     */
+    Expr constraint;
+
+    /**
+     * Unfiltered cross-product size, saturating at u64 max on
+     * overflow; 1 for a space with no axes (the baseline alone).
+     */
+    std::uint64_t cardinality() const;
+};
+
+/** The feasible subset of a space, fully materialized. */
+struct EnumeratedSpace
+{
+    /** Feasible machines, odometer order. */
+    std::vector<MachineConfig> machines;
+
+    /** Points the constraint (or cluster divisibility) rejected. */
+    std::uint64_t infeasible = 0;
+};
+
+/**
+ * Expand the cross product, dropping points that fail the constraint
+ * or the width/windowSize cluster-divisibility rule every other
+ * endpoint enforces. Caller must bound cardinality() first;
+ * enumerate() trusts it fits in memory.
+ */
+EnumeratedSpace enumerate(const SpaceSpec &spec);
+
+} // namespace fosm::opt
+
+#endif // FOSM_OPT_SPACE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The /v1/cpi response document and its columnar inverse, shared by
+ * every path that caches rows under a /v1/cpi digest (the single
+ * endpoint, /v1/batch, /v1/optimize). All of them must produce and
+ * read byte-identical documents for the same design point — that is
+ * the whole digest-composition contract.
+ */
+
+#ifndef FOSM_SERVER_CPI_RESPONSE_HH
+#define FOSM_SERVER_CPI_RESPONSE_HH
+
+#include <array>
+#include <string>
+
+#include "experiments/workbench.hh"
+#include "server/json.hh"
+
+namespace fosm::server {
+
+/** The /v1/cpi response document for one evaluated design point. */
+json::Value cpiResponseJson(const std::string &workload,
+                            const WorkloadData &data,
+                            const MachineConfig &machine,
+                            const IWCharacteristic &iw,
+                            const CpiBreakdown &b);
+
+/**
+ * Pull the eight columnar numbers (ideal, brmisp, icacheL1,
+ * icacheL2, dcacheLong, dtlb, total, ipc) back out of a cached
+ * /v1/cpi response. The serializer emits shortest-round-trip
+ * decimals, so the parsed doubles are bit-identical to the ones the
+ * evaluation produced.
+ */
+bool extractColumns(const std::string &responseText,
+                    std::array<double, 8> &cols);
+
+} // namespace fosm::server
+
+#endif // FOSM_SERVER_CPI_RESPONSE_HH

@@ -93,10 +93,12 @@ statusReason(int status)
     switch (status) {
       case 200: return "OK";
       case 204: return "No Content";
+      case 206: return "Partial Content";
       case 400: return "Bad Request";
       case 404: return "Not Found";
       case 405: return "Method Not Allowed";
       case 413: return "Payload Too Large";
+      case 422: return "Unprocessable Content";
       case 500: return "Internal Server Error";
       case 501: return "Not Implemented";
       case 502: return "Bad Gateway";

@@ -11,17 +11,16 @@
 #include "experiments/characterization_store.hh"
 #include "model/batch_eval.hh"
 #include "model/trends.hh"
+#include "server/cpi_response.hh"
 #include "server/params.hh"
 
 namespace fosm::server {
 
-namespace {
-
 /**
- * The /v1/cpi response document. Shared by the single-request
- * endpoint and the batch path, which caches each row under its
- * /v1/cpi digest: both must produce byte-identical documents for the
- * same design point.
+ * The /v1/cpi response document (cpi_response.hh). Shared by the
+ * single-request endpoint, the batch path and /v1/optimize, which
+ * cache each row under its /v1/cpi digest: all must produce
+ * byte-identical documents for the same design point.
  */
 json::Value
 cpiResponseJson(const std::string &workload, const WorkloadData &data,
@@ -60,13 +59,7 @@ cpiResponseJson(const std::string &workload, const WorkloadData &data,
     return out;
 }
 
-/**
- * Pull the eight columnar numbers back out of a cached /v1/cpi
- * response. The serializer emits shortest-round-trip decimals, so
- * the parsed doubles are bit-identical to the ones the evaluation
- * produced — cached and freshly evaluated batch rows carry the same
- * bits.
- */
+/** Inverse of the above for cached rows — see cpi_response.hh. */
 bool
 extractColumns(const std::string &responseText,
                std::array<double, 8> &cols)
@@ -91,8 +84,6 @@ extractColumns(const std::string &responseText,
     cols[7] = ipc->asDouble();
     return true;
 }
-
-} // namespace
 
 
 ModelService::ModelService(ServiceConfig config,
@@ -124,7 +115,31 @@ ModelService::ModelService(ServiceConfig config,
       batchShedRows_(metrics.counter(
           "fosm_batch_shed_rows_total",
           "Batch rows shed unevaluated because the request deadline "
-          "expired mid-batch"))
+          "expired mid-batch")),
+      optSpaces_(metrics.counter("fosm_opt_spaces_total",
+                                 "Design spaces evaluated via "
+                                 "/v1/optimize")),
+      optPointsPlanned_(metrics.counter(
+          "fosm_opt_points_planned_total",
+          "Feasible design points handed to the sweep planner")),
+      optPointsDeduped_(metrics.counter(
+          "fosm_opt_points_deduped_total",
+          "Planned points answered from the response caches and "
+          "never scheduled")),
+      optPointsEvaluated_(metrics.counter(
+          "fosm_opt_points_evaluated_total",
+          "Planned points evaluated through the batched kernels")),
+      optIwFits_(metrics.counter(
+          "fosm_opt_iw_fits_total",
+          "Distinct IW characterizations fit per optimize sweep "
+          "(one per distinct width, not per point)")),
+      optBatchesShed_(metrics.counter(
+          "fosm_opt_batches_shed_total",
+          "Optimize evaluation batches shed because the request "
+          "deadline expired mid-sweep")),
+      optPointsShed_(metrics.counter(
+          "fosm_opt_points_shed_total",
+          "Design points inside shed optimize batches"))
 {
     if (!config_.storeDir.empty()) {
         store::StoreConfig sc;
@@ -158,6 +173,7 @@ ModelService::ModelService(ServiceConfig config,
             std::make_unique<PersistentResponseCache>(store_);
         bench_.setCharacterizationStore(
             std::make_shared<CharacterizationStore>(store_));
+        trends_.setStore(store_);
 
         metrics_.addCallbackGauge(
             "fosm_store_live_records",
@@ -198,6 +214,10 @@ ModelService::ModelService(ServiceConfig config,
     metrics_.addCallbackGauge(
         "fosm_trend_memo_rows", "Memoized trend-study rows",
         [this] { return static_cast<double>(trends_.size()); });
+    metrics_.addCallbackGauge(
+        "fosm_trend_row_computes_total",
+        "Trend rows computed (memo and store both missed)",
+        [this] { return static_cast<double>(trends_.computes()); });
 
     router_.addJson("POST", "/v1/cpi",
                     [this](const json::Value &request) {
@@ -217,6 +237,12 @@ ModelService::ModelService(ServiceConfig config,
     router_.add("POST", "/v1/batch", [this](const HttpRequest &r) {
         return batchHttp(r);
     });
+    // Raw route: /v1/optimize reads the request deadline to shed
+    // remaining evaluation waves (partial results go out as 206).
+    router_.add("POST", "/v1/optimize",
+                [this](const HttpRequest &r) {
+                    return optimizeHttp(r);
+                });
     router_.add("GET", "/healthz", [this](const HttpRequest &) {
         return HttpResponse::json(200, health().dump());
     });
@@ -264,6 +290,8 @@ ModelService::storeStats() const
     memo.set("trendRows", static_cast<std::uint64_t>(trends_.size()));
     memo.set("trendHits", trends_.memoHits());
     memo.set("trendMisses", trends_.memoMisses());
+    memo.set("trendStoreHits", trends_.storeHits());
+    memo.set("trendComputes", trends_.computes());
     v.set("memo", std::move(memo));
     if (!store_)
         return v;
@@ -467,14 +495,11 @@ ModelService::trends(const json::Value &request)
         if (depths.empty())
             for (std::uint32_t d = 1; d <= 30; ++d)
                 depths.push_back(d);
-        // One task per issue width on the global pool (the PR 1
-        // experiment engine); results come back in input order.
-        // Rows hit the TrendStudies memo when a previous sweep
-        // already computed this (width, depths, config).
-        const auto rows = parallelMap(
-            widths, [&](std::uint32_t width) {
-                return trends_.depthRow(width, depths, config);
-            });
+        // Planner-driven sweep: every (width, depths, config) row is
+        // probed against the memo and the persistent store before
+        // anything is scheduled; only the misses fan out over the
+        // global pool, in input order.
+        const auto rows = trends_.depthRows(widths, depths, config);
         for (std::size_t i = 0; i < widths.size(); ++i) {
             json::Value entry = json::Value::object();
             entry.set("width", widths[i]);
@@ -512,10 +537,8 @@ ModelService::trends(const json::Value &request)
                 fractions.push_back(item.asDouble());
             }
         }
-        const auto rows = parallelMap(
-            widths, [&](std::uint32_t width) {
-                return trends_.widthRow(width, fractions, config);
-            });
+        const auto rows =
+            trends_.widthRows(widths, fractions, config);
         for (std::size_t i = 0; i < widths.size(); ++i) {
             json::Value entry = json::Value::object();
             entry.set("width", widths[i]);

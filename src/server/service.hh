@@ -50,6 +50,13 @@ struct ServiceConfig
      * server runs memory-only, exactly as before the store existed.
      */
     std::string storeDir;
+
+    /**
+     * Largest unfiltered design-space cardinality /v1/optimize will
+     * expand; larger spaces are rejected 413 before anything is
+     * allocated (fosm-serve --optimize-max-points).
+     */
+    std::uint64_t optimizeMaxPoints = 65536;
 };
 
 /**
@@ -99,6 +106,24 @@ class ModelService
     HttpResponse batchHttp(const HttpRequest &request);
 
     /**
+     * /v1/optimize for a parsed JSON body: expand a declarative
+     * design space, plan the sweep against the response caches,
+     * evaluate the misses through the batched kernels, and return
+     * the Pareto frontier over the requested objectives
+     * (docs/OPTIMIZE.md). Throws ServiceError: 400 malformed spec,
+     * 413 cardinality over the row limit, 422 empty or all-
+     * infeasible space.
+     */
+    json::Value optimize(const json::Value &request);
+
+    /**
+     * The raw /v1/optimize HTTP handler: adds deadline-aware
+     * shedding of the remaining evaluation batches; a shed (partial)
+     * frontier returns 206 so only complete responses are memoized.
+     */
+    HttpResponse optimizeHttp(const HttpRequest &request);
+
+    /**
      * The cache key for a request: schema version + path + canonical
      * JSON body (keys sorted, compact), so semantically equal
      * requests share an entry regardless of member order or
@@ -135,6 +160,15 @@ class ModelService
     batch::Result batchEvaluate(const json::Value &body,
                                 const HttpRequest *request);
 
+    /**
+     * Shared /v1/optimize core (server/optimize.cc). request (when
+     * non-null) supplies the deadline checked between evaluation
+     * waves; the document's "complete" member reports whether any
+     * batches were shed.
+     */
+    json::Value optimizeEvaluate(const json::Value &body,
+                                 const HttpRequest *request);
+
     ServiceConfig config_;
     MetricsRegistry &metrics_;
     Workbench bench_;
@@ -152,6 +186,13 @@ class ModelService
     Counter &batchRows_;
     Counter &batchRowErrors_;
     Counter &batchShedRows_;
+    Counter &optSpaces_;
+    Counter &optPointsPlanned_;
+    Counter &optPointsDeduped_;
+    Counter &optPointsEvaluated_;
+    Counter &optIwFits_;
+    Counter &optBatchesShed_;
+    Counter &optPointsShed_;
 };
 
 } // namespace fosm::server

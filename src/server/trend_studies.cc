@@ -1,6 +1,10 @@
 #include "server/trend_studies.hh"
 
 #include "common/hash.hh"
+#include "common/thread_pool.hh"
+#include "common/version.hh"
+#include "opt/planner.hh"
+#include "store/codec.hh"
 
 namespace fosm::server {
 
@@ -58,29 +62,173 @@ widthKey(std::uint32_t width, const std::vector<double> &fractions,
     return h.digest();
 }
 
+/**
+ * Persistent-tier key. The digest already covers every input; the
+ * format version makes rows from an older encoding (or older trend
+ * math) miss cleanly instead of misdecoding.
+ */
+std::string
+storeKey(std::uint64_t digest)
+{
+    return "t/v" + std::to_string(trendRowFormatVersion) + "/" +
+           std::to_string(digest);
+}
+
+// Binary row codecs (store/codec.hh conventions: little-endian,
+// doubles by bit image — warm rows must be bit-identical to cold
+// ones).
+
+std::string
+encodeDepthRow(const DepthRow &row)
+{
+    store::Encoder e;
+    e.u64(row.points.size());
+    for (const PipelineDepthPoint &p : row.points) {
+        e.u32(p.depth);
+        e.f64(p.ipc);
+        e.f64(p.clockGhz);
+        e.f64(p.bips);
+    }
+    e.u32(row.optimal.depth);
+    e.f64(row.optimal.ipc);
+    e.f64(row.optimal.clockGhz);
+    e.f64(row.optimal.bips);
+    return e.take();
+}
+
+bool
+decodeDepthRow(const std::string &bytes, DepthRow &row)
+{
+    store::Decoder d(bytes);
+    std::uint64_t n;
+    if (!d.u64(n) || n > bytes.size() / 28)
+        return false;
+    row.points.clear();
+    row.points.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        PipelineDepthPoint p;
+        if (!d.u32(p.depth) || !d.f64(p.ipc) ||
+            !d.f64(p.clockGhz) || !d.f64(p.bips))
+            return false;
+        row.points.push_back(p);
+    }
+    if (!d.u32(row.optimal.depth) || !d.f64(row.optimal.ipc) ||
+        !d.f64(row.optimal.clockGhz) || !d.f64(row.optimal.bips))
+        return false;
+    return d.atEnd();
+}
+
+std::string
+encodeWidthRow(const WidthRow &row)
+{
+    store::Encoder e;
+    e.u64(row.saturation.size());
+    for (const SaturationPoint &p : row.saturation) {
+        e.f64(p.timeFraction);
+        e.f64(p.instructionsBetween);
+    }
+    e.f64Vector(row.issueRamp);
+    return e.take();
+}
+
+bool
+decodeWidthRow(const std::string &bytes, WidthRow &row)
+{
+    store::Decoder d(bytes);
+    std::uint64_t n;
+    if (!d.u64(n) || n > bytes.size() / 16)
+        return false;
+    row.saturation.clear();
+    row.saturation.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        SaturationPoint p;
+        if (!d.f64(p.timeFraction) ||
+            !d.f64(p.instructionsBetween))
+            return false;
+        row.saturation.push_back(p);
+    }
+    if (!d.f64Vector(row.issueRamp))
+        return false;
+    return d.atEnd();
+}
+
 } // namespace
 
-DepthRow
-TrendStudies::depthRow(std::uint32_t width,
-                       const std::vector<std::uint32_t> &depths,
-                       const TrendConfig &config)
+void
+TrendStudies::setStore(std::shared_ptr<store::PersistentStore> store)
 {
-    const std::uint64_t key = depthKey(width, depths, config);
+    std::lock_guard<std::mutex> lock(mutex_);
+    store_ = std::move(store);
+}
+
+bool
+TrendStudies::probeDepth(std::uint64_t key, DepthRow &row)
+{
+    std::shared_ptr<store::PersistentStore> store;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = depthRows_.find(key);
         if (it != depthRows_.end()) {
             hits_.fetch_add(1, std::memory_order_relaxed);
-            return it->second;
+            row = it->second;
+            return true;
         }
+        store = store_;
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
+    if (store) {
+        std::string bytes;
+        if (store->get(storeKey(key), bytes) &&
+            decodeDepthRow(bytes, row)) {
+            storeHits_.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (depthRows_.size() + widthRows_.size() >= maxRows) {
+                depthRows_.clear();
+                widthRows_.clear();
+            }
+            depthRows_.emplace(key, row);
+            return true;
+        }
+    }
+    return false;
+}
 
-    // Compute outside the lock: rows are pure, so two threads racing
-    // on the same key just do the work twice and store equal values.
-    DepthRow row;
-    row.points = pipelineDepthSweep(width, depths, config);
-    row.optimal = optimalPipelineDepth(width, config);
+bool
+TrendStudies::probeWidth(std::uint64_t key, WidthRow &row)
+{
+    std::shared_ptr<store::PersistentStore> store;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = widthRows_.find(key);
+        if (it != widthRows_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            row = it->second;
+            return true;
+        }
+        store = store_;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (store) {
+        std::string bytes;
+        if (store->get(storeKey(key), bytes) &&
+            decodeWidthRow(bytes, row)) {
+            storeHits_.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (depthRows_.size() + widthRows_.size() >= maxRows) {
+                depthRows_.clear();
+                widthRows_.clear();
+            }
+            widthRows_.emplace(key, row);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+TrendStudies::storeDepth(std::uint64_t key, const DepthRow &row)
+{
+    std::shared_ptr<store::PersistentStore> store;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (depthRows_.size() + widthRows_.size() >= maxRows) {
@@ -88,7 +236,98 @@ TrendStudies::depthRow(std::uint32_t width,
             widthRows_.clear();
         }
         depthRows_.emplace(key, row);
+        store = store_;
     }
+    if (store)
+        store->put(storeKey(key), encodeDepthRow(row));
+}
+
+void
+TrendStudies::storeWidth(std::uint64_t key, const WidthRow &row)
+{
+    std::shared_ptr<store::PersistentStore> store;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (depthRows_.size() + widthRows_.size() >= maxRows) {
+            depthRows_.clear();
+            widthRows_.clear();
+        }
+        widthRows_.emplace(key, row);
+        store = store_;
+    }
+    if (store)
+        store->put(storeKey(key), encodeWidthRow(row));
+}
+
+std::vector<DepthRow>
+TrendStudies::depthRows(const std::vector<std::uint32_t> &widths,
+                        const std::vector<std::uint32_t> &depths,
+                        const TrendConfig &config)
+{
+    const std::size_t n = widths.size();
+    std::vector<DepthRow> rows(n);
+    std::vector<std::uint64_t> keys(n);
+    for (std::size_t i = 0; i < n; ++i)
+        keys[i] = depthKey(widths[i], depths, config);
+
+    // Probe both tiers for every row before scheduling anything;
+    // only the misses touch the thread pool.
+    const opt::SweepPlan plan = opt::planSweep(
+        n, [&](std::size_t i) { return probeDepth(keys[i], rows[i]); },
+        nullptr, 0);
+
+    parallelMap(plan.misses, [&](std::size_t i) {
+        computes_.fetch_add(1, std::memory_order_relaxed);
+        rows[i].points = pipelineDepthSweep(widths[i], depths, config);
+        rows[i].optimal = optimalPipelineDepth(widths[i], config);
+        storeDepth(keys[i], rows[i]);
+        return 0;
+    });
+    return rows;
+}
+
+std::vector<WidthRow>
+TrendStudies::widthRows(const std::vector<std::uint32_t> &widths,
+                        const std::vector<double> &fractions,
+                        const TrendConfig &config)
+{
+    const std::size_t n = widths.size();
+    std::vector<WidthRow> rows(n);
+    std::vector<std::uint64_t> keys(n);
+    for (std::size_t i = 0; i < n; ++i)
+        keys[i] = widthKey(widths[i], fractions, config);
+
+    const opt::SweepPlan plan = opt::planSweep(
+        n, [&](std::size_t i) { return probeWidth(keys[i], rows[i]); },
+        nullptr, 0);
+
+    parallelMap(plan.misses, [&](std::size_t i) {
+        computes_.fetch_add(1, std::memory_order_relaxed);
+        rows[i].saturation =
+            issueWidthRequirement(widths[i], fractions, config);
+        rows[i].issueRamp = issueRampSeries(widths[i], config);
+        storeWidth(keys[i], rows[i]);
+        return 0;
+    });
+    return rows;
+}
+
+DepthRow
+TrendStudies::depthRow(std::uint32_t width,
+                       const std::vector<std::uint32_t> &depths,
+                       const TrendConfig &config)
+{
+    const std::uint64_t key = depthKey(width, depths, config);
+    DepthRow row;
+    if (probeDepth(key, row))
+        return row;
+
+    // Compute outside the lock: rows are pure, so two threads racing
+    // on the same key just do the work twice and store equal values.
+    computes_.fetch_add(1, std::memory_order_relaxed);
+    row.points = pipelineDepthSweep(width, depths, config);
+    row.optimal = optimalPipelineDepth(width, config);
+    storeDepth(key, row);
     return row;
 }
 
@@ -98,27 +337,14 @@ TrendStudies::widthRow(std::uint32_t width,
                        const TrendConfig &config)
 {
     const std::uint64_t key = widthKey(width, fractions, config);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = widthRows_.find(key);
-        if (it != widthRows_.end()) {
-            hits_.fetch_add(1, std::memory_order_relaxed);
-            return it->second;
-        }
-    }
-    misses_.fetch_add(1, std::memory_order_relaxed);
-
     WidthRow row;
+    if (probeWidth(key, row))
+        return row;
+
+    computes_.fetch_add(1, std::memory_order_relaxed);
     row.saturation = issueWidthRequirement(width, fractions, config);
     row.issueRamp = issueRampSeries(width, config);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (depthRows_.size() + widthRows_.size() >= maxRows) {
-            depthRows_.clear();
-            widthRows_.clear();
-        }
-        widthRows_.emplace(key, row);
-    }
+    storeWidth(key, row);
     return row;
 }
 

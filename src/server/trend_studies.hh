@@ -4,9 +4,15 @@
  * requests routinely overlap — a client exploring widths {2,4,6,8}
  * then {2,4,6,8,12} recomputes four of five rows — so each
  * (study, width, sweep-axis, config) row is cached by digest and
- * reused across requests. Rows are pure functions of their inputs,
- * which makes the memo safe and unbounded growth the only risk; the
- * table is cleared wholesale past a generous cap.
+ * reused across requests, with an optional persistent tier ("t/"
+ * keys in the fosm-store) so rows survive restarts too.
+ *
+ * Whole sweeps go through the opt sweep planner (opt/planner.hh):
+ * every row is probed against the memo and the store *before*
+ * anything is scheduled, and only the misses fan out over the thread
+ * pool. Rows are pure functions of their inputs, which makes the
+ * memo safe and unbounded growth the only risk; the table is cleared
+ * wholesale past a generous cap.
  */
 
 #ifndef FOSM_SERVER_TREND_STUDIES_HH
@@ -14,11 +20,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "model/trends.hh"
+#include "store/store.hh"
 
 namespace fosm::server {
 
@@ -39,6 +47,30 @@ struct WidthRow
 class TrendStudies
 {
   public:
+    /**
+     * Attach a persistent tier: rows are probed in the store after a
+     * memo miss and written back after computation, so overlapping
+     * sweeps dedupe against everything any previous *process*
+     * computed, not just this one.
+     */
+    void setStore(std::shared_ptr<store::PersistentStore> store);
+
+    /**
+     * Planner-driven sweep: one row per width, probed against memo +
+     * store before scheduling, misses computed in parallel, results
+     * in input order.
+     */
+    std::vector<DepthRow>
+    depthRows(const std::vector<std::uint32_t> &widths,
+              const std::vector<std::uint32_t> &depths,
+              const TrendConfig &config);
+
+    /** Planner-driven width-study sweep; see depthRows. */
+    std::vector<WidthRow>
+    widthRows(const std::vector<std::uint32_t> &widths,
+              const std::vector<double> &fractions,
+              const TrendConfig &config);
+
     /** Cached-or-computed row for one width of a depth sweep. */
     DepthRow depthRow(std::uint32_t width,
                       const std::vector<std::uint32_t> &depths,
@@ -61,6 +93,20 @@ class TrendStudies
         return misses_.load(std::memory_order_relaxed);
     }
 
+    /** Rows served from the persistent tier after a memo miss. */
+    std::uint64_t
+    storeHits() const
+    {
+        return storeHits_.load(std::memory_order_relaxed);
+    }
+
+    /** Rows actually computed (all tiers missed). */
+    std::uint64_t
+    computes() const
+    {
+        return computes_.load(std::memory_order_relaxed);
+    }
+
     std::size_t
     size() const
     {
@@ -72,11 +118,23 @@ class TrendStudies
     /** Rows memoized per service, not per process. */
     static constexpr std::size_t maxRows = 65536;
 
+    /** Memo-then-store probe; fills row on a hit. */
+    bool probeDepth(std::uint64_t key, DepthRow &row);
+    bool probeWidth(std::uint64_t key, WidthRow &row);
+
+    /** Insert into the memo (evicting wholesale past the cap) and
+     *  write through to the store when attached. */
+    void storeDepth(std::uint64_t key, const DepthRow &row);
+    void storeWidth(std::uint64_t key, const WidthRow &row);
+
     mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t, DepthRow> depthRows_;
     std::unordered_map<std::uint64_t, WidthRow> widthRows_;
+    std::shared_ptr<store::PersistentStore> store_;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> storeHits_{0};
+    std::atomic<std::uint64_t> computes_{0};
 };
 
 } // namespace fosm::server

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Constraint/objective expression language tests: precedence and
+ * associativity, boolean semantics (1.0/0.0), the divide-by-zero
+ * contract, parse-time rejection of typos and syntax errors, and the
+ * referenced-variable report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "opt/expr.hh"
+
+namespace fosm::opt {
+namespace {
+
+const std::vector<std::string> kVars = {"width", "window", "cpi"};
+
+double
+evalText(const std::string &text, std::vector<double> values = {})
+{
+    values.resize(kVars.size(), 0.0);
+    Expr e;
+    std::string error;
+    EXPECT_TRUE(Expr::parse(text, kVars, e, &error))
+        << text << ": " << error;
+    return e.eval(values);
+}
+
+TEST(Expr, ArithmeticPrecedence)
+{
+    EXPECT_EQ(evalText("1 + 2 * 3"), 7.0);
+    EXPECT_EQ(evalText("(1 + 2) * 3"), 9.0);
+    EXPECT_EQ(evalText("2 - 3 - 4"), -5.0); // left-associative
+    EXPECT_EQ(evalText("7 / 2"), 3.5);
+    EXPECT_EQ(evalText("10 % 4"), 2.0);
+    EXPECT_EQ(evalText("-2 * 3"), -6.0);
+    EXPECT_EQ(evalText("--2"), 2.0);
+}
+
+TEST(Expr, ComparisonsAndBooleans)
+{
+    EXPECT_EQ(evalText("2 < 3"), 1.0);
+    EXPECT_EQ(evalText("2 >= 3"), 0.0);
+    EXPECT_EQ(evalText("3 <= 3"), 1.0);
+    EXPECT_EQ(evalText("2 == 2"), 1.0);
+    EXPECT_EQ(evalText("2 != 2"), 0.0);
+    EXPECT_EQ(evalText("1 && 0"), 0.0);
+    EXPECT_EQ(evalText("0 || 3"), 1.0); // non-zero is true, result 1
+    EXPECT_EQ(evalText("!0"), 1.0);
+    EXPECT_EQ(evalText("!5"), 0.0);
+    EXPECT_EQ(evalText("!(1 == 2)"), 1.0);
+    // && binds tighter than ||.
+    EXPECT_EQ(evalText("1 || 0 && 0"), 1.0);
+    // Comparison binds tighter than &&.
+    EXPECT_EQ(evalText("1 < 2 && 3 < 4"), 1.0);
+}
+
+TEST(Expr, DivisionByZeroYieldsZeroNotACrash)
+{
+    EXPECT_EQ(evalText("1 / 0"), 0.0);
+    EXPECT_EQ(evalText("1 % 0"), 0.0);
+    // A constraint dividing by zero must reject nothing: 0 is falsy.
+    EXPECT_EQ(evalText("10 / (2 - 2) > 1"), 0.0);
+}
+
+TEST(Expr, VariablesBindByPosition)
+{
+    Expr e;
+    std::string error;
+    ASSERT_TRUE(Expr::parse("width * window + cpi", kVars, e, &error))
+        << error;
+    EXPECT_EQ(e.eval({4.0, 64.0, 1.5}), 257.5);
+    EXPECT_EQ(e.eval({2.0, 32.0, 0.5}), 64.5);
+}
+
+TEST(Expr, UnknownIdentifierRejectedAtParseTime)
+{
+    Expr e;
+    std::string error;
+    EXPECT_FALSE(Expr::parse("widht <= 4", kVars, e, &error));
+    EXPECT_NE(error.find("widht"), std::string::npos) << error;
+}
+
+TEST(Expr, SyntaxErrorsRejected)
+{
+    Expr e;
+    std::string error;
+    for (const char *bad :
+         {"", "1 +", "(1 + 2", "1 2", "&& 1", "width <", "1 = 2"}) {
+        EXPECT_FALSE(Expr::parse(bad, kVars, e, &error))
+            << "'" << bad << "' parsed";
+    }
+}
+
+TEST(Expr, ReferencedVariablesDeduplicatedInParseOrder)
+{
+    Expr e;
+    std::string error;
+    ASSERT_TRUE(Expr::parse("window + width * width", kVars, e,
+                            &error))
+        << error;
+    ASSERT_EQ(e.referenced().size(), 2u);
+    EXPECT_EQ(e.referenced()[0], 1u); // window first
+    EXPECT_EQ(e.referenced()[1], 0u);
+}
+
+TEST(Expr, EmptyAndTextRoundTrip)
+{
+    Expr e;
+    EXPECT_TRUE(e.empty());
+    std::string error;
+    ASSERT_TRUE(Expr::parse("width <= 8", kVars, e, &error));
+    EXPECT_FALSE(e.empty());
+    EXPECT_EQ(e.text(), "width <= 8");
+}
+
+TEST(Expr, EvaluationIsBitStable)
+{
+    Expr e;
+    std::string error;
+    ASSERT_TRUE(Expr::parse("cpi + 0.001 * window / width", kVars, e,
+                            &error));
+    const std::vector<double> v = {3.0, 48.0, 0.73};
+    const double first = e.eval(v);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(e.eval(v), first);
+}
+
+} // namespace
+} // namespace fosm::opt

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Pareto-frontier tests: dominance over minimization scores,
+ * first-ordinal tie-breaking for bitwise-equal vectors, agreement
+ * with a naive O(n^2) reference over a deterministic pseudo-random
+ * set, and the single-objective argmin.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "opt/pareto.hh"
+
+namespace fosm::opt {
+namespace {
+
+std::vector<double>
+flatten(const std::vector<std::vector<double>> &points)
+{
+    std::vector<double> scores;
+    for (const auto &p : points)
+        scores.insert(scores.end(), p.begin(), p.end());
+    return scores;
+}
+
+/** Textbook O(n^2) dominance with the same first-index-wins rule. */
+std::vector<std::size_t>
+referenceFrontier(const std::vector<std::vector<double>> &points)
+{
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated;
+             ++j) {
+            if (j == i)
+                continue;
+            bool allLe = true, anyLt = false;
+            for (std::size_t k = 0; k < points[i].size(); ++k) {
+                allLe = allLe && points[j][k] <= points[i][k];
+                anyLt = anyLt || points[j][k] < points[i][k];
+            }
+            if (allLe && anyLt)
+                dominated = true; // strictly dominated
+            else if (allLe && !anyLt && j < i)
+                dominated = true; // bitwise tie: first index wins
+        }
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    return frontier;
+}
+
+TEST(Pareto, TwoObjectiveFrontier)
+{
+    const std::vector<std::vector<double>> points = {
+        {1, 3}, {2, 2}, {3, 1}, {2, 3}, {3, 3}};
+    const auto frontier = paretoFrontier(flatten(points), 2);
+    EXPECT_EQ(frontier, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Pareto, EqualVectorsKeepOnlyTheFirstOrdinal)
+{
+    const std::vector<std::vector<double>> points = {
+        {1, 1}, {1, 1}, {2, 2}, {1, 1}};
+    const auto frontier = paretoFrontier(flatten(points), 2);
+    EXPECT_EQ(frontier, (std::vector<std::size_t>{0}));
+}
+
+TEST(Pareto, SingleObjectiveFrontierIsTheFirstMinimum)
+{
+    const std::vector<double> scores = {3, 1, 2, 1};
+    EXPECT_EQ(paretoFrontier(scores, 1),
+              (std::vector<std::size_t>{1}));
+    EXPECT_EQ(argminFirstObjective(scores, 1), 1u);
+}
+
+TEST(Pareto, ArgminBreaksTiesByLowestIndex)
+{
+    // Two objectives; argmin looks only at column 0.
+    const std::vector<std::vector<double>> points = {
+        {2, 0}, {1, 9}, {1, 0}, {3, 0}};
+    EXPECT_EQ(argminFirstObjective(flatten(points), 2), 1u);
+}
+
+TEST(Pareto, EmptyInput)
+{
+    EXPECT_TRUE(paretoFrontier({}, 2).empty());
+}
+
+TEST(Pareto, SinglePointIsItsOwnFrontier)
+{
+    EXPECT_EQ(paretoFrontier({5.0, 7.0}, 2),
+              (std::vector<std::size_t>{0}));
+}
+
+TEST(Pareto, AgreesWithNaiveReferenceOnPseudoRandomSets)
+{
+    // Deterministic LCG: the same set every run, every platform.
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    const auto next = [&] {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<double>((state >> 33) % 97);
+    };
+    for (const std::size_t nObj : {2u, 3u}) {
+        std::vector<std::vector<double>> points;
+        for (std::size_t i = 0; i < 300; ++i) {
+            std::vector<double> p;
+            for (std::size_t k = 0; k < nObj; ++k)
+                p.push_back(next());
+            points.push_back(std::move(p));
+        }
+        EXPECT_EQ(paretoFrontier(flatten(points), nObj),
+                  referenceFrontier(points))
+            << nObj << " objectives";
+    }
+}
+
+TEST(Pareto, FrontierIndicesAscending)
+{
+    const std::vector<std::vector<double>> points = {
+        {5, 1}, {1, 5}, {3, 3}, {4, 2}, {2, 4}};
+    const auto frontier = paretoFrontier(flatten(points), 2);
+    EXPECT_TRUE(std::is_sorted(frontier.begin(), frontier.end()));
+    EXPECT_EQ(frontier.size(), 5u); // nothing dominates anything
+}
+
+} // namespace
+} // namespace fosm::opt

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Design-space tests: cardinality (including overflow saturation),
+ * the odometer enumeration order every ordinal-based tie-break keys
+ * off, constraint and cluster-divisibility filtering, and the member
+ * accessor table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "opt/space.hh"
+
+namespace fosm::opt {
+namespace {
+
+AxisSpec
+axis(const std::string &name, std::vector<std::uint64_t> values)
+{
+    AxisSpec a;
+    a.name = name;
+    a.values = std::move(values);
+    return a;
+}
+
+TEST(Space, CardinalityIsTheUnfilteredProduct)
+{
+    SpaceSpec spec;
+    EXPECT_EQ(spec.cardinality(), 1u); // no axes: the baseline alone
+
+    spec.axes.push_back(axis("width", {2, 4}));
+    spec.axes.push_back(axis("deltaD", {100, 200, 300}));
+    EXPECT_EQ(spec.cardinality(), 6u);
+
+    spec.axes.push_back(axis("deltaI", {}));
+    EXPECT_EQ(spec.cardinality(), 0u); // any empty axis empties it
+}
+
+TEST(Space, CardinalitySaturatesOnOverflow)
+{
+    // 5 axes x 8192 values = 2^65 points: must saturate, not wrap.
+    SpaceSpec spec;
+    std::vector<std::uint64_t> big(8192);
+    for (std::size_t i = 0; i < big.size(); ++i)
+        big[i] = i + 1;
+    for (const char *name :
+         {"width", "frontEndDepth", "windowSize", "deltaI", "deltaD"})
+        spec.axes.push_back(axis(name, big));
+    EXPECT_EQ(spec.cardinality(),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Space, OdometerOrderLastAxisFastest)
+{
+    SpaceSpec spec;
+    spec.axes.push_back(axis("width", {2, 4}));
+    spec.axes.push_back(axis("deltaD", {100, 200, 300}));
+    const EnumeratedSpace space = enumerate(spec);
+    ASSERT_EQ(space.machines.size(), 6u);
+    EXPECT_EQ(space.infeasible, 0u);
+    const std::uint64_t expected[6][2] = {
+        {2, 100}, {2, 200}, {2, 300}, {4, 100}, {4, 200}, {4, 300}};
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(space.machines[i].width, expected[i][0]) << i;
+        EXPECT_EQ(space.machines[i].deltaD, expected[i][1]) << i;
+    }
+}
+
+TEST(Space, UnsweptMembersComeFromTheBaseline)
+{
+    SpaceSpec spec;
+    spec.baseline.robSize = 256;
+    spec.axes.push_back(axis("width", {2, 4}));
+    const EnumeratedSpace space = enumerate(spec);
+    ASSERT_EQ(space.machines.size(), 2u);
+    for (const MachineConfig &m : space.machines)
+        EXPECT_EQ(m.robSize, 256u);
+}
+
+TEST(Space, ConstraintFiltersAndCountsInfeasible)
+{
+    SpaceSpec spec;
+    spec.axes.push_back(axis("width", {2, 4, 6, 8}));
+    std::string error;
+    ASSERT_TRUE(Expr::parse("width < 5", machineVariableNames(),
+                            spec.constraint, &error))
+        << error;
+    const EnumeratedSpace space = enumerate(spec);
+    ASSERT_EQ(space.machines.size(), 2u);
+    EXPECT_EQ(space.infeasible, 2u);
+    EXPECT_EQ(space.machines[0].width, 2u);
+    EXPECT_EQ(space.machines[1].width, 4u);
+}
+
+TEST(Space, ConstraintSeesAliases)
+{
+    SpaceSpec spec;
+    spec.axes.push_back(axis("windowSize", {32, 64, 128}));
+    std::string error;
+    ASSERT_TRUE(Expr::parse("window <= 64", machineVariableNames(),
+                            spec.constraint, &error))
+        << error;
+    const EnumeratedSpace space = enumerate(spec);
+    ASSERT_EQ(space.machines.size(), 2u);
+    EXPECT_EQ(space.infeasible, 1u);
+}
+
+TEST(Space, ClusterDivisibilityRuleApplies)
+{
+    // width and windowSize must both divide by clusters — the same
+    // rule machineFromJson enforces on single requests.
+    SpaceSpec spec;
+    spec.baseline.clusters = 2;
+    spec.axes.push_back(axis("width", {2, 3, 4}));
+    const EnumeratedSpace space = enumerate(spec);
+    ASSERT_EQ(space.machines.size(), 2u);
+    EXPECT_EQ(space.infeasible, 1u); // width 3 % 2 != 0
+    EXPECT_EQ(space.machines[0].width, 2u);
+    EXPECT_EQ(space.machines[1].width, 4u);
+}
+
+TEST(Space, MemberAccessorsRoundTrip)
+{
+    const auto &names = machineMemberNames();
+    ASSERT_EQ(names.size(), 9u);
+    MachineConfig m;
+    std::uint64_t v = 11;
+    for (const std::string &name : names) {
+        ASSERT_TRUE(setMachineMember(m, name, v)) << name;
+        EXPECT_EQ(machineMember(m, name), v) << name;
+        ++v;
+    }
+    EXPECT_FALSE(setMachineMember(m, "bogus", 1));
+    EXPECT_EQ(machineMember(m, "bogus"), 0u);
+}
+
+TEST(Space, CanonicalMemberNameResolvesAliases)
+{
+    EXPECT_EQ(canonicalMemberName("width"), "width");
+    EXPECT_EQ(canonicalMemberName("depth"), "frontEndDepth");
+    EXPECT_EQ(canonicalMemberName("window"), "windowSize");
+    EXPECT_EQ(canonicalMemberName("rob"), "robSize");
+    EXPECT_EQ(canonicalMemberName("bogus"), "");
+    // Variable names = 9 members + 3 aliases.
+    EXPECT_EQ(machineVariableNames().size(), 12u);
+}
+
+} // namespace
+} // namespace fosm::opt

@@ -1,0 +1,458 @@
+/**
+ * @file
+ * /v1/optimize tests: the frontier is bit-identical to a brute-force
+ * /v1/batch enumeration plus a naive in-test dominance reference,
+ * per-point results share cache entries with /v1/cpi by digest,
+ * overlapping sweeps dedupe through the planner (pinned counts),
+ * constraint/space edge cases (empty, single point, all-infeasible,
+ * oversized), objective directions, request validation, and deadline
+ * shedding to a 206 partial response.
+ *
+ * gtest_discover_tests runs each TEST in its own process, so the
+ * shared service is cold per test: planner pins that assume an empty
+ * cache hold as long as each test only relies on its own requests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "server/service.hh"
+
+namespace fosm::server {
+namespace {
+
+MetricsRegistry &
+sharedRegistry()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+ModelService &
+sharedService()
+{
+    static ModelService *service = [] {
+        ::setenv("FOSM_TRACE_INSTS", "5000", 1);
+        return new ModelService(ServiceConfig{}, sharedRegistry());
+    }();
+    return *service;
+}
+
+/** Parse-or-die helper for literal request bodies. */
+json::Value
+parseBody(const std::string &text)
+{
+    json::Value v;
+    std::string error;
+    EXPECT_TRUE(json::parse(text, v, &error)) << text << ": "
+                                              << error;
+    return v;
+}
+
+int
+statusOf(ModelService &service, const json::Value &body)
+{
+    try {
+        service.optimize(body);
+        return 200;
+    } catch (const ServiceError &e) {
+        return e.status();
+    }
+}
+
+double
+number(const json::Value &v, const char *member)
+{
+    const json::Value *m = v.find(member);
+    EXPECT_NE(m, nullptr) << member;
+    return m ? m->asDouble() : -1.0;
+}
+
+/** Naive O(n^2) minimization dominance, first index wins on ties. */
+std::vector<std::size_t>
+referenceFrontier(const std::vector<std::vector<double>> &points)
+{
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated;
+             ++j) {
+            if (j == i)
+                continue;
+            bool allLe = true, anyLt = false;
+            for (std::size_t k = 0; k < points[i].size(); ++k) {
+                allLe = allLe && points[j][k] <= points[i][k];
+                anyLt = anyLt || points[j][k] < points[i][k];
+            }
+            dominated = (allLe && anyLt) ||
+                        (allLe && !anyLt && j < i);
+        }
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    return frontier;
+}
+
+// -- Correctness: frontier vs brute force --------------------------
+
+TEST(OptimizeService, FrontierBitIdenticalToBruteForceBatch)
+{
+    ModelService &service = sharedService();
+    const json::Value body = parseBody(R"({
+        "workload": "gcc",
+        "space": {"width": [2, 4, 8],
+                  "deltaD": [100, 200, 300, 400]},
+        "objectives": ["cpi", "width"]})");
+    const json::Value result = service.optimize(body);
+
+    // Pinned planner stats: a cold service schedules every point in
+    // one batch and fits once per distinct width.
+    const json::Value *planner = result.find("planner");
+    ASSERT_NE(planner, nullptr);
+    EXPECT_EQ(number(*planner, "points"), 12.0);
+    EXPECT_EQ(number(*planner, "cacheHits"), 0.0);
+    EXPECT_EQ(number(*planner, "scheduled"), 12.0);
+    EXPECT_EQ(number(*planner, "characterizations"), 3.0);
+    EXPECT_EQ(number(*planner, "batches"), 1.0);
+    EXPECT_EQ(number(*planner, "batchesShed"), 0.0);
+    EXPECT_TRUE(result.find("complete")->asBool(false));
+    const json::Value *space = result.find("space");
+    ASSERT_NE(space, nullptr);
+    EXPECT_EQ(number(*space, "cardinality"), 12.0);
+    EXPECT_EQ(number(*space, "feasible"), 12.0);
+    EXPECT_EQ(number(*space, "evaluated"), 12.0);
+    EXPECT_EQ(number(*space, "shed"), 0.0);
+
+    // Brute force: the same 12 machines in enumeration order (width
+    // is canonically before deltaD; the last axis spins fastest)
+    // through /v1/batch, frontier recomputed with the naive O(n^2)
+    // reference.
+    json::Value batchBody = json::Value::object();
+    batchBody.set("workload", "gcc");
+    json::Value rows = json::Value::array();
+    std::vector<std::uint64_t> widths, deltas;
+    for (const std::uint64_t w : {2u, 4u, 8u}) {
+        for (const std::uint64_t d : {100u, 200u, 300u, 400u}) {
+            json::Value row = json::Value::object();
+            row.set("width", w);
+            row.set("deltaD", d);
+            rows.push(std::move(row));
+            widths.push_back(w);
+            deltas.push_back(d);
+        }
+    }
+    batchBody.set("rows", std::move(rows));
+    const json::Value batch = service.batch(batchBody);
+    const json::Value *total = batch.find("cpi")->find("total");
+    const json::Value *ipc = batch.find("ipc");
+    ASSERT_EQ(total->items().size(), 12u);
+
+    std::vector<std::vector<double>> scores;
+    for (std::size_t i = 0; i < 12; ++i)
+        scores.push_back({total->items()[i].asDouble(),
+                          static_cast<double>(widths[i])});
+    const std::vector<std::size_t> expected =
+        referenceFrontier(scores);
+
+    const json::Value *frontier = result.find("frontier");
+    ASSERT_NE(frontier, nullptr);
+    ASSERT_EQ(frontier->items().size(), expected.size());
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+        const std::size_t i = expected[k];
+        const json::Value &entry = frontier->items()[k];
+        const json::Value *machine = entry.find("machine");
+        ASSERT_NE(machine, nullptr) << k;
+        EXPECT_EQ(number(*machine, "width"),
+                  static_cast<double>(widths[i]));
+        EXPECT_EQ(number(*machine, "deltaD"),
+                  static_cast<double>(deltas[i]));
+        // Bit-exact doubles: same cache entries, same kernels.
+        EXPECT_EQ(number(entry, "cpi"),
+                  total->items()[i].asDouble())
+            << k;
+        EXPECT_EQ(number(entry, "ipc"), ipc->items()[i].asDouble())
+            << k;
+        const json::Value *objs = entry.find("objectives");
+        ASSERT_NE(objs, nullptr) << k;
+        ASSERT_EQ(objs->items().size(), 2u);
+        EXPECT_EQ(objs->items()[0].asDouble(), scores[i][0]) << k;
+        EXPECT_EQ(objs->items()[1].asDouble(), scores[i][1]) << k;
+    }
+
+    // best = the frontier point minimizing objective 0.
+    double minCpi = scores[expected[0]][0];
+    for (const std::size_t i : expected)
+        minCpi = std::min(minCpi, scores[i][0]);
+    const json::Value *best = result.find("best");
+    ASSERT_NE(best, nullptr);
+    EXPECT_EQ(number(*best, "cpi"), minCpi);
+
+    // The default objective echo: explicit here, so "cpi"/"width".
+    const json::Value *objectives = result.find("objectives");
+    ASSERT_EQ(objectives->items().size(), 2u);
+    EXPECT_EQ(objectives->items()[0].find("expr")->asString(),
+              "cpi");
+    EXPECT_FALSE(
+        objectives->items()[0].find("maximize")->asBool(true));
+}
+
+// -- Cache sharing with /v1/cpi ------------------------------------
+
+TEST(OptimizeService, SweptPointsServeSubsequentCpiRequests)
+{
+    ModelService &service = sharedService();
+    service.optimize(parseBody(R"({
+        "workload": "gcc",
+        "space": {"width": [4], "deltaD": [8600, 8650]}})"));
+
+    // A /v1/cpi request for a swept point must be served from the
+    // shared per-point entry: one LRU hit, no model evaluation.
+    const std::uint64_t hitsBefore = service.cache().hits();
+    HttpRequest request;
+    request.method = "POST";
+    request.target = "/v1/cpi";
+    request.body = R"({"workload": "gcc",
+                       "machine": {"width": 4, "deltaD": 8650}})";
+    const HttpResponse response = service.handler()(request);
+    ASSERT_EQ(response.status, 200);
+    EXPECT_EQ(service.cache().hits(), hitsBefore + 1);
+
+    json::Value served;
+    std::string error;
+    ASSERT_TRUE(json::parse(response.body, served, &error)) << error;
+    EXPECT_EQ(served.find("machine")->find("deltaD")->asDouble(),
+              8650.0);
+    EXPECT_NE(served.find("cpi"), nullptr);
+}
+
+TEST(OptimizeService, OverlappingSweepsDedupOnThePlanner)
+{
+    ModelService &service = sharedService();
+    const json::Value first = service.optimize(parseBody(R"({
+        "workload": "gcc",
+        "space": {"width": [2, 4],
+                  "deltaD": {"from": 9000, "to": 9090,
+                             "step": 10}}})"));
+    const json::Value *p1 = first.find("planner");
+    EXPECT_EQ(number(*p1, "points"), 20.0);
+    EXPECT_EQ(number(*p1, "cacheHits"), 0.0);
+    EXPECT_EQ(number(*p1, "scheduled"), 20.0);
+    EXPECT_EQ(number(*p1, "characterizations"), 2.0);
+
+    // A superset sweep: every previously evaluated point probes out
+    // of the cache; only the 20 new ones are scheduled.
+    const json::Value second = service.optimize(parseBody(R"({
+        "workload": "gcc",
+        "space": {"width": [2, 4],
+                  "deltaD": {"from": 9000, "to": 9190,
+                             "step": 10}}})"));
+    const json::Value *p2 = second.find("planner");
+    EXPECT_EQ(number(*p2, "points"), 40.0);
+    EXPECT_EQ(number(*p2, "cacheHits"), 20.0);
+    EXPECT_EQ(number(*p2, "scheduled"), 20.0);
+    EXPECT_EQ(number(*p2, "characterizations"), 2.0);
+    EXPECT_EQ(number(*second.find("space"), "evaluated"), 40.0);
+}
+
+// -- Space edge cases ----------------------------------------------
+
+TEST(OptimizeService, SinglePointSpaceIsItsOwnFrontier)
+{
+    ModelService &service = sharedService();
+    const json::Value result = service.optimize(parseBody(
+        R"({"workload": "gcc", "space": {}})"));
+    EXPECT_EQ(number(*result.find("space"), "cardinality"), 1.0);
+    EXPECT_EQ(number(*result.find("space"), "feasible"), 1.0);
+    ASSERT_EQ(result.find("frontier")->items().size(), 1u);
+    ASSERT_NE(result.find("best"), nullptr);
+    EXPECT_EQ(number(*result.find("best"), "cpi"),
+              number(result.find("frontier")->items()[0], "cpi"));
+    // Default objective: minimize cpi.
+    const json::Value *objectives = result.find("objectives");
+    ASSERT_EQ(objectives->items().size(), 1u);
+    EXPECT_EQ(objectives->items()[0].find("expr")->asString(),
+              "cpi");
+}
+
+TEST(OptimizeService, EmptySpaceRejected422)
+{
+    ModelService &service = sharedService();
+    EXPECT_EQ(statusOf(service, parseBody(R"({
+        "workload": "gcc", "space": {"width": []}})")),
+              422);
+}
+
+TEST(OptimizeService, AllInfeasibleRejected422)
+{
+    ModelService &service = sharedService();
+    EXPECT_EQ(statusOf(service, parseBody(R"({
+        "workload": "gcc", "space": {"width": [2, 4]},
+        "constraint": "width > 100"})")),
+              422);
+    // The cluster-divisibility rule can also empty the space.
+    EXPECT_EQ(statusOf(service, parseBody(R"({
+        "workload": "gcc", "space": {"width": [3, 5]},
+        "machine": {"clusters": 2}})")),
+              422);
+}
+
+TEST(OptimizeService, OversizedSpaceRejected413)
+{
+    ModelService &service = sharedService();
+    // An axis range whose count alone exceeds the cap must 413
+    // before materializing anything.
+    EXPECT_EQ(statusOf(service, parseBody(R"({
+        "workload": "gcc",
+        "space": {"deltaD": {"from": 100, "to": 999999}}})")),
+              413);
+    // A request-level 'limit' tightens the server cap.
+    EXPECT_EQ(statusOf(service, parseBody(R"({
+        "workload": "gcc", "limit": 4,
+        "space": {"width": [2, 4, 8],
+                  "deltaD": [100, 200]}})")),
+              413);
+}
+
+// -- Validation ----------------------------------------------------
+
+TEST(OptimizeService, MalformedRequestsRejected400)
+{
+    ModelService &service = sharedService();
+    const char *bad[] = {
+        // Unknown axis name.
+        R"({"workload":"gcc","space":{"bogus":[1]}})",
+        // Alias and canonical name sweep the same member.
+        R"({"workload":"gcc",
+            "space":{"window":[32],"windowSize":[64]}})",
+        // Axis and machine override collide.
+        R"({"workload":"gcc","space":{"width":[2,4]},
+            "machine":{"width":4}})",
+        // Axis spec must be an array or a range object.
+        R"({"workload":"gcc","space":{"width":4}})",
+        // Non-integer and out-of-range axis values.
+        R"({"workload":"gcc","space":{"width":[2.5]}})",
+        R"({"workload":"gcc","space":{"width":[0]}})",
+        // Range with to < from and a bad step.
+        R"({"workload":"gcc",
+            "space":{"deltaD":{"from":200,"to":100}}})",
+        R"({"workload":"gcc",
+            "space":{"deltaD":{"from":100,"to":200,"step":0}}})",
+        // Constraint: wrong type, syntax error, and a result column
+        // (constraints see only machine members).
+        R"({"workload":"gcc","space":{"width":[2]},
+            "constraint":5})",
+        R"({"workload":"gcc","space":{"width":[2]},
+            "constraint":"width +"})",
+        R"({"workload":"gcc","space":{"width":[2]},
+            "constraint":"cpi < 1"})",
+        // Objectives: empty, too many, typo, wrong item type.
+        R"({"workload":"gcc","space":{"width":[2]},
+            "objectives":[]})",
+        R"({"workload":"gcc","space":{"width":[2]},
+            "objectives":["cpi","ipc","width","window","rob"]})",
+        R"({"workload":"gcc","space":{"width":[2]},
+            "objectives":["widht"]})",
+        R"({"workload":"gcc","space":{"width":[2]},
+            "objectives":[7]})",
+        // Unknown top-level member.
+        R"({"workload":"gcc","space":{"width":[2]},"frontier":1})",
+    };
+    for (const char *text : bad)
+        EXPECT_EQ(statusOf(service, parseBody(text)), 400) << text;
+}
+
+// -- Objective directions ------------------------------------------
+
+TEST(OptimizeService, MaximizeObjectiveFlipsTheDirection)
+{
+    ModelService &service = sharedService();
+    const json::Value result = service.optimize(parseBody(R"({
+        "workload": "gcc",
+        "space": {"width": [2, 8], "deltaD": [700]},
+        "objectives": [{"expr": "ipc", "maximize": true}]})"));
+    ASSERT_EQ(result.find("frontier")->items().size(), 1u);
+    const json::Value &entry = result.find("frontier")->items()[0];
+
+    // The brute answer: whichever of the two points has higher IPC.
+    json::Value batchBody = parseBody(R"({
+        "workload": "gcc",
+        "rows": [{"width": 2, "deltaD": 700},
+                 {"width": 8, "deltaD": 700}]})");
+    const json::Value batch = service.batch(batchBody);
+    const auto &ipc = batch.find("ipc")->items();
+    const double expectWidth =
+        ipc[1].asDouble() > ipc[0].asDouble() ? 8.0 : 2.0;
+    EXPECT_EQ(number(*entry.find("machine"), "width"), expectWidth);
+    EXPECT_TRUE(result.find("objectives")
+                    ->items()[0]
+                    .find("maximize")
+                    ->asBool(false));
+}
+
+// -- Deadline shedding ---------------------------------------------
+
+TEST(OptimizeService, ExpiredDeadlineShedsToPartial206)
+{
+    ModelService &service = sharedService();
+    HttpRequest request;
+    request.method = "POST";
+    request.target = "/v1/optimize";
+    request.body = R"({"workload": "gcc",
+                       "space": {"width": [2, 4],
+                                 "deltaD": {"from": 7000,
+                                            "to": 7190,
+                                            "step": 10}}})";
+    request.deadline = std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(1);
+    const HttpResponse response = service.optimizeHttp(request);
+    EXPECT_EQ(response.status, 206);
+
+    json::Value result;
+    std::string error;
+    ASSERT_TRUE(json::parse(response.body, result, &error)) << error;
+    EXPECT_FALSE(result.find("complete")->asBool(true));
+    EXPECT_EQ(number(*result.find("space"), "shed"), 40.0);
+    EXPECT_EQ(number(*result.find("space"), "evaluated"), 0.0);
+    EXPECT_EQ(number(*result.find("planner"), "batchesShed"), 1.0);
+    // Nothing evaluated: an empty frontier and no best point.
+    EXPECT_TRUE(result.find("frontier")->items().empty());
+    EXPECT_EQ(result.find("best"), nullptr);
+}
+
+TEST(OptimizeService, OptimizeHttpMapsErrorsToJsonStatuses)
+{
+    ModelService &service = sharedService();
+    HttpRequest request;
+    request.method = "POST";
+    request.target = "/v1/optimize";
+    request.body = R"({"workload": "gcc",
+                       "space": {"width": []}})";
+    EXPECT_EQ(service.optimizeHttp(request).status, 422);
+    request.body = "{not json";
+    EXPECT_EQ(service.optimizeHttp(request).status, 400);
+}
+
+// -- Routing + whole-response memoization --------------------------
+
+TEST(OptimizeService, HandlerRoutesAndMemoizesCompleteResponses)
+{
+    ModelService &service = sharedService();
+    HttpRequest request;
+    request.method = "POST";
+    request.target = "/v1/optimize";
+    request.body = R"({"workload": "gcc",
+                       "space": {"width": [2, 4],
+                                 "deltaD": [6100, 6200]}})";
+    const HttpResponse first = service.handler()(request);
+    ASSERT_EQ(first.status, 200);
+    const HttpResponse second = service.handler()(request);
+    ASSERT_EQ(second.status, 200);
+    EXPECT_EQ(second.body, first.body); // byte-identical replay
+}
+
+} // namespace
+} // namespace fosm::server

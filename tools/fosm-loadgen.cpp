@@ -40,12 +40,29 @@
  * adds a per-target breakdown (requests, errors, throughput, latency
  * percentiles) so a slow or dead replica is visible per-target
  * instead of smeared into the aggregate.
+ *
+ * --optimize planned|brute switches to a one-shot design-space
+ * benchmark instead of a load loop. Both modes sweep the SAME space
+ * (a --seed-randomized spec of --space-points design points over
+ * width x windowSize x deltaI x deltaD, with a constraint): "planned"
+ * issues one POST /v1/optimize and lets the server's sweep planner
+ * dedupe and batch; "brute" is the client-side baseline — enumerate
+ * the space locally, POST /v1/batch chunks, and compute the Pareto
+ * frontier client-side. The report's frontier_hash digests the
+ * frontier (machines + objective values), so runs of the two modes
+ * against the same space must hash identically — the bit-identity
+ * check scripts/optimize_bench.sh pins — and points_per_s /
+ * frontier_points_per_s compare end-to-end cost. /metrics is scraped
+ * before and after for the model-evaluation and IW-fit deltas the
+ * planner is supposed to shrink.
  */
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <thread>
@@ -53,8 +70,13 @@
 
 #include "cli.hh"
 #include "cluster/upstream.hh"
+#include "common/hash.hh"
+#include "opt/expr.hh"
+#include "opt/pareto.hh"
+#include "opt/space.hh"
 #include "server/client.hh"
 #include "server/json.hh"
+#include "server/params.hh"
 #include "workload/profile.hh"
 
 namespace {
@@ -153,6 +175,355 @@ buildBodies(const std::string &endpoint, std::uint64_t distinct,
     return bodies;
 }
 
+// ---------------------------------------------------------------------
+// --optimize: one-shot design-space benchmark (planned vs. brute).
+
+/** Scrape one unlabeled counter off GET /metrics; -1 when absent. */
+double
+scrapeCounter(fosm::server::HttpClient &client,
+              const std::string &name)
+{
+    fosm::server::ClientResponse response;
+    if (!client.request("GET", "/metrics", "", response) ||
+        response.status != 200)
+        return -1.0;
+    const std::string &text = response.body;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        if (eol > pos + name.size() &&
+            text.compare(pos, name.size(), name) == 0 &&
+            text[pos + name.size()] == ' ') {
+            return std::strtod(text.c_str() + pos + name.size() + 1,
+                               nullptr);
+        }
+        pos = eol + 1;
+    }
+    return -1.0;
+}
+
+/**
+ * Digest of the frontier (machines + objective values) via the
+ * canonical JSON form, so planned and brute runs over the same space
+ * are comparable by string equality.
+ */
+std::string
+frontierDigest(const json::Value &entries)
+{
+    Fnv1a h;
+    h.update(entries.canonical());
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h.digest()));
+    return buf;
+}
+
+/**
+ * The benchmark space: fixed small width/windowSize/deltaI axes
+ * crossed with a deltaD axis sized to reach the requested point
+ * count, shifted by --seed so different seeds are different (cold)
+ * spaces while the same seed is the identical space in both modes.
+ */
+opt::SpaceSpec
+benchSpace(std::uint64_t targetPoints, std::uint64_t seed,
+           std::string &constraintText)
+{
+    opt::SpaceSpec spec;
+    spec.axes.push_back({"width", {2, 4, 6, 8}});
+    spec.axes.push_back({"windowSize", {32, 64, 128}});
+    spec.axes.push_back({"deltaI", {8, 16}});
+    const std::uint64_t count = (targetPoints + 23) / 24;
+    opt::AxisSpec deltaD;
+    deltaD.name = "deltaD";
+    deltaD.values.reserve(count);
+    const std::uint64_t base = 100 + (seed % 50) * 10;
+    for (std::uint64_t k = 0; k < count; ++k)
+        deltaD.values.push_back(base + 10 * k);
+    spec.axes.push_back(std::move(deltaD));
+    // Excludes the widest machines at the smallest window: exercises
+    // the constraint path in both modes without gutting the space.
+    constraintText = "!(width == 8 && window == 32)";
+    std::string error;
+    if (!opt::Expr::parse(constraintText, opt::machineVariableNames(),
+                          spec.constraint, &error))
+        fosm_fatal("internal: bad bench constraint: ", error);
+    return spec;
+}
+
+int
+runOptimizeMode(const cli::Args &args)
+{
+    const std::string mode = args.get("optimize", "planned");
+    if (mode != "planned" && mode != "brute") {
+        std::cerr
+            << "error: --optimize must be 'planned' or 'brute'\n";
+        return 1;
+    }
+    const std::string host = args.get("host", "127.0.0.1");
+    const std::uint16_t port =
+        static_cast<std::uint16_t>(args.getInt("port", 8080));
+    const std::uint64_t targetPoints = std::max<std::uint64_t>(
+        24, args.getInt("space-points", 10240));
+    const std::uint64_t seed = args.getInt("seed", 1);
+    const int timeoutMs =
+        static_cast<int>(args.getInt("timeout", 0));
+    const int deadlineMs =
+        static_cast<int>(args.getInt("deadline", 0));
+
+    const std::vector<std::string> names = profileNames();
+    const std::string workload = names[seed % names.size()];
+    std::string constraintText;
+    const opt::SpaceSpec spec =
+        benchSpace(targetPoints, seed, constraintText);
+    const std::uint64_t cardinality = spec.cardinality();
+
+    fosm::server::HttpClient client(host, port);
+    if (timeoutMs > 0)
+        client.setTimeoutMs(timeoutMs);
+    std::vector<std::pair<std::string, std::string>> extraHeaders;
+    if (deadlineMs > 0)
+        extraHeaders.emplace_back(fosm::server::deadlineHeader,
+                                  std::to_string(deadlineMs));
+
+    const double evalsBefore =
+        scrapeCounter(client, "fosm_model_evaluations_total");
+    const double fitsBefore =
+        scrapeCounter(client, "fosm_opt_iw_fits_total");
+
+    json::Value report = json::Value::object();
+    report.set("mode", "optimize-" + mode);
+    report.set("workload", workload);
+    report.set("seed", seed);
+    report.set("space_cardinality", cardinality);
+    report.set("constraint", constraintText);
+
+    std::uint64_t feasible = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t characterizations = 0;
+    double bestCpi = 0.0;
+    bool complete = true;
+    json::Value frontierEntries = json::Value::array();
+    double elapsed = 0.0;
+
+    if (mode == "planned") {
+        // One request; the server plans, dedupes, and evaluates.
+        json::Value body = json::Value::object();
+        body.set("workload", workload);
+        json::Value space = json::Value::object();
+        for (const opt::AxisSpec &axis : spec.axes) {
+            if (axis.name == "deltaD") {
+                // The long axis travels as {from, to, step}: the
+                // request stays small no matter the point count.
+                json::Value range = json::Value::object();
+                range.set("from", axis.values.front());
+                range.set("to", axis.values.back());
+                range.set("step", std::uint64_t{10});
+                space.set(axis.name, std::move(range));
+            } else {
+                json::Value vals = json::Value::array();
+                for (const std::uint64_t v : axis.values)
+                    vals.push(v);
+                space.set(axis.name, std::move(vals));
+            }
+        }
+        body.set("space", std::move(space));
+        body.set("constraint", constraintText);
+        json::Value objectives = json::Value::array();
+        objectives.push("cpi");
+        objectives.push("windowSize");
+        body.set("objectives", std::move(objectives));
+
+        fosm::server::ClientResponse response;
+        const auto t0 = Clock::now();
+        const bool ok =
+            client.request("POST", "/v1/optimize", body.dump(),
+                           extraHeaders, response);
+        const auto t1 = Clock::now();
+        elapsed = std::chrono::duration<double>(t1 - t0).count();
+        requests = 1;
+        if (!ok ||
+            (response.status != 200 && response.status != 206)) {
+            std::cerr << "error: /v1/optimize failed"
+                      << (ok ? " (HTTP " +
+                                   std::to_string(response.status) +
+                                   "): " + response.body
+                             : " (transport)")
+                      << "\n";
+            return 2;
+        }
+        json::Value result;
+        std::string error;
+        if (!json::parse(response.body, result, &error)) {
+            std::cerr << "error: bad /v1/optimize response: "
+                      << error << "\n";
+            return 2;
+        }
+        if (const json::Value *s = result.find("space"))
+            if (const json::Value *f = s->find("feasible"))
+                feasible =
+                    static_cast<std::uint64_t>(f->asDouble(0.0));
+        if (const json::Value *c = result.find("complete"))
+            complete = c->asBool(true);
+        if (const json::Value *p = result.find("planner")) {
+            if (const json::Value *ch =
+                    p->find("characterizations"))
+                characterizations =
+                    static_cast<std::uint64_t>(ch->asDouble(0.0));
+            report.set("planner", *p);
+        }
+        if (const json::Value *fr = result.find("frontier")) {
+            for (const json::Value &entry : fr->items()) {
+                json::Value e = json::Value::object();
+                if (const json::Value *m = entry.find("machine"))
+                    e.set("machine", *m);
+                if (const json::Value *o = entry.find("objectives"))
+                    e.set("objectives", *o);
+                frontierEntries.push(std::move(e));
+            }
+        }
+        if (const json::Value *best = result.find("best"))
+            if (const json::Value *cpi = best->find("cpi"))
+                bestCpi = cpi->asDouble(0.0);
+    } else {
+        // Brute force: enumerate client-side, push everything
+        // through /v1/batch, frontier client-side — the baseline
+        // the planner is measured against.
+        const opt::EnumeratedSpace space = opt::enumerate(spec);
+        const std::size_t n = space.machines.size();
+        feasible = n;
+        std::vector<std::uint64_t> widths;
+        for (const MachineConfig &m : space.machines)
+            if (std::find(widths.begin(), widths.end(), m.width) ==
+                widths.end())
+                widths.push_back(m.width);
+
+        std::vector<double> total(n, 0.0);
+        constexpr std::size_t kBatchRows = 4096;
+        const auto t0 = Clock::now();
+        for (std::size_t chunk = 0; chunk < n; chunk += kBatchRows) {
+            const std::size_t count =
+                std::min(kBatchRows, n - chunk);
+            json::Value body = json::Value::object();
+            body.set("workload", workload);
+            json::Value rows = json::Value::array();
+            for (std::size_t i = chunk; i < chunk + count; ++i) {
+                json::Value row = json::Value::object();
+                for (const opt::AxisSpec &axis : spec.axes)
+                    row.set(axis.name,
+                            opt::machineMember(space.machines[i],
+                                               axis.name));
+                rows.push(std::move(row));
+            }
+            body.set("rows", std::move(rows));
+            fosm::server::ClientResponse response;
+            if (!client.request("POST", "/v1/batch", body.dump(),
+                                extraHeaders, response) ||
+                response.status != 200) {
+                std::cerr << "error: /v1/batch chunk failed (HTTP "
+                          << response.status << ")\n";
+                return 2;
+            }
+            ++requests;
+            json::Value result;
+            std::string error;
+            const json::Value *cpi = nullptr;
+            const json::Value *tot = nullptr;
+            if (!json::parse(response.body, result, &error) ||
+                !(cpi = result.find("cpi")) ||
+                !(tot = cpi->find("total")) || !tot->isArray() ||
+                tot->items().size() != count) {
+                std::cerr << "error: bad /v1/batch response\n";
+                return 2;
+            }
+            for (std::size_t k = 0; k < count; ++k)
+                total[chunk + k] = tot->items()[k].asDouble(0.0);
+        }
+
+        // Frontier over (cpi, windowSize), both minimized — the
+        // same objective vector the planned mode requests.
+        std::vector<double> scores(n * 2);
+        for (std::size_t i = 0; i < n; ++i) {
+            scores[i * 2 + 0] = total[i];
+            scores[i * 2 + 1] =
+                static_cast<double>(space.machines[i].windowSize);
+        }
+        const std::vector<std::size_t> frontier =
+            opt::paretoFrontier(scores, 2);
+        const auto t1 = Clock::now();
+        elapsed = std::chrono::duration<double>(t1 - t0).count();
+        // Every batch request re-fits one IW characterization per
+        // width it contains; the planner's whole point is doing
+        // each exactly once.
+        characterizations = requests * widths.size();
+        bestCpi = frontier.empty() ? 0.0 : total[frontier.front()];
+        for (const std::size_t f : frontier) {
+            bestCpi = std::min(bestCpi, total[f]);
+            json::Value e = json::Value::object();
+            e.set("machine",
+                  fosm::server::machineToJson(space.machines[f]));
+            json::Value vals = json::Value::array();
+            vals.push(total[f]);
+            vals.push(
+                static_cast<double>(space.machines[f].windowSize));
+            e.set("objectives", std::move(vals));
+            frontierEntries.push(std::move(e));
+        }
+    }
+
+    const double evalsAfter =
+        scrapeCounter(client, "fosm_model_evaluations_total");
+    const double fitsAfter =
+        scrapeCounter(client, "fosm_opt_iw_fits_total");
+
+    const std::uint64_t frontierPoints = frontierEntries.items().size();
+    const std::string digest = frontierDigest(frontierEntries);
+    const double pointsPerS =
+        elapsed > 0.0 ? static_cast<double>(feasible) / elapsed : 0.0;
+    report.set("feasible", feasible);
+    report.set("requests", requests);
+    report.set("elapsed_s", elapsed);
+    report.set("points_per_s", pointsPerS);
+    report.set("frontier_points", frontierPoints);
+    report.set("frontier_points_per_s",
+               elapsed > 0.0
+                   ? static_cast<double>(frontierPoints) / elapsed
+                   : 0.0);
+    report.set("frontier_hash", digest);
+    report.set("best_cpi", bestCpi);
+    report.set("characterizations", characterizations);
+    report.set("complete", complete);
+    if (evalsBefore >= 0.0 && evalsAfter >= 0.0)
+        report.set("model_evaluations", evalsAfter - evalsBefore);
+    if (fitsBefore >= 0.0 && fitsAfter >= 0.0)
+        report.set("iw_fits", fitsAfter - fitsBefore);
+
+    std::cout << "fosm-loadgen --optimize " << mode << ": "
+              << feasible << "/" << cardinality
+              << " feasible points, " << frontierPoints
+              << " on the frontier in "
+              << json::formatDouble(elapsed) << " s ("
+              << json::formatDouble(pointsPerS) << " points/s, "
+              << requests << " requests, " << characterizations
+              << " characterizations)\n"
+              << "frontier hash " << digest << ", best cpi "
+              << json::formatDouble(bestCpi)
+              << (complete ? "" : " [PARTIAL: deadline shed]")
+              << "\n";
+
+    if (args.has("out")) {
+        std::ofstream out(args.get("out", ""));
+        out << report.dump() << "\n";
+        if (!out) {
+            std::cerr << "error: cannot write "
+                      << args.get("out", "") << "\n";
+            return 1;
+        }
+    }
+    return complete ? 0 : 2;
+}
+
 } // namespace
 
 int
@@ -162,7 +533,8 @@ main(int argc, char **argv)
         argc, argv,
         {"host", "port", "targets", "connections", "duration",
          "warmup", "endpoint", "distinct", "rate", "timeout",
-         "deadline", "batch", "out"},
+         "deadline", "batch", "optimize", "space-points", "seed",
+         "out"},
         "usage: fosm-loadgen [flags]\n"
         "  --host 127.0.0.1    server address\n"
         "  --port 8080         server port\n"
@@ -188,7 +560,21 @@ main(int argc, char **argv)
         "                      per request; throughput is reported\n"
         "                      per design point as well as per\n"
         "                      request (0 = single-request mode)\n"
+        "  --optimize MODE     one-shot design-space benchmark over\n"
+        "                      a --seed-randomized space instead of\n"
+        "                      a load loop: 'planned' = one POST\n"
+        "                      /v1/optimize; 'brute' = client-side\n"
+        "                      enumeration via /v1/batch + local\n"
+        "                      Pareto frontier. The report's\n"
+        "                      frontier_hash must match across modes\n"
+        "  --space-points N    target design-space cardinality for\n"
+        "                      --optimize (default 10240)\n"
+        "  --seed N            space randomization seed for\n"
+        "                      --optimize (same seed = same space)\n"
         "  --out report.json   write the report as JSON\n");
+
+    if (args.has("optimize"))
+        return runOptimizeMode(args);
 
     const std::string host = args.get("host", "127.0.0.1");
     const std::uint16_t port =

@@ -55,7 +55,7 @@ main(int argc, char **argv)
         argc, argv,
         {"host", "port", "workers", "io-threads", "batch", "queue",
          "cache", "no-warmup", "retry-after", "max-connections",
-         "store-dir", "no-store"},
+         "store-dir", "no-store", "optimize-max-points"},
         "usage: fosm-serve [flags]\n"
         "  --host 127.0.0.1       listen address\n"
         "  --port 8080            listen port (0 = ephemeral)\n"
@@ -71,12 +71,18 @@ main(int argc, char **argv)
         "  --no-warmup            build workloads lazily\n"
         "  --store-dir DIR        persistent result store directory\n"
         "                         (default .fosm-store)\n"
-        "  --no-store             memory-only: no persistence\n");
+        "  --no-store             memory-only: no persistence\n"
+        "  --optimize-max-points N\n"
+        "                         largest /v1/optimize design-space\n"
+        "                         cardinality (default 65536; larger\n"
+        "                         spaces are rejected 413)\n");
 
     MetricsRegistry metrics;
 
     ServiceConfig serviceConfig;
     serviceConfig.cacheCapacity = args.getInt("cache", 8192);
+    serviceConfig.optimizeMaxPoints = static_cast<std::uint64_t>(
+        args.getInt("optimize-max-points", 65536));
     if (!args.has("no-store"))
         serviceConfig.storeDir = args.get("store-dir", ".fosm-store");
     ModelService service(serviceConfig, metrics);
@@ -140,7 +146,8 @@ main(int argc, char **argv)
                       ? std::string("off")
                       : serviceConfig.storeDir)
               << ")\n"
-              << "fosm-serve: POST /v1/cpi /v1/batch /v1/iw-curve /v1/trends; "
+              << "fosm-serve: POST /v1/cpi /v1/batch /v1/iw-curve "
+                 "/v1/trends /v1/optimize; "
                  "GET /healthz /metrics /v1/store/stats\n";
     std::cout.flush();
 
