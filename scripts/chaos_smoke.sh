@@ -18,6 +18,17 @@
 # Pass criteria: loadgen exits 0 with zero errors / 503s / 504s /
 # timeouts, p99 stays bounded, and the gateway's breaker + deadline
 # metric families are live.
+#
+# A second stage drills the replicated store (docs/REPLICATION.md):
+# three store-backed replicas with --replication 2, the loadgen in
+# --drill kill-rejoin mode, a SIGKILL of one replica at the first
+# mark and a same-port rejoin at the second. Pass criteria: zero
+# failures in every drill phase, post-failover p99 inside the
+# pre-kill envelope (the successor already holds the shard's
+# replicated entries, so failover lands warm), and a non-zero
+# fosm_repl_catchup_entries_total on the rejoined node (it pulled
+# the entries it missed while dead). Set FOSM_DRILL_OUT to pin the
+# drill report (BENCH_PR8.json is such a pin).
 # Usage: scripts/chaos_smoke.sh [build-dir]
 set -eu
 
@@ -45,10 +56,12 @@ trap cleanup EXIT INT TERM
 
 wait_healthy() { # $1 = port, $2 = name
     i=0
+    # 30 s: a process (re)started while the loadgen saturates the
+    # box can take a while to get scheduled on small CI runners.
     while ! curl -fsS "http://127.0.0.1:$1/healthz" \
             > /dev/null 2>&1; do
         i=$((i + 1))
-        if [ "$i" -ge 100 ]; then
+        if [ "$i" -ge 300 ]; then
             echo "FAIL: $2 (:$1) never became healthy" >&2
             exit 1
         fi
@@ -63,8 +76,13 @@ start_replica() { # $1 = port
 }
 
 start_slow_replica() { # $1 = port: healthz fine, work delayed 400ms
+    # Extra workers so /healthz never queues behind the 400ms-delayed
+    # requests: the replica must look alive to the prober while every
+    # live request blows the gateway's attempt budget — the failure
+    # mode only the circuit breaker can see.
     FOSM_FAULTS="serve.handler=delay:1.0:400" FOSM_FAULT_SEED=42 \
         "$serve" --port "$1" --no-store --no-warmup --cache 0 \
+        --workers 8 \
         > "$tmp/serve-$1.log" 2>&1 &
     echo $!
 }
@@ -196,4 +214,130 @@ if [ "$changes" -lt 2 ]; then
 fi
 echo "OK: breaker closed after rejoin, deadline metrics live," \
      "$changes membership changes"
+
+# ---- Stage 2: replicated-store kill + rejoin warmness drill ------
+
+q1=$((base + 4)); q2=$((base + 5)); q3=$((base + 6))
+gq=$((base + 7))
+rbackends="127.0.0.1:$q1,127.0.0.1:$q2,127.0.0.1:$q3"
+
+start_store_replica() { # $1 = port
+    "$serve" --port "$1" --no-warmup \
+        --store-dir "$tmp/store-$1" \
+        --self "127.0.0.1:$1" --peers "$rbackends" \
+        --replication 2 --repl-interval 1000 \
+        > "$tmp/serve-repl-$1.log" 2>&1 &
+    echo $!
+}
+
+echo "== stage 2: replicated store trio (:$q1 :$q2 :$q3, N=2)"
+s1=$(start_store_replica "$q1"); pids="$pids $s1"
+s2=$(start_store_replica "$q2"); pids="$pids $s2"
+s3=$(start_store_replica "$q3"); pids="$pids $s3"
+wait_healthy "$q1" store-replica1
+wait_healthy "$q2" store-replica2
+wait_healthy "$q3" store-replica3
+
+"$gateway" --port "$gq" --backends "$rbackends" \
+    --health-interval 100 --request-timeout 250 \
+    > "$tmp/gateway-repl.log" 2>&1 &
+gw2=$!
+pids="$pids $gw2"
+wait_healthy "$gq" gateway-repl
+
+echo "== kill-rejoin drill: SIGKILL the owner at 4s, rejoin at 8s"
+"$loadgen" --targets "127.0.0.1:$gq" --connections 4 \
+    --warmup 1 --duration 12 --distinct 24 \
+    --timeout 5000 --deadline 2000 \
+    --drill kill-rejoin --marks 4,8 \
+    --out "$tmp/drill.json" > "$tmp/drill.log" 2>&1 &
+dg=$!
+pids="$pids $dg"
+
+sleep 5 # warmup (1s) + first mark (4s): pre-kill phase complete
+kill -9 "$s2"
+wait "$s2" 2>/dev/null || true
+echo "   SIGKILLed :$q2; every key it owned is warm on its successor"
+
+# While the owner is down, push fresh design points through the
+# gateway. Their failover owners commit and replicate them, and the
+# dead node is on roughly a third of their preference lists — the
+# backlog its rejoin catch-up must pull.
+i=0
+while [ "$i" -lt 30 ]; do
+    curl -fsS -X POST \
+        -d "{\"workload\":\"gcc\",\"machine\":{\"deltaD\":$((90000 + i))}}" \
+        "http://127.0.0.1:$gq/v1/cpi" > /dev/null 2>&1 || true
+    i=$((i + 1))
+done
+
+sleep 2 # until the second mark
+s2=$(start_store_replica "$q2"); pids="$pids $s2" # same port + store
+wait_healthy "$q2" store-replica2-rejoined
+
+if ! wait "$dg"; then
+    echo "FAIL: drill loadgen reported client-visible errors" >&2
+    cat "$tmp/drill.log" >&2
+    exit 1
+fi
+cat "$tmp/drill.log"
+
+phase_field() { # $1 = phase name, $2 = "failures" | "p99"
+    if [ "$2" = "failures" ]; then
+        grep "^  $1 " "$tmp/drill.log" \
+            | sed 's/.* \([0-9][0-9]*\) failures.*/\1/'
+    else
+        grep "^  $1 " "$tmp/drill.log" \
+            | sed 's/.*p99 \([0-9.][0-9.]*\) us.*/\1/' \
+            | cut -d. -f1
+    fi
+}
+for phase in pre-kill post-failover post-rejoin; do
+    f=$(phase_field "$phase" failures)
+    if [ -z "$f" ] || [ "$f" != "0" ]; then
+        echo "FAIL: drill phase $phase saw ${f:-?} failures" >&2
+        exit 1
+    fi
+done
+echo "OK: zero client-visible failures in every drill phase"
+
+# Warm-failover envelope: the successor serves the dead owner's
+# shard from its replicated store, so post-failover p99 stays in
+# the pre-kill envelope — 10x for scheduler noise plus one 250ms
+# attempt budget for requests in flight at the kill.
+pre=$(phase_field pre-kill p99)
+post=$(phase_field post-failover p99)
+bound=$((pre * 10 + 250000))
+if [ "$post" -gt "$bound" ]; then
+    echo "FAIL: post-failover p99 ${post}us outside the warm" \
+         "envelope (pre-kill ${pre}us, bound ${bound}us)" >&2
+    exit 1
+fi
+echo "OK: post-failover p99 ${post}us within the warm envelope" \
+     "(pre-kill ${pre}us)"
+
+# Rejoin catch-up: the restarted node must have pulled the entries
+# committed while it was dead before opening its socket.
+catchup=$(curl -fsS "http://127.0.0.1:$q2/metrics" \
+    | grep '^fosm_repl_catchup_entries_total' \
+    | awk '{s += $NF} END {print int(s + 0)}')
+if [ -z "$catchup" ] || [ "$catchup" -lt 1 ]; then
+    echo "FAIL: rejoined :$q2 caught up ${catchup:-0} entries" \
+         "(expected >= 1)" >&2
+    cat "$tmp/serve-repl-$q2.log" >&2
+    exit 1
+fi
+echo "OK: rejoined :$q2 caught up $catchup entries"
+
+if [ -n "${FOSM_DRILL_OUT:-}" ]; then
+    {
+        printf '{"bench":"repl-kill-rejoin-drill",'
+        printf '"catchup_entries":%s,' "$catchup"
+        printf '"report":'
+        cat "$tmp/drill.json"
+        printf '}\n'
+    } > "$FOSM_DRILL_OUT"
+    echo "drill report pinned to $FOSM_DRILL_OUT"
+fi
+
 echo "chaos smoke: PASS"

@@ -59,11 +59,19 @@ retryAfterOf(const server::ClientResponse &response)
     return response.header("retry-after");
 }
 
-/** Recursively sum numeric leaves of src into dst (by key path). */
+/**
+ * Recursively sum numeric leaves of src into dst (by key path).
+ * skipKey names one top-level subtree to leave out: the backends'
+ * "repl" block holds per-node state (watermark LSNs, store epochs,
+ * the replication factor) whose sum is meaningless.
+ */
 void
-sumNumericLeaves(json::Value &dst, const json::Value &src)
+sumNumericLeaves(json::Value &dst, const json::Value &src,
+                 const char *skipKey = nullptr)
 {
     for (const auto &member : src.members()) {
+        if (skipKey && member.first == skipKey)
+            continue;
         const json::Value &v = member.second;
         if (v.isNumber()) {
             const json::Value *prev = dst.find(member.first);
@@ -352,8 +360,24 @@ Gateway::exchangeWithHedge(Backend &primary, Backend *hedgeTarget,
                             std::chrono::duration<double>(
                                 Clock::now() - start)
                                 .count());
-                    if (i == 1 && hedgeWins_)
-                        hedgeWins_->inc();
+                    if (i == 1) {
+                        if (hedgeWins_)
+                            hedgeWins_->inc();
+                        // The primary burned its whole hedge window
+                        // without producing a byte before the hedge
+                        // finished — slowness, not bad luck. Charge
+                        // it, or a consistently hedge-lost backend
+                        // never trips its breaker and taxes every
+                        // request homed on it with a hedge.
+                        if (calls[0].state() ==
+                                UpstreamCall::State::Receiving &&
+                            !calls[0].receivedBytes()) {
+                            if (primary.errors)
+                                primary.errors->inc();
+                            primary.noteProxyFailure(
+                                config_.upstream.ejectAfter);
+                        }
+                    }
                     server::HttpResponse out(r.status);
                     out.body = r.body;
                     const std::string &ct =
@@ -463,6 +487,13 @@ Gateway::routedExchange(const Topology &topo, std::uint64_t digest,
                         bool hasOverall, Clock::time_point overall)
 {
     const auto entry = Clock::now();
+    // The full ring walk from the key's owner. Its leading
+    // `replication` entries are exactly the key's preference list on
+    // the replicated store side (docs/REPLICATION.md): when the
+    // owner dies, the next healthy backend this loop lands on is the
+    // one already holding the shard's replicated entries, so
+    // failover stays on the warm cached path with no routing change
+    // needed here.
     const std::vector<std::uint32_t> pref =
         topo.ring.route(digest, topo.backends.size());
 
@@ -799,6 +830,13 @@ Gateway::aggregateStoreStats()
     json::Value perBackend = json::Value::object();
     std::size_t reachable = 0;
 
+    // With replication every entry exists on up to N backends, so a
+    // naive sum of liveRecords double-counts. Backends that report a
+    // repl.ownership split let us count each entry exactly once (at
+    // its ring owner) and expose the replica copies separately.
+    double ownedTotal = 0, replicaTotal = 0, foreignTotal = 0;
+    std::size_t replReporting = 0;
+
     for (const auto &member : pool_->snapshot()) {
         Backend &b = *member;
         server::ClientResponse r;
@@ -811,7 +849,19 @@ Gateway::aggregateStoreStats()
             r.status == 200 &&
             json::parse(r.body, stats, &error)) {
             ++reachable;
-            sumNumericLeaves(aggregate, stats);
+            sumNumericLeaves(aggregate, stats, "repl");
+            if (const json::Value *repl = stats.find("repl")) {
+                if (const json::Value *own =
+                        repl->find("ownership")) {
+                    ++replReporting;
+                    if (const json::Value *v = own->find("owned"))
+                        ownedTotal += v->asDouble();
+                    if (const json::Value *v = own->find("replica"))
+                        replicaTotal += v->asDouble();
+                    if (const json::Value *v = own->find("foreign"))
+                        foreignTotal += v->asDouble();
+                }
+            }
             perBackend.set(b.address().label, std::move(stats));
         } else {
             perBackend.set(b.address().label, json::Value());
@@ -821,6 +871,15 @@ Gateway::aggregateStoreStats()
     json::Value body = json::Value::object();
     body.set("backends_reporting",
              static_cast<std::uint64_t>(reachable));
+    if (replReporting > 0) {
+        json::Value cluster = json::Value::object();
+        cluster.set("owned_records", ownedTotal);
+        cluster.set("replica_records", replicaTotal);
+        cluster.set("foreign_records", foreignTotal);
+        cluster.set("backends_with_repl",
+                    static_cast<std::uint64_t>(replReporting));
+        body.set("cluster", std::move(cluster));
+    }
     body.set("aggregate", std::move(aggregate));
     body.set("per_backend", std::move(perBackend));
     return server::HttpResponse::json(reachable > 0 ? 200 : 502,

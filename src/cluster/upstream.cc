@@ -41,8 +41,9 @@ millisLeft(Clock::time_point deadline)
 int
 dialNonBlocking(const BackendAddress &address, int timeoutMs)
 {
-    if (FaultInjector::active()) {
-        const FaultAction fault = faultAt("upstream.connect");
+    // Unconditional faultAt: it arms FOSM_FAULTS on first use and
+    // checks active() itself, so a pre-guard would defeat arming.
+    if (const FaultAction fault = faultAt("upstream.connect")) {
         faultSleep(fault);
         if (fault.kind == FaultKind::Error)
             return -1;
@@ -89,8 +90,7 @@ dialNonBlocking(const BackendAddress &address, int timeoutMs)
 bool
 sendAll(int fd, const std::string &data)
 {
-    if (FaultInjector::active()) {
-        const FaultAction fault = faultAt("upstream.send");
+    if (const FaultAction fault = faultAt("upstream.send")) {
         faultSleep(fault);
         if (fault.kind == FaultKind::Error)
             return false;
@@ -493,8 +493,7 @@ UpstreamCall::onReadable()
 {
     if (state_ != State::Receiving)
         return state_;
-    if (FaultInjector::active()) {
-        const FaultAction fault = faultAt("upstream.recv");
+    if (const FaultAction fault = faultAt("upstream.recv")) {
         faultSleep(fault);
         if (fault.kind == FaultKind::Error) {
             state_ = State::Failed;

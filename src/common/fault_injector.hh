@@ -124,10 +124,15 @@ class FaultInjector
 /**
  * Sample the injector at a hook point. The disabled path is one
  * relaxed atomic load — cheap enough for file-I/O and socket paths.
+ * The first call primes instance() so FOSM_FAULTS rules arm even
+ * when nothing else touches the injector; active() alone can never
+ * become true from the environment otherwise.
  */
 inline FaultAction
 faultAt(const char *point)
 {
+    static const bool primed = (FaultInjector::instance(), true);
+    (void)primed;
     if (!FaultInjector::active())
         return {};
     return FaultInjector::instance().sample(point);

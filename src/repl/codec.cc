@@ -1,0 +1,161 @@
+#include "repl/codec.hh"
+
+#include <cstring>
+
+#include "store/crc32c.hh"
+
+namespace fosm::repl {
+
+namespace {
+
+constexpr char replMagic[8] = {'F', 'O', 'S', 'M',
+                               'R', 'E', 'P', 'L'};
+constexpr std::uint32_t replFormatVersion = 1;
+constexpr std::size_t headerSize = 41;
+constexpr std::size_t entryHeaderSize = 16;
+constexpr std::uint32_t maxLabelLen = 1u << 10;
+constexpr std::uint32_t maxKeyLen = 1u << 20;
+constexpr std::uint32_t maxValueLen = 1u << 30;
+
+void
+putU32(std::string &s, std::uint32_t v)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        s.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void
+putU64(std::string &s, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        s.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::string
+encodeBatch(const Batch &batch)
+{
+    std::string wire;
+    std::size_t payload = batch.origin.size();
+    for (const store::LiveEntry &e : batch.entries)
+        payload += entryHeaderSize + e.key.size() + e.value.size();
+    wire.reserve(headerSize + payload);
+
+    wire.append(replMagic, sizeof(replMagic));
+    putU32(wire, replFormatVersion);
+    putU32(wire, 0); // CRC placeholder
+    putU32(wire, static_cast<std::uint32_t>(batch.entries.size()));
+    putU32(wire, static_cast<std::uint32_t>(batch.origin.size()));
+    putU64(wire, batch.upto);
+    putU64(wire, batch.storeId);
+    wire.push_back(batch.more ? 1 : 0);
+    wire.append(batch.origin);
+    for (const store::LiveEntry &e : batch.entries) {
+        putU32(wire, static_cast<std::uint32_t>(e.key.size()));
+        putU32(wire, static_cast<std::uint32_t>(e.value.size()));
+        putU64(wire, e.lsn);
+        wire.append(e.key);
+        wire.append(e.value);
+    }
+
+    const std::uint32_t crc =
+        store::crc32c(wire.data() + 16, wire.size() - 16);
+    for (unsigned i = 0; i < 4; ++i)
+        wire[12 + i] = static_cast<char>(crc >> (8 * i));
+    return wire;
+}
+
+bool
+decodeBatch(std::string_view wire, Batch &out, std::string &error)
+{
+    const auto *data =
+        reinterpret_cast<const unsigned char *>(wire.data());
+    if (wire.size() < headerSize ||
+        std::memcmp(data, replMagic, sizeof(replMagic)) != 0) {
+        error = "missing repl batch header";
+        return false;
+    }
+    if (getU32(data + 8) != replFormatVersion) {
+        error = "unsupported repl format version " +
+                std::to_string(getU32(data + 8));
+        return false;
+    }
+    if (store::crc32c(wire.data() + 16, wire.size() - 16) !=
+        getU32(data + 12)) {
+        error = "repl batch CRC mismatch";
+        return false;
+    }
+    const std::uint32_t count = getU32(data + 16);
+    const std::uint32_t originLen = getU32(data + 20);
+    if (originLen > maxLabelLen) {
+        error = "implausible origin label length";
+        return false;
+    }
+    out.upto = getU64(data + 24);
+    out.storeId = getU64(data + 32);
+    out.more = data[40] != 0;
+
+    std::size_t off = headerSize;
+    if (off + originLen > wire.size()) {
+        error = "truncated origin label";
+        return false;
+    }
+    out.origin.assign(wire.data() + off, originLen);
+    off += originLen;
+
+    out.entries.clear();
+    out.entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        if (off + entryHeaderSize > wire.size()) {
+            error = "truncated entry header at index " +
+                    std::to_string(i);
+            return false;
+        }
+        const std::uint32_t keyLen = getU32(data + off);
+        const std::uint32_t valueLen = getU32(data + off + 4);
+        if (keyLen > maxKeyLen || valueLen > maxValueLen) {
+            error = "implausible entry lengths at index " +
+                    std::to_string(i);
+            return false;
+        }
+        store::LiveEntry entry;
+        entry.lsn = getU64(data + off + 8);
+        off += entryHeaderSize;
+        if (off + keyLen + valueLen > wire.size()) {
+            error = "truncated entry body at index " +
+                    std::to_string(i);
+            return false;
+        }
+        entry.key.assign(wire.data() + off, keyLen);
+        off += keyLen;
+        entry.value.assign(wire.data() + off, valueLen);
+        off += valueLen;
+        out.entries.push_back(std::move(entry));
+    }
+    if (off != wire.size()) {
+        error = "trailing bytes after last entry";
+        return false;
+    }
+    return true;
+}
+
+} // namespace fosm::repl

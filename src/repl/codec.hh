@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Wire format for fosm-repl batches: the payload of the internal
+ * POST /admin/repl/apply hop (owner write-behind to its ring
+ * successors) and of /admin/repl/pull responses (anti-entropy
+ * catch-up). Binary for the same reason the gateway's batch hop is —
+ * these are internal replica-to-replica transfers of data that is
+ * already serialized JSON; re-wrapping it in JSON would double-escape
+ * every value — and framed defensively: a CRC32C over the payload
+ * plus strict structural validation, so a truncated or corrupted
+ * batch is rejected whole instead of half-applied.
+ *
+ * Layout (all integers little-endian):
+ *
+ *   0  char[8] magic "FOSMREPL"
+ *   8  u32     format version (1)
+ *   12 u32     CRC32C of bytes [16, end)
+ *   16 u32     entry count
+ *   20 u32     origin label length
+ *   24 u64     upto: highest origin LSN this batch advances the
+ *              receiver's watermark to (pull responses; 0 in apply
+ *              batches, whose receivers do not track watermarks)
+ *   32 u64     origin store id (epoch; detects a wiped/recreated
+ *              origin store whose LSNs restarted)
+ *   40 u8      more (pull responses: further entries remain)
+ *   41 origin label bytes
+ *   then per entry:
+ *      u32 key length, u32 value length, u64 origin LSN,
+ *      key bytes, value bytes
+ */
+
+#ifndef FOSM_REPL_CODEC_HH
+#define FOSM_REPL_CODEC_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/store.hh"
+
+namespace fosm::repl {
+
+/** Content type of every repl hop. */
+inline constexpr const char *replContentType =
+    "application/x-fosm-repl";
+
+/** One decoded batch (apply payload or pull response). */
+struct Batch
+{
+    std::string origin;       ///< sender's "host:port" label
+    std::uint64_t upto = 0;   ///< watermark to adopt (pulls only)
+    std::uint64_t storeId = 0;///< sender's store epoch
+    bool more = false;        ///< pull responses: pull again
+    std::vector<store::LiveEntry> entries;
+};
+
+/** Serialize a batch into its wire form. */
+std::string encodeBatch(const Batch &batch);
+
+/**
+ * Parse a wire batch. Returns false (with a diagnostic in error)
+ * for anything structurally wrong or CRC-mismatched; out is only
+ * valid on true.
+ */
+bool decodeBatch(std::string_view wire, Batch &out,
+                 std::string &error);
+
+} // namespace fosm::repl
+
+#endif // FOSM_REPL_CODEC_HH

@@ -17,9 +17,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "store/store.hh"
 
@@ -34,14 +36,35 @@ class PersistentResponseCache
     {
     }
 
+    /**
+     * Last-resort lookup for a store miss, taking the full (r/
+     * prefixed) store key. The replication layer wires this to its
+     * read-repair probe: ask the key's other preference-list members
+     * before falling back to recomputation. The hook is responsible
+     * for writing a fetched value back to the local store.
+     */
+    using RepairHook =
+        std::function<bool(const std::string &storeKey,
+                           std::string &value)>;
+
+    /** Wire the read-repair probe (call before serving traffic). */
+    void setRepairHook(RepairHook hook) { repair_ = std::move(hook); }
+
     /** Disk lookup for an LRU miss. Counts a storeHit on success. */
     bool
     get(const std::string &key, std::string &value)
     {
-        if (!store_ || !store_->get(prefixed(key), value))
+        if (!store_)
             return false;
-        storeHits_.fetch_add(1, std::memory_order_relaxed);
-        return true;
+        if (store_->get(prefixed(key), value)) {
+            storeHits_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        if (repair_ && repair_(prefixed(key), value)) {
+            readRepairs_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
     }
 
     /** Write-through for a freshly evaluated response. */
@@ -57,6 +80,13 @@ class PersistentResponseCache
     storeHits() const
     {
         return storeHits_.load(std::memory_order_relaxed);
+    }
+
+    /** Responses recovered from a peer replica (read-repair). */
+    std::uint64_t
+    readRepairs() const
+    {
+        return readRepairs_.load(std::memory_order_relaxed);
     }
 
     store::StoreStats stats() const { return store_->stats(); }
@@ -75,7 +105,9 @@ class PersistentResponseCache
     }
 
     std::shared_ptr<store::PersistentStore> store_;
+    RepairHook repair_;
     std::atomic<std::uint64_t> storeHits_{0};
+    std::atomic<std::uint64_t> readRepairs_{0};
 };
 
 } // namespace fosm::server

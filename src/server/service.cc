@@ -311,8 +311,28 @@ ModelService::storeStats() const
     d.set("hits", s.hits);
     d.set("compactions", s.compactions);
     d.set("truncatedTails", s.truncatedTails);
+    d.set("maxLsn", s.maxLsn);
+    // Per-segment LSN watermarks and entry counts: the metadata the
+    // anti-entropy sweep keys its incremental catch-up on, exposed
+    // for fosm-store watermarks and operators chasing replica lag.
+    json::Value segments = json::Value::array();
+    for (const store::SegmentLsnInfo &info : store_->segmentLsns()) {
+        json::Value seg = json::Value::object();
+        seg.set("id", info.id);
+        seg.set("records", info.records);
+        seg.set("liveRecords", info.liveRecords);
+        seg.set("bytes", info.bytes);
+        seg.set("minLsn", info.minLsn);
+        seg.set("maxLsn", info.maxLsn);
+        seg.set("sealed", info.sealed);
+        segments.push(std::move(seg));
+    }
+    d.set("segmentLsns", std::move(segments));
     v.set("store", std::move(d));
     v.set("responseRefills", persistent_->storeHits());
+    v.set("responseRepairs", persistent_->readRepairs());
+    if (replStats_)
+        v.set("repl", replStats_());
     return v;
 }
 
@@ -331,22 +351,27 @@ HttpServer::Handler
 ModelService::handler()
 {
     return [this](const HttpRequest &request) -> HttpResponse {
+        const std::string path = request.path();
         // Chaos hook: lets the fault harness make this replica slow
         // or failing while /healthz stays green — the exact failure
-        // mode circuit breakers exist for.
-        if (FaultInjector::active()) {
+        // mode circuit breakers exist for. /metrics stays exempt too
+        // so the harness can keep scraping a faulted replica. faultAt
+        // also arms FOSM_FAULTS on first use; guarding the call on
+        // active() here would keep the env config unread.
+        if (path != "/healthz" && path != "/metrics") {
             const FaultAction fault = faultAt("serve.handler");
-            faultSleep(fault);
-            if (fault.kind == FaultKind::Error) {
-                return HttpResponse::json(
-                    500, errorJson("injected fault"));
+            if (fault.kind != FaultKind::None) {
+                faultSleep(fault);
+                if (fault.kind == FaultKind::Error) {
+                    return HttpResponse::json(
+                        500, errorJson("injected fault"));
+                }
             }
         }
         // Memoize successful POST /v1/* evaluations by canonical
         // request digest. The parse needed for canonicalization is
         // trivial next to the evaluation (and the cache makes even
         // that skippable for the response itself).
-        const std::string path = request.path();
         // /v1/batch opts out of whole-request memoization: its body
         // may be binary (not canonicalizable as JSON), and its rows
         // are cached individually under their /v1/cpi digests, which

@@ -144,6 +144,23 @@ class ModelService
     {
         return persistent_.get();
     }
+    /** Mutable access for wiring (read-repair hook). */
+    PersistentResponseCache *persistentCache()
+    {
+        return persistent_.get();
+    }
+
+    /**
+     * Extra document merged into storeStats() under "repl" — wired
+     * by fosm-serve to the Replicator's status (ownership split,
+     * watermarks, catch-up counters) so GET /v1/store/stats reports
+     * replication state per backend. Set before serving traffic.
+     */
+    void
+    setReplStatsProvider(std::function<json::Value()> provider)
+    {
+        replStats_ = std::move(provider);
+    }
     const TrendStudies &trendStudies() const { return trends_; }
 
   private:
@@ -177,6 +194,7 @@ class ModelService
     std::unique_ptr<PersistentResponseCache> persistent_;
     TrendStudies trends_;
     Router router_;
+    std::function<json::Value()> replStats_;
 
     Counter &cacheHits_;
     Counter &cacheMisses_;

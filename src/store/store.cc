@@ -300,6 +300,17 @@ struct PersistentStore::Segment
     std::uint64_t recordBytes = 0;
     std::uint64_t deadRecords = 0;
     std::uint64_t deadBytes = 0;
+    std::uint64_t minLsn = 0; ///< 0 while the segment is empty
+    std::uint64_t maxLsn = 0;
+
+    void
+    noteLsn(std::uint64_t lsn)
+    {
+        if (minLsn == 0 || lsn < minLsn)
+            minLsn = lsn;
+        if (lsn > maxLsn)
+            maxLsn = lsn;
+    }
 
     ~Segment()
     {
@@ -401,6 +412,7 @@ PersistentStore::openDir()
                         (r.flags & flagTombstone) != 0;
                 }
                 nextLsn_ = std::max(nextLsn_, r.lsn + 1);
+                seg->noteLsn(r.lsn);
             });
         if (data)
             ::munmap(const_cast<unsigned char *>(data), fileSize);
@@ -567,7 +579,7 @@ PersistentStore::accountDead(const Location &loc)
     }
 }
 
-void
+std::uint64_t
 PersistentStore::appendLocked(const std::string &key,
                               std::string_view value, bool tombstone)
 {
@@ -582,7 +594,7 @@ PersistentStore::appendLocked(const std::string &key,
         warn("fosm-store: append to ", seg->path, " failed: ",
              std::strerror(errno));
         ::ftruncate(seg->fd, static_cast<off_t>(seg->size));
-        return;
+        return 0;
     }
     if (config_.fsyncEachPut) {
         faultSleep(faultAt("store.fsync")); // a slow disk's fsync
@@ -598,6 +610,7 @@ PersistentStore::appendLocked(const std::string &key,
     seg->size += rec.size();
     ++seg->records;
     seg->recordBytes += rec.size();
+    seg->noteLsn(lsn);
     ++appends_;
 
     const auto it = index_.find(key);
@@ -628,6 +641,7 @@ PersistentStore::appendLocked(const std::string &key,
             warn("fosm-store: segment rotation failed: ", e.what());
         }
     }
+    return lsn;
 }
 
 void
@@ -639,9 +653,10 @@ PersistentStore::put(const std::string &key, std::string_view value)
         return;
     }
     bool wantCompaction;
+    std::uint64_t lsn;
     {
         std::unique_lock<std::shared_mutex> lock(mutex_);
-        appendLocked(key, value, false);
+        lsn = appendLocked(key, value, false);
         wantCompaction = shouldCompactLocked();
     }
     if (wantCompaction && config_.backgroundCompaction) {
@@ -651,6 +666,26 @@ PersistentStore::put(const std::string &key, std::string_view value)
         }
         cv_.notify_one();
     }
+    if (lsn != 0) {
+        // Copy under the hook lock, invoke outside it: the hook may
+        // be cleared concurrently (replicator shutdown) while a put
+        // is in flight, and the replicator outlives its server's
+        // workers, so running the previous hook once more is safe.
+        CommitHook hook;
+        {
+            std::lock_guard<std::mutex> lock(hookMutex_);
+            hook = commitHook_;
+        }
+        if (hook)
+            hook(key, value, lsn);
+    }
+}
+
+void
+PersistentStore::setCommitHook(CommitHook hook)
+{
+    std::lock_guard<std::mutex> lock(hookMutex_);
+    commitHook_ = std::move(hook);
 }
 
 void
@@ -815,6 +850,8 @@ PersistentStore::compact()
     seg->size = newSize;
     seg->records = newRecords;
     seg->recordBytes = newSize - segHeaderSize;
+    for (const LiveRec &r : live)
+        seg->noteLsn(r.loc.lsn);
     seg->mapSealed();
 
     {
@@ -897,6 +934,114 @@ PersistentStore::forEachLive(
     }
 }
 
+void
+PersistentStore::forEachLiveKey(
+    const std::function<void(const std::string &, std::uint64_t)> &fn)
+    const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> keys;
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        keys.reserve(index_.size());
+        for (const auto &[key, loc] : index_)
+            keys.emplace_back(key, loc.lsn);
+    }
+    for (const auto &[key, lsn] : keys)
+        fn(key, lsn);
+}
+
+std::vector<LiveEntry>
+PersistentStore::collectSince(
+    std::uint64_t sinceLsn, std::size_t maxEntries,
+    std::size_t maxBytes,
+    const std::function<bool(const std::string &)> &filter,
+    bool &more) const
+{
+    std::vector<LiveEntry> out;
+    more = false;
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+
+    // Watermark fast path: a caught-up replica's pull touches only
+    // the per-segment maxLsn, never the index or the record bytes.
+    bool anyAbove = false;
+    for (const auto &[id, seg] : segments_) {
+        if (seg->maxLsn > sinceLsn) {
+            anyAbove = true;
+            break;
+        }
+    }
+    if (!anyAbove)
+        return out;
+
+    struct Candidate
+    {
+        const std::string *key;
+        const Location *loc;
+    };
+    std::vector<Candidate> candidates;
+    for (const auto &[key, loc] : index_) {
+        if (loc.lsn <= sinceLsn)
+            continue;
+        if (filter && !filter(key))
+            continue;
+        candidates.push_back(Candidate{&key, &loc});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.loc->lsn < b.loc->lsn;
+              });
+
+    std::size_t bytes = 0;
+    for (const Candidate &c : candidates) {
+        if (out.size() >= maxEntries ||
+            (bytes > 0 && bytes + c.loc->valueLen > maxBytes)) {
+            more = true;
+            break;
+        }
+        const auto seg = segments_.find(c.loc->segmentId);
+        if (seg == segments_.end())
+            continue;
+        LiveEntry entry;
+        entry.key = *c.key;
+        entry.lsn = c.loc->lsn;
+        if (!readValue(*seg->second, *c.loc, entry.value))
+            continue;
+        bytes += entry.value.size();
+        out.push_back(std::move(entry));
+    }
+    return out;
+}
+
+std::vector<SegmentLsnInfo>
+PersistentStore::segmentLsns() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    std::vector<SegmentLsnInfo> out;
+    out.reserve(segments_.size());
+    std::unordered_map<std::uint64_t, std::uint64_t> liveBySeg;
+    for (const auto &[key, loc] : index_)
+        ++liveBySeg[loc.segmentId];
+    for (const auto &[id, seg] : segments_) {
+        SegmentLsnInfo info;
+        info.id = id;
+        info.records = seg->records;
+        info.liveRecords = liveBySeg[id];
+        info.bytes = seg->size;
+        info.minLsn = seg->minLsn;
+        info.maxLsn = seg->maxLsn;
+        info.sealed = seg->sealed;
+        out.push_back(info);
+    }
+    return out;
+}
+
+std::uint64_t
+PersistentStore::maxLsn() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return nextLsn_ - 1;
+}
+
 StoreStats
 PersistentStore::stats() const
 {
@@ -917,6 +1062,7 @@ PersistentStore::stats() const
     s.hits = hits_.load(std::memory_order_relaxed);
     s.compactions = compactions_;
     s.truncatedTails = truncatedTails_;
+    s.maxLsn = nextLsn_ - 1;
     return s;
 }
 

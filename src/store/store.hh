@@ -100,6 +100,33 @@ struct StoreStats
     std::uint64_t hits = 0;
     std::uint64_t compactions = 0;
     std::uint64_t truncatedTails = 0; ///< torn writes repaired at open
+    std::uint64_t maxLsn = 0;         ///< highest LSN ever assigned
+};
+
+/**
+ * Per-segment LSN watermarks and entry counts (fosm-store stats,
+ * GET /v1/store/stats). The [minLsn, maxLsn] range covers every
+ * record the segment holds, dead or live — exactly the metadata an
+ * anti-entropy sweep needs to skip segments entirely below a
+ * replica's watermark.
+ */
+struct SegmentLsnInfo
+{
+    std::uint64_t id = 0;
+    std::uint64_t records = 0;     ///< all records, incl. dead
+    std::uint64_t liveRecords = 0; ///< records the index points at
+    std::uint64_t bytes = 0;       ///< file size
+    std::uint64_t minLsn = 0;      ///< 0 when the segment is empty
+    std::uint64_t maxLsn = 0;
+    bool sealed = false;
+};
+
+/** One live entry handed out by collectSince (anti-entropy pulls). */
+struct LiveEntry
+{
+    std::string key;
+    std::string value;
+    std::uint64_t lsn = 0;
 };
 
 /** One segment's verification result (fosm-store verify). */
@@ -162,7 +189,51 @@ class PersistentStore
                                  const std::string &value,
                                  std::uint64_t lsn)> &fn);
 
+    /**
+     * Visit every live key (no value reads) with its LSN. Cheap:
+     * one pass over the in-memory index under the shared lock.
+     */
+    void forEachLiveKey(
+        const std::function<void(const std::string &key,
+                                 std::uint64_t lsn)> &fn) const;
+
+    /**
+     * Collect live entries with LSN strictly greater than sinceLsn,
+     * in ascending LSN order, up to maxEntries / maxBytes of values.
+     * Segments whose maxLsn watermark is at or below sinceLsn are
+     * skipped without scanning — a caught-up replica's periodic pull
+     * costs one watermark comparison per segment, not a replay.
+     *
+     * `filter` (optional) drops entries by key before they count
+     * against the caps. Sets `more` when qualifying entries remain
+     * beyond the caps (the caller pulls again from the last LSN).
+     */
+    std::vector<LiveEntry> collectSince(
+        std::uint64_t sinceLsn, std::size_t maxEntries,
+        std::size_t maxBytes,
+        const std::function<bool(const std::string &key)> &filter,
+        bool &more) const;
+
+    /**
+     * Post-commit hook: called after every successful put() with the
+     * key, value and assigned LSN, outside the store lock. May be
+     * set or cleared while puts are in flight (swaps synchronize on
+     * an internal lock; a racing put may invoke the previous hook
+     * once more). The replication layer uses it to write-behind
+     * committed entries to ring successors.
+     */
+    using CommitHook = std::function<void(
+        const std::string &key, std::string_view value,
+        std::uint64_t lsn)>;
+    void setCommitHook(CommitHook hook);
+
     StoreStats stats() const;
+
+    /** Per-segment LSN watermarks, ordered by segment id. */
+    std::vector<SegmentLsnInfo> segmentLsns() const;
+
+    /** Highest LSN assigned so far (0 for an empty store). */
+    std::uint64_t maxLsn() const;
 
     const StoreConfig &config() const { return config_; }
 
@@ -180,8 +251,10 @@ class PersistentStore
     void openDir();
     Segment *activeSegment();
     Segment *newSegmentLocked();
-    void appendLocked(const std::string &key, std::string_view value,
-                      bool tombstone);
+    /** Returns the assigned LSN, or 0 when the write was dropped. */
+    std::uint64_t appendLocked(const std::string &key,
+                               std::string_view value,
+                               bool tombstone);
     bool readValue(const Segment &segment, const Location &loc,
                    std::string &out) const;
     void accountDead(const Location &loc);
@@ -189,6 +262,8 @@ class PersistentStore
     void compactionLoop();
 
     StoreConfig config_;
+    CommitHook commitHook_;    ///< guarded by hookMutex_
+    mutable std::mutex hookMutex_;
 
     mutable std::shared_mutex mutex_; ///< index + segment table
     std::unordered_map<std::string, Location> index_;

@@ -425,6 +425,73 @@ TEST(Gateway, AggregatesStoreStatsAcrossBackends)
     b->join();
 }
 
+TEST(Gateway, ReplStatsDedupeCountsEachRecordAtItsOwner)
+{
+    // Replicated backends: both report 30 live records, but 20 of
+    // A's and 10 of B's are owned — the rest are the other side's
+    // replica copies. The summed aggregate must skip the repl block
+    // entirely, and the cluster summary must count 30 owned records
+    // (each entry once), not 60.
+    auto replStatsHandler = [](double live, double owned,
+                               double replica) {
+        return [live, owned, replica](const HttpRequest &req) {
+            if (req.path() == "/healthz")
+                return HttpResponse::json(200, "{}");
+            json::Value v = json::Value::object();
+            v.set("liveRecords", live);
+            json::Value repl = json::Value::object();
+            repl.set("replication", 2.0); // must NOT be summed
+            json::Value ownership = json::Value::object();
+            ownership.set("owned", owned);
+            ownership.set("replica", replica);
+            ownership.set("foreign", 0.0);
+            repl.set("ownership", std::move(ownership));
+            v.set("repl", std::move(repl));
+            return HttpResponse::json(200, v.dump());
+        };
+    };
+    auto a = makeBackend(replStatsHandler(30, 20, 10));
+    auto b = makeBackend(replStatsHandler(30, 10, 20));
+
+    Gateway gateway(
+        testGatewayConfig({addressOf(*a), addressOf(*b)}), nullptr);
+    gateway.start();
+
+    HttpResponse r = ask(gateway, "GET", "/v1/store/stats", "");
+    ASSERT_EQ(r.status, 200);
+    json::Value v;
+    std::string error;
+    ASSERT_TRUE(json::parse(r.body, v, &error)) << error;
+
+    const json::Value *cluster = v.find("cluster");
+    ASSERT_NE(cluster, nullptr);
+    EXPECT_DOUBLE_EQ(
+        cluster->find("owned_records")->asDouble(), 30.0);
+    EXPECT_DOUBLE_EQ(
+        cluster->find("replica_records")->asDouble(), 30.0);
+    EXPECT_DOUBLE_EQ(
+        cluster->find("foreign_records")->asDouble(), 0.0);
+    EXPECT_EQ(cluster->find("backends_with_repl")->asInt(), 2);
+
+    // The raw sum still reports both physical copies...
+    const json::Value *agg = v.find("aggregate");
+    ASSERT_NE(agg, nullptr);
+    EXPECT_DOUBLE_EQ(agg->find("liveRecords")->asDouble(), 60.0);
+    // ...but never a nonsense sum of the repl subtree.
+    EXPECT_EQ(agg->find("repl"), nullptr);
+    // Per-backend detail keeps each node's full repl document.
+    const json::Value *pb = v.find("per_backend");
+    ASSERT_NE(pb, nullptr);
+    EXPECT_NE(
+        pb->find(addressOf(*a).label)->find("repl"), nullptr);
+
+    gateway.stop();
+    a->requestStop();
+    b->requestStop();
+    a->join();
+    b->join();
+}
+
 TEST(Gateway, UnknownPathIs404AndWrongMethodIs405)
 {
     auto a = makeBackend(echoHandler("a"));

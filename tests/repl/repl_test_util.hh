@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Scaffolding for the replication tests: a Node bundles one store,
+ * one HTTP server (serving only the /admin/repl endpoints, the way
+ * fosm-serve dispatches them ahead of the model service) and one
+ * Replicator, on an ephemeral port. Tests compose Nodes into small
+ * clusters, kill and restart them, and assert on store contents and
+ * replication counters.
+ */
+
+#ifndef FOSM_TESTS_REPL_REPL_TEST_UTIL_HH
+#define FOSM_TESTS_REPL_REPL_TEST_UTIL_HH
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../store/store_test_util.hh"
+#include "repl/replicator.hh"
+#include "server/http.hh"
+#include "server/metrics.hh"
+#include "store/store.hh"
+
+namespace fosm::repl::test {
+
+/** Poll a condition until it holds or ~3 s pass. */
+inline bool
+waitFor(const std::function<bool()> &condition, int timeoutMs = 3000)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeoutMs);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (condition())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return condition();
+}
+
+/** One cluster member: store + repl endpoints + replicator. */
+struct Node
+{
+    fosm::test::TempDir dir;
+    std::shared_ptr<store::PersistentStore> store;
+    std::unique_ptr<server::HttpServer> server;
+    std::unique_ptr<server::MetricsRegistry> metrics;
+    std::unique_ptr<Replicator> repl;
+    /** What the server handler dispatches to; swapped atomically so
+     *  a replicator can be wired after the socket is open. */
+    std::atomic<Replicator *> handlerRepl{nullptr};
+    std::string label;
+
+    Node() { openStore(); }
+
+    void
+    openStore()
+    {
+        store::StoreConfig config;
+        config.dir = dir.path();
+        config.backgroundCompaction = false;
+        store = std::make_shared<store::PersistentStore>(config);
+    }
+
+    /** port 0 = ephemeral; restarts pass their previous port so the
+     *  node's label stays valid in its peers' membership lists. */
+    void
+    startServer(std::uint16_t port = 0)
+    {
+        server::HttpServerConfig config;
+        config.port = port;
+        config.workers = 2;
+        server = std::make_unique<server::HttpServer>(
+            config, [this](const server::HttpRequest &request) {
+                Replicator *r = handlerRepl.load();
+                if (r && Replicator::handles(request.path()))
+                    return r->handle(request);
+                return server::HttpResponse::text(404,
+                                                  "not found\n");
+            });
+        server->start();
+        label = "127.0.0.1:" + std::to_string(server->port());
+    }
+
+    std::uint16_t port() const { return server->port(); }
+
+    void
+    startRepl(const std::vector<std::string> &peers,
+              std::size_t replication = 2)
+    {
+        metrics = std::make_unique<server::MetricsRegistry>();
+        ReplConfig config;
+        config.self = label;
+        config.peers = peers;
+        config.replication = replication;
+        config.flushIntervalMs = 5;
+        // Tests drive anti-entropy explicitly through catchUp().
+        config.antiEntropyIntervalMs = 0;
+        config.readRepairTimeoutMs = 500;
+        repl = std::make_unique<Replicator>(config, store, *metrics);
+        repl->start();
+        handlerRepl.store(repl.get());
+    }
+
+    /** SIGKILL stand-in: stop serving and replicating, nothing
+     *  flushed, the store directory left as-is. */
+    void
+    kill()
+    {
+        handlerRepl.store(nullptr);
+        // Join the server before destroying the replicator: a
+        // worker may still be inside a dispatched handle() call.
+        if (server) {
+            server->requestStop();
+            server->join();
+            server.reset();
+        }
+        if (repl) {
+            repl->stop(0);
+            repl.reset();
+        }
+        store.reset();
+    }
+
+    /** Process restart on the same port and store directory. */
+    void
+    restart(std::uint16_t port,
+            const std::vector<std::string> &peers,
+            std::size_t replication = 2)
+    {
+        openStore();
+        startServer(port);
+        startRepl(peers, replication);
+    }
+
+    ~Node() { kill(); }
+};
+
+} // namespace fosm::repl::test
+
+#endif // FOSM_TESTS_REPL_REPL_TEST_UTIL_HH

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Replicator behavior over real sockets: write-behind shipping to
+ * ring successors, read-repair of local misses from the preference
+ * list, LSN-watermarked anti-entropy catch-up (including the fast
+ * path once caught up), store-epoch detection, and the key-digest
+ * rule that keeps the store's notion of ownership identical to the
+ * gateway's.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.hh"
+#include "repl/replicator.hh"
+#include "repl_test_util.hh"
+
+namespace fosm::repl {
+namespace {
+
+using test::Node;
+using test::waitFor;
+
+TEST(ReplDigest, ResponseKeysHashTheEmbeddedCacheKey)
+{
+    // r/ entries strip the prefix so the digest equals the
+    // gateway's shardDigest of the canonical cache key; other
+    // prefixes hash the whole store key.
+    EXPECT_EQ(Replicator::keyDigest("r/v3|/v1/cpi|{}"),
+              fnv1a64("v3|/v1/cpi|{}"));
+    EXPECT_EQ(Replicator::keyDigest("c/v3.gcc.12345"),
+              fnv1a64("c/v3.gcc.12345"));
+    EXPECT_EQ(Replicator::keyDigest("t/v2/depth"),
+              fnv1a64("t/v2/depth"));
+}
+
+TEST(Repl, WriteBehindShipsCommittedEntriesToTheSuccessor)
+{
+    Node a, b;
+    a.startServer();
+    b.startServer();
+    const std::vector<std::string> peers = {a.label, b.label};
+    a.startRepl(peers);
+    b.startRepl(peers);
+
+    for (int i = 0; i < 32; ++i)
+        a.store->put("r/key-" + std::to_string(i),
+                     "value-" + std::to_string(i));
+    ASSERT_TRUE(a.repl->flush(3000));
+
+    // With N=2 and two nodes, every replicable entry lands on the
+    // other node regardless of which one owns it.
+    ASSERT_TRUE(waitFor([&] {
+        for (int i = 0; i < 32; ++i)
+            if (!b.store->contains("r/key-" + std::to_string(i)))
+                return false;
+        return true;
+    }));
+    std::string value;
+    ASSERT_TRUE(b.store->get("r/key-7", value));
+    EXPECT_EQ(value, "value-7");
+
+    const ReplCounters ac = a.repl->counters();
+    EXPECT_EQ(ac.enqueued, 32u);
+    EXPECT_EQ(ac.entriesSent, 32u);
+    EXPECT_GE(ac.batchesSent, 1u);
+    EXPECT_EQ(ac.dropped, 0u);
+    EXPECT_EQ(b.repl->counters().entriesApplied, 32u);
+}
+
+TEST(Repl, BookkeepingAndForeignKeysAreNotReplicated)
+{
+    Node a, b;
+    a.startServer();
+    b.startServer();
+    const std::vector<std::string> peers = {a.label, b.label};
+    a.startRepl(peers);
+    b.startRepl(peers);
+
+    a.store->put("x/not-replicable", "nope");
+    a.store->put("w/127.0.0.1:9999", "1:2"); // a watermark
+    a.store->put("r/yes", "shipped");
+    ASSERT_TRUE(a.repl->flush(3000));
+    ASSERT_TRUE(
+        waitFor([&] { return b.store->contains("r/yes"); }));
+
+    EXPECT_FALSE(b.store->contains("x/not-replicable"));
+    EXPECT_FALSE(b.store->contains("w/127.0.0.1:9999"));
+    EXPECT_EQ(a.repl->counters().enqueued, 1u);
+}
+
+TEST(Repl, ReadRepairFetchesAMissFromThePreferenceList)
+{
+    Node a, b;
+    a.startServer();
+    b.startServer();
+    // Seed A's store before replication starts: no commit hook yet,
+    // so the entry exists only on A.
+    a.store->put("r/only-on-a", "repaired-value");
+    const std::vector<std::string> peers = {a.label, b.label};
+    a.startRepl(peers);
+    b.startRepl(peers);
+
+    ASSERT_FALSE(b.store->contains("r/only-on-a"));
+    std::string value;
+    ASSERT_TRUE(b.repl->fetchFromPeers("r/only-on-a", value));
+    EXPECT_EQ(value, "repaired-value");
+    // The hit is written back locally: the next miss never probes.
+    EXPECT_TRUE(b.store->contains("r/only-on-a"));
+    EXPECT_EQ(b.repl->counters().readRepairHits, 1u);
+
+    // A key nobody has is a miss, not an error.
+    EXPECT_FALSE(b.repl->fetchFromPeers("r/nowhere", value));
+    EXPECT_EQ(b.repl->counters().readRepairMisses, 1u);
+}
+
+TEST(Repl, CatchUpPullsMissedEntriesAndAdvancesTheWatermark)
+{
+    Node a, b;
+    a.startServer();
+    b.startServer();
+    const std::vector<std::string> peers = {a.label, b.label};
+    a.startRepl(peers);
+    // B serves no repl endpoints yet: A's write-behind sends fail,
+    // exactly like a SIGKILLed successor.
+    for (int i = 0; i < 64; ++i)
+        a.store->put("r/missed-" + std::to_string(i), "v");
+    ASSERT_TRUE(a.repl->flush(3000));
+    EXPECT_GE(a.repl->counters().sendFailures, 1u);
+
+    b.startRepl(peers);
+    ASSERT_FALSE(b.store->contains("r/missed-0"));
+
+    // Rejoin catch-up: one sweep pulls the backlog.
+    const std::size_t applied = b.repl->catchUp();
+    EXPECT_EQ(applied, 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_TRUE(
+            b.store->contains("r/missed-" + std::to_string(i)));
+    const ReplCounters bc = b.repl->counters();
+    EXPECT_EQ(bc.catchupEntries, 64u);
+    EXPECT_GE(bc.catchupBytes, 64u);
+    EXPECT_TRUE(b.store->contains("w/" + a.label));
+
+    // Caught up: the next sweep is the watermark fast path — a
+    // pull happens but nothing is transferred or applied.
+    EXPECT_EQ(b.repl->catchUp(), 0u);
+    const ReplCounters after = b.repl->counters();
+    EXPECT_GT(after.pulls, bc.pulls);
+    EXPECT_EQ(after.catchupEntries, 64u);
+}
+
+TEST(Repl, EpochMismatchResetsTheWatermarkAndReconverges)
+{
+    Node a, b;
+    a.startServer();
+    b.startServer();
+    const std::vector<std::string> peers = {a.label, b.label};
+    a.startRepl(peers);
+    for (int i = 0; i < 8; ++i)
+        a.store->put("r/epoch-" + std::to_string(i), "v");
+    // Flush before B's replicator exists so every write-behind send
+    // has already failed: catch-up is the only way B converges.
+    ASSERT_TRUE(a.repl->flush(3000));
+    b.startRepl(peers);
+    ASSERT_EQ(b.repl->catchUp(), 8u);
+
+    // Poison B's recorded watermark with a stale epoch and an LSN
+    // far past A's head — the shape left behind when A's store was
+    // wiped and recreated. The origin must ignore the stale LSN and
+    // answer from zero; B must count a reset and re-adopt A's epoch.
+    b.store->put("w/" + a.label, "12345:999999");
+    const std::size_t applied = b.repl->catchUp();
+    EXPECT_EQ(applied, 0u); // everything already present: skipped
+    EXPECT_GE(b.repl->counters().watermarkResets, 1u);
+    std::string mark;
+    ASSERT_TRUE(b.store->get("w/" + a.label, mark));
+    const json::Value status = a.repl->statusJson();
+    const json::Value *id = status.find("storeId");
+    ASSERT_NE(id, nullptr);
+    EXPECT_EQ(mark.substr(0, mark.find(':')), id->asString());
+}
+
+TEST(Repl, StopWithDeadlineFlushesTheQueueFirst)
+{
+    Node a, b;
+    a.startServer();
+    b.startServer();
+    const std::vector<std::string> peers = {a.label, b.label};
+    a.startRepl(peers);
+    b.startRepl(peers);
+
+    for (int i = 0; i < 128; ++i)
+        a.store->put("r/drain-" + std::to_string(i), "v");
+    // The drain-with-flush handoff: stop() ships the backlog before
+    // joining, so a retiring node leaves its successors warm.
+    a.repl->stop(5000);
+    ASSERT_TRUE(waitFor([&] {
+        for (int i = 0; i < 128; ++i)
+            if (!b.store->contains("r/drain-" +
+                                   std::to_string(i)))
+                return false;
+        return true;
+    }));
+}
+
+TEST(Repl, InactiveWithoutPeersAndNeverSelfSends)
+{
+    Node a;
+    a.startServer();
+    a.startRepl({a.label});
+    EXPECT_FALSE(a.repl->active());
+    a.store->put("r/lonely", "v");
+    EXPECT_EQ(a.repl->counters().enqueued, 0u);
+    std::string value;
+    EXPECT_FALSE(a.repl->fetchFromPeers("r/lonely", value));
+}
+
+TEST(Repl, OwnershipCountsSplitOwnedReplicaForeign)
+{
+    Node a, b;
+    a.startServer();
+    b.startServer();
+    const std::vector<std::string> peers = {a.label, b.label};
+    a.startRepl(peers);
+    b.startRepl(peers);
+
+    for (int i = 0; i < 16; ++i)
+        a.store->put("r/own-" + std::to_string(i), "v");
+    ASSERT_TRUE(a.repl->flush(3000));
+    ASSERT_TRUE(waitFor([&] {
+        return b.repl->counters().entriesApplied == 16u;
+    }));
+
+    // Two nodes, N=2: every entry is on both, owned on one side and
+    // replica on the other; the m/ and w/ keys count as meta.
+    const OwnershipCounts ac = a.repl->ownershipCounts();
+    const OwnershipCounts bc = b.repl->ownershipCounts();
+    EXPECT_EQ(ac.owned + ac.replica, 16u);
+    EXPECT_EQ(bc.owned + bc.replica, 16u);
+    EXPECT_EQ(ac.owned, bc.replica);
+    EXPECT_EQ(ac.replica, bc.owned);
+    EXPECT_EQ(ac.foreign, 0u);
+    EXPECT_GE(ac.meta, 1u);
+}
+
+} // namespace
+} // namespace fosm::repl

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Table-driven topology tests for the replicated store: preference-
+ * list invariants every cluster shape must satisfy (owner first,
+ * distinct members, every node computing the identical list),
+ * successor-list recomputation under membership changes, and the
+ * cluster-event scenarios — owner kill with a warm successor, drain
+ * with a final flush, rejoin catch-up, and the documented double-
+ * failure limit of N=2 — run against real stores and sockets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/hash_ring.hh"
+#include "common/hash.hh"
+#include "repl/replicator.hh"
+#include "repl_test_util.hh"
+#include "server/metrics.hh"
+
+namespace fosm::repl {
+namespace {
+
+using test::Node;
+using test::waitFor;
+
+/** A replicator with routing only (no store, no threads). */
+std::unique_ptr<Replicator>
+routingOnly(const std::string &self,
+            const std::vector<std::string> &peers,
+            std::size_t replication,
+            server::MetricsRegistry &metrics)
+{
+    ReplConfig config;
+    config.self = self;
+    config.peers = peers;
+    config.replication = replication;
+    return std::make_unique<Replicator>(config, nullptr, metrics);
+}
+
+// -- Preference-list invariants, one row per cluster shape ---------
+
+struct ShapeCase
+{
+    const char *name;
+    std::vector<std::string> peers;
+    std::size_t replication;
+};
+
+const ShapeCase kShapes[] = {
+    {"pair-n2", {"n0:1", "n1:1"}, 2},
+    {"trio-n2", {"n0:1", "n1:1", "n2:1"}, 2},
+    {"trio-n3", {"n0:1", "n1:1", "n2:1"}, 3},
+    {"quad-n2", {"n0:1", "n1:1", "n2:1", "n3:1"}, 2},
+    {"quad-n3", {"n0:1", "n1:1", "n2:1", "n3:1"}, 3},
+    {"five-n2",
+     {"n0:1", "n1:1", "n2:1", "n3:1", "n4:1"},
+     2},
+    {"over-replicated", {"n0:1", "n1:1"}, 5},
+};
+
+TEST(ReplTopology, PreferenceListsSatisfyTheInvariants)
+{
+    for (const ShapeCase &shape : kShapes) {
+        SCOPED_TRACE(shape.name);
+        server::MetricsRegistry metrics;
+        // One replicator per member: all must agree on every list,
+        // or owners and replicas diverge silently.
+        std::vector<std::unique_ptr<Replicator>> views;
+        for (const std::string &self : shape.peers)
+            views.push_back(routingOnly(self, shape.peers,
+                                        shape.replication,
+                                        metrics));
+        const std::size_t expectLen =
+            std::min(shape.replication, shape.peers.size());
+        for (int k = 0; k < 50; ++k) {
+            const std::string key =
+                "r/design-point-" + std::to_string(k);
+            const auto reference = views[0]->preferenceFor(key);
+            ASSERT_EQ(reference.size(), expectLen);
+            // Distinct members, all drawn from the membership.
+            const std::set<std::string> distinct(reference.begin(),
+                                                 reference.end());
+            EXPECT_EQ(distinct.size(), reference.size());
+            for (const std::string &label : reference)
+                EXPECT_NE(std::find(shape.peers.begin(),
+                                    shape.peers.end(), label),
+                          shape.peers.end());
+            std::size_t owners = 0;
+            for (std::size_t v = 0; v < views.size(); ++v) {
+                // Identical list from every member's perspective.
+                EXPECT_EQ(views[v]->preferenceFor(key), reference);
+                if (views[v]->ownsKey(key))
+                    ++owners;
+            }
+            // Exactly one owner, and it heads the list.
+            EXPECT_EQ(owners, 1u);
+            EXPECT_TRUE(
+                views[0]->ownsKey(key) ==
+                (reference.front() == shape.peers[0]));
+        }
+    }
+}
+
+TEST(ReplTopology, RemovingTheOwnerPromotesItsFirstSuccessor)
+{
+    const std::vector<std::string> members = {"n0:1", "n1:1",
+                                              "n2:1", "n3:1"};
+    cluster::HashRing full;
+    for (const std::string &m : members)
+        full.add(m);
+    for (int k = 0; k < 200; ++k) {
+        const std::uint64_t digest =
+            Replicator::keyDigest("r/key-" + std::to_string(k));
+        const auto pref = full.route(digest, 2);
+        const std::string owner = full.name(pref[0]);
+        const std::string successor = full.name(pref[1]);
+        cluster::HashRing survivor;
+        for (const std::string &m : members)
+            if (m != owner)
+                survivor.add(m);
+        // Consistent hashing: dropping the owner's vnodes makes the
+        // old first successor the new primary — which is exactly the
+        // node holding the N=2 replica, so failover lands warm.
+        EXPECT_EQ(survivor.name(survivor.primary(digest)),
+                  successor)
+            << "key " << k << " owner " << owner;
+    }
+}
+
+TEST(ReplTopology, AddingANodeOnlyInsertsItIntoAffectedLists)
+{
+    const std::vector<std::string> members = {"n0:1", "n1:1",
+                                              "n2:1"};
+    cluster::HashRing before;
+    for (const std::string &m : members)
+        before.add(m);
+    cluster::HashRing after;
+    for (const std::string &m : members)
+        after.add(m);
+    after.add("n3:1");
+    std::size_t moved = 0;
+    for (int k = 0; k < 200; ++k) {
+        const std::uint64_t digest =
+            Replicator::keyDigest("r/key-" + std::to_string(k));
+        const std::string ownerBefore =
+            before.name(before.primary(digest));
+        const std::string ownerAfter =
+            after.name(after.primary(digest));
+        // An owner either keeps its keys or loses them to the new
+        // node; keys never shuffle between surviving nodes.
+        if (ownerAfter != ownerBefore) {
+            EXPECT_EQ(ownerAfter, "n3:1");
+            ++moved;
+        }
+    }
+    // Roughly 1/4 of the keyspace moves to the fourth node.
+    EXPECT_GT(moved, 0u);
+    EXPECT_LT(moved, 150u);
+}
+
+// -- Cluster-event scenarios over real stores and sockets ----------
+
+/** Write each key on its ring owner, as gateway routing would. */
+void
+writeAtOwners(std::vector<Node *> &nodes, int count)
+{
+    for (int k = 0; k < count; ++k) {
+        const std::string key = "r/evt-" + std::to_string(k);
+        for (Node *node : nodes) {
+            if (node->repl->ownsKey(key)) {
+                node->store->put(key, "value-" + std::to_string(k));
+                break;
+            }
+        }
+    }
+}
+
+TEST(ReplTopology, OwnerKillLeavesAWarmSuccessor)
+{
+    Node a, b, c;
+    std::vector<Node *> nodes = {&a, &b, &c};
+    for (Node *n : nodes)
+        n->startServer();
+    const std::vector<std::string> peers = {a.label, b.label,
+                                            c.label};
+    for (Node *n : nodes)
+        n->startRepl(peers, 2);
+
+    writeAtOwners(nodes, 24);
+    for (Node *n : nodes)
+        ASSERT_TRUE(n->repl->flush(3000));
+    // Every key must reach its first successor (the N=2 copy).
+    ASSERT_TRUE(waitFor([&] {
+        for (int k = 0; k < 24; ++k) {
+            const std::string key = "r/evt-" + std::to_string(k);
+            const auto pref = a.repl->preferenceFor(key);
+            for (Node *n : nodes)
+                if (n->label == pref[1] &&
+                    !n->store->contains(key))
+                    return false;
+        }
+        return true;
+    }));
+
+    // Kill one node; every key it owned is already on the next
+    // label in preference order — the gateway fails over warm.
+    const auto doomed = a.repl->preferenceFor("r/evt-0");
+    Node *victim = nullptr;
+    for (Node *n : nodes)
+        if (n->label == doomed[0])
+            victim = n;
+    ASSERT_NE(victim, nullptr);
+    std::vector<std::string> victimKeys;
+    for (int k = 0; k < 24; ++k) {
+        const std::string key = "r/evt-" + std::to_string(k);
+        if (victim->repl->ownsKey(key))
+            victimKeys.push_back(key);
+    }
+    ASSERT_FALSE(victimKeys.empty());
+    const std::string victimLabel = victim->label;
+    victim->kill();
+    for (const std::string &key : victimKeys) {
+        Node *alive = nodes[0]->label == victimLabel ? nodes[1]
+                                                     : nodes[0];
+        const auto pref = alive->repl->preferenceFor(key);
+        ASSERT_EQ(pref[0], victimLabel);
+        for (Node *n : nodes) {
+            if (n->label == pref[1]) {
+                EXPECT_TRUE(n->store->contains(key))
+                    << key << " not warm on " << pref[1];
+            }
+        }
+    }
+}
+
+TEST(ReplTopology, RejoinCatchesUpThroughTheWatermarks)
+{
+    Node a, b;
+    a.startServer();
+    b.startServer();
+    const std::vector<std::string> peers = {a.label, b.label};
+    a.startRepl(peers, 2);
+    b.startRepl(peers, 2);
+
+    a.store->put("r/before-kill", "v0");
+    ASSERT_TRUE(a.repl->flush(3000));
+    ASSERT_TRUE(waitFor(
+        [&] { return b.store->contains("r/before-kill"); }));
+
+    // Kill B, keep writing on A: these entries miss B entirely.
+    const std::uint16_t bPort = b.port();
+    b.kill();
+    for (int k = 0; k < 40; ++k)
+        a.store->put("r/while-down-" + std::to_string(k), "v");
+    ASSERT_TRUE(a.repl->flush(3000));
+    EXPECT_GE(a.repl->counters().sendFailures, 1u);
+
+    // Rejoin on the same port and store; the recorded watermark
+    // means catch-up transfers only the missed entries, not the
+    // whole segment log.
+    b.restart(bPort, peers, 2);
+    EXPECT_TRUE(b.store->contains("r/before-kill"));
+    const std::size_t applied = b.repl->catchUp();
+    EXPECT_EQ(applied, 40u);
+    for (int k = 0; k < 40; ++k)
+        EXPECT_TRUE(b.store->contains("r/while-down-" +
+                                      std::to_string(k)));
+    EXPECT_EQ(b.repl->counters().catchupEntries, 40u);
+}
+
+TEST(ReplTopology, DrainWithFlushHandsTheShardOff)
+{
+    Node a, b;
+    a.startServer();
+    b.startServer();
+    const std::vector<std::string> peers = {a.label, b.label};
+    a.startRepl(peers, 2);
+    b.startRepl(peers, 2);
+
+    for (int k = 0; k < 96; ++k)
+        a.store->put("r/handoff-" + std::to_string(k), "v");
+    // The drain path fosm-serve runs on SIGTERM: flush, then stop.
+    ASSERT_TRUE(a.repl->flush(5000));
+    a.repl->stop(1000);
+    ASSERT_TRUE(waitFor([&] {
+        for (int k = 0; k < 96; ++k)
+            if (!b.store->contains("r/handoff-" +
+                                   std::to_string(k)))
+                return false;
+        return true;
+    }));
+}
+
+TEST(ReplTopology, DoubleFailureAtN2LosesTheWarmCopy)
+{
+    // The documented limit: N=2 survives one failure. Find a key
+    // and kill both members of its preference list; the remaining
+    // nodes never held it, so the gateway's third choice recomputes
+    // (correct, just cold). The store never serves wrong data — the
+    // copy is absent, not stale.
+    Node a, b, c, d;
+    std::vector<Node *> nodes = {&a, &b, &c, &d};
+    for (Node *n : nodes)
+        n->startServer();
+    const std::vector<std::string> peers = {a.label, b.label,
+                                            c.label, d.label};
+    for (Node *n : nodes)
+        n->startRepl(peers, 2);
+
+    writeAtOwners(nodes, 24);
+    for (Node *n : nodes)
+        ASSERT_TRUE(n->repl->flush(3000));
+    ASSERT_TRUE(waitFor([&] {
+        for (int k = 0; k < 24; ++k) {
+            const std::string key = "r/evt-" + std::to_string(k);
+            const auto pref = a.repl->preferenceFor(key);
+            for (Node *n : nodes)
+                if (n->label == pref[1] &&
+                    !n->store->contains(key))
+                    return false;
+        }
+        return true;
+    }));
+
+    for (int k = 0; k < 24; ++k) {
+        const std::string key = "r/evt-" + std::to_string(k);
+        const auto pref = a.repl->preferenceFor(key);
+        ASSERT_EQ(pref.size(), 2u);
+        for (Node *n : nodes) {
+            const bool onList =
+                n->label == pref[0] || n->label == pref[1];
+            // Replica placement is exact: members of the preference
+            // list hold the key, nobody else does.
+            EXPECT_EQ(n->store->contains(key), onList)
+                << key << " on " << n->label;
+        }
+    }
+}
+
+} // namespace
+} // namespace fosm::repl

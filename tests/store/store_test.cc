@@ -242,6 +242,178 @@ TEST(Store, StatsCountGetsAndHits)
     EXPECT_EQ(s.appends, 1u);
 }
 
+// -- Per-segment LSN watermarks and collectSince (replication) -----
+
+TEST(StoreRepl, SegmentLsnSpansCoverEveryAppendAndSurviveReopen)
+{
+    TempDir dir;
+    const int n = 100;
+    {
+        PersistentStore store(smallConfig(dir.path(), 1024));
+        for (int i = 0; i < n; ++i)
+            store.put("key-" + std::to_string(i),
+                      std::string(48, 'v'));
+        EXPECT_EQ(store.maxLsn(), static_cast<std::uint64_t>(n));
+        EXPECT_EQ(store.stats().maxLsn,
+                  static_cast<std::uint64_t>(n));
+    }
+    PersistentStore reopened(smallConfig(dir.path(), 1024));
+    const std::vector<SegmentLsnInfo> segs =
+        reopened.segmentLsns();
+    ASSERT_GT(segs.size(), 1u);
+    // Append-only log: spans are disjoint, ascending, and their
+    // union covers LSNs 1..n with no gaps.
+    std::uint64_t expectNext = 1;
+    for (const SegmentLsnInfo &seg : segs) {
+        if (seg.records == 0)
+            continue; // a fresh active segment has no span yet
+        EXPECT_EQ(seg.minLsn, expectNext);
+        EXPECT_GE(seg.maxLsn, seg.minLsn);
+        EXPECT_EQ(seg.maxLsn - seg.minLsn + 1, seg.records);
+        expectNext = seg.maxLsn + 1;
+    }
+    EXPECT_EQ(expectNext, static_cast<std::uint64_t>(n) + 1);
+    EXPECT_EQ(reopened.maxLsn(), static_cast<std::uint64_t>(n));
+}
+
+TEST(StoreRepl, CompactionPreservesLsnsAndWatermarks)
+{
+    TempDir dir;
+    PersistentStore store(smallConfig(dir.path(), 1024));
+    for (int round = 0; round < 10; ++round)
+        for (int i = 0; i < 10; ++i)
+            store.put("key-" + std::to_string(i),
+                      "round-" + std::to_string(round));
+    const std::uint64_t head = store.maxLsn();
+    store.compact();
+    // LSN-preserving compaction: live records keep their original
+    // LSNs, so replica watermarks stay valid across a compaction.
+    EXPECT_EQ(store.maxLsn(), head);
+    std::uint64_t minSeen = 0, maxSeen = 0;
+    store.forEachLiveKey(
+        [&](const std::string &, std::uint64_t lsn) {
+            if (minSeen == 0 || lsn < minSeen)
+                minSeen = lsn;
+            maxSeen = std::max(maxSeen, lsn);
+        });
+    // The live records are the last round's ten appends.
+    EXPECT_EQ(maxSeen, head);
+    EXPECT_EQ(minSeen, head - 9);
+    // Every live LSN is still covered by some segment span (the
+    // anti-entropy fast path consults the spans to decide whether a
+    // segment can hold anything above a replica's watermark).
+    const std::vector<SegmentLsnInfo> segs = store.segmentLsns();
+    store.forEachLiveKey(
+        [&](const std::string &key, std::uint64_t lsn) {
+            bool covered = false;
+            for (const SegmentLsnInfo &seg : segs)
+                covered |= seg.records > 0 && seg.minLsn <= lsn &&
+                           lsn <= seg.maxLsn;
+            EXPECT_TRUE(covered) << key << " lsn " << lsn;
+        });
+}
+
+TEST(StoreRepl, CollectSinceReturnsExactlyTheNewerLiveEntries)
+{
+    TempDir dir;
+    PersistentStore store(smallConfig(dir.path()));
+    for (int i = 0; i < 10; ++i)
+        store.put("key-" + std::to_string(i),
+                  "value-" + std::to_string(i)); // LSNs 1..10
+    bool more = true;
+    const auto entries = store.collectSince(
+        5, 1000, 1 << 20,
+        [](const std::string &) { return true; }, more);
+    EXPECT_FALSE(more);
+    ASSERT_EQ(entries.size(), 5u);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        EXPECT_EQ(entries[i].lsn, 6 + i); // ascending by LSN
+        EXPECT_EQ(entries[i].key, "key-" + std::to_string(5 + i));
+        EXPECT_EQ(entries[i].value,
+                  "value-" + std::to_string(5 + i));
+    }
+
+    // Overwritten versions are gone: only the live LSN shows up.
+    store.put("key-0", "rewritten"); // LSN 11
+    const auto all = store.collectSince(
+        0, 1000, 1 << 20,
+        [](const std::string &) { return true; }, more);
+    ASSERT_EQ(all.size(), 10u);
+    EXPECT_EQ(all.back().key, "key-0");
+    EXPECT_EQ(all.back().lsn, 11u);
+    EXPECT_EQ(all.front().lsn, 2u);
+}
+
+TEST(StoreRepl, CollectSinceHonorsFilterAndCapsWithMore)
+{
+    TempDir dir;
+    PersistentStore store(smallConfig(dir.path()));
+    for (int i = 0; i < 30; ++i)
+        store.put((i % 2 ? "keep-" : "drop-") + std::to_string(i),
+                  "v");
+    bool more = false;
+    // The filter sees the key; caps bound one response batch.
+    auto page = store.collectSince(
+        0, 5, 1 << 20,
+        [](const std::string &key) {
+            return key.rfind("keep-", 0) == 0;
+        },
+        more);
+    ASSERT_EQ(page.size(), 5u);
+    EXPECT_TRUE(more);
+    // Resume from the page's last LSN: no overlap, no gap.
+    const std::uint64_t resume = page.back().lsn;
+    page = store.collectSince(
+        resume, 1000, 1 << 20,
+        [](const std::string &key) {
+            return key.rfind("keep-", 0) == 0;
+        },
+        more);
+    EXPECT_FALSE(more);
+    EXPECT_EQ(page.size(), 10u); // 15 keep keys total, 5 served
+    for (const LiveEntry &e : page)
+        EXPECT_GT(e.lsn, resume);
+}
+
+TEST(StoreRepl, CollectSinceFastPathWhenCaughtUp)
+{
+    TempDir dir;
+    PersistentStore store(smallConfig(dir.path(), 1024));
+    for (int i = 0; i < 50; ++i)
+        store.put("key-" + std::to_string(i),
+                  std::string(40, 'v'));
+    bool more = true;
+    // A caught-up replica's sweep: every segment watermark is at or
+    // below `since`, so the scan returns without touching records.
+    const auto entries = store.collectSince(
+        store.maxLsn(), 1000, 1 << 20,
+        [](const std::string &) { return true; }, more);
+    EXPECT_TRUE(entries.empty());
+    EXPECT_FALSE(more);
+}
+
+TEST(StoreRepl, CommitHookSeesEveryPutWithMonotonicLsns)
+{
+    TempDir dir;
+    PersistentStore store(smallConfig(dir.path()));
+    std::vector<std::pair<std::string, std::uint64_t>> seen;
+    store.setCommitHook([&](const std::string &key,
+                            std::string_view,
+                            std::uint64_t lsn) {
+        seen.emplace_back(key, lsn);
+    });
+    store.put("a", "1");
+    store.put("b", "2");
+    store.put("a", "3");
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0].first, "a");
+    EXPECT_LT(seen[0].second, seen[1].second);
+    EXPECT_LT(seen[1].second, seen[2].second);
+    store.setCommitHook(nullptr);
+    store.put("c", "4");
+    EXPECT_EQ(seen.size(), 3u);
+}
+
 // The TSAN job runs this: concurrent readers, a writer, and explicit
 // compactions must not race. Correctness: every read observes some
 // value the writer actually wrote for that key.

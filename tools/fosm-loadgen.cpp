@@ -41,6 +41,15 @@
  * percentiles) so a slow or dead replica is visible per-target
  * instead of smeared into the aggregate.
  *
+ * --drill kill-rejoin timestamps every sample so one continuous run
+ * can be split into phases around externally-orchestrated cluster
+ * events: scripts/chaos_smoke.sh SIGKILLs a backend at the first
+ * --marks offset and rejoins it at the second, and the report's
+ * drill.phases[] (pre-kill / post-failover / post-rejoin, each with
+ * ok/failure counts and latency quantiles) shows whether failover
+ * stayed on the warm replicated path — post-failover p99 near the
+ * pre-kill envelope, zero failures — instead of recomputing cold.
+ *
  * --optimize planned|brute switches to a one-shot design-space
  * benchmark instead of a load loop. Both modes sweep the SAME space
  * (a --seed-randomized spec of --space-points design points over
@@ -95,6 +104,13 @@ struct WorkerResult
     std::uint64_t timeouts = 0;    ///< client-side socket timeout
     std::uint64_t errors = 0;      ///< other statuses / transport
     std::uint64_t warmup = 0;      ///< requests in the warmup window
+
+    // --drill only: timestamped samples so the report can split the
+    // run into phases around externally-orchestrated events.
+    /** (seconds since measure start, latency seconds) per 200. */
+    std::vector<std::pair<double, double>> samples;
+    /** Times of non-200 outcomes, seconds since measure start. */
+    std::vector<double> failureTimes;
 };
 
 /** Percentile over a sorted sample vector. */
@@ -534,7 +550,7 @@ main(int argc, char **argv)
         {"host", "port", "targets", "connections", "duration",
          "warmup", "endpoint", "distinct", "rate", "timeout",
          "deadline", "batch", "optimize", "space-points", "seed",
-         "out"},
+         "drill", "marks", "out"},
         "usage: fosm-loadgen [flags]\n"
         "  --host 127.0.0.1    server address\n"
         "  --port 8080         server port\n"
@@ -567,6 +583,16 @@ main(int argc, char **argv)
         "                      enumeration via /v1/batch + local\n"
         "                      Pareto frontier. The report's\n"
         "                      frontier_hash must match across modes\n"
+        "  --drill kill-rejoin\n"
+        "                      timestamp every sample and report\n"
+        "                      per-phase quantiles (pre-kill /\n"
+        "                      post-failover / post-rejoin) split at\n"
+        "                      the --marks offsets; the kill and\n"
+        "                      rejoin themselves are orchestrated\n"
+        "                      outside (scripts/chaos_smoke.sh)\n"
+        "  --marks T1,T2       drill phase boundaries, seconds from\n"
+        "                      measure start (default: thirds of\n"
+        "                      --duration)\n"
         "  --space-points N    target design-space cardinality for\n"
         "                      --optimize (default 10240)\n"
         "  --seed N            space randomization seed for\n"
@@ -593,6 +619,32 @@ main(int argc, char **argv)
         static_cast<int>(args.getInt("timeout", 0));
     const int deadlineMs =
         static_cast<int>(args.getInt("deadline", 0));
+
+    const std::string drill = args.get("drill", "");
+    if (!drill.empty() && drill != "kill-rejoin") {
+        std::cerr << "error: --drill must be 'kill-rejoin'\n";
+        return 1;
+    }
+    std::vector<double> marks;
+    if (!drill.empty()) {
+        const std::string marksText = args.get(
+            "marks", json::formatDouble(duration / 3.0) + "," +
+                         json::formatDouble(2.0 * duration / 3.0));
+        const char *p = marksText.c_str();
+        while (*p != '\0') {
+            char *end = nullptr;
+            marks.push_back(std::strtod(p, &end));
+            if (end == p)
+                break;
+            p = *end == ',' ? end + 1 : end;
+        }
+        if (marks.size() != 2 || marks[0] <= 0.0 ||
+            marks[1] <= marks[0] || marks[1] >= duration) {
+            std::cerr << "error: --marks needs two ascending "
+                         "offsets inside --duration\n";
+            return 1;
+        }
+    }
 
     std::vector<cluster::BackendAddress> targets;
     if (args.has("targets")) {
@@ -727,6 +779,9 @@ main(int argc, char **argv)
                                  t0 - scheduled)
                                  .count()));
                 }
+                const double at =
+                    std::chrono::duration<double>(t1 - measureFrom)
+                        .count();
                 if (!ok) {
                     // A tripped --timeout is the client giving up,
                     // not the server failing — report it apart from
@@ -735,19 +790,27 @@ main(int argc, char **argv)
                         ++r.timeouts;
                     else
                         ++r.errors;
+                    if (!drill.empty())
+                        r.failureTimes.push_back(at);
                     continue;
                 }
                 if (response.status == 200) {
                     ++r.ok;
-                    r.latencies.push_back(
+                    const double latency =
                         std::chrono::duration<double>(t1 - t0)
-                            .count());
-                } else if (response.status == 503) {
-                    ++r.rejected;
-                } else if (response.status == 504) {
-                    ++r.deadline;
+                            .count();
+                    r.latencies.push_back(latency);
+                    if (!drill.empty())
+                        r.samples.emplace_back(at, latency);
                 } else {
-                    ++r.errors;
+                    if (response.status == 503)
+                        ++r.rejected;
+                    else if (response.status == 504)
+                        ++r.deadline;
+                    else
+                        ++r.errors;
+                    if (!drill.empty())
+                        r.failureTimes.push_back(at);
                 }
             }
         });
@@ -816,6 +879,63 @@ main(int argc, char **argv)
                           ? 0.0
                           : total.latencies.back() * 1e6);
     report.set("latency", std::move(lat));
+
+    // Drill phases: bucket the timestamped samples at the --marks
+    // boundaries. The interesting comparison is post-failover p99
+    // against pre-kill p99 — warm failover keeps them in the same
+    // envelope because the successor already holds the shard's
+    // replicated entries.
+    std::string drillLines;
+    if (!drill.empty()) {
+        static const char *phaseNames[3] = {
+            "pre-kill", "post-failover", "post-rejoin"};
+        json::Value phases = json::Value::array();
+        for (int ph = 0; ph < 3; ++ph) {
+            const double from = ph == 0 ? 0.0 : marks[ph - 1];
+            const double to = ph == 2 ? duration : marks[ph];
+            std::vector<double> lats;
+            std::uint64_t failures = 0;
+            for (const WorkerResult &r : results) {
+                for (const auto &[when, latency] : r.samples)
+                    if (when >= from && when < to)
+                        lats.push_back(latency);
+                for (const double when : r.failureTimes)
+                    if (when >= from && when < to)
+                        ++failures;
+            }
+            std::sort(lats.begin(), lats.end());
+            json::Value row = json::Value::object();
+            row.set("name", phaseNames[ph]);
+            row.set("from_s", from);
+            row.set("to_s", to);
+            row.set("requests_ok",
+                    std::uint64_t{lats.size()});
+            row.set("failures", failures);
+            row.set("p50_us", percentile(lats, 0.50) * 1e6);
+            row.set("p99_us", percentile(lats, 0.99) * 1e6);
+            row.set("max_us",
+                    lats.empty() ? 0.0 : lats.back() * 1e6);
+            phases.push(std::move(row));
+            drillLines +=
+                std::string("  ") + phaseNames[ph] + " [" +
+                json::formatDouble(from) + "," +
+                json::formatDouble(to) + ")s: " +
+                std::to_string(lats.size()) + " ok, " +
+                std::to_string(failures) + " failures, p50 " +
+                json::formatDouble(percentile(lats, 0.50) * 1e6) +
+                " us, p99 " +
+                json::formatDouble(percentile(lats, 0.99) * 1e6) +
+                " us\n";
+        }
+        json::Value drillDoc = json::Value::object();
+        drillDoc.set("mode", drill);
+        json::Value marksArr = json::Value::array();
+        for (const double m : marks)
+            marksArr.push(m);
+        drillDoc.set("marks_s", std::move(marksArr));
+        drillDoc.set("phases", std::move(phases));
+        report.set("drill", std::move(drillDoc));
+    }
 
     // Per-target breakdown: a dead or slow replica shows up here
     // instead of being smeared into the aggregate percentiles.
@@ -922,6 +1042,8 @@ main(int argc, char **argv)
               << json::formatDouble(pct(0.50) * 1e6) << ", p90 "
               << json::formatDouble(pct(0.90) * 1e6) << ", p99 "
               << json::formatDouble(pct(0.99) * 1e6) << "\n";
+    if (!drill.empty())
+        std::cout << "drill phases:\n" << drillLines;
     if (breakdown)
         std::cout << "per-target:\n" << targetLines;
     if (rate > 0.0) {

@@ -5,6 +5,8 @@
  *   fosm-serve [--host 127.0.0.1] [--port 8080] [--workers N]
  *              [--queue 128] [--cache 8192] [--no-warmup]
  *              [--store-dir .fosm-store] [--no-store]
+ *              [--peers a:p,b:p,...] [--self host:port]
+ *              [--replication 2]
  *
  * Serves POST /v1/cpi, /v1/batch, /v1/iw-curve and /v1/trends plus
  * GET /healthz, /metrics (Prometheus text) and /v1/store/stats.
@@ -16,16 +18,26 @@
  * warm. --no-store runs memory-only. By default all 12 workload
  * characterizations are built before the socket opens so first
  * queries are fast; --no-warmup defers that to first use.
+ *
+ * With --peers the store is replicated across the cluster
+ * (docs/REPLICATION.md): committed entries are write-behind-shipped
+ * to their ring successors, local misses for keys this node does not
+ * own are read-repaired from peers, an anti-entropy sweep keeps
+ * replicas converged, and a restart catches up from its peers before
+ * the socket opens — so the gateway's failover target is warm.
  * SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
- * requests before exiting.
+ * requests and flushes the replication queue before exiting.
  */
 
 #include <csignal>
 #include <iostream>
+#include <memory>
+#include <sstream>
 
 #include <unistd.h>
 
 #include "cli.hh"
+#include "repl/replicator.hh"
 #include "server/http.hh"
 #include "server/service.hh"
 
@@ -43,6 +55,18 @@ onSignal(int)
     }
 }
 
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
 } // namespace
 
 int
@@ -55,7 +79,9 @@ main(int argc, char **argv)
         argc, argv,
         {"host", "port", "workers", "io-threads", "batch", "queue",
          "cache", "no-warmup", "retry-after", "max-connections",
-         "store-dir", "no-store", "optimize-max-points"},
+         "store-dir", "no-store", "optimize-max-points", "peers",
+         "self", "replication", "repl-vnodes", "repl-interval",
+         "no-catchup"},
         "usage: fosm-serve [flags]\n"
         "  --host 127.0.0.1       listen address\n"
         "  --port 8080            listen port (0 = ephemeral)\n"
@@ -75,7 +101,17 @@ main(int argc, char **argv)
         "  --optimize-max-points N\n"
         "                         largest /v1/optimize design-space\n"
         "                         cardinality (default 65536; larger\n"
-        "                         spaces are rejected 413)\n");
+        "                         spaces are rejected 413)\n"
+        "  --peers a:p,b:p,...    full cluster membership; enables\n"
+        "                         store replication across the ring\n"
+        "  --self host:port       this node's label among the peers\n"
+        "                         (default: --host:--port)\n"
+        "  --replication 2        copies per entry (owner + N-1\n"
+        "                         ring successors)\n"
+        "  --repl-vnodes 128      ring vnodes; must match the\n"
+        "                         gateway's --vnodes\n"
+        "  --repl-interval 5000   anti-entropy sweep period (ms)\n"
+        "  --no-catchup           skip the startup catch-up pull\n");
 
     MetricsRegistry metrics;
 
@@ -98,6 +134,70 @@ main(int argc, char **argv)
         std::cout << ")\n";
     }
 
+    // -- Replication (docs/REPLICATION.md) -------------------------
+    const std::string host = args.get("host", "127.0.0.1");
+    const auto port =
+        static_cast<std::uint16_t>(args.getInt("port", 8080));
+    std::unique_ptr<repl::Replicator> replicator;
+    if (args.has("peers")) {
+        if (!service.persistentCache()) {
+            std::cerr << "fosm-serve: --peers requires the "
+                         "persistent store (drop --no-store)\n";
+            return 2;
+        }
+        repl::ReplConfig replConfig;
+        replConfig.peers = splitList(args.get("peers", ""));
+        replConfig.self = args.get(
+            "self", host + ":" + std::to_string(port));
+        replConfig.replication = static_cast<std::size_t>(
+            args.getInt("replication", 2));
+        replConfig.vnodes = static_cast<std::size_t>(
+            args.getInt("repl-vnodes", 128));
+        replConfig.antiEntropyIntervalMs =
+            static_cast<int>(args.getInt("repl-interval", 5000));
+        bool selfListed = false;
+        for (const std::string &peer : replConfig.peers)
+            selfListed |= peer == replConfig.self;
+        if (!selfListed) {
+            std::cerr << "fosm-serve: --self "
+                      << replConfig.self
+                      << " is not in --peers; every node must "
+                         "appear in the shared membership list\n";
+            return 2;
+        }
+        replicator = std::make_unique<repl::Replicator>(
+            replConfig, service.persistentCache()->store(),
+            metrics);
+        replicator->start();
+
+        // Wire read-repair behind the store tier: a miss for a key
+        // this node does not own (failover traffic) probes the
+        // key's preference list before falling back to recompute.
+        service.persistentCache()->setRepairHook(
+            [&replicator](const std::string &storeKey,
+                          std::string &value) {
+                if (replicator->ownsKey(storeKey))
+                    return false;
+                return replicator->fetchFromPeers(storeKey, value);
+            });
+        service.setReplStatsProvider(
+            [&replicator] { return replicator->statusJson(); });
+
+        // Rejoin catch-up: pull everything peers hold for us above
+        // our recorded watermarks BEFORE the socket opens, so the
+        // gateway reinstates a warm node, not a cold one.
+        if (!args.has("no-catchup")) {
+            const std::size_t caught = replicator->catchUp();
+            std::cout << "fosm-serve: replication catch-up applied "
+                      << caught << " entries from "
+                      << replConfig.peers.size() - 1 << " peers\n";
+        }
+        std::cout << "fosm-serve: replicating as "
+                  << replConfig.self << " (N="
+                  << replConfig.replication << ", "
+                  << replConfig.peers.size() << " peers)\n";
+    }
+
     if (!args.has("no-warmup")) {
         std::cout << "fosm-serve: building "
                   << Workbench::benchmarks().size()
@@ -108,9 +208,8 @@ main(int argc, char **argv)
     }
 
     HttpServerConfig serverConfig;
-    serverConfig.host = args.get("host", "127.0.0.1");
-    serverConfig.port =
-        static_cast<std::uint16_t>(args.getInt("port", 8080));
+    serverConfig.host = host;
+    serverConfig.port = port;
     serverConfig.workers = args.getInt("workers", 0);
     serverConfig.ioThreads = args.getInt("io-threads", 1);
     serverConfig.batchSize = args.getInt("batch", 4);
@@ -121,7 +220,20 @@ main(int argc, char **argv)
         static_cast<int>(args.getInt("retry-after", 1));
     serverConfig.metricPaths = service.metricPaths();
 
-    HttpServer server(serverConfig, service.handler(), &metrics);
+    // The repl endpoints are dispatched ahead of the model service:
+    // they speak binary frames (apply/pull) and must work even when
+    // the service would shed load.
+    HttpServer::Handler handler = service.handler();
+    if (replicator) {
+        handler = [inner = std::move(handler),
+                   &replicator](const HttpRequest &request) {
+            if (repl::Replicator::handles(request.path()))
+                return replicator->handle(request);
+            return inner(request);
+        };
+    }
+
+    HttpServer server(serverConfig, std::move(handler), &metrics);
     server.start();
 
     stopFd = server.stopFd();
@@ -152,6 +264,18 @@ main(int argc, char **argv)
     std::cout.flush();
 
     server.join();
+
+    // Drain handoff: ship everything still queued to the successors
+    // before exiting, so a drained node's shard stays warm on its
+    // replicas.
+    if (replicator) {
+        const bool drained = replicator->flush(5000);
+        std::cout << "fosm-serve: replication queue "
+                  << (drained ? "flushed" : "flush timed out")
+                  << "\n";
+        replicator->stop();
+    }
+
     std::cout << "fosm-serve: drained, "
               << server.requestsServed() << " requests served, "
               << server.requestsRejected() << " rejected\n";

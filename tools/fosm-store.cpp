@@ -3,11 +3,15 @@
  * fosm-store: offline inspection and maintenance of a persistent
  * result store directory (see docs/STORE.md).
  *
- *   fosm-store stats   <dir>             summary counters as JSON
- *   fosm-store verify  <dir>             check every segment's CRCs
- *   fosm-store inspect <dir> [--prefix P] [--limit N] [--values]
+ *   fosm-store stats      <dir>          summary counters + per-
+ *                                        segment LSN spans as JSON
+ *   fosm-store verify     <dir>          check every segment's CRCs
+ *   fosm-store inspect    <dir> [--prefix P] [--limit N] [--values]
  *                                        list live records
- *   fosm-store compact <dir>             rewrite live data, drop dead
+ *   fosm-store watermarks <dir>          replication watermarks and
+ *                                        store epoch (docs/
+ *                                        REPLICATION.md)
+ *   fosm-store compact    <dir>          rewrite live data, drop dead
  *
  * `verify` reads the files as-is and never modifies them (safe on a
  * store another process has open); the other subcommands open the
@@ -18,6 +22,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -30,14 +35,19 @@ namespace {
 using namespace fosm;
 
 const char usage[] =
-    "usage: fosm-store <stats|verify|inspect|compact> <dir> [flags]\n"
-    "  stats   <dir>   print summary counters as JSON\n"
+    "usage: fosm-store "
+    "<stats|verify|inspect|watermarks|compact> <dir> [flags]\n"
+    "  stats   <dir>   print summary counters and per-segment LSN\n"
+    "                  spans as JSON\n"
     "  verify  <dir>   check segment integrity (read-only); exit 1\n"
     "                  if any segment is corrupt\n"
     "  inspect <dir>   list live records\n"
     "    --prefix P    only keys starting with P (e.g. r/ or c/)\n"
     "    --limit N     stop after N records (default 100, 0 = all)\n"
     "    --values      print values too (escaped)\n"
+    "  watermarks <dir>\n"
+    "                  print the store's replication epoch and its\n"
+    "                  per-peer anti-entropy watermarks as JSON\n"
     "  compact <dir>   rewrite live records, delete dead space\n";
 
 /** Keys/values may hold any bytes; escape for one-line printing. */
@@ -67,8 +77,9 @@ printable(const std::string &s, std::size_t max)
 }
 
 json::Value
-statsToJson(const store::StoreStats &s)
+statsToJson(const store::PersistentStore &st)
 {
+    const store::StoreStats s = st.stats();
     json::Value v = json::Value::object();
     v.set("segments", s.segments);
     v.set("liveRecords", s.liveRecords);
@@ -78,6 +89,58 @@ statsToJson(const store::StoreStats &s)
     v.set("totalBytes", s.totalBytes);
     v.set("compactions", s.compactions);
     v.set("truncatedTails", s.truncatedTails);
+    v.set("maxLsn", s.maxLsn);
+    // Per-segment LSN spans: what the anti-entropy fast path
+    // compares a replica's watermark against (docs/REPLICATION.md).
+    json::Value segs = json::Value::array();
+    for (const store::SegmentLsnInfo &info : st.segmentLsns()) {
+        json::Value seg = json::Value::object();
+        seg.set("id", info.id);
+        seg.set("records", info.records);
+        seg.set("liveRecords", info.liveRecords);
+        seg.set("bytes", info.bytes);
+        seg.set("minLsn", info.minLsn);
+        seg.set("maxLsn", info.maxLsn);
+        seg.set("sealed", info.sealed);
+        segs.push(seg);
+    }
+    v.set("segmentLsns", segs);
+    return v;
+}
+
+/**
+ * The replication bookkeeping a store carries: its epoch
+ * (m/replStoreId, pinned at first replicated start) and one
+ * "w/<peer>" = "<epoch>:<lsn>" watermark per peer it has pulled
+ * from. Useful after a crash to see how far catch-up had advanced.
+ */
+json::Value
+watermarksToJson(store::PersistentStore &st)
+{
+    json::Value v = json::Value::object();
+    std::string epoch;
+    if (st.get("m/replStoreId", epoch))
+        v.set("storeId", epoch);
+    json::Value marks = json::Value::object();
+    st.forEachLive([&](const std::string &key,
+                       const std::string &value, std::uint64_t) {
+        if (key.rfind("w/", 0) != 0)
+            return;
+        const std::string peer = key.substr(2);
+        const auto colon = value.find(':');
+        json::Value mark = json::Value::object();
+        if (colon != std::string::npos) {
+            mark.set("storeId", value.substr(0, colon));
+            mark.set("lsn",
+                     static_cast<std::uint64_t>(std::strtoull(
+                         value.c_str() + colon + 1, nullptr, 10)));
+        } else {
+            mark.set("raw", value);
+        }
+        marks.set(peer, mark);
+    });
+    v.set("watermarks", marks);
+    v.set("maxLsn", st.stats().maxLsn);
     return v;
 }
 
@@ -128,7 +191,7 @@ main(int argc, char **argv)
     }
 
     if (command != "stats" && command != "inspect" &&
-        command != "compact") {
+        command != "watermarks" && command != "compact") {
         std::cerr << "unknown command '" << command << "'\n"
                   << usage;
         return 1;
@@ -138,7 +201,9 @@ main(int argc, char **argv)
         store::PersistentStore st(openConfig(dir));
 
         if (command == "stats") {
-            std::cout << statsToJson(st.stats()).dump() << "\n";
+            std::cout << statsToJson(st).dump() << "\n";
+        } else if (command == "watermarks") {
+            std::cout << watermarksToJson(st).dump() << "\n";
         } else if (command == "inspect") {
             const std::string prefix = args.get("prefix", "");
             const std::uint64_t limit = args.getInt("limit", 100);
