@@ -115,6 +115,17 @@ Gateway::Gateway(GatewayConfig config,
     pool_ = std::make_unique<BackendPool>(
         config_.backends, config_.upstream, metrics_);
 
+    // The gateway is where quotas bite: rate limits and inflight
+    // caps are enforced here, before any upstream work is spent.
+    // The serving nodes re-check only authentication.
+    if (config_.registry) {
+        tenant::AdmissionOptions options;
+        options.enforceRate = true;
+        options.enforceInflight = true;
+        admission_ = std::make_unique<tenant::Admission>(
+            *config_.registry, metrics_, options);
+    }
+
     if (metrics_) {
         retries_ = &metrics_->counter(
             "fosm_gateway_retries_total",
@@ -259,19 +270,25 @@ Gateway::exchangeWithHedge(Backend &primary, Backend *hedgeTarget,
                            const std::string &path,
                            const std::string &body,
                            const std::string &contentType,
+                           const HeaderList &extraHeaders,
                            Clock::time_point deadline,
                            bool &transportOk)
 {
     transportOk = false;
     const auto start = Clock::now();
     // Propagate the remaining budget so the replica can shed work
-    // this gateway has already given up on.
+    // this gateway has already given up on. The upstream request is
+    // built from scratch here: only headers this gateway chooses to
+    // forward exist on the wire, so a client-supplied X-Fosm-Tenant
+    // can never reach a backend.
     const auto wireFor = [&](const Backend &b) {
         std::vector<std::pair<std::string, std::string>> extra{
             {server::deadlineHeader,
              std::to_string(millisLeft(deadline))}};
         if (!contentType.empty())
             extra.emplace_back("Content-Type", contentType);
+        for (const auto &header : extraHeaders)
+            extra.push_back(header);
         return server::serializeRequest(
             "POST", path, b.address().label, body, extra);
     };
@@ -446,7 +463,8 @@ Gateway::exchangeWithHedge(Backend &primary, Backend *hedgeTarget,
 }
 
 server::HttpResponse
-Gateway::proxy(const server::HttpRequest &request)
+Gateway::proxy(const server::HttpRequest &request,
+               const HeaderList &tenantHeaders)
 {
     const std::string path = request.path();
     const std::string &body = request.body;
@@ -476,7 +494,8 @@ Gateway::proxy(const server::HttpRequest &request)
     if (topo->backends.empty())
         return jsonError(503, "no backends in topology");
     return routedExchange(*topo, shardDigest(path, body), path,
-                          body, std::string(), hasOverall, overall);
+                          body, std::string(), tenantHeaders,
+                          hasOverall, overall);
 }
 
 server::HttpResponse
@@ -484,6 +503,7 @@ Gateway::routedExchange(const Topology &topo, std::uint64_t digest,
                         const std::string &path,
                         const std::string &body,
                         const std::string &contentType,
+                        const HeaderList &extraHeaders,
                         bool hasOverall, Clock::time_point overall)
 {
     const auto entry = Clock::now();
@@ -583,8 +603,8 @@ Gateway::routedExchange(const Topology &topo, std::uint64_t digest,
         bool transportOk = false;
         server::HttpResponse response =
             exchangeWithHedge(target, hedgeTarget, path, body,
-                              contentType, attemptDeadline,
-                              transportOk);
+                              contentType, extraHeaders,
+                              attemptDeadline, transportOk);
         if (!transportOk)
             continue;
         if (response.status >= 500) {
@@ -618,7 +638,8 @@ Gateway::routedExchange(const Topology &topo, std::uint64_t digest,
 }
 
 server::HttpResponse
-Gateway::proxyBatch(const server::HttpRequest &request)
+Gateway::proxyBatch(const server::HttpRequest &request,
+                    const HeaderList &tenantHeaders)
 {
     namespace batch = server::batch;
 
@@ -722,7 +743,8 @@ Gateway::proxyBatch(const server::HttpRequest &request)
         // and hedges walk the same ring order as single requests.
         server::HttpResponse upstream = routedExchange(
             *topo, group.digest, "/v1/batch", wire,
-            batch::contentType, hasOverall, overall);
+            batch::contentType, tenantHeaders, hasOverall,
+            overall);
 
         batch::Result shard;
         std::string decodeError;
@@ -1012,15 +1034,52 @@ Gateway::handler()
                 return adminChangeBackends(request.body);
             return jsonError(405, "use GET or POST");
         }
-        if (path == "/v1/batch") {
-            if (request.method != "POST")
-                return jsonError(405, "use POST");
-            return proxyBatch(request);
+        if (path == "/admin/tenants") {
+            if (!config_.registry)
+                return jsonError(404,
+                                 "no tenant registry configured "
+                                 "(start with --tenants-file)");
+            return config_.registry->handleAdmin(request);
         }
-        if (isProxyPath(path)) {
+        if (path == "/v1/batch" || isProxyPath(path)) {
             if (request.method != "POST")
                 return jsonError(405, "use POST");
-            return proxy(request);
+            // Admission (auth + rate + inflight quota) happens once,
+            // here, for every proxied endpoint; the verified tenant
+            // identity rides upstream on every attempt.
+            tenant::AdmitDecision decision;
+            HeaderList tenantHeaders;
+            if (admission_) {
+                decision = admission_->admit(request);
+                if (!decision.admitted()) {
+                    server::HttpResponse out = jsonError(
+                        decision.status, decision.error);
+                    if (decision.retryAfterSeconds > 0)
+                        out.setHeader(
+                            "Retry-After",
+                            std::to_string(
+                                decision.retryAfterSeconds));
+                    return out;
+                }
+                if (!decision.tenantId.empty()) {
+                    // The backend re-verifies the token itself, so a
+                    // direct hit on a replica cannot bypass auth;
+                    // the stamp carries the identity this gateway
+                    // already checked.
+                    tenantHeaders.emplace_back(
+                        "Authorization",
+                        request.header("authorization"));
+                    tenantHeaders.emplace_back(
+                        "X-Fosm-Tenant", decision.tenantId);
+                }
+            }
+            server::HttpResponse out =
+                path == "/v1/batch"
+                    ? proxyBatch(request, tenantHeaders)
+                    : proxy(request, tenantHeaders);
+            if (admission_)
+                admission_->release(decision);
+            return out;
         }
         return jsonError(404, "unknown path: " + path);
     };

@@ -26,13 +26,27 @@
 #include "server/http.hh"
 #include "server/json.hh"
 #include "server/metrics.hh"
+#include "tenant/admission.hh"
+#include "tenant/registry.hh"
 
 namespace fosm::cluster {
+
+/** Extra request headers forwarded to the upstream replicas. */
+using HeaderList =
+    std::vector<std::pair<std::string, std::string>>;
 
 /** Gateway tuning knobs. */
 struct GatewayConfig
 {
     std::vector<BackendAddress> backends;
+    /**
+     * Tenant registry (docs/TENANCY.md). When set, the proxied
+     * endpoints require a tenant bearer token and the gateway
+     * enforces each tenant's rate limit and inflight quota; the
+     * verified identity is stamped upstream as X-Fosm-Tenant. Null
+     * keeps the gateway fully open, exactly as before.
+     */
+    std::shared_ptr<tenant::Registry> registry;
     /** Virtual nodes per backend on the hash ring. */
     std::size_t vnodes = 128;
     UpstreamConfig upstream;
@@ -127,7 +141,8 @@ class Gateway
   private:
     using Clock = std::chrono::steady_clock;
 
-    server::HttpResponse proxy(const server::HttpRequest &request);
+    server::HttpResponse proxy(const server::HttpRequest &request,
+                               const HeaderList &tenantHeaders);
     /**
      * /v1/batch: split the client's JSON batch into per-backend row
      * groups by each row's cache digest, send every group upstream
@@ -136,24 +151,28 @@ class Gateway
      * error slots, never a whole-batch failure.
      */
     server::HttpResponse
-    proxyBatch(const server::HttpRequest &request);
+    proxyBatch(const server::HttpRequest &request,
+               const HeaderList &tenantHeaders);
     /**
      * The shared retry/hedge engine: route digest onto topo's ring
      * and walk the preference order (healthy tier first) with
      * bounded, jittered backoff until a response, the retry budget,
      * or the overall deadline. contentType overrides the JSON
-     * default on the upstream wire when non-empty.
+     * default on the upstream wire when non-empty; extraHeaders ride
+     * on every upstream attempt (tenant identity).
      */
     server::HttpResponse routedExchange(
         const Topology &topo, std::uint64_t digest,
         const std::string &path, const std::string &body,
-        const std::string &contentType, bool hasOverall,
+        const std::string &contentType,
+        const HeaderList &extraHeaders, bool hasOverall,
         Clock::time_point overall);
     /** One attempt (with optional hedge) bounded by deadline. */
     server::HttpResponse exchangeWithHedge(
         Backend &primary, Backend *hedgeTarget,
         const std::string &path, const std::string &body,
         const std::string &contentType,
+        const HeaderList &extraHeaders,
         Clock::time_point deadline, bool &transportOk);
     /** Current hedge trigger delay in milliseconds. */
     int hedgeDelayMs() const;
@@ -170,6 +189,8 @@ class Gateway
     GatewayConfig config_;
     server::MetricsRegistry *metrics_;
     std::unique_ptr<BackendPool> pool_;
+    /** Null when no tenant registry is configured. */
+    std::unique_ptr<tenant::Admission> admission_;
 
     mutable std::mutex topologyMutex_;
     std::shared_ptr<const Topology> topology_;

@@ -95,10 +95,13 @@ statusReason(int status)
       case 204: return "No Content";
       case 206: return "Partial Content";
       case 400: return "Bad Request";
+      case 401: return "Unauthorized";
+      case 403: return "Forbidden";
       case 404: return "Not Found";
       case 405: return "Method Not Allowed";
       case 413: return "Payload Too Large";
       case 422: return "Unprocessable Content";
+      case 429: return "Too Many Requests";
       case 500: return "Internal Server Error";
       case 501: return "Not Implemented";
       case 502: return "Bad Gateway";
@@ -359,7 +362,7 @@ HttpServer::HttpServer(HttpServerConfig config, Handler handler,
     : config_(std::move(config)), handler_(std::move(handler)),
       metrics_(metrics)
 {
-    queue_ = std::make_shared<BoundedQueue<Task>>(
+    queue_ = std::make_shared<tenant::FairQueue<Task>>(
         config_.queueCapacity);
 }
 
@@ -464,7 +467,7 @@ HttpServer::start()
             "fosm_http_inflight_requests",
             "Requests dispatched to workers and not yet answered");
         // Sampled at scrape time so the hot path never touches it.
-        std::shared_ptr<BoundedQueue<Task>> queue = queue_;
+        std::shared_ptr<tenant::FairQueue<Task>> queue = queue_;
         metrics_->addCallbackGauge(
             "fosm_http_queue_depth",
             "Requests waiting in the admission queue",
@@ -627,6 +630,19 @@ HttpServer::workerMain()
 }
 
 void
+HttpServer::rejectAdmission(int fd, const AdmissionVerdict &verdict,
+                            bool keepAlive)
+{
+    HttpResponse response =
+        HttpResponse::json(verdict.status, errorBody(verdict.message));
+    if (verdict.retryAfterSeconds > 0) {
+        response.setHeader("Retry-After",
+                           std::to_string(verdict.retryAfterSeconds));
+    }
+    sendAll(fd, serializeResponse(response, keepAlive));
+}
+
+void
 HttpServer::rejectBusy(int fd, const char *why, bool keepAlive)
 {
     HttpResponse busy = HttpResponse::json(503, errorBody(why));
@@ -720,7 +736,31 @@ HttpServer::dispatchBuffered(IoLoop &loop, Conn &conn)
         task.arrival = std::chrono::steady_clock::now();
         stampDeadline(task.request, task.arrival);
         task.keepAlive = keepAlive;
-        if (queue_->tryPush(std::move(task))) {
+
+        // Tenant admission: authenticate and classify before the
+        // queue, so a rejected request (401/429) never costs a
+        // worker wakeup and an admitted one lands in its own
+        // tenant's sub-queue.
+        if (config_.admission) {
+            const AdmissionVerdict verdict =
+                config_.admission(task.request);
+            if (verdict.status != 0) {
+                rejectAdmission(conn.fd, verdict, keepAlive);
+                countRequest(path, verdict.status,
+                             std::chrono::steady_clock::now());
+                if (!keepAlive) {
+                    closeConn(loop, conn.fd);
+                    return false;
+                }
+                continue;
+            }
+            task.queueClass = verdict.queueClass;
+            task.weight = verdict.weight;
+        }
+
+        const std::uint32_t queueClass = task.queueClass;
+        const double weight = task.weight;
+        if (queue_->tryPush(std::move(task), queueClass, weight)) {
             conn.state = Conn::State::Processing;
             ++loop.inflight;
             return true;

@@ -31,8 +31,8 @@
 #include <utility>
 #include <vector>
 
-#include "common/bounded_queue.hh"
 #include "server/metrics.hh"
+#include "tenant/fair_queue.hh"
 
 namespace fosm::server {
 
@@ -138,6 +138,23 @@ ParseStatus parseHttpRequest(const std::string &data,
 std::string serializeResponse(const HttpResponse &response,
                               bool keepAlive);
 
+/**
+ * Verdict of the (optional) admission hook, consulted on the IO
+ * thread before a parsed request is queued. status 0 admits the
+ * request into queueClass's sub-queue at the given DRR weight; a
+ * non-zero status (401, 429) is answered immediately without
+ * touching the worker pool, with a Retry-After header when
+ * retryAfterSeconds > 0.
+ */
+struct AdmissionVerdict
+{
+    int status = 0;
+    std::string message;
+    int retryAfterSeconds = 0;
+    std::uint32_t queueClass = 0;
+    double weight = 1.0;
+};
+
 /** Server tuning knobs. */
 struct HttpServerConfig
 {
@@ -167,6 +184,13 @@ struct HttpServerConfig
      * "other" to bound the metric cardinality.
      */
     std::vector<std::string> metricPaths;
+    /**
+     * Tenant admission hook (tools wire tenant::Admission here).
+     * Runs on the IO thread for every parsed request. Null means
+     * every request is admitted as class 0 — the worker queue then
+     * degenerates to the original single FIFO.
+     */
+    std::function<AdmissionVerdict(const HttpRequest &)> admission;
 };
 
 /**
@@ -215,6 +239,17 @@ class HttpServer
         return rejected_.load();
     }
 
+    /**
+     * Per-class worker-queue counters (pushed/drained/shed/depth),
+     * indexed by admission class id — the data behind the
+     * fosm_tenant_queue_* metrics.
+     */
+    std::vector<tenant::FairQueueClassCounts>
+    queueClassCounts() const
+    {
+        return queue_->classCounts();
+    }
+
   private:
     struct Conn;
     struct IoLoop;
@@ -227,6 +262,8 @@ class HttpServer
         HttpRequest request;
         std::chrono::steady_clock::time_point arrival;
         bool keepAlive = true;
+        std::uint32_t queueClass = 0; ///< tenant sub-queue
+        double weight = 1.0;          ///< DRR drain weight
     };
 
     void ioMain(IoLoop &loop);
@@ -240,6 +277,8 @@ class HttpServer
     void countRequest(const std::string &path, int status,
                       std::chrono::steady_clock::time_point arrival);
     void rejectBusy(int fd, const char *why, bool keepAlive);
+    void rejectAdmission(int fd, const AdmissionVerdict &verdict,
+                         bool keepAlive);
 
     HttpServerConfig config_;
     Handler handler_;
@@ -249,8 +288,10 @@ class HttpServer
     std::uint16_t boundPort_ = 0;
 
     /** shared_ptr so the /metrics queue-depth callback registered in
-     *  the registry can outlive the server object safely. */
-    std::shared_ptr<BoundedQueue<Task>> queue_;
+     *  the registry can outlive the server object safely. With no
+     *  admission hook only class 0 exists and the weighted-fair
+     *  queue behaves exactly like the old single bounded FIFO. */
+    std::shared_ptr<tenant::FairQueue<Task>> queue_;
     std::vector<std::unique_ptr<IoLoop>> loops_;
     std::vector<std::thread> workers_;
 

@@ -13,6 +13,7 @@
 #define FOSM_SERVER_LRU_CACHE_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -36,9 +37,22 @@ template <typename Value>
 class ShardedLruCache
 {
   public:
+    /**
+     * ttlSeconds > 0 bounds every entry's age: a hit older than the
+     * TTL is erased and reported as a miss, so the caller refreshes
+     * it. 0 keeps the original never-expiring pure-LRU behavior —
+     * model results are deterministic, so expiry is about bounding
+     * staleness across schema-constant changes and memory held by
+     * one-off sweeps, not correctness (fosm-serve --cache-ttl-s).
+     */
     explicit ShardedLruCache(std::size_t capacity,
-                             std::size_t shards = 8)
-        : capacity_(capacity)
+                             std::size_t shards = 8,
+                             double ttlSeconds = 0.0)
+        : capacity_(capacity),
+          ttl_(std::chrono::duration_cast<
+               std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(
+                  ttlSeconds > 0.0 ? ttlSeconds : 0.0)))
     {
         if (shards == 0)
             shards = 1;
@@ -51,7 +65,10 @@ class ShardedLruCache
             shards_.push_back(std::make_unique<Shard>(per));
     }
 
-    /** Look up key; on hit, copies the value and marks it MRU. */
+    /**
+     * Look up key; on hit, copies the value and marks it MRU. An
+     * entry past the TTL counts as a miss and is dropped.
+     */
     bool
     get(const std::string &key, Value &out)
     {
@@ -66,9 +83,19 @@ class ShardedLruCache
             misses_.fetch_add(1, std::memory_order_relaxed);
             return false;
         }
+        if (ttl_.count() > 0 &&
+            std::chrono::steady_clock::now() -
+                    it->second->second.storedAt >
+                ttl_) {
+            shard.order.erase(it->second);
+            shard.map.erase(it);
+            expirations_.fetch_add(1, std::memory_order_relaxed);
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
         shard.order.splice(shard.order.begin(), shard.order,
                            it->second);
-        out = it->second->second;
+        out = it->second->second.value;
         hits_.fetch_add(1, std::memory_order_relaxed);
         return true;
     }
@@ -79,16 +106,19 @@ class ShardedLruCache
     {
         if (capacity_ == 0)
             return;
+        const auto now = std::chrono::steady_clock::now();
         Shard &shard = shardFor(key);
         std::lock_guard<std::mutex> lock(shard.mutex);
         const auto it = shard.map.find(key);
         if (it != shard.map.end()) {
-            it->second->second = std::move(value);
+            it->second->second.value = std::move(value);
+            it->second->second.storedAt = now;
             shard.order.splice(shard.order.begin(), shard.order,
                                it->second);
             return;
         }
-        shard.order.emplace_front(key, std::move(value));
+        shard.order.emplace_front(
+            key, Entry{std::move(value), now});
         shard.map[key] = shard.order.begin();
         if (shard.map.size() > shard.capacity) {
             shard.map.erase(shard.order.back().first);
@@ -122,8 +152,15 @@ class ShardedLruCache
     std::uint64_t hits() const { return hits_.load(); }
     std::uint64_t misses() const { return misses_.load(); }
     std::uint64_t evictions() const { return evictions_.load(); }
+    std::uint64_t expirations() const { return expirations_.load(); }
     std::size_t capacity() const { return capacity_; }
     std::size_t shardCount() const { return shards_.size(); }
+    /** Configured TTL in seconds; 0 = entries never expire. */
+    double
+    ttlSeconds() const
+    {
+        return std::chrono::duration<double>(ttl_).count();
+    }
 
     /** Hit fraction over the cache's lifetime (0 when unused). */
     double
@@ -137,15 +174,21 @@ class ShardedLruCache
     }
 
   private:
+    struct Entry
+    {
+        Value value;
+        std::chrono::steady_clock::time_point storedAt;
+    };
+
     struct Shard
     {
         explicit Shard(std::size_t cap) : capacity(cap) {}
         const std::size_t capacity;
         mutable std::mutex mutex;
-        std::list<std::pair<std::string, Value>> order; ///< front=MRU
+        std::list<std::pair<std::string, Entry>> order; ///< front=MRU
         std::unordered_map<
             std::string,
-            typename std::list<std::pair<std::string, Value>>::iterator>
+            typename std::list<std::pair<std::string, Entry>>::iterator>
             map;
     };
 
@@ -156,10 +199,12 @@ class ShardedLruCache
     }
 
     const std::size_t capacity_;
+    const std::chrono::steady_clock::duration ttl_;
     std::vector<std::unique_ptr<Shard>> shards_;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> expirations_{0};
 };
 
 } // namespace fosm::server

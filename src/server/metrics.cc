@@ -147,12 +147,17 @@ MetricsRegistry::histogram(const std::string &name,
 void
 MetricsRegistry::addCallbackGauge(const std::string &name,
                                   const std::string &help,
-                                  std::function<double()> sample)
+                                  std::function<double()> sample,
+                                  const std::string &labels)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     Family &family = familyFor(name, help, "gauge");
+    if (Metric *existing = findMetric(family, labels)) {
+        existing->sample = std::move(sample);
+        return;
+    }
     family.metrics.push_back(
-        Metric{"", nullptr, nullptr, nullptr, std::move(sample)});
+        Metric{labels, nullptr, nullptr, nullptr, std::move(sample)});
 }
 
 namespace {

@@ -125,7 +125,8 @@ class MetricsRegistry
      */
     void addCallbackGauge(const std::string &name,
                           const std::string &help,
-                          std::function<double()> sample);
+                          std::function<double()> sample,
+                          const std::string &labels = "");
 
     /** Render every family in Prometheus text exposition format. */
     std::string renderPrometheus() const;

@@ -89,7 +89,8 @@ extractColumns(const std::string &responseText,
 ModelService::ModelService(ServiceConfig config,
                            MetricsRegistry &metrics)
     : config_(config), metrics_(metrics),
-      cache_(config.cacheCapacity, config.cacheShards),
+      cache_(config.cacheCapacity, config.cacheShards,
+             config.cacheTtlS),
       cacheHits_(metrics.counter("fosm_cache_hits_total",
                                  "Design-point cache hits")),
       cacheMisses_(metrics.counter("fosm_cache_misses_total",

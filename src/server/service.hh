@@ -43,6 +43,12 @@ struct ServiceConfig
     /** Response-cache entries; 0 disables the cache. */
     std::size_t cacheCapacity = 8192;
     std::size_t cacheShards = 8;
+    /**
+     * In-memory response-cache entry TTL in seconds; 0 keeps the
+     * original never-expiring LRU (fosm-serve --cache-ttl-s). The
+     * persistent tier is unaffected.
+     */
+    double cacheTtlS = 0.0;
 
     /**
      * Directory for the persistent result store (responses +

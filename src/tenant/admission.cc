@@ -1,0 +1,198 @@
+#include "tenant/admission.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace fosm::tenant {
+
+Admission::Admission(Registry &registry,
+                     server::MetricsRegistry *metrics,
+                     AdmissionOptions options)
+    : registry_(registry), metrics_(metrics), options_(options)
+{
+    if (metrics_) {
+        authFailures_ = &metrics_->counter(
+            "fosm_tenant_auth_failures_total",
+            "Requests answered 401: missing or unknown bearer "
+            "token");
+    }
+}
+
+bool
+Admission::exemptPath(const std::string &path)
+{
+    if (path == "/healthz" || path == "/metrics" ||
+        path == "/v1/store/stats")
+        return true;
+    return path.rfind("/admin/", 0) == 0;
+}
+
+std::string
+Admission::bearerToken(const server::HttpRequest &req)
+{
+    const std::string &auth = req.header("authorization");
+    constexpr const char *scheme = "bearer ";
+    constexpr std::size_t schemeLen = 7;
+    if (auth.size() <= schemeLen)
+        return std::string();
+    for (std::size_t i = 0; i < schemeLen; ++i) {
+        if (std::tolower(static_cast<unsigned char>(auth[i])) !=
+            scheme[i])
+            return std::string();
+    }
+    std::size_t from = schemeLen;
+    while (from < auth.size() && auth[from] == ' ')
+        ++from;
+    return auth.substr(from);
+}
+
+Admission::State &
+Admission::stateFor(const TenantSpec &spec)
+{
+    std::lock_guard<std::mutex> lock(statesMutex_);
+    auto &slot = states_[spec.id];
+    if (!slot) {
+        slot = std::make_unique<State>();
+        if (metrics_) {
+            const std::string label =
+                "tenant=\"" + spec.id + "\"";
+            slot->admitted = &metrics_->counter(
+                "fosm_tenant_admitted_total",
+                "Requests admitted past tenant auth and quotas",
+                label);
+            slot->limited = &metrics_->counter(
+                "fosm_tenant_429_total",
+                "Requests rejected 429: over the tenant's rate "
+                "limit or inflight quota",
+                label);
+            slot->inflightGauge = &metrics_->gauge(
+                "fosm_tenant_inflight",
+                "Requests this tenant has in flight", label);
+        }
+    }
+    return *slot;
+}
+
+bool
+Admission::takeToken(State &state, const TenantSpec &spec,
+                     std::chrono::steady_clock::time_point now,
+                     int &retryAfterSeconds)
+{
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (!state.primed) {
+        // A fresh tenant starts with a full bucket.
+        state.tokens = std::max(1.0, spec.burst);
+        state.last = now;
+        state.primed = true;
+    }
+    const double dt =
+        std::chrono::duration<double>(now - state.last).count();
+    state.last = now;
+    const double depth = std::max(1.0, spec.burst);
+    state.tokens = std::min(
+        depth, state.tokens + dt * spec.rateRps);
+    if (state.tokens >= 1.0) {
+        state.tokens -= 1.0;
+        return true;
+    }
+    const double wait =
+        spec.rateRps > 0.0
+            ? (1.0 - state.tokens) / spec.rateRps
+            : 1.0;
+    retryAfterSeconds =
+        std::max(1, static_cast<int>(std::ceil(wait)));
+    return false;
+}
+
+AdmitDecision
+Admission::admit(const server::HttpRequest &request)
+{
+    AdmitDecision decision;
+    const std::shared_ptr<const TenantSnapshot> snap =
+        registry_.snapshot();
+    if (!snap->enabled())
+        return decision; // unauthenticated mode: class 0, admitted
+    if (exemptPath(request.path()))
+        return decision;
+
+    const std::string token = bearerToken(request);
+    if (token.empty()) {
+        if (authFailures_)
+            authFailures_->inc();
+        decision.status = 401;
+        decision.error = "missing bearer token";
+        return decision;
+    }
+    const TenantSpec *spec = snap->verify(token);
+    if (!spec) {
+        if (authFailures_)
+            authFailures_->inc();
+        decision.status = 401;
+        decision.error = "unknown bearer token";
+        return decision;
+    }
+
+    decision.tenantId = spec->id;
+    decision.classId = spec->classId;
+    decision.weight = spec->weight;
+    State &state = stateFor(*spec);
+
+    if (options_.enforceRate && spec->rateRps > 0.0) {
+        int retryAfter = 0;
+        if (!takeToken(state, *spec,
+                       std::chrono::steady_clock::now(),
+                       retryAfter)) {
+            if (state.limited)
+                state.limited->inc();
+            decision.status = 429;
+            decision.error = "tenant '" + spec->id +
+                             "' rate limit exceeded";
+            decision.retryAfterSeconds = retryAfter;
+            return decision;
+        }
+    }
+
+    if (options_.enforceInflight && spec->maxInflight > 0) {
+        const std::int64_t now =
+            state.inflight.fetch_add(1,
+                                     std::memory_order_relaxed) +
+            1;
+        if (now > static_cast<std::int64_t>(spec->maxInflight)) {
+            state.inflight.fetch_sub(1, std::memory_order_relaxed);
+            if (state.limited)
+                state.limited->inc();
+            decision.status = 429;
+            decision.error = "tenant '" + spec->id +
+                             "' inflight quota exceeded";
+            decision.retryAfterSeconds = 1;
+            return decision;
+        }
+        decision.inflightHeld = true;
+        if (state.inflightGauge)
+            state.inflightGauge->set(now);
+    }
+
+    if (state.admitted)
+        state.admitted->inc();
+    return decision;
+}
+
+void
+Admission::release(const AdmitDecision &decision)
+{
+    if (!decision.inflightHeld)
+        return;
+    std::lock_guard<std::mutex> lock(statesMutex_);
+    const auto it = states_.find(decision.tenantId);
+    if (it == states_.end())
+        return;
+    const std::int64_t now =
+        it->second->inflight.fetch_sub(1,
+                                       std::memory_order_relaxed) -
+        1;
+    if (it->second->inflightGauge)
+        it->second->inflightGauge->set(now);
+}
+
+} // namespace fosm::tenant

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Per-tenant admission control, shared by fosm-gateway and
+ * fosm-serve. admit() authenticates a request against the live
+ * tenant registry (constant-time bearer-token check, 401 on
+ * missing/unknown token when auth is enabled) and, where enabled,
+ * applies the tenant's declared quotas: a token-bucket rate limit
+ * (429 + Retry-After telling the client when the bucket affords the
+ * next request) and a max-inflight cap (429, Retry-After 1). The
+ * gateway enforces both quotas; fosm-serve runs auth-only and lets
+ * the weighted-fair worker queue (fair_queue.hh) arbitrate between
+ * admitted tenants.
+ *
+ * Quota state is keyed by tenant id and survives registry edits —
+ * a live weight change must not refill anyone's bucket.
+ */
+
+#ifndef FOSM_TENANT_ADMISSION_HH
+#define FOSM_TENANT_ADMISSION_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "server/http.hh"
+#include "server/metrics.hh"
+#include "tenant/registry.hh"
+
+namespace fosm::tenant {
+
+/** Outcome of admitting one request. */
+struct AdmitDecision
+{
+    int status = 0; ///< 0 = admitted; else the HTTP status to answer
+    std::string error;
+    int retryAfterSeconds = 0; ///< >0: send a Retry-After header
+
+    std::string tenantId; ///< empty for unauthenticated/exempt
+    std::uint32_t classId = 0;
+    double weight = 1.0;
+    /** True when an inflight slot was taken; pair with release(). */
+    bool inflightHeld = false;
+
+    bool admitted() const { return status == 0; }
+};
+
+/** Which quota dimensions this layer enforces. */
+struct AdmissionOptions
+{
+    bool enforceRate = false;
+    bool enforceInflight = false;
+};
+
+class Admission
+{
+  public:
+    Admission(Registry &registry,
+              server::MetricsRegistry *metrics,
+              AdmissionOptions options = {});
+
+    /**
+     * Authenticate + apply quotas for one request. Thread-safe.
+     * When auth is disabled (empty registry) everything is admitted
+     * as class 0, byte-compatible with the pre-tenant behavior.
+     */
+    AdmitDecision admit(const server::HttpRequest &request);
+
+    /** Release the inflight slot a successful admit() took. */
+    void release(const AdmitDecision &decision);
+
+    /**
+     * Paths that stay reachable without a token even when auth is
+     * on: health/metrics probes, store stats, and the operator
+     * plane (/admin/*) — authenticating operators is an external
+     * proxy's job (docs/TENANCY.md).
+     */
+    static bool exemptPath(const std::string &path);
+
+    /**
+     * The bearer token of an Authorization header ("Bearer <tok>",
+     * scheme case-insensitive), or empty.
+     */
+    static std::string bearerToken(const server::HttpRequest &req);
+
+  private:
+    /**
+     * One tenant's mutable quota state. The bucket refills lazily at
+     * the tenant's declared rate; rate/burst ride in per call so
+     * live registry edits apply immediately without state resets.
+     */
+    struct State
+    {
+        std::mutex mutex;
+        double tokens = 0.0;
+        bool primed = false;
+        std::chrono::steady_clock::time_point last{};
+        std::atomic<std::int64_t> inflight{0};
+
+        server::Counter *admitted = nullptr;
+        server::Counter *limited = nullptr; ///< 429s
+        server::Gauge *inflightGauge = nullptr;
+    };
+
+    State &stateFor(const TenantSpec &spec);
+    /** False = rate-limited; retryAfterSeconds says for how long. */
+    bool takeToken(State &state, const TenantSpec &spec,
+                   std::chrono::steady_clock::time_point now,
+                   int &retryAfterSeconds);
+
+    Registry &registry_;
+    server::MetricsRegistry *metrics_;
+    AdmissionOptions options_;
+
+    std::mutex statesMutex_;
+    std::map<std::string, std::unique_ptr<State>> states_;
+
+    server::Counter *authFailures_ = nullptr;
+};
+
+} // namespace fosm::tenant
+
+#endif // FOSM_TENANT_ADMISSION_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Token authentication primitives for the tenant layer: a
+ * dependency-free SHA-256 / HMAC-SHA256 and a constant-time token
+ * comparison built on it. The repo bakes in no crypto library, so
+ * the compression function lives here (FIPS 180-4); it hashes one
+ * short bearer token per request, far off any hot path.
+ *
+ * Token equality is decided by comparing HMAC-SHA256 digests of the
+ * two tokens under a random per-process key (the "double HMAC"
+ * trick): the memcmp then runs over two fixed-length,
+ * attacker-unpredictable digests, so its timing leaks nothing about
+ * the stored secret — including its length.
+ */
+
+#ifndef FOSM_TENANT_AUTH_HH
+#define FOSM_TENANT_AUTH_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fosm::tenant {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/** SHA-256 of an arbitrary byte string. */
+Sha256Digest sha256(std::string_view data);
+
+/** HMAC-SHA256 (RFC 2104) of data under key. */
+Sha256Digest hmacSha256(std::string_view key, std::string_view data);
+
+/** Lowercase hex of a digest. */
+std::string toHex(const Sha256Digest &digest);
+
+/**
+ * Constant-time token equality: true iff presented == stored, with
+ * run time independent of where (or whether) they differ and of the
+ * stored token's length.
+ */
+bool tokenEquals(std::string_view presented, std::string_view stored);
+
+/**
+ * Non-reversible identifier for a token, safe to show operators in
+ * GET /admin/tenants: the first 16 hex chars of its SHA-256.
+ */
+std::string tokenFingerprint(std::string_view token);
+
+} // namespace fosm::tenant
+
+#endif // FOSM_TENANT_AUTH_HH

@@ -1,0 +1,266 @@
+#include "tenant/registry.hh"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "tenant/auth.hh"
+
+namespace fosm::tenant {
+
+namespace {
+
+server::HttpResponse
+jsonError(int status, const std::string &message)
+{
+    json::Value v = json::Value::object();
+    v.set("error", message);
+    return server::HttpResponse::json(status, v.dump());
+}
+
+} // namespace
+
+const TenantSpec *
+TenantSnapshot::verify(const std::string &token) const
+{
+    // No early exit: every registered token is compared so the scan
+    // cost is fixed by the tenant count, not by the match position.
+    const TenantSpec *match = nullptr;
+    for (const TenantSpec &spec : tenants) {
+        if (tokenEquals(token, spec.token))
+            match = &spec;
+    }
+    return match;
+}
+
+const TenantSpec *
+TenantSnapshot::byId(const std::string &id) const
+{
+    for (const TenantSpec &spec : tenants)
+        if (spec.id == id)
+            return &spec;
+    return nullptr;
+}
+
+Registry::Registry()
+    : snapshot_(std::make_shared<TenantSnapshot>())
+{
+}
+
+bool
+Registry::parseTenants(const json::Value &doc,
+                       std::vector<TenantSpec> &out,
+                       std::string &error)
+{
+    out.clear();
+    if (!doc.isObject()) {
+        error = "tenants document must be a JSON object";
+        return false;
+    }
+    const json::Value *list = doc.find("tenants");
+    if (!list || !list->isArray()) {
+        error = "missing 'tenants' array";
+        return false;
+    }
+    std::set<std::string> seen;
+    for (const json::Value &entry : list->items()) {
+        if (!entry.isObject()) {
+            error = "each tenant must be an object";
+            return false;
+        }
+        TenantSpec spec;
+        const json::Value *id = entry.find("id");
+        if (!id || !id->isString() || id->asString().empty()) {
+            error = "tenant missing non-empty string 'id'";
+            return false;
+        }
+        spec.id = id->asString();
+        // Tenant ids become Prometheus label values and HTTP header
+        // values; keep them to a tame charset.
+        for (const char c : spec.id) {
+            const bool ok = (c >= 'a' && c <= 'z') ||
+                            (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '-' ||
+                            c == '_' || c == '.';
+            if (!ok) {
+                error = "tenant id '" + spec.id +
+                        "' has characters outside [A-Za-z0-9._-]";
+                return false;
+            }
+        }
+        if (!seen.insert(spec.id).second) {
+            error = "duplicate tenant id '" + spec.id + "'";
+            return false;
+        }
+        const json::Value *token = entry.find("token");
+        if (!token || !token->isString() ||
+            token->asString().empty()) {
+            error = "tenant '" + spec.id +
+                    "' missing non-empty string 'token'";
+            return false;
+        }
+        spec.token = token->asString();
+        if (const json::Value *w = entry.find("weight")) {
+            if (!w->isNumber() || w->asDouble() <= 0.0) {
+                error = "tenant '" + spec.id +
+                        "' weight must be a positive number";
+                return false;
+            }
+            spec.weight = w->asDouble();
+        }
+        if (const json::Value *r = entry.find("rate_rps")) {
+            if (!r->isNumber() || r->asDouble() < 0.0) {
+                error = "tenant '" + spec.id +
+                        "' rate_rps must be >= 0";
+                return false;
+            }
+            spec.rateRps = r->asDouble();
+        }
+        if (const json::Value *b = entry.find("burst")) {
+            if (!b->isNumber() || b->asDouble() < 0.0) {
+                error = "tenant '" + spec.id + "' burst must be >= 0";
+                return false;
+            }
+            spec.burst = b->asDouble();
+        }
+        if (spec.burst == 0.0)
+            spec.burst = 2.0 * spec.rateRps;
+        if (const json::Value *m = entry.find("max_inflight")) {
+            if (!m->isNumber() || m->asDouble() < 0.0) {
+                error = "tenant '" + spec.id +
+                        "' max_inflight must be >= 0";
+                return false;
+            }
+            spec.maxInflight =
+                static_cast<std::uint64_t>(m->asInt());
+        }
+        out.push_back(std::move(spec));
+    }
+    return true;
+}
+
+bool
+Registry::loadFile(const std::string &path, std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open tenants file: " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    json::Value doc;
+    if (!json::parse(buffer.str(), doc, &error)) {
+        error = path + ": invalid JSON: " + error;
+        return false;
+    }
+    std::vector<TenantSpec> tenants;
+    if (!parseTenants(doc, tenants, error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    return replace(std::move(tenants), error);
+}
+
+std::uint32_t
+Registry::classIdFor(const std::string &id)
+{
+    const auto it = classIds_.find(id);
+    if (it != classIds_.end())
+        return it->second;
+    const std::uint32_t cls = nextClassId_++;
+    classIds_.emplace(id, cls);
+    return cls;
+}
+
+bool
+Registry::replace(std::vector<TenantSpec> tenants, std::string &error)
+{
+    (void)error;
+    auto next = std::make_shared<TenantSnapshot>();
+    next->tenants = std::move(tenants);
+    std::vector<const TenantSpec *> fresh;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (TenantSpec &spec : next->tenants) {
+            const bool isNew = classIds_.count(spec.id) == 0;
+            spec.classId = classIdFor(spec.id);
+            if (isNew)
+                fresh.push_back(&spec);
+        }
+        snapshot_ = next;
+        // Fire inside the lock so a concurrent replace cannot
+        // interleave two hooks for the same first-seen tenant.
+        if (newClassHook_) {
+            for (const TenantSpec *spec : fresh)
+                newClassHook_(*spec);
+        }
+    }
+    return true;
+}
+
+std::shared_ptr<const TenantSnapshot>
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return snapshot_;
+}
+
+void
+Registry::onNewClass(std::function<void(const TenantSpec &)> hook)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    newClassHook_ = std::move(hook);
+    if (newClassHook_) {
+        for (const TenantSpec &spec : snapshot_->tenants)
+            newClassHook_(spec);
+    }
+}
+
+std::uint32_t
+Registry::classCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return nextClassId_;
+}
+
+server::HttpResponse
+Registry::handleAdmin(const server::HttpRequest &req)
+{
+    if (req.method == "POST") {
+        json::Value doc;
+        std::string error;
+        if (!json::parse(req.body, doc, &error))
+            return jsonError(400, "invalid JSON body: " + error);
+        std::vector<TenantSpec> tenants;
+        if (!parseTenants(doc, tenants, error))
+            return jsonError(400, error);
+        replace(std::move(tenants), error);
+        // Fall through to the listing so the caller sees the state
+        // it just published.
+    } else if (req.method != "GET") {
+        return jsonError(405, "use GET or POST");
+    }
+
+    const std::shared_ptr<const TenantSnapshot> snap = snapshot();
+    json::Value body = json::Value::object();
+    body.set("auth_enabled", snap->enabled());
+    json::Value list = json::Value::array();
+    for (const TenantSpec &spec : snap->tenants) {
+        json::Value t = json::Value::object();
+        t.set("id", spec.id);
+        t.set("token_sha256", tokenFingerprint(spec.token));
+        t.set("weight", spec.weight);
+        t.set("rate_rps", spec.rateRps);
+        t.set("burst", spec.burst);
+        t.set("max_inflight",
+              static_cast<std::uint64_t>(spec.maxInflight));
+        t.set("class", static_cast<std::uint64_t>(spec.classId));
+        list.push(std::move(t));
+    }
+    body.set("tenants", std::move(list));
+    return server::HttpResponse::json(200, body.dump());
+}
+
+} // namespace fosm::tenant

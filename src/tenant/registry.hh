@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The tenant registry: who may talk to the service and with what
+ * provisioning. Tenants are declared in a JSON config file
+ * (`--tenants-file`) and live-editable over GET/POST /admin/tenants;
+ * edits build a fresh immutable Snapshot and atomically swap a
+ * shared_ptr (the same RCU pattern as the gateway's live topology),
+ * so requests in flight finish against the snapshot they verified
+ * under and the hot path takes no lock beyond the pointer load.
+ *
+ * File / POST body format:
+ *
+ *   {"tenants": [
+ *     {"id": "acme", "token": "shared-secret",
+ *      "weight": 2.0,          // DRR drain share (default 1)
+ *      "rate_rps": 100,        // token-bucket rate, 0 = unlimited
+ *      "burst": 200,           // bucket depth (default 2*rate)
+ *      "max_inflight": 64}     // concurrent requests, 0 = unlimited
+ *   ]}
+ *
+ * An empty tenant list (or no --tenants-file at all) disables
+ * authentication entirely — the stack behaves exactly as it did
+ * before tenants existed.
+ *
+ * Every tenant id is bound to a small integer *class id*, the index
+ * of its sub-queue in the worker pool's FairQueue and the key the
+ * per-tenant metrics hang off. Class ids are assigned on first
+ * sight and never reused, so counters stay meaningful across live
+ * edits; class 0 is reserved for unauthenticated/exempt traffic.
+ */
+
+#ifndef FOSM_TENANT_REGISTRY_HH
+#define FOSM_TENANT_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/http.hh"
+#include "server/json.hh"
+
+namespace fosm::tenant {
+
+/** One tenant's declared provisioning. */
+struct TenantSpec
+{
+    std::string id;
+    std::string token; ///< shared-secret bearer token
+    double weight = 1.0;
+    double rateRps = 0.0;      ///< 0 = no rate limit
+    double burst = 0.0;        ///< bucket depth; 0 = 2*rateRps
+    std::uint64_t maxInflight = 0; ///< 0 = no inflight cap
+    std::uint32_t classId = 0; ///< assigned by the registry
+};
+
+/** Immutable view of the tenant set; swap-published. */
+struct TenantSnapshot
+{
+    std::vector<TenantSpec> tenants;
+
+    /** Auth is on iff any tenant is declared. */
+    bool enabled() const { return !tenants.empty(); }
+
+    /**
+     * The tenant whose token matches, or nullptr. Always walks every
+     * tenant and compares in constant time, so verification cost
+     * does not depend on which (or whether a) tenant matched.
+     */
+    const TenantSpec *verify(const std::string &token) const;
+
+    const TenantSpec *byId(const std::string &id) const;
+};
+
+/**
+ * Thread-safe registry. snapshot() is the only hot-path call; load
+ * and admin edits serialize on a mutex and publish new snapshots.
+ */
+class Registry
+{
+  public:
+    Registry();
+
+    /**
+     * Parse a tenants document (the file or POST body format) into
+     * specs. Returns false with a diagnostic on malformed input:
+     * missing/duplicate ids, empty tokens, non-positive weights,
+     * negative rates.
+     */
+    static bool parseTenants(const json::Value &doc,
+                             std::vector<TenantSpec> &out,
+                             std::string &error);
+
+    /** Load (replace) the tenant set from a JSON file. */
+    bool loadFile(const std::string &path, std::string &error);
+
+    /** Replace the tenant set; assigns class ids and publishes. */
+    bool replace(std::vector<TenantSpec> tenants, std::string &error);
+
+    /** The current immutable snapshot (never null). */
+    std::shared_ptr<const TenantSnapshot> snapshot() const;
+
+    /** Auth enabled right now (snapshot non-empty)? */
+    bool enabled() const { return snapshot()->enabled(); }
+
+    /**
+     * GET/POST /admin/tenants. GET lists tenants with token
+     * fingerprints (never the secrets); POST replaces the set from a
+     * {"tenants": [...]} body, 400 on validation failure — fully
+     * validated before anything is published.
+     */
+    server::HttpResponse handleAdmin(const server::HttpRequest &req);
+
+    /**
+     * Called under the registry lock for every tenant id seen for
+     * the first time — the hook that lets the serving layer register
+     * per-tenant metrics for live-added tenants. Fired immediately
+     * for tenants already known.
+     */
+    void onNewClass(
+        std::function<void(const TenantSpec &)> hook);
+
+    /** Ever-grown id -> class map size (highest class id + 1). */
+    std::uint32_t classCount() const;
+
+  private:
+    /** Lowest-never-reused class id for id; lock held. */
+    std::uint32_t classIdFor(const std::string &id);
+
+    mutable std::mutex mutex_;
+    std::shared_ptr<const TenantSnapshot> snapshot_;
+    std::map<std::string, std::uint32_t> classIds_;
+    std::uint32_t nextClassId_ = 1; ///< 0 = unauthenticated class
+    std::function<void(const TenantSpec &)> newClassHook_;
+};
+
+} // namespace fosm::tenant
+
+#endif // FOSM_TENANT_REGISTRY_HH

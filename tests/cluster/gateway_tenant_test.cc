@@ -1,0 +1,238 @@
+/**
+ * @file
+ * End-to-end tenant enforcement through the gateway against a stub
+ * backend that records the headers it receives: 401 without/with a
+ * bad token, 429 past the rate limit, Authorization forwarded
+ * upstream, the verified X-Fosm-Tenant stamped, and — crucially — a
+ * client-forged X-Fosm-Tenant never reaching a backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/gateway.hh"
+#include "server/http.hh"
+#include "server/json.hh"
+#include "tenant/registry.hh"
+
+namespace fosm::cluster {
+namespace {
+
+using server::HttpRequest;
+using server::HttpResponse;
+using server::HttpServer;
+using server::HttpServerConfig;
+
+/** The headers of every non-health request the backend saw. */
+struct SeenHeaders
+{
+    std::mutex mutex;
+    std::vector<std::vector<std::pair<std::string, std::string>>>
+        requests;
+
+    std::string
+    lastValue(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (requests.empty())
+            return "";
+        for (const auto &header : requests.back())
+            if (header.first == name)
+                return header.second;
+        return "";
+    }
+
+    std::size_t
+    count()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return requests.size();
+    }
+};
+
+std::unique_ptr<HttpServer>
+makeRecordingBackend(SeenHeaders &seen)
+{
+    HttpServerConfig config;
+    config.port = 0;
+    config.workers = 2;
+    auto server = std::make_unique<HttpServer>(
+        config, [&seen](const HttpRequest &req) {
+            if (req.path() == "/healthz")
+                return HttpResponse::json(200,
+                                          "{\"status\":\"ok\"}");
+            {
+                std::lock_guard<std::mutex> lock(seen.mutex);
+                seen.requests.push_back(req.headers);
+            }
+            return HttpResponse::json(200, "{\"ok\":true}");
+        });
+    server->start();
+    return server;
+}
+
+std::shared_ptr<tenant::Registry>
+testRegistry()
+{
+    auto registry = std::make_shared<tenant::Registry>();
+    json::Value doc;
+    std::string error;
+    EXPECT_TRUE(json::parse(
+        R"({"tenants": [
+             {"id": "acme", "token": "tok-acme", "weight": 3},
+             {"id": "slow", "token": "tok-slow",
+              "rate_rps": 0.5, "burst": 1}]})",
+        doc, &error))
+        << error;
+    std::vector<tenant::TenantSpec> specs;
+    EXPECT_TRUE(
+        tenant::Registry::parseTenants(doc, specs, error))
+        << error;
+    EXPECT_TRUE(registry->replace(std::move(specs), error))
+        << error;
+    return registry;
+}
+
+GatewayConfig
+tenantGatewayConfig(const HttpServer &backend,
+                    std::shared_ptr<tenant::Registry> registry)
+{
+    GatewayConfig config;
+    BackendAddress addr;
+    addr.host = "127.0.0.1";
+    addr.port = backend.port();
+    addr.label = "127.0.0.1:" + std::to_string(backend.port());
+    config.backends = {addr};
+    config.registry = std::move(registry);
+    config.upstream.healthIntervalMs = 50;
+    config.upstream.connectTimeoutMs = 200;
+    config.upstream.requestTimeoutMs = 2000;
+    config.retries = 1;
+    config.retryBaseMs = 1;
+    config.hedgeMaxMs = 1000;
+    return config;
+}
+
+HttpResponse
+ask(Gateway &gateway, const std::string &path,
+    const std::vector<std::pair<std::string, std::string>> &headers,
+    const std::string &body = "{\"workload\":\"w\"}")
+{
+    HttpRequest req;
+    req.method = "POST";
+    req.target = path;
+    req.headers = headers;
+    req.body = body;
+    return gateway.handler()(req);
+}
+
+TEST(GatewayTenant, RejectsMissingAndUnknownTokens)
+{
+    SeenHeaders seen;
+    auto backend = makeRecordingBackend(seen);
+    Gateway gateway(tenantGatewayConfig(*backend, testRegistry()),
+                    nullptr);
+    gateway.start();
+
+    EXPECT_EQ(ask(gateway, "/v1/cpi", {}).status, 401);
+    EXPECT_EQ(
+        ask(gateway, "/v1/cpi", {{"authorization", "Bearer bad"}})
+            .status,
+        401);
+    // Nothing reached the backend.
+    EXPECT_EQ(seen.count(), 0u);
+
+    // Health stays open for probes.
+    HttpRequest health;
+    health.method = "GET";
+    health.target = "/healthz";
+    EXPECT_EQ(gateway.handler()(health).status, 200);
+    gateway.stop();
+}
+
+TEST(GatewayTenant, ForwardsAuthAndStampsVerifiedTenant)
+{
+    SeenHeaders seen;
+    auto backend = makeRecordingBackend(seen);
+    Gateway gateway(tenantGatewayConfig(*backend, testRegistry()),
+                    nullptr);
+    gateway.start();
+
+    // A client trying to forge an identity: the stamp upstream must
+    // be the *verified* one, and the forged value must vanish.
+    const HttpResponse ok = ask(
+        gateway, "/v1/cpi",
+        {{"authorization", "Bearer tok-acme"},
+         {"x-fosm-tenant", "forged-root"}});
+    EXPECT_EQ(ok.status, 200);
+    ASSERT_EQ(seen.count(), 1u);
+    EXPECT_EQ(seen.lastValue("x-fosm-tenant"), "acme");
+    EXPECT_EQ(seen.lastValue("authorization"), "Bearer tok-acme");
+    gateway.stop();
+}
+
+TEST(GatewayTenant, RateLimitedTenantGets429WithRetryAfter)
+{
+    SeenHeaders seen;
+    auto backend = makeRecordingBackend(seen);
+    Gateway gateway(tenantGatewayConfig(*backend, testRegistry()),
+                    nullptr);
+    gateway.start();
+
+    const std::vector<std::pair<std::string, std::string>> auth{
+        {"authorization", "Bearer tok-slow"}};
+    EXPECT_EQ(ask(gateway, "/v1/cpi", auth).status, 200); // burst 1
+    const HttpResponse limited = ask(gateway, "/v1/cpi", auth);
+    EXPECT_EQ(limited.status, 429);
+    std::string retryAfter;
+    for (const auto &header : limited.headers)
+        if (header.first == "Retry-After")
+            retryAfter = header.second;
+    EXPECT_FALSE(retryAfter.empty());
+    // The 429 was answered at the gateway: one upstream call only.
+    EXPECT_EQ(seen.count(), 1u);
+    gateway.stop();
+}
+
+TEST(GatewayTenant, AdminTenantsRoutesToTheRegistry)
+{
+    SeenHeaders seen;
+    auto backend = makeRecordingBackend(seen);
+    auto registry = testRegistry();
+    Gateway gateway(tenantGatewayConfig(*backend, registry),
+                    nullptr);
+    gateway.start();
+
+    HttpRequest list;
+    list.method = "GET";
+    list.target = "/admin/tenants";
+    const HttpResponse response = gateway.handler()(list);
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("acme"), std::string::npos);
+    // Secrets never leave the registry.
+    EXPECT_EQ(response.body.find("tok-acme"), std::string::npos);
+    gateway.stop();
+}
+
+TEST(GatewayTenant, NoRegistryMeansNoAuthAndNoAdminEndpoint)
+{
+    SeenHeaders seen;
+    auto backend = makeRecordingBackend(seen);
+    Gateway gateway(tenantGatewayConfig(*backend, nullptr),
+                    nullptr);
+    gateway.start();
+
+    EXPECT_EQ(ask(gateway, "/v1/cpi", {}).status, 200);
+    HttpRequest list;
+    list.method = "GET";
+    list.target = "/admin/tenants";
+    EXPECT_EQ(gateway.handler()(list).status, 404);
+    gateway.stop();
+}
+
+} // namespace
+} // namespace fosm::cluster

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -104,6 +105,39 @@ TEST(ShardedLruCache, ClearEmptiesEveryShard)
     EXPECT_EQ(cache.size(), 0u);
     int out = 0;
     EXPECT_FALSE(cache.get("key1", out));
+}
+
+TEST(ShardedLruCache, TtlExpiresEntries)
+{
+    // 50ms TTL: a hit inside the window, a counted expiry past it.
+    ShardedLruCache<std::string> cache(8, 1, 0.05);
+    EXPECT_DOUBLE_EQ(cache.ttlSeconds(), 0.05);
+    cache.put("k", "v");
+    std::string out;
+    EXPECT_TRUE(cache.get("k", out));
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    EXPECT_FALSE(cache.get("k", out));
+    EXPECT_EQ(cache.expirations(), 1u);
+    EXPECT_EQ(cache.size(), 0u); // expired entries are erased
+
+    // A put refreshes the clock: the entry lives a full TTL again.
+    cache.put("k", "v2");
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    cache.put("k", "v3"); // re-stamp
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_TRUE(cache.get("k", out)); // 30ms < 50ms since re-stamp
+    EXPECT_EQ(out, "v3");
+}
+
+TEST(ShardedLruCache, TtlZeroNeverExpires)
+{
+    ShardedLruCache<std::string> cache(8, 1); // default: no TTL
+    EXPECT_DOUBLE_EQ(cache.ttlSeconds(), 0.0);
+    cache.put("k", "v");
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    std::string out;
+    EXPECT_TRUE(cache.get("k", out));
+    EXPECT_EQ(cache.expirations(), 0u);
 }
 
 TEST(ShardedLruCache, ConcurrentAccessIsSafe)

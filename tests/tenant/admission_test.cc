@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Admission control: bearer-token parsing, the 401/429 decisions,
+ * token-bucket refill, inflight accounting, exempt paths, and the
+ * disabled-registry passthrough that keeps the default deployment
+ * byte-compatible with the pre-tenant stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "server/http.hh"
+#include "server/metrics.hh"
+#include "tenant/admission.hh"
+#include "tenant/registry.hh"
+
+namespace fosm::tenant {
+namespace {
+
+server::HttpRequest
+request(const std::string &path, const std::string &auth = "")
+{
+    server::HttpRequest req;
+    req.method = "POST";
+    req.target = path;
+    if (!auth.empty())
+        req.headers.emplace_back("authorization", auth);
+    return req;
+}
+
+Registry &
+loadedRegistry(Registry &registry, const std::string &doc)
+{
+    json::Value v;
+    std::string error;
+    EXPECT_TRUE(json::parse(doc, v, &error)) << error;
+    std::vector<TenantSpec> specs;
+    EXPECT_TRUE(Registry::parseTenants(v, specs, error)) << error;
+    EXPECT_TRUE(registry.replace(std::move(specs), error)) << error;
+    return registry;
+}
+
+TEST(TenantAdmission, BearerTokenParsing)
+{
+    EXPECT_EQ(Admission::bearerToken(
+                  request("/v1/cpi", "Bearer tok")),
+              "tok");
+    EXPECT_EQ(Admission::bearerToken(
+                  request("/v1/cpi", "bearer tok")),
+              "tok");
+    EXPECT_EQ(Admission::bearerToken(
+                  request("/v1/cpi", "BEARER   spaced")),
+              "spaced");
+    EXPECT_EQ(Admission::bearerToken(
+                  request("/v1/cpi", "Basic dXNlcjpwdw==")),
+              "");
+    EXPECT_EQ(Admission::bearerToken(request("/v1/cpi")), "");
+    EXPECT_EQ(Admission::bearerToken(
+                  request("/v1/cpi", "Bearer")),
+              "");
+}
+
+TEST(TenantAdmission, ExemptPaths)
+{
+    EXPECT_TRUE(Admission::exemptPath("/healthz"));
+    EXPECT_TRUE(Admission::exemptPath("/metrics"));
+    EXPECT_TRUE(Admission::exemptPath("/v1/store/stats"));
+    EXPECT_TRUE(Admission::exemptPath("/admin/tenants"));
+    EXPECT_TRUE(Admission::exemptPath("/admin/backends"));
+    EXPECT_FALSE(Admission::exemptPath("/v1/cpi"));
+    EXPECT_FALSE(Admission::exemptPath("/v1/batch"));
+}
+
+TEST(TenantAdmission, EmptyRegistryAdmitsEverythingAsClassZero)
+{
+    Registry registry;
+    Admission admission(registry, nullptr, {});
+    const AdmitDecision d = admission.admit(request("/v1/cpi"));
+    EXPECT_TRUE(d.admitted());
+    EXPECT_EQ(d.classId, 0u);
+    EXPECT_TRUE(d.tenantId.empty());
+}
+
+TEST(TenantAdmission, AuthRequiredWhenTenantsExist)
+{
+    Registry registry;
+    loadedRegistry(
+        registry,
+        R"({"tenants": [{"id": "acme", "token": "tok-a"}]})");
+    server::MetricsRegistry metrics;
+    Admission admission(registry, &metrics, {});
+
+    const AdmitDecision missing =
+        admission.admit(request("/v1/cpi"));
+    EXPECT_EQ(missing.status, 401);
+
+    const AdmitDecision wrong =
+        admission.admit(request("/v1/cpi", "Bearer nope"));
+    EXPECT_EQ(wrong.status, 401);
+
+    const AdmitDecision ok =
+        admission.admit(request("/v1/cpi", "Bearer tok-a"));
+    EXPECT_TRUE(ok.admitted());
+    EXPECT_EQ(ok.tenantId, "acme");
+    EXPECT_NE(ok.classId, 0u);
+
+    // Health probes keep working without a token.
+    EXPECT_TRUE(admission.admit(request("/healthz")).admitted());
+
+    const std::string rendered = metrics.renderPrometheus();
+    EXPECT_NE(rendered.find("fosm_tenant_auth_failures_total 2"),
+              std::string::npos)
+        << rendered;
+    EXPECT_NE(rendered.find(
+                  "fosm_tenant_admitted_total{tenant=\"acme\"} 1"),
+              std::string::npos)
+        << rendered;
+}
+
+TEST(TenantAdmission, RateLimitAnswers429WithRetryAfter)
+{
+    Registry registry;
+    loadedRegistry(registry,
+                   R"({"tenants": [{"id": "slow", "token": "t",
+                                    "rate_rps": 0.5, "burst": 2}]})");
+    AdmissionOptions options;
+    options.enforceRate = true;
+    Admission admission(registry, nullptr, options);
+
+    const auto req = request("/v1/cpi", "Bearer t");
+    EXPECT_TRUE(admission.admit(req).admitted()); // burst token 1
+    EXPECT_TRUE(admission.admit(req).admitted()); // burst token 2
+    const AdmitDecision limited = admission.admit(req);
+    EXPECT_EQ(limited.status, 429);
+    EXPECT_GE(limited.retryAfterSeconds, 1);
+    // At 0.5 rps the bucket needs ~2s for the next whole token.
+    EXPECT_LE(limited.retryAfterSeconds, 3);
+}
+
+TEST(TenantAdmission, BucketRefillsAtTheDeclaredRate)
+{
+    Registry registry;
+    loadedRegistry(registry,
+                   R"({"tenants": [{"id": "fast", "token": "t",
+                                    "rate_rps": 200, "burst": 1}]})");
+    AdmissionOptions options;
+    options.enforceRate = true;
+    Admission admission(registry, nullptr, options);
+
+    const auto req = request("/v1/cpi", "Bearer t");
+    EXPECT_TRUE(admission.admit(req).admitted());
+    EXPECT_EQ(admission.admit(req).status, 429);
+    // 200 rps refills a whole token in 5ms; 100ms is safely past.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_TRUE(admission.admit(req).admitted());
+}
+
+TEST(TenantAdmission, RateNotEnforcedWhenDisabled)
+{
+    Registry registry;
+    loadedRegistry(registry,
+                   R"({"tenants": [{"id": "a", "token": "t",
+                                    "rate_rps": 0.1}]})");
+    Admission admission(registry, nullptr, {}); // serve-style
+    const auto req = request("/v1/cpi", "Bearer t");
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(admission.admit(req).admitted());
+}
+
+TEST(TenantAdmission, InflightQuotaHoldsAndReleases)
+{
+    Registry registry;
+    loadedRegistry(registry,
+                   R"({"tenants": [{"id": "a", "token": "t",
+                                    "max_inflight": 2}]})");
+    AdmissionOptions options;
+    options.enforceInflight = true;
+    Admission admission(registry, nullptr, options);
+
+    const auto req = request("/v1/cpi", "Bearer t");
+    AdmitDecision first = admission.admit(req);
+    AdmitDecision second = admission.admit(req);
+    EXPECT_TRUE(first.admitted());
+    EXPECT_TRUE(first.inflightHeld);
+    EXPECT_TRUE(second.admitted());
+
+    const AdmitDecision third = admission.admit(req);
+    EXPECT_EQ(third.status, 429);
+    EXPECT_EQ(third.retryAfterSeconds, 1);
+
+    // Finishing one request frees a slot.
+    admission.release(first);
+    EXPECT_TRUE(admission.admit(req).admitted());
+
+    // release() of a non-held decision is a no-op, not an underflow.
+    admission.release(third);
+}
+
+TEST(TenantAdmission, QuotaStateSurvivesRegistryEdits)
+{
+    Registry registry;
+    loadedRegistry(registry,
+                   R"({"tenants": [{"id": "a", "token": "t",
+                                    "rate_rps": 0.5, "burst": 1}]})");
+    AdmissionOptions options;
+    options.enforceRate = true;
+    Admission admission(registry, nullptr, options);
+
+    const auto req = request("/v1/cpi", "Bearer t");
+    EXPECT_TRUE(admission.admit(req).admitted());
+    EXPECT_EQ(admission.admit(req).status, 429);
+
+    // A live edit (same tenant, new weight) must not refill the
+    // bucket: the drained state carries over by tenant id.
+    loadedRegistry(registry,
+                   R"({"tenants": [{"id": "a", "token": "t",
+                                    "weight": 5,
+                                    "rate_rps": 0.5, "burst": 1}]})");
+    EXPECT_EQ(admission.admit(req).status, 429);
+}
+
+} // namespace
+} // namespace fosm::tenant

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The from-scratch SHA-256 / HMAC-SHA256 against published test
+ * vectors (FIPS 180-4 examples, RFC 4231), plus the constant-time
+ * token comparison's functional contract. Timing itself is not
+ * asserted — that property rests on the double-HMAC construction —
+ * but equality/inequality across lengths and contents is.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tenant/auth.hh"
+
+namespace fosm::tenant {
+namespace {
+
+TEST(TenantAuth, Sha256KnownVectors)
+{
+    // FIPS 180-4 / NIST example vectors.
+    EXPECT_EQ(toHex(sha256("abc")),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(toHex(sha256("")),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+    // Two-block message (56 bytes forces the padding split).
+    EXPECT_EQ(toHex(sha256("abcdbcdecdefdefgefghfghighijhijk"
+                           "ijkljklmklmnlmnomnopnopq")),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+    // > 64 bytes: exercises multi-block streaming.
+    EXPECT_EQ(toHex(sha256(std::string(1000000, 'a'))),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(TenantAuth, HmacSha256Rfc4231Vectors)
+{
+    // RFC 4231 test case 1.
+    EXPECT_EQ(toHex(hmacSha256(std::string(20, '\x0b'),
+                               "Hi There")),
+              "b0344c61d8db38535ca8afceaf0bf12b"
+              "881dc200c9833da726e9376c2e32cff7");
+    // Test case 2: key shorter than the block size.
+    EXPECT_EQ(toHex(hmacSha256(
+                  "Jefe", "what do ya want for nothing?")),
+              "5bdcc146bf60754e6a042426089575c7"
+              "5a003f089d2739839dec58b964ec3843");
+    // Test case 6: key longer than the 64-byte block (forces the
+    // key-hashing path).
+    EXPECT_EQ(toHex(hmacSha256(
+                  std::string(131, '\xaa'),
+                  "Test Using Larger Than Block-Size Key - "
+                  "Hash Key First")),
+              "60e431591ee0b67f0d8a26aacbf5b77f"
+              "8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(TenantAuth, TokenEquals)
+{
+    EXPECT_TRUE(tokenEquals("secret", "secret"));
+    EXPECT_TRUE(tokenEquals("", ""));
+    EXPECT_FALSE(tokenEquals("secret", "secrets"));
+    EXPECT_FALSE(tokenEquals("secrets", "secret"));
+    EXPECT_FALSE(tokenEquals("secret", "Secret"));
+    EXPECT_FALSE(tokenEquals("", "x"));
+    // Long tokens with a single differing byte, at both ends.
+    const std::string base(256, 'k');
+    std::string head = base, tail = base;
+    head[0] = 'K';
+    tail[255] = 'K';
+    EXPECT_TRUE(tokenEquals(base, base));
+    EXPECT_FALSE(tokenEquals(head, base));
+    EXPECT_FALSE(tokenEquals(tail, base));
+}
+
+TEST(TenantAuth, TokenFingerprint)
+{
+    // Deterministic, 16 hex chars, and clearly not the token.
+    const std::string fp = tokenFingerprint("abc");
+    EXPECT_EQ(fp.size(), 16u);
+    EXPECT_EQ(fp, "ba7816bf8f01cfea"); // sha256("abc") prefix
+    EXPECT_EQ(fp, tokenFingerprint("abc"));
+    EXPECT_NE(fp, tokenFingerprint("abd"));
+}
+
+} // namespace
+} // namespace fosm::tenant

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tenant registry: document parsing/validation, constant-time
+ * verification against the live snapshot, RCU snapshot swap
+ * semantics, class-id stability across live edits, and the
+ * /admin/tenants handler (which must never echo a secret back).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "server/http.hh"
+#include "server/json.hh"
+#include "tenant/auth.hh"
+#include "tenant/registry.hh"
+
+namespace fosm::tenant {
+namespace {
+
+json::Value
+parsedOrDie(const std::string &text)
+{
+    json::Value v;
+    std::string error;
+    EXPECT_TRUE(json::parse(text, v, &error)) << error;
+    return v;
+}
+
+std::vector<TenantSpec>
+specsOf(const std::string &doc)
+{
+    std::vector<TenantSpec> out;
+    std::string error;
+    EXPECT_TRUE(Registry::parseTenants(parsedOrDie(doc), out, error))
+        << error;
+    return out;
+}
+
+std::string
+parseError(const std::string &doc)
+{
+    std::vector<TenantSpec> out;
+    std::string error;
+    EXPECT_FALSE(
+        Registry::parseTenants(parsedOrDie(doc), out, error));
+    return error;
+}
+
+server::HttpRequest
+adminRequest(const std::string &method, const std::string &body = "")
+{
+    server::HttpRequest req;
+    req.method = method;
+    req.target = "/admin/tenants";
+    req.body = body;
+    return req;
+}
+
+TEST(TenantRegistry, ParsesFullDocument)
+{
+    const auto specs = specsOf(
+        R"({"tenants": [
+             {"id": "acme", "token": "tok-a", "weight": 2.5,
+              "rate_rps": 100, "burst": 300, "max_inflight": 8},
+             {"id": "beta", "token": "tok-b"}]})");
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].id, "acme");
+    EXPECT_EQ(specs[0].token, "tok-a");
+    EXPECT_DOUBLE_EQ(specs[0].weight, 2.5);
+    EXPECT_DOUBLE_EQ(specs[0].rateRps, 100.0);
+    EXPECT_DOUBLE_EQ(specs[0].burst, 300.0);
+    EXPECT_EQ(specs[0].maxInflight, 8u);
+    // Defaults: weight 1, no limits, burst = 2*rate (= 0 here).
+    EXPECT_DOUBLE_EQ(specs[1].weight, 1.0);
+    EXPECT_DOUBLE_EQ(specs[1].rateRps, 0.0);
+    EXPECT_EQ(specs[1].maxInflight, 0u);
+}
+
+TEST(TenantRegistry, RejectsMalformedDocuments)
+{
+    EXPECT_NE(parseError(R"({})").find("tenants"),
+              std::string::npos);
+    EXPECT_NE(parseError(R"({"tenants": [{"token": "t"}]})")
+                  .find("id"),
+              std::string::npos);
+    EXPECT_NE(parseError(R"({"tenants": [{"id": "a"}]})")
+                  .find("token"),
+              std::string::npos);
+    EXPECT_NE(
+        parseError(
+            R"({"tenants": [{"id": "bad id!", "token": "t"}]})")
+            .find("id"),
+        std::string::npos);
+    EXPECT_NE(
+        parseError(R"({"tenants": [
+                        {"id": "a", "token": "t"},
+                        {"id": "a", "token": "u"}]})")
+            .find("duplicate"),
+        std::string::npos);
+    EXPECT_NE(parseError(R"({"tenants": [{"id": "a", "token": "t",
+                                          "weight": 0}]})")
+                  .find("weight"),
+              std::string::npos);
+    EXPECT_NE(parseError(R"({"tenants": [{"id": "a", "token": "t",
+                                          "rate_rps": -1}]})")
+                  .find("rate"),
+              std::string::npos);
+}
+
+TEST(TenantRegistry, VerifyMatchesOnlyTheRightToken)
+{
+    Registry registry;
+    std::string error;
+    ASSERT_TRUE(registry.replace(
+        specsOf(R"({"tenants": [
+                     {"id": "acme", "token": "tok-a"},
+                     {"id": "beta", "token": "tok-b"}]})"),
+        error))
+        << error;
+
+    const auto snap = registry.snapshot();
+    ASSERT_TRUE(snap->enabled());
+    const TenantSpec *acme = snap->verify("tok-a");
+    ASSERT_NE(acme, nullptr);
+    EXPECT_EQ(acme->id, "acme");
+    const TenantSpec *beta = snap->verify("tok-b");
+    ASSERT_NE(beta, nullptr);
+    EXPECT_EQ(beta->id, "beta");
+    EXPECT_EQ(snap->verify("tok-c"), nullptr);
+    EXPECT_EQ(snap->verify(""), nullptr);
+    EXPECT_NE(snap->byId("acme"), nullptr);
+    EXPECT_EQ(snap->byId("nope"), nullptr);
+}
+
+TEST(TenantRegistry, SnapshotSurvivesReplace)
+{
+    Registry registry;
+    std::string error;
+    ASSERT_TRUE(registry.replace(
+        specsOf(R"({"tenants": [{"id": "a", "token": "t1"}]})"),
+        error));
+    const auto old = registry.snapshot();
+    ASSERT_TRUE(registry.replace(
+        specsOf(R"({"tenants": [{"id": "b", "token": "t2"}]})"),
+        error));
+    // The old snapshot is immutable and still verifies the old set;
+    // the registry's current one verifies only the new.
+    EXPECT_NE(old->verify("t1"), nullptr);
+    EXPECT_EQ(registry.snapshot()->verify("t1"), nullptr);
+    EXPECT_NE(registry.snapshot()->verify("t2"), nullptr);
+}
+
+TEST(TenantRegistry, ClassIdsAreStableAndNeverReused)
+{
+    Registry registry;
+    std::string error;
+    ASSERT_TRUE(registry.replace(
+        specsOf(R"({"tenants": [{"id": "a", "token": "t"},
+                                {"id": "b", "token": "u"}]})"),
+        error));
+    const auto first = registry.snapshot();
+    const std::uint32_t aClass = first->byId("a")->classId;
+    const std::uint32_t bClass = first->byId("b")->classId;
+    EXPECT_NE(aClass, 0u); // 0 is the unauthenticated class
+    EXPECT_NE(bClass, 0u);
+    EXPECT_NE(aClass, bClass);
+
+    // Drop b, add c; then bring b back. a keeps its id throughout,
+    // b gets its original id back, and c got a fresh one.
+    ASSERT_TRUE(registry.replace(
+        specsOf(R"({"tenants": [{"id": "a", "token": "t"},
+                                {"id": "c", "token": "v"}]})"),
+        error));
+    const std::uint32_t cClass =
+        registry.snapshot()->byId("c")->classId;
+    EXPECT_EQ(registry.snapshot()->byId("a")->classId, aClass);
+    EXPECT_NE(cClass, aClass);
+    EXPECT_NE(cClass, bClass);
+
+    ASSERT_TRUE(registry.replace(
+        specsOf(R"({"tenants": [{"id": "b", "token": "u"}]})"),
+        error));
+    EXPECT_EQ(registry.snapshot()->byId("b")->classId, bClass);
+    EXPECT_EQ(registry.classCount(), 4u); // 0, a, b, c
+}
+
+TEST(TenantRegistry, OnNewClassFiresForExistingAndFutureTenants)
+{
+    Registry registry;
+    std::string error;
+    ASSERT_TRUE(registry.replace(
+        specsOf(R"({"tenants": [{"id": "a", "token": "t"}]})"),
+        error));
+    std::vector<std::string> seen;
+    registry.onNewClass(
+        [&seen](const TenantSpec &spec) { seen.push_back(spec.id); });
+    EXPECT_EQ(seen, std::vector<std::string>{"a"});
+
+    // A replace that re-lists a and first-sees b fires only for b.
+    ASSERT_TRUE(registry.replace(
+        specsOf(R"({"tenants": [{"id": "a", "token": "t"},
+                                {"id": "b", "token": "u"}]})"),
+        error));
+    EXPECT_EQ(seen, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TenantRegistry, AdminGetRedactsTokens)
+{
+    Registry registry;
+    std::string error;
+    ASSERT_TRUE(registry.replace(
+        specsOf(
+            R"({"tenants": [{"id": "acme", "token": "hunter2",
+                             "weight": 2, "rate_rps": 10}]})"),
+        error));
+    const server::HttpResponse response =
+        registry.handleAdmin(adminRequest("GET"));
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body.find("hunter2"), std::string::npos);
+    EXPECT_NE(
+        response.body.find(tokenFingerprint("hunter2")),
+        std::string::npos);
+    EXPECT_NE(response.body.find("\"auth_enabled\":true"),
+              std::string::npos)
+        << response.body;
+}
+
+TEST(TenantRegistry, AdminPostReplacesOrRejects)
+{
+    Registry registry;
+    // Valid POST publishes and answers with the new listing.
+    const server::HttpResponse ok = registry.handleAdmin(
+        adminRequest("POST",
+                     R"({"tenants": [{"id": "a", "token": "t"}]})"));
+    EXPECT_EQ(ok.status, 200);
+    EXPECT_TRUE(registry.enabled());
+    EXPECT_NE(registry.snapshot()->verify("t"), nullptr);
+
+    // Invalid POST answers 400 and changes nothing.
+    const server::HttpResponse bad = registry.handleAdmin(
+        adminRequest("POST", R"({"tenants": [{"id": "x"}]})"));
+    EXPECT_EQ(bad.status, 400);
+    EXPECT_NE(registry.snapshot()->verify("t"), nullptr);
+
+    const server::HttpResponse wrongMethod =
+        registry.handleAdmin(adminRequest("DELETE"));
+    EXPECT_EQ(wrongMethod.status, 405);
+}
+
+TEST(TenantRegistry, EmptyRegistryDisablesAuth)
+{
+    Registry registry;
+    EXPECT_FALSE(registry.enabled());
+    EXPECT_EQ(registry.snapshot()->verify("anything"), nullptr);
+    // And an explicit empty replace keeps it that way.
+    std::string error;
+    ASSERT_TRUE(registry.replace({}, error));
+    EXPECT_FALSE(registry.enabled());
+}
+
+} // namespace
+} // namespace fosm::tenant

@@ -61,7 +61,7 @@ main(int argc, char **argv)
          "connect-timeout", "request-timeout", "default-deadline",
          "breaker-failures", "breaker-min-samples",
          "breaker-error-rate", "breaker-open-base",
-         "breaker-open-max"},
+         "breaker-open-max", "tenants-file"},
         "usage: fosm-gateway --backends host:port[,host:port...] "
         "[flags]\n"
         "  --host 127.0.0.1       listen address\n"
@@ -97,7 +97,12 @@ main(int argc, char **argv)
         "  --breaker-open-base 1000  first breaker-open duration "
         "(ms)\n"
         "  --breaker-open-max 30000  breaker-open duration cap "
-        "(ms)\n");
+        "(ms)\n"
+        "  --tenants-file F       JSON tenant registry: bearer-token"
+        "\n"
+        "                         auth plus per-tenant rate and\n"
+        "                         inflight quotas (docs/TENANCY.md)"
+        "\n");
 
     const std::string backendList = args.get("backends", "");
     GatewayConfig config;
@@ -136,6 +141,16 @@ main(int argc, char **argv)
         static_cast<int>(args.getInt("breaker-open-base", 1000));
     config.upstream.breakerOpenMaxMs =
         static_cast<int>(args.getInt("breaker-open-max", 30000));
+
+    if (args.has("tenants-file")) {
+        config.registry = std::make_shared<tenant::Registry>();
+        if (!config.registry->loadFile(
+                args.get("tenants-file", ""), error))
+            fosm_fatal("fosm-gateway: --tenants-file: ", error);
+        std::cout << "fosm-gateway: tenant auth + quotas enabled ("
+                  << config.registry->snapshot()->tenants.size()
+                  << " tenants)\n";
+    }
 
     server::MetricsRegistry metrics;
     Gateway gateway(config, &metrics);

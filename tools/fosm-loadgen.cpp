@@ -41,6 +41,20 @@
  * percentiles) so a slow or dead replica is visible per-target
  * instead of smeared into the aggregate.
  *
+ * --tenant-spec id:token[:weight[:rps[:endpoint[:batch]]]],...
+ * switches to multi-tenant mode: connections stripe across the
+ * tenant list round-robin and every request carries that tenant's
+ * bearer token, so one loadgen process can play a whole population
+ * against a --tenants-file-enabled serve or gateway. Per tenant, an
+ * rps > 0 paces that tenant open-loop on its own timetable while 0
+ * keeps it closed-loop — the idiomatic noisy-neighbor drill is one
+ * saturating closed-loop batch tenant against a paced interactive
+ * one. 401s and 429s are counted per status (never as errors: a 429
+ * is the quota doing its job), and the report adds a per-tenant
+ * breakdown (ok/429 counts, throughput, share of total, latency
+ * percentiles) next to the declared weight, which is exactly the
+ * fairness evidence scripts/tenant_smoke.sh asserts on.
+ *
  * --drill kill-rejoin timestamps every sample so one continuous run
  * can be split into phases around externally-orchestrated cluster
  * events: scripts/chaos_smoke.sh SIGKILLs a backend at the first
@@ -74,6 +88,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -101,6 +116,8 @@ struct WorkerResult
     std::uint64_t ok = 0;          ///< 2xx post-warmup
     std::uint64_t rejected = 0;    ///< 503 post-warmup
     std::uint64_t deadline = 0;    ///< 504 deadline exceeded
+    std::uint64_t unauthorized = 0; ///< 401 tenant auth failures
+    std::uint64_t ratelimited = 0; ///< 429 tenant quota rejections
     std::uint64_t timeouts = 0;    ///< client-side socket timeout
     std::uint64_t errors = 0;      ///< other statuses / transport
     std::uint64_t warmup = 0;      ///< requests in the warmup window
@@ -189,6 +206,103 @@ buildBodies(const std::string &endpoint, std::uint64_t distinct,
         bodies.push_back(body.dump());
     }
     return bodies;
+}
+
+/** One tenant the load is played as (--tenant-spec). */
+struct TenantLoad
+{
+    std::string id;
+    std::string token;
+    double weight = 1.0;      ///< reported next to the measured share
+    double rps = 0.0;         ///< > 0 paces this tenant open-loop
+    std::string endpoint;     ///< empty = the global --endpoint
+    std::uint64_t batchRows = 0; ///< 0 = the global --batch
+    std::vector<std::string> bodies; ///< pre-built per tenant
+};
+
+/**
+ * Parse "id:token[:weight[:rps[:endpoint[:batch]]]],..." — fields
+ * are positional; the endpoint is recognizable by its leading '/'.
+ */
+bool
+parseTenantSpec(const std::string &text,
+                std::vector<TenantLoad> &out, std::string &error)
+{
+    std::size_t from = 0;
+    while (from <= text.size()) {
+        std::size_t to = text.find(',', from);
+        if (to == std::string::npos)
+            to = text.size();
+        const std::string item = text.substr(from, to - from);
+        from = to + 1;
+        if (item.empty())
+            continue;
+        std::vector<std::string> fields;
+        std::size_t f = 0;
+        while (f <= item.size()) {
+            std::size_t sep = item.find(':', f);
+            if (sep == std::string::npos)
+                sep = item.size();
+            fields.push_back(item.substr(f, sep - f));
+            f = sep + 1;
+        }
+        if (fields.size() < 2 || fields[0].empty() ||
+            fields[1].empty()) {
+            error = "'" + item + "': need at least id:token";
+            return false;
+        }
+        TenantLoad tenant;
+        tenant.id = fields[0];
+        tenant.token = fields[1];
+        char *end = nullptr;
+        if (fields.size() > 2) {
+            tenant.weight = std::strtod(fields[2].c_str(), &end);
+            if (*end != '\0' || tenant.weight <= 0.0) {
+                error = "'" + item + "': bad weight '" + fields[2] +
+                        "'";
+                return false;
+            }
+        }
+        if (fields.size() > 3) {
+            tenant.rps = std::strtod(fields[3].c_str(), &end);
+            if (*end != '\0' || tenant.rps < 0.0) {
+                error =
+                    "'" + item + "': bad rps '" + fields[3] + "'";
+                return false;
+            }
+        }
+        if (fields.size() > 4) {
+            if (fields[4].empty() || fields[4][0] != '/') {
+                error = "'" + item + "': endpoint must start with /";
+                return false;
+            }
+            tenant.endpoint = fields[4];
+        }
+        if (fields.size() > 5) {
+            tenant.batchRows = static_cast<std::uint64_t>(
+                std::strtoull(fields[5].c_str(), &end, 10));
+            if (*end != '\0') {
+                error = "'" + item + "': bad batch rows '" +
+                        fields[5] + "'";
+                return false;
+            }
+        }
+        if (fields.size() > 6) {
+            error = "'" + item + "': too many fields";
+            return false;
+        }
+        for (const TenantLoad &existing : out)
+            if (existing.id == tenant.id) {
+                error = "duplicate tenant id '" + tenant.id + "'";
+                return false;
+            }
+        out.push_back(std::move(tenant));
+    }
+    if (out.empty()) {
+        error = "no tenants in spec";
+        return false;
+    }
+    return true;
 }
 
 // ---------------------------------------------------------------------
@@ -549,8 +663,8 @@ main(int argc, char **argv)
         argc, argv,
         {"host", "port", "targets", "connections", "duration",
          "warmup", "endpoint", "distinct", "rate", "timeout",
-         "deadline", "batch", "optimize", "space-points", "seed",
-         "drill", "marks", "out"},
+         "deadline", "batch", "tenant-spec", "optimize",
+         "space-points", "seed", "drill", "marks", "out"},
         "usage: fosm-loadgen [flags]\n"
         "  --host 127.0.0.1    server address\n"
         "  --port 8080         server port\n"
@@ -576,6 +690,17 @@ main(int argc, char **argv)
         "                      per request; throughput is reported\n"
         "                      per design point as well as per\n"
         "                      request (0 = single-request mode)\n"
+        "  --tenant-spec id:token[:weight[:rps[:endpoint[:batch]]]]"
+        ",...\n"
+        "                      multi-tenant mode: connections stripe\n"
+        "                      across the tenant list and each\n"
+        "                      request carries that tenant's bearer\n"
+        "                      token; rps > 0 paces the tenant\n"
+        "                      open-loop (0 = closed loop); endpoint\n"
+        "                      and batch override the global flags\n"
+        "                      per tenant. Adds a per-tenant\n"
+        "                      breakdown to the report; 401/429 are\n"
+        "                      counted per status, never as errors\n"
         "  --optimize MODE     one-shot design-space benchmark over\n"
         "                      a --seed-randomized space instead of\n"
         "                      a load loop: 'planned' = one POST\n"
@@ -605,7 +730,7 @@ main(int argc, char **argv)
     const std::string host = args.get("host", "127.0.0.1");
     const std::uint16_t port =
         static_cast<std::uint16_t>(args.getInt("port", 8080));
-    const std::uint64_t connections =
+    std::uint64_t connections =
         std::max<std::uint64_t>(1, args.getInt("connections", 4));
     const double duration =
         std::max(0.1, args.getDouble("duration", 10.0));
@@ -659,6 +784,38 @@ main(int argc, char **argv)
                                            std::to_string(port)});
     }
 
+    std::vector<TenantLoad> tenants;
+    if (args.has("tenant-spec")) {
+        std::string error;
+        if (!parseTenantSpec(args.get("tenant-spec", ""), tenants,
+                             error)) {
+            std::cerr << "error: --tenant-spec: " << error << "\n";
+            return 1;
+        }
+        if (rate > 0.0) {
+            std::cerr << "error: --rate and --tenant-spec are "
+                         "exclusive; pace per tenant via the spec's "
+                         "rps field\n";
+            return 1;
+        }
+        for (TenantLoad &tenant : tenants) {
+            if (tenant.batchRows == 0)
+                tenant.batchRows = batchRows;
+            if (tenant.endpoint.empty())
+                tenant.endpoint =
+                    tenant.batchRows > 0 ? "/v1/batch" : endpoint;
+            tenant.bodies = buildBodies(tenant.endpoint, distinct,
+                                        tenant.batchRows);
+        }
+        if (connections < tenants.size()) {
+            std::cerr << "note: raising --connections to "
+                      << tenants.size()
+                      << " so every tenant gets one\n";
+            connections = tenants.size();
+        }
+    }
+    const bool tenantMode = !tenants.empty();
+
     const std::vector<std::string> bodies =
         buildBodies(endpoint, distinct, batchRows);
 
@@ -676,12 +833,31 @@ main(int argc, char **argv)
     std::atomic<std::uint64_t> uniqueSeq{0};
     /** Open loop: workers claim arrival slots off one timetable. */
     std::atomic<std::uint64_t> arrivalSeq{0};
+    /** Tenant mode: one timetable per paced tenant (zeroed). */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> tenantArrivals(
+        tenantMode
+            ? new std::atomic<std::uint64_t>[tenants.size()]()
+            : nullptr);
 
     for (std::uint64_t c = 0; c < connections; ++c) {
         threads.emplace_back([&, c] {
             WorkerResult &r = results[c];
             const cluster::BackendAddress &target =
                 targets[c % targets.size()];
+            // This connection's identity and load shape: its own
+            // tenant in tenant mode, the global flags otherwise.
+            const TenantLoad *tenant =
+                tenantMode ? &tenants[c % tenants.size()] : nullptr;
+            const std::string &workerEndpoint =
+                tenant ? tenant->endpoint : endpoint;
+            const std::uint64_t workerBatch =
+                tenant ? tenant->batchRows : batchRows;
+            const std::vector<std::string> &workerBodies =
+                tenant ? tenant->bodies : bodies;
+            const double workerRate = tenant ? tenant->rps : rate;
+            std::atomic<std::uint64_t> &workerArrivals =
+                tenant ? tenantArrivals[c % tenants.size()]
+                       : arrivalSeq;
             fosm::server::HttpClient client(target.host,
                                             target.port);
             if (timeoutMs > 0)
@@ -692,28 +868,35 @@ main(int argc, char **argv)
                 extraHeaders.emplace_back(
                     fosm::server::deadlineHeader,
                     std::to_string(deadlineMs));
+            if (tenant)
+                extraHeaders.emplace_back(
+                    "Authorization", "Bearer " + tenant->token);
             fosm::server::ClientResponse response;
             std::uint64_t i = c; // stagger the rotation per thread
             while (true) {
                 Clock::time_point scheduled{};
-                if (rate > 0.0) {
-                    // Claim the next slot on the global timetable.
-                    // If the server is slow the slot's time is
-                    // already past and the sleep is a no-op — the
-                    // lateness is the queueing delay reported below.
-                    const std::uint64_t seq = arrivalSeq.fetch_add(1);
+                if (workerRate > 0.0) {
+                    // Claim the next slot on the timetable (global,
+                    // or this tenant's own in tenant mode). If the
+                    // server is slow the slot's time is already past
+                    // and the sleep is a no-op — the lateness is the
+                    // queueing delay reported below.
+                    const std::uint64_t seq =
+                        workerArrivals.fetch_add(1);
                     scheduled =
                         start +
                         std::chrono::duration_cast<Clock::duration>(
                             std::chrono::duration<double>(
-                                static_cast<double>(seq) / rate));
+                                static_cast<double>(seq) /
+                                workerRate));
                     if (scheduled >= deadline)
                         break;
                     std::this_thread::sleep_until(scheduled);
                 } else if (Clock::now() >= deadline) {
                     break;
                 }
-                std::string body = bodies[i % bodies.size()];
+                std::string body =
+                    workerBodies[i % workerBodies.size()];
                 if (distinct == 0) {
                     // Unique design point per request: defeat the
                     // cache by bumping a parameter monotonically.
@@ -723,15 +906,15 @@ main(int argc, char **argv)
                     std::string err;
                     json::parse(body, v, &err);
                     const std::uint64_t seq = uniqueSeq.fetch_add(
-                        batchRows > 0 ? batchRows : 1);
-                    if (batchRows > 0) {
+                        workerBatch > 0 ? workerBatch : 1);
+                    if (workerBatch > 0) {
                         // Fresh rows every request: batchRows
                         // never-seen design points per batch. The
                         // deltaI second axis keeps points unique
                         // past the deltaD wrap (batch rates clear
                         // 900k points well inside a run).
                         json::Value rows = json::Value::array();
-                        for (std::uint64_t j = 0; j < batchRows;
+                        for (std::uint64_t j = 0; j < workerBatch;
                              ++j) {
                             json::Value row = json::Value::object();
                             row.set("deltaD",
@@ -744,7 +927,7 @@ main(int argc, char **argv)
                             rows.push(std::move(row));
                         }
                         v.set("rows", std::move(rows));
-                    } else if (endpoint == "/v1/trends") {
+                    } else if (workerEndpoint == "/v1/trends") {
                         json::Value config = json::Value::object();
                         config.set(
                             "avgLatency",
@@ -752,7 +935,7 @@ main(int argc, char **argv)
                                 static_cast<double>(seq % 900000) *
                                     1e-6);
                         v.set("config", std::move(config));
-                    } else if (endpoint == "/v1/iw-curve") {
+                    } else if (workerEndpoint == "/v1/iw-curve") {
                         json::Value windows = json::Value::array();
                         windows.push(std::uint64_t{4 + seq % 250});
                         v.set("windows", std::move(windows));
@@ -766,14 +949,15 @@ main(int argc, char **argv)
                 }
                 ++i;
                 const auto t0 = Clock::now();
-                const bool ok = client.request(
-                    "POST", endpoint, body, extraHeaders, response);
+                const bool ok =
+                    client.request("POST", workerEndpoint, body,
+                                   extraHeaders, response);
                 const auto t1 = Clock::now();
                 if (t1 < measureFrom) {
                     ++r.warmup;
                     continue;
                 }
-                if (rate > 0.0) {
+                if (workerRate > 0.0) {
                     r.queueDelays.push_back(std::max(
                         0.0, std::chrono::duration<double>(
                                  t0 - scheduled)
@@ -807,6 +991,10 @@ main(int argc, char **argv)
                         ++r.rejected;
                     else if (response.status == 504)
                         ++r.deadline;
+                    else if (response.status == 401)
+                        ++r.unauthorized;
+                    else if (response.status == 429)
+                        ++r.ratelimited;
                     else
                         ++r.errors;
                     if (!drill.empty())
@@ -824,6 +1012,8 @@ main(int argc, char **argv)
         total.ok += r.ok;
         total.rejected += r.rejected;
         total.deadline += r.deadline;
+        total.unauthorized += r.unauthorized;
+        total.ratelimited += r.ratelimited;
         total.timeouts += r.timeouts;
         total.errors += r.errors;
         total.warmup += r.warmup;
@@ -851,7 +1041,10 @@ main(int argc, char **argv)
 
     json::Value report = json::Value::object();
     report.set("endpoint", endpoint);
-    report.set("mode", rate > 0.0 ? "open-loop" : "closed-loop");
+    report.set("mode", tenantMode
+                           ? "multi-tenant"
+                           : rate > 0.0 ? "open-loop"
+                                        : "closed-loop");
     if (rate > 0.0)
         report.set("offered_rate_rps", rate);
     report.set("connections", connections);
@@ -862,6 +1055,8 @@ main(int argc, char **argv)
     report.set("requests_ok", total.ok);
     report.set("requests_503", total.rejected);
     report.set("requests_504", total.deadline);
+    report.set("requests_401", total.unauthorized);
+    report.set("requests_429", total.ratelimited);
     report.set("requests_timeout", total.timeouts);
     report.set("requests_error", total.errors);
     report.set("throughput_rps", throughput);
@@ -999,6 +1194,82 @@ main(int argc, char **argv)
         }
         report.set("targets", std::move(perTarget));
     }
+
+    // Per-tenant breakdown: measured throughput share next to the
+    // declared weight is the fairness evidence — under a saturating
+    // noisy neighbor the DRR drain should hold every tenant near
+    // weight / sum(weights).
+    std::string tenantLines;
+    if (tenantMode) {
+        json::Value perTenant = json::Value::array();
+        for (std::size_t t = 0; t < tenants.size(); ++t) {
+            WorkerResult tr;
+            for (std::uint64_t c = t; c < connections;
+                 c += tenants.size()) {
+                tr.ok += results[c].ok;
+                tr.rejected += results[c].rejected;
+                tr.deadline += results[c].deadline;
+                tr.unauthorized += results[c].unauthorized;
+                tr.ratelimited += results[c].ratelimited;
+                tr.timeouts += results[c].timeouts;
+                tr.errors += results[c].errors;
+                tr.latencies.insert(tr.latencies.end(),
+                                    results[c].latencies.begin(),
+                                    results[c].latencies.end());
+            }
+            std::sort(tr.latencies.begin(), tr.latencies.end());
+            const double tenantThroughput =
+                static_cast<double>(tr.ok) / duration;
+            const double okShare =
+                total.ok > 0 ? static_cast<double>(tr.ok) /
+                                   static_cast<double>(total.ok)
+                             : 0.0;
+            json::Value row = json::Value::object();
+            row.set("tenant", tenants[t].id);
+            row.set("weight", tenants[t].weight);
+            row.set("endpoint", tenants[t].endpoint);
+            if (tenants[t].rps > 0.0)
+                row.set("offered_rate_rps", tenants[t].rps);
+            if (tenants[t].batchRows > 0)
+                row.set("batch_rows", tenants[t].batchRows);
+            row.set("requests_ok", tr.ok);
+            row.set("requests_401", tr.unauthorized);
+            row.set("requests_429", tr.ratelimited);
+            row.set("requests_503", tr.rejected);
+            row.set("requests_504", tr.deadline);
+            row.set("requests_timeout", tr.timeouts);
+            row.set("requests_error", tr.errors);
+            row.set("throughput_rps", tenantThroughput);
+            if (tenants[t].batchRows > 0)
+                row.set("design_points_per_s",
+                        tenantThroughput *
+                            static_cast<double>(
+                                tenants[t].batchRows));
+            row.set("ok_share", okShare);
+            row.set("p50_us",
+                    percentile(tr.latencies, 0.50) * 1e6);
+            row.set("p99_us",
+                    percentile(tr.latencies, 0.99) * 1e6);
+            perTenant.push(std::move(row));
+            tenantLines +=
+                "  " + tenants[t].id + " (w=" +
+                json::formatDouble(tenants[t].weight) + "): " +
+                std::to_string(tr.ok) + " ok, " +
+                std::to_string(tr.ratelimited) + " x 429, " +
+                std::to_string(tr.unauthorized) + " x 401, " +
+                std::to_string(tr.rejected) + " x 503, " +
+                json::formatDouble(tenantThroughput) +
+                " req/s (share " + json::formatDouble(okShare) +
+                "), p50 " +
+                json::formatDouble(
+                    percentile(tr.latencies, 0.50) * 1e6) +
+                " us, p99 " +
+                json::formatDouble(
+                    percentile(tr.latencies, 0.99) * 1e6) +
+                " us\n";
+        }
+        report.set("tenants", std::move(perTenant));
+    }
     if (rate > 0.0) {
         // Service time above; time spent waiting for a connection
         // behind the offered schedule is its own distribution.
@@ -1024,10 +1295,11 @@ main(int argc, char **argv)
 
     std::cout << "fosm-loadgen: " << total.ok << " ok, "
               << total.rejected << " x 503, " << total.deadline
-              << " x 504, " << total.timeouts << " timeouts, "
-              << total.errors << " errors in " << duration
-              << " s (" << json::formatDouble(throughput)
-              << " req/s";
+              << " x 504, " << total.unauthorized << " x 401, "
+              << total.ratelimited << " x 429, " << total.timeouts
+              << " timeouts, " << total.errors << " errors in "
+              << duration << " s ("
+              << json::formatDouble(throughput) << " req/s";
     if (rate > 0.0)
         std::cout << ", offered " << json::formatDouble(rate);
     if (batchRows > 0)
@@ -1046,6 +1318,8 @@ main(int argc, char **argv)
         std::cout << "drill phases:\n" << drillLines;
     if (breakdown)
         std::cout << "per-target:\n" << targetLines;
+    if (tenantMode)
+        std::cout << "per-tenant:\n" << tenantLines;
     if (rate > 0.0) {
         std::cout << "queue-delay us: p50 "
                   << json::formatDouble(

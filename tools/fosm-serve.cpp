@@ -3,10 +3,10 @@
  * fosm-serve: the model-evaluation daemon.
  *
  *   fosm-serve [--host 127.0.0.1] [--port 8080] [--workers N]
- *              [--queue 128] [--cache 8192] [--no-warmup]
- *              [--store-dir .fosm-store] [--no-store]
+ *              [--queue 128] [--cache 8192] [--cache-ttl-s 0]
+ *              [--no-warmup] [--store-dir .fosm-store] [--no-store]
  *              [--peers a:p,b:p,...] [--self host:port]
- *              [--replication 2]
+ *              [--replication 2] [--tenants-file tenants.json]
  *
  * Serves POST /v1/cpi, /v1/batch, /v1/iw-curve and /v1/trends plus
  * GET /healthz, /metrics (Prometheus text) and /v1/store/stats.
@@ -27,6 +27,13 @@
  * the socket opens — so the gateway's failover target is warm.
  * SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
  * requests and flushes the replication queue before exiting.
+ *
+ * With --tenants-file requests must carry a tenant bearer token
+ * (docs/TENANCY.md): auth is checked on the IO thread, each tenant
+ * gets its own bounded admission sub-queue, and workers drain the
+ * sub-queues by deficit round-robin weighted by tenant weight. The
+ * registry is live-editable via GET/POST /admin/tenants. Without the
+ * flag nothing changes: one class, the original FIFO order.
  */
 
 #include <csignal>
@@ -40,6 +47,8 @@
 #include "repl/replicator.hh"
 #include "server/http.hh"
 #include "server/service.hh"
+#include "tenant/admission.hh"
+#include "tenant/registry.hh"
 
 namespace {
 
@@ -78,10 +87,11 @@ main(int argc, char **argv)
     const cli::Args args(
         argc, argv,
         {"host", "port", "workers", "io-threads", "batch", "queue",
-         "cache", "no-warmup", "retry-after", "max-connections",
-         "store-dir", "no-store", "optimize-max-points", "peers",
-         "self", "replication", "repl-vnodes", "repl-interval",
-         "no-catchup"},
+         "cache", "cache-ttl-s", "no-warmup", "retry-after",
+         "max-connections", "store-dir", "no-store",
+         "optimize-max-points", "peers", "self", "replication",
+         "repl-vnodes", "repl-interval", "no-catchup",
+         "tenants-file"},
         "usage: fosm-serve [flags]\n"
         "  --host 127.0.0.1       listen address\n"
         "  --port 8080            listen port (0 = ephemeral)\n"
@@ -92,6 +102,8 @@ main(int argc, char **argv)
         "                         wakeup\n"
         "  --queue 128            admission queue capacity\n"
         "  --cache 8192           response cache entries (0 = off)\n"
+        "  --cache-ttl-s 0        in-memory cache entry TTL in\n"
+        "                         seconds (0 = never expire)\n"
         "  --max-connections 1024 connection limit\n"
         "  --retry-after 1        Retry-After seconds on 503\n"
         "  --no-warmup            build workloads lazily\n"
@@ -111,12 +123,17 @@ main(int argc, char **argv)
         "  --repl-vnodes 128      ring vnodes; must match the\n"
         "                         gateway's --vnodes\n"
         "  --repl-interval 5000   anti-entropy sweep period (ms)\n"
-        "  --no-catchup           skip the startup catch-up pull\n");
+        "  --no-catchup           skip the startup catch-up pull\n"
+        "  --tenants-file F       JSON tenant registry; enables\n"
+        "                         bearer-token auth and per-tenant\n"
+        "                         weighted-fair queueing\n"
+        "                         (docs/TENANCY.md)\n");
 
     MetricsRegistry metrics;
 
     ServiceConfig serviceConfig;
     serviceConfig.cacheCapacity = args.getInt("cache", 8192);
+    serviceConfig.cacheTtlS = args.getDouble("cache-ttl-s", 0.0);
     serviceConfig.optimizeMaxPoints = static_cast<std::uint64_t>(
         args.getInt("optimize-max-points", 65536));
     if (!args.has("no-store"))
@@ -133,6 +150,24 @@ main(int argc, char **argv)
                       << " torn tails repaired";
         std::cout << ")\n";
     }
+
+    // -- Multi-tenancy (docs/TENANCY.md) ---------------------------
+    // The registry starts empty (auth off, every request rides the
+    // legacy class-0 FIFO) unless --tenants-file seeds it; either
+    // way POST /admin/tenants can edit it live.
+    tenant::Registry registry;
+    if (args.has("tenants-file")) {
+        std::string error;
+        if (!registry.loadFile(args.get("tenants-file", ""), error))
+            fosm_fatal("fosm-serve: --tenants-file: ", error);
+        std::cout << "fosm-serve: tenant auth enabled ("
+                  << registry.snapshot()->tenants.size()
+                  << " tenants)\n";
+    }
+    // The serving node checks auth only; rate and inflight quotas
+    // are the gateway's job. Fairness between authenticated tenants
+    // comes from the weighted queue below, not from admission.
+    tenant::Admission admission(registry, &metrics, {});
 
     // -- Replication (docs/REPLICATION.md) -------------------------
     const std::string host = args.get("host", "127.0.0.1");
@@ -220,10 +255,33 @@ main(int argc, char **argv)
         static_cast<int>(args.getInt("retry-after", 1));
     serverConfig.metricPaths = service.metricPaths();
 
+    // Admission runs on the IO thread before the queue push: bad
+    // tokens are answered 401 without waking a worker, and admitted
+    // requests carry their tenant's queue class + weight into the
+    // weighted-fair queue.
+    serverConfig.admission =
+        [&admission](const HttpRequest &request) {
+            const tenant::AdmitDecision d = admission.admit(request);
+            AdmissionVerdict verdict;
+            verdict.status = d.status;
+            verdict.message = d.error;
+            verdict.retryAfterSeconds = d.retryAfterSeconds;
+            verdict.queueClass = d.classId;
+            verdict.weight = d.weight;
+            return verdict;
+        };
+
     // The repl endpoints are dispatched ahead of the model service:
     // they speak binary frames (apply/pull) and must work even when
-    // the service would shed load.
-    HttpServer::Handler handler = service.handler();
+    // the service would shed load. /admin/tenants likewise bypasses
+    // the model router (and, being /admin/*, admission itself).
+    HttpServer::Handler handler =
+        [inner = service.handler(),
+         &registry](const HttpRequest &request) {
+            if (request.path() == "/admin/tenants")
+                return registry.handleAdmin(request);
+            return inner(request);
+        };
     if (replicator) {
         handler = [inner = std::move(handler),
                    &replicator](const HttpRequest &request) {
@@ -234,6 +292,33 @@ main(int argc, char **argv)
     }
 
     HttpServer server(serverConfig, std::move(handler), &metrics);
+
+    // Per-tenant queue metrics, registered the moment a tenant gets
+    // its queue class (including classes minted by live /admin
+    // edits). Sampled from the fair queue's counters at scrape time.
+    registry.onNewClass([&server, &metrics](
+                            const tenant::TenantSpec &spec) {
+        const std::string label = "tenant=\"" + spec.id + "\"";
+        const std::uint32_t cls = spec.classId;
+        const auto counts = [&server, cls] {
+            const auto all = server.queueClassCounts();
+            return cls < all.size() ? all[cls]
+                                    : tenant::FairQueueClassCounts{};
+        };
+        metrics.addCallbackGauge(
+            "fosm_tenant_queue_depth",
+            "Requests queued per tenant",
+            [counts] { return double(counts().depth); }, label);
+        metrics.addCallbackGauge(
+            "fosm_tenant_drained_total",
+            "Requests drained to workers per tenant",
+            [counts] { return double(counts().drained); }, label);
+        metrics.addCallbackGauge(
+            "fosm_tenant_shed_total",
+            "Requests shed on a full tenant sub-queue",
+            [counts] { return double(counts().shedFull); }, label);
+    });
+
     server.start();
 
     stopFd = server.stopFd();
