@@ -859,6 +859,13 @@ Gateway::aggregateStoreStats()
     double ownedTotal = 0, replicaTotal = 0, foreignTotal = 0;
     std::size_t replReporting = 0;
 
+    // Cluster-level integrity rollup: corruption found/quarantined
+    // by each backend's scrubber, standing quarantines, and records
+    // re-committed from ring peers.
+    double corruptFound = 0, quarantined = 0, quarantineLive = 0;
+    double repairedRecords = 0;
+    std::size_t scrubReporting = 0;
+
     for (const auto &member : pool_->snapshot()) {
         Backend &b = *member;
         server::ClientResponse r;
@@ -883,6 +890,26 @@ Gateway::aggregateStoreStats()
                     if (const json::Value *v = own->find("foreign"))
                         foreignTotal += v->asDouble();
                 }
+                if (const json::Value *counters =
+                        repl->find("counters")) {
+                    if (const json::Value *v =
+                            counters->find("repairSuccess"))
+                        repairedRecords += v->asDouble();
+                }
+            }
+            if (const json::Value *scrub = stats.find("scrub")) {
+                ++scrubReporting;
+                if (const json::Value *v =
+                        scrub->find("corruptFound"))
+                    corruptFound += v->asDouble();
+                if (const json::Value *v =
+                        scrub->find("quarantined"))
+                    quarantined += v->asDouble();
+            }
+            if (const json::Value *store = stats.find("store")) {
+                if (const json::Value *v =
+                        store->find("quarantineLive"))
+                    quarantineLive += v->asDouble();
             }
             perBackend.set(b.address().label, std::move(stats));
         } else {
@@ -893,16 +920,58 @@ Gateway::aggregateStoreStats()
     json::Value body = json::Value::object();
     body.set("backends_reporting",
              static_cast<std::uint64_t>(reachable));
-    if (replReporting > 0) {
+    if (replReporting > 0 || scrubReporting > 0) {
         json::Value cluster = json::Value::object();
-        cluster.set("owned_records", ownedTotal);
-        cluster.set("replica_records", replicaTotal);
-        cluster.set("foreign_records", foreignTotal);
-        cluster.set("backends_with_repl",
-                    static_cast<std::uint64_t>(replReporting));
+        if (replReporting > 0) {
+            cluster.set("owned_records", ownedTotal);
+            cluster.set("replica_records", replicaTotal);
+            cluster.set("foreign_records", foreignTotal);
+            cluster.set("backends_with_repl",
+                        static_cast<std::uint64_t>(replReporting));
+            cluster.set("repaired_records", repairedRecords);
+        }
+        if (scrubReporting > 0) {
+            cluster.set("scrub_corrupt_found", corruptFound);
+            cluster.set("scrub_quarantined", quarantined);
+            cluster.set("quarantine_live", quarantineLive);
+            cluster.set("backends_with_scrub",
+                        static_cast<std::uint64_t>(scrubReporting));
+        }
         body.set("cluster", std::move(cluster));
     }
     body.set("aggregate", std::move(aggregate));
+    body.set("per_backend", std::move(perBackend));
+    return server::HttpResponse::json(reachable > 0 ? 200 : 502,
+                                      body.dump());
+}
+
+server::HttpResponse
+Gateway::adminScrub(const server::HttpRequest &request)
+{
+    if (request.method != "GET" && request.method != "POST")
+        return jsonError(405, "use GET or POST");
+    json::Value perBackend = json::Value::object();
+    std::size_t reachable = 0;
+    for (const auto &member : pool_->snapshot()) {
+        Backend &b = *member;
+        server::ClientResponse r;
+        json::Value doc;
+        std::string error;
+        if (b.healthy() &&
+            blockingExchange(b, request.method, "/admin/scrub",
+                             request.body,
+                             config_.upstream.requestTimeoutMs,
+                             r) &&
+            r.status == 200 && json::parse(r.body, doc, &error)) {
+            ++reachable;
+            perBackend.set(b.address().label, std::move(doc));
+        } else {
+            perBackend.set(b.address().label, json::Value());
+        }
+    }
+    json::Value body = json::Value::object();
+    body.set("backends_reporting",
+             static_cast<std::uint64_t>(reachable));
     body.set("per_backend", std::move(perBackend));
     return server::HttpResponse::json(reachable > 0 ? 200 : 502,
                                       body.dump());
@@ -1034,6 +1103,8 @@ Gateway::handler()
                 return adminChangeBackends(request.body);
             return jsonError(405, "use GET or POST");
         }
+        if (path == "/admin/scrub")
+            return adminScrub(request);
         if (path == "/admin/tenants") {
             if (!config_.registry)
                 return jsonError(404,

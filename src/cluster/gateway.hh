@@ -183,6 +183,10 @@ class Gateway
                           server::ClientResponse &out);
     server::HttpResponse health() const;
     server::HttpResponse aggregateStoreStats();
+    /** /admin/scrub fan-out: GET collects every backend's scrub
+     *  status; POST forwards the body (force-full-scrub) to all. */
+    server::HttpResponse
+    adminScrub(const server::HttpRequest &request);
     /** Rebuild + publish the topology from the pool membership. */
     void rebuildTopology();
 

@@ -24,6 +24,8 @@ parseKind(const std::string &word, FaultKind &kind)
         kind = FaultKind::Error;
     else if (word == "short")
         kind = FaultKind::ShortWrite;
+    else if (word == "flip")
+        kind = FaultKind::FlipByte;
     else
         return false;
     return true;
@@ -95,7 +97,7 @@ FaultInjector::configure(const std::string &spec, std::uint64_t seed,
         Rule rule;
         if (!parseKind(rhs.substr(0, c1), rule.kind)) {
             error = "unknown fault kind '" + rhs.substr(0, c1) +
-                    "' (valid: delay, stall, error, short)";
+                    "' (valid: delay, stall, error, short, flip)";
             return false;
         }
         const std::size_t c2 = rhs.find(':', c1 + 1);

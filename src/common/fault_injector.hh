@@ -12,6 +12,8 @@
  *   error  fail the operation (EIO-style) without touching state
  *   short  perform only a prefix of a write, then fail — the torn
  *          record a crash mid-write leaves behind
+ *   flip   corrupt one payload byte after checksumming — the silent
+ *          media corruption scrub and verify-on-read exist to catch
  *
  * The spec grammar is a comma-separated rule list:
  *
@@ -47,6 +49,7 @@ enum class FaultKind
     Stall,      ///< sleep delayMs (meant to exceed peer timeouts)
     Error,      ///< fail the operation
     ShortWrite, ///< write a prefix, then fail (torn record)
+    FlipByte,   ///< flip one payload byte (latent corruption)
 };
 
 /** One sampled decision. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <random>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "server/client.hh"
+#include "store/crc32c.hh"
 
 namespace fosm::repl {
 
@@ -48,6 +50,20 @@ std::uint64_t
 parseU64(const std::string &s)
 {
     return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+/** End-to-end value checksum for /admin/repl/get responses: a
+ *  repair must never re-commit bytes that were damaged on the peer
+ *  or in flight. */
+constexpr const char *valueCrcHeader = "X-Fosm-Crc32c";
+
+std::string
+crcHex(std::string_view value)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08x",
+                  store::crc32c(value.data(), value.size()));
+    return buf;
 }
 
 } // namespace
@@ -106,7 +122,25 @@ Replicator::Replicator(ReplConfig config,
           "Local misses served from a preference-list peer")),
       readRepairMisses_(metrics.counter(
           "fosm_repl_read_repair_misses_total",
-          "Read-repair probes where no peer had the entry"))
+          "Read-repair probes where no peer had the entry")),
+      repairEnqueued_(metrics.counter(
+          "fosm_repair_enqueued_total",
+          "Corrupt keys queued for repair from the preference "
+          "list")),
+      repairSuccess_(metrics.counter(
+          "fosm_repair_success_total",
+          "Corrupt keys re-committed from a CRC-verified peer "
+          "copy")),
+      repairFailures_(metrics.counter(
+          "fosm_repair_failures_total",
+          "Repair attempts where no peer produced a verified "
+          "copy (retried on the next scrub pass)")),
+      repairBytes_(metrics.counter(
+          "fosm_repair_bytes_total",
+          "Value bytes re-committed by corruption repairs")),
+      repairDropped_(metrics.counter(
+          "fosm_repair_dropped_total",
+          "Repair findings dropped to a full repair queue"))
 {
     for (const std::string &peer : config_.peers)
         ring_.add(peer);
@@ -158,6 +192,7 @@ Replicator::start()
     worker_ = std::thread([this] { workerLoop(); });
     if (config_.antiEntropyIntervalMs > 0)
         antiEntropy_ = std::thread([this] { antiEntropyLoop(); });
+    repairWorker_ = std::thread([this] { repairLoop(); });
 }
 
 void
@@ -178,10 +213,17 @@ Replicator::stop(int deadlineMs)
         stopping_ = true;
     }
     queueCv_.notify_all();
+    {
+        std::lock_guard<std::mutex> lock(repairMutex_);
+        repairStopping_ = true;
+    }
+    repairCv_.notify_all();
     if (worker_.joinable())
         worker_.join();
     if (antiEntropy_.joinable())
         antiEntropy_.join();
+    if (repairWorker_.joinable())
+        repairWorker_.join();
     if (wasStarted && store_)
         store_->setCommitHook(nullptr);
 }
@@ -543,6 +585,9 @@ Replicator::fetchFromPeers(const std::string &storeKey,
                             response) ||
             response.status != 200)
             continue;
+        const std::string &crc = response.header("x-fosm-crc32c");
+        if (!crc.empty() && crc != crcHex(response.body))
+            continue; // damaged in flight; try the next peer
         value = response.body;
         ApplyGuard guard;
         store_->put(storeKey, value);
@@ -551,6 +596,107 @@ Replicator::fetchFromPeers(const std::string &storeKey,
     }
     readRepairMisses_.inc(1);
     return false;
+}
+
+// -- Corruption repair ---------------------------------------------
+
+void
+Replicator::enqueueRepair(const std::string &storeKey)
+{
+    // Non-replicated keys have no authoritative peer copy; they heal
+    // when the serving layer recomputes and rewrites them.
+    if (!active() || !replicable(storeKey))
+        return;
+    {
+        std::lock_guard<std::mutex> lock(repairMutex_);
+        if (repairStopping_ ||
+            repairPending_.count(storeKey) > 0)
+            return;
+        if (repairQueue_.size() >= config_.repairQueueMax) {
+            repairDropped_.inc(1);
+            return;
+        }
+        repairPending_.insert(storeKey);
+        repairQueue_.push_back(storeKey);
+    }
+    repairEnqueued_.inc(1);
+    repairCv_.notify_one();
+}
+
+bool
+Replicator::repairKey(const std::string &storeKey)
+{
+    if (!active() || !replicable(storeKey) || !store_)
+        return false;
+    json::Value body = json::Value::object();
+    body.set("key", storeKey);
+    const std::string request = body.dump();
+    // The whole preference list minus self is authoritative — for a
+    // key this node owns, the successors hold the warm copies.
+    for (const std::string &label : preferenceFor(storeKey)) {
+        if (label == config_.self)
+            continue;
+        std::string host;
+        std::uint16_t port = 0;
+        if (!splitHostPort(label, host, port))
+            continue;
+        server::HttpClient client(host, port);
+        client.setTimeoutMs(config_.repairTimeoutMs);
+        server::ClientResponse response;
+        if (!client.request("POST", "/admin/repl/get", request,
+                            response) ||
+            response.status != 200)
+            continue;
+        const std::string &crc = response.header("x-fosm-crc32c");
+        if (!crc.empty() && crc != crcHex(response.body)) {
+            warn("fosm-repair: CRC mismatch on copy of ", storeKey,
+                 " from ", label);
+            continue;
+        }
+        {
+            // Re-commit: the put() clears the q/ quarantine mark.
+            ApplyGuard guard;
+            store_->put(storeKey, response.body);
+        }
+        repairSuccess_.inc(1);
+        repairBytes_.inc(response.body.size());
+        return true;
+    }
+    repairFailures_.inc(1);
+    return false;
+}
+
+std::size_t
+Replicator::repairQueueDepth() const
+{
+    std::lock_guard<std::mutex> lock(repairMutex_);
+    return repairQueue_.size();
+}
+
+void
+Replicator::repairLoop()
+{
+    while (true) {
+        std::string key;
+        {
+            std::unique_lock<std::mutex> lock(repairMutex_);
+            repairCv_.wait(lock, [this] {
+                return repairStopping_ || !repairQueue_.empty();
+            });
+            if (repairStopping_)
+                return;
+            key = std::move(repairQueue_.front());
+            repairQueue_.pop_front();
+        }
+        repairKey(key);
+        {
+            // A finding that arrives mid-repair is deduped away;
+            // if this attempt failed, the next scrub pass
+            // re-announces the standing quarantine mark.
+            std::lock_guard<std::mutex> lock(repairMutex_);
+            repairPending_.erase(key);
+        }
+    }
 }
 
 // -- HTTP endpoints ------------------------------------------------
@@ -669,8 +815,16 @@ Replicator::handleGet(const server::HttpRequest &request)
     std::string value;
     if (!store_ || !store_->get(key->asString(), value))
         return server::HttpResponse::text(404, "miss\n");
+    // Never export damage: a peer asking for this copy may be
+    // repairing its own, so re-verify the record even when
+    // verify-on-read is off (and report our own copy corrupt).
+    std::uint64_t lsn = 0;
+    if (store_->verifyRecord(key->asString(), lsn) ==
+        store::RecordCheck::Corrupt)
+        return server::HttpResponse::text(404, "corrupt\n");
     server::HttpResponse response;
     response.status = 200;
+    response.setHeader(valueCrcHeader, crcHex(value));
     response.body = std::move(value);
     response.setHeader("Content-Type", "application/octet-stream");
     return response;
@@ -704,6 +858,11 @@ Replicator::counters() const
     c.watermarkResets = watermarkResets_.value();
     c.readRepairHits = readRepairHits_.value();
     c.readRepairMisses = readRepairMisses_.value();
+    c.repairEnqueued = repairEnqueued_.value();
+    c.repairSuccess = repairSuccess_.value();
+    c.repairFailures = repairFailures_.value();
+    c.repairBytes = repairBytes_.value();
+    c.repairDropped = repairDropped_.value();
     return c;
 }
 
@@ -776,6 +935,11 @@ Replicator::statusJson() const
     counters.set("readRepairHits", json::Value(c.readRepairHits));
     counters.set("readRepairMisses",
                  json::Value(c.readRepairMisses));
+    counters.set("repairEnqueued", json::Value(c.repairEnqueued));
+    counters.set("repairSuccess", json::Value(c.repairSuccess));
+    counters.set("repairFailures", json::Value(c.repairFailures));
+    counters.set("repairBytes", json::Value(c.repairBytes));
+    counters.set("repairDropped", json::Value(c.repairDropped));
     out.set("counters", std::move(counters));
 
     json::Value marks = json::Value::object();

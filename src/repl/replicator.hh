@@ -43,6 +43,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/hash_ring.hh"
@@ -97,6 +98,15 @@ struct ReplConfig
     /** Read-repair probe budget per peer (keep well under the
      *  recompute cost it is trying to beat). */
     int readRepairTimeoutMs = 150;
+
+    /** Pending corruption-repair keys before new findings are
+     *  dropped (the scrubber re-announces standing quarantine marks
+     *  every pass, so a drop only delays the repair). */
+    std::size_t repairQueueMax = 4096;
+
+    /** Per-peer probe budget for a corruption repair; repairs are
+     *  background work, so this can exceed readRepairTimeoutMs. */
+    int repairTimeoutMs = 1000;
 };
 
 /** Snapshot of the replication counters (status endpoint, tests). */
@@ -118,6 +128,11 @@ struct ReplCounters
     std::uint64_t watermarkResets = 0;
     std::uint64_t readRepairHits = 0;
     std::uint64_t readRepairMisses = 0;
+    std::uint64_t repairEnqueued = 0;
+    std::uint64_t repairSuccess = 0;
+    std::uint64_t repairFailures = 0;
+    std::uint64_t repairBytes = 0;
+    std::uint64_t repairDropped = 0;
 };
 
 /** Owned/replica/foreign split of the local store's live entries. */
@@ -185,6 +200,29 @@ class Replicator
     bool fetchFromPeers(const std::string &storeKey,
                         std::string &value);
 
+    /**
+     * Queue a corrupt (quarantined) key for repair from its
+     * preference list. Fed by the scrubber's corrupt handler and by
+     * corrupt-on-read; deduplicated and bounded (a dropped finding
+     * is re-announced on the next scrub pass). Unlike read-repair
+     * this also covers keys this node OWNS: the owner's copy went
+     * bad, the successors are now the authority. Non-replicated
+     * keys are ignored — they heal by recompute-and-rewrite.
+     */
+    void enqueueRepair(const std::string &storeKey);
+
+    /**
+     * Synchronously repair one key: probe the other preference-list
+     * members, verify the returned bytes against the X-Fosm-Crc32c
+     * trailer, re-commit locally (which clears the q/ quarantine
+     * mark). Returns true when a verified copy was committed.
+     * Public for tests and the repair worker.
+     */
+    bool repairKey(const std::string &storeKey);
+
+    /** Corruption-repair keys waiting for the repair worker. */
+    std::size_t repairQueueDepth() const;
+
     /** Whether self is the ring owner of this store key. */
     bool ownsKey(const std::string &storeKey) const;
 
@@ -222,6 +260,7 @@ class Replicator
                   std::uint64_t lsn);
     void workerLoop();
     void antiEntropyLoop();
+    void repairLoop();
     bool drainOnce(); ///< one batch cycle; true when work was done
     void sendBatch(const std::string &peer,
                    std::vector<store::LiveEntry> entries);
@@ -257,6 +296,14 @@ class Replicator
     std::thread worker_;
     std::thread antiEntropy_;
 
+    // Corruption-repair queue (scrub findings, corrupt-on-read).
+    mutable std::mutex repairMutex_;
+    std::condition_variable repairCv_;
+    std::deque<std::string> repairQueue_;
+    std::unordered_set<std::string> repairPending_; ///< dedup
+    bool repairStopping_ = false;
+    std::thread repairWorker_;
+
     // fosm_repl_* metrics (registry-owned).
     server::Counter &enqueued_;
     server::Counter &dropped_;
@@ -274,6 +321,11 @@ class Replicator
     server::Counter &watermarkResets_;
     server::Counter &readRepairHits_;
     server::Counter &readRepairMisses_;
+    server::Counter &repairEnqueued_;
+    server::Counter &repairSuccess_;
+    server::Counter &repairFailures_;
+    server::Counter &repairBytes_;
+    server::Counter &repairDropped_;
 };
 
 } // namespace fosm::repl

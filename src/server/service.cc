@@ -145,6 +145,7 @@ ModelService::ModelService(ServiceConfig config,
     if (!config_.storeDir.empty()) {
         store::StoreConfig sc;
         sc.dir = config_.storeDir;
+        sc.verifyOnRead = config_.storeVerifyReads;
         store_ = std::make_shared<store::PersistentStore>(sc);
         // Startup schema pin: cache keys already carry the schema
         // version, so entries from another vintage can never be
@@ -203,6 +204,19 @@ ModelService::ModelService(ServiceConfig config,
             "Compactions performed since this store opened", [this] {
                 return static_cast<double>(
                     store_->stats().compactions);
+            });
+        metrics_.addCallbackGauge(
+            "fosm_store_corrupt_reads_total",
+            "CRC-failed gets degraded to misses", [this] {
+                return static_cast<double>(
+                    store_->stats().corruptReads);
+            });
+        metrics_.addCallbackGauge(
+            "fosm_store_quarantine_live",
+            "Corrupt records currently quarantined (q/ marks)",
+            [this] {
+                return static_cast<double>(
+                    store_->stats().quarantineLive);
             });
     }
 
@@ -313,6 +327,9 @@ ModelService::storeStats() const
     d.set("compactions", s.compactions);
     d.set("truncatedTails", s.truncatedTails);
     d.set("maxLsn", s.maxLsn);
+    d.set("corruptReads", s.corruptReads);
+    d.set("quarantined", s.quarantined);
+    d.set("quarantineLive", s.quarantineLive);
     // Per-segment LSN watermarks and entry counts: the metadata the
     // anti-entropy sweep keys its incremental catch-up on, exposed
     // for fosm-store watermarks and operators chasing replica lag.
@@ -334,6 +351,8 @@ ModelService::storeStats() const
     v.set("responseRepairs", persistent_->readRepairs());
     if (replStats_)
         v.set("repl", replStats_());
+    if (scrubStats_)
+        v.set("scrub", scrubStats_());
     return v;
 }
 

@@ -63,6 +63,14 @@ struct ServiceConfig
      * allocated (fosm-serve --optimize-max-points).
      */
     std::uint64_t optimizeMaxPoints = 65536;
+
+    /**
+     * Re-verify the record CRC on every store get (fosm-serve
+     * --store-verify-reads). A failed check degrades to a miss,
+     * counts store.corruptReads and feeds the scrub/repair channel
+     * — it is never a client-visible error.
+     */
+    bool storeVerifyReads = false;
 };
 
 /**
@@ -167,6 +175,18 @@ class ModelService
     {
         replStats_ = std::move(provider);
     }
+
+    /**
+     * Extra document merged into storeStats() under "scrub" — wired
+     * by fosm-serve to the Scrubber's counters. Keep it counters
+     * only: the gateway sums numeric leaves across backends, and
+     * config values would sum into nonsense.
+     */
+    void
+    setScrubStatsProvider(std::function<json::Value()> provider)
+    {
+        scrubStats_ = std::move(provider);
+    }
     const TrendStudies &trendStudies() const { return trends_; }
 
   private:
@@ -201,6 +221,7 @@ class ModelService
     TrendStudies trends_;
     Router router_;
     std::function<json::Value()> replStats_;
+    std::function<json::Value()> scrubStats_;
 
     Counter &cacheHits_;
     Counter &cacheMisses_;

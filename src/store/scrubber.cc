@@ -1,0 +1,274 @@
+#include "store/scrubber.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace fosm::store {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+elapsedMs(Clock::time_point since)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now() - since)
+            .count());
+}
+
+} // namespace
+
+Scrubber::Scrubber(std::shared_ptr<PersistentStore> store,
+                   ScrubConfig config)
+    : store_(std::move(store)), config_(config)
+{
+}
+
+Scrubber::~Scrubber() { stop(); }
+
+void
+Scrubber::setCorruptHandler(CorruptHandler handler)
+{
+    std::lock_guard<std::mutex> lock(handlerMutex_);
+    handler_ = std::move(handler);
+}
+
+Scrubber::CorruptHandler
+Scrubber::handlerSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(handlerMutex_);
+    return handler_;
+}
+
+void
+Scrubber::start()
+{
+    if (config_.intervalS <= 0.0 || thread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(cvMutex_);
+        stopping_ = false;
+    }
+    abort_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread([this] { loop(); });
+    running_.store(true, std::memory_order_relaxed);
+}
+
+void
+Scrubber::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(cvMutex_);
+        stopping_ = true;
+    }
+    abort_.store(true, std::memory_order_relaxed);
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    running_.store(false, std::memory_order_relaxed);
+}
+
+void
+Scrubber::loop()
+{
+    std::uint64_t pass = 0;
+    while (true) {
+        bool full = false;
+        {
+            std::unique_lock<std::mutex> lock(cvMutex_);
+            cv_.wait_for(
+                lock,
+                std::chrono::duration<double>(config_.intervalS),
+                [this] { return stopping_ || forceFull_; });
+            if (stopping_)
+                return;
+            full = forceFull_;
+            forceFull_ = false;
+        }
+        ++pass;
+        if (config_.fullEvery > 0 && pass % config_.fullEvery == 0)
+            full = true;
+        scrubOnce(full);
+    }
+}
+
+void
+Scrubber::paceAndCount(std::uint64_t bytes, Clock::time_point start,
+                       std::uint64_t &passBytes)
+{
+    passBytes += bytes;
+    bytesScanned_.fetch_add(bytes, std::memory_order_relaxed);
+    if (config_.mbps <= 0.0)
+        return;
+    // Sleep whatever keeps cumulative pass throughput under budget,
+    // in short slices so stop() interrupts promptly.
+    const double targetS =
+        static_cast<double>(passBytes) / (config_.mbps * 1e6);
+    const auto targetMs =
+        static_cast<std::int64_t>(targetS * 1000.0);
+    std::int64_t behind =
+        targetMs - static_cast<std::int64_t>(elapsedMs(start));
+    while (behind > 0 && !abort_.load(std::memory_order_relaxed)) {
+        const std::int64_t slice = std::min<std::int64_t>(behind, 50);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(slice));
+        throttleMs_.fetch_add(static_cast<std::uint64_t>(slice),
+                              std::memory_order_relaxed);
+        behind -= slice;
+    }
+}
+
+Scrubber::PassResult
+Scrubber::scrubOnce(bool full)
+{
+    std::lock_guard<std::mutex> run(passMutex_);
+    const auto start = Clock::now();
+    scrubbing_.store(true, std::memory_order_relaxed);
+    PassResult result;
+    std::uint64_t passBytes = 0;
+    const CorruptHandler handler = handlerSnapshot();
+
+    const std::vector<SegmentLsnInfo> segments =
+        store_->segmentLsns();
+    for (const SegmentLsnInfo &info : segments) {
+        if (abort_.load(std::memory_order_relaxed))
+            break;
+        const auto markIt = marks_.find(info.id);
+        const std::uint64_t mark =
+            markIt == marks_.end() ? 0 : markIt->second;
+        if (!full && info.maxLsn <= mark) {
+            ++result.skipped;
+            segmentsSkipped_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        const std::uint64_t since = full ? 0 : mark;
+        const std::vector<ScrubEntry> entries =
+            store_->liveEntriesInSegment(info.id, since);
+        for (const ScrubEntry &e : entries) {
+            if (abort_.load(std::memory_order_relaxed))
+                break;
+            std::uint64_t lsn = 0;
+            const RecordCheck check =
+                store_->verifyRecord(e.key, lsn);
+            ++result.records;
+            recordsScanned_.fetch_add(1, std::memory_order_relaxed);
+            paceAndCount(e.recordLen, start, passBytes);
+            // Gone or rewritten since the entry snapshot: not ours
+            // to judge. Only the exact version we located counts.
+            if (check != RecordCheck::Corrupt || lsn != e.lsn)
+                continue;
+            ++result.corrupt;
+            corruptFound_.fetch_add(1, std::memory_order_relaxed);
+            warn("fosm-scrub: corrupt record key=", e.key,
+                 " lsn=", e.lsn, " segment=", info.id);
+            if (config_.quarantine &&
+                store_->quarantine(e.key, e.lsn)) {
+                ++result.quarantined;
+                quarantined_.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (handler) {
+                repairRequests_.fetch_add(1,
+                                          std::memory_order_relaxed);
+                handler(e.key, e.lsn);
+            }
+        }
+        if (abort_.load(std::memory_order_relaxed))
+            break;
+        // Everything in this segment up to maxLsn has now been
+        // verified (or individually quarantined).
+        marks_[info.id] = info.maxLsn;
+        ++result.segments;
+        segmentsScanned_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Drop watermarks for segments compaction retired.
+    std::unordered_map<std::uint64_t, std::uint64_t> pruned;
+    for (const SegmentLsnInfo &info : segments) {
+        const auto it = marks_.find(info.id);
+        if (it != marks_.end())
+            pruned.emplace(info.id, it->second);
+    }
+    marks_ = std::move(pruned);
+
+    // Re-announce standing quarantine marks: a repair that failed
+    // (or predates this process) gets retried every pass.
+    if (handler && !abort_.load(std::memory_order_relaxed)) {
+        std::vector<std::string> marked;
+        store_->forEachLiveKey(
+            [&](const std::string &key, std::uint64_t) {
+                if (key.rfind("q/", 0) == 0)
+                    marked.push_back(key.substr(2));
+            });
+        for (const std::string &key : marked) {
+            std::string lsnStr;
+            std::uint64_t lsn = 0;
+            if (store_->get(PersistentStore::quarantineKey(key),
+                            lsnStr))
+                lsn = std::strtoull(lsnStr.c_str(), nullptr, 10);
+            repairRequests_.fetch_add(1, std::memory_order_relaxed);
+            handler(key, lsn);
+        }
+    }
+
+    passes_.fetch_add(1, std::memory_order_relaxed);
+    if (full)
+        fullPasses_.fetch_add(1, std::memory_order_relaxed);
+    lastPassMs_.store(elapsedMs(start), std::memory_order_relaxed);
+    scrubbing_.store(false, std::memory_order_relaxed);
+    return result;
+}
+
+void
+Scrubber::requestFullScrub()
+{
+    {
+        std::lock_guard<std::mutex> lock(cvMutex_);
+        forceFull_ = true;
+    }
+    cv_.notify_all();
+}
+
+void
+Scrubber::noteCorrupt(const std::string &key, std::uint64_t lsn)
+{
+    corruptFound_.fetch_add(1, std::memory_order_relaxed);
+    warn("fosm-scrub: corrupt read key=", key, " lsn=", lsn);
+    if (config_.quarantine && store_->quarantine(key, lsn))
+        quarantined_.fetch_add(1, std::memory_order_relaxed);
+    if (const CorruptHandler handler = handlerSnapshot()) {
+        repairRequests_.fetch_add(1, std::memory_order_relaxed);
+        handler(key, lsn);
+    }
+}
+
+ScrubStatus
+Scrubber::status() const
+{
+    ScrubStatus s;
+    s.passes = passes_.load(std::memory_order_relaxed);
+    s.fullPasses = fullPasses_.load(std::memory_order_relaxed);
+    s.segmentsScanned =
+        segmentsScanned_.load(std::memory_order_relaxed);
+    s.segmentsSkipped =
+        segmentsSkipped_.load(std::memory_order_relaxed);
+    s.recordsScanned =
+        recordsScanned_.load(std::memory_order_relaxed);
+    s.bytesScanned = bytesScanned_.load(std::memory_order_relaxed);
+    s.corruptFound = corruptFound_.load(std::memory_order_relaxed);
+    s.quarantined = quarantined_.load(std::memory_order_relaxed);
+    s.repairRequests =
+        repairRequests_.load(std::memory_order_relaxed);
+    s.lastPassMs = lastPassMs_.load(std::memory_order_relaxed);
+    s.throttleMs = throttleMs_.load(std::memory_order_relaxed);
+    s.running = running_.load(std::memory_order_relaxed);
+    s.scrubbing = scrubbing_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace fosm::store

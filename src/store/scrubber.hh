@@ -1,0 +1,187 @@
+/**
+ * @file
+ * fosm-scrub: paced background integrity verification for a
+ * PersistentStore. A scrubber walks the store's segments on a timer,
+ * re-reads every live record and checks its CRC32C, quarantines
+ * records that fail (PersistentStore::quarantine — the bytes become
+ * dead weight for compaction, a persistent "q/" mark survives
+ * restart) and hands each finding to a corrupt handler, which the
+ * serving layer wires to the replication repair queue.
+ *
+ * Two properties keep it out of the foreground's way:
+ *
+ *  - Watermarks. Per segment the scrubber remembers the maxLsn it
+ *    last scanned clean; an unchanged segment (maxLsn at or below
+ *    the watermark) is skipped without touching its bytes, and a
+ *    dirty one re-verifies only records above the watermark. Every
+ *    Nth pass (ScrubConfig::fullEvery, or POST /admin/scrub) is a
+ *    full pass that rescans everything — watermarks say what we
+ *    verified, not that the platters kept it intact since.
+ *  - Pacing. Verified bytes are metered against a configured MB/s
+ *    budget (ScrubConfig::mbps): after each record the scrubber
+ *    sleeps however long keeps the pass under budget, in short
+ *    slices so stop() never waits long. Reads run under the store's
+ *    shared lock per record, so writers block only as long as one
+ *    record verification.
+ *
+ * The scrubber also re-announces existing quarantine marks to the
+ * corrupt handler at the end of every pass, so a repair that failed
+ * (ring peers unreachable) is retried on the next pass and marks
+ * written by a previous process lifetime still get repaired.
+ *
+ * No server/metrics dependencies: tools/fosm-store drives the same
+ * engine offline, and fosm-serve adapts status() into gauges.
+ */
+
+#ifndef FOSM_STORE_SCRUBBER_HH
+#define FOSM_STORE_SCRUBBER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "store/store.hh"
+
+namespace fosm::store {
+
+struct ScrubConfig
+{
+    /** Seconds between background passes (<= 0 disables start()). */
+    double intervalS = 60.0;
+
+    /** Read-bandwidth budget for a pass, in MB/s (<= 0 = unpaced). */
+    double mbps = 64.0;
+
+    /** Every Nth pass ignores watermarks and rescans everything. */
+    std::uint64_t fullEvery = 10;
+
+    /** Quarantine corrupt records (false = detect/report only). */
+    bool quarantine = true;
+};
+
+/** A point-in-time snapshot of scrubber counters (all since start). */
+struct ScrubStatus
+{
+    std::uint64_t passes = 0;
+    std::uint64_t fullPasses = 0;
+    std::uint64_t segmentsScanned = 0;
+    std::uint64_t segmentsSkipped = 0; ///< clean under their watermark
+    std::uint64_t recordsScanned = 0;
+    std::uint64_t bytesScanned = 0;
+    std::uint64_t corruptFound = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t repairRequests = 0; ///< handler invocations
+    std::uint64_t lastPassMs = 0;
+    std::uint64_t throttleMs = 0; ///< total pacing sleep
+    bool running = false;         ///< background thread alive
+    bool scrubbing = false;       ///< a pass is executing right now
+};
+
+class Scrubber
+{
+  public:
+    /** Receives every corrupt record found (and every standing
+     *  quarantine mark once per pass). Invoked from the scrub thread
+     *  or, via noteCorrupt(), from whatever thread hit the record. */
+    using CorruptHandler = std::function<void(
+        const std::string &key, std::uint64_t lsn)>;
+
+    Scrubber(std::shared_ptr<PersistentStore> store,
+             ScrubConfig config);
+    ~Scrubber();
+
+    Scrubber(const Scrubber &) = delete;
+    Scrubber &operator=(const Scrubber &) = delete;
+
+    void setCorruptHandler(CorruptHandler handler);
+
+    /** Start the background pass loop (no-op when intervalS <= 0). */
+    void start();
+
+    /** Stop and join the background thread; aborts a pass promptly
+     *  (mid-pacing sleeps are sliced). Idempotent. */
+    void stop();
+
+    struct PassResult
+    {
+        std::uint64_t segments = 0;
+        std::uint64_t skipped = 0;
+        std::uint64_t records = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t corrupt = 0;
+        std::uint64_t quarantined = 0;
+    };
+
+    /**
+     * Run one pass synchronously on the calling thread (the offline
+     * `fosm-store scrub` path, and POST /admin/scrub with wait=true).
+     * Concurrent passes serialize. full=true ignores watermarks.
+     */
+    PassResult scrubOnce(bool full);
+
+    /** Make the next background pass a full one, and run it now. */
+    void requestFullScrub();
+
+    /**
+     * Feed a corruption found outside the scrubber (a CRC-failed
+     * get; wired to PersistentStore::setCorruptionHook): quarantines
+     * the record and fires the corrupt handler, same as a scrub
+     * finding.
+     */
+    void noteCorrupt(const std::string &key, std::uint64_t lsn);
+
+    ScrubStatus status() const;
+
+    const ScrubConfig &config() const { return config_; }
+
+  private:
+    void loop();
+    void paceAndCount(std::uint64_t bytes,
+                      std::chrono::steady_clock::time_point start,
+                      std::uint64_t &passBytes);
+    CorruptHandler handlerSnapshot() const;
+
+    std::shared_ptr<PersistentStore> store_;
+    ScrubConfig config_;
+
+    mutable std::mutex handlerMutex_;
+    CorruptHandler handler_;
+
+    std::mutex passMutex_; ///< serializes scrubOnce bodies
+
+    // Counters (relaxed atomics: read by status() concurrently).
+    std::atomic<std::uint64_t> passes_{0};
+    std::atomic<std::uint64_t> fullPasses_{0};
+    std::atomic<std::uint64_t> segmentsScanned_{0};
+    std::atomic<std::uint64_t> segmentsSkipped_{0};
+    std::atomic<std::uint64_t> recordsScanned_{0};
+    std::atomic<std::uint64_t> bytesScanned_{0};
+    std::atomic<std::uint64_t> corruptFound_{0};
+    std::atomic<std::uint64_t> quarantined_{0};
+    std::atomic<std::uint64_t> repairRequests_{0};
+    std::atomic<std::uint64_t> lastPassMs_{0};
+    std::atomic<std::uint64_t> throttleMs_{0};
+    std::atomic<bool> scrubbing_{false};
+    std::atomic<bool> running_{false};
+    std::atomic<bool> abort_{false}; ///< cut pacing sleeps short
+
+    // Per-segment clean-scan watermarks (guarded by passMutex_).
+    std::unordered_map<std::uint64_t, std::uint64_t> marks_;
+
+    std::mutex cvMutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    bool forceFull_ = false;
+    std::thread thread_;
+};
+
+} // namespace fosm::store
+
+#endif // FOSM_STORE_SCRUBBER_HH

@@ -178,28 +178,40 @@ struct ScanResult
     bool headerOk = false;
     std::uint64_t validEnd = 0; ///< end of the intact prefix
     std::uint64_t records = 0;
+    std::uint64_t intactBytes = 0; ///< record bytes that verified
+    std::uint64_t crcFailures = 0; ///< skipped records (resync mode)
+    bool structural = false; ///< stopped at unparseable structure
+    std::vector<std::string> corruptKeys; ///< digest-intact only
     std::string error; ///< first structural/CRC problem, if any
 };
 
 /**
- * Walk the records of one segment image, stopping at the first torn
- * or corrupt record (that offset becomes validEnd). This is THE
- * recovery routine: open() truncates to validEnd, verify reports it.
+ * Walk the records of one segment image. In recovery mode
+ * (resyncCrcErrors=false) the scan stops at the first torn or
+ * corrupt record (that offset becomes validEnd) — this is THE
+ * recovery routine: open() truncates to validEnd. In resync mode
+ * (fosm-store verify) a CRC-failed record whose framing is still
+ * plausible is counted, its key collected when the key digest
+ * matches, and the scan continues at the next record boundary;
+ * only structural damage (torn header, implausible lengths,
+ * truncation) stops the walk.
  */
 template <typename OnRecord>
 ScanResult
 scanSegment(const unsigned char *data, std::size_t size,
-            OnRecord &&onRecord)
+            OnRecord &&onRecord, bool resyncCrcErrors = false)
 {
     ScanResult result;
     if (size < segHeaderSize ||
         std::memcmp(data, segMagic, sizeof(segMagic)) != 0) {
         result.error = "missing or torn segment header";
+        result.structural = true;
         return result;
     }
     if (getU32(data + 8) != segFormatVersion) {
         result.error = "unsupported format version " +
                        std::to_string(getU32(data + 8));
+        result.structural = true;
         return result;
     }
     result.headerOk = true;
@@ -211,6 +223,7 @@ scanSegment(const unsigned char *data, std::size_t size,
         if (keyLen > maxKeyLen || valueLen > maxValueLen) {
             result.error = "implausible record lengths at offset " +
                            std::to_string(off);
+            result.structural = true;
             break;
         }
         const std::uint64_t recordLen =
@@ -218,20 +231,32 @@ scanSegment(const unsigned char *data, std::size_t size,
         if (off + recordLen > size) {
             result.error = "truncated record at offset " +
                            std::to_string(off);
-            break;
-        }
-        if (crc32c(rec + 4, recordLen - 4) != getU32(rec)) {
-            result.error = "CRC mismatch at offset " +
-                           std::to_string(off);
+            result.structural = true;
             break;
         }
         const std::string_view key(
             reinterpret_cast<const char *>(rec + recHeaderSize),
             keyLen);
-        if (fnv1a64(key) != getU64(rec + 24)) {
-            result.error = "key digest mismatch at offset " +
-                           std::to_string(off);
-            break;
+        const bool crcOk =
+            crc32c(rec + 4, recordLen - 4) == getU32(rec);
+        const bool digestOk = fnv1a64(key) == getU64(rec + 24);
+        if (!crcOk || !digestOk) {
+            if (result.error.empty()) {
+                result.error =
+                    (crcOk ? "key digest mismatch at offset "
+                           : "CRC mismatch at offset ") +
+                    std::to_string(off);
+            }
+            if (!resyncCrcErrors)
+                break;
+            // Record-level corruption with intact framing: count
+            // it, keep the key when its digest still checks out,
+            // and resynchronize at the next record boundary.
+            ++result.crcFailures;
+            if (digestOk)
+                result.corruptKeys.emplace_back(key);
+            off += recordLen;
+            continue;
         }
         ScannedRecord s;
         s.offset = off;
@@ -242,13 +267,17 @@ scanSegment(const unsigned char *data, std::size_t size,
         s.recordLen = recordLen;
         onRecord(s);
         ++result.records;
+        result.intactBytes += recordLen;
         off += recordLen;
     }
-    if (result.error.empty() && off != size) {
+    if (!result.structural && off != size &&
+        off + recHeaderSize > size) {
         // A partial record header at the tail is an ordinary torn
         // write, not an error worth naming.
-        result.error = "torn record header at offset " +
-                       std::to_string(off);
+        if (result.error.empty())
+            result.error = "torn record header at offset " +
+                           std::to_string(off);
+        result.structural = true;
     }
     result.validEnd = off;
     return result;
@@ -450,8 +479,11 @@ PersistentStore::openDir()
     // Final index: drop tombstones, then charge every superseded or
     // tombstoned record as dead bytes in its segment.
     for (auto &[key, entry] : replay) {
-        if (!entry.tombstone)
+        if (!entry.tombstone) {
             index_.emplace(key, entry.loc);
+            if (key.rfind("q/", 0) == 0)
+                ++quarantineMarks_; // quarantines survive restart
+        }
     }
     std::unordered_map<std::uint64_t, std::uint64_t> liveBytesBySeg;
     std::unordered_map<std::uint64_t, std::uint64_t> liveRecsBySeg;
@@ -502,7 +534,7 @@ PersistentStore::activeSegment()
     return segments_.at(activeId_).get();
 }
 
-bool
+PersistentStore::ReadStatus
 PersistentStore::readValue(const Segment &segment,
                            const Location &loc,
                            std::string &out) const
@@ -511,7 +543,7 @@ PersistentStore::readValue(const Segment &segment,
         faultSleep(fault);
         if (fault.kind == FaultKind::Error ||
             fault.kind == FaultKind::ShortWrite)
-            return false; // a miss: the caller recomputes
+            return ReadStatus::Failed; // a miss: caller recomputes
     }
     const std::uint64_t keyLen =
         loc.recordLen - recHeaderSize - loc.valueLen;
@@ -526,40 +558,86 @@ PersistentStore::readValue(const Segment &segment,
         } else if (::pread(segment.fd, rec.data(), loc.recordLen,
                            static_cast<off_t>(loc.offset)) !=
                    static_cast<ssize_t>(loc.recordLen)) {
-            return false;
+            return ReadStatus::Failed;
         }
         const auto *bytes =
             reinterpret_cast<const unsigned char *>(rec.data());
         if (crc32c(bytes + 4, loc.recordLen - 4) != getU32(bytes))
-            return false;
+            return ReadStatus::Corrupt;
         out.assign(rec, recHeaderSize + keyLen, loc.valueLen);
-        return true;
+        return ReadStatus::Ok;
     }
     out.resize(loc.valueLen);
     if (segment.map) {
         std::memcpy(out.data(), segment.map + valueOff,
                     loc.valueLen);
-        return true;
+        return ReadStatus::Ok;
     }
     return ::pread(segment.fd, out.data(), loc.valueLen,
                    static_cast<off_t>(valueOff)) ==
-           static_cast<ssize_t>(loc.valueLen);
+                   static_cast<ssize_t>(loc.valueLen)
+               ? ReadStatus::Ok
+               : ReadStatus::Failed;
+}
+
+bool
+PersistentStore::recordCrcOkLocked(const Segment &segment,
+                                   const Location &loc) const
+{
+    std::string rec(loc.recordLen, '\0');
+    if (segment.map) {
+        std::memcpy(rec.data(), segment.map + loc.offset,
+                    loc.recordLen);
+    } else if (::pread(segment.fd, rec.data(), loc.recordLen,
+                       static_cast<off_t>(loc.offset)) !=
+               static_cast<ssize_t>(loc.recordLen)) {
+        return false;
+    }
+    const auto *bytes =
+        reinterpret_cast<const unsigned char *>(rec.data());
+    return crc32c(bytes + 4, loc.recordLen - 4) == getU32(bytes);
 }
 
 bool
 PersistentStore::get(const std::string &key, std::string &value)
 {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    gets_.fetch_add(1, std::memory_order_relaxed);
-    const auto it = index_.find(key);
-    if (it == index_.end())
-        return false;
-    const auto seg = segments_.find(it->second.segmentId);
-    if (seg == segments_.end() ||
-        !readValue(*seg->second, it->second, value))
-        return false;
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    std::uint64_t corruptLsn = 0;
+    bool corrupt = false;
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        gets_.fetch_add(1, std::memory_order_relaxed);
+        const auto it = index_.find(key);
+        if (it == index_.end())
+            return false;
+        const auto seg = segments_.find(it->second.segmentId);
+        if (seg == segments_.end())
+            return false;
+        switch (readValue(*seg->second, it->second, value)) {
+        case ReadStatus::Ok:
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        case ReadStatus::Failed:
+            return false;
+        case ReadStatus::Corrupt:
+            // A repairable miss, never an error: count it, tell the
+            // scrub/repair layer (outside the lock), and let the
+            // caller recompute or fall through to a warmer tier.
+            corruptReads_.fetch_add(1, std::memory_order_relaxed);
+            corruptLsn = it->second.lsn;
+            corrupt = true;
+            break;
+        }
+    }
+    if (corrupt) {
+        CorruptionHook hook;
+        {
+            std::lock_guard<std::mutex> lock(hookMutex_);
+            hook = corruptionHook_;
+        }
+        if (hook)
+            hook(key, corruptLsn);
+    }
+    return false;
 }
 
 bool
@@ -585,8 +663,17 @@ PersistentStore::appendLocked(const std::string &key,
 {
     Segment *seg = activeSegment();
     const std::uint64_t lsn = nextLsn_++;
-    const std::string rec = encodeRecord(
+    std::string rec = encodeRecord(
         key, value, lsn, tombstone ? flagTombstone : 0);
+    if (const FaultAction fault = faultAt("store.corrupt")) {
+        // Silent media corruption: flip one payload byte AFTER the
+        // CRC was computed, so the record lands on disk latent-bad —
+        // exactly what scrub and verify-on-read exist to catch.
+        if (fault.kind == FaultKind::FlipByte && !value.empty() &&
+            !tombstone)
+            rec[recHeaderSize + key.size() + lsn % value.size()] ^=
+                0x40;
+    }
     if (!writeAll(seg->fd, rec.data(), rec.size())) {
         // Disk trouble: roll the file back to the last intact record
         // so later appends stay aligned, and drop this write (the
@@ -613,15 +700,21 @@ PersistentStore::appendLocked(const std::string &key,
     seg->noteLsn(lsn);
     ++appends_;
 
+    const bool isMark = key.rfind("q/", 0) == 0;
     const auto it = index_.find(key);
     if (it != index_.end()) {
         accountDead(it->second);
-        if (tombstone)
+        if (tombstone) {
             index_.erase(it);
-        else
+            if (isMark)
+                --quarantineMarks_;
+        } else {
             it->second = loc;
+        }
     } else if (!tombstone) {
         index_.emplace(key, loc);
+        if (isMark)
+            ++quarantineMarks_;
     }
     if (tombstone) {
         // The tombstone record itself is dead weight from birth.
@@ -657,6 +750,13 @@ PersistentStore::put(const std::string &key, std::string_view value)
     {
         std::unique_lock<std::shared_mutex> lock(mutex_);
         lsn = appendLocked(key, value, false);
+        if (lsn != 0 && quarantineMarks_ > 0 &&
+            key.rfind("q/", 0) != 0 &&
+            index_.count(quarantineKey(key)) > 0) {
+            // A fresh committed value IS the re-commit that ends a
+            // quarantine: drop the mark.
+            appendLocked(quarantineKey(key), {}, true);
+        }
         wantCompaction = shouldCompactLocked();
     }
     if (wantCompaction && config_.backgroundCompaction) {
@@ -686,6 +786,13 @@ PersistentStore::setCommitHook(CommitHook hook)
 {
     std::lock_guard<std::mutex> lock(hookMutex_);
     commitHook_ = std::move(hook);
+}
+
+void
+PersistentStore::setCorruptionHook(CorruptionHook hook)
+{
+    std::lock_guard<std::mutex> lock(hookMutex_);
+    corruptionHook_ = std::move(hook);
 }
 
 void
@@ -763,6 +870,7 @@ PersistentStore::compact()
         const Segment *segment;
         Location loc;
         std::uint64_t newOffset = 0;
+        bool corrupt = false;
     };
     std::vector<LiveRec> live;
     std::vector<std::uint64_t> retiring;
@@ -803,6 +911,14 @@ PersistentStore::compact()
     std::uint64_t newSize = segHeaderSize;
     std::uint64_t newRecords = 0;
     for (LiveRec &r : live) {
+        const unsigned char *src = r.segment->map + r.loc.offset;
+        if (crc32c(src + 4, r.loc.recordLen - 4) != getU32(src)) {
+            // Never launder corruption into a fresh CRC: a corrupt
+            // record is dropped from the copy and quarantined in the
+            // commit section below.
+            r.corrupt = true;
+            continue;
+        }
         const std::uint64_t keyLen =
             r.loc.recordLen - recHeaderSize - r.loc.valueLen;
         const char *value = reinterpret_cast<const char *>(
@@ -851,9 +967,11 @@ PersistentStore::compact()
     seg->records = newRecords;
     seg->recordBytes = newSize - segHeaderSize;
     for (const LiveRec &r : live)
-        seg->noteLsn(r.loc.lsn);
+        if (!r.corrupt)
+            seg->noteLsn(r.loc.lsn);
     seg->mapSealed();
 
+    std::vector<std::pair<std::string, std::uint64_t>> quarantinedNow;
     {
         std::unique_lock<std::shared_mutex> lock(mutex_);
         // Repoint entries that still reference the retired segments.
@@ -861,9 +979,24 @@ PersistentStore::compact()
         // active segment; its stale copy in the new segment is dead.
         for (const LiveRec &r : live) {
             const auto it = index_.find(r.key);
-            if (it != index_.end() &&
+            const bool stillHere =
+                it != index_.end() &&
                 it->second.segmentId == r.loc.segmentId &&
-                it->second.offset == r.loc.offset) {
+                it->second.offset == r.loc.offset;
+            if (r.corrupt) {
+                // The only copy this node has failed its CRC; the
+                // retired file (and the bytes) are going away, so
+                // quarantine the key for the repair channel.
+                if (stillHere) {
+                    index_.erase(it);
+                    appendLocked(quarantineKey(r.key),
+                                 std::to_string(r.loc.lsn), false);
+                    ++quarantinedTotal_;
+                    quarantinedNow.emplace_back(r.key, r.loc.lsn);
+                }
+                continue;
+            }
+            if (stillHere) {
                 it->second.segmentId = newId;
                 it->second.offset = r.newOffset;
             } else {
@@ -882,6 +1015,16 @@ PersistentStore::compact()
         ++compactions_;
     }
     fsyncDir(config_.dir);
+    if (!quarantinedNow.empty()) {
+        CorruptionHook hook;
+        {
+            std::lock_guard<std::mutex> lock(hookMutex_);
+            hook = corruptionHook_;
+        }
+        if (hook)
+            for (const auto &[key, lsn] : quarantinedNow)
+                hook(key, lsn);
+    }
 }
 
 void
@@ -899,6 +1042,105 @@ PersistentStore::compactionLoop()
         }
         compact();
     }
+}
+
+// -- Scrub support -------------------------------------------------
+
+std::vector<ScrubEntry>
+PersistentStore::liveEntriesInSegment(std::uint64_t segmentId,
+                                      std::uint64_t sinceLsn) const
+{
+    std::vector<ScrubEntry> out;
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    for (const auto &[key, loc] : index_) {
+        if (loc.segmentId != segmentId || loc.lsn <= sinceLsn)
+            continue;
+        ScrubEntry e;
+        e.key = key;
+        e.lsn = loc.lsn;
+        e.offset = loc.offset;
+        e.recordLen = loc.recordLen;
+        out.push_back(std::move(e));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ScrubEntry &a, const ScrubEntry &b) {
+                  return a.offset < b.offset;
+              });
+    return out;
+}
+
+RecordCheck
+PersistentStore::verifyRecord(const std::string &key,
+                              std::uint64_t &lsn) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end())
+        return RecordCheck::Gone;
+    const auto seg = segments_.find(it->second.segmentId);
+    if (seg == segments_.end())
+        return RecordCheck::Gone;
+    lsn = it->second.lsn;
+    return recordCrcOkLocked(*seg->second, it->second)
+               ? RecordCheck::Ok
+               : RecordCheck::Corrupt;
+}
+
+bool
+PersistentStore::quarantine(const std::string &key,
+                            std::uint64_t expectLsn)
+{
+    if (key.rfind("q/", 0) == 0)
+        return false; // marks are never themselves quarantined
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        const auto it = index_.find(key);
+        if (it == index_.end() || it->second.lsn != expectLsn)
+            return false; // rewritten or removed since detection
+        const auto seg = segments_.find(it->second.segmentId);
+        if (seg == segments_.end())
+            return false;
+        if (recordCrcOkLocked(*seg->second, it->second))
+            return false; // healthy again (compaction re-read raced)
+        // Drop the corrupt record from the index — its bytes stay
+        // on disk as dead weight (live segments are never truncated)
+        // until compaction skips them — and persist the mark so
+        // repair can find it after a restart.
+        const std::uint64_t damagedId = it->second.segmentId;
+        accountDead(it->second);
+        index_.erase(it);
+        if (damagedId == activeId_) {
+            // Recovery truncates a segment at its first CRC-failed
+            // record, so anything appended after the corrupt bytes
+            // in the SAME segment would be lost on restart — the
+            // mark included. Seal the damaged segment first; the
+            // mark then lands in a fresh one recovery replays
+            // independently.
+            Segment *damaged = activeSegment();
+            try {
+                newSegmentLocked();
+                ::fsync(damaged->fd);
+                damaged->mapSealed();
+            } catch (const std::exception &e) {
+                warn("fosm-store: rotation at quarantine failed: ",
+                     e.what());
+            }
+        }
+        appendLocked(quarantineKey(key), std::to_string(expectLsn),
+                     false);
+        ++quarantinedTotal_;
+    }
+    // Compaction rewrites the segment's surviving live records and
+    // deletes the corrupt bytes outright; nudge it so the damage
+    // doesn't sit on disk until the usual dead-space thresholds.
+    if (config_.backgroundCompaction) {
+        {
+            std::lock_guard<std::mutex> lock(cvMutex_);
+            compactRequested_ = true;
+        }
+        cv_.notify_one();
+    }
+    return true;
 }
 
 // -- Introspection -------------------------------------------------
@@ -926,7 +1168,8 @@ PersistentStore::forEachLive(
                 continue;
             const auto seg = segments_.find(it->second.segmentId);
             if (seg == segments_.end() ||
-                !readValue(*seg->second, it->second, value))
+                readValue(*seg->second, it->second, value) !=
+                    ReadStatus::Ok)
                 continue;
             lsn = it->second.lsn;
         }
@@ -1004,7 +1247,8 @@ PersistentStore::collectSince(
         LiveEntry entry;
         entry.key = *c.key;
         entry.lsn = c.loc->lsn;
-        if (!readValue(*seg->second, *c.loc, entry.value))
+        if (readValue(*seg->second, *c.loc, entry.value) !=
+            ReadStatus::Ok)
             continue;
         bytes += entry.value.size();
         out.push_back(std::move(entry));
@@ -1063,6 +1307,9 @@ PersistentStore::stats() const
     s.compactions = compactions_;
     s.truncatedTails = truncatedTails_;
     s.maxLsn = nextLsn_ - 1;
+    s.corruptReads = corruptReads_.load(std::memory_order_relaxed);
+    s.quarantined = quarantinedTotal_;
+    s.quarantineLive = quarantineMarks_;
     return s;
 }
 
@@ -1089,6 +1336,7 @@ verifyDir(const std::string &dir)
         const int fd = ::open(path.c_str(), O_RDONLY);
         if (fd < 0) {
             report.intact = false;
+            report.structural = true;
             report.error = std::strerror(errno);
             reports.push_back(std::move(report));
             continue;
@@ -1098,13 +1346,16 @@ verifyDir(const std::string &dir)
         const auto size = static_cast<std::size_t>(st.st_size);
         report.fileBytes = size;
         const unsigned char *data = mapFile(fd, size);
-        const ScanResult scan = scanSegment(
-            data, data ? size : 0, [](const ScannedRecord &) {});
+        ScanResult scan = scanSegment(
+            data, data ? size : 0, [](const ScannedRecord &) {},
+            /*resyncCrcErrors=*/true);
         report.records = scan.records;
-        report.bytes = scan.validEnd > segHeaderSize
-                           ? scan.validEnd - segHeaderSize
-                           : 0;
-        report.intact = scan.headerOk && scan.validEnd == size;
+        report.bytes = scan.intactBytes;
+        report.crcFailures = scan.crcFailures;
+        report.structural = scan.structural;
+        report.corruptKeys = std::move(scan.corruptKeys);
+        report.intact = scan.headerOk && !scan.structural &&
+                        scan.crcFailures == 0;
         report.error = scan.error;
         if (data)
             ::munmap(const_cast<unsigned char *>(data), size);

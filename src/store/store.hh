@@ -101,6 +101,9 @@ struct StoreStats
     std::uint64_t compactions = 0;
     std::uint64_t truncatedTails = 0; ///< torn writes repaired at open
     std::uint64_t maxLsn = 0;         ///< highest LSN ever assigned
+    std::uint64_t corruptReads = 0;   ///< CRC-failed gets, degraded to misses
+    std::uint64_t quarantined = 0;    ///< corrupt records quarantined ever
+    std::uint64_t quarantineLive = 0; ///< q/ marks currently live
 };
 
 /**
@@ -137,8 +140,36 @@ struct SegmentReport
     std::uint64_t records = 0;
     std::uint64_t bytes = 0;       ///< intact record bytes incl. header
     std::uint64_t fileBytes = 0;
-    bool intact = true;            ///< no trailing garbage
+    bool intact = true;            ///< no CRC failures, no garbage
+    std::uint64_t crcFailures = 0; ///< record-level corruption count
+    /**
+     * Structural damage: a torn header, implausible record lengths
+     * or a truncated record — the scan could not resynchronize past
+     * it. CRC failures with intact framing are counted and skipped
+     * instead (record-level corruption).
+     */
+    bool structural = false;
+    /** Keys of CRC-failed records whose key digest still matched
+     *  (i.e. the key bytes themselves are trustworthy). */
+    std::vector<std::string> corruptKeys;
     std::string error;             ///< first problem found
+};
+
+/** One live record location handed to the scrubber, in file order. */
+struct ScrubEntry
+{
+    std::string key;
+    std::uint64_t lsn = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t recordLen = 0;
+};
+
+/** Outcome of a single-record CRC verification. */
+enum class RecordCheck
+{
+    Ok,      ///< the stored record matches its CRC
+    Corrupt, ///< CRC mismatch (or the bytes cannot be read back)
+    Gone,    ///< the key is no longer live at the expected version
 };
 
 /**
@@ -227,6 +258,54 @@ class PersistentStore
         std::uint64_t lsn)>;
     void setCommitHook(CommitHook hook);
 
+    /**
+     * Corruption hook: called (outside the store lock) when a get
+     * with verifyOnRead enabled hits a CRC-failed record. The get
+     * itself degrades to a miss; the hook is where the scrub/repair
+     * layer quarantines the record and queues a repair. Same swap
+     * semantics as the commit hook.
+     */
+    using CorruptionHook = std::function<void(
+        const std::string &key, std::uint64_t lsn)>;
+    void setCorruptionHook(CorruptionHook hook);
+
+    /**
+     * Live index entries located in `segmentId` with LSN strictly
+     * greater than sinceLsn, ordered by file offset — the scrubber's
+     * per-segment work list (sinceLsn is its clean-scan watermark,
+     * so an unchanged segment costs one index pass and no reads).
+     */
+    std::vector<ScrubEntry>
+    liveEntriesInSegment(std::uint64_t segmentId,
+                         std::uint64_t sinceLsn) const;
+
+    /**
+     * Re-read the key's current record from disk and verify its CRC
+     * (regardless of verifyOnRead). Fills lsn with the live record's
+     * LSN when the key exists. Runs under the shared lock; safe
+     * concurrently with everything else.
+     */
+    RecordCheck verifyRecord(const std::string &key,
+                             std::uint64_t &lsn) const;
+
+    /**
+     * Quarantine a corrupt record: if `key` is still live at exactly
+     * expectLsn AND its CRC still fails, drop it from the index (the
+     * bytes stay on disk as dead weight for compaction — live
+     * segments are never truncated) and persist a "q/<key>" mark so
+     * the quarantine survives restart and the repair channel can
+     * find it. Any later put() of the key clears the mark — that IS
+     * the re-commit that ends the quarantine. Returns true when the
+     * record was quarantined by this call.
+     */
+    bool quarantine(const std::string &key, std::uint64_t expectLsn);
+
+    /** The quarantine mark key for a data key ("q/" + key). */
+    static std::string quarantineKey(const std::string &key)
+    {
+        return "q/" + key;
+    }
+
     StoreStats stats() const;
 
     /** Per-segment LSN watermarks, ordered by segment id. */
@@ -248,6 +327,13 @@ class PersistentStore
         std::uint64_t lsn = 0;
     };
 
+    enum class ReadStatus
+    {
+        Ok,
+        Failed,  ///< I/O trouble or injected fault: a plain miss
+        Corrupt, ///< CRC mismatch under verifyOnRead
+    };
+
     void openDir();
     Segment *activeSegment();
     Segment *newSegmentLocked();
@@ -255,14 +341,19 @@ class PersistentStore
     std::uint64_t appendLocked(const std::string &key,
                                std::string_view value,
                                bool tombstone);
-    bool readValue(const Segment &segment, const Location &loc,
-                   std::string &out) const;
+    ReadStatus readValue(const Segment &segment, const Location &loc,
+                         std::string &out) const;
+    /** Read the whole record back and check its CRC (needs at least
+     *  the shared lock). A short read counts as corrupt. */
+    bool recordCrcOkLocked(const Segment &segment,
+                           const Location &loc) const;
     void accountDead(const Location &loc);
     bool shouldCompactLocked() const;
     void compactionLoop();
 
     StoreConfig config_;
-    CommitHook commitHook_;    ///< guarded by hookMutex_
+    CommitHook commitHook_;        ///< guarded by hookMutex_
+    CorruptionHook corruptionHook_; ///< guarded by hookMutex_
     mutable std::mutex hookMutex_;
 
     mutable std::shared_mutex mutex_; ///< index + segment table
@@ -280,8 +371,11 @@ class PersistentStore
     std::uint64_t appends_ = 0;
     std::uint64_t compactions_ = 0;
     std::uint64_t truncatedTails_ = 0;
+    std::uint64_t quarantinedTotal_ = 0;
+    std::uint64_t quarantineMarks_ = 0; ///< live q/ index entries
     mutable std::atomic<std::uint64_t> gets_{0};
     mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> corruptReads_{0};
 
     // Background compaction.
     std::mutex compactRunMutex_; ///< serializes compact() bodies
@@ -295,7 +389,11 @@ class PersistentStore
 /**
  * Read-only integrity scan of a store directory (fosm-store verify):
  * walks every segment checking structure and CRCs without repairing
- * anything. Safe on a directory another process has open.
+ * anything. Safe on a directory another process has open. The scan
+ * resynchronizes past CRC-failed records whose framing is intact
+ * (counting them per segment and collecting their keys) and only
+ * stops at structural damage, so one flipped bit no longer hides
+ * the rest of the segment's state.
  */
 std::vector<SegmentReport> verifyDir(const std::string &dir);
 

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The repair half of the self-healing loop: a scrub finding on one
+ * node is re-fetched from its preference list, CRC-verified on the
+ * wire, and re-committed — which clears the quarantine. Also pins
+ * the two safety properties: an owned key repairs from its successor
+ * (the owner's copy went bad, the successors are the authority), and
+ * a peer's corrupt copy is never imported.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "repl_test_util.hh"
+#include "store/scrubber.hh"
+
+namespace fosm::repl {
+namespace {
+
+using fosm::repl::test::Node;
+using fosm::repl::test::waitFor;
+
+std::string
+segmentPath(const std::string &dir, std::uint64_t id)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llu.seg",
+                  static_cast<unsigned long long>(id));
+    return dir + "/" + buf;
+}
+
+/** XOR one byte of `key`'s live VALUE on disk, store still open. */
+void
+corruptKeyOnDisk(store::PersistentStore &st, const std::string &key)
+{
+    st.flush();
+    for (const store::SegmentLsnInfo &info : st.segmentLsns()) {
+        for (const store::ScrubEntry &e :
+             st.liveEntriesInSegment(info.id, 0)) {
+            if (e.key != key)
+                continue;
+            const std::string path =
+                segmentPath(st.config().dir, info.id);
+            // 32-byte record header, then the key, then the value.
+            const std::streamoff off =
+                static_cast<std::streamoff>(e.offset + 32 +
+                                            key.size());
+            std::fstream f(path, std::ios::in | std::ios::out |
+                                     std::ios::binary);
+            ASSERT_TRUE(f.is_open()) << path;
+            f.seekg(off);
+            char byte = 0;
+            f.read(&byte, 1);
+            byte = static_cast<char>(byte ^ 0x01);
+            f.seekp(off);
+            f.write(&byte, 1);
+            return;
+        }
+    }
+    FAIL() << "no live record for " << key;
+}
+
+TEST(Repair, RepairsQuarantinedBitFlipFromPeer)
+{
+    Node a, b;
+    a.startServer();
+    b.startServer();
+    const std::vector<std::string> peers{a.label, b.label};
+    a.startRepl(peers);
+    b.startRepl(peers);
+
+    const std::string value(512, 'p');
+    a.store->put("r/k1", value);
+    ASSERT_TRUE(waitFor([&] {
+        std::string v;
+        return b.store->get("r/k1", v);
+    }));
+
+    corruptKeyOnDisk(*b.store, "r/k1");
+
+    // The serving wiring: scrub finding -> quarantine -> repair
+    // queue; the repair worker pulls the good copy from a.
+    store::Scrubber scrubber(b.store, store::ScrubConfig{});
+    scrubber.setCorruptHandler(
+        [&](const std::string &key, std::uint64_t) {
+            b.repl->enqueueRepair(key);
+        });
+    const store::Scrubber::PassResult pass = scrubber.scrubOnce(true);
+    EXPECT_EQ(pass.corrupt, 1u);
+    EXPECT_EQ(pass.quarantined, 1u);
+
+    ASSERT_TRUE(waitFor(
+        [&] { return b.repl->counters().repairSuccess >= 1; }));
+    std::string repaired;
+    ASSERT_TRUE(b.store->get("r/k1", repaired));
+    EXPECT_EQ(repaired, value); // bit-identical to the original
+    EXPECT_FALSE(b.store->get(
+        store::PersistentStore::quarantineKey("r/k1"), repaired));
+    EXPECT_EQ(b.store->stats().quarantineLive, 0u);
+    EXPECT_GE(b.repl->counters().repairEnqueued, 1u);
+}
+
+TEST(Repair, CoversKeysTheNodeOwns)
+{
+    Node a, b;
+    a.startServer();
+    b.startServer();
+    const std::vector<std::string> peers{a.label, b.label};
+    a.startRepl(peers);
+    b.startRepl(peers);
+
+    // Unlike read-repair, corruption repair must not skip owned
+    // keys: pick one b itself owns, then break b's copy of it.
+    std::string key;
+    for (int i = 0; i < 64 && key.empty(); ++i) {
+        const std::string candidate =
+            "r/owned" + std::to_string(i);
+        if (b.repl->ownsKey(candidate))
+            key = candidate;
+    }
+    ASSERT_FALSE(key.empty());
+
+    const std::string value = "authoritative-value";
+    a.store->put(key, value);
+    ASSERT_TRUE(waitFor([&] {
+        std::string v;
+        return b.store->get(key, v);
+    }));
+    corruptKeyOnDisk(*b.store, key);
+
+    store::Scrubber scrubber(b.store, store::ScrubConfig{});
+    scrubber.setCorruptHandler(
+        [&](const std::string &k, std::uint64_t) {
+            b.repl->enqueueRepair(k);
+        });
+    ASSERT_EQ(scrubber.scrubOnce(true).quarantined, 1u);
+
+    ASSERT_TRUE(waitFor(
+        [&] { return b.repl->counters().repairSuccess >= 1; }));
+    std::string repaired;
+    ASSERT_TRUE(b.store->get(key, repaired));
+    EXPECT_EQ(repaired, value);
+}
+
+TEST(Repair, NeverImportsAPeersCorruptCopy)
+{
+    Node a, b;
+    a.startServer();
+    b.startServer();
+    const std::vector<std::string> peers{a.label, b.label};
+    a.startRepl(peers);
+    b.startRepl(peers);
+
+    const std::string value(128, 'q');
+    a.store->put("r/bad", value);
+    ASSERT_TRUE(waitFor([&] {
+        std::string v;
+        return b.store->get("r/bad", v);
+    }));
+
+    // Both copies rot. a's is corrupt but NOT quarantined — its
+    // handleGet must detect that itself (re-verify + CRC trailer)
+    // and answer 404 rather than hand b the damage.
+    corruptKeyOnDisk(*a.store, "r/bad");
+    corruptKeyOnDisk(*b.store, "r/bad");
+
+    std::uint64_t lsn = 0;
+    ASSERT_EQ(b.store->verifyRecord("r/bad", lsn),
+              store::RecordCheck::Corrupt);
+    ASSERT_TRUE(b.store->quarantine("r/bad", lsn));
+
+    EXPECT_FALSE(b.repl->repairKey("r/bad"));
+    EXPECT_GE(b.repl->counters().repairFailures, 1u);
+    std::string v;
+    EXPECT_FALSE(b.store->get("r/bad", v));
+    // The quarantine mark stands, so the next scrub pass retries.
+    EXPECT_TRUE(b.store->get(
+        store::PersistentStore::quarantineKey("r/bad"), v));
+}
+
+TEST(Repair, FailsCleanlyWithPeerDown)
+{
+    Node a, b;
+    a.startServer();
+    b.startServer();
+    const std::vector<std::string> peers{a.label, b.label};
+    a.startRepl(peers);
+    b.startRepl(peers);
+
+    const std::string value = "only-copy-left-is-corrupt";
+    a.store->put("r/alone", value);
+    ASSERT_TRUE(waitFor([&] {
+        std::string v;
+        return b.store->get("r/alone", v);
+    }));
+    corruptKeyOnDisk(*b.store, "r/alone");
+    a.kill();
+
+    std::uint64_t lsn = 0;
+    ASSERT_EQ(b.store->verifyRecord("r/alone", lsn),
+              store::RecordCheck::Corrupt);
+    ASSERT_TRUE(b.store->quarantine("r/alone", lsn));
+
+    EXPECT_FALSE(b.repl->repairKey("r/alone"));
+    EXPECT_GE(b.repl->counters().repairFailures, 1u);
+    // Still a miss, mark still standing: honest degradation until
+    // the peer returns or the value is recomputed and re-put.
+    std::string v;
+    EXPECT_FALSE(b.store->get("r/alone", v));
+    EXPECT_TRUE(b.store->get(
+        store::PersistentStore::quarantineKey("r/alone"), v));
+}
+
+} // namespace
+} // namespace fosm::repl

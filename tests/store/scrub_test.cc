@@ -1,0 +1,335 @@
+/**
+ * @file
+ * The scrub half of the self-healing loop: detect a flipped bit,
+ * quarantine the record (miss, never an error), survive concurrent
+ * compaction, and report honestly through the offline verifier. The
+ * repair half (pulling a good copy from the ring) lives in
+ * tests/repl/repair_test.cc.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injector.hh"
+#include "store/scrubber.hh"
+#include "store/store.hh"
+#include "store_test_util.hh"
+
+namespace fosm::store {
+namespace {
+
+StoreConfig
+smallConfig(const std::string &dir)
+{
+    StoreConfig config;
+    config.dir = dir;
+    config.maxSegmentBytes = 4096;
+    config.backgroundCompaction = false;
+    return config;
+}
+
+std::string
+segmentPath(const std::string &dir, std::uint64_t id)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llu.seg",
+                  static_cast<unsigned long long>(id));
+    return dir + "/" + buf;
+}
+
+/**
+ * Find the live record for `key` and return its segment id + entry.
+ */
+bool
+findEntry(PersistentStore &st, const std::string &key,
+          std::uint64_t &segmentId, ScrubEntry &entry)
+{
+    for (const SegmentLsnInfo &info : st.segmentLsns()) {
+        for (const ScrubEntry &e :
+             st.liveEntriesInSegment(info.id, 0)) {
+            if (e.key == key) {
+                segmentId = info.id;
+                entry = e;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+/**
+ * XOR one byte of the record's VALUE in place on disk. The record
+ * layout is a 32-byte header, the key, then the value — the header
+ * CRC covers all of it, so any value byte invalidates the record.
+ */
+void
+flipValueByte(const std::string &dir, std::uint64_t segmentId,
+              const ScrubEntry &entry, std::size_t keySize)
+{
+    const std::string path = segmentPath(dir, segmentId);
+    const std::streamoff off = static_cast<std::streamoff>(
+        entry.offset + 32 + keySize);
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open()) << path;
+    f.seekg(off);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(off);
+    f.write(&byte, 1);
+}
+
+/** Corrupt `key`'s value on disk while the store stays open. */
+void
+corruptKeyOnDisk(PersistentStore &st, const std::string &key)
+{
+    st.flush();
+    std::uint64_t segmentId = 0;
+    ScrubEntry entry;
+    ASSERT_TRUE(findEntry(st, key, segmentId, entry)) << key;
+    flipValueByte(st.config().dir, segmentId, entry, key.size());
+}
+
+TEST(Scrub, DetectsAndQuarantinesBitFlip)
+{
+    fosm::test::TempDir dir;
+    auto st = std::make_shared<PersistentStore>(
+        smallConfig(dir.path()));
+    for (int i = 0; i < 20; ++i)
+        st->put("r/key" + std::to_string(i),
+                "value-" + std::to_string(i));
+    corruptKeyOnDisk(*st, "r/key7");
+
+    Scrubber scrubber(st, ScrubConfig{});
+    std::vector<std::string> reported;
+    scrubber.setCorruptHandler(
+        [&](const std::string &key, std::uint64_t) {
+            reported.push_back(key);
+        });
+    const Scrubber::PassResult pass = scrubber.scrubOnce(true);
+
+    EXPECT_EQ(pass.corrupt, 1u);
+    EXPECT_EQ(pass.quarantined, 1u);
+    // The handler hears the finding, and may hear the key again
+    // when the pass re-announces standing marks — the repair queue
+    // dedups, so both are the same repair request.
+    ASSERT_GE(reported.size(), 1u);
+    for (const std::string &key : reported)
+        EXPECT_EQ(key, "r/key7");
+
+    // The corrupt record is a miss now, never an error; the mark
+    // persists and the rest of the data is untouched.
+    std::string value;
+    EXPECT_FALSE(st->get("r/key7", value));
+    EXPECT_TRUE(
+        st->get(PersistentStore::quarantineKey("r/key7"), value));
+    EXPECT_TRUE(st->get("r/key8", value));
+    EXPECT_EQ(value, "value-8");
+    const StoreStats stats = st->stats();
+    EXPECT_EQ(stats.quarantined, 1u);
+    EXPECT_EQ(stats.quarantineLive, 1u);
+}
+
+TEST(Scrub, QuarantineSurvivesRestartAndIsReannounced)
+{
+    fosm::test::TempDir dir;
+    {
+        auto st = std::make_shared<PersistentStore>(
+            smallConfig(dir.path()));
+        st->put("r/gone", "payload");
+        corruptKeyOnDisk(*st, "r/gone");
+        Scrubber scrubber(st, ScrubConfig{});
+        EXPECT_EQ(scrubber.scrubOnce(true).quarantined, 1u);
+    }
+    auto st = std::make_shared<PersistentStore>(
+        smallConfig(dir.path()));
+    EXPECT_EQ(st->stats().quarantineLive, 1u);
+
+    // Every pass re-announces standing marks to the handler, so a
+    // repair that could not run earlier gets retried.
+    Scrubber scrubber(st, ScrubConfig{});
+    std::vector<std::string> reported;
+    scrubber.setCorruptHandler(
+        [&](const std::string &key, std::uint64_t) {
+            reported.push_back(key);
+        });
+    scrubber.scrubOnce(true);
+    ASSERT_GE(reported.size(), 1u);
+    for (const std::string &key : reported)
+        EXPECT_EQ(key, "r/gone");
+}
+
+TEST(Scrub, RecommitClearsQuarantine)
+{
+    fosm::test::TempDir dir;
+    auto st = std::make_shared<PersistentStore>(
+        smallConfig(dir.path()));
+    st->put("r/fix", "original");
+    corruptKeyOnDisk(*st, "r/fix");
+    Scrubber scrubber(st, ScrubConfig{});
+    ASSERT_EQ(scrubber.scrubOnce(true).quarantined, 1u);
+
+    // Re-committing the key IS the repair: mark cleared, value back.
+    st->put("r/fix", "original");
+    std::string value;
+    EXPECT_TRUE(st->get("r/fix", value));
+    EXPECT_EQ(value, "original");
+    EXPECT_FALSE(
+        st->get(PersistentStore::quarantineKey("r/fix"), value));
+    EXPECT_EQ(st->stats().quarantineLive, 0u);
+    EXPECT_EQ(scrubber.scrubOnce(true).corrupt, 0u);
+}
+
+TEST(Scrub, WatermarkSkipsCleanSegments)
+{
+    fosm::test::TempDir dir;
+    auto st = std::make_shared<PersistentStore>(
+        smallConfig(dir.path()));
+    const std::string value(512, 'v');
+    for (int i = 0; i < 64; ++i)
+        st->put("r/key" + std::to_string(i), value);
+    ASSERT_GT(st->stats().segments, 1u);
+
+    Scrubber scrubber(st, ScrubConfig{});
+    const Scrubber::PassResult first = scrubber.scrubOnce(false);
+    EXPECT_EQ(first.records, 64u);
+
+    // Nothing changed: every segment sits at its watermark and is
+    // skipped without a byte read.
+    const Scrubber::PassResult second = scrubber.scrubOnce(false);
+    EXPECT_EQ(second.records, 0u);
+    EXPECT_EQ(second.segments, 0u);
+    EXPECT_EQ(second.skipped, first.segments + first.skipped);
+
+    // A full pass ignores watermarks and rescans everything.
+    const Scrubber::PassResult full = scrubber.scrubOnce(true);
+    EXPECT_EQ(full.records, 64u);
+    EXPECT_EQ(full.skipped, 0u);
+}
+
+TEST(Scrub, CorruptOnReadDegradesToMiss)
+{
+    fosm::test::TempDir dir;
+    StoreConfig config = smallConfig(dir.path());
+    config.verifyOnRead = true;
+    auto st = std::make_shared<PersistentStore>(config);
+    st->put("r/hot", "cached-response");
+    corruptKeyOnDisk(*st, "r/hot");
+
+    std::vector<std::string> hooked;
+    st->setCorruptionHook(
+        [&](const std::string &key, std::uint64_t) {
+            hooked.push_back(key);
+        });
+    std::string value;
+    EXPECT_FALSE(st->get("r/hot", value));
+    EXPECT_EQ(st->stats().corruptReads, 1u);
+    ASSERT_EQ(hooked.size(), 1u);
+    EXPECT_EQ(hooked[0], "r/hot");
+}
+
+TEST(Scrub, ScrubConcurrentWithCompaction)
+{
+    fosm::test::TempDir dir;
+    auto st = std::make_shared<PersistentStore>(
+        smallConfig(dir.path()));
+    Scrubber scrubber(st, ScrubConfig{});
+
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        const std::string value(256, 'w');
+        int i = 0;
+        while (!stop.load()) {
+            st->put("r/churn" + std::to_string(i % 50), value);
+            ++i;
+        }
+    });
+    std::thread compactor([&] {
+        while (!stop.load()) {
+            st->compact();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+    });
+    std::uint64_t scrubbedRecords = 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(1000);
+    while (std::chrono::steady_clock::now() < deadline)
+        scrubbedRecords += scrubber.scrubOnce(true).records;
+    stop.store(true);
+    writer.join();
+    compactor.join();
+
+    EXPECT_GT(scrubbedRecords, 0u);
+    // Uncorrupted data under churn must never be quarantined.
+    EXPECT_EQ(st->stats().quarantined, 0u);
+    std::string value;
+    EXPECT_TRUE(st->get("r/churn0", value));
+}
+
+TEST(Scrub, FaultPointWritesCorruptRecord)
+{
+    fosm::test::TempDir dir;
+    auto st = std::make_shared<PersistentStore>(
+        smallConfig(dir.path()));
+    std::string error;
+    ASSERT_TRUE(FaultInjector::instance().configure(
+        "store.corrupt=flip:1.0", 42, error))
+        << error;
+    st->put("r/flipped", "soon-to-be-garbage");
+    FaultInjector::instance().reset();
+
+    // The flip happens after checksumming: the record lands on disk
+    // with a CRC that no longer matches — exactly latent media
+    // corruption, which the scrubber then catches.
+    std::uint64_t lsn = 0;
+    EXPECT_EQ(st->verifyRecord("r/flipped", lsn),
+              RecordCheck::Corrupt);
+    Scrubber scrubber(st, ScrubConfig{});
+    EXPECT_EQ(scrubber.scrubOnce(true).corrupt, 1u);
+}
+
+TEST(Scrub, OfflineVerifyCountsRecordLevelCorruption)
+{
+    fosm::test::TempDir dir;
+    std::uint64_t segmentId = 0;
+    ScrubEntry entry;
+    {
+        PersistentStore st(smallConfig(dir.path()));
+        for (int i = 0; i < 5; ++i)
+            st.put("r/v" + std::to_string(i), "payload");
+        st.flush();
+        ASSERT_TRUE(findEntry(st, "r/v2", segmentId, entry));
+    }
+    flipValueByte(dir.path(), segmentId, entry,
+                  std::string("r/v2").size());
+
+    // verify resynchronizes past the bad record: it reports the CRC
+    // failure AND still sees the records after it, with the damaged
+    // key named (its digest proves the key bytes are trustworthy).
+    bool foundFailure = false;
+    for (const SegmentReport &r : verifyDir(dir.path())) {
+        if (r.id != segmentId) {
+            EXPECT_TRUE(r.intact) << r.file;
+            continue;
+        }
+        foundFailure = true;
+        EXPECT_FALSE(r.intact);
+        EXPECT_FALSE(r.structural);
+        EXPECT_EQ(r.crcFailures, 1u);
+        ASSERT_EQ(r.corruptKeys.size(), 1u);
+        EXPECT_EQ(r.corruptKeys[0], "r/v2");
+        EXPECT_EQ(r.records, 4u);
+    }
+    EXPECT_TRUE(foundFailure);
+}
+
+} // namespace
+} // namespace fosm::store

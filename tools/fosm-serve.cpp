@@ -47,6 +47,7 @@
 #include "repl/replicator.hh"
 #include "server/http.hh"
 #include "server/service.hh"
+#include "store/scrubber.hh"
 #include "tenant/admission.hh"
 #include "tenant/registry.hh"
 
@@ -91,7 +92,8 @@ main(int argc, char **argv)
          "max-connections", "store-dir", "no-store",
          "optimize-max-points", "peers", "self", "replication",
          "repl-vnodes", "repl-interval", "no-catchup",
-         "tenants-file"},
+         "tenants-file", "scrub-interval-s", "scrub-mbps",
+         "store-verify-reads"},
         "usage: fosm-serve [flags]\n"
         "  --host 127.0.0.1       listen address\n"
         "  --port 8080            listen port (0 = ephemeral)\n"
@@ -127,7 +129,13 @@ main(int argc, char **argv)
         "  --tenants-file F       JSON tenant registry; enables\n"
         "                         bearer-token auth and per-tenant\n"
         "                         weighted-fair queueing\n"
-        "                         (docs/TENANCY.md)\n");
+        "                         (docs/TENANCY.md)\n"
+        "  --scrub-interval-s 60  background integrity-scrub pass\n"
+        "                         period in seconds (0 = off)\n"
+        "  --scrub-mbps 64        scrub read-bandwidth budget\n"
+        "  --store-verify-reads   re-verify record CRCs on every\n"
+        "                         store get (failures degrade to\n"
+        "                         misses and feed scrub/repair)\n");
 
     MetricsRegistry metrics;
 
@@ -138,6 +146,7 @@ main(int argc, char **argv)
         args.getInt("optimize-max-points", 65536));
     if (!args.has("no-store"))
         serviceConfig.storeDir = args.get("store-dir", ".fosm-store");
+    serviceConfig.storeVerifyReads = args.has("store-verify-reads");
     ModelService service(serviceConfig, metrics);
 
     if (const auto *persistent = service.persistentCache()) {
@@ -233,6 +242,92 @@ main(int argc, char **argv)
                   << replConfig.peers.size() << " peers)\n";
     }
 
+    // -- Integrity scrub (docs/STORE.md) ---------------------------
+    // Declared after the replicator: destruction runs in reverse, so
+    // the scrubber (whose corrupt handler feeds the repair queue)
+    // stops before the replicator it points at.
+    std::unique_ptr<store::Scrubber> scrubber;
+    if (service.persistentCache()) {
+        store::ScrubConfig scrubConfig;
+        scrubConfig.intervalS =
+            args.getDouble("scrub-interval-s", 60.0);
+        scrubConfig.mbps = args.getDouble("scrub-mbps", 64.0);
+        scrubber = std::make_unique<store::Scrubber>(
+            service.persistentCache()->store(), scrubConfig);
+        scrubber->setCorruptHandler(
+            [&replicator](const std::string &key,
+                          std::uint64_t) {
+                if (replicator)
+                    replicator->enqueueRepair(key);
+            });
+        // Corrupt-on-read (verify-on-get, compaction) findings join
+        // the same quarantine + repair channel as scrub findings.
+        service.persistentCache()->store()->setCorruptionHook(
+            [&scrubber](const std::string &key, std::uint64_t lsn) {
+                scrubber->noteCorrupt(key, lsn);
+            });
+
+        metrics.addCallbackGauge(
+            "fosm_scrub_passes_total", "Scrub passes completed",
+            [&scrubber] { return double(scrubber->status().passes); });
+        metrics.addCallbackGauge(
+            "fosm_scrub_records_scanned_total",
+            "Records CRC-verified by the scrubber", [&scrubber] {
+                return double(scrubber->status().recordsScanned);
+            });
+        metrics.addCallbackGauge(
+            "fosm_scrub_bytes_scanned_total",
+            "Bytes CRC-verified by the scrubber", [&scrubber] {
+                return double(scrubber->status().bytesScanned);
+            });
+        metrics.addCallbackGauge(
+            "fosm_scrub_segments_skipped_total",
+            "Segments skipped clean under their scrub watermark",
+            [&scrubber] {
+                return double(scrubber->status().segmentsSkipped);
+            });
+        metrics.addCallbackGauge(
+            "fosm_scrub_corrupt_found_total",
+            "Corrupt records found by scrub or corrupt-on-read",
+            [&scrubber] {
+                return double(scrubber->status().corruptFound);
+            });
+        metrics.addCallbackGauge(
+            "fosm_scrub_quarantined_total",
+            "Corrupt records quarantined", [&scrubber] {
+                return double(scrubber->status().quarantined);
+            });
+        metrics.addCallbackGauge(
+            "fosm_scrub_repair_requests_total",
+            "Corrupt findings handed to the repair channel",
+            [&scrubber] {
+                return double(scrubber->status().repairRequests);
+            });
+
+        // Counters only — the gateway sums numeric leaves across
+        // backends, and config values would sum into nonsense.
+        service.setScrubStatsProvider([&scrubber] {
+            const store::ScrubStatus s = scrubber->status();
+            json::Value v = json::Value::object();
+            v.set("passes", s.passes);
+            v.set("fullPasses", s.fullPasses);
+            v.set("segmentsScanned", s.segmentsScanned);
+            v.set("segmentsSkipped", s.segmentsSkipped);
+            v.set("recordsScanned", s.recordsScanned);
+            v.set("bytesScanned", s.bytesScanned);
+            v.set("corruptFound", s.corruptFound);
+            v.set("quarantined", s.quarantined);
+            v.set("repairRequests", s.repairRequests);
+            return v;
+        });
+        if (scrubConfig.intervalS > 0) {
+            scrubber->start();
+            std::cout << "fosm-serve: scrubbing every "
+                      << scrubConfig.intervalS << "s at "
+                      << scrubConfig.mbps << " MB/s\n";
+        }
+    }
+
     if (!args.has("no-warmup")) {
         std::cout << "fosm-serve: building "
                   << Workbench::benchmarks().size()
@@ -290,6 +385,68 @@ main(int argc, char **argv)
             return inner(request);
         };
     }
+    if (scrubber) {
+        handler = [inner = std::move(handler),
+                   &scrubber](const HttpRequest &request) {
+            if (request.path() != "/admin/scrub")
+                return inner(request);
+            if (request.method == "GET") {
+                const store::ScrubStatus s = scrubber->status();
+                json::Value v = json::Value::object();
+                v.set("running", s.running);
+                v.set("scrubbing", s.scrubbing);
+                v.set("passes", s.passes);
+                v.set("fullPasses", s.fullPasses);
+                v.set("segmentsScanned", s.segmentsScanned);
+                v.set("segmentsSkipped", s.segmentsSkipped);
+                v.set("recordsScanned", s.recordsScanned);
+                v.set("bytesScanned", s.bytesScanned);
+                v.set("corruptFound", s.corruptFound);
+                v.set("quarantined", s.quarantined);
+                v.set("repairRequests", s.repairRequests);
+                v.set("lastPassMs", s.lastPassMs);
+                v.set("throttleMs", s.throttleMs);
+                json::Value cfg = json::Value::object();
+                cfg.set("intervalS", scrubber->config().intervalS);
+                cfg.set("mbps", scrubber->config().mbps);
+                cfg.set("fullEvery",
+                        scrubber->config().fullEvery);
+                v.set("config", std::move(cfg));
+                return HttpResponse::json(200, v.dump());
+            }
+            if (request.method != "POST")
+                return HttpResponse::text(405,
+                                          "method not allowed\n");
+            // POST: force a full scrub. {"wait": true} runs the
+            // pass inline and reports its result; the default kicks
+            // the background loop and returns immediately.
+            bool wait = false;
+            if (!request.body.empty()) {
+                json::Value body;
+                std::string error;
+                if (!json::parse(request.body, body, &error))
+                    return HttpResponse::text(400, error + "\n");
+                if (const json::Value *w = body.find("wait"))
+                    wait = w->asBool(false);
+            }
+            json::Value v = json::Value::object();
+            if (wait) {
+                const auto pass = scrubber->scrubOnce(true);
+                v.set("forced", true);
+                v.set("waited", true);
+                v.set("segments", pass.segments);
+                v.set("records", pass.records);
+                v.set("bytes", pass.bytes);
+                v.set("corrupt", pass.corrupt);
+                v.set("quarantined", pass.quarantined);
+            } else {
+                scrubber->requestFullScrub();
+                v.set("forced", true);
+                v.set("waited", false);
+            }
+            return HttpResponse::json(200, v.dump());
+        };
+    }
 
     HttpServer server(serverConfig, std::move(handler), &metrics);
 
@@ -345,10 +502,20 @@ main(int argc, char **argv)
               << ")\n"
               << "fosm-serve: POST /v1/cpi /v1/batch /v1/iw-curve "
                  "/v1/trends /v1/optimize; "
-                 "GET /healthz /metrics /v1/store/stats\n";
+                 "GET /healthz /metrics /v1/store/stats "
+                 "/admin/scrub\n";
     std::cout.flush();
 
     server.join();
+
+    // Stop the scrubber before the replicator its corrupt handler
+    // feeds; clear the store hook first so a racing compaction
+    // cannot call into a stopped scrubber.
+    if (scrubber) {
+        service.persistentCache()->store()->setCorruptionHook(
+            nullptr);
+        scrubber->stop();
+    }
 
     // Drain handoff: ship everything still queued to the successors
     // before exiting, so a drained node's shard stays warm on its

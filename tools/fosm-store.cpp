@@ -6,6 +6,9 @@
  *   fosm-store stats      <dir>          summary counters + per-
  *                                        segment LSN spans as JSON
  *   fosm-store verify     <dir>          check every segment's CRCs
+ *   fosm-store scrub      <dir> [--mbps N] [--dry-run]
+ *                                        one full paced scrub pass;
+ *                                        quarantines corrupt records
  *   fosm-store inspect    <dir> [--prefix P] [--limit N] [--values]
  *                                        list live records
  *   fosm-store watermarks <dir>          replication watermarks and
@@ -24,10 +27,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "cli.hh"
 #include "server/json.hh"
+#include "store/scrubber.hh"
 #include "store/store.hh"
 
 namespace {
@@ -36,11 +42,18 @@ using namespace fosm;
 
 const char usage[] =
     "usage: fosm-store "
-    "<stats|verify|inspect|watermarks|compact> <dir> [flags]\n"
+    "<stats|verify|scrub|inspect|watermarks|compact> <dir> [flags]\n"
     "  stats   <dir>   print summary counters and per-segment LSN\n"
     "                  spans as JSON\n"
-    "  verify  <dir>   check segment integrity (read-only); exit 1\n"
-    "                  if any segment is corrupt\n"
+    "  verify  <dir>   check segment integrity (read-only); exits 0\n"
+    "                  clean, 1 on structural damage (bad header,\n"
+    "                  garbage framing), 2 on record-level CRC\n"
+    "                  failures only\n"
+    "  scrub   <dir>   one full paced scrub pass over the live\n"
+    "                  index; corrupt records are quarantined\n"
+    "                  (exit 2) unless --dry-run\n"
+    "    --mbps N      scan-rate ceiling (default 64)\n"
+    "    --dry-run     report corruption without quarantining\n"
     "  inspect <dir>   list live records\n"
     "    --prefix P    only keys starting with P (e.g. r/ or c/)\n"
     "    --limit N     stop after N records (default 100, 0 = all)\n"
@@ -160,7 +173,9 @@ int
 main(int argc, char **argv)
 {
     const cli::Args args(argc, argv,
-                         {"prefix", "limit", "values"}, usage);
+                         {"prefix", "limit", "values", "mbps",
+                          "dry-run"},
+                         usage);
     if (args.positional().size() != 2) {
         std::cerr << usage;
         return 1;
@@ -175,30 +190,51 @@ main(int argc, char **argv)
             std::cout << "no segment files in " << dir << "\n";
             return 0;
         }
-        bool allIntact = true;
+        bool anyStructural = false, anyCrcFailure = false;
         for (const store::SegmentReport &r : reports) {
             std::cout << r.file << ": " << r.records << " records, "
                       << r.bytes << "/" << r.fileBytes
                       << " bytes intact";
             if (r.intact) {
                 std::cout << ", ok\n";
-            } else {
-                std::cout << ", CORRUPT: " << r.error << "\n";
-                allIntact = false;
+                continue;
             }
+            if (r.crcFailures > 0) {
+                std::cout << ", " << r.crcFailures
+                          << " CRC failure(s)";
+                anyCrcFailure = true;
+            }
+            if (r.structural) {
+                std::cout << ", STRUCTURAL: " << r.error;
+                anyStructural = true;
+            }
+            std::cout << "\n";
+            for (const std::string &key : r.corruptKeys)
+                std::cout << "  corrupt key: "
+                          << printable(key, 120) << "\n";
         }
-        return allIntact ? 0 : 1;
+        // Structural damage (exit 1) needs recovery/compaction;
+        // record-level failures alone (exit 2) are what the online
+        // scrubber quarantines and repairs from the ring.
+        if (anyStructural)
+            return 1;
+        return anyCrcFailure ? 2 : 0;
     }
 
-    if (command != "stats" && command != "inspect" &&
-        command != "watermarks" && command != "compact") {
+    if (command != "stats" && command != "scrub" &&
+        command != "inspect" && command != "watermarks" &&
+        command != "compact") {
         std::cerr << "unknown command '" << command << "'\n"
                   << usage;
         return 1;
     }
 
     try {
-        store::PersistentStore st(openConfig(dir));
+        // shared_ptr because the scrubber holds one; the other
+        // subcommands just use the reference.
+        const auto stPtr = std::make_shared<store::PersistentStore>(
+            openConfig(dir));
+        store::PersistentStore &st = *stPtr;
 
         if (command == "stats") {
             std::cout << statsToJson(st).dump() << "\n";
@@ -229,6 +265,30 @@ main(int argc, char **argv)
                 std::cout << "(" << (matched - shown)
                           << " more; raise --limit)\n";
             }
+        } else if (command == "scrub") {
+            const bool dryRun = args.has("dry-run");
+            store::ScrubConfig sc;
+            sc.mbps = static_cast<double>(args.getInt("mbps", 64));
+            sc.quarantine = !dryRun;
+            store::Scrubber scrubber(stPtr, sc);
+            std::vector<std::string> corrupt;
+            scrubber.setCorruptHandler(
+                [&](const std::string &key, std::uint64_t) {
+                    corrupt.push_back(key);
+                });
+            const store::Scrubber::PassResult pass =
+                scrubber.scrubOnce(true);
+            std::cout << "scrubbed " << pass.segments
+                      << " segment(s), " << pass.records
+                      << " record(s), " << pass.bytes << " bytes: "
+                      << pass.corrupt << " corrupt, "
+                      << pass.quarantined << " quarantined"
+                      << (dryRun ? " (dry run)" : "") << "\n";
+            for (const std::string &key : corrupt)
+                std::cout << "  corrupt key: "
+                          << printable(key, 120) << "\n";
+            if (pass.corrupt > 0)
+                return 2;
         } else { // compact
             const store::StoreStats before = st.stats();
             st.compact();
